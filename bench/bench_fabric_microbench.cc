@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Microbenchmarks of the substrate hot paths (google-benchmark): event
+ * queue throughput, bitstream-store cache behaviour, and task-graph
+ * analyses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmarks.hh"
+#include "fabric/fabric.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "taskgraph/graph_algos.hh"
+
+namespace {
+
+using namespace nimblock;
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < n; ++i) {
+            eq.schedule(simtime::us(i), "e", [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(10000);
+
+void
+BM_BitstreamStoreHitPath(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    BitstreamStore store(eq, BitstreamStoreConfig{});
+    BitstreamKey key{"app", 0, 0};
+    bool loaded = false;
+    store.ensureLoaded(key, 8 << 20, [&loaded] { loaded = true; });
+    eq.run();
+
+    for (auto _ : state) {
+        int hits = 0;
+        store.ensureLoaded(key, 8 << 20, [&hits] { ++hits; });
+        benchmark::DoNotOptimize(hits);
+    }
+}
+
+BENCHMARK(BM_BitstreamStoreHitPath);
+
+void
+BM_CapReconfigure(benchmark::State &state)
+{
+    EventQueue eq;
+    Cap cap(eq, CapConfig{});
+    for (auto _ : state) {
+        int done = 0;
+        cap.reconfigure(0, 8 << 20, [&done] { ++done; });
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+}
+
+BENCHMARK(BM_CapReconfigure);
+
+void
+BM_TopoSortAlexNet(benchmark::State &state)
+{
+    auto spec = benchmarks::alexnet();
+    for (auto _ : state) {
+        SimTime cp = criticalPathLatency(spec->graph());
+        benchmark::DoNotOptimize(cp);
+    }
+}
+
+BENCHMARK(BM_TopoSortAlexNet);
+
+void
+BM_RngDraws(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.uniformInt(0, 29));
+    }
+}
+
+BENCHMARK(BM_RngDraws);
+
+} // namespace
+
+BENCHMARK_MAIN();

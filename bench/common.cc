@@ -1,0 +1,110 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace bench {
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--sequences") {
+            opts.sequences = std::atoi(next());
+        } else if (arg == "--events") {
+            opts.events = std::atoi(next());
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--quick") {
+            opts.sequences = 3;
+            opts.events = 10;
+        } else if (arg == "--csv") {
+            opts.csvPath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("flags: --sequences N --events N --seed S --quick "
+                        "--csv PATH\n");
+            std::exit(0);
+        } else {
+            fatal("unknown flag '%s'", arg.c_str());
+        }
+    }
+    if (opts.sequences < 1 || opts.events < 1)
+        fatal("--sequences and --events must be positive");
+    return opts;
+}
+
+BenchEnv::BenchEnv(const BenchOptions &o)
+    : opts(o), registry(standardRegistry())
+{
+    setQuiet(true);
+}
+
+std::vector<EventSequence>
+BenchEnv::sequences(Scenario scenario, int fixed_batch) const
+{
+    GeneratorConfig gen =
+        scenarioConfig(scenario, registry.names(), fixed_batch);
+    gen.numEvents = opts.events;
+    Rng rng(opts.seed);
+    std::string prefix = toString(scenario);
+    if (fixed_batch > 0)
+        prefix += formatMessage("_b%d", fixed_batch);
+    return generateSequences(prefix, opts.sequences, gen, rng);
+}
+
+void
+printHeader(const std::string &what, const BenchOptions &opts)
+{
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("stimuli: %d sequences x %d events, seed %llu\n\n",
+                opts.sequences, opts.events,
+                static_cast<unsigned long long>(opts.seed));
+}
+
+void
+maybeWriteCsv(const BenchOptions &opts, const CsvWriter &csv)
+{
+    if (opts.csvPath.empty())
+        return;
+    if (csv.writeFile(opts.csvPath))
+        std::printf("\ncsv written to %s\n", opts.csvPath.c_str());
+    else
+        std::printf("\nfailed to write csv to %s\n", opts.csvPath.c_str());
+}
+
+std::string
+displayName(const std::string &scheduler)
+{
+    if (scheduler == "baseline")
+        return "Baseline";
+    if (scheduler == "fcfs")
+        return "FCFS";
+    if (scheduler == "prema")
+        return "PREMA";
+    if (scheduler == "rr")
+        return "RR";
+    if (scheduler == "nimblock")
+        return "Nimblock";
+    if (scheduler == "nimblock_nopreempt")
+        return "NimblockNoPreempt";
+    if (scheduler == "nimblock_nopipe")
+        return "NimblockNoPipe";
+    if (scheduler == "nimblock_nopreempt_nopipe")
+        return "NimblockNoPreemptNoPipe";
+    return scheduler;
+}
+
+} // namespace bench
+} // namespace nimblock

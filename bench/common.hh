@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared infrastructure for the table/figure reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation. They share the experiment grid (same stimuli for every
+ * algorithm, §5.1) and a small command-line surface:
+ *
+ *   --sequences N   sequences per scenario      (default 10, paper: 10)
+ *   --events N      events per sequence         (default 20, paper: 20)
+ *   --seed S        workload master seed        (default 2023)
+ *   --quick         3 sequences x 10 events, for smoke runs
+ *   --csv PATH      also dump the figure's data as CSV
+ */
+
+#ifndef NIMBLOCK_BENCH_COMMON_HH
+#define NIMBLOCK_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "core/experiment.hh"
+#include "stats/csv.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace bench {
+
+/** Parsed command-line options. */
+struct BenchOptions
+{
+    int sequences = 10;
+    int events = 20;
+    std::uint64_t seed = 2023;
+    std::string csvPath;
+
+    /** Parse argv; fatal()s on unknown flags. */
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/** A ready-to-run experiment environment. */
+struct BenchEnv
+{
+    BenchOptions opts;
+    AppRegistry registry;
+    SystemConfig config;
+
+    explicit BenchEnv(const BenchOptions &o);
+
+    /** Sequences for @p scenario (seeded from opts.seed and the name). */
+    std::vector<EventSequence> sequences(Scenario scenario,
+                                         int fixed_batch = 0) const;
+
+    /** Grid bound to this environment's config/registry. */
+    ExperimentGrid grid() const { return {config, registry}; }
+};
+
+/** Print a standard bench header. */
+void printHeader(const std::string &what, const BenchOptions &opts);
+
+/** Write @p csv to opts.csvPath when set. */
+void maybeWriteCsv(const BenchOptions &opts, const CsvWriter &csv);
+
+/** Short display names used in the paper's figures. */
+std::string displayName(const std::string &scheduler);
+
+} // namespace bench
+} // namespace nimblock
+
+#endif // NIMBLOCK_BENCH_COMMON_HH

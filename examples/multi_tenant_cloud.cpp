@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-tenant FPGA cloud scenario: many tenants submit accelerator jobs
+ * with mixed priorities at a rapid rate (the paper's stress congestion),
+ * and we compare all five scheduling algorithms on response time and
+ * fairness.
+ *
+ * This is the paper's core motivating scenario: fine-grained sharing of
+ * one physical FPGA among independent users.
+ */
+
+#include <cstdio>
+
+#include "apps/registry.hh"
+#include "core/experiment.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "stats/table.hh"
+#include "workload/scenario.hh"
+
+using namespace nimblock;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+    AppRegistry registry = standardRegistry();
+
+    // Tenants submit 20 jobs in rapid succession (150-200 ms apart).
+    GeneratorConfig gen = scenarioConfig(Scenario::Stress, registry.names());
+    EventSequence seq = generateSequence("cloud", gen, Rng(seed));
+
+    std::printf("multi-tenant workload: %zu jobs over %.1f s (seed %llu)\n\n",
+                seq.events.size(), simtime::toSec(seq.lastArrival()),
+                static_cast<unsigned long long>(seed));
+
+    SystemConfig config;
+    ExperimentGrid grid(config, registry);
+    auto results = grid.runAll(evaluationSchedulers(), {seq});
+
+    Table table("Scheduler comparison under tenant contention");
+    table.setHeader({"Scheduler", "Mean resp (s)", "p95 resp (s)",
+                     "Avg reduction", "Preemptions"});
+    for (const auto &name : evaluationSchedulers()) {
+        const SchedulerResults &res = results.at(name);
+        auto records = res.allRecords();
+        Summary resp;
+        for (const AppRecord &r : records)
+            resp.add(simtime::toSec(r.responseTime()));
+
+        std::string reduction = "1.00x (ref)";
+        if (name != "baseline") {
+            auto cmp = ExperimentGrid::compare(res, results.at("baseline"));
+            reduction =
+                Table::cell(reductionStats(cmp).avgReduction()) + "x";
+        }
+        table.addRow({name, Table::cell(resp.mean()),
+                      Table::cell(resp.percentile(95)), reduction,
+                      Table::cell(std::int64_t(
+                          res.runs[0].hypervisorStats.preemptionsHonored))});
+    }
+    table.print();
+
+    // Fairness lens: response time of the highest-priority tenants only.
+    Table prio_table("High-priority tenants only");
+    prio_table.setHeader({"Scheduler", "Mean resp (s)", "Worst resp (s)"});
+    for (const auto &name : evaluationSchedulers()) {
+        Summary resp;
+        for (const AppRecord &r : results.at(name).allRecords()) {
+            if (r.priority == 9)
+                resp.add(simtime::toSec(r.responseTime()));
+        }
+        prio_table.addRow({name, Table::cell(resp.mean()),
+                           Table::cell(resp.max())});
+    }
+    prio_table.print();
+
+    std::printf("\nNimblock pipelines large batches across slots and "
+                "batch-preempts over-consumers, so high-priority tenants "
+                "keep tight response times under load.\n");
+    return 0;
+}

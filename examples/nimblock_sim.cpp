@@ -1,0 +1,160 @@
+/**
+ * @file
+ * nimblock_sim — command-line driver for the simulator, mirroring the
+ * artifact's testbed workflow (generate/replay sequences, pick an
+ * algorithm, collect reports).
+ *
+ * Usage:
+ *   nimblock_sim [options]
+ *     --scheduler NAME   baseline|fcfs|prema|rr|nimblock|... (default nimblock)
+ *     --scenario NAME    standard|stress|realtime|table3     (default stress)
+ *     --events N         events per sequence                 (default 20)
+ *     --seed S           workload seed                       (default 1)
+ *     --batch N          fixed batch size (0 = random up to 30)
+ *     --slots N          number of slots                     (default 10)
+ *     --trace FILE       replay an existing trace instead of generating
+ *     --save-trace FILE  write the generated trace
+ *     --timeline         print an ASCII slot timeline
+ *     --csv FILE         dump per-event results as CSV
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "stats/csv.hh"
+#include "stats/table.hh"
+#include "workload/scenario.hh"
+#include "workload/trace_io.hh"
+
+using namespace nimblock;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string scheduler = "nimblock";
+    std::string scenario = "stress";
+    std::string trace_in, trace_out, csv_out;
+    int events = 20;
+    int batch = 0;
+    std::size_t slots = 10;
+    std::uint64_t seed = 1;
+    bool timeline = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "flag %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scheduler")
+            scheduler = next();
+        else if (arg == "--scenario")
+            scenario = next();
+        else if (arg == "--events")
+            events = std::atoi(next());
+        else if (arg == "--seed")
+            seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--batch")
+            batch = std::atoi(next());
+        else if (arg == "--slots")
+            slots = static_cast<std::size_t>(std::atoi(next()));
+        else if (arg == "--trace")
+            trace_in = next();
+        else if (arg == "--save-trace")
+            trace_out = next();
+        else if (arg == "--timeline")
+            timeline = true;
+        else if (arg == "--csv")
+            csv_out = next();
+        else {
+            std::fprintf(stderr, "unknown flag %s (see file header)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    try {
+        AppRegistry registry = standardRegistry();
+
+        EventSequence seq;
+        if (!trace_in.empty()) {
+            seq = readTraceFile(trace_in);
+        } else {
+            GeneratorConfig gen = scenarioConfig(
+                scenarioFromString(scenario), registry.names(), batch);
+            gen.numEvents = events;
+            if (batch > 0)
+                gen.fixedBatch = batch;
+            seq = generateSequence(scenario, gen, Rng(seed));
+        }
+        if (!trace_out.empty() && writeTraceFile(seq, trace_out))
+            std::printf("trace saved to %s\n", trace_out.c_str());
+
+        SystemConfig cfg;
+        cfg.scheduler = scheduler;
+        cfg.fabric.numSlots = slots;
+        cfg.recordTimeline = timeline;
+
+        RunResult result = Simulation(cfg, registry).run(seq);
+
+        Table table(formatMessage("%s on %s: %zu events", scheduler.c_str(),
+                                  seq.name.c_str(), seq.events.size()));
+        table.setHeader({"Ev", "App", "Batch", "Prio", "Arrive (s)",
+                         "Response (s)", "Wait (s)", "Preempts"});
+        CsvWriter csv;
+        csv.setHeader({"event", "app", "batch", "priority", "arrival_s",
+                       "response_s", "wait_s", "preemptions"});
+        for (const AppRecord &rec : result.records) {
+            table.addRow({Table::cell(std::int64_t(rec.eventIndex)),
+                          rec.appName,
+                          Table::cell(std::int64_t(rec.batch)),
+                          Table::cell(std::int64_t(rec.priority)),
+                          Table::cell(simtime::toSec(rec.arrival), 2),
+                          Table::cell(simtime::toSec(rec.responseTime()), 3),
+                          Table::cell(simtime::toSec(rec.waitTime()), 3),
+                          Table::cell(std::int64_t(rec.preemptions))});
+            csv.addRow({Table::cell(std::int64_t(rec.eventIndex)),
+                        rec.appName, Table::cell(std::int64_t(rec.batch)),
+                        Table::cell(std::int64_t(rec.priority)),
+                        Table::cell(simtime::toSec(rec.arrival), 3),
+                        Table::cell(simtime::toSec(rec.responseTime()), 4),
+                        Table::cell(simtime::toSec(rec.waitTime()), 4),
+                        Table::cell(std::int64_t(rec.preemptions))});
+        }
+        table.print();
+
+        std::printf("\nmakespan %.2f s | %llu passes | %llu reconfigs | "
+                    "%llu preemptions honored | %llu stall rescues\n",
+                    simtime::toSec(result.makespan),
+                    static_cast<unsigned long long>(
+                        result.hypervisorStats.schedulingPasses),
+                    static_cast<unsigned long long>(
+                        result.hypervisorStats.configuresIssued),
+                    static_cast<unsigned long long>(
+                        result.hypervisorStats.preemptionsHonored),
+                    static_cast<unsigned long long>(
+                        result.hypervisorStats.stallRescues));
+
+        if (timeline && result.timeline) {
+            std::printf("\n%s",
+                        result.timeline
+                            ->renderAscii(slots, 0, result.makespan, 100)
+                            .c_str());
+        }
+        if (!csv_out.empty() && csv.writeFile(csv_out))
+            std::printf("csv written to %s\n", csv_out.c_str());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Visualizing how the schedulers use the board: record the slot timeline
+ * of one contended workload under two schedulers and render ASCII Gantt
+ * charts side by side ('R' reconfiguring, '#' executing, '=' occupied but
+ * waiting, '.' free).
+ *
+ * The contrast makes the paper's §3.2 argument visible: the baseline
+ * leaves most of the board dark while one app runs; Nimblock keeps slots
+ * executing by pipelining batches across slots and preempting
+ * over-consumers.
+ */
+
+#include <cstdio>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "sim/logging.hh"
+
+using namespace nimblock;
+
+int
+main()
+{
+    setQuiet(true);
+    AppRegistry registry = standardRegistry();
+
+    EventSequence seq;
+    seq.name = "viz";
+    seq.events = {
+        WorkloadEvent{0, "optical_flow", 8, Priority::Low, 0},
+        WorkloadEvent{1, "lenet", 6, Priority::High, simtime::ms(300)},
+        WorkloadEvent{2, "image_compression", 10, Priority::Medium,
+                      simtime::ms(600)},
+        WorkloadEvent{3, "3d_rendering", 6, Priority::Low, simtime::ms(900)},
+    };
+
+    for (const char *sched : {"baseline", "nimblock"}) {
+        SystemConfig cfg;
+        cfg.scheduler = sched;
+        cfg.recordTimeline = true;
+        RunResult result = Simulation(cfg, registry).run(seq);
+
+        std::printf("=== %s (makespan %.2f s) ===\n", sched,
+                    simtime::toSec(result.makespan));
+        std::printf("%s", result.timeline
+                              ->renderAscii(cfg.fabric.numSlots, 0,
+                                            result.makespan, 72)
+                              .c_str());
+
+        double util = 0;
+        for (SlotId s = 0; s < cfg.fabric.numSlots; ++s) {
+            util += result.timeline->executeUtilization(s, 0,
+                                                        result.makespan);
+        }
+        std::printf("mean execute utilization: %.1f%%\n\n",
+                    util / cfg.fabric.numSlots * 100.0);
+    }
+
+    std::printf("'#' density shows Nimblock extracting parallelism the "
+                "no-sharing baseline leaves on the table.\n");
+    return 0;
+}

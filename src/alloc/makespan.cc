@@ -1,0 +1,202 @@
+#include "alloc/makespan.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+namespace {
+
+/**
+ * Greedy list-scheduling simulator.
+ *
+ * Mirrors the hypervisor's execution engine without external contention:
+ * tasks are configured greedily in topological order whenever a slot and
+ * the (serialized) reconfiguration port are available, and process batch
+ * items as their inputs arrive.
+ */
+class MakespanSim
+{
+  public:
+    MakespanSim(const TaskGraph &graph, const MakespanParams &p)
+        : _graph(graph), _p(p), _state(graph.numTasks()),
+          _slotsFree(p.slots)
+    {
+    }
+
+    SimTime
+    run()
+    {
+        scheduleReady();
+        _eq.run();
+        // Every task must have completed; otherwise the greedy policy
+        // deadlocked, which would be a bug in the readiness rules.
+        for (std::size_t t = 0; t < _graph.numTasks(); ++t) {
+            if (_state[t].phase != Phase::Done)
+                panic("makespan estimator stalled on task %zu", t);
+        }
+        return _makespan;
+    }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        Configuring,
+        Resident,
+        Done,
+    };
+
+    struct TaskState
+    {
+        Phase phase = Phase::Idle;
+        int itemsDone = 0;
+        bool executing = false;
+    };
+
+    bool
+    inputsReady(TaskId t, int item) const
+    {
+        for (TaskId p : _graph.predecessors(t)) {
+            if (_state[p].itemsDone <= item)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    predsFullyDone(TaskId t) const
+    {
+        for (TaskId p : _graph.predecessors(t)) {
+            if (_state[p].itemsDone < _p.batch)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    readyToConfigure(TaskId t) const
+    {
+        if (_state[t].phase != Phase::Idle)
+            return false;
+        return _p.pipelined ? inputsReady(t, _state[t].itemsDone)
+                            : predsFullyDone(t);
+    }
+
+    /** Configure as many ready tasks as slots and the CAP permit. */
+    void
+    scheduleReady()
+    {
+        while (_slotsFree > 0 && !_capBusy) {
+            TaskId pick = kTaskNone;
+            for (TaskId t : _graph.topoOrder()) {
+                if (readyToConfigure(t)) {
+                    pick = t;
+                    break;
+                }
+            }
+            if (pick == kTaskNone)
+                return;
+            _state[pick].phase = Phase::Configuring;
+            --_slotsFree;
+            _capBusy = true;
+            _eq.scheduleAfter(_p.reconfigLatency, "cfg", [this, pick] {
+                _capBusy = false;
+                _state[pick].phase = Phase::Resident;
+                tryStartItem(pick);
+                scheduleReady();
+            });
+        }
+    }
+
+    SimTime
+    itemLatency(TaskId t) const
+    {
+        const TaskSpec &spec = _graph.task(t);
+        SimTime lat = spec.schedulerItemLatency();
+        if (_p.psBandwidthBytesPerSec > 0) {
+            double bytes = static_cast<double>(spec.inputBytes) +
+                           static_cast<double>(spec.outputBytes);
+            lat += simtime::secF(bytes / _p.psBandwidthBytesPerSec);
+        }
+        return lat;
+    }
+
+    void
+    tryStartItem(TaskId t)
+    {
+        TaskState &st = _state[t];
+        if (st.phase != Phase::Resident || st.executing)
+            return;
+        if (st.itemsDone >= _p.batch || !inputsReady(t, st.itemsDone))
+            return;
+        st.executing = true;
+        _eq.scheduleAfter(itemLatency(t), "item",
+                          [this, t] { onItemDone(t); });
+    }
+
+    void
+    onItemDone(TaskId t)
+    {
+        TaskState &st = _state[t];
+        st.executing = false;
+        ++st.itemsDone;
+        _makespan = std::max(_makespan, _eq.now());
+
+        if (st.itemsDone >= _p.batch) {
+            st.phase = Phase::Done;
+            ++_slotsFree;
+            // A freed slot may admit the next task.
+            scheduleReady();
+        } else {
+            tryStartItem(t);
+        }
+
+        // Newly produced output may unblock resident successors or make
+        // idle successors configurable.
+        for (TaskId s : _graph.successors(t))
+            tryStartItem(s);
+        scheduleReady();
+    }
+
+    const TaskGraph &_graph;
+    const MakespanParams &_p;
+    EventQueue _eq;
+    std::vector<TaskState> _state;
+    std::size_t _slotsFree;
+    bool _capBusy = false;
+    SimTime _makespan = 0;
+};
+
+} // namespace
+
+SimTime
+estimateMakespan(const TaskGraph &graph, const MakespanParams &params)
+{
+    if (params.batch < 1)
+        fatal("makespan estimation needs batch >= 1");
+    if (params.slots < 1)
+        fatal("makespan estimation needs at least one slot");
+    if (!graph.validated())
+        fatal("makespan estimation needs a validated graph");
+    MakespanSim sim(graph, params);
+    return sim.run();
+}
+
+SimTime
+singleSlotLatency(const TaskGraph &graph, int batch, SimTime reconfig_latency,
+                  double ps_bandwidth_bytes_per_sec)
+{
+    MakespanParams p;
+    p.batch = batch;
+    p.slots = 1;
+    p.pipelined = false;
+    p.reconfigLatency = reconfig_latency;
+    p.psBandwidthBytesPerSec = ps_bandwidth_bytes_per_sec;
+    return estimateMakespan(graph, p);
+}
+
+} // namespace nimblock

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pipelined makespan estimation — the ILP substitute.
+ *
+ * The paper leverages DML's Gurobi ILP to estimate application makespan
+ * across slot counts and batch sizes, inserting partial-reconfiguration
+ * nodes between compute nodes (§4.2). We replace the proprietary solver
+ * with a deterministic greedy list-scheduling simulation over the same
+ * model: k slots, one reconfiguration in flight at a time, per-item
+ * latencies from the HLS estimates, and optional cross-batch pipelining.
+ * Saturation analysis only needs the *knee* of the makespan-vs-slots
+ * curve, which the greedy estimate locates reliably.
+ */
+
+#ifndef NIMBLOCK_ALLOC_MAKESPAN_HH
+#define NIMBLOCK_ALLOC_MAKESPAN_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+#include "taskgraph/task_graph.hh"
+
+namespace nimblock {
+
+/** Inputs to makespan estimation. */
+struct MakespanParams
+{
+    /** Batch size (independent inputs); must be >= 1. */
+    int batch = 1;
+
+    /** Number of slots available; must be >= 1. */
+    std::size_t slots = 1;
+
+    /** Whether tasks may pipeline across batch items. */
+    bool pipelined = true;
+
+    /** Uniform per-slot reconfiguration latency (SD + CAP warm path). */
+    SimTime reconfigLatency = simtime::ms(80);
+
+    /** PS bandwidth for per-item input/output transfers. */
+    double psBandwidthBytesPerSec = 1e9;
+};
+
+/**
+ * Estimate the makespan of @p graph under @p params with no external
+ * contention: time from the first reconfiguration request to the last
+ * batch item retiring.
+ */
+SimTime estimateMakespan(const TaskGraph &graph, const MakespanParams &params);
+
+/**
+ * Single-slot latency (§5.4): the latency of the application when given a
+ * single slot to execute on with no resource contention or waiting times.
+ * Used as the unit for deadline scaling factors.
+ */
+SimTime singleSlotLatency(const TaskGraph &graph, int batch,
+                          SimTime reconfig_latency,
+                          double ps_bandwidth_bytes_per_sec = 1e9);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_ALLOC_MAKESPAN_HH

@@ -1,0 +1,69 @@
+#include "alloc/saturation.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+SaturationAnalysis
+analyzeSaturation(const TaskGraph &graph, int batch, std::size_t max_slots,
+                  MakespanParams params, double improve_threshold)
+{
+    if (max_slots == 0)
+        fatal("saturation analysis needs at least one slot");
+
+    SaturationAnalysis out;
+    out.makespans.reserve(max_slots);
+    for (std::size_t k = 1; k <= max_slots; ++k) {
+        params.slots = k;
+        out.makespans.push_back(estimateMakespan(graph, params));
+    }
+
+    // The saturation point is the last slot count whose *next* slot still
+    // buys a meaningful (>= threshold) improvement; equivalently the
+    // smallest k where improvement k -> k+1 falls below the threshold.
+    out.saturationPoint = max_slots;
+    for (std::size_t k = 1; k < max_slots; ++k) {
+        double before = static_cast<double>(out.makespans[k - 1]);
+        double after = static_cast<double>(out.makespans[k]);
+        double improvement = before <= 0 ? 0.0 : (before - after) / before;
+        if (improvement < improve_threshold) {
+            out.saturationPoint = k;
+            break;
+        }
+    }
+    (void)batch;
+    return out;
+}
+
+GoalNumberCache::GoalNumberCache(std::size_t max_slots, MakespanParams params,
+                                 double improve_threshold)
+    : _maxSlots(max_slots), _params(params), _threshold(improve_threshold)
+{
+    if (max_slots == 0)
+        fatal("goal-number cache needs at least one slot");
+}
+
+const SaturationAnalysis &
+GoalNumberCache::analysis(const AppSpec &app, int batch)
+{
+    auto key = std::make_pair(app.name(), batch);
+    auto it = _cache.find(key);
+    if (it == _cache.end()) {
+        MakespanParams p = _params;
+        p.batch = batch;
+        p.pipelined = p.pipelined && app.pipelineAcrossBatch();
+        it = _cache
+                 .emplace(key, analyzeSaturation(app.graph(), batch,
+                                                 _maxSlots, p, _threshold))
+                 .first;
+    }
+    return it->second;
+}
+
+std::size_t
+GoalNumberCache::goalNumber(const AppSpec &app, int batch)
+{
+    return analysis(app, batch).saturationPoint;
+}
+
+} // namespace nimblock

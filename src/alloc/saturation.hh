@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Saturation-point analysis and goal numbers (§4.2).
+ *
+ * "The saturation point of an application [is] the point at which
+ * allocating additional slots results in no or marginal performance
+ * improvements." Nimblock allocates up to the goal number of slots per
+ * candidate before handing out surplus slots by age.
+ *
+ * On the board this analysis runs off the critical path while bitstreams
+ * are generated; here a GoalNumberCache memoizes results per
+ * (application, batch) so the scheduler's reallocation step stays cheap.
+ */
+
+#ifndef NIMBLOCK_ALLOC_SATURATION_HH
+#define NIMBLOCK_ALLOC_SATURATION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/makespan.hh"
+#include "apps/app_spec.hh"
+
+namespace nimblock {
+
+/** Result of sweeping slot counts for one (app, batch) pair. */
+struct SaturationAnalysis
+{
+    /** makespans[k-1] = estimated makespan with k slots, k = 1..maxSlots. */
+    std::vector<SimTime> makespans;
+
+    /**
+     * Smallest slot count beyond which the next slot improves makespan by
+     * less than the analysis threshold.
+     */
+    std::size_t saturationPoint = 1;
+};
+
+/**
+ * Sweep slot allocations from 1 to @p max_slots and locate the saturation
+ * point.
+ *
+ * @param graph             Application task graph.
+ * @param batch             Batch size of the arrival.
+ * @param max_slots         Number of slots in the system.
+ * @param params            Timing parameters (slots field is overwritten).
+ * @param improve_threshold Relative improvement below which an extra slot
+ *                          is considered marginal.
+ */
+SaturationAnalysis analyzeSaturation(const TaskGraph &graph, int batch,
+                                     std::size_t max_slots,
+                                     MakespanParams params,
+                                     double improve_threshold = 0.03);
+
+/**
+ * Memoizing wrapper used by the Nimblock scheduler.
+ *
+ * Goal numbers depend only on (application name, batch size) for fixed
+ * fabric timing, so results are cached across arrivals.
+ */
+class GoalNumberCache
+{
+  public:
+    /**
+     * @param max_slots Number of slots in the system.
+     * @param params    Timing parameters shared by all queries.
+     * @param improve_threshold Saturation threshold.
+     */
+    GoalNumberCache(std::size_t max_slots, MakespanParams params,
+                    double improve_threshold = 0.03);
+
+    /** Goal number for @p app at @p batch. */
+    std::size_t goalNumber(const AppSpec &app, int batch);
+
+    /** Full sweep for @p app at @p batch (cached). */
+    const SaturationAnalysis &analysis(const AppSpec &app, int batch);
+
+    /** Number of distinct (app, batch) pairs analyzed. */
+    std::size_t size() const { return _cache.size(); }
+
+  private:
+    std::size_t _maxSlots;
+    MakespanParams _params;
+    double _threshold;
+    std::map<std::pair<std::string, int>, SaturationAnalysis> _cache;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_ALLOC_SATURATION_HH

@@ -1,0 +1,18 @@
+#include "apps/app_spec.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+AppSpec::AppSpec(std::string name, std::string short_name, TaskGraph graph,
+                 bool pipeline_across_batch)
+    : _name(std::move(name)), _shortName(std::move(short_name)),
+      _graph(std::move(graph)), _pipelineAcrossBatch(pipeline_across_batch)
+{
+    if (_name.empty())
+        fatal("application needs a name");
+    if (!_graph.validated())
+        fatal("application '%s' graph must be validated", _name.c_str());
+}
+
+} // namespace nimblock

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Static description of a schedulable application.
+ *
+ * An AppSpec bundles what the paper ships to the hypervisor with each
+ * application: the partitioned task graph, per-task HLS performance
+ * estimates (inside TaskSpec), and identification. Batch size and priority
+ * are per-arrival properties and live in WorkloadEvent, not here.
+ */
+
+#ifndef NIMBLOCK_APPS_APP_SPEC_HH
+#define NIMBLOCK_APPS_APP_SPEC_HH
+
+#include <memory>
+#include <string>
+
+#include "taskgraph/task_graph.hh"
+
+namespace nimblock {
+
+/** A named, validated application task graph. */
+class AppSpec
+{
+  public:
+    /**
+     * @param name       Unique full name, e.g. "optical_flow".
+     * @param short_name Paper abbreviation, e.g. "OF".
+     * @param graph      Validated task graph.
+     * @param pipeline_across_batch Whether the partition permits
+     *        different batch items to be in flight in different tasks
+     *        simultaneously. Kernels with cross-item state (e.g. the KNN
+     *        digit recognition, whose Table 3 response under Nimblock
+     *        equals its single-slot latency) must disable this; the
+     *        scheduler then treats the application as bulk-only.
+     */
+    AppSpec(std::string name, std::string short_name, TaskGraph graph,
+            bool pipeline_across_batch = true);
+
+    const std::string &name() const { return _name; }
+    const std::string &shortName() const { return _shortName; }
+    const TaskGraph &graph() const { return _graph; }
+
+    /** True when cross-batch pipelining is permitted for this app. */
+    bool pipelineAcrossBatch() const { return _pipelineAcrossBatch; }
+
+    std::size_t numTasks() const { return _graph.numTasks(); }
+    std::size_t numEdges() const { return _graph.numEdges(); }
+
+  private:
+    std::string _name;
+    std::string _shortName;
+    TaskGraph _graph;
+    bool _pipelineAcrossBatch;
+};
+
+/** Shared handle type used throughout the runtime. */
+using AppSpecPtr = std::shared_ptr<const AppSpec>;
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_APPS_APP_SPEC_HH

@@ -1,0 +1,159 @@
+#include "apps/benchmarks.hh"
+
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+
+namespace nimblock {
+namespace benchmarks {
+
+namespace {
+
+/**
+ * Build a chain-shaped benchmark.
+ *
+ * @param latencies_ms  Per-task per-item latencies in milliseconds.
+ * @param io_bytes      Input/output bytes per item for every task.
+ */
+AppSpecPtr
+makeChain(const std::string &name, const std::string &short_name,
+          const std::vector<double> &latencies_ms, std::uint64_t io_bytes)
+{
+    GraphBuilder b;
+    std::vector<TaskId> prev;
+    for (std::size_t i = 0; i < latencies_ms.size(); ++i) {
+        TaskSpec spec;
+        spec.name = formatMessage("%s_t%zu", short_name.c_str(), i);
+        spec.itemLatency = simtime::msF(latencies_ms[i]);
+        spec.inputBytes = io_bytes;
+        spec.outputBytes = io_bytes;
+        TaskId id = b.addTask(std::move(spec));
+        if (!prev.empty())
+            b.edge(prev.back(), id);
+        prev.push_back(id);
+    }
+    return std::make_shared<AppSpec>(name, short_name, b.build());
+}
+
+} // namespace
+
+AppSpecPtr
+lenet()
+{
+    // Three two-layer groups (conv+pool, conv+pool, conv+fc); execution
+    // time at batch 5 calibrates to Table 3's 0.73 s.
+    static AppSpecPtr spec =
+        makeChain("lenet", "LN", {55.0, 49.0, 42.0}, 256 << 10);
+    return spec;
+}
+
+AppSpecPtr
+alexnet()
+{
+    static AppSpecPtr spec = [] {
+        // Stage widths and per-item stage latencies (ms). Widths sum to 38
+        // tasks with 184 all-to-all edges (Table 2, Figure 4); latencies
+        // sum to 12.5 s so execution at batch 5 calibrates to Table 3's
+        // ~65 s.
+        const std::vector<std::size_t> widths = {1, 4, 4, 8, 8, 4, 4, 4, 1};
+        const std::vector<double> stage_ms = {2400, 1600, 800,  1900, 1860,
+                                              1400, 1200, 900,  900};
+        const std::vector<std::string> stage_names = {
+            "conv1", "conv2", "pool2", "conv3", "conv4",
+            "conv5", "fc1",   "fc2",   "fc3"};
+
+        GraphBuilder b;
+        std::vector<TaskId> prev;
+        for (std::size_t s = 0; s < widths.size(); ++s) {
+            std::vector<TaskId> cur;
+            for (std::size_t i = 0; i < widths[s]; ++i) {
+                TaskSpec spec;
+                spec.name =
+                    formatMessage("AN_%s_%zu", stage_names[s].c_str(), i);
+                spec.itemLatency = simtime::msF(stage_ms[s]);
+                spec.inputBytes = 1 << 20;
+                spec.outputBytes = 1 << 20;
+                TaskId id = b.addTask(std::move(spec));
+                for (TaskId p : prev)
+                    b.edge(p, id);
+                cur.push_back(id);
+            }
+            prev = std::move(cur);
+        }
+        return std::make_shared<AppSpec>("alexnet", "AN", b.build());
+    }();
+    return spec;
+}
+
+AppSpecPtr
+imageCompression()
+{
+    // Six-stage pipeline (color transform, DCT, quantize, zigzag, RLE,
+    // entropy coding); batch-5 execution calibrates to Table 3's 0.56 s.
+    static AppSpecPtr spec = makeChain(
+        "image_compression", "IMGC",
+        {20.0, 22.0, 18.0, 16.0, 20.0, 16.0}, 512 << 10);
+    return spec;
+}
+
+AppSpecPtr
+opticalFlow()
+{
+    // Rosetta's nine-stage gradient/outer-product/tensor pipeline;
+    // batch-5 execution calibrates to Table 3's 22.91 s.
+    static AppSpecPtr spec = makeChain(
+        "optical_flow", "OF",
+        {560.0, 480.0, 520.0, 500.0, 540.0, 470.0, 510.0, 490.0, 510.0},
+        2 << 20);
+    return spec;
+}
+
+AppSpecPtr
+rendering3d()
+{
+    // Projection / rasterization / z-buffer chain; batch-5 execution
+    // calibrates to Table 3's 1.55 s.
+    static AppSpecPtr spec =
+        makeChain("3d_rendering", "3DR", {110.0, 105.0, 95.0}, 256 << 10);
+    return spec;
+}
+
+AppSpecPtr
+digitRecognition()
+{
+    // Rosetta's KNN digit recognition; the paper's long-running outlier
+    // (984 s at batch 5). Three tasks in a chain. The KNN partition
+    // carries cross-item voting state, so batch items cannot be in
+    // flight in different tasks simultaneously — visible in the paper's
+    // Table 3, where DR's response under Nimblock (986.86 s) matches its
+    // single-slot latency (984.23 s) while other benchmarks compress.
+    static AppSpecPtr spec = [] {
+        GraphBuilder b;
+        std::vector<TaskId> prev;
+        const std::vector<double> lat_ms = {70000.0, 65000.0, 61800.0};
+        for (std::size_t i = 0; i < lat_ms.size(); ++i) {
+            TaskSpec t;
+            t.name = formatMessage("DR_t%zu", i);
+            t.itemLatency = simtime::msF(lat_ms[i]);
+            t.inputBytes = 128 << 10;
+            t.outputBytes = 128 << 10;
+            TaskId id = b.addTask(std::move(t));
+            if (!prev.empty())
+                b.edge(prev.back(), id);
+            prev.push_back(id);
+        }
+        return std::make_shared<AppSpec>("digit_recognition", "DR",
+                                         b.build(),
+                                         /*pipeline_across_batch=*/false);
+    }();
+    return spec;
+}
+
+std::vector<AppSpecPtr>
+all()
+{
+    return {lenet(),      alexnet(),     imageCompression(),
+            opticalFlow(), rendering3d(), digitRecognition()};
+}
+
+} // namespace benchmarks
+} // namespace nimblock

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The six benchmark applications from the paper's evaluation (§5.1).
+ *
+ * Graph shapes reproduce Table 2 exactly (task and edge counts); per-item
+ * latencies are calibrated so the no-sharing baseline's execution times at
+ * batch size 5 approximate Table 3. The three Rosetta benchmarks
+ * (3D rendering, digit recognition, optical flow) and the three custom
+ * benchmarks (LeNet, AlexNet, image compression) are modeled as
+ * feed-forward DAGs exactly as the paper describes.
+ */
+
+#ifndef NIMBLOCK_APPS_BENCHMARKS_HH
+#define NIMBLOCK_APPS_BENCHMARKS_HH
+
+#include <vector>
+
+#include "apps/app_spec.hh"
+
+namespace nimblock {
+namespace benchmarks {
+
+/** LeNet (LN): 3 tasks, 2 edges — three two-layer groups in a chain. */
+AppSpecPtr lenet();
+
+/**
+ * AlexNet (AN): 38 tasks, 184 edges. Layers are split into identical
+ * parallel tasks with all-to-all stage connections (Figure 4). Stage
+ * widths are [1, 4, 4, 8, 8, 4, 4, 4, 1]:
+ * 1+4+4+8+8+4+4+4+1 = 38 nodes and
+ * 1*4+4*4+4*8+8*8+8*4+4*4+4*4+4*1 = 184 edges.
+ */
+AppSpecPtr alexnet();
+
+/** Image compression (IMGC): 6 tasks, 5 edges — a pipeline chain. */
+AppSpecPtr imageCompression();
+
+/** Optical flow (OF): 9 tasks, 8 edges — the Rosetta stage chain. */
+AppSpecPtr opticalFlow();
+
+/** 3D rendering (3DR): 3 tasks, 2 edges. */
+AppSpecPtr rendering3d();
+
+/** Digit recognition (DR): 3 tasks, 2 edges — the long-running KNN. */
+AppSpecPtr digitRecognition();
+
+/** All six benchmarks in the paper's Table 2 order. */
+std::vector<AppSpecPtr> all();
+
+} // namespace benchmarks
+} // namespace nimblock
+
+#endif // NIMBLOCK_APPS_BENCHMARKS_HH

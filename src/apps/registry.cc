@@ -1,0 +1,62 @@
+#include "apps/registry.hh"
+
+#include "apps/benchmarks.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+void
+AppRegistry::add(AppSpecPtr spec)
+{
+    if (!spec)
+        fatal("cannot register a null app spec");
+    auto [it, inserted] = _specs.emplace(spec->name(), std::move(spec));
+    if (!inserted)
+        fatal("duplicate application name '%s'", it->first.c_str());
+}
+
+bool
+AppRegistry::contains(const std::string &name) const
+{
+    return _specs.count(name) > 0;
+}
+
+AppSpecPtr
+AppRegistry::get(const std::string &name) const
+{
+    auto it = _specs.find(name);
+    if (it == _specs.end())
+        fatal("unknown application '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+AppRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_specs.size());
+    for (const auto &[name, spec] : _specs)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<AppSpecPtr>
+AppRegistry::specs() const
+{
+    std::vector<AppSpecPtr> out;
+    out.reserve(_specs.size());
+    for (const auto &[name, spec] : _specs)
+        out.push_back(spec);
+    return out;
+}
+
+AppRegistry
+standardRegistry()
+{
+    AppRegistry reg;
+    for (auto &spec : benchmarks::all())
+        reg.add(spec);
+    return reg;
+}
+
+} // namespace nimblock

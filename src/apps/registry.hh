@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Application registry: name -> AppSpec lookup.
+ *
+ * The hypervisor receives workload events by application name (the
+ * paper's testbed events carry "an application name, batch information,
+ * priority level, and arrival time"); the registry resolves names to
+ * specs. A registry pre-populated with the six paper benchmarks is
+ * available via standardRegistry().
+ */
+
+#ifndef NIMBLOCK_APPS_REGISTRY_HH
+#define NIMBLOCK_APPS_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app_spec.hh"
+
+namespace nimblock {
+
+/** Mutable collection of application specs keyed by name. */
+class AppRegistry
+{
+  public:
+    AppRegistry() = default;
+
+    /**
+     * Register a spec.
+     *
+     * fatal()s on duplicate names.
+     */
+    void add(AppSpecPtr spec);
+
+    /** True when @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Look up by name.
+     *
+     * fatal()s when absent — callers resolve workload events, and an
+     * unknown app name is a malformed workload.
+     */
+    AppSpecPtr get(const std::string &name) const;
+
+    /** All registered names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** All registered specs in name-sorted order. */
+    std::vector<AppSpecPtr> specs() const;
+
+    std::size_t size() const { return _specs.size(); }
+
+  private:
+    std::map<std::string, AppSpecPtr> _specs;
+};
+
+/** Registry containing the six paper benchmarks. */
+AppRegistry standardRegistry();
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_APPS_REGISTRY_HH

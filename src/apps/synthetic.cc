@@ -1,0 +1,104 @@
+#include "apps/synthetic.hh"
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+
+namespace nimblock {
+
+AppSpecPtr
+makeSyntheticApp(const std::string &name, const SyntheticAppConfig &cfg,
+                 Rng &rng)
+{
+    if (cfg.numTasks == 0)
+        fatal("synthetic app needs at least one task");
+    if (cfg.maxWidth == 0)
+        fatal("synthetic app needs positive max width");
+    if (cfg.minLatencyMs <= 0 || cfg.maxLatencyMs < cfg.minLatencyMs)
+        fatal("synthetic app has an invalid latency range");
+
+    GraphBuilder b;
+
+    // Partition tasks into layers of random width.
+    std::vector<std::vector<TaskId>> layers;
+    std::size_t remaining = cfg.numTasks;
+    std::size_t task_idx = 0;
+    while (remaining > 0) {
+        std::size_t width = std::min<std::size_t>(
+            remaining, static_cast<std::size_t>(rng.uniformInt(
+                           1, static_cast<std::int64_t>(cfg.maxWidth))));
+        std::vector<TaskId> layer;
+        for (std::size_t i = 0; i < width; ++i) {
+            TaskSpec spec;
+            spec.name = formatMessage("%s_t%zu", name.c_str(), task_idx++);
+            spec.itemLatency = simtime::msF(
+                rng.uniformDouble(cfg.minLatencyMs, cfg.maxLatencyMs));
+            spec.inputBytes = cfg.ioBytes;
+            spec.outputBytes = cfg.ioBytes;
+            layer.push_back(b.addTask(std::move(spec)));
+        }
+        layers.push_back(std::move(layer));
+        remaining -= width;
+    }
+
+    std::set<std::pair<TaskId, TaskId>> edges;
+    auto addEdge = [&](TaskId from, TaskId to) {
+        if (edges.emplace(from, to).second)
+            b.edge(from, to);
+    };
+
+    // Spanning connections: every non-first-layer task depends on a random
+    // task of the previous layer, keeping the DAG weakly connected and
+    // feed-forward.
+    for (std::size_t l = 1; l < layers.size(); ++l) {
+        for (TaskId t : layers[l]) {
+            const auto &prev = layers[l - 1];
+            addEdge(prev[rng.index(prev.size())], t);
+        }
+    }
+
+    // Extra random edges from any strictly earlier layer.
+    for (std::size_t l = 1; l < layers.size(); ++l) {
+        for (TaskId t : layers[l]) {
+            for (std::size_t e = 0; e < l; ++e) {
+                for (TaskId p : layers[e]) {
+                    if (rng.bernoulli(cfg.extraEdgeProb))
+                        addEdge(p, t);
+                }
+            }
+        }
+    }
+
+    return std::make_shared<AppSpec>(name, name, b.build());
+}
+
+AppSpecPtr
+withEstimateError(const AppSpec &spec, double error_fraction, Rng &rng)
+{
+    if (error_fraction < 0 || error_fraction >= 1)
+        fatal("estimate error fraction must be in [0, 1), got %f",
+              error_fraction);
+
+    const TaskGraph &src = spec.graph();
+    TaskGraph graph;
+    for (TaskId t = 0; t < src.numTasks(); ++t) {
+        TaskSpec task = src.task(t);
+        double factor =
+            rng.uniformDouble(1.0 - error_fraction, 1.0 + error_fraction);
+        task.estimatedItemLatency = std::max<SimTime>(
+            1, static_cast<SimTime>(
+                   static_cast<double>(task.itemLatency) * factor));
+        graph.addTask(std::move(task));
+    }
+    for (TaskId t = 0; t < src.numTasks(); ++t) {
+        for (TaskId s : src.successors(t))
+            graph.addEdge(t, s);
+    }
+    graph.validate();
+    return std::make_shared<AppSpec>(spec.name(), spec.shortName(),
+                                     std::move(graph),
+                                     spec.pipelineAcrossBatch());
+}
+
+} // namespace nimblock

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic application generator for stress/property testing.
+ *
+ * Generates random layered DAGs with controlled size, width, latency range
+ * and edge density. Used by tests (property sweeps over arbitrary graphs —
+ * the paper stresses that Nimblock is "a general solution applicable to
+ * applications with different characteristics") and by users who want to
+ * model their own workloads.
+ */
+
+#ifndef NIMBLOCK_APPS_SYNTHETIC_HH
+#define NIMBLOCK_APPS_SYNTHETIC_HH
+
+#include "apps/app_spec.hh"
+#include "sim/rng.hh"
+
+namespace nimblock {
+
+/** Parameters for synthetic app generation. */
+struct SyntheticAppConfig
+{
+    /** Total task count; must be >= 1. */
+    std::size_t numTasks = 8;
+
+    /** Maximum tasks per layer. */
+    std::size_t maxWidth = 4;
+
+    /** Per-item latency range (milliseconds). */
+    double minLatencyMs = 10.0;
+    double maxLatencyMs = 500.0;
+
+    /**
+     * Probability of each possible cross-layer edge beyond the spanning
+     * connection that keeps the graph weakly connected.
+     */
+    double extraEdgeProb = 0.3;
+
+    /** Per-item I/O bytes for every task. */
+    std::uint64_t ioBytes = 256 << 10;
+};
+
+/**
+ * Generate a random application.
+ *
+ * The graph is layered: tasks are partitioned into layers of random width
+ * (up to maxWidth); every non-first-layer task gets at least one
+ * predecessor in the previous layer, plus random extra edges from earlier
+ * layers with probability extraEdgeProb.
+ *
+ * @param name Name for the generated spec.
+ * @param cfg  Shape parameters.
+ * @param rng  Randomness source (consumed).
+ */
+AppSpecPtr makeSyntheticApp(const std::string &name,
+                            const SyntheticAppConfig &cfg, Rng &rng);
+
+/**
+ * Clone @p spec with perturbed scheduler-visible latency estimates.
+ *
+ * The hypervisor consumes HLS performance estimates (§4.1); real reports
+ * deviate from silicon. Every task's estimatedItemLatency is set to
+ * itemLatency x U(1 - error_fraction, 1 + error_fraction) while the true
+ * itemLatency is untouched, so experiments can measure scheduler
+ * robustness to estimate error.
+ *
+ * @param error_fraction Relative error bound in [0, 1).
+ */
+AppSpecPtr withEstimateError(const AppSpec &spec, double error_fraction,
+                             Rng &rng);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_APPS_SYNTHETIC_HH

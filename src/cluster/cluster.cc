@@ -1,0 +1,215 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(DispatchPolicy p)
+{
+    switch (p) {
+      case DispatchPolicy::RoundRobin:
+        return "round_robin";
+      case DispatchPolicy::LeastApps:
+        return "least_apps";
+      case DispatchPolicy::LeastLoaded:
+        return "least_loaded";
+    }
+    return "?";
+}
+
+Cluster::Cluster(EventQueue &eq, ClusterConfig cfg)
+    : _eq(eq), _cfg(std::move(cfg))
+{
+    if (_cfg.numBoards == 0)
+        fatal("cluster needs at least one board");
+    if (!_cfg.slotsPerBoard.empty() &&
+        _cfg.slotsPerBoard.size() != _cfg.numBoards)
+        fatal("slotsPerBoard has %zu entries for %zu boards",
+              _cfg.slotsPerBoard.size(), _cfg.numBoards);
+    _boards.resize(_cfg.numBoards);
+    for (std::size_t i = 0; i < _boards.size(); ++i) {
+        Board &b = _boards[i];
+        FabricConfig fabric_cfg = _cfg.board.fabric;
+        if (!_cfg.slotsPerBoard.empty())
+            fabric_cfg.numSlots = _cfg.slotsPerBoard[i];
+        b.fabric = std::make_unique<Fabric>(_eq, fabric_cfg);
+        b.scheduler = makeScheduler(_cfg.board.scheduler);
+        b.collector = std::make_unique<MetricsCollector>();
+        b.hypervisor = std::make_unique<Hypervisor>(
+            _eq, *b.fabric, *b.scheduler, *b.collector,
+            _cfg.board.hypervisor);
+    }
+}
+
+Hypervisor &
+Cluster::board(std::size_t i)
+{
+    if (i >= _boards.size())
+        panic("board index %zu out of range", i);
+    return *_boards[i].hypervisor;
+}
+
+const MetricsCollector &
+Cluster::collector(std::size_t i) const
+{
+    if (i >= _boards.size())
+        panic("board index %zu out of range", i);
+    return *_boards[i].collector;
+}
+
+double
+Cluster::loadOf(std::size_t i)
+{
+    Hypervisor &hyp = *_boards[i].hypervisor;
+    switch (_cfg.dispatch) {
+      case DispatchPolicy::RoundRobin:
+        return 0.0;
+      case DispatchPolicy::LeastApps:
+        return static_cast<double>(hyp.liveCount());
+      case DispatchPolicy::LeastLoaded: {
+        double load = 0.0;
+        for (AppInstance *app : hyp.liveApps())
+            load += simtime::toSec(hyp.estimatedSingleSlotLatency(*app));
+        // Normalize by capacity so a big board absorbs proportionally
+        // more work in heterogeneous clusters.
+        return load / static_cast<double>(_boards[i].fabric->numSlots());
+      }
+    }
+    return 0.0;
+}
+
+int
+Cluster::pickBoard()
+{
+    if (_cfg.dispatch == DispatchPolicy::RoundRobin) {
+        int pick = static_cast<int>(_rrNext);
+        _rrNext = (_rrNext + 1) % _boards.size();
+        return pick;
+    }
+    std::size_t best = 0;
+    double best_load = loadOf(0);
+    for (std::size_t i = 1; i < _boards.size(); ++i) {
+        double load = loadOf(i);
+        if (load < best_load) {
+            best = i;
+            best_load = load;
+        }
+    }
+    return static_cast<int>(best);
+}
+
+int
+Cluster::submit(const AppRegistry &registry, const WorkloadEvent &event)
+{
+    int board_idx = pickBoard();
+    _boards[static_cast<std::size_t>(board_idx)].hypervisor->submit(
+        registry.get(event.appName), event.batch, event.priority,
+        event.index);
+    return board_idx;
+}
+
+void
+Cluster::start()
+{
+    for (auto &b : _boards)
+        b.hypervisor->start();
+}
+
+void
+Cluster::stop()
+{
+    for (auto &b : _boards)
+        b.hypervisor->stop();
+}
+
+std::size_t
+Cluster::retiredCount() const
+{
+    std::size_t n = 0;
+    for (const auto &b : _boards)
+        n += b.collector->count();
+    return n;
+}
+
+ClusterSimulation::ClusterSimulation(ClusterConfig cfg, AppRegistry registry)
+    : _cfg(std::move(cfg)), _registry(std::move(registry))
+{
+}
+
+ClusterRunResult
+ClusterSimulation::run(const EventSequence &seq)
+{
+    seq.validate();
+    if (seq.events.empty())
+        fatal("cannot run an empty event sequence");
+
+    EventQueue eq;
+    Cluster cluster(eq, _cfg);
+
+    ClusterRunResult result;
+    result.boardOfEvent.assign(seq.events.size(), -1);
+    result.eventsPerBoard.assign(_cfg.numBoards, 0);
+
+    SimTime total_work = 0;
+    for (const WorkloadEvent &e : seq.events) {
+        total_work +=
+            _cfg.board.singleSlotLatency(*_registry.get(e.appName), e.batch);
+    }
+    SimTime horizon =
+        seq.lastArrival() +
+        static_cast<SimTime>(_cfg.board.horizonFactor *
+                             static_cast<double>(total_work)) +
+        simtime::sec(60);
+
+    for (const WorkloadEvent &e : seq.events) {
+        eq.schedule(e.arrival, "cluster_arrival:" + e.appName,
+                    [&cluster, &result, this, e] {
+                        int b = cluster.submit(_registry, e);
+                        result.boardOfEvent[static_cast<std::size_t>(
+                            e.index)] = b;
+                        ++result.eventsPerBoard[static_cast<std::size_t>(b)];
+                    });
+    }
+
+    cluster.start();
+    bool stopped = false;
+    while (!eq.empty()) {
+        if (!eq.step())
+            break;
+        if (!stopped && cluster.retiredCount() == seq.events.size()) {
+            cluster.stop();
+            stopped = true;
+        }
+        if (eq.now() > horizon) {
+            fatal("cluster stalled on sequence '%s': %zu/%zu apps retired",
+                  seq.name.c_str(), cluster.retiredCount(),
+                  seq.events.size());
+        }
+    }
+    if (cluster.retiredCount() != seq.events.size()) {
+        fatal("cluster run ended with %zu/%zu applications retired",
+              cluster.retiredCount(), seq.events.size());
+    }
+
+    for (std::size_t i = 0; i < _cfg.numBoards; ++i) {
+        const auto &records = cluster.collector(i).records();
+        result.records.insert(result.records.end(), records.begin(),
+                              records.end());
+        result.boardStats.push_back(cluster.board(i).stats());
+    }
+    std::sort(result.records.begin(), result.records.end(),
+              [](const AppRecord &a, const AppRecord &b) {
+                  if (a.retire != b.retire)
+                      return a.retire < b.retire;
+                  return a.eventIndex < b.eventIndex;
+              });
+    for (const AppRecord &r : result.records)
+        result.makespan = std::max(result.makespan, r.retire);
+    return result;
+}
+
+} // namespace nimblock

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Multi-FPGA scale-out (§1's second virtualization feature).
+ *
+ * A Cluster aggregates several independent virtualized boards, each with
+ * its own fabric, hypervisor and scheduler instance. Arriving
+ * applications are placed onto one board by a dispatch policy; within a
+ * board, scheduling proceeds exactly as on a single device. This models
+ * the deployment the introduction motivates — "the illusion of an
+ * infinite, homogeneous, and reconfigurable fabric" — at the granularity
+ * the prototype supports (whole applications; task graphs do not span
+ * boards, which would require inter-board transport the paper leaves to
+ * future work).
+ */
+
+#ifndef NIMBLOCK_CLUSTER_CLUSTER_HH
+#define NIMBLOCK_CLUSTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "core/config.hh"
+#include "core/simulation.hh"
+#include "workload/event.hh"
+
+namespace nimblock {
+
+/** Application-to-board placement policy. */
+enum class DispatchPolicy
+{
+    RoundRobin,  //!< Rotate over boards regardless of load.
+    LeastApps,   //!< Fewest live applications.
+    LeastLoaded, //!< Smallest summed single-slot latency estimate.
+};
+
+/** Render a DispatchPolicy. */
+const char *toString(DispatchPolicy p);
+
+/** Cluster-wide configuration. */
+struct ClusterConfig
+{
+    /** Number of boards; must be >= 1. */
+    std::size_t numBoards = 2;
+
+    /** Per-board system configuration (scheduler, fabric, hypervisor). */
+    SystemConfig board;
+
+    /**
+     * Heterogeneous clusters (the Hetero-ViTAL direction, §6.1): slot
+     * count per board, overriding board.fabric.numSlots. Empty means a
+     * homogeneous cluster; otherwise the size must equal numBoards.
+     * LeastLoaded dispatch normalizes load by board capacity.
+     */
+    std::vector<std::size_t> slotsPerBoard;
+
+    DispatchPolicy dispatch = DispatchPolicy::LeastLoaded;
+};
+
+/** Outcome of a cluster run. */
+struct ClusterRunResult
+{
+    /** One record per event, in retirement order across all boards. */
+    std::vector<AppRecord> records;
+
+    /** Board index chosen for each event (indexed by event index). */
+    std::vector<int> boardOfEvent;
+
+    /** Per-board hypervisor statistics. */
+    std::vector<HypervisorStats> boardStats;
+
+    /** Retirement of the last application anywhere. */
+    SimTime makespan = 0;
+
+    /** Events dispatched to each board. */
+    std::vector<std::size_t> eventsPerBoard;
+};
+
+/**
+ * A set of virtualized boards sharing one simulated clock.
+ *
+ * Use ClusterSimulation for the end-to-end workflow; Cluster itself is
+ * the composable piece (tests drive it directly).
+ */
+class Cluster
+{
+  public:
+    Cluster(EventQueue &eq, ClusterConfig cfg);
+
+    std::size_t numBoards() const { return _boards.size(); }
+
+    /**
+     * Place and admit @p event's application.
+     *
+     * @return The chosen board index.
+     */
+    int submit(const AppRegistry &registry, const WorkloadEvent &event);
+
+    /** Start every board's scheduling-interval timer. */
+    void start();
+
+    /** Stop every board's timer. */
+    void stop();
+
+    /** Total applications retired across boards. */
+    std::size_t retiredCount() const;
+
+    /** Hypervisor of board @p i (tests and load probes). */
+    Hypervisor &board(std::size_t i);
+
+    /** Collector of board @p i. */
+    const MetricsCollector &collector(std::size_t i) const;
+
+    /** Current load figure used by the dispatch policy. */
+    double loadOf(std::size_t i);
+
+  private:
+    int pickBoard();
+
+    struct Board
+    {
+        std::unique_ptr<Fabric> fabric;
+        std::unique_ptr<Scheduler> scheduler;
+        std::unique_ptr<MetricsCollector> collector;
+        std::unique_ptr<Hypervisor> hypervisor;
+    };
+
+    EventQueue &_eq;
+    ClusterConfig _cfg;
+    std::vector<Board> _boards;
+    std::size_t _rrNext = 0;
+};
+
+/** End-to-end cluster run over an event sequence. */
+class ClusterSimulation
+{
+  public:
+    ClusterSimulation(ClusterConfig cfg, AppRegistry registry);
+
+    /** Execute @p seq to completion across the cluster. */
+    ClusterRunResult run(const EventSequence &seq);
+
+  private:
+    ClusterConfig _cfg;
+    AppRegistry _registry;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CLUSTER_CLUSTER_HH

@@ -1,0 +1,24 @@
+#include "core/config.hh"
+
+#include "alloc/makespan.hh"
+
+namespace nimblock {
+
+SimTime
+SystemConfig::reconfigLatency() const
+{
+    CapConfig cap = fabric.cap;
+    double seconds = static_cast<double>(fabric.defaultBitstreamBytes) /
+                     cap.bandwidthBytesPerSec;
+    return cap.fixedOverhead + simtime::secF(seconds);
+}
+
+SimTime
+SystemConfig::singleSlotLatency(const AppSpec &app, int batch) const
+{
+    return ::nimblock::singleSlotLatency(app.graph(), batch,
+                                         reconfigLatency(),
+                                         fabric.psBandwidthBytesPerSec);
+}
+
+} // namespace nimblock

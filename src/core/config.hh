@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Whole-system configuration: the public entry point's knob set.
+ */
+
+#ifndef NIMBLOCK_CORE_CONFIG_HH
+#define NIMBLOCK_CORE_CONFIG_HH
+
+#include <string>
+
+#include "apps/app_spec.hh"
+#include "fabric/fabric.hh"
+#include "hypervisor/hypervisor.hh"
+
+namespace nimblock {
+
+/** Configuration of one simulated Nimblock system. */
+struct SystemConfig
+{
+    /** Scheduler name (see sched/factory.hh). */
+    std::string scheduler = "nimblock";
+
+    FabricConfig fabric;
+    HypervisorConfig hypervisor;
+
+    /**
+     * Hard progress guard: multiplier on the workload's summed
+     * single-slot latency used as a simulation horizon. A run exceeding
+     * the horizon is reported as a scheduler stall.
+     */
+    double horizonFactor = 50.0;
+
+    /**
+     * Record every slot transition into RunResult::timeline (occupancy
+     * intervals, utilization, ASCII Gantt). Off by default: long runs
+     * generate many events.
+     */
+    bool recordTimeline = false;
+
+    /**
+     * The single-slot latency of @p app at @p batch under this
+     * configuration's fabric timing (deadline unit, §5.4).
+     */
+    SimTime singleSlotLatency(const AppSpec &app, int batch) const;
+
+    /** Warm per-slot reconfiguration latency under this configuration. */
+    SimTime reconfigLatency() const;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CORE_CONFIG_HH

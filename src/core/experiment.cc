@@ -1,0 +1,66 @@
+#include "core/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+std::vector<AppRecord>
+SchedulerResults::allRecords() const
+{
+    std::vector<AppRecord> out;
+    for (const RunResult &run : runs)
+        out.insert(out.end(), run.records.begin(), run.records.end());
+    return out;
+}
+
+ExperimentGrid::ExperimentGrid(SystemConfig cfg, AppRegistry registry)
+    : _cfg(std::move(cfg)), _registry(std::move(registry))
+{
+}
+
+std::map<std::string, SchedulerResults>
+ExperimentGrid::runAll(const std::vector<std::string> &schedulers,
+                       const std::vector<EventSequence> &sequences)
+{
+    std::map<std::string, SchedulerResults> out;
+    for (const std::string &name : schedulers) {
+        SchedulerResults results;
+        results.scheduler = name;
+        SystemConfig cfg = _cfg;
+        cfg.scheduler = name;
+        Simulation sim(cfg, _registry);
+        for (const EventSequence &seq : sequences)
+            results.runs.push_back(sim.run(seq));
+        out.emplace(name, std::move(results));
+    }
+    return out;
+}
+
+std::vector<EventComparison>
+ExperimentGrid::compare(const SchedulerResults &scheduler,
+                        const SchedulerResults &baseline)
+{
+    if (scheduler.runs.size() != baseline.runs.size())
+        fatal("comparing result sets over different sequence counts");
+    std::vector<EventComparison> out;
+    for (std::size_t i = 0; i < scheduler.runs.size(); ++i) {
+        auto seq_cmp = compareToBaseline(scheduler.runs[i].records,
+                                         baseline.runs[i].records);
+        out.insert(out.end(), seq_cmp.begin(), seq_cmp.end());
+    }
+    return out;
+}
+
+std::function<SimTime(const AppRecord &)>
+ExperimentGrid::deadlineUnit() const
+{
+    // Capture by value: the returned function outlives the grid in some
+    // callers, and the registry's specs are shared_ptrs anyway.
+    SystemConfig cfg = _cfg;
+    AppRegistry registry = _registry;
+    return [cfg, registry](const AppRecord &rec) {
+        return cfg.singleSlotLatency(*registry.get(rec.appName), rec.batch);
+    };
+}
+
+} // namespace nimblock

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment driver: runs (scheduler x sequence) grids and aggregates the
+ * paper's comparison statistics. Shared by every bench binary.
+ */
+
+#ifndef NIMBLOCK_CORE_EXPERIMENT_HH
+#define NIMBLOCK_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "metrics/analysis.hh"
+#include "metrics/deadline.hh"
+
+namespace nimblock {
+
+/** Results of one scheduler over a set of sequences. */
+struct SchedulerResults
+{
+    std::string scheduler;
+
+    /** One RunResult per sequence, in sequence order. */
+    std::vector<RunResult> runs;
+
+    /** All records across sequences. */
+    std::vector<AppRecord> allRecords() const;
+};
+
+/** A full (scheduler x sequence) grid. */
+class ExperimentGrid
+{
+  public:
+    /**
+     * @param cfg       Base configuration; the scheduler field is
+     *                  overridden per run.
+     * @param registry  Application registry.
+     */
+    ExperimentGrid(SystemConfig cfg, AppRegistry registry);
+
+    /**
+     * Run every scheduler over every sequence.
+     *
+     * @param schedulers Scheduler names; must include "baseline" if
+     *                   baseline-relative statistics are wanted.
+     * @param sequences  Event sequences (same stimuli for all algorithms,
+     *                   as in the paper).
+     */
+    std::map<std::string, SchedulerResults>
+    runAll(const std::vector<std::string> &schedulers,
+           const std::vector<EventSequence> &sequences);
+
+    /**
+     * Per-event comparisons of @p scheduler against @p baseline across
+     * all sequences (sequence i of one scheduler is compared with
+     * sequence i of the other).
+     */
+    static std::vector<EventComparison>
+    compare(const SchedulerResults &scheduler,
+            const SchedulerResults &baseline);
+
+    /** Deadline-unit function for deadlineSweep() under this config. */
+    std::function<SimTime(const AppRecord &)> deadlineUnit() const;
+
+    const SystemConfig &config() const { return _cfg; }
+    const AppRegistry &registry() const { return _registry; }
+
+  private:
+    SystemConfig _cfg;
+    AppRegistry _registry;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CORE_EXPERIMENT_HH

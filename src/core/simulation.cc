@@ -1,0 +1,103 @@
+#include "core/simulation.hh"
+
+#include <algorithm>
+
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Simulation::Simulation(SystemConfig cfg, AppRegistry registry)
+    : _cfg(std::move(cfg)), _registry(std::move(registry))
+{
+}
+
+RunResult
+Simulation::run(const EventSequence &seq)
+{
+    seq.validate();
+    if (seq.events.empty())
+        fatal("cannot run an empty event sequence");
+
+    EventQueue eq;
+    Fabric fabric(eq, _cfg.fabric);
+    auto scheduler = makeScheduler(_cfg.scheduler);
+    MetricsCollector collector;
+    Hypervisor hyp(eq, fabric, *scheduler, collector, _cfg.hypervisor);
+
+    std::shared_ptr<Timeline> timeline;
+    if (_cfg.recordTimeline) {
+        timeline = std::make_shared<Timeline>();
+        hyp.setTimeline(timeline.get());
+    }
+
+    // Progress horizon: generous multiple of the total serialized work.
+    SimTime total_work = 0;
+    for (const WorkloadEvent &e : seq.events) {
+        total_work +=
+            _cfg.singleSlotLatency(*_registry.get(e.appName), e.batch);
+    }
+    SimTime horizon =
+        seq.lastArrival() +
+        static_cast<SimTime>(_cfg.horizonFactor *
+                             static_cast<double>(total_work)) +
+        simtime::sec(60);
+
+    // Inject every event at its arrival time.
+    for (const WorkloadEvent &e : seq.events) {
+        AppSpecPtr spec = _registry.get(e.appName);
+        eq.schedule(e.arrival, "arrival:" + e.appName,
+                    [&hyp, spec, e] {
+                        hyp.submit(spec, e.batch, e.priority, e.index);
+                    });
+    }
+
+    hyp.start();
+
+    const std::size_t total_events = seq.events.size();
+    bool stopped = false;
+    while (!eq.empty()) {
+        if (!eq.step())
+            break;
+        if (!stopped && collector.count() == total_events) {
+            hyp.stop();
+            stopped = true;
+        }
+        if (eq.now() > horizon) {
+            fatal("scheduler '%s' stalled on sequence '%s': %zu/%zu apps "
+                  "retired at t=%s",
+                  _cfg.scheduler.c_str(), seq.name.c_str(),
+                  collector.count(), total_events,
+                  simtime::toString(eq.now()).c_str());
+        }
+    }
+
+    if (collector.count() != total_events) {
+        fatal("run ended with %zu/%zu applications retired",
+              collector.count(), total_events);
+    }
+
+    RunResult result;
+    result.scheduler = _cfg.scheduler;
+    result.sequenceName = seq.name;
+    result.records = collector.records();
+    result.hypervisorStats = hyp.stats();
+    if (auto *nb = dynamic_cast<NimblockScheduler *>(scheduler.get()))
+        result.nimblockStats = nb->nimblockStats();
+    result.eventsFired = eq.firedCount();
+    result.timeline = std::move(timeline);
+    for (const AppRecord &r : result.records)
+        result.makespan = std::max(result.makespan, r.retire);
+    return result;
+}
+
+RunResult
+runSequence(const std::string &scheduler_name, const EventSequence &sequence,
+            const AppRegistry &registry)
+{
+    SystemConfig cfg;
+    cfg.scheduler = scheduler_name;
+    return Simulation(cfg, registry).run(sequence);
+}
+
+} // namespace nimblock

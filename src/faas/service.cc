@@ -1,0 +1,190 @@
+#include "faas/service.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "stats/summary.hh"
+
+namespace nimblock {
+
+FaasService::FaasService(FaasConfig cfg) : _cfg(std::move(cfg))
+{
+    if (_cfg.duration <= 0)
+        fatal("FaaS deployment needs a positive duration");
+}
+
+void
+FaasService::deploy(FunctionLoad load)
+{
+    if (!load.function.app)
+        fatal("function '%s' needs a backing app",
+              load.function.name.c_str());
+    if (load.function.name.empty())
+        fatal("functions need names");
+    if (load.invocationsPerSec <= 0)
+        fatal("function '%s' needs a positive invocation rate",
+              load.function.name.c_str());
+    if (load.function.batch < 1)
+        fatal("function '%s' needs batch >= 1", load.function.name.c_str());
+    if (load.function.slaFactor <= 0)
+        fatal("function '%s' needs a positive SLA factor",
+              load.function.name.c_str());
+    for (const FunctionLoad &existing : _loads) {
+        if (existing.function.name == load.function.name)
+            fatal("duplicate function '%s'", load.function.name.c_str());
+    }
+    _loads.push_back(std::move(load));
+}
+
+std::vector<std::string>
+FaasService::functions() const
+{
+    std::vector<std::string> out;
+    for (const FunctionLoad &l : _loads)
+        out.push_back(l.function.name);
+    return out;
+}
+
+EventSequence
+FaasService::generateInvocations(const Rng &rng) const
+{
+    if (_loads.empty())
+        fatal("FaaS deployment has no functions");
+
+    struct Pending
+    {
+        SimTime arrival;
+        std::size_t load_idx;
+    };
+    std::vector<Pending> pending;
+
+    for (std::size_t i = 0; i < _loads.size(); ++i) {
+        const FunctionLoad &load = _loads[i];
+        Rng stream = rng.derive("faas/" + load.function.name);
+        double mean_gap_sec = 1.0 / load.invocationsPerSec;
+        SimTime t = 0;
+        for (;;) {
+            t += simtime::secF(stream.exponential(mean_gap_sec));
+            if (t > _cfg.duration)
+                break;
+            pending.push_back(Pending{t, i});
+        }
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending &a, const Pending &b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.load_idx < b.load_idx;
+              });
+
+    EventSequence seq;
+    seq.name = "faas";
+    seq.seed = rng.seed();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const FunctionSpec &fn = _loads[pending[i].load_idx].function;
+        WorkloadEvent e;
+        e.index = static_cast<int>(i);
+        e.appName = fn.app->name();
+        e.batch = fn.batch;
+        e.priority = fn.priority;
+        e.arrival = pending[i].arrival;
+        seq.events.push_back(std::move(e));
+    }
+    seq.validate();
+    return seq;
+}
+
+FaasRunResult
+FaasService::run(const Rng &rng) const
+{
+    EventSequence seq = generateInvocations(rng);
+    if (seq.events.empty())
+        fatal("the configured duration produced no invocations");
+
+    // Map event index -> function (several functions may share an app).
+    // Regenerate the assignment the same way generateInvocations did.
+    std::vector<const FunctionSpec *> fn_of_event;
+    {
+        struct Pending
+        {
+            SimTime arrival;
+            std::size_t load_idx;
+        };
+        std::vector<Pending> pending;
+        for (std::size_t i = 0; i < _loads.size(); ++i) {
+            Rng stream = rng.derive("faas/" + _loads[i].function.name);
+            double mean_gap_sec = 1.0 / _loads[i].invocationsPerSec;
+            SimTime t = 0;
+            for (;;) {
+                t += simtime::secF(stream.exponential(mean_gap_sec));
+                if (t > _cfg.duration)
+                    break;
+                pending.push_back(Pending{t, i});
+            }
+        }
+        std::sort(pending.begin(), pending.end(),
+                  [](const Pending &a, const Pending &b) {
+                      if (a.arrival != b.arrival)
+                          return a.arrival < b.arrival;
+                      return a.load_idx < b.load_idx;
+                  });
+        for (const Pending &p : pending)
+            fn_of_event.push_back(&_loads[p.load_idx].function);
+    }
+
+    AppRegistry registry;
+    for (const FunctionLoad &l : _loads) {
+        if (!registry.contains(l.function.app->name()))
+            registry.add(l.function.app);
+    }
+
+    Simulation sim(_cfg.system, registry);
+    FaasRunResult result;
+    result.run = sim.run(seq);
+
+    // Build invocation records joined by event index.
+    std::map<std::string, std::vector<const InvocationRecord *>> grouped;
+    result.invocations.reserve(result.run.records.size());
+    for (const AppRecord &rec : result.run.records) {
+        const FunctionSpec &fn =
+            *fn_of_event[static_cast<std::size_t>(rec.eventIndex)];
+        InvocationRecord inv;
+        inv.function = fn.name;
+        inv.submitted = rec.arrival;
+        inv.completed = rec.retire;
+        SimTime unit =
+            _cfg.system.singleSlotLatency(*fn.app, fn.batch);
+        inv.slaMet = inv.latency() <=
+                     static_cast<SimTime>(fn.slaFactor *
+                                          static_cast<double>(unit));
+        result.invocations.push_back(std::move(inv));
+    }
+    std::sort(result.invocations.begin(), result.invocations.end(),
+              [](const InvocationRecord &a, const InvocationRecord &b) {
+                  return a.submitted < b.submitted;
+              });
+
+    for (const InvocationRecord &inv : result.invocations)
+        grouped[inv.function].push_back(&inv);
+
+    for (const auto &[name, invs] : grouped) {
+        FunctionStats stats;
+        stats.function = name;
+        stats.invocations = invs.size();
+        Summary latency;
+        std::size_t met = 0;
+        for (const InvocationRecord *inv : invs) {
+            latency.add(simtime::toSec(inv->latency()));
+            met += inv->slaMet;
+        }
+        stats.meanLatencySec = latency.mean();
+        stats.p99LatencySec = latency.percentile(99);
+        stats.slaAttainment =
+            static_cast<double>(met) / static_cast<double>(invs.size());
+        stats.coldStartSec = simtime::toSec(invs.front()->latency());
+        result.perFunction[name] = stats;
+    }
+    return result;
+}
+
+} // namespace nimblock

@@ -1,0 +1,13 @@
+#include "fabric/bitstream.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+std::string
+BitstreamKey::toString() const
+{
+    return formatMessage("%s_t%u_s%u.bit", appName.c_str(), task, slot);
+}
+
+} // namespace nimblock

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Partial-bitstream identity and metadata.
+ *
+ * The paper's flow generates one partial bitstream per (task, slot) pair —
+ * for n slots each task has n bitstreams so any task can be placed in any
+ * slot (§2.2). Bitstream identity is therefore the triple
+ * (application, task, slot).
+ */
+
+#ifndef NIMBLOCK_FABRIC_BITSTREAM_HH
+#define NIMBLOCK_FABRIC_BITSTREAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "taskgraph/task.hh"
+
+namespace nimblock {
+
+/** Index of a slot on the fabric. */
+using SlotId = std::uint32_t;
+
+/** Sentinel slot id. */
+inline constexpr SlotId kSlotNone = UINT32_MAX;
+
+/** Identity of one partial bitstream file on the SD card. */
+struct BitstreamKey
+{
+    std::string appName; //!< Application (spec) name.
+    TaskId task = kTaskNone;
+    SlotId slot = kSlotNone;
+
+    bool operator==(const BitstreamKey &o) const = default;
+
+    /** Filename-style rendering for logs. */
+    std::string toString() const;
+};
+
+/** Hash functor so keys can live in unordered containers. */
+struct BitstreamKeyHash
+{
+    std::size_t
+    operator()(const BitstreamKey &k) const
+    {
+        std::size_t h = std::hash<std::string>{}(k.appName);
+        h ^= std::hash<std::uint64_t>{}(
+                 (static_cast<std::uint64_t>(k.task) << 32) | k.slot) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FABRIC_BITSTREAM_HH

@@ -1,0 +1,115 @@
+#include "fabric/bitstream_store.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+BitstreamStore::BitstreamStore(EventQueue &eq, BitstreamStoreConfig cfg)
+    : _eq(eq), _cfg(cfg)
+{
+    if (cfg.sdBandwidthBytesPerSec <= 0)
+        fatal("SD bandwidth must be positive");
+}
+
+SimTime
+BitstreamStore::loadLatency(std::uint64_t bytes) const
+{
+    double seconds =
+        static_cast<double>(bytes) / _cfg.sdBandwidthBytesPerSec;
+    return _cfg.sdSetupLatency + simtime::secF(seconds);
+}
+
+bool
+BitstreamStore::isCached(const BitstreamKey &key) const
+{
+    return _cache.count(key) > 0;
+}
+
+void
+BitstreamStore::ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
+                             LoadCallback cb)
+{
+    if (isCached(key)) {
+        ++_hits;
+        touch(key);
+        cb();
+        return;
+    }
+    ++_misses;
+
+    // Coalesce with an in-flight or queued load of the same bitstream.
+    for (auto &pending : _queue) {
+        if (pending.key == key) {
+            pending.callbacks.push_back(std::move(cb));
+            return;
+        }
+    }
+
+    _queue.push_back(PendingLoad{key, bytes, {std::move(cb)}});
+    if (!_busy)
+        startNextLoad();
+}
+
+void
+BitstreamStore::startNextLoad()
+{
+    if (_queue.empty())
+        return;
+    _busy = true;
+    const PendingLoad &load = _queue.front();
+    _eq.scheduleAfter(loadLatency(load.bytes),
+                      "sd_load:" + load.key.toString(),
+                      [this] { finishLoad(); });
+}
+
+void
+BitstreamStore::finishLoad()
+{
+    PendingLoad load = std::move(_queue.front());
+    _queue.pop_front();
+    _busy = false;
+
+    insertCached(load.key, load.bytes);
+    for (auto &cb : load.callbacks)
+        cb();
+
+    if (!_busy && !_queue.empty())
+        startNextLoad();
+}
+
+void
+BitstreamStore::insertCached(const BitstreamKey &key, std::uint64_t bytes)
+{
+    if (bytes > _cfg.cacheCapacityBytes) {
+        // Degenerate configuration: the bitstream cannot be cached at all.
+        // It is still considered resident for the completing load; we just
+        // never retain it.
+        warn("bitstream %s (%llu bytes) exceeds cache capacity",
+             key.toString().c_str(), static_cast<unsigned long long>(bytes));
+        return;
+    }
+    while (_cachedBytes + bytes > _cfg.cacheCapacityBytes && !_lru.empty()) {
+        auto &victim = _lru.back();
+        _cachedBytes -= victim.second;
+        _cache.erase(victim.first);
+        _lru.pop_back();
+        ++_evictions;
+    }
+    _lru.emplace_front(key, bytes);
+    _cache[key] = _lru.begin();
+    _cachedBytes += bytes;
+}
+
+void
+BitstreamStore::touch(const BitstreamKey &key)
+{
+    auto it = _cache.find(key);
+    if (it == _cache.end())
+        return;
+    _lru.splice(_lru.begin(), _lru, it->second);
+    it->second = _lru.begin();
+}
+
+} // namespace nimblock

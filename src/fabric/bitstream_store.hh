@@ -1,0 +1,117 @@
+/**
+ * @file
+ * SD-card bitstream storage with an in-memory LRU cache.
+ *
+ * On the board, partial bitstreams live on the SD card and are loaded into
+ * DDR by the ARM core on demand (§2.1). Loads are serialized (one SD/DMA
+ * transaction at a time) and take size/bandwidth + a fixed setup cost.
+ * Once loaded, a bitstream stays cached in DDR until evicted by capacity
+ * pressure, so repeated configurations of hot tasks skip the SD entirely.
+ */
+
+#ifndef NIMBLOCK_FABRIC_BITSTREAM_STORE_HH
+#define NIMBLOCK_FABRIC_BITSTREAM_STORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "fabric/bitstream.hh"
+#include "sim/event_queue.hh"
+
+namespace nimblock {
+
+/** Timing/capacity knobs for the bitstream store. */
+struct BitstreamStoreConfig
+{
+    /** Sustained SD read bandwidth. */
+    double sdBandwidthBytesPerSec = 200e6;
+
+    /** Fixed per-load setup latency (filesystem + DMA programming). */
+    SimTime sdSetupLatency = simtime::ms(2);
+
+    /** DDR bytes reserved for cached bitstreams. */
+    std::uint64_t cacheCapacityBytes = 512ull << 20;
+};
+
+/**
+ * Asynchronous bitstream loader.
+ *
+ * ensureLoaded() completes immediately (synchronously invoking the
+ * callback) on a cache hit, otherwise queues a serialized SD read and
+ * invokes the callback when the data is resident in DDR.
+ */
+class BitstreamStore
+{
+  public:
+    using LoadCallback = std::function<void()>;
+
+    BitstreamStore(EventQueue &eq, BitstreamStoreConfig cfg);
+
+    /**
+     * Make @p key resident in DDR, then invoke @p cb.
+     *
+     * @param key   Bitstream identity.
+     * @param bytes Size of the bitstream.
+     * @param cb    Invoked (possibly synchronously) once resident.
+     */
+    void ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
+                      LoadCallback cb);
+
+    /** True when @p key is currently cached in DDR. */
+    bool isCached(const BitstreamKey &key) const;
+
+    /** True while any SD load is in flight or queued. */
+    bool busy() const { return _busy || !_queue.empty(); }
+
+    /** Bytes currently cached. */
+    std::uint64_t cachedBytes() const { return _cachedBytes; }
+
+    /** Number of ensureLoaded() calls satisfied from cache. */
+    std::uint64_t hits() const { return _hits; }
+
+    /** Number of ensureLoaded() calls that went to the SD card. */
+    std::uint64_t misses() const { return _misses; }
+
+    /** Number of cache evictions performed. */
+    std::uint64_t evictions() const { return _evictions; }
+
+    /** Duration of an SD load of @p bytes. */
+    SimTime loadLatency(std::uint64_t bytes) const;
+
+  private:
+    struct PendingLoad
+    {
+        BitstreamKey key;
+        std::uint64_t bytes;
+        std::vector<LoadCallback> callbacks;
+    };
+
+    void startNextLoad();
+    void finishLoad();
+    void insertCached(const BitstreamKey &key, std::uint64_t bytes);
+    void touch(const BitstreamKey &key);
+
+    EventQueue &_eq;
+    BitstreamStoreConfig _cfg;
+
+    // LRU: list front = most recently used. Map values point into the list.
+    std::list<std::pair<BitstreamKey, std::uint64_t>> _lru;
+    std::unordered_map<BitstreamKey, decltype(_lru)::iterator,
+                       BitstreamKeyHash>
+        _cache;
+    std::uint64_t _cachedBytes = 0;
+
+    std::deque<PendingLoad> _queue;
+    bool _busy = false;
+
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FABRIC_BITSTREAM_STORE_HH

@@ -1,0 +1,74 @@
+#include "fabric/cap.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Cap::Cap(EventQueue &eq, CapConfig cfg)
+    : _eq(eq), _cfg(cfg), _faults(cfg.failureSeed)
+{
+    if (cfg.bandwidthBytesPerSec <= 0)
+        fatal("CAP bandwidth must be positive");
+    if (cfg.failureProb < 0 || cfg.failureProb >= 1)
+        fatal("CAP failure probability must be in [0, 1)");
+    if (cfg.maxRetries < 1)
+        fatal("CAP retry bound must be positive");
+}
+
+SimTime
+Cap::reconfigLatency(std::uint64_t bytes) const
+{
+    double seconds = static_cast<double>(bytes) / _cfg.bandwidthBytesPerSec;
+    return _cfg.fixedOverhead + simtime::secF(seconds);
+}
+
+void
+Cap::reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb)
+{
+    _queue.push_back(Request{slot, bytes, std::move(cb), 0});
+    if (!_busy)
+        startNext();
+}
+
+void
+Cap::startNext()
+{
+    if (_queue.empty())
+        return;
+    _busy = true;
+    SimTime latency = reconfigLatency(_queue.front().bytes);
+    _eq.scheduleAfter(
+        latency,
+        formatMessage("cap_reconfig:s%u", _queue.front().slot),
+        [this, latency] {
+            _busyTime += latency;
+            Request &head = _queue.front();
+            ++head.attempts;
+
+            // Fault injection: a failed CRC check re-streams the
+            // bitstream. Callers only observe the extra latency.
+            bool failed = _cfg.failureProb > 0 &&
+                          _faults.bernoulli(_cfg.failureProb);
+            if (failed && head.attempts < _cfg.maxRetries) {
+                ++_retries;
+                _busy = false;
+                startNext(); // Head of the queue retries first.
+                return;
+            }
+            if (failed) {
+                fatal("slot %u failed reconfiguration %d times — broken "
+                      "fabric?",
+                      head.slot, head.attempts);
+            }
+
+            Request req = std::move(_queue.front());
+            _queue.pop_front();
+            _busy = false;
+            ++_completed;
+            req.cb();
+            if (!_busy)
+                startNext();
+        });
+}
+
+} // namespace nimblock

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Configuration access port (CAP) model.
+ *
+ * Dynamic partial reconfiguration on the board flows through a single CAP:
+ * only one slot can be reconfigured at a time, and reconfiguration speed is
+ * constrained by the CAP's internal bandwidth and the size of the
+ * reconfigurable region (§2.1). The default numbers calibrate to the
+ * paper's measured ~80 ms per-slot reconfiguration.
+ */
+
+#ifndef NIMBLOCK_FABRIC_CAP_HH
+#define NIMBLOCK_FABRIC_CAP_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "fabric/bitstream.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nimblock {
+
+/** CAP timing parameters. */
+struct CapConfig
+{
+    /** Internal configuration bandwidth. */
+    double bandwidthBytesPerSec = 100e6;
+
+    /** Fixed per-reconfiguration overhead (decouple, setup, flush). */
+    SimTime fixedOverhead = simtime::ms(2);
+
+    /**
+     * Fault injection: probability that one reconfiguration attempt
+     * fails its CRC check and is retried (the port re-streams the
+     * bitstream; the requester never observes the failure, only the
+     * added latency). 0 disables injection.
+     */
+    double failureProb = 0.0;
+
+    /** Seed for the (deterministic) fault-injection stream. */
+    std::uint64_t failureSeed = 1;
+
+    /** Retry bound per request; exceeding it is fatal (broken fabric). */
+    int maxRetries = 8;
+};
+
+/**
+ * Serialized reconfiguration port.
+ *
+ * Requests queue FIFO; each occupies the port for
+ * fixedOverhead + bytes / bandwidth.
+ */
+class Cap
+{
+  public:
+    using DoneCallback = std::function<void()>;
+
+    Cap(EventQueue &eq, CapConfig cfg);
+
+    /**
+     * Queue a reconfiguration of @p slot with a bitstream of @p bytes.
+     *
+     * @param cb Invoked when the reconfiguration completes.
+     */
+    void reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb);
+
+    /** True while a reconfiguration is in progress or queued. */
+    bool busy() const { return _busy || !_queue.empty(); }
+
+    /** True only while bits are actively streaming. */
+    bool active() const { return _busy; }
+
+    /** Number of reconfigurations completed. */
+    std::uint64_t completedCount() const { return _completed; }
+
+    /** Number of injected CRC failures that forced a retry. */
+    std::uint64_t retries() const { return _retries; }
+
+    /** Total time the port has spent streaming bits. */
+    SimTime busyTime() const { return _busyTime; }
+
+    /** Duration of a reconfiguration of @p bytes. */
+    SimTime reconfigLatency(std::uint64_t bytes) const;
+
+  private:
+    struct Request
+    {
+        SlotId slot;
+        std::uint64_t bytes;
+        DoneCallback cb;
+        int attempts = 0;
+    };
+
+    void startNext();
+
+    EventQueue &_eq;
+    CapConfig _cfg;
+    std::deque<Request> _queue;
+    bool _busy = false;
+    std::uint64_t _completed = 0;
+    std::uint64_t _retries = 0;
+    SimTime _busyTime = 0;
+    Rng _faults;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FABRIC_CAP_HH

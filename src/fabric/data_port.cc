@@ -1,0 +1,51 @@
+#include "fabric/data_port.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+DataPort::DataPort(EventQueue &eq, DataPortConfig cfg) : _eq(eq), _cfg(cfg)
+{
+    if (cfg.bandwidthBytesPerSec <= 0)
+        fatal("data-port bandwidth must be positive");
+}
+
+SimTime
+DataPort::transferLatency(std::uint64_t bytes) const
+{
+    double seconds = static_cast<double>(bytes) / _cfg.bandwidthBytesPerSec;
+    return _cfg.setupLatency + simtime::secF(seconds);
+}
+
+void
+DataPort::transfer(std::uint64_t bytes, DoneCallback cb)
+{
+    if (bytes == 0) {
+        cb();
+        return;
+    }
+    _queue.push_back(Request{bytes, std::move(cb)});
+    if (!_busy)
+        startNext();
+}
+
+void
+DataPort::startNext()
+{
+    if (_queue.empty())
+        return;
+    _busy = true;
+    SimTime latency = transferLatency(_queue.front().bytes);
+    _eq.scheduleAfter(latency, "ps_transfer", [this, latency] {
+        Request req = std::move(_queue.front());
+        _queue.pop_front();
+        _busy = false;
+        ++_completed;
+        _busyTime += latency;
+        req.cb();
+        if (!_busy)
+            startNext();
+    });
+}
+
+} // namespace nimblock

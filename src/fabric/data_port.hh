@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared PS data-port model.
+ *
+ * On the prototype, all slot input/output and inter-slot data movement
+ * funnels through the processing system (§2.1: "inter-slot communication
+ * is performed through the PS"). When contention modeling is enabled,
+ * transfers are serialized through this port so concurrent tenants
+ * queue for DDR bandwidth; otherwise transfers are folded into item
+ * latency without queueing (the default, matching the calibration in
+ * Table 3).
+ */
+
+#ifndef NIMBLOCK_FABRIC_DATA_PORT_HH
+#define NIMBLOCK_FABRIC_DATA_PORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hh"
+
+namespace nimblock {
+
+/** Data-port timing parameters. */
+struct DataPortConfig
+{
+    /** Sustained PS<->PL data bandwidth. */
+    double bandwidthBytesPerSec = 1e9;
+
+    /** Fixed per-transfer setup cost (descriptor programming). */
+    SimTime setupLatency = simtime::us(5);
+};
+
+/** Serialized FIFO transfer engine. */
+class DataPort
+{
+  public:
+    using DoneCallback = std::function<void()>;
+
+    DataPort(EventQueue &eq, DataPortConfig cfg);
+
+    /**
+     * Queue a transfer of @p bytes; @p cb fires at completion.
+     * Zero-byte transfers complete synchronously.
+     */
+    void transfer(std::uint64_t bytes, DoneCallback cb);
+
+    /** True while a transfer is active or queued. */
+    bool busy() const { return _busy || !_queue.empty(); }
+
+    /** Completed transfer count. */
+    std::uint64_t completedCount() const { return _completed; }
+
+    /** Total time spent moving bytes. */
+    SimTime busyTime() const { return _busyTime; }
+
+    /** Unqueued duration of a transfer of @p bytes. */
+    SimTime transferLatency(std::uint64_t bytes) const;
+
+  private:
+    struct Request
+    {
+        std::uint64_t bytes;
+        DoneCallback cb;
+    };
+
+    void startNext();
+
+    EventQueue &_eq;
+    DataPortConfig _cfg;
+    std::deque<Request> _queue;
+    bool _busy = false;
+    std::uint64_t _completed = 0;
+    SimTime _busyTime = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FABRIC_DATA_PORT_HH

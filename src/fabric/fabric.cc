@@ -1,0 +1,113 @@
+#include "fabric/fabric.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(InterSlotTransport t)
+{
+    switch (t) {
+      case InterSlotTransport::PS:
+        return "PS";
+      case InterSlotTransport::NoC:
+        return "NoC";
+    }
+    return "?";
+}
+
+Fabric::Fabric(EventQueue &eq, FabricConfig cfg)
+    : _eq(eq), _cfg(cfg), _cap(eq, cfg.cap), _store(eq, cfg.store),
+      _dataPort(eq, [&cfg] {
+          DataPortConfig dp = cfg.dataPort;
+          dp.bandwidthBytesPerSec = cfg.psBandwidthBytesPerSec;
+          return dp;
+      }())
+{
+    if (cfg.numSlots == 0)
+        fatal("fabric needs at least one slot");
+    if (cfg.psBandwidthBytesPerSec <= 0)
+        fatal("PS bandwidth must be positive");
+    if (cfg.nocBandwidthBytesPerSec <= 0)
+        fatal("NoC bandwidth must be positive");
+    _slots.reserve(cfg.numSlots);
+    for (SlotId i = 0; i < cfg.numSlots; ++i)
+        _slots.emplace_back(i);
+}
+
+Slot &
+Fabric::slot(SlotId id)
+{
+    if (id >= _slots.size())
+        panic("slot id %u out of range (%zu slots)", id, _slots.size());
+    return _slots[id];
+}
+
+const Slot &
+Fabric::slot(SlotId id) const
+{
+    if (id >= _slots.size())
+        panic("slot id %u out of range (%zu slots)", id, _slots.size());
+    return _slots[id];
+}
+
+std::vector<SlotId>
+Fabric::freeSlots() const
+{
+    std::vector<SlotId> out;
+    for (const Slot &s : _slots) {
+        if (s.isFree())
+            out.push_back(s.id());
+    }
+    return out;
+}
+
+std::size_t
+Fabric::freeSlotCount() const
+{
+    std::size_t n = 0;
+    for (const Slot &s : _slots)
+        n += s.isFree();
+    return n;
+}
+
+SimTime
+Fabric::psTransferLatency(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    double seconds =
+        static_cast<double>(bytes) / _cfg.psBandwidthBytesPerSec;
+    return simtime::secF(seconds);
+}
+
+SimTime
+Fabric::interiorTransferLatency(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    if (_cfg.transport == InterSlotTransport::NoC) {
+        double seconds =
+            static_cast<double>(bytes) / _cfg.nocBandwidthBytesPerSec;
+        return _cfg.nocTransferOverhead + simtime::secF(seconds);
+    }
+    return psTransferLatency(bytes);
+}
+
+BitstreamKey
+Fabric::bitstreamKeyFor(const std::string &app_name, TaskId task,
+                        SlotId slot) const
+{
+    // Relocatable images drop the slot component: one bitstream serves
+    // every slot, so any slot's retained image and any cached copy match.
+    return BitstreamKey{app_name, task,
+                        _cfg.relocatableBitstreams ? 0 : slot};
+}
+
+SimTime
+Fabric::coldConfigureLatency(std::uint64_t bytes) const
+{
+    return _store.loadLatency(bytes) + _cap.reconfigLatency(bytes);
+}
+
+} // namespace nimblock

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The virtualized FPGA fabric: slots + CAP + bitstream storage + PS link.
+ *
+ * This object aggregates the hardware-side substrate the hypervisor
+ * manages. Timing defaults calibrate to the paper's ZCU106 measurements
+ * (~80 ms per partial reconfiguration, ten uniform slots).
+ */
+
+#ifndef NIMBLOCK_FABRIC_FABRIC_HH
+#define NIMBLOCK_FABRIC_FABRIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/bitstream_store.hh"
+#include "fabric/cap.hh"
+#include "fabric/data_port.hh"
+#include "fabric/resources.hh"
+#include "fabric/slot.hh"
+#include "sim/event_queue.hh"
+
+namespace nimblock {
+
+/**
+ * Transport used for inter-slot data movement.
+ *
+ * The prototype routes everything through the PS (§2.1); the paper's
+ * future-work section proposes a Network-on-Chip for optimized
+ * slot-to-slot transfer. With NoC, interior edges (task-to-task within
+ * an application) bypass the PS with higher bandwidth and no
+ * serialization; external input/output still crosses the PS.
+ */
+enum class InterSlotTransport
+{
+    PS,
+    NoC,
+};
+
+/** Render an InterSlotTransport. */
+const char *toString(InterSlotTransport t);
+
+/** Whole-fabric configuration. */
+struct FabricConfig
+{
+    /** Number of reconfigurable slots. */
+    std::size_t numSlots = zcu106::kNumSlots;
+
+    /**
+     * Default partial-bitstream size for tasks that do not specify one.
+     * 8 MB through a 100 MB/s CAP gives the paper's ~80 ms.
+     */
+    std::uint64_t defaultBitstreamBytes = 8ull << 20;
+
+    /** PS-mediated data bandwidth for inter-slot/input/output transfers. */
+    double psBandwidthBytesPerSec = 1e9;
+
+    /**
+     * Serialize data transfers through the shared PS port so concurrent
+     * tenants contend for DDR bandwidth. Off by default: the paper's
+     * Table 3 calibration assumes uncontended transfers.
+     */
+    bool modelPsContention = false;
+
+    /** Inter-slot transport (PS on the prototype; NoC is future work). */
+    InterSlotTransport transport = InterSlotTransport::PS;
+
+    /** NoC link bandwidth (used when transport == NoC). */
+    double nocBandwidthBytesPerSec = 8e9;
+
+    /** NoC per-transfer latency (route setup + hops). */
+    SimTime nocTransferOverhead = simtime::us(2);
+
+    /**
+     * Relocatable partial bitstreams: one bitstream serves every slot
+     * (instead of one per (task, slot) pair), shrinking SD storage and
+     * improving cache reuse. The paper cites bitstream relocation
+     * [5, 10, 23] as out of scope; modeled here as an extension.
+     */
+    bool relocatableBitstreams = false;
+
+    CapConfig cap;
+    BitstreamStoreConfig store;
+    DataPortConfig dataPort;
+};
+
+/** The simulated reconfigurable fabric. */
+class Fabric
+{
+  public:
+    Fabric(EventQueue &eq, FabricConfig cfg);
+
+    const FabricConfig &config() const { return _cfg; }
+
+    std::size_t numSlots() const { return _slots.size(); }
+    Slot &slot(SlotId id);
+    const Slot &slot(SlotId id) const;
+
+    /** All slot objects in id order. */
+    std::vector<Slot> &slots() { return _slots; }
+    const std::vector<Slot> &slots() const { return _slots; }
+
+    Cap &cap() { return _cap; }
+    const Cap &cap() const { return _cap; }
+
+    BitstreamStore &store() { return _store; }
+    const BitstreamStore &store() const { return _store; }
+
+    DataPort &dataPort() { return _dataPort; }
+    const DataPort &dataPort() const { return _dataPort; }
+
+    /** Ids of currently free slots. */
+    std::vector<SlotId> freeSlots() const;
+
+    /** Number of currently free slots. */
+    std::size_t freeSlotCount() const;
+
+    /**
+     * Effective bitstream size for a task-declared size (0 means "use the
+     * fabric default").
+     */
+    std::uint64_t
+    effectiveBitstreamBytes(std::uint64_t declared) const
+    {
+        return declared == 0 ? _cfg.defaultBitstreamBytes : declared;
+    }
+
+    /** PS transfer duration for @p bytes (0 bytes -> 0 time). */
+    SimTime psTransferLatency(std::uint64_t bytes) const;
+
+    /**
+     * Duration of an *interior* (task-to-task) transfer of @p bytes under
+     * the configured transport: the PS path, or the NoC when enabled.
+     */
+    SimTime interiorTransferLatency(std::uint64_t bytes) const;
+
+    /**
+     * Canonical bitstream key for (app, task, slot) under the configured
+     * relocation mode: with relocatable bitstreams the slot component is
+     * dropped so one image serves every slot.
+     */
+    BitstreamKey bitstreamKeyFor(const std::string &app_name, TaskId task,
+                                 SlotId slot) const;
+
+    /**
+     * End-to-end cold-path configuration latency for @p bytes: SD load +
+     * CAP reconfiguration, assuming no queueing. Used by analysis code.
+     */
+    SimTime coldConfigureLatency(std::uint64_t bytes) const;
+
+    /**
+     * Warm-path (cached bitstream) configuration latency for @p bytes.
+     */
+    SimTime
+    warmConfigureLatency(std::uint64_t bytes) const
+    {
+        return _cap.reconfigLatency(bytes);
+    }
+
+  private:
+    EventQueue &_eq;
+    FabricConfig _cfg;
+    std::vector<Slot> _slots;
+    Cap _cap;
+    BitstreamStore _store;
+    DataPort _dataPort;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FABRIC_FABRIC_HH

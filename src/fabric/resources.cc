@@ -1,0 +1,92 @@
+#include "fabric/resources.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+ResourceVector
+ResourceVector::operator+(const ResourceVector &o) const
+{
+    return {dsp + o.dsp,       lut + o.lut,       ff + o.ff,
+            carry + o.carry,   ramb18 + o.ramb18, ramb36 + o.ramb36,
+            iobuf + o.iobuf};
+}
+
+ResourceVector
+ResourceVector::operator-(const ResourceVector &o) const
+{
+    return {dsp - o.dsp,       lut - o.lut,       ff - o.ff,
+            carry - o.carry,   ramb18 - o.ramb18, ramb36 - o.ramb36,
+            iobuf - o.iobuf};
+}
+
+ResourceVector
+ResourceVector::operator*(std::int64_t k) const
+{
+    return {dsp * k,    lut * k,    ff * k,   carry * k,
+            ramb18 * k, ramb36 * k, iobuf * k};
+}
+
+bool
+ResourceVector::fitsIn(const ResourceVector &capacity) const
+{
+    return dsp <= capacity.dsp && lut <= capacity.lut && ff <= capacity.ff &&
+           carry <= capacity.carry && ramb18 <= capacity.ramb18 &&
+           ramb36 <= capacity.ramb36 && iobuf <= capacity.iobuf;
+}
+
+bool
+ResourceVector::nonNegative() const
+{
+    return dsp >= 0 && lut >= 0 && ff >= 0 && carry >= 0 && ramb18 >= 0 &&
+           ramb36 >= 0 && iobuf >= 0;
+}
+
+std::string
+ResourceVector::toString() const
+{
+    return formatMessage(
+        "dsp=%lld lut=%lld ff=%lld carry=%lld ramb18=%lld ramb36=%lld "
+        "iobuf=%lld",
+        static_cast<long long>(dsp), static_cast<long long>(lut),
+        static_cast<long long>(ff), static_cast<long long>(carry),
+        static_cast<long long>(ramb18), static_cast<long long>(ramb36),
+        static_cast<long long>(iobuf));
+}
+
+bool
+ResourceRange::contains(const ResourceVector &v) const
+{
+    return lo.fitsIn(v) && v.fitsIn(hi);
+}
+
+namespace zcu106 {
+
+ResourceRange
+slotRange()
+{
+    // Table 1, "Slot" row: each class is reported as a min-max range
+    // because the ten floorplanned slots are uniform in area but differ
+    // slightly in the resources their columns capture.
+    ResourceRange r;
+    r.lo = {46, 9680, 19360, 1210, 44, 22, 1908};
+    r.hi = {92, 12960, 22880, 1620, 46, 23, 2343};
+    return r;
+}
+
+ResourceVector
+staticRegion()
+{
+    // Table 1, "Static" row.
+    return {1004, 122560, 245120, 15320, 172, 86, 24803};
+}
+
+ResourceVector
+slotCapacity()
+{
+    return slotRange().hi;
+}
+
+} // namespace zcu106
+
+} // namespace nimblock

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * FPGA resource accounting (Table 1 of the paper).
+ *
+ * Slots on the ZCU106 overlay are floorplanned to be uniform; the paper
+ * reports per-slot and static-region utilization across seven resource
+ * classes. We carry those numbers so utilization reports (bench_table1)
+ * and slot-fit checks reproduce the published table.
+ */
+
+#ifndef NIMBLOCK_FABRIC_RESOURCES_HH
+#define NIMBLOCK_FABRIC_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nimblock {
+
+/** Quantities of each FPGA resource class. */
+struct ResourceVector
+{
+    std::int64_t dsp = 0;
+    std::int64_t lut = 0;
+    std::int64_t ff = 0;
+    std::int64_t carry = 0;
+    std::int64_t ramb18 = 0;
+    std::int64_t ramb36 = 0;
+    std::int64_t iobuf = 0;
+
+    /** Element-wise sum. */
+    ResourceVector operator+(const ResourceVector &o) const;
+
+    /** Element-wise difference (may go negative; see fitsIn()). */
+    ResourceVector operator-(const ResourceVector &o) const;
+
+    /** Scale every class by an integer factor. */
+    ResourceVector operator*(std::int64_t k) const;
+
+    bool operator==(const ResourceVector &o) const = default;
+
+    /** True when every class of *this fits within @p capacity. */
+    bool fitsIn(const ResourceVector &capacity) const;
+
+    /** True when every class is non-negative. */
+    bool nonNegative() const;
+
+    /** Render as "dsp=.. lut=.. ...". */
+    std::string toString() const;
+};
+
+/**
+ * Inclusive utilization range, e.g. the paper's per-slot "46-92 DSP".
+ */
+struct ResourceRange
+{
+    ResourceVector lo;
+    ResourceVector hi;
+
+    /** True when @p v lies within [lo, hi] in every class. */
+    bool contains(const ResourceVector &v) const;
+};
+
+namespace zcu106 {
+
+/** Per-slot utilization range from Table 1. */
+ResourceRange slotRange();
+
+/** Static-region utilization from Table 1. */
+ResourceVector staticRegion();
+
+/** Resource capacity of one slot (upper end of the slot range). */
+ResourceVector slotCapacity();
+
+/** Number of reconfigurable slots in the paper's overlay. */
+inline constexpr std::size_t kNumSlots = 10;
+
+} // namespace zcu106
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FABRIC_RESOURCES_HH

@@ -1,0 +1,188 @@
+#include "hypervisor/app_instance.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Priority
+priorityFromInt(int value)
+{
+    switch (value) {
+      case 1:
+        return Priority::Low;
+      case 3:
+        return Priority::Medium;
+      case 9:
+        return Priority::High;
+      default:
+        fatal("invalid priority %d (must be 1, 3, or 9)", value);
+    }
+}
+
+const char *
+toString(TaskPhase p)
+{
+    switch (p) {
+      case TaskPhase::Idle:
+        return "Idle";
+      case TaskPhase::Configuring:
+        return "Configuring";
+      case TaskPhase::Resident:
+        return "Resident";
+      case TaskPhase::Done:
+        return "Done";
+    }
+    return "?";
+}
+
+AppInstance::AppInstance(AppInstanceId id, AppSpecPtr spec, int batch,
+                         Priority priority, SimTime arrival, int event_index)
+    : _id(id), _spec(std::move(spec)), _batch(batch), _priority(priority),
+      _arrival(arrival), _eventIndex(event_index)
+{
+    if (!_spec)
+        fatal("app instance needs a spec");
+    if (_batch < 1)
+        fatal("app instance '%s' needs batch >= 1, got %d",
+              _spec->name().c_str(), _batch);
+    _tasks.resize(_spec->graph().numTasks());
+}
+
+TaskRunState &
+AppInstance::taskState(TaskId t)
+{
+    if (t >= _tasks.size())
+        panic("task id %u out of range for app %s", t,
+              _spec->name().c_str());
+    return _tasks[t];
+}
+
+const TaskRunState &
+AppInstance::taskState(TaskId t) const
+{
+    if (t >= _tasks.size())
+        panic("task id %u out of range for app %s", t,
+              _spec->name().c_str());
+    return _tasks[t];
+}
+
+void
+AppInstance::noteTaskCompleted()
+{
+    ++_tasksCompleted;
+    if (_tasksCompleted > static_cast<int>(_tasks.size()))
+        panic("app %s completed more tasks than it has",
+              _spec->name().c_str());
+}
+
+bool
+AppInstance::done() const
+{
+    return _tasksCompleted == static_cast<int>(_tasks.size());
+}
+
+bool
+AppInstance::inputsReady(TaskId t, int item) const
+{
+    if (item >= _batch)
+        return false;
+    for (TaskId p : graph().predecessors(t)) {
+        if (_tasks[p].itemsDone <= item)
+            return false;
+    }
+    return true;
+}
+
+bool
+AppInstance::predsFullyDone(TaskId t) const
+{
+    for (TaskId p : graph().predecessors(t)) {
+        if (_tasks[p].itemsDone < _batch)
+            return false;
+    }
+    return true;
+}
+
+bool
+AppInstance::taskConfigurable(TaskId t, bool pipelined) const
+{
+    const TaskRunState &st = _tasks[t];
+    if (st.phase != TaskPhase::Idle || st.itemsDone >= _batch)
+        return false;
+    return pipelined ? inputsReady(t, st.itemsDone) : predsFullyDone(t);
+}
+
+std::vector<TaskId>
+AppInstance::configurableTasks(bool pipelined) const
+{
+    std::vector<TaskId> out;
+    for (TaskId t : graph().topoOrder()) {
+        if (taskConfigurable(t, pipelined))
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<TaskId>
+AppInstance::prefetchableTasks() const
+{
+    std::vector<TaskId> out;
+    for (TaskId t : graph().topoOrder()) {
+        const TaskRunState &st = _tasks[t];
+        if (st.phase == TaskPhase::Idle && st.itemsDone < _batch)
+            out.push_back(t);
+    }
+    return out;
+}
+
+bool
+AppInstance::hasConfigurableTask(bool pipelined) const
+{
+    for (TaskId t : graph().topoOrder()) {
+        if (taskConfigurable(t, pipelined))
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+AppInstance::slotsUsed() const
+{
+    std::size_t n = 0;
+    for (const auto &st : _tasks) {
+        n += st.phase == TaskPhase::Configuring ||
+             st.phase == TaskPhase::Resident;
+    }
+    return n;
+}
+
+std::vector<TaskId>
+AppInstance::residentTasks() const
+{
+    std::vector<TaskId> out;
+    for (TaskId t : graph().topoOrder()) {
+        if (_tasks[t].phase == TaskPhase::Resident)
+            out.push_back(t);
+    }
+    return out;
+}
+
+void
+AppInstance::noteLaunch(SimTime now)
+{
+    if (_firstLaunch == kTimeNone)
+        _firstLaunch = now;
+}
+
+std::string
+AppInstance::toString() const
+{
+    return formatMessage("%s#%llu[batch=%d prio=%d done=%d/%zu tok=%.2f "
+                         "alloc=%zu used=%zu]",
+                         _spec->name().c_str(),
+                         static_cast<unsigned long long>(_id), _batch,
+                         priorityValue(), _tasksCompleted, _tasks.size(),
+                         _token, _slotsAllocated, slotsUsed());
+}
+
+} // namespace nimblock

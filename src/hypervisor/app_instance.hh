@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Runtime state of one arrived application.
+ *
+ * An AppInstance is created when a workload event is released to the
+ * hypervisor (§2.2): it binds an AppSpec to the arrival's batch size and
+ * priority and tracks per-task batch progress, slot residency, scheduler
+ * bookkeeping (tokens, slot allocation) and accounting used by the
+ * evaluation metrics.
+ */
+
+#ifndef NIMBLOCK_HYPERVISOR_APP_INSTANCE_HH
+#define NIMBLOCK_HYPERVISOR_APP_INSTANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_spec.hh"
+#include "fabric/slot.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Priority levels used throughout the paper (§4.1). */
+enum class Priority : int
+{
+    Low = 1,
+    Medium = 3,
+    High = 9,
+};
+
+/** All priority levels in increasing order. */
+inline constexpr int kPriorityLevels[] = {1, 3, 9};
+
+/** Parse an integer priority; fatal() on values outside {1, 3, 9}. */
+Priority priorityFromInt(int value);
+
+/** Lifecycle of a task within a running application. */
+enum class TaskPhase
+{
+    Idle,        //!< Not on the fabric (never launched, or preempted).
+    Configuring, //!< Bitstream load / reconfiguration in flight.
+    Resident,    //!< Configured in a slot.
+    Done,        //!< All batch items processed.
+};
+
+/** Render a TaskPhase. */
+const char *toString(TaskPhase p);
+
+/** Per-task runtime state. */
+struct TaskRunState
+{
+    TaskPhase phase = TaskPhase::Idle;
+
+    /** Batch items fully processed (outputs available). */
+    int itemsDone = 0;
+
+    /** Slot hosting the task while Configuring/Resident. */
+    SlotId slot = kSlotNone;
+
+    /** True while a batch item is executing. */
+    bool executing = false;
+
+    /** Times this task has been batch-preempted. */
+    int preemptions = 0;
+
+    /**
+     * Remaining wall time of a checkpointed in-flight item (mid-item
+     * preemption extension); kTimeNone when no partial item is saved.
+     */
+    SimTime itemRemaining = kTimeNone;
+};
+
+/** Runtime state of one arrived application. */
+class AppInstance
+{
+  public:
+    /**
+     * @param id          Unique instance id (monotonic per hypervisor).
+     * @param spec        The application's static description.
+     * @param batch       Batch size (>= 1).
+     * @param priority    Priority level.
+     * @param arrival     Arrival timestamp.
+     * @param event_index Index of the generating event in its sequence.
+     */
+    AppInstance(AppInstanceId id, AppSpecPtr spec, int batch,
+                Priority priority, SimTime arrival, int event_index);
+
+    /** @name Identity */
+    /// @{
+    AppInstanceId id() const { return _id; }
+    const AppSpec &spec() const { return *_spec; }
+    const TaskGraph &graph() const { return _spec->graph(); }
+    int batch() const { return _batch; }
+    Priority priority() const { return _priority; }
+    int priorityValue() const { return static_cast<int>(_priority); }
+    SimTime arrival() const { return _arrival; }
+    int eventIndex() const { return _eventIndex; }
+    /// @}
+
+    /** @name Task state */
+    /// @{
+    TaskRunState &taskState(TaskId t);
+    const TaskRunState &taskState(TaskId t) const;
+
+    /** Count of tasks whose whole batch is done. */
+    int tasksCompleted() const { return _tasksCompleted; }
+
+    /** Mark one more task complete (hypervisor only). */
+    void noteTaskCompleted();
+
+    /** True when every task has processed the full batch. */
+    bool done() const;
+
+    /**
+     * True when every predecessor of @p t has produced item @p item
+     * (0-based), i.e. the item's inputs exist.
+     */
+    bool inputsReady(TaskId t, int item) const;
+
+    /** True when every predecessor of @p t finished the entire batch. */
+    bool predsFullyDone(TaskId t) const;
+
+    /**
+     * True when @p t could be configured now: it is idle with items
+     * remaining and its data dependencies permit progress.
+     *
+     * @param pipelined With pipelining, only the *next item's* inputs must
+     *                  exist (fine-grained sharing, §3.2); without, all
+     *                  predecessors must have finished the batch (bulk).
+     */
+    bool taskConfigurable(TaskId t, bool pipelined) const;
+
+    /** All configurable tasks in topological order. */
+    std::vector<TaskId> configurableTasks(bool pipelined) const;
+
+    /**
+     * Tasks eligible for configuration *prefetch*: idle with items
+     * remaining, regardless of data readiness, in topological order.
+     * Prefetching hides reconfiguration latency behind upstream
+     * computation; items still respect the execution discipline.
+     */
+    std::vector<TaskId> prefetchableTasks() const;
+
+    /** True if any task is configurable under either discipline. */
+    bool hasConfigurableTask(bool pipelined) const;
+
+    /** Slots currently held (Configuring + Resident tasks). */
+    std::size_t slotsUsed() const;
+
+    /** Resident tasks in topological order. */
+    std::vector<TaskId> residentTasks() const;
+    /// @}
+
+    /** @name Scheduler bookkeeping */
+    /// @{
+
+    /** PREMA/Nimblock token count. */
+    double token() const { return _token; }
+    void setToken(double t) { _token = t; }
+
+    /** Nimblock slot allocation target (§4.2). */
+    std::size_t slotsAllocated() const { return _slotsAllocated; }
+    void setSlotsAllocated(std::size_t n) { _slotsAllocated = n; }
+
+    /**
+     * Over-consumption per Algorithm 2 line 4:
+     * slots_used - slots_allocated (may be negative).
+     */
+    std::int64_t
+    overConsumption() const
+    {
+        return static_cast<std::int64_t>(slotsUsed()) -
+               static_cast<std::int64_t>(_slotsAllocated);
+    }
+
+    /** True once the app has entered the candidate pool at least once. */
+    bool everCandidate() const { return _everCandidate; }
+    void setEverCandidate() { _everCandidate = true; }
+
+    /** Time of first admission to the candidate pool (kTimeNone before). */
+    SimTime candidateSince() const { return _candidateSince; }
+    void
+    setCandidateSince(SimTime t)
+    {
+        if (_candidateSince == kTimeNone)
+            _candidateSince = t;
+    }
+    /// @}
+
+    /** @name Accounting */
+    /// @{
+    SimTime firstLaunch() const { return _firstLaunch; }
+    void noteLaunch(SimTime now);
+
+    SimTime retireTime() const { return _retireTime; }
+    void setRetireTime(SimTime t) { _retireTime = t; }
+
+    /** Summed execution time of all batch items across tasks. */
+    SimTime totalRunTime() const { return _totalRunTime; }
+    void addRunTime(SimTime d) { _totalRunTime += d; }
+
+    /** Summed reconfiguration time charged to this app. */
+    SimTime totalReconfigTime() const { return _totalReconfigTime; }
+    void addReconfigTime(SimTime d) { _totalReconfigTime += d; }
+
+    int reconfigCount() const { return _reconfigCount; }
+    void noteReconfig() { ++_reconfigCount; }
+
+    int preemptionCount() const { return _preemptionCount; }
+    void notePreemption() { ++_preemptionCount; }
+    /// @}
+
+    /** Debug rendering. */
+    std::string toString() const;
+
+  private:
+    AppInstanceId _id;
+    AppSpecPtr _spec;
+    int _batch;
+    Priority _priority;
+    SimTime _arrival;
+    int _eventIndex;
+
+    std::vector<TaskRunState> _tasks;
+    int _tasksCompleted = 0;
+
+    double _token = 0.0;
+    std::size_t _slotsAllocated = 0;
+    bool _everCandidate = false;
+    SimTime _candidateSince = kTimeNone;
+
+    SimTime _firstLaunch = kTimeNone;
+    SimTime _retireTime = kTimeNone;
+    SimTime _totalRunTime = 0;
+    SimTime _totalReconfigTime = 0;
+    int _reconfigCount = 0;
+    int _preemptionCount = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_HYPERVISOR_APP_INSTANCE_HH

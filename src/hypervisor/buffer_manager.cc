@@ -1,0 +1,51 @@
+#include "hypervisor/buffer_manager.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+BufferManager::BufferManager(BufferManagerConfig cfg) : _cfg(cfg)
+{
+    if (cfg.capacityBytes == 0)
+        fatal("buffer manager needs positive capacity");
+}
+
+bool
+BufferManager::allocate(AppInstanceId app, TaskId task, std::uint64_t bytes)
+{
+    Key key{app, task};
+    if (_held.count(key))
+        panic("double buffer allocation for app %llu task %u",
+              static_cast<unsigned long long>(app), task);
+    if (_inUse + bytes > _cfg.capacityBytes) {
+        ++_rejections;
+        return false;
+    }
+    _held[key] = bytes;
+    _inUse += bytes;
+    _peak = std::max(_peak, _inUse);
+    return true;
+}
+
+std::uint64_t
+BufferManager::release(AppInstanceId app, TaskId task)
+{
+    auto it = _held.find(Key{app, task});
+    if (it == _held.end())
+        return 0;
+    std::uint64_t bytes = it->second;
+    _inUse -= bytes;
+    _held.erase(it);
+    return bytes;
+}
+
+std::uint64_t
+BufferManager::held(AppInstanceId app, TaskId task) const
+{
+    auto it = _held.find(Key{app, task});
+    return it == _held.end() ? 0 : it->second;
+}
+
+} // namespace nimblock

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DDR buffer accounting.
+ *
+ * The hypervisor "allocates buffers and launches the task. Tasks read
+ * inputs and write outputs to and from the allocated buffers. ... the
+ * hypervisor relinquishes the unneeded data buffers" (§2.2). The buffer
+ * manager models that DDR pool: allocations are charged per resident task
+ * (batch-sized input/output windows) and released at task completion or
+ * preemption. Exhaustion is reported so capacity experiments can detect
+ * over-subscription.
+ */
+
+#ifndef NIMBLOCK_HYPERVISOR_BUFFER_MANAGER_HH
+#define NIMBLOCK_HYPERVISOR_BUFFER_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "fabric/slot.hh"
+#include "taskgraph/task.hh"
+
+namespace nimblock {
+
+/** Buffer pool configuration. */
+struct BufferManagerConfig
+{
+    /** DDR bytes available for application data buffers. */
+    std::uint64_t capacityBytes = 2ull << 30;
+};
+
+/** Tracks per-task data-buffer allocations against a DDR capacity. */
+class BufferManager
+{
+  public:
+    explicit BufferManager(BufferManagerConfig cfg);
+
+    /**
+     * Charge @p bytes for (app, task).
+     *
+     * @retval true  Allocation recorded.
+     * @retval false Insufficient capacity; nothing recorded.
+     */
+    bool allocate(AppInstanceId app, TaskId task, std::uint64_t bytes);
+
+    /**
+     * Release the allocation of (app, task).
+     *
+     * @return Bytes released (0 when none were held).
+     */
+    std::uint64_t release(AppInstanceId app, TaskId task);
+
+    /** Bytes currently held by (app, task). */
+    std::uint64_t held(AppInstanceId app, TaskId task) const;
+
+    /** Total bytes currently allocated. */
+    std::uint64_t inUse() const { return _inUse; }
+
+    /** Peak concurrent allocation observed. */
+    std::uint64_t peak() const { return _peak; }
+
+    /** Number of allocation requests rejected for capacity. */
+    std::uint64_t rejections() const { return _rejections; }
+
+    std::uint64_t capacity() const { return _cfg.capacityBytes; }
+
+  private:
+    using Key = std::pair<AppInstanceId, TaskId>;
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<std::uint64_t>{}(k.first * 0x9e3779b97f4a7c15ULL +
+                                              k.second);
+        }
+    };
+
+    BufferManagerConfig _cfg;
+    std::unordered_map<Key, std::uint64_t, KeyHash> _held;
+    std::uint64_t _inUse = 0;
+    std::uint64_t _peak = 0;
+    std::uint64_t _rejections = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_HYPERVISOR_BUFFER_MANAGER_HH

@@ -1,0 +1,549 @@
+#include "hypervisor/hypervisor.hh"
+
+#include <algorithm>
+
+#include "alloc/makespan.hh"
+#include "sched/prema_tokens.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Hypervisor::Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
+                       MetricsCollector &collector, HypervisorConfig cfg)
+    : _eq(eq), _fabric(fabric), _scheduler(scheduler), _collector(collector),
+      _cfg(cfg), _buffers(cfg.buffers)
+{
+    if (cfg.schedInterval <= 0)
+        fatal("scheduling interval must be positive");
+    _itemEvent.assign(fabric.numSlots(), kEventNone);
+    _itemStart.assign(fabric.numSlots(), kTimeNone);
+    _itemDuration.assign(fabric.numSlots(), kTimeNone);
+    _scheduler.attach(*this);
+    _tick = std::make_unique<PeriodicEvent>(
+        _eq, _cfg.schedInterval, "sched_tick",
+        [this] { requestPass(SchedEvent::Tick); });
+}
+
+Hypervisor::~Hypervisor() = default;
+
+void
+Hypervisor::start()
+{
+    _tick->start();
+}
+
+void
+Hypervisor::stop()
+{
+    _tick->stop();
+}
+
+AppInstanceId
+Hypervisor::submit(AppSpecPtr spec, int batch, Priority priority,
+                   int event_index)
+{
+    AppInstanceId id = _nextAppId++;
+    auto inst = std::make_unique<AppInstance>(id, std::move(spec), batch,
+                                              priority, _eq.now(),
+                                              event_index);
+    _live.push_back(inst.get());
+    _apps.push_back(std::move(inst));
+    ++_stats.appsAdmitted;
+    _scheduler.onAppAdmitted(*_live.back());
+    requestPass(SchedEvent::Arrival);
+    return id;
+}
+
+AppInstance *
+Hypervisor::findApp(AppInstanceId id)
+{
+    for (AppInstance *app : _live) {
+        if (app->id() == id)
+            return app;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Hypervisor::bufferBytes(const AppInstance &app, TaskId task) const
+{
+    // Double-buffered per-item input and output windows.
+    const TaskSpec &spec = app.graph().task(task);
+    return 2 * (spec.inputBytes + spec.outputBytes);
+}
+
+SimTime
+Hypervisor::itemWallTime(const AppInstance &app, TaskId task) const
+{
+    const TaskSpec &spec = app.graph().task(task);
+    const TaskGraph &g = app.graph();
+    SimTime in = g.predecessors(task).empty()
+                     ? _fabric.psTransferLatency(spec.inputBytes)
+                     : _fabric.interiorTransferLatency(spec.inputBytes);
+    SimTime out = g.successors(task).empty()
+                      ? _fabric.psTransferLatency(spec.outputBytes)
+                      : _fabric.interiorTransferLatency(spec.outputBytes);
+    return spec.itemLatency + in + out;
+}
+
+void
+Hypervisor::doTransfer(std::uint64_t bytes, bool interior,
+                       std::function<void()> cb)
+{
+    if (bytes == 0) {
+        cb();
+        return;
+    }
+    if (interior &&
+        _fabric.config().transport == InterSlotTransport::NoC) {
+        // NoC links are point-to-point: no queueing against other slots.
+        _eq.scheduleAfter(_fabric.interiorTransferLatency(bytes),
+                          "noc_transfer", std::move(cb));
+        return;
+    }
+    _fabric.dataPort().transfer(bytes, std::move(cb));
+}
+
+void
+Hypervisor::trace(SlotId slot, const AppInstance &app, TaskId task,
+                  TimelineEventKind kind)
+{
+    if (_timeline)
+        _timeline->record(_eq.now(), slot, app.id(), task,
+                          app.spec().name(), kind);
+}
+
+bool
+Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    if (!slot.isFree()) {
+        warn("configure rejected: slot %u not free", slot_id);
+        return false;
+    }
+    TaskRunState &st = app.taskState(task);
+    if (st.phase != TaskPhase::Idle) {
+        warn("configure rejected: %s task %u is %s",
+             app.spec().name().c_str(), task, toString(st.phase));
+        return false;
+    }
+    if (st.itemsDone >= app.batch()) {
+        warn("configure rejected: %s task %u already finished its batch",
+             app.spec().name().c_str(), task);
+        return false;
+    }
+
+    BitstreamKey key =
+        _fabric.bitstreamKeyFor(app.spec().name(), task, slot_id);
+    std::uint64_t bytes = _fabric.effectiveBitstreamBytes(
+        app.graph().task(task).bitstreamBytes);
+
+    slot.beginConfigure(app.id(), task, key, _eq.now());
+    st.phase = TaskPhase::Configuring;
+    st.slot = slot_id;
+    ++_stats.configuresIssued;
+    trace(slot_id, app, task, TimelineEventKind::ConfigureBegin);
+
+    if (!_buffers.allocate(app.id(), task, bufferBytes(app, task))) {
+        warn("buffer pool exhausted for %s task %u (%llu in use)",
+             app.spec().name().c_str(), task,
+             static_cast<unsigned long long>(_buffers.inUse()));
+    }
+
+    AppInstanceId app_id = app.id();
+
+    if (_cfg.allowReconfigSkip && slot.configuredBitstream() &&
+        *slot.configuredBitstream() == key) {
+        // The requested logic is already configured: skip SD + CAP.
+        ++_stats.reconfigSkips;
+        _eq.scheduleAfter(0, "reconfig_skip", [this, app_id, task, slot_id] {
+            onReconfigDone(app_id, task, slot_id, 0);
+        });
+        return true;
+    }
+
+    SimTime cap_latency = _fabric.cap().reconfigLatency(bytes);
+    _fabric.store().ensureLoaded(
+        key, bytes, [this, app_id, task, slot_id, bytes, cap_latency] {
+            _fabric.cap().reconfigure(
+                slot_id, bytes, [this, app_id, task, slot_id, cap_latency] {
+                    onReconfigDone(app_id, task, slot_id, cap_latency);
+                });
+        });
+    return true;
+}
+
+void
+Hypervisor::onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot_id,
+                           SimTime reconfig_latency)
+{
+    AppInstance *app = findApp(app_id);
+    if (!app)
+        panic("reconfiguration completed for retired app %llu",
+              static_cast<unsigned long long>(app_id));
+
+    Slot &slot = _fabric.slot(slot_id);
+    slot.finishConfigure(_eq.now());
+    TaskRunState &st = app->taskState(task);
+    st.phase = TaskPhase::Resident;
+    app->addReconfigTime(reconfig_latency);
+    app->noteReconfig();
+    app->noteLaunch(_eq.now());
+    trace(slot_id, *app, task, TimelineEventKind::ConfigureEnd);
+
+    advanceSlot(slot_id);
+    requestPass(SchedEvent::ReconfigDone);
+}
+
+void
+Hypervisor::advanceSlot(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    if (slot.state() != SlotState::Occupied || slot.executing())
+        return;
+
+    if (slot.preemptRequested()) {
+        doPreempt(slot_id);
+        return;
+    }
+
+    AppInstance *app = findApp(slot.app());
+    if (!app)
+        panic("occupied slot %u references retired app", slot_id);
+    TaskId task = slot.task();
+    TaskRunState &st = app->taskState(task);
+
+    if (st.itemsDone >= app->batch()) {
+        completeTask(slot_id);
+        return;
+    }
+
+    // Execution discipline: bulk gating waits for predecessors to finish
+    // the whole batch; pipelining only needs the next item's inputs.
+    // Applications whose partition cannot pipeline across batch items
+    // are bulk-gated regardless of the scheduler.
+    bool bulk =
+        _scheduler.bulkItemGating() || !app->spec().pipelineAcrossBatch();
+    bool can_start = bulk ? app->predsFullyDone(task)
+                          : app->inputsReady(task, st.itemsDone);
+    if (!can_start)
+        return; // Waiting at an item boundary (preemptible state).
+
+    startItem(slot_id);
+}
+
+void
+Hypervisor::startItem(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    AppInstance *app = findApp(slot.app());
+    TaskId task = slot.task();
+    TaskRunState &st = app->taskState(task);
+
+    slot.beginItem(_eq.now());
+    st.executing = true;
+    trace(slot_id, *app, task, TimelineEventKind::ItemBegin);
+
+    if (!_fabric.config().modelPsContention) {
+        // Resume from a checkpointed partial item when one is saved.
+        SimTime dur = st.itemRemaining != kTimeNone ? st.itemRemaining
+                                                    : itemWallTime(*app, task);
+        st.itemRemaining = kTimeNone;
+        _itemStart[slot_id] = _eq.now();
+        _itemDuration[slot_id] = dur;
+        _itemEvent[slot_id] =
+            _eq.scheduleAfter(dur, "item_done", [this, slot_id, dur] {
+                _itemEvent[slot_id] = kEventNone;
+                onItemDone(slot_id, dur);
+            });
+        return;
+    }
+
+    // Contention-modeled path: input transfer -> compute -> output
+    // transfer, with PS transfers queueing on the shared data port. The
+    // slot stays "executing" (non-preemptible) across all three phases.
+    const TaskSpec &spec = app->graph().task(task);
+    bool interior_in = !app->graph().predecessors(task).empty();
+    bool interior_out = !app->graph().successors(task).empty();
+    SimTime started = _eq.now();
+    SimTime kernel = spec.itemLatency;
+    std::uint64_t out_bytes = spec.outputBytes;
+
+    doTransfer(spec.inputBytes, interior_in,
+               [this, slot_id, kernel, out_bytes, interior_out, started] {
+                   _eq.scheduleAfter(
+                       kernel, "kernel_done",
+                       [this, slot_id, out_bytes, interior_out, started] {
+                           doTransfer(out_bytes, interior_out,
+                                      [this, slot_id, started] {
+                                          onItemDone(slot_id,
+                                                     _eq.now() - started);
+                                      });
+                       });
+               });
+}
+
+void
+Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    slot.finishItem(_eq.now());
+
+    AppInstance *app = findApp(slot.app());
+    if (!app)
+        panic("item completed in slot %u for retired app", slot_id);
+    TaskId task = slot.task();
+    TaskRunState &st = app->taskState(task);
+    st.executing = false;
+    ++st.itemsDone;
+    app->addRunTime(item_duration);
+    ++_stats.itemsExecuted;
+    trace(slot_id, *app, task, TimelineEventKind::ItemEnd);
+
+    // Newly available output may unblock resident successors waiting at
+    // their own item boundaries.
+    for (TaskId succ : app->graph().successors(task)) {
+        const TaskRunState &sst = app->taskState(succ);
+        if (sst.phase == TaskPhase::Resident && !sst.executing)
+            advanceSlot(sst.slot);
+    }
+
+    advanceSlot(slot_id);
+    requestPass(SchedEvent::ItemBoundary);
+}
+
+bool
+Hypervisor::preempt(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    if (slot.state() != SlotState::Occupied) {
+        warn("preempt rejected: slot %u is %s", slot_id,
+             ::nimblock::toString(slot.state()));
+        return false;
+    }
+    ++_stats.preemptionsRequested;
+    if (slot.waitingForNextItem()) {
+        doPreempt(slot_id);
+        return true;
+    }
+
+    // Fine-grained preemption extension: checkpoint the in-flight item
+    // instead of waiting for the batch-item boundary. Requires the
+    // single-event execution path (no PS-contention phases) and an item
+    // actually in flight.
+    if (_cfg.allowMidItemPreemption &&
+        !_fabric.config().modelPsContention &&
+        _itemEvent[slot_id] != kEventNone) {
+        _eq.cancel(_itemEvent[slot_id]);
+        _itemEvent[slot_id] = kEventNone;
+
+        AppInstance *app = findApp(slot.app());
+        if (!app)
+            panic("checkpointing slot %u of retired app", slot_id);
+        TaskRunState &st = app->taskState(slot.task());
+        SimTime elapsed = _eq.now() - _itemStart[slot_id];
+        st.itemRemaining = _itemDuration[slot_id] - elapsed;
+        app->addRunTime(elapsed); // Partial progress counts as run time.
+        ++_stats.checkpointPreemptions;
+
+        // The slot stays uninterruptible while state is saved; the
+        // preemption completes after the checkpoint cost.
+        slot.requestPreempt();
+        _eq.scheduleAfter(_cfg.checkpointLatency, "checkpoint_save",
+                          [this, slot_id] {
+                              Slot &s = _fabric.slot(slot_id);
+                              s.abortItem(_eq.now());
+                              AppInstance *owner = findApp(s.app());
+                              if (!owner)
+                                  panic("checkpointed app retired mid-save");
+                              owner->taskState(s.task()).executing = false;
+                              doPreempt(slot_id);
+                          });
+        return false;
+    }
+
+    slot.requestPreempt();
+    return false;
+}
+
+void
+Hypervisor::doPreempt(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    AppInstance *app = findApp(slot.app());
+    if (!app)
+        panic("preempting slot %u of retired app", slot_id);
+    TaskId task = slot.task();
+    TaskRunState &st = app->taskState(task);
+
+    // Batch-preemption: save the batch state (items completed persist in
+    // DDR buffers tracked by the hypervisor) and vacate the slot.
+    st.phase = TaskPhase::Idle;
+    st.slot = kSlotNone;
+    st.executing = false;
+    ++st.preemptions;
+    app->notePreemption();
+    _buffers.release(app->id(), task);
+    trace(slot_id, *app, task, TimelineEventKind::Preempt);
+    slot.release(_eq.now());
+    ++_stats.preemptionsHonored;
+    requestPass(SchedEvent::PreemptDone);
+}
+
+void
+Hypervisor::completeTask(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    AppInstance *app = findApp(slot.app());
+    if (!app)
+        panic("completing task in slot %u of retired app", slot_id);
+    TaskId task = slot.task();
+    TaskRunState &st = app->taskState(task);
+
+    st.phase = TaskPhase::Done;
+    st.slot = kSlotNone;
+    app->noteTaskCompleted();
+    _buffers.release(app->id(), task);
+    trace(slot_id, *app, task, TimelineEventKind::Release);
+    slot.release(_eq.now());
+
+    if (app->done()) {
+        retire(*app);
+        requestPass(SchedEvent::AppDone);
+    } else {
+        requestPass(SchedEvent::TaskDone);
+    }
+}
+
+void
+Hypervisor::retire(AppInstance &app)
+{
+    app.setRetireTime(_eq.now());
+
+    AppRecord rec;
+    rec.eventIndex = app.eventIndex();
+    rec.appName = app.spec().name();
+    rec.batch = app.batch();
+    rec.priority = app.priorityValue();
+    rec.arrival = app.arrival();
+    rec.firstLaunch = app.firstLaunch();
+    rec.retire = app.retireTime();
+    rec.runTime = app.totalRunTime();
+    rec.reconfigTime = app.totalReconfigTime();
+    rec.reconfigs = app.reconfigCount();
+    rec.preemptions = app.preemptionCount();
+    _collector.record(std::move(rec));
+
+    ++_stats.appsRetired;
+    _scheduler.onAppRetired(app);
+
+    _live.erase(std::remove(_live.begin(), _live.end(), &app), _live.end());
+    auto owner = std::find_if(
+        _apps.begin(), _apps.end(),
+        [&](const std::unique_ptr<AppInstance> &p) { return p.get() == &app; });
+    if (owner == _apps.end())
+        panic("retiring unowned app instance");
+    _apps.erase(owner);
+}
+
+void
+Hypervisor::requestPass(SchedEvent reason)
+{
+    if (_passPending) {
+        // Coalescing: token-accumulating reasons (arrivals, completions,
+        // ticks — §4.1) must not be masked by a later non-accumulating
+        // trigger, or a new application could sit token-less until the
+        // next interval.
+        if (TokenPolicy::accumulatesOn(reason) ||
+            !TokenPolicy::accumulatesOn(_pendingReason)) {
+            _pendingReason = reason;
+        }
+        return;
+    }
+    _pendingReason = reason;
+    _passPending = true;
+    _eq.scheduleAfter(_cfg.passLatency, "sched_pass", [this] {
+        _passPending = false;
+        runPass(_pendingReason);
+    });
+}
+
+void
+Hypervisor::runPass(SchedEvent reason)
+{
+    if (_inPass)
+        panic("scheduling pass re-entered");
+    _inPass = true;
+    ++_stats.schedulingPasses;
+    _scheduler.pass(reason);
+    _inPass = false;
+
+    rescueStallIfNeeded();
+}
+
+void
+Hypervisor::rescueStallIfNeeded()
+{
+    if (_live.empty() || _passPending)
+        return;
+    if (_fabric.cap().busy() || _fabric.store().busy() ||
+        _fabric.dataPort().busy())
+        return;
+
+    bool any_free = false;
+    bool any_active = false;
+    for (const Slot &s : _fabric.slots()) {
+        any_free |= s.isFree();
+        any_active |= s.executing() || s.state() == SlotState::Configuring;
+    }
+    if (any_free || any_active)
+        return;
+
+    // Everything is occupied-but-waiting with no reconfiguration pending:
+    // without intervention no event will ever fire again. Preempt the
+    // waiting task latest in topological order so its producer can run.
+    SlotId victim = kSlotNone;
+    std::size_t victim_rank = 0;
+    for (const Slot &s : _fabric.slots()) {
+        if (!s.waitingForNextItem())
+            continue;
+        AppInstance *app = findApp(s.app());
+        if (!app)
+            continue;
+        std::size_t rank = app->graph().topoRank(s.task());
+        if (victim == kSlotNone || rank > victim_rank) {
+            victim = s.id();
+            victim_rank = rank;
+        }
+    }
+    if (victim == kSlotNone)
+        return;
+
+    warn("stall rescue: preempting slot %u at t=%s", victim,
+         simtime::toString(_eq.now()).c_str());
+    ++_stats.stallRescues;
+    doPreempt(victim);
+}
+
+SimTime
+Hypervisor::estimatedSingleSlotLatency(AppInstance &app)
+{
+    auto key = std::make_pair(app.spec().name(), app.batch());
+    auto it = _latencyCache.find(key);
+    if (it == _latencyCache.end()) {
+        SimTime lat = singleSlotLatency(
+            app.graph(), app.batch(), reconfigLatencyEstimate(),
+            _fabric.config().psBandwidthBytesPerSec);
+        it = _latencyCache.emplace(key, lat).first;
+    }
+    return it->second;
+}
+
+SimTime
+Hypervisor::reconfigLatencyEstimate() const
+{
+    return _fabric.warmConfigureLatency(
+        _fabric.config().defaultBitstreamBytes);
+}
+
+} // namespace nimblock

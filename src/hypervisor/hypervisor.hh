@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The Nimblock hypervisor (§2.2).
+ *
+ * The hypervisor is the system manager running on the embedded ARM core:
+ * it admits arriving applications, drives the bitstream-load /
+ * reconfiguration pipeline, launches batch items on resident tasks,
+ * propagates data availability through task graphs, honors preemption
+ * requests at item boundaries, retires completed applications, and invokes
+ * the attached scheduling algorithm on every state change plus a periodic
+ * scheduling interval (400 ms in the paper).
+ *
+ * The hypervisor is execution-discipline agnostic: bulk vs. pipelined
+ * behaviour emerges from *when* the scheduler chooses to configure tasks
+ * (see sched/scheduler.hh).
+ */
+
+#ifndef NIMBLOCK_HYPERVISOR_HYPERVISOR_HH
+#define NIMBLOCK_HYPERVISOR_HYPERVISOR_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fabric/fabric.hh"
+#include "hypervisor/app_instance.hh"
+#include "hypervisor/buffer_manager.hh"
+#include "metrics/collector.hh"
+#include "metrics/timeline.hh"
+#include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
+
+namespace nimblock {
+
+/** Hypervisor configuration. */
+struct HypervisorConfig
+{
+    /** Periodic scheduling interval (slot reallocation trigger, §5.1). */
+    SimTime schedInterval = simtime::ms(400);
+
+    /**
+     * Modeled decision latency of one scheduling pass on the ARM core.
+     * Passes requested while one is pending coalesce.
+     */
+    SimTime passLatency = simtime::us(100);
+
+    /**
+     * Skip reconfiguration when the requested bitstream is already
+     * configured in the chosen slot (placement-affinity optimization).
+     * Off by default: the paper always pays the reconfiguration, counting
+     * it as preemption overhead.
+     */
+    bool allowReconfigSkip = false;
+
+    /**
+     * Fine-grained preemption extension (§7 future work): honor
+     * preemption requests mid-item by checkpointing the in-flight item
+     * (paying checkpointLatency) instead of waiting for the batch-item
+     * boundary. The checkpointed item resumes from its saved progress.
+     * Only effective without PS-contention modeling (three-phase items
+     * cannot be checkpointed mid-transfer).
+     */
+    bool allowMidItemPreemption = false;
+
+    /** State save/restore cost per mid-item checkpoint. */
+    SimTime checkpointLatency = simtime::ms(5);
+
+    BufferManagerConfig buffers;
+};
+
+/** Aggregate counters exposed after a run. */
+struct HypervisorStats
+{
+    std::uint64_t appsAdmitted = 0;
+    std::uint64_t appsRetired = 0;
+    std::uint64_t configuresIssued = 0;
+    std::uint64_t reconfigSkips = 0;
+    std::uint64_t preemptionsRequested = 0;
+    std::uint64_t preemptionsHonored = 0;
+    std::uint64_t checkpointPreemptions = 0;
+    std::uint64_t schedulingPasses = 0;
+    std::uint64_t stallRescues = 0;
+    std::uint64_t itemsExecuted = 0;
+};
+
+/** The hypervisor: system manager and SchedulerOps implementation. */
+class Hypervisor : public SchedulerOps
+{
+  public:
+    /**
+     * @param eq        Simulation event queue.
+     * @param fabric    The fabric under management.
+     * @param scheduler Scheduling algorithm (attached automatically).
+     * @param collector Result sink for retired applications.
+     * @param cfg       Configuration.
+     */
+    Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
+               MetricsCollector &collector, HypervisorConfig cfg);
+
+    ~Hypervisor() override;
+
+    Hypervisor(const Hypervisor &) = delete;
+    Hypervisor &operator=(const Hypervisor &) = delete;
+
+    /**
+     * Admit an application (a workload event released at its arrival
+     * time). Must be called at the current simulation time.
+     *
+     * @return The created instance's id.
+     */
+    AppInstanceId submit(AppSpecPtr spec, int batch, Priority priority,
+                         int event_index);
+
+    /** Begin the periodic scheduling-interval timer. */
+    void start();
+
+    /**
+     * Stop the periodic timer (so the event queue can drain once all
+     * applications retire).
+     */
+    void stop();
+
+    /** Number of live (admitted, unretired) applications. */
+    std::size_t liveCount() const { return _live.size(); }
+
+    const HypervisorStats &stats() const { return _stats; }
+    const BufferManager &buffers() const { return _buffers; }
+
+    /**
+     * Attach a slot-transition recorder (optional; may be null). The
+     * timeline must outlive the hypervisor's activity.
+     */
+    void setTimeline(Timeline *timeline) { _timeline = timeline; }
+
+    /** @name SchedulerOps */
+    /// @{
+    SimTime now() const override { return _eq.now(); }
+    Fabric &fabric() override { return _fabric; }
+    const std::vector<AppInstance *> &liveApps() override { return _live; }
+    AppInstance *findApp(AppInstanceId id) override;
+    bool configure(AppInstance &app, TaskId task, SlotId slot) override;
+    bool preempt(SlotId slot) override;
+    SimTime estimatedSingleSlotLatency(AppInstance &app) override;
+    SimTime reconfigLatencyEstimate() const override;
+    /// @}
+
+  private:
+    /** Coalescing pass request; the pass runs after passLatency. */
+    void requestPass(SchedEvent reason);
+
+    /** Execute one scheduling pass (never re-entered). */
+    void runPass(SchedEvent reason);
+
+    /** Reconfiguration completed for (app, task) in @p slot. */
+    void onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot,
+                        SimTime reconfig_latency);
+
+    /**
+     * Drive the slot: honor preemption, start the next batch item,
+     * complete the task, or leave it waiting for inputs.
+     */
+    void advanceSlot(SlotId slot);
+
+    /**
+     * Begin one batch item in @p slot: input transfer, kernel compute,
+     * output transfer. With PS-contention modeling the transfers queue on
+     * the shared data port; interior (task-to-task) transfers use the
+     * configured inter-slot transport.
+     */
+    void startItem(SlotId slot);
+
+    /**
+     * Perform a data transfer of @p bytes and invoke @p cb when done.
+     *
+     * @param interior True for task-to-task edges (NoC-eligible), false
+     *                 for external input/output (always via the PS).
+     */
+    void doTransfer(std::uint64_t bytes, bool interior,
+                    std::function<void()> cb);
+
+    /** A batch item finished executing in @p slot. */
+    void onItemDone(SlotId slot, SimTime item_duration);
+
+    /** Vacate @p slot at an item boundary, retaining task progress. */
+    void doPreempt(SlotId slot);
+
+    /** Task finished its whole batch. */
+    void completeTask(SlotId slot);
+
+    /** All tasks of @p app complete: record metrics and drop it. */
+    void retire(AppInstance &app);
+
+    /**
+     * Dead-state rescue: if nothing can ever make progress again (no item
+     * executing, CAP idle, no free slot, every occupied slot waiting),
+     * force-preempt the waiting task latest in topological order so its
+     * producer can be scheduled. Counted in stats; a correctness backstop
+     * for pathological pipelining states, not a scheduling feature.
+     */
+    void rescueStallIfNeeded();
+
+    /** Per-item wall time (kernel + PS transfers) for (app, task). */
+    SimTime itemWallTime(const AppInstance &app, TaskId task) const;
+
+    /** Record a slot transition when a timeline is attached. */
+    void trace(SlotId slot, const AppInstance &app, TaskId task,
+               TimelineEventKind kind);
+
+    /** Buffer bytes charged while (app, task) is resident. */
+    std::uint64_t bufferBytes(const AppInstance &app, TaskId task) const;
+
+    EventQueue &_eq;
+    Fabric &_fabric;
+    Scheduler &_scheduler;
+    MetricsCollector &_collector;
+    HypervisorConfig _cfg;
+    BufferManager _buffers;
+
+    std::vector<std::unique_ptr<AppInstance>> _apps; //!< Owned, live only.
+    std::vector<AppInstance *> _live;                //!< Arrival order.
+    AppInstanceId _nextAppId = 1;
+
+    /** Pending item-completion event per slot (for checkpointing). */
+    std::vector<EventId> _itemEvent;
+    /** Start time of the in-flight item per slot. */
+    std::vector<SimTime> _itemStart;
+    /** Planned wall duration of the in-flight item per slot. */
+    std::vector<SimTime> _itemDuration;
+
+    std::unique_ptr<PeriodicEvent> _tick;
+    bool _passPending = false;
+    SchedEvent _pendingReason = SchedEvent::Tick;
+    bool _inPass = false;
+
+    /** Cache of single-slot latency estimates keyed by (spec, batch). */
+    std::map<std::pair<std::string, int>, SimTime> _latencyCache;
+
+    Timeline *_timeline = nullptr;
+
+    HypervisorStats _stats;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_HYPERVISOR_HYPERVISOR_HH

@@ -1,0 +1,106 @@
+#include "metrics/analysis.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+std::vector<EventComparison>
+compareToBaseline(const std::vector<AppRecord> &algo,
+                  const std::vector<AppRecord> &baseline)
+{
+    if (algo.size() != baseline.size())
+        fatal("comparison needs equal record counts (%zu vs %zu)",
+              algo.size(), baseline.size());
+
+    std::map<int, const AppRecord *> base_by_event;
+    for (const AppRecord &r : baseline)
+        base_by_event[r.eventIndex] = &r;
+
+    std::vector<EventComparison> out;
+    out.reserve(algo.size());
+    for (const AppRecord &r : algo) {
+        auto it = base_by_event.find(r.eventIndex);
+        if (it == base_by_event.end())
+            fatal("baseline run is missing event %d", r.eventIndex);
+        const AppRecord &b = *it->second;
+        if (b.appName != r.appName || b.batch != r.batch)
+            fatal("event %d differs between runs (%s/%d vs %s/%d)",
+                  r.eventIndex, b.appName.c_str(), b.batch,
+                  r.appName.c_str(), r.batch);
+        EventComparison c;
+        c.eventIndex = r.eventIndex;
+        c.appName = r.appName;
+        c.batch = r.batch;
+        c.priority = r.priority;
+        c.baselineResponse = b.responseTime();
+        c.response = r.responseTime();
+        out.push_back(std::move(c));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EventComparison &a, const EventComparison &b) {
+                  return a.eventIndex < b.eventIndex;
+              });
+    return out;
+}
+
+ReductionStats
+reductionStats(const std::vector<EventComparison> &events)
+{
+    ReductionStats stats;
+    for (const EventComparison &e : events) {
+        stats.reductions.add(e.reduction());
+        stats.normalized.add(e.normalized());
+    }
+    return stats;
+}
+
+double
+jainFairnessIndex(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0, sum_sq = 0;
+    for (double v : values) {
+        if (v < 0)
+            fatal("fairness index needs non-negative values, got %f", v);
+        sum += v;
+        sum_sq += v * v;
+    }
+    if (sum_sq <= 0)
+        return 0.0;
+    return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+std::vector<double>
+slowdowns(const std::vector<AppRecord> &records,
+          const std::function<SimTime(const AppRecord &)> &unit)
+{
+    if (!unit)
+        fatal("slowdown computation needs a unit function");
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const AppRecord &r : records) {
+        SimTime u = unit(r);
+        if (u <= 0)
+            u = 1;
+        out.push_back(static_cast<double>(r.responseTime()) /
+                      static_cast<double>(u));
+    }
+    return out;
+}
+
+double
+meanResponseSec(const std::vector<AppRecord> &records)
+{
+    if (records.empty())
+        return 0.0;
+    double total = 0;
+    for (const AppRecord &r : records)
+        total += simtime::toSec(r.responseTime());
+    return total / static_cast<double>(records.size());
+}
+
+} // namespace nimblock

@@ -1,0 +1,27 @@
+#include "metrics/collector.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+void
+MetricsCollector::record(AppRecord rec)
+{
+    if (rec.retire == kTimeNone || rec.arrival == kTimeNone)
+        panic("app record for '%s' is missing timestamps",
+              rec.appName.c_str());
+    _records.push_back(std::move(rec));
+}
+
+std::vector<AppRecord>
+MetricsCollector::recordsFor(const std::string &app_name) const
+{
+    std::vector<AppRecord> out;
+    for (const auto &r : _records) {
+        if (r.appName == app_name)
+            out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace nimblock

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-application result records.
+ *
+ * The testbed "stores application metadata until the entire test sequence
+ * is completed for result collection" (§5.1); the collector is that store.
+ * One AppRecord is produced per workload event when its application
+ * retires.
+ */
+
+#ifndef NIMBLOCK_METRICS_COLLECTOR_HH
+#define NIMBLOCK_METRICS_COLLECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Final metadata of one completed application. */
+struct AppRecord
+{
+    /** Index of the generating event within its sequence. */
+    int eventIndex = -1;
+
+    std::string appName;
+    int batch = 1;
+    int priority = 1;
+
+    SimTime arrival = kTimeNone;
+    /** First task launch (end of initial queueing). */
+    SimTime firstLaunch = kTimeNone;
+    SimTime retire = kTimeNone;
+
+    /** Summed item execution time across all tasks ("Run time", Fig 8). */
+    SimTime runTime = 0;
+    /** Summed reconfiguration time ("PR time", Fig 8). */
+    SimTime reconfigTime = 0;
+
+    int reconfigs = 0;
+    int preemptions = 0;
+
+    /** Arrival-to-retirement latency (the paper's response time T_i). */
+    SimTime
+    responseTime() const
+    {
+        return retire - arrival;
+    }
+
+    /** Queueing time before the first task launch ("Wait time", Fig 8). */
+    SimTime
+    waitTime() const
+    {
+        return (firstLaunch == kTimeNone ? retire : firstLaunch) - arrival;
+    }
+
+    /** Execution span: first launch to retirement. */
+    SimTime
+    executionSpan() const
+    {
+        return firstLaunch == kTimeNone ? 0 : retire - firstLaunch;
+    }
+};
+
+/** Accumulates AppRecords over a run. */
+class MetricsCollector
+{
+  public:
+    MetricsCollector() = default;
+
+    /** Record one retired application. */
+    void record(AppRecord rec);
+
+    const std::vector<AppRecord> &records() const { return _records; }
+    std::size_t count() const { return _records.size(); }
+
+    /** Records for a specific application name. */
+    std::vector<AppRecord> recordsFor(const std::string &app_name) const;
+
+    /** Reset for reuse. */
+    void clear() { _records.clear(); }
+
+  private:
+    std::vector<AppRecord> _records;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_METRICS_COLLECTOR_HH

@@ -1,0 +1,84 @@
+#include "metrics/deadline.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+double
+DeadlineCurve::errorPoint(double target) const
+{
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        if (violationRate[i] <= target)
+            return ds[i];
+    }
+    return ds.empty() ? 0.0 : ds.back() + (ds.size() > 1 ? ds[1] - ds[0] : 1);
+}
+
+double
+DeadlineCurve::tightestRate() const
+{
+    return violationRate.empty() ? 0.0 : violationRate.front();
+}
+
+double
+DeadlineCurve::rateAt(double ds_value) const
+{
+    if (ds.empty())
+        return 0.0;
+    std::size_t best = 0;
+    double best_dist = std::abs(ds[0] - ds_value);
+    for (std::size_t i = 1; i < ds.size(); ++i) {
+        double dist = std::abs(ds[i] - ds_value);
+        if (dist < best_dist) {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    return violationRate[best];
+}
+
+DeadlineCurve
+deadlineSweep(const std::vector<AppRecord> &records,
+              const std::function<SimTime(const AppRecord &)> &
+                  single_slot_latency,
+              const DeadlineSweepConfig &cfg)
+{
+    if (cfg.dsStep <= 0 || cfg.dsMax < cfg.dsMin)
+        fatal("invalid deadline sweep range");
+    if (!single_slot_latency)
+        fatal("deadline sweep needs a single-slot latency function");
+
+    std::vector<const AppRecord *> considered;
+    for (const AppRecord &r : records) {
+        if (!cfg.onlyHighPriority || r.priority == 9)
+            considered.push_back(&r);
+    }
+
+    DeadlineCurve curve;
+    curve.consideredEvents = considered.size();
+    int steps = static_cast<int>(
+                    std::round((cfg.dsMax - cfg.dsMin) / cfg.dsStep)) +
+                1;
+    for (int i = 0; i < steps; ++i) {
+        double ds = cfg.dsMin + i * cfg.dsStep;
+        std::size_t violations = 0;
+        for (const AppRecord *r : considered) {
+            SimTime unit = single_slot_latency(*r);
+            auto deadline = static_cast<SimTime>(
+                ds * static_cast<double>(unit));
+            if (r->responseTime() > deadline)
+                ++violations;
+        }
+        curve.ds.push_back(ds);
+        curve.violationRate.push_back(
+            considered.empty()
+                ? 0.0
+                : static_cast<double>(violations) /
+                      static_cast<double>(considered.size()));
+    }
+    return curve;
+}
+
+} // namespace nimblock

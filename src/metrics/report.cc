@@ -1,0 +1,80 @@
+#include "metrics/report.hh"
+
+namespace nimblock {
+
+std::map<std::string, TimeBreakdown>
+timeBreakdownByApp(const std::vector<AppRecord> &records)
+{
+    struct Acc
+    {
+        double run = 0, pr = 0, wait = 0;
+        int n = 0;
+    };
+    std::map<std::string, Acc> acc;
+    for (const AppRecord &r : records) {
+        Acc &a = acc[r.appName];
+        a.run += simtime::toSec(r.runTime);
+        a.pr += simtime::toSec(r.reconfigTime);
+        a.wait += simtime::toSec(r.waitTime());
+        ++a.n;
+    }
+
+    std::map<std::string, TimeBreakdown> out;
+    for (auto &[name, a] : acc) {
+        double total = a.run + a.pr + a.wait;
+        TimeBreakdown b;
+        if (total > 0) {
+            b.runFraction = a.run / total;
+            b.prFraction = a.pr / total;
+            b.waitFraction = a.wait / total;
+        }
+        out[name] = b;
+    }
+    return out;
+}
+
+std::map<std::string, double>
+meanResponseByApp(const std::vector<AppRecord> &records)
+{
+    std::map<std::string, std::pair<double, int>> acc;
+    for (const AppRecord &r : records) {
+        auto &[sum, n] = acc[r.appName];
+        sum += simtime::toSec(r.responseTime());
+        ++n;
+    }
+    std::map<std::string, double> out;
+    for (auto &[name, v] : acc)
+        out[name] = v.first / v.second;
+    return out;
+}
+
+std::map<std::string, double>
+meanExecutionByApp(const std::vector<AppRecord> &records)
+{
+    std::map<std::string, std::pair<double, int>> acc;
+    for (const AppRecord &r : records) {
+        auto &[sum, n] = acc[r.appName];
+        sum += simtime::toSec(r.executionSpan());
+        ++n;
+    }
+    std::map<std::string, double> out;
+    for (auto &[name, v] : acc)
+        out[name] = v.first / v.second;
+    return out;
+}
+
+double
+meanThroughputItemsPerSec(const std::vector<AppRecord> &records)
+{
+    if (records.empty())
+        return 0.0;
+    double total = 0;
+    for (const AppRecord &r : records) {
+        double resp = simtime::toSec(r.responseTime());
+        if (resp > 0)
+            total += static_cast<double>(r.batch) / resp;
+    }
+    return total / static_cast<double>(records.size());
+}
+
+} // namespace nimblock

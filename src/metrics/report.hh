@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reusable report computations: Figure 8 time breakdowns and per-benchmark
+ * response/execution summaries (Table 3).
+ */
+
+#ifndef NIMBLOCK_METRICS_REPORT_HH
+#define NIMBLOCK_METRICS_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hh"
+#include "stats/table.hh"
+
+namespace nimblock {
+
+/**
+ * Proportions of an application's total response time (Figure 8).
+ *
+ * Run and PR time are the summed task execution and reconfiguration
+ * times; because tasks overlap, run + PR may exceed the execution span.
+ * Proportions are of run + PR + wait as in the paper's stacked bars.
+ */
+struct TimeBreakdown
+{
+    double runFraction = 0;
+    double prFraction = 0;
+    double waitFraction = 0;
+};
+
+/** Average time breakdown per application name. */
+std::map<std::string, TimeBreakdown>
+timeBreakdownByApp(const std::vector<AppRecord> &records);
+
+/** Mean response time (seconds) per application name. */
+std::map<std::string, double>
+meanResponseByApp(const std::vector<AppRecord> &records);
+
+/**
+ * Mean execution span (first launch to retirement, seconds) per
+ * application name — Table 3's "Execution Time" column.
+ */
+std::map<std::string, double>
+meanExecutionByApp(const std::vector<AppRecord> &records);
+
+/**
+ * Throughput in batch items per second for records of one application:
+ * batch / response time, averaged (Figure 11).
+ */
+double meanThroughputItemsPerSec(const std::vector<AppRecord> &records);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_METRICS_REPORT_HH

@@ -1,0 +1,194 @@
+#include "metrics/timeline.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(TimelineEventKind k)
+{
+    switch (k) {
+      case TimelineEventKind::ConfigureBegin:
+        return "ConfigureBegin";
+      case TimelineEventKind::ConfigureEnd:
+        return "ConfigureEnd";
+      case TimelineEventKind::ItemBegin:
+        return "ItemBegin";
+      case TimelineEventKind::ItemEnd:
+        return "ItemEnd";
+      case TimelineEventKind::Preempt:
+        return "Preempt";
+      case TimelineEventKind::Release:
+        return "Release";
+    }
+    return "?";
+}
+
+void
+Timeline::record(SimTime time, SlotId slot, AppInstanceId app, TaskId task,
+                 const std::string &app_name, TimelineEventKind kind)
+{
+    if (!_events.empty() && time < _events.back().time)
+        panic("timeline events recorded out of order");
+    _events.push_back(TimelineEvent{time, slot, app, task, app_name, kind});
+}
+
+std::vector<SlotInterval>
+Timeline::slotIntervals(SlotId slot) const
+{
+    std::vector<SlotInterval> out;
+    bool open = false;
+    SlotInterval cur;
+    SimTime item_begin = kTimeNone;
+
+    for (const TimelineEvent &e : _events) {
+        if (e.slot != slot)
+            continue;
+        switch (e.kind) {
+          case TimelineEventKind::ConfigureBegin:
+            if (open)
+                panic("slot %u: nested configure in timeline", slot);
+            open = true;
+            cur = SlotInterval{};
+            cur.begin = e.time;
+            cur.app = e.app;
+            cur.task = e.task;
+            cur.appName = e.appName;
+            break;
+          case TimelineEventKind::ConfigureEnd:
+            if (open)
+                cur.reconfigTime = e.time - cur.begin;
+            break;
+          case TimelineEventKind::ItemBegin:
+            item_begin = e.time;
+            break;
+          case TimelineEventKind::ItemEnd:
+            if (open && item_begin != kTimeNone) {
+                cur.executeTime += e.time - item_begin;
+                item_begin = kTimeNone;
+            }
+            break;
+          case TimelineEventKind::Preempt:
+          case TimelineEventKind::Release:
+            if (open) {
+                cur.end = e.time;
+                cur.preempted = e.kind == TimelineEventKind::Preempt;
+                out.push_back(cur);
+                open = false;
+                item_begin = kTimeNone;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+double
+Timeline::executeUtilization(SlotId slot, SimTime t0, SimTime t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    SimTime executing = 0;
+    SimTime item_begin = kTimeNone;
+    for (const TimelineEvent &e : _events) {
+        if (e.slot != slot)
+            continue;
+        if (e.kind == TimelineEventKind::ItemBegin) {
+            item_begin = e.time;
+        } else if (e.kind == TimelineEventKind::ItemEnd &&
+                   item_begin != kTimeNone) {
+            SimTime lo = std::max(item_begin, t0);
+            SimTime hi = std::min(e.time, t1);
+            if (hi > lo)
+                executing += hi - lo;
+            item_begin = kTimeNone;
+        }
+    }
+    return static_cast<double>(executing) / static_cast<double>(t1 - t0);
+}
+
+std::string
+Timeline::renderAscii(std::size_t num_slots, SimTime t0, SimTime t1,
+                      std::size_t width) const
+{
+    if (t1 == kTimeNone)
+        t1 = _events.empty() ? t0 + 1 : _events.back().time;
+    if (t1 <= t0 || width == 0)
+        return "";
+    double bucket = static_cast<double>(t1 - t0) / static_cast<double>(width);
+
+    std::string out = formatMessage(
+        "timeline %s .. %s  ('R' reconfig, '#' execute, '=' wait, '.' "
+        "free)\n",
+        simtime::toString(t0).c_str(), simtime::toString(t1).c_str());
+
+    for (SlotId slot = 0; slot < num_slots; ++slot) {
+        // Per-bucket dominant state: accumulate busy time per kind.
+        std::vector<double> reconfig(width, 0), execute(width, 0),
+            occupied(width, 0);
+        auto accumulate = [&](SimTime lo, SimTime hi, std::vector<double> &v) {
+            lo = std::max(lo, t0);
+            hi = std::min(hi, t1);
+            if (hi <= lo)
+                return;
+            auto b0 = static_cast<std::size_t>(
+                (static_cast<double>(lo - t0)) / bucket);
+            auto b1 = static_cast<std::size_t>(
+                (static_cast<double>(hi - t0)) / bucket);
+            b1 = std::min(b1, width - 1);
+            for (std::size_t b = b0; b <= b1; ++b) {
+                double bucket_lo = static_cast<double>(t0) + b * bucket;
+                double bucket_hi = bucket_lo + bucket;
+                double seg = std::min(bucket_hi, static_cast<double>(hi)) -
+                             std::max(bucket_lo, static_cast<double>(lo));
+                if (seg > 0)
+                    v[b] += seg;
+            }
+        };
+
+        for (const SlotInterval &iv : slotIntervals(slot)) {
+            accumulate(iv.begin, iv.begin + iv.reconfigTime, reconfig);
+            accumulate(iv.begin, iv.end, occupied);
+        }
+        // Execute sub-intervals need the raw events again.
+        SimTime item_begin = kTimeNone;
+        for (const TimelineEvent &e : _events) {
+            if (e.slot != slot)
+                continue;
+            if (e.kind == TimelineEventKind::ItemBegin)
+                item_begin = e.time;
+            else if (e.kind == TimelineEventKind::ItemEnd &&
+                     item_begin != kTimeNone) {
+                accumulate(item_begin, e.time, execute);
+                item_begin = kTimeNone;
+            }
+        }
+
+        std::string row;
+        for (std::size_t b = 0; b < width; ++b) {
+            double free_time = bucket - occupied[b];
+            double wait = occupied[b] - execute[b] - reconfig[b];
+            double best = free_time;
+            char c = '.';
+            if (reconfig[b] > best) {
+                best = reconfig[b];
+                c = 'R';
+            }
+            if (wait > best) {
+                best = wait;
+                c = '=';
+            }
+            if (execute[b] > best) {
+                best = execute[b];
+                c = '#';
+            }
+            row += c;
+        }
+        out += formatMessage("slot%-2u |%s|\n", slot, row.c_str());
+    }
+    return out;
+}
+
+} // namespace nimblock

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Slot-occupancy timeline recording.
+ *
+ * When enabled, the hypervisor reports every slot transition
+ * (configuration begin/end, item begin/end, preemption, release) to a
+ * Timeline. The timeline reconstructs per-slot occupancy intervals for
+ * utilization analysis, invariant checking in tests, and an ASCII
+ * Gantt-style rendering — the visibility the artifact's serial-console
+ * reports provided on the board.
+ */
+
+#ifndef NIMBLOCK_METRICS_TIMELINE_HH
+#define NIMBLOCK_METRICS_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/slot.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Kinds of slot transitions recorded. */
+enum class TimelineEventKind
+{
+    ConfigureBegin, //!< Bitstream load + reconfiguration started.
+    ConfigureEnd,   //!< Task resident.
+    ItemBegin,      //!< Batch item started executing.
+    ItemEnd,        //!< Batch item finished.
+    Preempt,        //!< Occupant vacated by batch-preemption.
+    Release,        //!< Occupant finished its batch and left.
+};
+
+/** Render a TimelineEventKind. */
+const char *toString(TimelineEventKind k);
+
+/** One recorded slot transition. */
+struct TimelineEvent
+{
+    SimTime time = 0;
+    SlotId slot = kSlotNone;
+    AppInstanceId app = kAppNone;
+    TaskId task = kTaskNone;
+    std::string appName;
+    TimelineEventKind kind = TimelineEventKind::ConfigureBegin;
+};
+
+/** A derived occupancy interval on one slot. */
+struct SlotInterval
+{
+    SimTime begin = 0;
+    SimTime end = 0;
+    AppInstanceId app = kAppNone;
+    TaskId task = kTaskNone;
+    std::string appName;
+
+    /** True when the occupant left by preemption rather than completion. */
+    bool preempted = false;
+
+    /** Time spent reconfiguring at the start of the interval. */
+    SimTime reconfigTime = 0;
+
+    /** Time spent executing batch items within the interval. */
+    SimTime executeTime = 0;
+};
+
+/** Records transitions and derives occupancy structure. */
+class Timeline
+{
+  public:
+    Timeline() = default;
+
+    /** Record one transition (hypervisor only). */
+    void record(SimTime time, SlotId slot, AppInstanceId app, TaskId task,
+                const std::string &app_name, TimelineEventKind kind);
+
+    /** All events in record order (time-sorted by construction). */
+    const std::vector<TimelineEvent> &events() const { return _events; }
+
+    /**
+     * Derived occupancy intervals of @p slot, in time order: one interval
+     * per ConfigureBegin..(Release|Preempt) span.
+     *
+     * Unterminated trailing spans (still occupied at the end of the run)
+     * are omitted.
+     */
+    std::vector<SlotInterval> slotIntervals(SlotId slot) const;
+
+    /**
+     * Fraction of [t0, t1) during which @p slot was executing items.
+     */
+    double executeUtilization(SlotId slot, SimTime t0, SimTime t1) const;
+
+    /**
+     * ASCII Gantt rendering: one row per slot, bucketed at @p bucket.
+     * 'R' reconfiguring, '#' executing, '=' occupied-waiting, '.' free.
+     * The dominant state within each bucket wins.
+     *
+     * @param num_slots Rows to render.
+     * @param t0, t1    Window; t1 == kTimeNone uses the last event.
+     * @param width     Number of buckets per row.
+     */
+    std::string renderAscii(std::size_t num_slots, SimTime t0 = 0,
+                            SimTime t1 = kTimeNone,
+                            std::size_t width = 80) const;
+
+    std::size_t eventCount() const { return _events.size(); }
+
+  private:
+    std::vector<TimelineEvent> _events;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_METRICS_TIMELINE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Scheduler factory: algorithm name -> instance.
+ *
+ * Names match the evaluation's algorithm set: "baseline" (no-sharing),
+ * "fcfs", "prema", "rr", "nimblock", plus the ablations
+ * "nimblock_nopreempt", "nimblock_nopipe" and
+ * "nimblock_nopreempt_nopipe" (Figure 9), plus the related-work
+ * comparator "static" (DML-style static slot designation, §6.2).
+ */
+
+#ifndef NIMBLOCK_SCHED_FACTORY_HH
+#define NIMBLOCK_SCHED_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace nimblock {
+
+/**
+ * Instantiate a scheduler by name.
+ *
+ * fatal()s on unknown names.
+ */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &name);
+
+/** All recognised scheduler names. */
+std::vector<std::string> schedulerNames();
+
+/** The five algorithms evaluated head-to-head in §5.2-§5.5. */
+std::vector<std::string> evaluationSchedulers();
+
+/** The four Nimblock ablation variants of §5.6. */
+std::vector<std::string> ablationSchedulers();
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SCHED_FACTORY_HH

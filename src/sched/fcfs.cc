@@ -1,0 +1,61 @@
+#include "sched/fcfs.hh"
+
+#include <algorithm>
+
+namespace nimblock {
+
+bool
+FcfsScheduler::isQueued(AppInstanceId app, TaskId task) const
+{
+    for (const ReadyTask &e : _fifo) {
+        if (e.app == app && e.task == task)
+            return true;
+    }
+    return false;
+}
+
+void
+FcfsScheduler::enqueueNewlyReady()
+{
+    // Scan applications in arrival order so same-pass readiness ties keep
+    // arrival order, matching "selected in the order that they arrived".
+    for (AppInstance *app : ops().liveApps()) {
+        for (TaskId t : app->configurableTasks(/*pipelined=*/false)) {
+            if (!isQueued(app->id(), t))
+                _fifo.push_back(ReadyTask{app->id(), t});
+        }
+    }
+}
+
+void
+FcfsScheduler::pass(SchedEvent reason)
+{
+    (void)reason;
+    enqueueNewlyReady();
+
+    while (!_fifo.empty() && ops().fabric().freeSlotCount() > 0) {
+        ReadyTask head = _fifo.front();
+        AppInstance *app = ops().findApp(head.app);
+        if (!app) {
+            _fifo.pop_front(); // Owner retired; drop the stale entry.
+            continue;
+        }
+        SlotId slot = pickFreeSlot(*app, head.task);
+        if (slot == kSlotNone)
+            break;
+        _fifo.pop_front();
+        ops().configure(*app, head.task, slot);
+    }
+}
+
+void
+FcfsScheduler::onAppRetired(AppInstance &app)
+{
+    _fifo.erase(std::remove_if(_fifo.begin(), _fifo.end(),
+                               [&](const ReadyTask &e) {
+                                   return e.app == app.id();
+                               }),
+                _fifo.end());
+}
+
+} // namespace nimblock

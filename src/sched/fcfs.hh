@@ -1,0 +1,51 @@
+/**
+ * @file
+ * First-come, first-served task scheduler (§5.1).
+ *
+ * "All tasks that are ready to execute from all applications are selected
+ * in the order that they arrived": tasks enter a global FIFO when they
+ * become ready (dependencies satisfied for the whole batch) and free
+ * slots always take the FIFO head. Under congestion this interleaves
+ * applications breadth-first — every pending application's early tasks
+ * run before anyone's late tasks — which is why FCFS degrades in the
+ * paper's stress and real-time tests. No priority awareness, no
+ * pipelining across batches, no preemption.
+ */
+
+#ifndef NIMBLOCK_SCHED_FCFS_HH
+#define NIMBLOCK_SCHED_FCFS_HH
+
+#include <deque>
+
+#include "sched/scheduler.hh"
+
+namespace nimblock {
+
+/** Naive FCFS sharing scheduler with a global ready-task FIFO. */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    FcfsScheduler() : Scheduler("fcfs") {}
+
+    void pass(SchedEvent reason) override;
+    void onAppRetired(AppInstance &app) override;
+
+  private:
+    struct ReadyTask
+    {
+        AppInstanceId app;
+        TaskId task;
+    };
+
+    /** Append tasks that became ready since the last pass. */
+    void enqueueNewlyReady();
+
+    /** True when (app, task) is already in the FIFO. */
+    bool isQueued(AppInstanceId app, TaskId task) const;
+
+    std::deque<ReadyTask> _fifo;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SCHED_FCFS_HH

@@ -1,0 +1,270 @@
+#include "sched/nimblock.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+std::string
+NimblockConfig::nameFor(bool pipelining, bool preemption)
+{
+    std::string name = "nimblock";
+    if (!preemption)
+        name += "_nopreempt";
+    if (!pipelining)
+        name += "_nopipe";
+    return name;
+}
+
+NimblockScheduler::NimblockScheduler(NimblockConfig cfg)
+    : Scheduler(NimblockConfig::nameFor(cfg.enablePipelining,
+                                        cfg.enablePreemption)),
+      _cfg(cfg)
+{
+}
+
+void
+NimblockScheduler::ensureComponents()
+{
+    if (_tokens)
+        return;
+    _tokens = std::make_unique<TokenPolicy>(
+        _cfg.tokens,
+        [this](AppInstance &a) { return ops().estimatedSingleSlotLatency(a); });
+
+    MakespanParams params;
+    params.pipelined = _cfg.enablePipelining;
+    params.reconfigLatency = ops().reconfigLatencyEstimate();
+    params.psBandwidthBytesPerSec =
+        ops().fabric().config().psBandwidthBytesPerSec;
+    _goals = std::make_unique<GoalNumberCache>(
+        ops().fabric().numSlots(), params, _cfg.saturationThreshold);
+}
+
+std::size_t
+NimblockScheduler::goalNumberFor(AppInstance &app)
+{
+    ensureComponents();
+    return _goals->goalNumber(app.spec(), app.batch());
+}
+
+std::vector<AppInstance *>
+NimblockScheduler::byCandidateAge(std::vector<AppInstance *> candidates)
+{
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](AppInstance *a, AppInstance *b) {
+                         if (a->candidateSince() != b->candidateSince())
+                             return a->candidateSince() < b->candidateSince();
+                         return a->arrival() < b->arrival();
+                     });
+    return candidates;
+}
+
+void
+NimblockScheduler::reallocate(const std::vector<AppInstance *> &candidates)
+{
+    ++_stats.reallocations;
+    std::size_t total = ops().fabric().numSlots();
+
+    // Non-candidates hold no allocation target.
+    for (AppInstance *app : ops().liveApps())
+        app->setSlotsAllocated(0);
+
+    auto ordered = byCandidateAge(candidates);
+    std::vector<std::size_t> alloc(ordered.size(), 0);
+    std::size_t remaining = total;
+
+    // Phase 1: one slot per candidate, oldest first, to guarantee forward
+    // progress for every candidate.
+    for (std::size_t i = 0; i < ordered.size() && remaining > 0; ++i) {
+        alloc[i] = 1;
+        --remaining;
+    }
+
+    // Phase 2: raise allocations to the goal number (saturation point),
+    // oldest candidates first.
+    for (std::size_t i = 0; i < ordered.size() && remaining > 0; ++i) {
+        if (alloc[i] == 0)
+            break; // Ran out of slots in phase 1.
+        std::size_t goal = goalNumberFor(*ordered[i]);
+        while (alloc[i] < goal && remaining > 0) {
+            ++alloc[i];
+            --remaining;
+        }
+    }
+
+    // Phase 3: surplus slots go to applications that can still use them
+    // (more incomplete tasks than allocated slots), in age order.
+    for (std::size_t i = 0; i < ordered.size() && remaining > 0; ++i) {
+        if (alloc[i] == 0)
+            break;
+        AppInstance &app = *ordered[i];
+        std::size_t incomplete =
+            app.graph().numTasks() -
+            static_cast<std::size_t>(app.tasksCompleted());
+        while (alloc[i] < incomplete && remaining > 0) {
+            ++alloc[i];
+            --remaining;
+        }
+    }
+
+    std::size_t allocated_total = 0;
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+        ordered[i]->setSlotsAllocated(alloc[i]);
+        allocated_total += alloc[i];
+    }
+    if (allocated_total > total)
+        panic("slot allocation over-committed: %zu allocated, %zu slots",
+              allocated_total, total);
+}
+
+bool
+NimblockScheduler::configureInFlight()
+{
+    for (const Slot &s : ops().fabric().slots()) {
+        if (s.state() == SlotState::Configuring)
+            return true;
+    }
+    return ops().fabric().cap().busy() || ops().fabric().store().busy();
+}
+
+SlotId
+NimblockScheduler::selectPreemptionVictim()
+{
+    // Algorithm 2 lines 1-9: find the application with the greatest
+    // over-consumption among slots whose task is waiting at an item
+    // boundary.
+    std::int64_t over_consumption = 0;
+    AppInstance *over_consumer = nullptr;
+    for (const Slot &s : ops().fabric().slots()) {
+        if (!s.waitingForNextItem() || s.preemptRequested())
+            continue;
+        AppInstance *app = ops().findApp(s.app());
+        if (!app)
+            continue;
+        std::int64_t consumption = app->overConsumption();
+        if (consumption > over_consumption) {
+            over_consumption = consumption;
+            over_consumer = app;
+        }
+    }
+    if (!over_consumer)
+        return kSlotNone; // No over-consumer: nothing is preempted.
+
+    // Lines 10-11: the task latest in topological order among the
+    // over-consumer's running tasks, so no pipelined dependency of another
+    // running task is removed.
+    auto running = over_consumer->residentTasks(); // Topological order.
+    if (running.empty())
+        return kSlotNone;
+    TaskId preempt_task = running.back();
+    return over_consumer->taskState(preempt_task).slot;
+}
+
+bool
+NimblockScheduler::selectAndPlace(const std::vector<AppInstance *> &candidates)
+{
+    // Only one slot can be reconfigured at a time on the device; wait for
+    // the in-flight configuration before selecting another task.
+    if (configureInFlight())
+        return false;
+
+    auto ordered = byCandidateAge(candidates);
+    auto pipelined_for = [this](const AppInstance &app) {
+        return _cfg.enablePipelining && app.spec().pipelineAcrossBatch();
+    };
+
+    // Round A: oldest candidate still below its slot allocation.
+    for (AppInstance *app : ordered) {
+        if (app->slotsUsed() >= app->slotsAllocated())
+            continue;
+        auto ready = app->configurableTasks(pipelined_for(*app));
+        if (ready.empty())
+            continue;
+        TaskId task = ready.front();
+
+        SlotId slot = pickFreeSlot(*app, task);
+        if (slot != kSlotNone)
+            return ops().configure(*app, task, slot);
+
+        if (!_cfg.enablePreemption)
+            continue;
+
+        // §4.4: a task is ready but no slot is available — batch-preempt.
+        SlotId victim = selectPreemptionVictim();
+        if (victim == kSlotNone)
+            continue;
+        ++_stats.preemptionsIssued;
+        if (ops().preempt(victim)) {
+            // Victim was waiting at an item boundary: the slot is free now.
+            return ops().configure(*app, task, victim);
+        }
+        // Victim is mid-item: preemption is delayed to the item boundary
+        // (a PreemptDone pass will re-run selection).
+        ++_stats.delayedPreemptions;
+        return false;
+    }
+
+    // Round B: opportunistic pipelining — if free slots remain, the oldest
+    // candidate with a ready task may exceed its allocation ("pipelining
+    // is begun automatically if an application has slots available").
+    if (ops().fabric().freeSlotCount() > 0) {
+        for (AppInstance *app : ordered) {
+            auto ready = app->configurableTasks(pipelined_for(*app));
+            if (ready.empty())
+                continue;
+            TaskId task = ready.front();
+            SlotId slot = pickFreeSlot(*app, task);
+            if (slot == kSlotNone)
+                break;
+            if (ops().configure(*app, task, slot)) {
+                ++_stats.opportunisticConfigures;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+NimblockScheduler::pass(SchedEvent reason)
+{
+    ensureComponents();
+
+    // Step 1 (Figure 3): accumulate tokens and update the candidate pool
+    // on scheduling intervals, arrivals and completions; other passes
+    // reuse the pool from the last accumulation.
+    std::vector<AppInstance *> candidates;
+    if (TokenPolicy::accumulatesOn(reason)) {
+        candidates = _tokens->update(ops().liveApps(), ops().now());
+    } else {
+        for (AppInstanceId id : _lastCandidateIds) {
+            if (AppInstance *app = ops().findApp(id))
+                candidates.push_back(app);
+        }
+    }
+
+    // Step 2: reallocate on candidate-pool changes and periodic ticks.
+    std::vector<AppInstanceId> ids;
+    ids.reserve(candidates.size());
+    for (AppInstance *app : candidates)
+        ids.push_back(app->id());
+    if (reason == SchedEvent::Tick || ids != _lastCandidateIds) {
+        reallocate(candidates);
+        _lastCandidateIds = std::move(ids);
+    } else {
+        _lastCandidateIds = std::move(ids);
+    }
+
+    if (candidates.empty())
+        return;
+
+    // Steps 3-4: select a task and a slot (preempting if necessary),
+    // repeating while zero-latency placements remain is unnecessary —
+    // only one reconfiguration can be in flight, so one placement per
+    // pass suffices; the ReconfigDone pass continues the chain.
+    selectAndPlace(candidates);
+}
+
+} // namespace nimblock

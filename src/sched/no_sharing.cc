@@ -1,0 +1,19 @@
+#include "sched/no_sharing.hh"
+
+namespace nimblock {
+
+void
+NoSharingScheduler::pass(SchedEvent reason)
+{
+    (void)reason;
+    const auto &live = ops().liveApps();
+    if (live.empty())
+        return;
+    // The oldest pending application owns the entire board until it
+    // retires; with nothing else contending for slots, configurations are
+    // prefetched in topological order to hide reconfiguration latency
+    // behind computation.
+    configurePrefetch(*live.front());
+}
+
+} // namespace nimblock

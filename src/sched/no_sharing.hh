@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Baseline "no-sharing" scheduler (§5.1).
+ *
+ * Only one application uses the FPGA at a time; the rest wait in the
+ * pending queue in arrival order. The running application may use all
+ * slots on the board to execute parallel branches of its task graph, but
+ * there is no sharing across applications, no cross-batch pipelining and
+ * no preemption.
+ */
+
+#ifndef NIMBLOCK_SCHED_NO_SHARING_HH
+#define NIMBLOCK_SCHED_NO_SHARING_HH
+
+#include "sched/scheduler.hh"
+
+namespace nimblock {
+
+/** The paper's no-sharing, no-virtualization baseline. */
+class NoSharingScheduler : public Scheduler
+{
+  public:
+    NoSharingScheduler() : Scheduler("baseline") {}
+
+    void pass(SchedEvent reason) override;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SCHED_NO_SHARING_HH

@@ -1,0 +1,69 @@
+#include "sched/prema.hh"
+
+#include <algorithm>
+
+namespace nimblock {
+
+PremaScheduler::PremaScheduler(TokenPolicyConfig token_cfg)
+    : Scheduler("prema"), _tokenCfg(token_cfg)
+{
+}
+
+SimTime
+PremaScheduler::estimatedRemaining(AppInstance &app)
+{
+    SimTime total_est = ops().estimatedSingleSlotLatency(app);
+    std::int64_t total_items =
+        static_cast<std::int64_t>(app.graph().numTasks()) * app.batch();
+    std::int64_t done_items = 0;
+    for (TaskId t = 0; t < app.graph().numTasks(); ++t)
+        done_items += app.taskState(t).itemsDone;
+    if (total_items == 0)
+        return 0;
+    return total_est * (total_items - done_items) / total_items;
+}
+
+void
+PremaScheduler::pass(SchedEvent reason)
+{
+    if (!_tokens) {
+        _tokens = std::make_unique<TokenPolicy>(
+            _tokenCfg,
+            [this](AppInstance &a) {
+                return ops().estimatedSingleSlotLatency(a);
+            });
+    }
+
+    // Tokens accumulate on intervals, arrivals and completions; other
+    // passes reuse the candidate pool from the last accumulation.
+    std::vector<AppInstance *> candidates;
+    if (TokenPolicy::accumulatesOn(reason)) {
+        candidates = _tokens->update(ops().liveApps(), ops().now());
+        _candidateIds.clear();
+        for (AppInstance *app : candidates)
+            _candidateIds.push_back(app->id());
+    } else {
+        for (AppInstanceId id : _candidateIds) {
+            if (AppInstance *app = ops().findApp(id))
+                candidates.push_back(app);
+        }
+    }
+    if (candidates.empty())
+        return;
+
+    // Shortest estimated remaining execution first (stable: arrival order
+    // breaks ties).
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [this](AppInstance *a, AppInstance *b) {
+                         return estimatedRemaining(*a) <
+                                estimatedRemaining(*b);
+                     });
+
+    for (AppInstance *app : candidates) {
+        if (ops().fabric().freeSlotCount() == 0)
+            return;
+        configureBulkReady(*app);
+    }
+}
+
+} // namespace nimblock

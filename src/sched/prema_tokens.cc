@@ -1,0 +1,91 @@
+#include "sched/prema_tokens.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+TokenPolicy::TokenPolicy(TokenPolicyConfig cfg, LatencyEstimator estimator)
+    : _cfg(cfg), _estimator(std::move(estimator))
+{
+    if (!_estimator)
+        fatal("token policy needs a latency estimator");
+    if (_cfg.alpha < 0)
+        fatal("token alpha must be non-negative");
+}
+
+bool
+TokenPolicy::accumulatesOn(SchedEvent reason)
+{
+    return reason == SchedEvent::Tick || reason == SchedEvent::Arrival ||
+           reason == SchedEvent::AppDone;
+}
+
+double
+TokenPolicy::floorToPriorityLevel(double token)
+{
+    double floor = 0.0;
+    for (int level : kPriorityLevels) {
+        if (token >= level)
+            floor = level;
+    }
+    return floor;
+}
+
+std::vector<AppInstance *>
+TokenPolicy::update(const std::vector<AppInstance *> &apps, SimTime now)
+{
+    if (apps.empty()) {
+        _threshold = 0.0;
+        return {};
+    }
+
+    // Degradation of each pending app: waiting time in units of the app's
+    // isolated (single-slot) latency estimate. Shorter apps degrade faster
+    // for the same wait, matching PREMA's bias toward short applications.
+    std::vector<double> degradation(apps.size(), 0.0);
+    double max_degradation = 0.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        AppInstance &app = *apps[i];
+        SimTime est = _estimator(app);
+        if (est <= 0)
+            est = 1;
+        degradation[i] = static_cast<double>(now - app.arrival()) /
+                         static_cast<double>(est);
+        max_degradation = std::max(max_degradation, degradation[i]);
+    }
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        AppInstance &app = *apps[i];
+        if (app.token() <= 0.0) {
+            // Arrival-queue initialization (Algorithm 1 lines 2-4).
+            app.setToken(app.priorityValue());
+        } else if (max_degradation > 0) {
+            // Pending-queue accumulation (Algorithm 1 line 6).
+            double norm = degradation[i] / max_degradation;
+            app.setToken(app.token() +
+                         _cfg.alpha * app.priorityValue() * norm);
+        }
+    }
+
+    // Threshold: max token floored to a priority level (line 8).
+    double max_token = 0.0;
+    for (AppInstance *app : apps)
+        max_token = std::max(max_token, app->token());
+    _threshold = floorToPriorityLevel(max_token);
+
+    // Candidates: token >= threshold (line 9; `>=` so the pool is never
+    // empty — see file comment).
+    std::vector<AppInstance *> candidates;
+    for (AppInstance *app : apps) {
+        if (app->token() >= _threshold) {
+            app->setEverCandidate();
+            app->setCandidateSince(now);
+            candidates.push_back(app);
+        }
+    }
+    return candidates;
+}
+
+} // namespace nimblock

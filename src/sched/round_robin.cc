@@ -1,0 +1,130 @@
+#include "sched/round_robin.hh"
+
+#include <algorithm>
+
+namespace nimblock {
+
+bool
+RoundRobinScheduler::isQueued(AppInstanceId app, TaskId task) const
+{
+    for (const auto &q : _queues) {
+        for (const auto &entry : q) {
+            if (entry.app == app && entry.task == task)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+RoundRobinScheduler::pickQueue()
+{
+    std::size_t best = _rrNext % _queues.size();
+    std::size_t best_len = _queues[best].size();
+    for (std::size_t i = 0; i < _queues.size(); ++i) {
+        std::size_t q = (_rrNext + i) % _queues.size();
+        if (_queues[q].size() < best_len) {
+            best = q;
+            best_len = _queues[q].size();
+        }
+    }
+    _rrNext = (best + 1) % _queues.size();
+    return best;
+}
+
+void
+RoundRobinScheduler::issueReadyTasks()
+{
+    for (AppInstance *app : ops().liveApps()) {
+        for (TaskId t : app->configurableTasks(/*pipelined=*/false)) {
+            if (isQueued(app->id(), t))
+                continue;
+            std::size_t q = pickQueue();
+            _queues[q].push_back(QueuedTask{app->id(), t,
+                                            app->priorityValue(),
+                                            _nextSeq++});
+        }
+    }
+}
+
+bool
+RoundRobinScheduler::popBest(std::size_t q, QueuedTask &out)
+{
+    auto &queue = _queues[q];
+    if (queue.empty())
+        return false;
+    auto best = queue.begin();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->priority > best->priority ||
+            (it->priority == best->priority && it->seq < best->seq)) {
+            best = it;
+        }
+    }
+    out = *best;
+    queue.erase(best);
+    return true;
+}
+
+void
+RoundRobinScheduler::pass(SchedEvent reason)
+{
+    (void)reason;
+    if (_queues.empty())
+        _queues.resize(ops().fabric().numSlots());
+
+    issueReadyTasks();
+
+    for (Slot &slot : ops().fabric().slots()) {
+        if (!slot.isFree())
+            continue;
+        bool placed = false;
+        QueuedTask picked;
+        while (popBest(slot.id(), picked)) {
+            AppInstance *app = ops().findApp(picked.app);
+            if (!app)
+                continue; // Owner retired; drop the stale entry.
+            if (ops().configure(*app, picked.task, slot.id())) {
+                placed = true;
+                break;
+            }
+        }
+        if (placed)
+            continue;
+        // Port decision: the slot's own queue is empty, so relieve the
+        // most backlogged queue (two or more waiters) instead of idling.
+        // Without this, a single very long task (e.g. digit recognition
+        // at batch 30) parks a queue for thousands of seconds while other
+        // slots sit empty — a pathology the original Coyote deployment,
+        // with its short request-sized tasks, never faced. Queues with a
+        // single waiter keep it, preserving RR's head-of-line blocking.
+        std::size_t longest = 0;
+        std::size_t longest_len = 1;
+        for (std::size_t q = 0; q < _queues.size(); ++q) {
+            if (_queues[q].size() > longest_len) {
+                longest = q;
+                longest_len = _queues[q].size();
+            }
+        }
+        while (longest_len > 1 && popBest(longest, picked)) {
+            AppInstance *app = ops().findApp(picked.app);
+            if (!app)
+                continue;
+            if (ops().configure(*app, picked.task, slot.id()))
+                break;
+        }
+    }
+}
+
+void
+RoundRobinScheduler::onAppRetired(AppInstance &app)
+{
+    for (auto &q : _queues) {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [&](const QueuedTask &e) {
+                                   return e.app == app.id();
+                               }),
+                q.end());
+    }
+}
+
+} // namespace nimblock

@@ -1,0 +1,99 @@
+#include "sched/scheduler.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(SchedEvent e)
+{
+    switch (e) {
+      case SchedEvent::Arrival:
+        return "Arrival";
+      case SchedEvent::ReconfigDone:
+        return "ReconfigDone";
+      case SchedEvent::ItemBoundary:
+        return "ItemBoundary";
+      case SchedEvent::TaskDone:
+        return "TaskDone";
+      case SchedEvent::AppDone:
+        return "AppDone";
+      case SchedEvent::PreemptDone:
+        return "PreemptDone";
+      case SchedEvent::Tick:
+        return "Tick";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(std::string name) : _name(std::move(name))
+{
+}
+
+Scheduler::~Scheduler() = default;
+
+void
+Scheduler::attach(SchedulerOps &ops)
+{
+    if (_ops)
+        panic("scheduler '%s' attached twice", _name.c_str());
+    _ops = &ops;
+}
+
+SchedulerOps &
+Scheduler::ops()
+{
+    if (!_ops)
+        panic("scheduler '%s' used before attach()", _name.c_str());
+    return *_ops;
+}
+
+SlotId
+Scheduler::pickFreeSlot(const AppInstance &app, TaskId task)
+{
+    Fabric &fabric = ops().fabric();
+    BitstreamKey want{app.spec().name(), task, kSlotNone};
+    SlotId fallback = kSlotNone;
+    for (const Slot &s : fabric.slots()) {
+        if (!s.isFree())
+            continue;
+        if (fallback == kSlotNone)
+            fallback = s.id();
+        if (s.configuredBitstream()) {
+            const BitstreamKey &have = *s.configuredBitstream();
+            if (have.appName == want.appName && have.task == task)
+                return s.id();
+        }
+    }
+    return fallback;
+}
+
+std::size_t
+Scheduler::configureBulkReady(AppInstance &app)
+{
+    std::size_t issued = 0;
+    for (TaskId t : app.configurableTasks(/*pipelined=*/false)) {
+        SlotId slot = pickFreeSlot(app, t);
+        if (slot == kSlotNone)
+            break;
+        if (ops().configure(app, t, slot))
+            ++issued;
+    }
+    return issued;
+}
+
+std::size_t
+Scheduler::configurePrefetch(AppInstance &app)
+{
+    std::size_t issued = 0;
+    for (TaskId t : app.prefetchableTasks()) {
+        SlotId slot = pickFreeSlot(app, t);
+        if (slot == kSlotNone)
+            break;
+        if (ops().configure(app, t, slot))
+            ++issued;
+    }
+    return issued;
+}
+
+} // namespace nimblock

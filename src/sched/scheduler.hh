@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Scheduler abstraction.
+ *
+ * The hypervisor exposes a narrow command surface (SchedulerOps) and
+ * invokes the attached Scheduler's pass() whenever the system state
+ * changes (arrival, reconfiguration completion, item boundary, task/app
+ * completion, periodic tick — the paper's 400 ms scheduling interval).
+ *
+ * Execution discipline is expressed purely through *which tasks a
+ * scheduler chooses to configure*: bulk schedulers only configure a task
+ * once its predecessors finished the whole batch, pipelined schedulers
+ * configure as soon as the first item's inputs exist. The execution
+ * engine underneath is discipline-agnostic.
+ */
+
+#ifndef NIMBLOCK_SCHED_SCHEDULER_HH
+#define NIMBLOCK_SCHED_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hh"
+#include "hypervisor/app_instance.hh"
+
+namespace nimblock {
+
+/** Why a scheduling pass was triggered. */
+enum class SchedEvent
+{
+    Arrival,      //!< A new application entered the pending queue.
+    ReconfigDone, //!< A slot finished reconfiguring (CAP is free).
+    ItemBoundary, //!< A task finished one batch item.
+    TaskDone,     //!< A task finished its whole batch; its slot is free.
+    AppDone,      //!< An application retired.
+    PreemptDone,  //!< A preemption request was honored; a slot is free.
+    Tick,         //!< Periodic scheduling interval expired.
+};
+
+/** Render a SchedEvent. */
+const char *toString(SchedEvent e);
+
+/**
+ * Hypervisor services available to schedulers.
+ *
+ * Implemented by Hypervisor; schedulers must not reach around this
+ * interface.
+ */
+class SchedulerOps
+{
+  public:
+    virtual ~SchedulerOps() = default;
+
+    /** Current simulated time. */
+    virtual SimTime now() const = 0;
+
+    /** The fabric (slot states, CAP status). Read-only use expected. */
+    virtual Fabric &fabric() = 0;
+
+    /**
+     * Live (admitted, unretired) applications in arrival order.
+     * Pointers remain valid until the app retires.
+     */
+    virtual const std::vector<AppInstance *> &liveApps() = 0;
+
+    /** Look up a live app by id; nullptr when absent/retired. */
+    virtual AppInstance *findApp(AppInstanceId id) = 0;
+
+    /**
+     * Start configuring @p task of @p app into slot @p slot.
+     *
+     * The slot must be free and the task idle with items remaining.
+     *
+     * @retval true  The configuration pipeline (SD load + CAP) started.
+     * @retval false The request was invalid and ignored.
+     */
+    virtual bool configure(AppInstance &app, TaskId task, SlotId slot) = 0;
+
+    /**
+     * Request preemption of @p slot's occupant.
+     *
+     * If the occupant is waiting at an item boundary the preemption
+     * happens synchronously (the slot is free when this returns).
+     * Otherwise the request is flagged and honored when the in-flight
+     * item completes, after which a PreemptDone pass fires.
+     *
+     * @retval true  The slot is already free upon return.
+     */
+    virtual bool preempt(SlotId slot) = 0;
+
+    /**
+     * Scheduler-visible single-slot latency estimate for @p app (derived
+     * from HLS estimates; the unit for tokens and deadlines).
+     */
+    virtual SimTime estimatedSingleSlotLatency(AppInstance &app) = 0;
+
+    /** Typical per-slot reconfiguration latency (planning input). */
+    virtual SimTime reconfigLatencyEstimate() const = 0;
+};
+
+/** Base class for all scheduling algorithms. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(std::string name);
+    virtual ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Algorithm name used in reports ("nimblock", "prema", ...). */
+    const std::string &name() const { return _name; }
+
+    /** Bind to the hypervisor; called once before any pass. */
+    void attach(SchedulerOps &ops);
+
+    /** True once attach() has been called. */
+    bool attached() const { return _ops != nullptr; }
+
+    /**
+     * Make scheduling decisions.
+     *
+     * Invoked by the hypervisor outside any other scheduler activity
+     * (never re-entered).
+     */
+    virtual void pass(SchedEvent reason) = 0;
+
+    /** Hook: @p app was admitted into the pending queue. */
+    virtual void onAppAdmitted(AppInstance &app) { (void)app; }
+
+    /** Hook: @p app retired (all tasks complete). */
+    virtual void onAppRetired(AppInstance &app) { (void)app; }
+
+    /**
+     * Execution discipline: when true (the default), a resident task only
+     * starts batch items once every predecessor has finished the entire
+     * batch (bulk processing, Figure 2(a)/(b)); when false, items start
+     * as soon as their own inputs exist (cross-batch pipelining,
+     * Figure 2(c)). Configuration *prefetch* is separate: any scheduler
+     * may configure a task before its data is ready to hide
+     * reconfiguration latency behind computation.
+     */
+    virtual bool bulkItemGating() const { return true; }
+
+  protected:
+    /** Bound hypervisor services; panics if unattached. */
+    SchedulerOps &ops();
+
+    /** @name Shared placement helpers */
+    /// @{
+
+    /**
+     * Pick a free slot for (app, task), preferring a slot whose retained
+     * bitstream matches (placement affinity); falls back to the
+     * lowest-numbered free slot. kSlotNone when no slot is free.
+     */
+    SlotId pickFreeSlot(const AppInstance &app, TaskId task);
+
+    /**
+     * Configure each bulk-ready task of @p app into free slots, in
+     * topological order, until slots run out.
+     *
+     * @return Number of configurations issued.
+     */
+    std::size_t configureBulkReady(AppInstance &app);
+
+    /**
+     * Configure @p app's idle tasks into free slots in strict topological
+     * order regardless of data readiness (configuration prefetch). Safe
+     * under bulk gating: a resident task whose predecessors are earlier in
+     * topological order can never deadlock the board.
+     *
+     * @return Number of configurations issued.
+     */
+    std::size_t configurePrefetch(AppInstance &app);
+
+    /// @}
+
+  private:
+    std::string _name;
+    SchedulerOps *_ops = nullptr;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SCHED_SCHEDULER_HH

@@ -1,0 +1,83 @@
+#include "sched/static_alloc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+void
+StaticAllocScheduler::ensureComponents()
+{
+    if (_goals)
+        return;
+    MakespanParams params;
+    params.pipelined = true;
+    params.reconfigLatency = ops().reconfigLatencyEstimate();
+    params.psBandwidthBytesPerSec =
+        ops().fabric().config().psBandwidthBytesPerSec;
+    _goals = std::make_unique<GoalNumberCache>(ops().fabric().numSlots(),
+                                               params);
+}
+
+std::size_t
+StaticAllocScheduler::reservationOf(AppInstanceId app) const
+{
+    auto it = _reservations.find(app);
+    return it == _reservations.end() ? 0 : it->second;
+}
+
+void
+StaticAllocScheduler::grantReservations()
+{
+    std::size_t total = ops().fabric().numSlots();
+    for (AppInstance *app : ops().liveApps()) {
+        if (_reservations.count(app->id()))
+            continue;
+        if (_reservedTotal >= total)
+            return; // Board fully designated; later apps wait (FIFO).
+        std::size_t want = _goals->goalNumber(app->spec(), app->batch());
+        std::size_t grant = std::min(want, total - _reservedTotal);
+        _reservations[app->id()] = grant;
+        _reservedTotal += grant;
+        app->setSlotsAllocated(grant);
+    }
+}
+
+void
+StaticAllocScheduler::pass(SchedEvent reason)
+{
+    (void)reason;
+    ensureComponents();
+    grantReservations();
+
+    // Within its fixed reservation, every application pipelines freely;
+    // sum of reservations <= slots, so a free slot always exists for an
+    // application below its reservation.
+    for (AppInstance *app : ops().liveApps()) {
+        std::size_t reserved = reservationOf(app->id());
+        if (reserved == 0)
+            continue;
+        bool pipelined = app->spec().pipelineAcrossBatch();
+        for (TaskId t : app->configurableTasks(pipelined)) {
+            if (app->slotsUsed() >= reserved)
+                break;
+            SlotId slot = pickFreeSlot(*app, t);
+            if (slot == kSlotNone)
+                return;
+            ops().configure(*app, t, slot);
+        }
+    }
+}
+
+void
+StaticAllocScheduler::onAppRetired(AppInstance &app)
+{
+    auto it = _reservations.find(app.id());
+    if (it != _reservations.end()) {
+        _reservedTotal -= it->second;
+        _reservations.erase(it);
+    }
+}
+
+} // namespace nimblock

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DML-style static-allocation scheduler (related work, §6.2).
+ *
+ * DML pipelines tasks across slots like Nimblock, but "requires the user
+ * to statically designate a certain number of slots to each application"
+ * and performs no dynamic reallocation, no preemption and no
+ * priority handling. This comparator grants each arriving application a
+ * fixed reservation — its saturation-derived goal number, clipped to the
+ * slots not already reserved — which it keeps unchanged until
+ * retirement. Applications that arrive when the board is fully reserved
+ * wait in FIFO order for reservations to free.
+ *
+ * Not part of the paper's evaluated set; used by the extension benches to
+ * quantify what Nimblock's *dynamic* allocation and preemption add over
+ * static designation (the paper's §6.2 argument that DML "is ill-suited
+ * to real-time scheduling").
+ */
+
+#ifndef NIMBLOCK_SCHED_STATIC_ALLOC_HH
+#define NIMBLOCK_SCHED_STATIC_ALLOC_HH
+
+#include <map>
+#include <memory>
+
+#include "alloc/saturation.hh"
+#include "sched/scheduler.hh"
+
+namespace nimblock {
+
+/** Static per-application slot reservations with pipelining. */
+class StaticAllocScheduler : public Scheduler
+{
+  public:
+    StaticAllocScheduler() : Scheduler("static") {}
+
+    void pass(SchedEvent reason) override;
+    void onAppRetired(AppInstance &app) override;
+
+    /** Pipelining is DML's core mechanism. */
+    bool bulkItemGating() const override { return false; }
+
+    /** Reserved slots of @p app (0 = still waiting for a reservation). */
+    std::size_t reservationOf(AppInstanceId app) const;
+
+    /** Total currently reserved slots. */
+    std::size_t reservedTotal() const { return _reservedTotal; }
+
+  private:
+    void ensureComponents();
+
+    /** Grant reservations to unreserved apps in arrival order. */
+    void grantReservations();
+
+    std::unique_ptr<GoalNumberCache> _goals;
+    std::map<AppInstanceId, std::size_t> _reservations;
+    std::size_t _reservedTotal = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SCHED_STATIC_ALLOC_HH

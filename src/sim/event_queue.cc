@@ -1,0 +1,140 @@
+#include "sim/event_queue.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+namespace simtime {
+
+std::string
+toString(SimTime t)
+{
+    if (t == kTimeNone)
+        return "none";
+    char buf[64];
+    if (t >= sec(1)) {
+        std::snprintf(buf, sizeof(buf), "%.3fs", toSec(t));
+    } else if (t >= ms(1)) {
+        std::snprintf(buf, sizeof(buf), "%.3fms", toMs(t));
+    } else if (t >= us(1)) {
+        std::snprintf(buf, sizeof(buf), "%.3fus",
+                      static_cast<double>(t) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+    }
+    return buf;
+}
+
+} // namespace simtime
+
+EventId
+EventQueue::schedule(SimTime when, std::string name, Callback cb)
+{
+    if (when < _now) {
+        panic("event '%s' scheduled at %s which is before now (%s)",
+              name.c_str(), simtime::toString(when).c_str(),
+              simtime::toString(_now).c_str());
+    }
+    EventId id = _nextSeq++;
+    _live.emplace(id, Entry{std::move(name), std::move(cb)});
+    _heap.push(HeapItem{when, id, id});
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return _live.erase(id) > 0;
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!_heap.empty() && !_live.count(_heap.top().id))
+        _heap.pop();
+}
+
+SimTime
+EventQueue::nextEventTime()
+{
+    skipDead();
+    return _heap.empty() ? kTimeNone : _heap.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skipDead();
+    if (_heap.empty())
+        return false;
+
+    HeapItem item = _heap.top();
+    _heap.pop();
+    auto it = _live.find(item.id);
+    Callback cb = std::move(it->second.cb);
+    _live.erase(it);
+    _now = item.when;
+    ++_fired;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(SimTime horizon)
+{
+    std::uint64_t fired = 0;
+    for (;;) {
+        skipDead();
+        if (_heap.empty() || _heap.top().when > horizon)
+            break;
+        step();
+        ++fired;
+    }
+    return fired;
+}
+
+PeriodicEvent::PeriodicEvent(EventQueue &eq, SimTime period, std::string name,
+                             std::function<void()> cb)
+    : _eq(eq), _period(period), _name(std::move(name)), _cb(std::move(cb))
+{
+    if (period <= 0)
+        panic("periodic event '%s' needs a positive period", _name.c_str());
+}
+
+void
+PeriodicEvent::start()
+{
+    if (_running)
+        return;
+    _running = true;
+    arm();
+}
+
+void
+PeriodicEvent::stop()
+{
+    if (!_running)
+        return;
+    _running = false;
+    if (_armed != kEventNone) {
+        _eq.cancel(_armed);
+        _armed = kEventNone;
+    }
+}
+
+void
+PeriodicEvent::arm()
+{
+    _armed = _eq.scheduleAfter(_period, _name, [this] {
+        _armed = kEventNone;
+        if (!_running)
+            return;
+        _cb();
+        if (_running)
+            arm();
+    });
+}
+
+} // namespace nimblock

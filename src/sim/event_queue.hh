@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue is the heart of the Nimblock substrate: every modeled
+ * activity (application arrival, SD-card load, CAP reconfiguration, batch
+ * item completion, scheduler tick) is an Event scheduled at an absolute
+ * SimTime. Events at equal timestamps fire in insertion order, which makes
+ * whole-system runs bit-reproducible for a given seed and configuration.
+ */
+
+#ifndef NIMBLOCK_SIM_EVENT_QUEUE_HH
+#define NIMBLOCK_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel handle denoting "no event". */
+inline constexpr EventId kEventNone = 0;
+
+/**
+ * A time-ordered queue of callbacks driving the simulation.
+ *
+ * The queue owns the simulated clock: now() only advances inside run() /
+ * step() as events fire. Scheduling into the past is a programming error
+ * and panics.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return _now; }
+
+    /**
+     * Schedule @p cb to fire at absolute time @p when.
+     *
+     * @param when Absolute timestamp; must be >= now().
+     * @param name Debug label recorded with the event.
+     * @param cb   Callback invoked when the event fires.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(SimTime when, std::string name, Callback cb);
+
+    /** Schedule @p cb to fire @p delay after now(). */
+    EventId
+    scheduleAfter(SimTime delay, std::string name, Callback cb)
+    {
+        return schedule(_now + delay, std::move(name), std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @retval true  The event was pending and is now cancelled.
+     * @retval false The event already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingCount() const { return _live.size(); }
+
+    /** True when no live events remain. */
+    bool empty() const { return _live.empty(); }
+
+    /**
+     * Fire the single earliest pending event.
+     *
+     * @retval true  An event fired.
+     * @retval false The queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or @p horizon is reached.
+     *
+     * Events scheduled exactly at the horizon still fire.
+     *
+     * @return Number of events fired.
+     */
+    std::uint64_t run(SimTime horizon = kTimeMax);
+
+    /** Total number of events fired since construction. */
+    std::uint64_t firedCount() const { return _fired; }
+
+    /** Timestamp of the earliest pending event, or kTimeNone if empty. */
+    SimTime nextEventTime();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Callback cb;
+    };
+
+    struct HeapItem
+    {
+        SimTime when;
+        std::uint64_t seq; //!< Tie-breaker: insertion order.
+        EventId id;
+    };
+
+    struct HeapItemLater
+    {
+        bool
+        operator()(const HeapItem &a, const HeapItem &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop heap entries whose event has been cancelled. */
+    void skipDead();
+
+    SimTime _now = 0;
+    std::uint64_t _nextSeq = 1;
+    std::uint64_t _fired = 0;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, HeapItemLater> _heap;
+    std::unordered_map<EventId, Entry> _live;
+};
+
+/**
+ * Convenience helper that re-arms itself at a fixed period, modelling the
+ * hypervisor's scheduling-interval timer (400 ms in the paper).
+ */
+class PeriodicEvent
+{
+  public:
+    /**
+     * @param eq     Queue to schedule on.
+     * @param period Interval between firings; must be positive.
+     * @param name   Debug label.
+     * @param cb     Invoked every period until stop() is called.
+     */
+    PeriodicEvent(EventQueue &eq, SimTime period, std::string name,
+                  std::function<void()> cb);
+
+    /** Begin firing; first firing is one period from now. */
+    void start();
+
+    /** Stop firing; the pending occurrence is cancelled. */
+    void stop();
+
+    bool running() const { return _running; }
+
+  private:
+    void arm();
+
+    EventQueue &_eq;
+    SimTime _period;
+    std::string _name;
+    std::function<void()> _cb;
+    EventId _armed = kEventNone;
+    bool _running = false;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SIM_EVENT_QUEUE_HH

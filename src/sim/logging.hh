@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status-message helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it aborts.
+ * fatal() is for user errors (bad configuration, malformed traces); it
+ * throws FatalError so library users and tests can recover. warn() and
+ * inform() print advisory messages and never stop execution.
+ */
+
+#ifndef NIMBLOCK_SIM_LOGGING_HH
+#define NIMBLOCK_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace nimblock {
+
+/** Exception carrying a user-facing configuration/usage error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vformatMessage(const char *fmt, va_list args);
+
+/** Format a printf-style message into a std::string. */
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use only for conditions that indicate a bug in the simulator itself,
+ * never for conditions a user can trigger through configuration.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error by throwing FatalError.
+ *
+ * Use for bad configuration, malformed workload traces, and similar
+ * conditions that are the user's fault rather than the simulator's.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about suspicious-but-survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() output (used by benches and tests). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool quiet();
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SIM_LOGGING_HH

@@ -1,0 +1,143 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** FNV-1a over a string, for deriving named child seeds. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : _seed(seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : _state)
+        s = splitmix64(sm);
+}
+
+Rng
+Rng::derive(const std::string &name) const
+{
+    return Rng(_seed ^ rotl(hashName(name), 17));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[0] + _state[3], 23) + _state[0];
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: lo (%lld) > hi (%lld)", static_cast<long long>(lo),
+              static_cast<long long>(hi));
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // Full 64-bit range.
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Rng::uniformDouble(double lo, double hi)
+{
+    if (lo > hi)
+        panic("uniformDouble: lo (%f) > hi (%f)", lo, hi);
+    double unit = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniformDouble(0.0, 1.0) < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0)
+        panic("exponential: mean must be positive, got %f", mean);
+    double u = uniformDouble(0.0, 1.0);
+    // Guard against log(0).
+    if (u >= 1.0)
+        u = 0x1.fffffffffffffp-1;
+    return -mean * std::log1p(-u);
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    if (n == 0)
+        panic("index: empty range");
+    return static_cast<std::size_t>(
+        uniformInt(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0;
+    for (double w : weights) {
+        if (w < 0)
+            panic("weightedIndex: negative weight %f", w);
+        total += w;
+    }
+    if (total <= 0)
+        panic("weightedIndex: weights sum to zero");
+    double draw = uniformDouble(0.0, total);
+    double acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (draw < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace nimblock

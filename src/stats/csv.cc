@@ -1,0 +1,66 @@
+#include "stats/csv.hh"
+
+#include <cstdio>
+
+namespace nimblock {
+
+void
+CsvWriter::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> row)
+{
+    _rows.push_back(std::move(row));
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::toString() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += escape(row[i]);
+        }
+        out += '\n';
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+    return out;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string data = toString();
+    std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return written == data.size();
+}
+
+} // namespace nimblock

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting experiment data alongside ASCII tables.
+ */
+
+#ifndef NIMBLOCK_STATS_CSV_HH
+#define NIMBLOCK_STATS_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace nimblock {
+
+/** Accumulates rows and serializes RFC-4180-style CSV. */
+class CsvWriter
+{
+  public:
+    CsvWriter() = default;
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> row);
+
+    /** Serialize all rows (header first when set). */
+    std::string toString() const;
+
+    /**
+     * Write to @p path.
+     * @retval true on success.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_STATS_CSV_HH

@@ -1,0 +1,85 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : _lo(lo), _hi(hi), _counts(bins, 0)
+{
+    if (bins == 0)
+        fatal("histogram needs at least one bin");
+    if (!(hi > lo))
+        fatal("histogram range [%f, %f) is empty", lo, hi);
+}
+
+void
+Histogram::add(double v)
+{
+    ++_total;
+    if (v < _lo) {
+        ++_underflow;
+        return;
+    }
+    if (v >= _hi) {
+        ++_overflow;
+        return;
+    }
+    double frac = (v - _lo) / (_hi - _lo);
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(_counts.size()));
+    idx = std::min(idx, _counts.size() - 1);
+    ++_counts[idx];
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    if (i >= _counts.size())
+        panic("histogram bin %zu out of range (%zu bins)", i, _counts.size());
+    return _counts[i];
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return _lo + (_hi - _lo) * static_cast<double>(i) /
+                     static_cast<double>(_counts.size());
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return binLo(i + 1);
+}
+
+std::string
+Histogram::toString(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : _counts)
+        peak = std::max(peak, c);
+
+    std::string out;
+    if (_underflow)
+        out += formatMessage("  < %-10.4g %llu\n", _lo,
+                             static_cast<unsigned long long>(_underflow));
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        auto bar_len = static_cast<std::size_t>(
+            std::llround(static_cast<double>(_counts[i]) * width /
+                         static_cast<double>(peak)));
+        out += formatMessage("  [%10.4g, %10.4g) %6llu |%s\n", binLo(i),
+                             binHi(i),
+                             static_cast<unsigned long long>(_counts[i]),
+                             std::string(bar_len, '#').c_str());
+    }
+    if (_overflow)
+        out += formatMessage("  >= %-9.4g %llu\n", _hi,
+                             static_cast<unsigned long long>(_overflow));
+    return out;
+}
+
+} // namespace nimblock

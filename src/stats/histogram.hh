@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-bin histogram used by reports (e.g. response-time distributions).
+ */
+
+#ifndef NIMBLOCK_STATS_HISTOGRAM_HH
+#define NIMBLOCK_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimblock {
+
+/**
+ * Histogram over [lo, hi) with uniform bins plus underflow/overflow
+ * counters.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   Lower bound of the binned range.
+     * @param hi   Upper bound (exclusive); must exceed @p lo.
+     * @param bins Number of uniform bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record a sample. */
+    void add(double v);
+
+    /** Count in bin @p i (0-based). */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bin @p i. */
+    double binHi(std::size_t i) const;
+
+    std::size_t bins() const { return _counts.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t total() const { return _total; }
+
+    /**
+     * Render a compact ASCII bar chart.
+     *
+     * @param width Max bar width in characters.
+     */
+    std::string toString(std::size_t width = 40) const;
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_STATS_HISTOGRAM_HH

@@ -1,0 +1,127 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Summary::Summary(std::vector<double> samples) : _samples(std::move(samples))
+{
+}
+
+void
+Summary::add(double v)
+{
+    _samples.push_back(v);
+    _sortedValid = false;
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    _samples.insert(_samples.end(), other._samples.begin(),
+                    other._samples.end());
+    _sortedValid = false;
+}
+
+double
+Summary::mean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return sum() / static_cast<double>(_samples.size());
+}
+
+double
+Summary::sum() const
+{
+    double s = 0;
+    for (double v : _samples)
+        s += v;
+    return s;
+}
+
+double
+Summary::min() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return *std::min_element(_samples.begin(), _samples.end());
+}
+
+double
+Summary::max() const
+{
+    if (_samples.empty())
+        return 0.0;
+    return *std::max_element(_samples.begin(), _samples.end());
+}
+
+double
+Summary::stddev() const
+{
+    if (_samples.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0;
+    for (double v : _samples)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(_samples.size()));
+}
+
+double
+Summary::geomean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    double acc = 0;
+    for (double v : _samples) {
+        if (v <= 0)
+            panic("geomean requires positive samples, got %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(_samples.size()));
+}
+
+const std::vector<double> &
+Summary::sorted() const
+{
+    if (!_sortedValid) {
+        _sorted = _samples;
+        std::sort(_sorted.begin(), _sorted.end());
+        _sortedValid = true;
+    }
+    return _sorted;
+}
+
+double
+Summary::percentile(double p) const
+{
+    if (p < 0 || p > 100)
+        panic("percentile %f out of [0, 100]", p);
+    const auto &s = sorted();
+    if (s.empty())
+        return 0.0;
+    if (s.size() == 1)
+        return s[0];
+    double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi)
+        return s[lo];
+    double frac = rank - static_cast<double>(lo);
+    return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+std::string
+Summary::toString() const
+{
+    return formatMessage(
+        "n=%zu mean=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+        count(), mean(), min(), percentile(50), percentile(95),
+        percentile(99), max());
+}
+
+} // namespace nimblock

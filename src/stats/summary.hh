@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sample accumulation and summary statistics.
+ *
+ * Summary keeps every sample so exact order statistics (median, p95, p99 —
+ * the paper's tail-response-time metrics) can be computed; sample counts in
+ * this system are small (hundreds of events per experiment) so exactness is
+ * cheap and avoids quantile-sketch error in reproduced numbers.
+ */
+
+#ifndef NIMBLOCK_STATS_SUMMARY_HH
+#define NIMBLOCK_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nimblock {
+
+/** Accumulates double samples and answers summary queries. */
+class Summary
+{
+  public:
+    Summary() = default;
+
+    /** Construct pre-filled with @p samples. */
+    explicit Summary(std::vector<double> samples);
+
+    /** Add one sample. */
+    void add(double v);
+
+    /** Merge all samples from another summary. */
+    void merge(const Summary &other);
+
+    /** Number of samples. */
+    std::size_t count() const { return _samples.size(); }
+
+    /** True when no samples have been added. */
+    bool empty() const { return _samples.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const;
+
+    /** Population standard deviation; 0 when fewer than two samples. */
+    double stddev() const;
+
+    /** Geometric mean; requires all samples strictly positive. */
+    double geomean() const;
+
+    /**
+     * Exact percentile by linear interpolation between closest ranks.
+     *
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Median, i.e. percentile(50). */
+    double median() const { return percentile(50.0); }
+
+    /** Read-only view of raw samples in insertion order. */
+    const std::vector<double> &samples() const { return _samples; }
+
+    /** One-line human-readable rendering. */
+    std::string toString() const;
+
+  private:
+    std::vector<double> _samples;
+    mutable std::vector<double> _sorted; //!< Lazily maintained sorted copy.
+    mutable bool _sortedValid = false;
+
+    const std::vector<double> &sorted() const;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_STATS_SUMMARY_HH

@@ -1,0 +1,94 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+Table::Table(std::string title) : _title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!_header.empty() && row.size() != _header.size()) {
+        panic("table row has %zu cells, header has %zu", row.size(),
+              _header.size());
+    }
+    _rows.push_back(std::move(row));
+}
+
+std::string
+Table::cell(double v, int precision)
+{
+    return formatMessage("%.*f", precision, v);
+}
+
+std::string
+Table::cell(std::int64_t v)
+{
+    return formatMessage("%lld", static_cast<long long>(v));
+}
+
+std::string
+Table::toString() const
+{
+    std::size_t cols = _header.size();
+    for (const auto &r : _rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto grow = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    if (!_header.empty())
+        grow(_header);
+    for (const auto &r : _rows)
+        grow(r);
+
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string line = "|";
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &v = i < r.size() ? r[i] : std::string();
+            line += " " + v + std::string(widths[i] - v.size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+    auto rule = [&] {
+        std::string line = "+";
+        for (std::size_t i = 0; i < cols; ++i)
+            line += std::string(widths[i] + 2, '-') + "+";
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!_title.empty())
+        out += _title + "\n";
+    out += rule();
+    if (!_header.empty()) {
+        out += renderRow(_header);
+        out += rule();
+    }
+    for (const auto &r : _rows)
+        out += renderRow(r);
+    out += rule();
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+} // namespace nimblock

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table rendering for bench/report output.
+ *
+ * Every reproduced table/figure in bench/ prints through this renderer so
+ * the output rows can be compared side by side with the paper's.
+ */
+
+#ifndef NIMBLOCK_STATS_TABLE_HH
+#define NIMBLOCK_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace nimblock {
+
+/** A simple column-aligned ASCII table with an optional title. */
+class Table
+{
+  public:
+    /** @param title Heading printed above the table (may be empty). */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. Defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count if set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string cell(double v, int precision = 2);
+
+    /** Convenience: format an integer cell. */
+    static std::string cell(std::int64_t v);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render to a string. */
+    std::string toString() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_STATS_TABLE_HH

@@ -1,0 +1,71 @@
+#include "taskgraph/builder.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+TaskId
+GraphBuilder::addTask(TaskSpec spec)
+{
+    return _graph.addTask(std::move(spec));
+}
+
+GraphBuilder &
+GraphBuilder::edge(TaskId from, TaskId to)
+{
+    _graph.addEdge(from, to);
+    return *this;
+}
+
+std::vector<TaskId>
+GraphBuilder::chain(const std::string &base_name,
+                    const std::vector<SimTime> &latencies, TaskId attach_to)
+{
+    if (latencies.empty())
+        fatal("chain '%s' needs at least one task", base_name.c_str());
+    std::vector<TaskId> ids;
+    ids.reserve(latencies.size());
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+        TaskSpec spec;
+        spec.name = formatMessage("%s_%zu", base_name.c_str(), i);
+        spec.itemLatency = latencies[i];
+        TaskId id = _graph.addTask(std::move(spec));
+        if (i == 0) {
+            if (attach_to != kTaskNone)
+                _graph.addEdge(attach_to, id);
+        } else {
+            _graph.addEdge(ids.back(), id);
+        }
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+std::vector<TaskId>
+GraphBuilder::stage(const std::string &base_name, std::size_t width,
+                    SimTime item_latency, const std::vector<TaskId> &preds)
+{
+    if (width == 0)
+        fatal("stage '%s' needs positive width", base_name.c_str());
+    std::vector<TaskId> ids;
+    ids.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        TaskSpec spec;
+        spec.name = formatMessage("%s_%zu", base_name.c_str(), i);
+        spec.itemLatency = item_latency;
+        TaskId id = _graph.addTask(std::move(spec));
+        for (TaskId p : preds)
+            _graph.addEdge(p, id);
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+TaskGraph
+GraphBuilder::build()
+{
+    _graph.validate();
+    return std::move(_graph);
+}
+
+} // namespace nimblock

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fluent construction helpers for task graphs.
+ *
+ * The benchmark suite and the synthetic generator both build graphs out of
+ * two primitives: chains (sequential layers) and stages (layers split into
+ * parallel identical tasks, fully connected to the next stage — the
+ * AlexNet shape in Figure 4 of the paper).
+ */
+
+#ifndef NIMBLOCK_TASKGRAPH_BUILDER_HH
+#define NIMBLOCK_TASKGRAPH_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/task_graph.hh"
+
+namespace nimblock {
+
+/** Incrementally assembles and validates a TaskGraph. */
+class GraphBuilder
+{
+  public:
+    GraphBuilder() = default;
+
+    /** Add a single task; returns its id. */
+    TaskId addTask(TaskSpec spec);
+
+    /** Add a dependency edge. */
+    GraphBuilder &edge(TaskId from, TaskId to);
+
+    /**
+     * Add a chain of tasks, each depending on the previous one.
+     *
+     * @param base_name   Tasks are named "<base_name>_<i>".
+     * @param latencies   Per-task item latencies; length = chain length.
+     * @param attach_to   Optional task the chain's head depends on.
+     * @return Ids of the chain's tasks in order.
+     */
+    std::vector<TaskId> chain(const std::string &base_name,
+                              const std::vector<SimTime> &latencies,
+                              TaskId attach_to = kTaskNone);
+
+    /**
+     * Add a stage of @p width identical parallel tasks, each depending on
+     * every task in @p preds (all-to-all stage connection).
+     *
+     * @return Ids of the stage's tasks.
+     */
+    std::vector<TaskId> stage(const std::string &base_name, std::size_t width,
+                              SimTime item_latency,
+                              const std::vector<TaskId> &preds);
+
+    /** Finish: validates and returns the graph by value. */
+    TaskGraph build();
+
+  private:
+    TaskGraph _graph;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_TASKGRAPH_BUILDER_HH

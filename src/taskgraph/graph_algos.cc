@@ -1,0 +1,100 @@
+#include "taskgraph/graph_algos.hh"
+
+#include <algorithm>
+
+namespace nimblock {
+
+SimTime
+criticalPathLatency(const TaskGraph &graph)
+{
+    std::vector<SimTime> dist(graph.numTasks(), 0);
+    SimTime best = 0;
+    for (TaskId id : graph.topoOrder()) {
+        SimTime here = dist[id] + graph.task(id).schedulerItemLatency();
+        best = std::max(best, here);
+        for (TaskId s : graph.successors(id))
+            dist[s] = std::max(dist[s], here);
+    }
+    return best;
+}
+
+std::size_t
+criticalPathLength(const TaskGraph &graph)
+{
+    std::vector<std::size_t> depth(graph.numTasks(), 1);
+    std::size_t best = 0;
+    for (TaskId id : graph.topoOrder()) {
+        best = std::max(best, depth[id]);
+        for (TaskId s : graph.successors(id))
+            depth[s] = std::max(depth[s], depth[id] + 1);
+    }
+    return best;
+}
+
+std::vector<std::size_t>
+asapLevels(const TaskGraph &graph)
+{
+    std::vector<std::size_t> level(graph.numTasks(), 0);
+    for (TaskId id : graph.topoOrder()) {
+        for (TaskId s : graph.successors(id))
+            level[s] = std::max(level[s], level[id] + 1);
+    }
+    return level;
+}
+
+std::size_t
+maxLevelWidth(const TaskGraph &graph)
+{
+    auto levels = asapLevels(graph);
+    std::size_t max_level = 0;
+    for (auto l : levels)
+        max_level = std::max(max_level, l);
+    std::vector<std::size_t> width(max_level + 1, 0);
+    for (auto l : levels)
+        ++width[l];
+    return *std::max_element(width.begin(), width.end());
+}
+
+std::size_t
+reachableCount(const TaskGraph &graph, TaskId id)
+{
+    std::vector<bool> seen(graph.numTasks(), false);
+    std::vector<TaskId> stack{id};
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        TaskId t = stack.back();
+        stack.pop_back();
+        for (TaskId s : graph.successors(t)) {
+            if (!seen[s]) {
+                seen[s] = true;
+                ++count;
+                stack.push_back(s);
+            }
+        }
+    }
+    return count;
+}
+
+bool
+reaches(const TaskGraph &graph, TaskId from, TaskId to)
+{
+    if (from == to)
+        return true;
+    std::vector<bool> seen(graph.numTasks(), false);
+    std::vector<TaskId> stack{from};
+    while (!stack.empty()) {
+        TaskId t = stack.back();
+        stack.pop_back();
+        for (TaskId s : graph.successors(t)) {
+            if (s == to)
+                return true;
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace nimblock

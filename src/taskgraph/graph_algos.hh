@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analyses over task graphs used by slot allocation and reporting.
+ */
+
+#ifndef NIMBLOCK_TASKGRAPH_GRAPH_ALGOS_HH
+#define NIMBLOCK_TASKGRAPH_GRAPH_ALGOS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hh"
+#include "taskgraph/task_graph.hh"
+
+namespace nimblock {
+
+/**
+ * Critical-path latency: the longest chain of scheduler-visible per-item
+ * latencies from any source to any sink.
+ */
+SimTime criticalPathLatency(const TaskGraph &graph);
+
+/** Length (task count) of the longest dependency chain. */
+std::size_t criticalPathLength(const TaskGraph &graph);
+
+/**
+ * ASAP level of every task: sources are level 0, every other task is one
+ * more than its deepest predecessor.
+ */
+std::vector<std::size_t> asapLevels(const TaskGraph &graph);
+
+/**
+ * Structural parallelism: the widest ASAP level. This is the number of
+ * tasks that can execute simultaneously when the graph is run level by
+ * level, and bounds how many slots parallel branches alone can use.
+ */
+std::size_t maxLevelWidth(const TaskGraph &graph);
+
+/**
+ * Number of tasks reachable from @p id (excluding itself). Used in reports
+ * and sanity checks.
+ */
+std::size_t reachableCount(const TaskGraph &graph, TaskId id);
+
+/**
+ * Check whether @p from can reach @p to following dependency edges.
+ */
+bool reaches(const TaskGraph &graph, TaskId from, TaskId to);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_TASKGRAPH_GRAPH_ALGOS_HH

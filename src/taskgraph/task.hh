@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Task descriptor: one slot-sized unit of an application.
+ *
+ * A task corresponds to one partial bitstream in the paper's flow: a
+ * portion of the application with an input and an output, sized to fit one
+ * reconfigurable slot. Latency fields mirror the HLS-report estimates the
+ * Nimblock hypervisor consumes, with a separate "measured" latency so
+ * experiments can model estimate error.
+ */
+
+#ifndef NIMBLOCK_TASKGRAPH_TASK_HH
+#define NIMBLOCK_TASKGRAPH_TASK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Index of a task within its application's task graph. */
+using TaskId = std::uint32_t;
+
+/** Sentinel task id. */
+inline constexpr TaskId kTaskNone = UINT32_MAX;
+
+/** Static description of one slot-sized task. */
+struct TaskSpec
+{
+    /** Human-readable name, unique within the graph. */
+    std::string name;
+
+    /**
+     * True per-batch-item compute latency on a slot (what the simulated
+     * kernel actually takes).
+     */
+    SimTime itemLatency = 0;
+
+    /**
+     * Per-item latency estimate the scheduler sees (the HLS report
+     * number). Defaults to itemLatency when left at kTimeNone.
+     */
+    SimTime estimatedItemLatency = kTimeNone;
+
+    /** Bytes of input consumed per batch item, moved through the PS. */
+    std::uint64_t inputBytes = 0;
+
+    /** Bytes of output produced per batch item, moved through the PS. */
+    std::uint64_t outputBytes = 0;
+
+    /**
+     * Size of the task's partial bitstream in bytes. Zero means "use the
+     * fabric's default slot bitstream size" (uniform slots make all
+     * partial bitstreams the same size on the board).
+     */
+    std::uint64_t bitstreamBytes = 0;
+
+    /** Scheduler-visible per-item latency (estimate if present). */
+    SimTime
+    schedulerItemLatency() const
+    {
+        return estimatedItemLatency == kTimeNone ? itemLatency
+                                                 : estimatedItemLatency;
+    }
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_TASKGRAPH_TASK_HH

@@ -1,0 +1,31 @@
+#include "workload/event.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+void
+EventSequence::validate() const
+{
+    SimTime prev = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const WorkloadEvent &e = events[i];
+        if (e.appName.empty())
+            fatal("sequence '%s' event %zu has no app name", name.c_str(), i);
+        if (e.batch < 1)
+            fatal("sequence '%s' event %zu has batch %d", name.c_str(), i,
+                  e.batch);
+        if (e.arrival < prev)
+            fatal("sequence '%s' events are not sorted by arrival",
+                  name.c_str());
+        prev = e.arrival;
+    }
+}
+
+SimTime
+EventSequence::lastArrival() const
+{
+    return events.empty() ? 0 : events.back().arrival;
+}
+
+} // namespace nimblock

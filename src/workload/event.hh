@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload events and sequences.
+ *
+ * "An event is defined as the arrival of an application at the hypervisor
+ * and contains an application name, batch information, priority level,
+ * and arrival time. The event is released to the hypervisor after the
+ * event's arrival time has passed." (§5.1)
+ */
+
+#ifndef NIMBLOCK_WORKLOAD_EVENT_HH
+#define NIMBLOCK_WORKLOAD_EVENT_HH
+
+#include <string>
+#include <vector>
+
+#include "hypervisor/app_instance.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** One application arrival. */
+struct WorkloadEvent
+{
+    /** Index within the sequence (stable across algorithms). */
+    int index = 0;
+
+    std::string appName;
+    int batch = 1;
+    Priority priority = Priority::Low;
+    SimTime arrival = 0;
+
+    bool operator==(const WorkloadEvent &o) const = default;
+};
+
+/** An ordered sequence of events plus its provenance. */
+struct EventSequence
+{
+    /** Identifier (e.g. "stress/seq3"). */
+    std::string name;
+
+    /** Seed the sequence was generated from (0 for hand-written). */
+    std::uint64_t seed = 0;
+
+    /** Events sorted by arrival time. */
+    std::vector<WorkloadEvent> events;
+
+    /** Validate invariants (sorted arrivals, batch >= 1); fatal()s. */
+    void validate() const;
+
+    /** Arrival of the last event. */
+    SimTime lastArrival() const;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_WORKLOAD_EVENT_HH

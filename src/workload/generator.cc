@@ -1,0 +1,96 @@
+#include "workload/generator.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(ArrivalPattern p)
+{
+    switch (p) {
+      case ArrivalPattern::Uniform:
+        return "uniform";
+      case ArrivalPattern::Poisson:
+        return "poisson";
+      case ArrivalPattern::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+EventSequence
+generateSequence(const std::string &name, const GeneratorConfig &cfg,
+                 const Rng &rng)
+{
+    if (cfg.numEvents < 1)
+        fatal("sequence needs at least one event");
+    if (cfg.pattern == ArrivalPattern::Bursty &&
+        (cfg.burstSize < 1 || cfg.burstGapFactor <= 0))
+        fatal("bursty arrivals need a positive burst size and gap factor");
+    if (cfg.appPool.empty())
+        fatal("sequence generation needs a non-empty app pool");
+    if (cfg.minDelayMs < 0 || cfg.maxDelayMs < cfg.minDelayMs)
+        fatal("invalid delay range [%f, %f]", cfg.minDelayMs, cfg.maxDelayMs);
+    if (cfg.fixedBatch == 0 &&
+        (cfg.minBatch < 1 || cfg.maxBatch < cfg.minBatch))
+        fatal("invalid batch range [%d, %d]", cfg.minBatch, cfg.maxBatch);
+    if (cfg.priorities.empty())
+        fatal("sequence generation needs at least one priority level");
+
+    Rng app_rng = rng.derive(name + "/app");
+    Rng delay_rng = rng.derive(name + "/delay");
+    Rng batch_rng = rng.derive(name + "/batch");
+    Rng prio_rng = rng.derive(name + "/priority");
+
+    EventSequence seq;
+    seq.name = name;
+    seq.seed = rng.seed();
+    SimTime t = 0;
+    for (int i = 0; i < cfg.numEvents; ++i) {
+        WorkloadEvent e;
+        e.index = i;
+        e.appName = cfg.appPool[app_rng.index(cfg.appPool.size())];
+        e.batch = cfg.fixedBatch > 0
+                      ? cfg.fixedBatch
+                      : static_cast<int>(
+                            batch_rng.uniformInt(cfg.minBatch, cfg.maxBatch));
+        e.priority = priorityFromInt(
+            cfg.priorities[prio_rng.index(cfg.priorities.size())]);
+        double delay_ms = 0;
+        switch (cfg.pattern) {
+          case ArrivalPattern::Uniform:
+            delay_ms =
+                delay_rng.uniformDouble(cfg.minDelayMs, cfg.maxDelayMs);
+            break;
+          case ArrivalPattern::Poisson:
+            delay_ms = delay_rng.exponential(
+                (cfg.minDelayMs + cfg.maxDelayMs) / 2.0);
+            break;
+          case ArrivalPattern::Bursty:
+            delay_ms = (i % cfg.burstSize == 0 && i > 0)
+                           ? cfg.maxDelayMs * cfg.burstGapFactor
+                           : cfg.minDelayMs / 5.0;
+            break;
+        }
+        t += simtime::msF(delay_ms);
+        e.arrival = t;
+        seq.events.push_back(std::move(e));
+    }
+    seq.validate();
+    return seq;
+}
+
+std::vector<EventSequence>
+generateSequences(const std::string &prefix, int count,
+                  const GeneratorConfig &cfg, const Rng &rng)
+{
+    std::vector<EventSequence> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        std::string name = formatMessage("%s/seq%d", prefix.c_str(), i);
+        out.push_back(generateSequence(name, cfg, rng.derive(name)));
+    }
+    return out;
+}
+
+} // namespace nimblock

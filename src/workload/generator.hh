@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Random event-sequence generation (§5.1).
+ *
+ * "We carry out sequences of randomly selected events, where each sequence
+ * consists of 20 randomly selected events from the application pool. Each
+ * event is generated with an arrival time, batch size, and priority
+ * level [all] randomly generated. The maximum batch size for an event is
+ * 30."
+ */
+
+#ifndef NIMBLOCK_WORKLOAD_GENERATOR_HH
+#define NIMBLOCK_WORKLOAD_GENERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workload/event.hh"
+
+namespace nimblock {
+
+/**
+ * Inter-arrival process shapes.
+ *
+ * The paper's scenarios draw delays uniformly; Poisson and bursty
+ * processes model open-loop cloud traffic (the FaaS layer uses Poisson
+ * natively) and flash crowds respectively.
+ */
+enum class ArrivalPattern
+{
+    /** Delay ~ U(minDelayMs, maxDelayMs) — the paper's scenarios. */
+    Uniform,
+
+    /** Exponential delays with mean (minDelayMs + maxDelayMs) / 2. */
+    Poisson,
+
+    /**
+     * Bursts of burstSize events separated by minDelayMs / 5, with
+     * maxDelayMs x burstGapFactor between bursts.
+     */
+    Bursty,
+};
+
+/** Render an ArrivalPattern. */
+const char *toString(ArrivalPattern p);
+
+/** Parameters for random sequence generation. */
+struct GeneratorConfig
+{
+    /** Events per sequence (the paper uses 20). */
+    int numEvents = 20;
+
+    /** Application pool to draw from (names). */
+    std::vector<std::string> appPool;
+
+    /** Inter-arrival delay range [min, max] in milliseconds. */
+    double minDelayMs = 1500.0;
+    double maxDelayMs = 2000.0;
+
+    /** Arrival process shape. */
+    ArrivalPattern pattern = ArrivalPattern::Uniform;
+
+    /** Events per burst (Bursty pattern). */
+    int burstSize = 5;
+
+    /** Inter-burst gap as a multiple of maxDelayMs (Bursty pattern). */
+    double burstGapFactor = 4.0;
+
+    /** Batch size range [min, max] (the paper's maximum is 30). */
+    int minBatch = 1;
+    int maxBatch = 30;
+
+    /**
+     * Fixed batch size override; when > 0 every event uses this batch
+     * (the ablation and Table 3 experiments use fixed batches).
+     */
+    int fixedBatch = 0;
+
+    /** Priorities to draw uniformly from. */
+    std::vector<int> priorities = {1, 3, 9};
+};
+
+/**
+ * Generate one random event sequence.
+ *
+ * Draws use independent named substreams of @p rng so that, e.g., the
+ * delay range can change without perturbing the app/batch/priority picks.
+ *
+ * @param name Sequence name recorded in the result.
+ * @param cfg  Generation parameters.
+ * @param rng  Randomness source (derived from, not consumed).
+ */
+EventSequence generateSequence(const std::string &name,
+                               const GeneratorConfig &cfg, const Rng &rng);
+
+/**
+ * Generate @p count sequences named "<prefix>/seq<i>", deriving one
+ * independent stream per sequence.
+ */
+std::vector<EventSequence> generateSequences(const std::string &prefix,
+                                             int count,
+                                             const GeneratorConfig &cfg,
+                                             const Rng &rng);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,82 @@
+#include "workload/scenario.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(Scenario s)
+{
+    switch (s) {
+      case Scenario::Standard:
+        return "standard";
+      case Scenario::Stress:
+        return "stress";
+      case Scenario::RealTime:
+        return "realtime";
+      case Scenario::Table3:
+        return "table3";
+      case Scenario::Ablation:
+        return "ablation";
+    }
+    return "?";
+}
+
+Scenario
+scenarioFromString(const std::string &name)
+{
+    if (name == "standard")
+        return Scenario::Standard;
+    if (name == "stress")
+        return Scenario::Stress;
+    if (name == "realtime" || name == "real-time")
+        return Scenario::RealTime;
+    if (name == "table3")
+        return Scenario::Table3;
+    if (name == "ablation")
+        return Scenario::Ablation;
+    fatal("unknown scenario '%s'", name.c_str());
+}
+
+GeneratorConfig
+scenarioConfig(Scenario scenario, const std::vector<std::string> &app_pool,
+               int fixed_batch)
+{
+    GeneratorConfig cfg;
+    cfg.appPool = app_pool;
+    switch (scenario) {
+      case Scenario::Standard:
+        cfg.minDelayMs = 1500.0;
+        cfg.maxDelayMs = 2000.0;
+        break;
+      case Scenario::Stress:
+        cfg.minDelayMs = 150.0;
+        cfg.maxDelayMs = 200.0;
+        break;
+      case Scenario::RealTime:
+        cfg.minDelayMs = 50.0;
+        cfg.maxDelayMs = 50.0;
+        break;
+      case Scenario::Table3:
+        cfg.minDelayMs = 500.0;
+        cfg.maxDelayMs = 500.0;
+        cfg.fixedBatch = fixed_batch > 0 ? fixed_batch : 5;
+        break;
+      case Scenario::Ablation:
+        cfg.minDelayMs = 150.0;
+        cfg.maxDelayMs = 200.0;
+        cfg.fixedBatch = fixed_batch;
+        if (fixed_batch <= 0)
+            fatal("ablation scenario needs a fixed batch size");
+        break;
+    }
+    return cfg;
+}
+
+std::vector<Scenario>
+congestionScenarios()
+{
+    return {Scenario::Standard, Scenario::Stress, Scenario::RealTime};
+}
+
+} // namespace nimblock

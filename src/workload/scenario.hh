@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's congestion scenarios (§5.1, §5.5, §5.6).
+ *
+ * - standard:  inter-arrival delay U(1500, 2000) ms — low demand.
+ * - stress:    delay U(150, 200) ms — rapid event stream.
+ * - real-time: consistent 50 ms delay — streaming input.
+ * - table3:    fixed batch 5, 500 ms delay (benchmark characteristics).
+ * - ablation:  stress delays with a fixed batch size (Figure 9-11).
+ */
+
+#ifndef NIMBLOCK_WORKLOAD_SCENARIO_HH
+#define NIMBLOCK_WORKLOAD_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace nimblock {
+
+/** Named congestion scenarios from the evaluation. */
+enum class Scenario
+{
+    Standard,
+    Stress,
+    RealTime,
+    Table3,
+    Ablation,
+};
+
+/** Scenario name as used in reports ("standard", "stress", ...). */
+const char *toString(Scenario s);
+
+/** Parse a scenario name; fatal()s on unknown names. */
+Scenario scenarioFromString(const std::string &name);
+
+/**
+ * Generator configuration for @p scenario over @p app_pool.
+ *
+ * @param fixed_batch Batch size for Table3/Ablation scenarios (ignored
+ *                    otherwise); Table3 defaults to 5 when 0.
+ */
+GeneratorConfig scenarioConfig(Scenario scenario,
+                               const std::vector<std::string> &app_pool,
+                               int fixed_batch = 0);
+
+/** All three congestion scenarios of §5.2-§5.4. */
+std::vector<Scenario> congestionScenarios();
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_WORKLOAD_SCENARIO_HH

@@ -1,0 +1,101 @@
+#include "workload/trace_io.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+std::string
+traceToString(const EventSequence &seq)
+{
+    std::string out;
+    out += formatMessage("# nimblock event trace: %zu events\n",
+                         seq.events.size());
+    out += formatMessage("seq %s %llu\n",
+                         seq.name.empty() ? "unnamed" : seq.name.c_str(),
+                         static_cast<unsigned long long>(seq.seed));
+    for (const WorkloadEvent &e : seq.events) {
+        out += formatMessage("event %.3f %s %d %d\n",
+                             simtime::toMs(e.arrival), e.appName.c_str(),
+                             e.batch, static_cast<int>(e.priority));
+    }
+    return out;
+}
+
+EventSequence
+traceFromString(const std::string &text)
+{
+    EventSequence seq;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    int index = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and blank lines.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string directive;
+        if (!(fields >> directive))
+            continue;
+
+        if (directive == "seq") {
+            unsigned long long seed = 0;
+            if (!(fields >> seq.name >> seed))
+                fatal("trace line %d: malformed seq directive", line_no);
+            seq.seed = seed;
+        } else if (directive == "event") {
+            double arrival_ms = 0;
+            std::string app;
+            int batch = 0;
+            int priority = 0;
+            if (!(fields >> arrival_ms >> app >> batch >> priority))
+                fatal("trace line %d: malformed event directive", line_no);
+            WorkloadEvent e;
+            e.index = index++;
+            e.arrival = simtime::msF(arrival_ms);
+            e.appName = std::move(app);
+            e.batch = batch;
+            e.priority = priorityFromInt(priority);
+            seq.events.push_back(std::move(e));
+        } else {
+            fatal("trace line %d: unknown directive '%s'", line_no,
+                  directive.c_str());
+        }
+    }
+    seq.validate();
+    return seq;
+}
+
+bool
+writeTraceFile(const EventSequence &seq, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string data = traceToString(seq);
+    std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return written == data.size();
+}
+
+EventSequence
+readTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::string data;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    std::fclose(f);
+    return traceFromString(data);
+}
+
+} // namespace nimblock

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Text serialization of event sequences.
+ *
+ * The artifact ships Python scripts that generate test sequences as
+ * source-embedded tables; we use a plain text format instead so traces
+ * can be stored, edited and replayed:
+ *
+ *   # comment
+ *   seq <name> <seed>
+ *   event <arrival_ms> <app_name> <batch> <priority>
+ *   ...
+ */
+
+#ifndef NIMBLOCK_WORKLOAD_TRACE_IO_HH
+#define NIMBLOCK_WORKLOAD_TRACE_IO_HH
+
+#include <string>
+
+#include "workload/event.hh"
+
+namespace nimblock {
+
+/** Serialize a sequence to trace text. */
+std::string traceToString(const EventSequence &seq);
+
+/**
+ * Parse trace text.
+ *
+ * fatal()s on malformed input (unknown directives, bad field counts,
+ * unsorted arrivals).
+ */
+EventSequence traceFromString(const std::string &text);
+
+/** Write a sequence to @p path; @retval true on success. */
+bool writeTraceFile(const EventSequence &seq, const std::string &path);
+
+/** Read a sequence from @p path; fatal()s when unreadable/malformed. */
+EventSequence readTraceFile(const std::string &path);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_WORKLOAD_TRACE_IO_HH

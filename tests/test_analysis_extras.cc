@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for fairness metrics, arrival patterns, and heterogeneous
+ * clusters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "metrics/analysis.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(Fairness, PerfectEqualityIsOne)
+{
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({2.0, 2.0, 2.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({7.0}), 1.0);
+}
+
+TEST(Fairness, KnownValues)
+{
+    // One user hogging everything among n users gives 1/n.
+    EXPECT_NEAR(jainFairnessIndex({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+    // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+    EXPECT_NEAR(jainFairnessIndex({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Fairness, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({}), 0.0);
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({0.0, 0.0}), 0.0);
+    EXPECT_THROW(jainFairnessIndex({1.0, -1.0}), FatalError);
+}
+
+TEST(Fairness, SlowdownsUsePerRecordUnits)
+{
+    std::vector<AppRecord> records(2);
+    records[0].appName = "a";
+    records[0].arrival = 0;
+    records[0].firstLaunch = 0;
+    records[0].retire = simtime::sec(4);
+    records[1] = records[0];
+    records[1].batch = 2;
+    auto unit = [](const AppRecord &r) { return simtime::sec(r.batch); };
+    auto s = slowdowns(records, unit);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 4.0);
+    EXPECT_DOUBLE_EQ(s[1], 2.0);
+    EXPECT_THROW(slowdowns(records, nullptr), FatalError);
+}
+
+TEST(ArrivalPatterns, PoissonDelaysAveragePlausibly)
+{
+    GeneratorConfig cfg;
+    cfg.appPool = {"a"};
+    cfg.numEvents = 2000;
+    cfg.minDelayMs = 100;
+    cfg.maxDelayMs = 300; // Mean 200 ms.
+    cfg.pattern = ArrivalPattern::Poisson;
+    EventSequence seq = generateSequence("p", cfg, Rng(5));
+    double mean_ms =
+        simtime::toMs(seq.lastArrival()) / static_cast<double>(cfg.numEvents);
+    EXPECT_NEAR(mean_ms, 200.0, 15.0);
+}
+
+TEST(ArrivalPatterns, BurstyHasGapsBetweenBursts)
+{
+    GeneratorConfig cfg;
+    cfg.appPool = {"a"};
+    cfg.numEvents = 20;
+    cfg.minDelayMs = 100;
+    cfg.maxDelayMs = 200;
+    cfg.pattern = ArrivalPattern::Bursty;
+    cfg.burstSize = 5;
+    cfg.burstGapFactor = 4.0;
+    EventSequence seq = generateSequence("b", cfg, Rng(5));
+
+    int long_gaps = 0;
+    for (std::size_t i = 1; i < seq.events.size(); ++i) {
+        SimTime gap = seq.events[i].arrival - seq.events[i - 1].arrival;
+        if (gap >= simtime::msF(800)) {
+            ++long_gaps;
+        } else {
+            EXPECT_LE(gap, simtime::msF(20 + 1)); // Intra-burst spacing.
+        }
+    }
+    EXPECT_EQ(long_gaps, 3); // 20 events / bursts of 5 -> 3 gaps.
+}
+
+TEST(ArrivalPatterns, NamesAndValidation)
+{
+    EXPECT_STREQ(toString(ArrivalPattern::Uniform), "uniform");
+    EXPECT_STREQ(toString(ArrivalPattern::Poisson), "poisson");
+    EXPECT_STREQ(toString(ArrivalPattern::Bursty), "bursty");
+
+    GeneratorConfig cfg;
+    cfg.appPool = {"a"};
+    cfg.pattern = ArrivalPattern::Bursty;
+    cfg.burstSize = 0;
+    EXPECT_THROW(generateSequence("x", cfg, Rng(1)), FatalError);
+}
+
+TEST(HeteroCluster, PerBoardSlotCounts)
+{
+    setQuiet(true);
+    EventQueue eq;
+    ClusterConfig cfg;
+    cfg.numBoards = 3;
+    cfg.slotsPerBoard = {2, 4, 10};
+    Cluster cluster(eq, cfg);
+    setQuiet(false);
+    EXPECT_EQ(cluster.board(0).fabric().numSlots(), 2u);
+    EXPECT_EQ(cluster.board(1).fabric().numSlots(), 4u);
+    EXPECT_EQ(cluster.board(2).fabric().numSlots(), 10u);
+}
+
+TEST(HeteroCluster, RejectsMismatchedOverride)
+{
+    EventQueue eq;
+    ClusterConfig cfg;
+    cfg.numBoards = 2;
+    cfg.slotsPerBoard = {4};
+    EXPECT_THROW(Cluster(eq, cfg), FatalError);
+}
+
+TEST(HeteroCluster, LeastLoadedPrefersBiggerBoards)
+{
+    setQuiet(true);
+    ClusterConfig cfg;
+    cfg.numBoards = 2;
+    cfg.slotsPerBoard = {2, 10};
+    cfg.board.scheduler = "nimblock";
+    cfg.dispatch = DispatchPolicy::LeastLoaded;
+
+    EventSequence seq;
+    seq.name = "hetero";
+    for (int i = 0; i < 8; ++i) {
+        seq.events.push_back(WorkloadEvent{i, "optical_flow", 10,
+                                           Priority::Medium,
+                                           simtime::ms(50 * (i + 1))});
+    }
+    ClusterRunResult result =
+        ClusterSimulation(cfg, standardRegistry()).run(seq);
+    setQuiet(false);
+    // Capacity-normalized dispatch should send most work to the big board.
+    EXPECT_GT(result.eventsPerBoard[1], result.eventsPerBoard[0]);
+    EXPECT_EQ(result.records.size(), 8u);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the benchmark suite (Table 2 shapes), the registry, and the
+ * synthetic generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "apps/registry.hh"
+#include "apps/synthetic.hh"
+#include "sim/rng.hh"
+#include "sim/logging.hh"
+#include "taskgraph/graph_algos.hh"
+
+namespace nimblock {
+namespace {
+
+struct Expected
+{
+    const char *name;
+    std::size_t tasks;
+    std::size_t edges;
+};
+
+// Table 2 of the paper, verbatim.
+const Expected kTable2[] = {
+    {"lenet", 3, 2},          {"alexnet", 38, 184},
+    {"image_compression", 6, 5}, {"optical_flow", 9, 8},
+    {"3d_rendering", 3, 2},   {"digit_recognition", 3, 2},
+};
+
+TEST(Benchmarks, Table2ShapesMatchThePaper)
+{
+    AppRegistry reg = standardRegistry();
+    for (const Expected &e : kTable2) {
+        AppSpecPtr spec = reg.get(e.name);
+        EXPECT_EQ(spec->numTasks(), e.tasks) << e.name;
+        EXPECT_EQ(spec->numEdges(), e.edges) << e.name;
+    }
+}
+
+TEST(Benchmarks, AllGraphsValidated)
+{
+    for (const auto &spec : benchmarks::all()) {
+        EXPECT_TRUE(spec->graph().validated()) << spec->name();
+        EXPECT_FALSE(spec->shortName().empty()) << spec->name();
+    }
+}
+
+TEST(Benchmarks, SingletonSpecsAreShared)
+{
+    EXPECT_EQ(benchmarks::lenet().get(), benchmarks::lenet().get());
+}
+
+TEST(Benchmarks, AlexNetHasParallelStages)
+{
+    auto an = benchmarks::alexnet();
+    EXPECT_EQ(maxLevelWidth(an->graph()), 8u);
+    EXPECT_EQ(criticalPathLength(an->graph()), 9u);
+}
+
+TEST(Benchmarks, ChainsAreChains)
+{
+    for (const char *name : {"lenet", "image_compression", "optical_flow",
+                             "3d_rendering", "digit_recognition"}) {
+        AppRegistry reg = standardRegistry();
+        auto spec = reg.get(name);
+        EXPECT_EQ(maxLevelWidth(spec->graph()), 1u) << name;
+        EXPECT_EQ(criticalPathLength(spec->graph()),
+                  spec->graph().numTasks())
+            << name;
+    }
+}
+
+TEST(Benchmarks, DigitRecognitionIsNotPipelineable)
+{
+    EXPECT_FALSE(benchmarks::digitRecognition()->pipelineAcrossBatch());
+    EXPECT_TRUE(benchmarks::alexnet()->pipelineAcrossBatch());
+    EXPECT_TRUE(benchmarks::lenet()->pipelineAcrossBatch());
+}
+
+TEST(Benchmarks, CalibratedLatenciesMatchTable3Scale)
+{
+    // Batch-5 serial compute of each chain should be within 10% of the
+    // paper's execution times (reconfiguration hiding covers the rest).
+    auto serial = [](const AppSpecPtr &spec) {
+        SimTime total = 0;
+        for (TaskId t = 0; t < spec->graph().numTasks(); ++t)
+            total += spec->graph().task(t).itemLatency;
+        return 5.0 * simtime::toSec(total);
+    };
+    EXPECT_NEAR(serial(benchmarks::lenet()), 0.73, 0.08);
+    EXPECT_NEAR(serial(benchmarks::imageCompression()), 0.56, 0.06);
+    EXPECT_NEAR(serial(benchmarks::opticalFlow()), 22.91, 2.0);
+    EXPECT_NEAR(serial(benchmarks::rendering3d()), 1.55, 0.16);
+    EXPECT_NEAR(serial(benchmarks::digitRecognition()), 984.0, 20.0);
+}
+
+TEST(Registry, LookupAndNames)
+{
+    AppRegistry reg = standardRegistry();
+    EXPECT_EQ(reg.size(), 6u);
+    EXPECT_TRUE(reg.contains("lenet"));
+    EXPECT_FALSE(reg.contains("nope"));
+    EXPECT_THROW(reg.get("nope"), FatalError);
+    auto names = reg.names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, RejectsDuplicates)
+{
+    AppRegistry reg;
+    reg.add(benchmarks::lenet());
+    EXPECT_THROW(reg.add(benchmarks::lenet()), FatalError);
+}
+
+TEST(Registry, RejectsNull)
+{
+    AppRegistry reg;
+    EXPECT_THROW(reg.add(nullptr), FatalError);
+}
+
+TEST(Synthetic, GeneratesRequestedSize)
+{
+    SyntheticAppConfig cfg;
+    cfg.numTasks = 17;
+    cfg.maxWidth = 4;
+    Rng rng(5);
+    auto spec = makeSyntheticApp("syn", cfg, rng);
+    EXPECT_EQ(spec->numTasks(), 17u);
+    EXPECT_TRUE(spec->graph().validated());
+}
+
+TEST(Synthetic, IsDeterministicPerSeed)
+{
+    SyntheticAppConfig cfg;
+    cfg.numTasks = 12;
+    Rng a(7), b(7);
+    auto x = makeSyntheticApp("syn", cfg, a);
+    auto y = makeSyntheticApp("syn", cfg, b);
+    EXPECT_EQ(x->numTasks(), y->numTasks());
+    EXPECT_EQ(x->numEdges(), y->numEdges());
+    for (TaskId t = 0; t < x->graph().numTasks(); ++t) {
+        EXPECT_EQ(x->graph().task(t).itemLatency,
+                  y->graph().task(t).itemLatency);
+    }
+}
+
+TEST(Synthetic, RespectsWidthBound)
+{
+    SyntheticAppConfig cfg;
+    cfg.numTasks = 30;
+    cfg.maxWidth = 3;
+    Rng rng(11);
+    auto spec = makeSyntheticApp("syn", cfg, rng);
+    EXPECT_LE(maxLevelWidth(spec->graph()), 3u);
+}
+
+TEST(Synthetic, SingleTaskGraph)
+{
+    SyntheticAppConfig cfg;
+    cfg.numTasks = 1;
+    Rng rng(3);
+    auto spec = makeSyntheticApp("one", cfg, rng);
+    EXPECT_EQ(spec->numTasks(), 1u);
+    EXPECT_EQ(spec->numEdges(), 0u);
+}
+
+TEST(Synthetic, RejectsBadConfig)
+{
+    Rng rng(1);
+    SyntheticAppConfig cfg;
+    cfg.numTasks = 0;
+    EXPECT_THROW(makeSyntheticApp("x", cfg, rng), FatalError);
+
+    cfg = SyntheticAppConfig{};
+    cfg.maxWidth = 0;
+    EXPECT_THROW(makeSyntheticApp("x", cfg, rng), FatalError);
+
+    cfg = SyntheticAppConfig{};
+    cfg.minLatencyMs = 50;
+    cfg.maxLatencyMs = 10;
+    EXPECT_THROW(makeSyntheticApp("x", cfg, rng), FatalError);
+}
+
+TEST(EstimateError, PerturbsEstimatesNotTruth)
+{
+    Rng rng(7);
+    auto spec = withEstimateError(*benchmarks::opticalFlow(), 0.25, rng);
+    const TaskGraph &orig = benchmarks::opticalFlow()->graph();
+    const TaskGraph &pert = spec->graph();
+    ASSERT_EQ(pert.numTasks(), orig.numTasks());
+    ASSERT_EQ(pert.numEdges(), orig.numEdges());
+    bool any_differs = false;
+    for (TaskId t = 0; t < orig.numTasks(); ++t) {
+        EXPECT_EQ(pert.task(t).itemLatency, orig.task(t).itemLatency);
+        SimTime est = pert.task(t).schedulerItemLatency();
+        SimTime truth = orig.task(t).itemLatency;
+        EXPECT_GE(est, static_cast<SimTime>(0.74 * truth));
+        EXPECT_LE(est, static_cast<SimTime>(1.26 * truth));
+        any_differs |= est != truth;
+    }
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(EstimateError, PreservesPipelineFlagAndIdentity)
+{
+    Rng rng(7);
+    auto spec = withEstimateError(*benchmarks::digitRecognition(), 0.1, rng);
+    EXPECT_EQ(spec->name(), "digit_recognition");
+    EXPECT_FALSE(spec->pipelineAcrossBatch());
+}
+
+TEST(EstimateError, ZeroErrorStillValid)
+{
+    Rng rng(7);
+    auto spec = withEstimateError(*benchmarks::lenet(), 0.0, rng);
+    for (TaskId t = 0; t < spec->graph().numTasks(); ++t) {
+        EXPECT_EQ(spec->graph().task(t).schedulerItemLatency(),
+                  spec->graph().task(t).itemLatency);
+    }
+}
+
+TEST(EstimateError, RejectsOutOfRangeFraction)
+{
+    Rng rng(7);
+    EXPECT_THROW(withEstimateError(*benchmarks::lenet(), 1.0, rng),
+                 FatalError);
+    EXPECT_THROW(withEstimateError(*benchmarks::lenet(), -0.1, rng),
+                 FatalError);
+}
+
+TEST(Synthetic, LatenciesWithinRange)
+{
+    SyntheticAppConfig cfg;
+    cfg.numTasks = 20;
+    cfg.minLatencyMs = 10;
+    cfg.maxLatencyMs = 20;
+    Rng rng(13);
+    auto spec = makeSyntheticApp("syn", cfg, rng);
+    for (TaskId t = 0; t < spec->graph().numTasks(); ++t) {
+        SimTime lat = spec->graph().task(t).itemLatency;
+        EXPECT_GE(lat, simtime::msF(10));
+        EXPECT_LE(lat, simtime::msF(20));
+    }
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the SD-card bitstream store and its LRU cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/bitstream_store.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+BitstreamKey
+key(const std::string &app, TaskId t = 0, SlotId s = 0)
+{
+    return BitstreamKey{app, t, s};
+}
+
+TEST(BitstreamStore, ColdLoadTakesSdLatency)
+{
+    EventQueue eq;
+    BitstreamStoreConfig cfg;
+    cfg.sdBandwidthBytesPerSec = 200e6;
+    cfg.sdSetupLatency = simtime::ms(2);
+    BitstreamStore store(eq, cfg);
+
+    SimTime done_at = kTimeNone;
+    store.ensureLoaded(key("a"), 8ull << 20, [&] { done_at = eq.now(); });
+    EXPECT_TRUE(store.busy());
+    eq.run();
+    EXPECT_EQ(done_at, store.loadLatency(8ull << 20));
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(store.hits(), 0u);
+}
+
+TEST(BitstreamStore, WarmLoadIsSynchronous)
+{
+    EventQueue eq;
+    BitstreamStore store(eq, BitstreamStoreConfig{});
+    store.ensureLoaded(key("a"), 1 << 20, [] {});
+    eq.run();
+
+    bool fired = false;
+    store.ensureLoaded(key("a"), 1 << 20, [&] { fired = true; });
+    EXPECT_TRUE(fired); // Cache hit completes inline.
+    EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(BitstreamStore, SerializesLoads)
+{
+    EventQueue eq;
+    BitstreamStore store(eq, BitstreamStoreConfig{});
+    std::vector<SimTime> done;
+    store.ensureLoaded(key("a"), 8ull << 20, [&] { done.push_back(eq.now()); });
+    store.ensureLoaded(key("b"), 8ull << 20, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[1], 2 * done[0]);
+}
+
+TEST(BitstreamStore, CoalescesDuplicateInFlightLoads)
+{
+    EventQueue eq;
+    BitstreamStore store(eq, BitstreamStoreConfig{});
+    int calls = 0;
+    store.ensureLoaded(key("a"), 8ull << 20, [&] { ++calls; });
+    store.ensureLoaded(key("a"), 8ull << 20, [&] { ++calls; });
+    eq.run();
+    EXPECT_EQ(calls, 2);
+    // Both callbacks served by one SD transaction.
+    EXPECT_EQ(store.misses(), 2u);
+    EXPECT_EQ(store.cachedBytes(), 8ull << 20);
+}
+
+TEST(BitstreamStore, EvictsLruWhenFull)
+{
+    EventQueue eq;
+    BitstreamStoreConfig cfg;
+    cfg.cacheCapacityBytes = 2ull << 20; // Two 1 MB bitstreams.
+    BitstreamStore store(eq, cfg);
+
+    store.ensureLoaded(key("a"), 1 << 20, [] {});
+    eq.run();
+    store.ensureLoaded(key("b"), 1 << 20, [] {});
+    eq.run();
+    // Touch "a" so "b" becomes the LRU victim.
+    store.ensureLoaded(key("a"), 1 << 20, [] {});
+    store.ensureLoaded(key("c"), 1 << 20, [] {});
+    eq.run();
+
+    EXPECT_TRUE(store.isCached(key("a")));
+    EXPECT_FALSE(store.isCached(key("b")));
+    EXPECT_TRUE(store.isCached(key("c")));
+    EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(BitstreamStore, OversizedBitstreamIsNotRetained)
+{
+    setQuiet(true);
+    EventQueue eq;
+    BitstreamStoreConfig cfg;
+    cfg.cacheCapacityBytes = 1 << 20;
+    BitstreamStore store(eq, cfg);
+    bool loaded = false;
+    store.ensureLoaded(key("big"), 8ull << 20, [&] { loaded = true; });
+    eq.run();
+    setQuiet(false);
+    EXPECT_TRUE(loaded);
+    EXPECT_FALSE(store.isCached(key("big")));
+}
+
+TEST(BitstreamStore, DistinctSlotsAreDistinctBitstreams)
+{
+    // The flow generates one bitstream per (task, slot) pair; keys differ
+    // by slot id.
+    EventQueue eq;
+    BitstreamStore store(eq, BitstreamStoreConfig{});
+    store.ensureLoaded(key("a", 0, 0), 1 << 20, [] {});
+    eq.run();
+    EXPECT_FALSE(store.isCached(key("a", 0, 1)));
+    EXPECT_TRUE(store.isCached(key("a", 0, 0)));
+}
+
+TEST(BitstreamKey, EqualityAndRendering)
+{
+    BitstreamKey a{"app", 2, 3};
+    BitstreamKey b{"app", 2, 3};
+    BitstreamKey c{"app", 2, 4};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.toString(), "app_t2_s3.bit");
+    EXPECT_EQ(BitstreamKeyHash{}(a), BitstreamKeyHash{}(b));
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for DDR buffer accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hypervisor/buffer_manager.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(BufferManager, AllocateAndRelease)
+{
+    BufferManager bm(BufferManagerConfig{1 << 20});
+    EXPECT_TRUE(bm.allocate(1, 0, 1000));
+    EXPECT_EQ(bm.inUse(), 1000u);
+    EXPECT_EQ(bm.held(1, 0), 1000u);
+    EXPECT_EQ(bm.release(1, 0), 1000u);
+    EXPECT_EQ(bm.inUse(), 0u);
+}
+
+TEST(BufferManager, RejectsOverCapacity)
+{
+    BufferManager bm(BufferManagerConfig{1000});
+    EXPECT_TRUE(bm.allocate(1, 0, 800));
+    EXPECT_FALSE(bm.allocate(1, 1, 300));
+    EXPECT_EQ(bm.rejections(), 1u);
+    EXPECT_EQ(bm.inUse(), 800u);
+}
+
+TEST(BufferManager, TracksPeak)
+{
+    BufferManager bm(BufferManagerConfig{10000});
+    bm.allocate(1, 0, 4000);
+    bm.allocate(1, 1, 5000);
+    bm.release(1, 0);
+    bm.allocate(1, 2, 1000);
+    EXPECT_EQ(bm.peak(), 9000u);
+    EXPECT_EQ(bm.inUse(), 6000u);
+}
+
+TEST(BufferManager, ReleaseOfUnknownIsZero)
+{
+    BufferManager bm(BufferManagerConfig{1000});
+    EXPECT_EQ(bm.release(9, 9), 0u);
+}
+
+TEST(BufferManager, SeparateKeysPerAppTask)
+{
+    BufferManager bm(BufferManagerConfig{10000});
+    EXPECT_TRUE(bm.allocate(1, 0, 100));
+    EXPECT_TRUE(bm.allocate(2, 0, 200));
+    EXPECT_TRUE(bm.allocate(1, 1, 300));
+    EXPECT_EQ(bm.held(1, 0), 100u);
+    EXPECT_EQ(bm.held(2, 0), 200u);
+    EXPECT_EQ(bm.held(1, 1), 300u);
+}
+
+TEST(BufferManager, DoubleAllocationPanicsViaDeath)
+{
+    BufferManager bm(BufferManagerConfig{10000});
+    bm.allocate(1, 0, 100);
+    EXPECT_DEATH(bm.allocate(1, 0, 100), "double buffer");
+}
+
+TEST(BufferManager, RejectsZeroCapacity)
+{
+    EXPECT_THROW(BufferManager(BufferManagerConfig{0}), FatalError);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for GraphBuilder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+#include "taskgraph/graph_algos.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(GraphBuilder, ChainBuildsLinearGraph)
+{
+    GraphBuilder b;
+    auto ids = b.chain("c", {simtime::ms(1), simtime::ms(2), simtime::ms(3)});
+    TaskGraph g = b.build();
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(g.numTasks(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.successors(ids[0]), std::vector<TaskId>{ids[1]});
+    EXPECT_EQ(g.task(ids[2]).name, "c_2");
+    EXPECT_EQ(g.task(ids[1]).itemLatency, simtime::ms(2));
+}
+
+TEST(GraphBuilder, ChainAttachesToExistingTask)
+{
+    GraphBuilder b;
+    TaskSpec root;
+    root.name = "root";
+    root.itemLatency = simtime::ms(1);
+    TaskId r = b.addTask(root);
+    auto ids = b.chain("tail", {simtime::ms(1)}, r);
+    TaskGraph g = b.build();
+    EXPECT_EQ(g.predecessors(ids[0]), std::vector<TaskId>{r});
+}
+
+TEST(GraphBuilder, StageConnectsAllToAll)
+{
+    GraphBuilder b;
+    auto first = b.stage("s0", 2, simtime::ms(1), {});
+    auto second = b.stage("s1", 3, simtime::ms(1), first);
+    TaskGraph g = b.build();
+    EXPECT_EQ(g.numTasks(), 5u);
+    EXPECT_EQ(g.numEdges(), 6u);
+    for (TaskId t : second)
+        EXPECT_EQ(g.predecessors(t).size(), 2u);
+}
+
+TEST(GraphBuilder, EmptyChainIsRejected)
+{
+    GraphBuilder b;
+    EXPECT_THROW(b.chain("x", {}), FatalError);
+}
+
+TEST(GraphBuilder, ZeroWidthStageIsRejected)
+{
+    GraphBuilder b;
+    EXPECT_THROW(b.stage("x", 0, simtime::ms(1), {}), FatalError);
+}
+
+TEST(GraphBuilder, StagePipelineMatchesAlexNetShape)
+{
+    // The generic construction used by the AlexNet benchmark: widths
+    // [1,4,4,8,8,4,4,4,1] must give 38 nodes and 184 all-to-all edges.
+    GraphBuilder b;
+    std::vector<TaskId> prev;
+    std::size_t widths[] = {1, 4, 4, 8, 8, 4, 4, 4, 1};
+    int i = 0;
+    for (std::size_t w : widths) {
+        prev = b.stage(formatMessage("st%d", i++), w, simtime::ms(1), prev);
+    }
+    TaskGraph g = b.build();
+    EXPECT_EQ(g.numTasks(), 38u);
+    EXPECT_EQ(g.numEdges(), 184u);
+    EXPECT_EQ(criticalPathLength(g), 9u);
+    EXPECT_EQ(maxLevelWidth(g), 8u);
+}
+
+} // namespace
+} // namespace nimblock

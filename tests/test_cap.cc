@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the CAP reconfiguration port.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/cap.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(Cap, LatencyMatchesBandwidthModel)
+{
+    EventQueue eq;
+    CapConfig cfg;
+    cfg.bandwidthBytesPerSec = 100e6;
+    cfg.fixedOverhead = simtime::ms(2);
+    Cap cap(eq, cfg);
+    // 8 MB at 100 MB/s = ~83.9 ms + 2 ms overhead (binary megabytes).
+    SimTime lat = cap.reconfigLatency(8ull << 20);
+    EXPECT_NEAR(simtime::toMs(lat), 2.0 + 8.0 * 1048576.0 / 100e6 * 1000,
+                0.01);
+}
+
+TEST(Cap, DefaultCalibratesToRoughly80ms)
+{
+    EventQueue eq;
+    Cap cap(eq, CapConfig{});
+    SimTime lat = cap.reconfigLatency(8ull << 20);
+    EXPECT_NEAR(simtime::toMs(lat), 80.0, 10.0);
+}
+
+TEST(Cap, CompletesAtExpectedTime)
+{
+    EventQueue eq;
+    Cap cap(eq, CapConfig{});
+    SimTime done_at = kTimeNone;
+    cap.reconfigure(0, 8ull << 20, [&] { done_at = eq.now(); });
+    EXPECT_TRUE(cap.busy());
+    eq.run();
+    EXPECT_EQ(done_at, cap.reconfigLatency(8ull << 20));
+    EXPECT_FALSE(cap.busy());
+    EXPECT_EQ(cap.completedCount(), 1u);
+}
+
+TEST(Cap, SerializesConcurrentRequests)
+{
+    EventQueue eq;
+    Cap cap(eq, CapConfig{});
+    std::vector<SimTime> done;
+    for (int i = 0; i < 3; ++i)
+        cap.reconfigure(i, 8ull << 20, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    SimTime unit = cap.reconfigLatency(8ull << 20);
+    EXPECT_EQ(done[0], unit);
+    EXPECT_EQ(done[1], 2 * unit);
+    EXPECT_EQ(done[2], 3 * unit);
+}
+
+TEST(Cap, TracksBusyTime)
+{
+    EventQueue eq;
+    Cap cap(eq, CapConfig{});
+    cap.reconfigure(0, 8ull << 20, [] {});
+    cap.reconfigure(1, 8ull << 20, [] {});
+    eq.run();
+    EXPECT_EQ(cap.busyTime(), 2 * cap.reconfigLatency(8ull << 20));
+}
+
+TEST(Cap, RequestsIssuedWhileBusyQueueBehind)
+{
+    EventQueue eq;
+    Cap cap(eq, CapConfig{});
+    std::vector<int> order;
+    cap.reconfigure(0, 8ull << 20, [&] {
+        order.push_back(0);
+        cap.reconfigure(2, 8ull << 20, [&] { order.push_back(2); });
+    });
+    cap.reconfigure(1, 8ull << 20, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Cap, RejectsNonPositiveBandwidth)
+{
+    EventQueue eq;
+    CapConfig cfg;
+    cfg.bandwidthBytesPerSec = 0;
+    EXPECT_THROW(Cap(eq, cfg), FatalError);
+}
+
+} // namespace
+} // namespace nimblock

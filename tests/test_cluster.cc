@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for multi-FPGA scale-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace {
+
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    static EventSequence
+    workload(std::uint64_t seed, int events = 12)
+    {
+        GeneratorConfig cfg;
+        cfg.numEvents = events;
+        cfg.appPool = {"lenet", "optical_flow", "image_compression",
+                       "3d_rendering"};
+        cfg.minDelayMs = 50;
+        cfg.maxDelayMs = 150;
+        cfg.maxBatch = 10;
+        return generateSequence("cluster", cfg, Rng(seed));
+    }
+
+    static ClusterConfig
+    config(std::size_t boards, DispatchPolicy policy)
+    {
+        ClusterConfig cfg;
+        cfg.numBoards = boards;
+        cfg.board.scheduler = "nimblock";
+        cfg.dispatch = policy;
+        return cfg;
+    }
+
+    AppRegistry registry = standardRegistry();
+};
+
+TEST_F(ClusterTest, AllEventsRetireAcrossBoards)
+{
+    ClusterSimulation sim(config(3, DispatchPolicy::LeastLoaded), registry);
+    EventSequence seq = workload(1);
+    ClusterRunResult result = sim.run(seq);
+    EXPECT_EQ(result.records.size(), seq.events.size());
+    for (int b : result.boardOfEvent) {
+        EXPECT_GE(b, 0);
+        EXPECT_LT(b, 3);
+    }
+}
+
+TEST_F(ClusterTest, RoundRobinBalancesCounts)
+{
+    ClusterSimulation sim(config(3, DispatchPolicy::RoundRobin), registry);
+    EventSequence seq = workload(2, 12);
+    ClusterRunResult result = sim.run(seq);
+    for (std::size_t n : result.eventsPerBoard)
+        EXPECT_EQ(n, 4u);
+}
+
+TEST_F(ClusterTest, SingleBoardMatchesPlainSimulation)
+{
+    EventSequence seq = workload(3);
+    ClusterConfig ccfg = config(1, DispatchPolicy::LeastLoaded);
+    ClusterRunResult cluster_result =
+        ClusterSimulation(ccfg, registry).run(seq);
+    RunResult plain = Simulation(ccfg.board, registry).run(seq);
+
+    ASSERT_EQ(cluster_result.records.size(), plain.records.size());
+    // Same clock, same scheduler, one board: identical retirements.
+    for (std::size_t i = 0; i < plain.records.size(); ++i) {
+        EXPECT_EQ(cluster_result.records[i].retire,
+                  plain.records[i].retire);
+        EXPECT_EQ(cluster_result.records[i].eventIndex,
+                  plain.records[i].eventIndex);
+    }
+}
+
+TEST_F(ClusterTest, MoreBoardsReduceResponseUnderLoad)
+{
+    GeneratorConfig gen;
+    gen.numEvents = 16;
+    gen.appPool = {"optical_flow", "alexnet"};
+    gen.minDelayMs = 50;
+    gen.maxDelayMs = 100;
+    gen.fixedBatch = 10;
+    EventSequence seq = generateSequence("heavy", gen, Rng(5));
+
+    auto mean_response = [&](std::size_t boards) {
+        ClusterSimulation sim(config(boards, DispatchPolicy::LeastLoaded),
+                              registry);
+        ClusterRunResult result = sim.run(seq);
+        double total = 0;
+        for (const AppRecord &r : result.records)
+            total += simtime::toSec(r.responseTime());
+        return total / static_cast<double>(result.records.size());
+    };
+
+    double one = mean_response(1);
+    double four = mean_response(4);
+    EXPECT_LT(four, one * 0.75);
+}
+
+TEST_F(ClusterTest, LeastLoadedBeatsRoundRobinOnSkewedWork)
+{
+    // Alternating long/short arrivals: round-robin pins all the long jobs
+    // to the same boards; least-loaded steers around them.
+    EventSequence seq;
+    seq.name = "skew";
+    for (int i = 0; i < 8; ++i) {
+        seq.events.push_back(WorkloadEvent{
+            i, i % 2 == 0 ? "optical_flow" : "lenet", 10, Priority::Medium,
+            simtime::ms(10 * (i + 1))});
+    }
+
+    auto mean_short_response = [&](DispatchPolicy policy) {
+        ClusterSimulation sim(config(2, policy), registry);
+        ClusterRunResult result = sim.run(seq);
+        double total = 0;
+        int n = 0;
+        for (const AppRecord &r : result.records) {
+            if (r.appName == "lenet") {
+                total += simtime::toSec(r.responseTime());
+                ++n;
+            }
+        }
+        return total / n;
+    };
+
+    EXPECT_LE(mean_short_response(DispatchPolicy::LeastLoaded),
+              mean_short_response(DispatchPolicy::RoundRobin) * 1.05);
+}
+
+TEST_F(ClusterTest, DeterministicAcrossRuns)
+{
+    EventSequence seq = workload(7);
+    ClusterConfig cfg = config(3, DispatchPolicy::LeastApps);
+    ClusterRunResult a = ClusterSimulation(cfg, registry).run(seq);
+    ClusterRunResult b = ClusterSimulation(cfg, registry).run(seq);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        EXPECT_EQ(a.records[i].retire, b.records[i].retire);
+    EXPECT_EQ(a.boardOfEvent, b.boardOfEvent);
+}
+
+TEST_F(ClusterTest, PerBoardStatsAreReported)
+{
+    ClusterSimulation sim(config(2, DispatchPolicy::LeastApps), registry);
+    ClusterRunResult result = sim.run(workload(9));
+    ASSERT_EQ(result.boardStats.size(), 2u);
+    std::uint64_t admitted = 0;
+    for (const auto &s : result.boardStats)
+        admitted += s.appsAdmitted;
+    EXPECT_EQ(admitted, 12u);
+}
+
+TEST_F(ClusterTest, RejectsZeroBoards)
+{
+    EventQueue eq;
+    ClusterConfig cfg = config(0, DispatchPolicy::RoundRobin);
+    EXPECT_THROW(Cluster(eq, cfg), FatalError);
+}
+
+TEST_F(ClusterTest, DispatchPolicyNames)
+{
+    EXPECT_STREQ(toString(DispatchPolicy::RoundRobin), "round_robin");
+    EXPECT_STREQ(toString(DispatchPolicy::LeastApps), "least_apps");
+    EXPECT_STREQ(toString(DispatchPolicy::LeastLoaded), "least_loaded");
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for deadline sweeps (§5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/deadline.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+AppRecord
+record(int idx, SimTime response, int priority = 9)
+{
+    AppRecord r;
+    r.eventIndex = idx;
+    r.appName = "app";
+    r.priority = priority;
+    r.arrival = 0;
+    r.firstLaunch = 0;
+    r.retire = response;
+    return r;
+}
+
+std::function<SimTime(const AppRecord &)>
+unit(SimTime value)
+{
+    return [value](const AppRecord &) { return value; };
+}
+
+TEST(Deadline, SweepHasExpectedGrid)
+{
+    std::vector<AppRecord> records = {record(0, simtime::sec(2))};
+    DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
+    // D_s from 1 to 20 at 0.25 steps = 77 samples.
+    ASSERT_EQ(curve.ds.size(), 77u);
+    EXPECT_DOUBLE_EQ(curve.ds.front(), 1.0);
+    EXPECT_DOUBLE_EQ(curve.ds.back(), 20.0);
+}
+
+TEST(Deadline, ViolationAtTightDeadlineOnly)
+{
+    // Response is 2x the single-slot latency: violated for D_s < 2.
+    std::vector<AppRecord> records = {record(0, simtime::sec(2))};
+    DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
+    EXPECT_DOUBLE_EQ(curve.tightestRate(), 1.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(1.75), 1.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.rateAt(20.0), 0.0);
+}
+
+TEST(Deadline, RatesAreMonotonicallyNonIncreasing)
+{
+    std::vector<AppRecord> records;
+    for (int i = 1; i <= 10; ++i)
+        records.push_back(record(i, simtime::sec(i)));
+    DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
+    for (std::size_t i = 1; i < curve.violationRate.size(); ++i)
+        EXPECT_LE(curve.violationRate[i], curve.violationRate[i - 1]);
+}
+
+TEST(Deadline, ErrorPointFindsFirstCrossing)
+{
+    std::vector<AppRecord> records;
+    // 10 events with responses 1..10 s against a 1 s unit: at D_s = k,
+    // violations are the events with response > k.
+    for (int i = 1; i <= 10; ++i)
+        records.push_back(record(i, simtime::sec(i)));
+    DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
+    // 10% error point: at most 1 violation -> D_s = 9.
+    EXPECT_DOUBLE_EQ(curve.errorPoint(0.10), 9.0);
+    EXPECT_DOUBLE_EQ(curve.errorPoint(0.50), 5.0);
+}
+
+TEST(Deadline, ErrorPointBeyondSweepReportsSentinel)
+{
+    std::vector<AppRecord> records = {record(0, simtime::sec(100))};
+    DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
+    EXPECT_GT(curve.errorPoint(0.10), 20.0);
+}
+
+TEST(Deadline, HighPriorityFilter)
+{
+    std::vector<AppRecord> records = {record(0, simtime::sec(100), 1),
+                                      record(1, simtime::sec(100), 3),
+                                      record(2, simtime::sec(1), 9)};
+    DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
+    EXPECT_EQ(curve.consideredEvents, 1u);
+    EXPECT_DOUBLE_EQ(curve.tightestRate(), 0.0);
+
+    DeadlineSweepConfig cfg;
+    cfg.onlyHighPriority = false;
+    DeadlineCurve all = deadlineSweep(records, unit(simtime::sec(1)), cfg);
+    EXPECT_EQ(all.consideredEvents, 3u);
+    EXPECT_NEAR(all.tightestRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Deadline, PerRecordUnits)
+{
+    // Units depend on the record: the batch-2 record has a 2 s unit.
+    std::vector<AppRecord> records = {record(0, simtime::sec(3)),
+                                      record(1, simtime::sec(3))};
+    records[1].batch = 2;
+    auto per_record = [](const AppRecord &r) {
+        return simtime::sec(r.batch);
+    };
+    DeadlineCurve curve = deadlineSweep(records, per_record);
+    // At D_s = 2: record 0 deadline 2 s (violated), record 1 deadline 4 s
+    // (met).
+    EXPECT_DOUBLE_EQ(curve.rateAt(2.0), 0.5);
+}
+
+TEST(Deadline, EmptyRecordSetIsSafe)
+{
+    DeadlineCurve curve = deadlineSweep({}, unit(simtime::sec(1)));
+    EXPECT_EQ(curve.consideredEvents, 0u);
+    EXPECT_DOUBLE_EQ(curve.tightestRate(), 0.0);
+}
+
+TEST(Deadline, RejectsBadConfig)
+{
+    std::vector<AppRecord> records = {record(0, simtime::sec(1))};
+    DeadlineSweepConfig cfg;
+    cfg.dsStep = 0;
+    EXPECT_THROW(deadlineSweep(records, unit(simtime::sec(1)), cfg),
+                 FatalError);
+    cfg = DeadlineSweepConfig{};
+    cfg.dsMax = 0.5;
+    EXPECT_THROW(deadlineSweep(records, unit(simtime::sec(1)), cfg),
+                 FatalError);
+    EXPECT_THROW(deadlineSweep(records, nullptr), FatalError);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, FiresEventAtScheduledTime)
+{
+    EventQueue eq;
+    SimTime fired_at = kTimeNone;
+    eq.schedule(simtime::ms(5), "e", [&] { fired_at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(fired_at, simtime::ms(5));
+    EXPECT_EQ(eq.now(), simtime::ms(5));
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(simtime::ms(30), "c", [&] { order.push_back(3); });
+    eq.schedule(simtime::ms(10), "a", [&] { order.push_back(1); });
+    eq.schedule(simtime::ms(20), "b", [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(simtime::ms(7), "tie", [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime inner = kTimeNone;
+    eq.schedule(simtime::ms(10), "outer", [&] {
+        eq.scheduleAfter(simtime::ms(5), "inner", [&] { inner = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(inner, simtime::ms(15));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(simtime::ms(5), "e", [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelReturnsFalseWhenAlreadyFired)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(simtime::ms(1), "e", [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelReturnsFalseOnDoubleCancel)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(simtime::ms(1), "e", [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, RunRespectsHorizon)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(simtime::ms(1), "a", [&] { ++fired; });
+    eq.schedule(simtime::ms(10), "b", [&] { ++fired; });
+    eq.schedule(simtime::ms(20), "c", [&] { ++fired; });
+    eq.run(simtime::ms(10));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+}
+
+TEST(EventQueue, EventAtHorizonStillFires)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(simtime::ms(10), "edge", [&] { fired = true; });
+    eq.run(simtime::ms(10));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StepFiresExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(simtime::ms(1), "a", [&] { ++fired; });
+    eq.schedule(simtime::ms(2), "b", [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, NestedSchedulingDuringCallback)
+{
+    EventQueue eq;
+    std::vector<SimTime> times;
+    eq.schedule(simtime::ms(1), "seed", [&] {
+        times.push_back(eq.now());
+        eq.scheduleAfter(simtime::ms(1), "child", [&] {
+            times.push_back(eq.now());
+        });
+    });
+    eq.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[1], simtime::ms(2));
+}
+
+TEST(EventQueue, ZeroDelayEventFiresAtSameTime)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(simtime::ms(5), "a", [&] {
+        order.push_back(1);
+        eq.scheduleAfter(0, "zero", [&] { order.push_back(2); });
+    });
+    eq.schedule(simtime::ms(5), "b", [&] { order.push_back(3); });
+    eq.run();
+    // The zero-delay event was inserted after "b", so it fires after it.
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventQueue, FiredCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(simtime::ms(i + 1), "e", [] {});
+    eq.run();
+    EXPECT_EQ(eq.firedCount(), 5u);
+}
+
+TEST(EventQueue, NextEventTimeReportsEarliest)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTime(), kTimeNone);
+    eq.schedule(simtime::ms(9), "late", [] {});
+    EventId early = eq.schedule(simtime::ms(3), "early", [] {});
+    EXPECT_EQ(eq.nextEventTime(), simtime::ms(3));
+    eq.cancel(early);
+    EXPECT_EQ(eq.nextEventTime(), simtime::ms(9));
+}
+
+TEST(PeriodicEvent, FiresAtFixedPeriod)
+{
+    EventQueue eq;
+    std::vector<SimTime> times;
+    PeriodicEvent tick(eq, simtime::ms(400), "tick", [&] {
+        times.push_back(eq.now());
+    });
+    tick.start();
+    eq.run(simtime::ms(2000));
+    ASSERT_EQ(times.size(), 5u);
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], simtime::ms(400) * static_cast<SimTime>(i + 1));
+}
+
+TEST(PeriodicEvent, StopCancelsFutureFirings)
+{
+    EventQueue eq;
+    int count = 0;
+    PeriodicEvent tick(eq, simtime::ms(10), "tick", [&] { ++count; });
+    tick.start();
+    eq.schedule(simtime::ms(35), "stopper", [&] { tick.stop(); });
+    eq.run();
+    EXPECT_EQ(count, 3);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(PeriodicEvent, RestartAfterStop)
+{
+    EventQueue eq;
+    int count = 0;
+    PeriodicEvent tick(eq, simtime::ms(10), "tick", [&] { ++count; });
+    tick.start();
+    eq.schedule(simtime::ms(25), "stop", [&] { tick.stop(); });
+    eq.schedule(simtime::ms(100), "restart", [&] { tick.start(); });
+    eq.run(simtime::ms(130));
+    // 2 firings before stop (10, 20) + 3 after restart (110, 120, 130).
+    EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicEvent, StartIsIdempotent)
+{
+    EventQueue eq;
+    int count = 0;
+    PeriodicEvent tick(eq, simtime::ms(10), "tick", [&] { ++count; });
+    tick.start();
+    tick.start();
+    eq.run(simtime::ms(30));
+    EXPECT_EQ(count, 3);
+}
+
+TEST(SimTimeHelpers, UnitConversions)
+{
+    EXPECT_EQ(simtime::us(1), 1000);
+    EXPECT_EQ(simtime::ms(1), 1000 * 1000);
+    EXPECT_EQ(simtime::sec(1), 1000 * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(simtime::toMs(simtime::ms(80)), 80.0);
+    EXPECT_DOUBLE_EQ(simtime::toSec(simtime::sec(3)), 3.0);
+    EXPECT_EQ(simtime::msF(0.5), 500 * 1000);
+}
+
+} // namespace
+} // namespace nimblock

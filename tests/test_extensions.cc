@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the future-work extensions: the shared PS data port and
+ * contention modeling, the NoC inter-slot transport, relocatable
+ * bitstreams, and fine-grained (mid-item checkpoint) preemption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "fabric/fabric.hh"
+#include "hypervisor/hypervisor.hh"
+#include "sched/factory.hh"
+#include "sched/nimblock.hh"
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+
+namespace nimblock {
+namespace {
+
+/** Inert scheduler for tests that drive the hypervisor manually. */
+class NullScheduler : public Scheduler
+{
+  public:
+    NullScheduler() : Scheduler("null") {}
+    void pass(SchedEvent) override {}
+    bool bulkItemGating() const override { return false; }
+};
+
+TEST(DataPort, TransfersSerialize)
+{
+    EventQueue eq;
+    DataPortConfig cfg;
+    cfg.bandwidthBytesPerSec = 1e9;
+    cfg.setupLatency = 0;
+    DataPort port(eq, cfg);
+    std::vector<SimTime> done;
+    port.transfer(1'000'000, [&] { done.push_back(eq.now()); });
+    port.transfer(1'000'000, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(simtime::toMs(done[0]), 1.0, 1e-6);
+    EXPECT_NEAR(simtime::toMs(done[1]), 2.0, 1e-6);
+    EXPECT_EQ(port.completedCount(), 2u);
+}
+
+TEST(DataPort, ZeroByteTransferIsSynchronous)
+{
+    EventQueue eq;
+    DataPort port(eq, DataPortConfig{});
+    bool fired = false;
+    port.transfer(0, [&] { fired = true; });
+    EXPECT_TRUE(fired);
+    EXPECT_FALSE(port.busy());
+}
+
+TEST(Transport, NocBeatsPsForInteriorTransfers)
+{
+    EventQueue eq;
+    FabricConfig cfg;
+    cfg.transport = InterSlotTransport::NoC;
+    Fabric noc(eq, cfg);
+    FabricConfig ps_cfg;
+    Fabric ps(eq, ps_cfg);
+
+    std::uint64_t bytes = 8 << 20;
+    EXPECT_LT(noc.interiorTransferLatency(bytes),
+              ps.interiorTransferLatency(bytes));
+    // External transfers are unaffected by the transport.
+    EXPECT_EQ(noc.psTransferLatency(bytes), ps.psTransferLatency(bytes));
+}
+
+TEST(Transport, NocSpeedsUpTransferHeavyPipelines)
+{
+    setQuiet(true);
+    // A chain whose stages move a lot of data between slots.
+    GraphBuilder b;
+    std::vector<TaskId> prev;
+    for (int i = 0; i < 4; ++i) {
+        TaskSpec t;
+        t.name = formatMessage("hv%d", i);
+        t.itemLatency = simtime::ms(20);
+        t.inputBytes = 32 << 20; // 32 MB per item: 32 ms on PS, ~4 ms NoC.
+        t.outputBytes = 32 << 20;
+        TaskId id = b.addTask(t);
+        if (!prev.empty())
+            b.edge(prev.back(), id);
+        prev.push_back(id);
+    }
+    AppRegistry reg;
+    reg.add(std::make_shared<AppSpec>("heavy", "HV", b.build()));
+
+    EventSequence seq;
+    seq.name = "noc";
+    seq.events.push_back(WorkloadEvent{0, "heavy", 12, Priority::Medium, 0});
+
+    SystemConfig ps_cfg;
+    ps_cfg.scheduler = "nimblock";
+    SystemConfig noc_cfg = ps_cfg;
+    noc_cfg.fabric.transport = InterSlotTransport::NoC;
+
+    SimTime t_ps =
+        Simulation(ps_cfg, reg).run(seq).records[0].responseTime();
+    SimTime t_noc =
+        Simulation(noc_cfg, reg).run(seq).records[0].responseTime();
+    setQuiet(false);
+    EXPECT_LT(t_noc, t_ps);
+}
+
+TEST(Transport, RelocatableBitstreamKeysDropSlot)
+{
+    EventQueue eq;
+    FabricConfig cfg;
+    cfg.relocatableBitstreams = true;
+    Fabric fabric(eq, cfg);
+    EXPECT_EQ(fabric.bitstreamKeyFor("a", 2, 7),
+              fabric.bitstreamKeyFor("a", 2, 3));
+
+    FabricConfig plain;
+    Fabric fixed(eq, plain);
+    EXPECT_NE(fixed.bitstreamKeyFor("a", 2, 7),
+              fixed.bitstreamKeyFor("a", 2, 3));
+}
+
+TEST(Transport, RelocationImprovesBitstreamCacheReuse)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq;
+    seq.name = "reloc";
+    // The same application repeatedly: with per-slot bitstreams each
+    // placement may cold-load a different (task, slot) image; with
+    // relocation one image per task serves all slots.
+    for (int i = 0; i < 6; ++i) {
+        seq.events.push_back(WorkloadEvent{i, "lenet", 3, Priority::Medium,
+                                           simtime::ms(100 * i)});
+    }
+
+    auto miss_count = [&](bool relocatable) {
+        EventQueue eq;
+        FabricConfig fcfg;
+        fcfg.relocatableBitstreams = relocatable;
+        Fabric fabric(eq, fcfg);
+        auto sched = makeScheduler("rr"); // Spreads placements over slots.
+        MetricsCollector collector;
+        Hypervisor hyp(eq, fabric, *sched, collector, HypervisorConfig{});
+        auto reg2 = standardRegistry();
+        for (const WorkloadEvent &e : seq.events) {
+            AppSpecPtr spec = reg2.get(e.appName);
+            eq.schedule(e.arrival, "arrival", [&hyp, spec, e] {
+                hyp.submit(spec, e.batch, e.priority, e.index);
+            });
+        }
+        hyp.start();
+        while (!eq.empty()) {
+            eq.step();
+            if (collector.count() == seq.events.size())
+                hyp.stop();
+        }
+        return fabric.store().misses();
+    };
+    std::uint64_t fixed = miss_count(false);
+    std::uint64_t reloc = miss_count(true);
+    setQuiet(false);
+    EXPECT_LT(reloc, fixed);
+    EXPECT_LE(reloc, 3u); // One image per LeNet task.
+}
+
+TEST(PsContention, SerializedTransfersStretchConcurrentItems)
+{
+    setQuiet(true);
+    // Two independent single-task apps with heavy I/O running together:
+    // with contention modeling their transfers queue on the PS port.
+    GraphBuilder b1, b2;
+    for (GraphBuilder *b : {&b1, &b2}) {
+        TaskSpec t;
+        t.name = "io";
+        t.itemLatency = simtime::ms(5);
+        t.inputBytes = 64 << 20;  // 64 MB -> 64 ms+ on the PS.
+        t.outputBytes = 64 << 20;
+        b->addTask(t);
+    }
+    AppRegistry reg;
+    reg.add(std::make_shared<AppSpec>("io_a", "A", b1.build()));
+    reg.add(std::make_shared<AppSpec>("io_b", "B", b2.build()));
+
+    EventSequence seq;
+    seq.name = "contention";
+    seq.events = {WorkloadEvent{0, "io_a", 8, Priority::Medium, 0},
+                  WorkloadEvent{1, "io_b", 8, Priority::Medium, 0}};
+
+    SystemConfig off;
+    off.scheduler = "fcfs";
+    SystemConfig on = off;
+    on.fabric.modelPsContention = true;
+
+    RunResult r_off = Simulation(off, reg).run(seq);
+    RunResult r_on = Simulation(on, reg).run(seq);
+    setQuiet(false);
+
+    SimTime makespan_off = r_off.makespan;
+    SimTime makespan_on = r_on.makespan;
+    EXPECT_GT(makespan_on, makespan_off);
+}
+
+TEST(PsContention, SoloRunsAreBarelyAffected)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq;
+    seq.name = "solo";
+    seq.events = {WorkloadEvent{0, "lenet", 4, Priority::Medium, 0}};
+
+    SystemConfig off;
+    SystemConfig on = off;
+    on.fabric.modelPsContention = true;
+    SimTime t_off = Simulation(off, reg).run(seq).records[0].responseTime();
+    SimTime t_on = Simulation(on, reg).run(seq).records[0].responseTime();
+    setQuiet(false);
+    // Setup latency per transfer is the only difference when uncontended.
+    EXPECT_LT(std::abs(t_on - t_off), simtime::ms(5));
+}
+
+class MidItemPreemptTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_F(MidItemPreemptTest, CheckpointsAndResumes)
+{
+    // One long-item app occupies a slot; preempting mid-item with the
+    // extension enabled saves partial progress.
+    GraphBuilder b;
+    TaskSpec t;
+    t.name = "long";
+    t.itemLatency = simtime::sec(10);
+    b.addTask(t);
+    auto spec = std::make_shared<AppSpec>("long_app", "L", b.build());
+
+    EventQueue eq;
+    FabricConfig fcfg;
+    fcfg.numSlots = 2;
+    Fabric fabric(eq, fcfg);
+    HypervisorConfig hcfg;
+    hcfg.allowMidItemPreemption = true;
+    hcfg.checkpointLatency = simtime::ms(5);
+    NullScheduler null_sched;
+    auto *sched = &null_sched;
+    MetricsCollector collector;
+    Hypervisor hyp(eq, fabric, *sched, collector, hcfg);
+
+    AppInstanceId id = hyp.submit(spec, 1, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    // Anchor the clock ~4 s into the 10 s item (run() stops at the last
+    // fired event, so post a no-op at the target time).
+    SimTime at = fabric.coldConfigureLatency(8ull << 20) + simtime::sec(4);
+    eq.schedule(at, "anchor", [] {});
+    eq.run(at);
+    ASSERT_TRUE(fabric.slot(0).executing());
+
+    // Mid-item preemption: deferred by the checkpoint, then honored.
+    EXPECT_FALSE(hyp.preempt(0));
+    eq.run(eq.now() + simtime::ms(10));
+    EXPECT_TRUE(fabric.slot(0).isFree());
+    EXPECT_EQ(app->taskState(0).phase, TaskPhase::Idle);
+    EXPECT_EQ(app->taskState(0).itemsDone, 0);
+    ASSERT_NE(app->taskState(0).itemRemaining, kTimeNone);
+    // ~6 s of the 10 s item remain.
+    EXPECT_NEAR(simtime::toSec(app->taskState(0).itemRemaining), 6.0, 0.2);
+    EXPECT_EQ(hyp.stats().checkpointPreemptions, 1u);
+
+    // Resume elsewhere: the item finishes after the remaining time, not a
+    // full 10 s.
+    ASSERT_TRUE(hyp.configure(*app, 0, 1));
+    eq.run();
+    ASSERT_EQ(collector.count(), 1u);
+    const AppRecord &rec = collector.records()[0];
+    // Total run time equals exactly one item (partial + remainder).
+    EXPECT_EQ(rec.runTime, simtime::sec(10));
+}
+
+TEST_F(MidItemPreemptTest, DisabledByDefault)
+{
+    EventQueue eq;
+    Fabric fabric(eq, FabricConfig{});
+    NullScheduler null_sched;
+    auto *sched = &null_sched;
+    MetricsCollector collector;
+    Hypervisor hyp(eq, fabric, *sched, collector, HypervisorConfig{});
+
+    AppRegistry reg = standardRegistry();
+    AppInstanceId id = hyp.submit(reg.get("lenet"), 3, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    eq.run(fabric.coldConfigureLatency(8ull << 20) + simtime::ms(10));
+    ASSERT_TRUE(fabric.slot(0).executing());
+    EXPECT_FALSE(hyp.preempt(0));
+    EXPECT_EQ(hyp.stats().checkpointPreemptions, 0u);
+    EXPECT_TRUE(fabric.slot(0).preemptRequested());
+}
+
+} // namespace
+} // namespace nimblock

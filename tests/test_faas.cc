@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the FPGA FaaS layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "faas/service.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+class FaasTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    static FaasConfig
+    config(SimTime duration = simtime::sec(20))
+    {
+        FaasConfig cfg;
+        cfg.duration = duration;
+        cfg.system.scheduler = "nimblock";
+        return cfg;
+    }
+
+    static FunctionLoad
+    load(const std::string &name, AppSpecPtr app, double rps, int batch = 2,
+         Priority prio = Priority::Medium, double sla = 5.0)
+    {
+        FunctionLoad l;
+        l.function.name = name;
+        l.function.app = std::move(app);
+        l.function.batch = batch;
+        l.function.priority = prio;
+        l.function.slaFactor = sla;
+        l.invocationsPerSec = rps;
+        return l;
+    }
+};
+
+TEST_F(FaasTest, GeneratesPoissonInvocations)
+{
+    FaasService svc(config(simtime::sec(100)));
+    svc.deploy(load("classify", benchmarks::lenet(), 2.0));
+    EventSequence seq = svc.generateInvocations(Rng(7));
+    // ~200 expected invocations; allow wide tolerance.
+    EXPECT_GT(seq.events.size(), 120u);
+    EXPECT_LT(seq.events.size(), 300u);
+    for (const WorkloadEvent &e : seq.events) {
+        EXPECT_EQ(e.appName, "lenet");
+        EXPECT_EQ(e.batch, 2);
+        EXPECT_LE(e.arrival, simtime::sec(100));
+    }
+}
+
+TEST_F(FaasTest, InvocationsAreDeterministicPerSeed)
+{
+    FaasService svc(config());
+    svc.deploy(load("a", benchmarks::lenet(), 1.0));
+    svc.deploy(load("b", benchmarks::imageCompression(), 1.5));
+    EventSequence x = svc.generateInvocations(Rng(3));
+    EventSequence y = svc.generateInvocations(Rng(3));
+    EXPECT_EQ(x.events, y.events);
+}
+
+TEST_F(FaasTest, DeploymentOrderDoesNotPerturbStreams)
+{
+    FaasService ab(config());
+    ab.deploy(load("a", benchmarks::lenet(), 1.0));
+    ab.deploy(load("b", benchmarks::imageCompression(), 1.5));
+    FaasService ba(config());
+    ba.deploy(load("b", benchmarks::imageCompression(), 1.5));
+    ba.deploy(load("a", benchmarks::lenet(), 1.0));
+
+    auto arrivals_of = [](const EventSequence &seq, const std::string &app) {
+        std::vector<SimTime> out;
+        for (const WorkloadEvent &e : seq.events) {
+            if (e.appName == app)
+                out.push_back(e.arrival);
+        }
+        return out;
+    };
+    EventSequence x = ab.generateInvocations(Rng(9));
+    EventSequence y = ba.generateInvocations(Rng(9));
+    EXPECT_EQ(arrivals_of(x, "lenet"), arrivals_of(y, "lenet"));
+    EXPECT_EQ(arrivals_of(x, "image_compression"),
+              arrivals_of(y, "image_compression"));
+}
+
+TEST_F(FaasTest, RunProducesPerFunctionStats)
+{
+    FaasService svc(config());
+    svc.deploy(load("classify", benchmarks::lenet(), 1.0));
+    svc.deploy(load("compress", benchmarks::imageCompression(), 1.0));
+    FaasRunResult result = svc.run(Rng(11));
+
+    ASSERT_EQ(result.perFunction.size(), 2u);
+    std::size_t total = 0;
+    for (const auto &[name, stats] : result.perFunction) {
+        EXPECT_GT(stats.invocations, 0u) << name;
+        EXPECT_GT(stats.meanLatencySec, 0.0) << name;
+        EXPECT_GE(stats.p99LatencySec, stats.meanLatencySec * 0.5) << name;
+        EXPECT_GE(stats.slaAttainment, 0.0);
+        EXPECT_LE(stats.slaAttainment, 1.0);
+        EXPECT_GT(stats.coldStartSec, 0.0);
+        total += stats.invocations;
+    }
+    EXPECT_EQ(total, result.invocations.size());
+    EXPECT_EQ(total, result.run.records.size());
+}
+
+TEST_F(FaasTest, TwoFunctionsCanShareOneApp)
+{
+    FaasService svc(config());
+    svc.deploy(load("interactive", benchmarks::lenet(), 1.0, 1,
+                    Priority::High, 3.0));
+    svc.deploy(load("bulk", benchmarks::lenet(), 0.5, 10, Priority::Low,
+                    20.0));
+    FaasRunResult result = svc.run(Rng(13));
+    ASSERT_EQ(result.perFunction.size(), 2u);
+    EXPECT_GT(result.perFunction["interactive"].invocations, 0u);
+    EXPECT_GT(result.perFunction["bulk"].invocations, 0u);
+}
+
+TEST_F(FaasTest, LightLoadMeetsGenerousSlas)
+{
+    FaasService svc(config());
+    svc.deploy(load("classify", benchmarks::lenet(), 0.3, 2,
+                    Priority::Medium, 20.0));
+    FaasRunResult result = svc.run(Rng(17));
+    EXPECT_GE(result.perFunction["classify"].slaAttainment, 0.99);
+}
+
+TEST_F(FaasTest, OverloadDegradesSlaAttainment)
+{
+    // Optical flow at high rate saturates the board.
+    FaasService light(config(simtime::sec(120)));
+    light.deploy(load("of", benchmarks::opticalFlow(), 0.05, 4,
+                      Priority::Medium, 3.0));
+    FaasService heavy(config());
+    heavy.deploy(load("of", benchmarks::opticalFlow(), 2.0, 4,
+                      Priority::Medium, 3.0));
+
+    double light_sla = light.run(Rng(19)).perFunction["of"].slaAttainment;
+    double heavy_sla = heavy.run(Rng(19)).perFunction["of"].slaAttainment;
+    EXPECT_LT(heavy_sla, light_sla);
+}
+
+TEST_F(FaasTest, RejectsBadDeployments)
+{
+    FaasService svc(config());
+    FunctionLoad l = load("x", benchmarks::lenet(), 1.0);
+    svc.deploy(l);
+    EXPECT_THROW(svc.deploy(l), FatalError); // Duplicate.
+
+    FunctionLoad no_app = load("y", nullptr, 1.0);
+    EXPECT_THROW(svc.deploy(no_app), FatalError);
+
+    FunctionLoad bad_rate = load("z", benchmarks::lenet(), 0.0);
+    EXPECT_THROW(svc.deploy(bad_rate), FatalError);
+
+    FaasService empty(config());
+    EXPECT_THROW(empty.generateInvocations(Rng(1)), FatalError);
+
+    FaasConfig bad_cfg;
+    bad_cfg.duration = 0;
+    EXPECT_THROW(FaasService{bad_cfg}, FatalError);
+}
+
+} // namespace
+} // namespace nimblock

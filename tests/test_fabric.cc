@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the fabric aggregate and the resource model (Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(Resources, Table1NumbersAreCarried)
+{
+    ResourceRange slot = zcu106::slotRange();
+    EXPECT_EQ(slot.lo.dsp, 46);
+    EXPECT_EQ(slot.hi.dsp, 92);
+    EXPECT_EQ(slot.lo.lut, 9680);
+    EXPECT_EQ(slot.hi.lut, 12960);
+    EXPECT_EQ(slot.hi.iobuf, 2343);
+
+    ResourceVector stat = zcu106::staticRegion();
+    EXPECT_EQ(stat.dsp, 1004);
+    EXPECT_EQ(stat.lut, 122560);
+    EXPECT_EQ(stat.ff, 245120);
+    EXPECT_EQ(stat.ramb36, 86);
+}
+
+TEST(Resources, Arithmetic)
+{
+    ResourceVector a{1, 2, 3, 4, 5, 6, 7};
+    ResourceVector b{10, 20, 30, 40, 50, 60, 70};
+    ResourceVector sum = a + b;
+    EXPECT_EQ(sum.dsp, 11);
+    EXPECT_EQ(sum.iobuf, 77);
+    ResourceVector diff = b - a;
+    EXPECT_EQ(diff.lut, 18);
+    EXPECT_TRUE(diff.nonNegative());
+    ResourceVector scaled = a * 3;
+    EXPECT_EQ(scaled.ff, 9);
+}
+
+TEST(Resources, FitsIn)
+{
+    ResourceVector small{1, 1, 1, 1, 1, 1, 1};
+    ResourceVector big{2, 2, 2, 2, 2, 2, 2};
+    EXPECT_TRUE(small.fitsIn(big));
+    EXPECT_FALSE(big.fitsIn(small));
+    EXPECT_TRUE(small.fitsIn(small));
+}
+
+TEST(Resources, RangeContains)
+{
+    ResourceRange r = zcu106::slotRange();
+    EXPECT_TRUE(r.contains(r.lo));
+    EXPECT_TRUE(r.contains(r.hi));
+    ResourceVector over = r.hi;
+    over.dsp += 1;
+    EXPECT_FALSE(r.contains(over));
+}
+
+TEST(Fabric, BuildsTenUniformSlots)
+{
+    EventQueue eq;
+    Fabric fabric(eq, FabricConfig{});
+    EXPECT_EQ(fabric.numSlots(), 10u);
+    EXPECT_EQ(fabric.freeSlotCount(), 10u);
+    for (SlotId i = 0; i < 10; ++i)
+        EXPECT_EQ(fabric.slot(i).id(), i);
+}
+
+TEST(Fabric, FreeSlotTracking)
+{
+    EventQueue eq;
+    Fabric fabric(eq, FabricConfig{});
+    fabric.slot(3).beginConfigure(1, 0, BitstreamKey{"a", 0, 3}, 0);
+    EXPECT_EQ(fabric.freeSlotCount(), 9u);
+    auto free = fabric.freeSlots();
+    EXPECT_EQ(free.size(), 9u);
+    EXPECT_EQ(std::count(free.begin(), free.end(), 3u), 0);
+}
+
+TEST(Fabric, EffectiveBitstreamBytesDefaults)
+{
+    EventQueue eq;
+    Fabric fabric(eq, FabricConfig{});
+    EXPECT_EQ(fabric.effectiveBitstreamBytes(0), 8ull << 20);
+    EXPECT_EQ(fabric.effectiveBitstreamBytes(123), 123u);
+}
+
+TEST(Fabric, PsTransferLatency)
+{
+    EventQueue eq;
+    FabricConfig cfg;
+    cfg.psBandwidthBytesPerSec = 1e9;
+    Fabric fabric(eq, cfg);
+    EXPECT_EQ(fabric.psTransferLatency(0), 0);
+    EXPECT_NEAR(simtime::toMs(fabric.psTransferLatency(1'000'000)), 1.0,
+                1e-9);
+}
+
+TEST(Fabric, WarmConfigureLatencyIsRoughly80ms)
+{
+    EventQueue eq;
+    Fabric fabric(eq, FabricConfig{});
+    SimTime warm = fabric.warmConfigureLatency(8ull << 20);
+    EXPECT_NEAR(simtime::toMs(warm), 80.0, 10.0);
+    // The cold path additionally pays the SD load.
+    EXPECT_GT(fabric.coldConfigureLatency(8ull << 20), warm);
+}
+
+TEST(Fabric, RejectsInvalidConfig)
+{
+    EventQueue eq;
+    FabricConfig cfg;
+    cfg.numSlots = 0;
+    EXPECT_THROW(Fabric(eq, cfg), FatalError);
+
+    FabricConfig cfg2;
+    cfg2.psBandwidthBytesPerSec = 0;
+    EXPECT_THROW(Fabric(eq, cfg2), FatalError);
+}
+
+} // namespace
+} // namespace nimblock

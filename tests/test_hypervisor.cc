@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the hypervisor execution engine, driven by a manual
+ * scheduler so each mechanism (configure pipeline, item execution,
+ * dependency wakeup, preemption, retirement) can be exercised directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "hypervisor/hypervisor.hh"
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+
+namespace nimblock {
+namespace {
+
+/** Scheduler that does nothing; tests drive the hypervisor directly. */
+class ManualScheduler : public Scheduler
+{
+  public:
+    ManualScheduler() : Scheduler("manual") {}
+
+    void
+    pass(SchedEvent reason) override
+    {
+        ++passes;
+        lastReason = reason;
+    }
+
+    /** Expose the ops interface for the test body. */
+    SchedulerOps &o() { return ops(); }
+
+    /** Pipelined execution unless the test says otherwise. */
+    bool bulkItemGating() const override { return bulk; }
+
+    bool bulk = false;
+    int passes = 0;
+    SchedEvent lastReason = SchedEvent::Tick;
+};
+
+class HypervisorTest : public ::testing::Test
+{
+  protected:
+    HypervisorTest()
+        : fabric(eq, FabricConfig{}),
+          hyp(eq, fabric, sched, collector, HypervisorConfig{})
+    {
+        setQuiet(true);
+    }
+
+    ~HypervisorTest() override { setQuiet(false); }
+
+    EventQueue eq;
+    Fabric fabric;
+    ManualScheduler sched;
+    MetricsCollector collector;
+    Hypervisor hyp;
+};
+
+TEST_F(HypervisorTest, SubmitCreatesLiveApp)
+{
+    AppInstanceId id =
+        hyp.submit(benchmarks::lenet(), 2, Priority::High, 0);
+    EXPECT_EQ(hyp.liveCount(), 1u);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_NE(app, nullptr);
+    EXPECT_EQ(app->batch(), 2);
+    EXPECT_EQ(app->priority(), Priority::High);
+    eq.run(simtime::ms(1));
+    EXPECT_GE(sched.passes, 1);
+    EXPECT_EQ(sched.lastReason, SchedEvent::Arrival);
+}
+
+TEST_F(HypervisorTest, ConfigureRunsThroughSdAndCap)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 1, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    EXPECT_EQ(app->taskState(0).phase, TaskPhase::Configuring);
+    EXPECT_EQ(fabric.slot(0).state(), SlotState::Configuring);
+
+    // Cold configure: SD load then CAP; becomes resident afterwards and
+    // immediately starts item 0.
+    eq.run(fabric.coldConfigureLatency(8ull << 20) + simtime::ms(1));
+    EXPECT_EQ(app->taskState(0).phase, TaskPhase::Resident);
+    EXPECT_TRUE(fabric.slot(0).executing());
+}
+
+TEST_F(HypervisorTest, SingleTaskAppRetires)
+{
+    GraphBuilder b;
+    TaskSpec t;
+    t.name = "only";
+    t.itemLatency = simtime::ms(100);
+    b.addTask(t);
+    auto spec = std::make_shared<AppSpec>("single", "S", b.build());
+
+    AppInstanceId id = hyp.submit(spec, 3, Priority::Low, 7);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 4));
+    eq.run();
+
+    EXPECT_EQ(hyp.liveCount(), 0u);
+    ASSERT_EQ(collector.count(), 1u);
+    const AppRecord &rec = collector.records()[0];
+    EXPECT_EQ(rec.eventIndex, 7);
+    EXPECT_EQ(rec.appName, "single");
+    // 3 items of 100 ms each plus one configuration.
+    EXPECT_EQ(rec.runTime, 3 * simtime::ms(100));
+    EXPECT_EQ(rec.reconfigs, 1);
+    EXPECT_TRUE(fabric.slot(4).isFree());
+}
+
+TEST_F(HypervisorTest, PipelinedChainWakesSuccessors)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 2, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    // Configure all three chain tasks up front (pipelined gating).
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    ASSERT_TRUE(hyp.configure(*app, 1, 1));
+    ASSERT_TRUE(hyp.configure(*app, 2, 2));
+    eq.run();
+
+    EXPECT_EQ(collector.count(), 1u);
+    EXPECT_EQ(hyp.findApp(id), nullptr); // Retired apps are dropped.
+    // All three tasks processed both items.
+    EXPECT_EQ(hyp.stats().itemsExecuted, 6u);
+}
+
+TEST_F(HypervisorTest, BulkGatingDelaysSuccessorItems)
+{
+    sched.bulk = true;
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 2, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    ASSERT_TRUE(hyp.configure(*app, 1, 1));
+
+    // After task 0's first item, task 1 must still be waiting (bulk).
+    SimTime first_item_done = fabric.coldConfigureLatency(8ull << 20) +
+                              benchmarks::lenet()->graph().task(0).itemLatency +
+                              simtime::ms(5);
+    eq.run(first_item_done);
+    EXPECT_GE(app->taskState(0).itemsDone, 1);
+    EXPECT_EQ(app->taskState(1).itemsDone, 0);
+    if (app->taskState(1).phase == TaskPhase::Resident) {
+        EXPECT_TRUE(fabric.slot(1).waitingForNextItem());
+    }
+}
+
+TEST_F(HypervisorTest, ConfigureRejectsBusySlot)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 1, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    EXPECT_FALSE(hyp.configure(*app, 1, 0)); // Slot 0 busy.
+    EXPECT_FALSE(hyp.configure(*app, 0, 1)); // Task 0 not idle.
+}
+
+TEST_F(HypervisorTest, PreemptWaitingSlotIsImmediate)
+{
+    // Configure lenet task 1 alone: it waits for inputs forever.
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 2, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    ASSERT_TRUE(hyp.configure(*app, 1, 1));
+    // Run just past the two configurations; task 1 may be waiting if task
+    // 0 hasn't produced an item yet... instead preempt task 0's *successor*
+    // after everything settles mid-flight. Simpler: preempt slot 1 when
+    // it is waiting.
+    eq.run(2 * fabric.coldConfigureLatency(8ull << 20));
+    if (fabric.slot(1).waitingForNextItem()) {
+        EXPECT_TRUE(hyp.preempt(1));
+        EXPECT_TRUE(fabric.slot(1).isFree());
+        EXPECT_EQ(app->taskState(1).phase, TaskPhase::Idle);
+        EXPECT_EQ(app->preemptionCount(), 1);
+    }
+}
+
+TEST_F(HypervisorTest, PreemptExecutingSlotIsDeferredToItemBoundary)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 3, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    eq.run(fabric.coldConfigureLatency(8ull << 20) + simtime::ms(10));
+    ASSERT_TRUE(fabric.slot(0).executing());
+
+    EXPECT_FALSE(hyp.preempt(0)); // Deferred.
+    EXPECT_TRUE(fabric.slot(0).preemptRequested());
+    EXPECT_EQ(app->taskState(0).itemsDone, 0);
+
+    eq.run(eq.now() + benchmarks::lenet()->graph().task(0).itemLatency +
+           simtime::ms(5));
+    // The item completed, then the preemption was honored.
+    EXPECT_EQ(app->taskState(0).phase, TaskPhase::Idle);
+    EXPECT_EQ(app->taskState(0).itemsDone, 1); // Progress retained.
+    EXPECT_TRUE(fabric.slot(0).isFree());
+    EXPECT_EQ(hyp.stats().preemptionsHonored, 1u);
+}
+
+TEST_F(HypervisorTest, ResumedTaskContinuesFromSavedItem)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 3, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    eq.run(fabric.coldConfigureLatency(8ull << 20) + simtime::ms(10));
+    hyp.preempt(0);
+    eq.run(eq.now() + benchmarks::lenet()->graph().task(0).itemLatency +
+           simtime::ms(5));
+    ASSERT_EQ(app->taskState(0).itemsDone, 1);
+
+    // Resume on a different slot; it should process only items 1 and 2.
+    ASSERT_TRUE(hyp.configure(*app, 0, 5));
+    eq.run(eq.now() + fabric.coldConfigureLatency(8ull << 20) +
+           3 * benchmarks::lenet()->graph().task(0).itemLatency);
+    EXPECT_EQ(app->taskState(0).itemsDone, 3);
+    EXPECT_EQ(app->taskState(0).phase, TaskPhase::Done);
+}
+
+TEST_F(HypervisorTest, ReconfigTimeChargedToApp)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 1, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    eq.run(fabric.coldConfigureLatency(8ull << 20) + simtime::ms(1));
+    EXPECT_EQ(app->totalReconfigTime(),
+              fabric.warmConfigureLatency(8ull << 20));
+    EXPECT_EQ(app->reconfigCount(), 1);
+}
+
+TEST_F(HypervisorTest, BuffersAllocatedAndReleased)
+{
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 1, Priority::Low, 0);
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+    EXPECT_GT(hyp.buffers().inUse(), 0u);
+    eq.run();
+    EXPECT_EQ(hyp.buffers().inUse(), 0u);
+    EXPECT_GT(hyp.buffers().peak(), 0u);
+}
+
+TEST_F(HypervisorTest, TickFiresAtSchedInterval)
+{
+    hyp.submit(benchmarks::digitRecognition(), 1, Priority::Low, 0);
+    hyp.start();
+    int passes_before = sched.passes;
+    eq.run(simtime::ms(1300)); // Three 400 ms intervals.
+    hyp.stop();
+    EXPECT_GE(sched.passes - passes_before, 3);
+}
+
+TEST(HypervisorCoalescing, AccumulatingReasonsWinCoalescing)
+{
+    // A pending non-accumulating pass (ReconfigDone) must not mask a
+    // token-accumulating Arrival that lands before the pass fires.
+    setQuiet(true);
+    EventQueue eq;
+    Fabric fabric(eq, FabricConfig{});
+    ManualScheduler sched;
+    MetricsCollector collector;
+    HypervisorConfig cfg;
+    cfg.passLatency = simtime::ms(50); // Wide coalescing window.
+    Hypervisor hyp(eq, fabric, sched, collector, cfg);
+
+    AppInstanceId id = hyp.submit(benchmarks::lenet(), 2, Priority::Low, 0);
+    eq.run(simtime::ms(60)); // Arrival pass fires.
+    AppInstance *app = hyp.findApp(id);
+    ASSERT_NE(app, nullptr);
+    ASSERT_TRUE(hyp.configure(*app, 0, 0));
+
+    // ReconfigDone lands at ~126 ms and schedules a pass for ~176 ms; a
+    // second submission at 150 ms must upgrade the pending reason.
+    eq.schedule(simtime::ms(150), "late_arrival", [&] {
+        hyp.submit(benchmarks::lenet(), 1, Priority::High, 1);
+    });
+    eq.run(simtime::ms(200));
+    setQuiet(false);
+    EXPECT_EQ(sched.lastReason, SchedEvent::Arrival);
+}
+
+TEST_F(HypervisorTest, PassesCoalesce)
+{
+    // Many submissions at the same instant produce bounded passes.
+    for (int i = 0; i < 5; ++i)
+        hyp.submit(benchmarks::lenet(), 1, Priority::Low, i);
+    eq.run(simtime::ms(2));
+    EXPECT_LE(sched.passes, 2);
+}
+
+} // namespace
+} // namespace nimblock

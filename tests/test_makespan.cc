@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the makespan estimator (the ILP substitute).
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/makespan.hh"
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+
+namespace nimblock {
+namespace {
+
+TaskGraph
+chain(std::size_t n, SimTime lat)
+{
+    GraphBuilder b;
+    b.chain("c", std::vector<SimTime>(n, lat));
+    return b.build();
+}
+
+MakespanParams
+params(int batch, std::size_t slots, bool pipelined,
+       SimTime reconfig = simtime::ms(80))
+{
+    MakespanParams p;
+    p.batch = batch;
+    p.slots = slots;
+    p.pipelined = pipelined;
+    p.reconfigLatency = reconfig;
+    p.psBandwidthBytesPerSec = 1e9;
+    return p;
+}
+
+TEST(Makespan, SingleTaskSingleSlot)
+{
+    TaskGraph g = chain(1, simtime::ms(100));
+    SimTime m = estimateMakespan(g, params(3, 1, false));
+    EXPECT_EQ(m, simtime::ms(80) + 3 * simtime::ms(100));
+}
+
+TEST(Makespan, ChainOnSingleSlotIsSerial)
+{
+    TaskGraph g = chain(3, simtime::ms(100));
+    SimTime m = estimateMakespan(g, params(2, 1, false));
+    // Three reconfigs + 3 tasks x 2 items.
+    EXPECT_EQ(m, 3 * simtime::ms(80) + 6 * simtime::ms(100));
+}
+
+TEST(Makespan, PipeliningBeatsBulkOnChains)
+{
+    TaskGraph g = chain(4, simtime::ms(100));
+    SimTime bulk = estimateMakespan(g, params(10, 4, false));
+    SimTime pipe = estimateMakespan(g, params(10, 4, true));
+    EXPECT_LT(pipe, bulk);
+    // Pipelined chain throughput is bounded by the bottleneck stage:
+    // roughly batch x stage latency + fill, not batch x sum of stages.
+    EXPECT_LT(pipe, simtime::ms(100) * 10 * 2 + 4 * simtime::ms(80));
+}
+
+TEST(Makespan, MoreSlotsNeverHurtPipelinedChains)
+{
+    TaskGraph g = chain(6, simtime::ms(50));
+    SimTime prev = kTimeMax;
+    for (std::size_t k = 1; k <= 8; ++k) {
+        SimTime m = estimateMakespan(g, params(8, k, true));
+        EXPECT_LE(m, prev) << "slots=" << k;
+        prev = m;
+    }
+}
+
+TEST(Makespan, ParallelBranchesUseSlots)
+{
+    // Fork-join: source -> {4 parallel tasks} -> sink.
+    GraphBuilder b;
+    auto src = b.stage("src", 1, simtime::ms(10), {});
+    auto mid = b.stage("mid", 4, simtime::ms(100), src);
+    b.stage("sink", 1, simtime::ms(10), mid);
+    TaskGraph g = b.build();
+
+    SimTime serial = estimateMakespan(g, params(1, 1, false));
+    SimTime parallel = estimateMakespan(g, params(1, 6, false));
+    EXPECT_LT(parallel, serial);
+    // With 6 slots the four mid tasks run together (after their serialized
+    // reconfigs).
+    EXPECT_LT(parallel, simtime::msF(800));
+}
+
+TEST(Makespan, BatchScalesBulkLinearly)
+{
+    TaskGraph g = chain(2, simtime::ms(50));
+    SimTime m1 = estimateMakespan(g, params(1, 1, false));
+    SimTime m10 = estimateMakespan(g, params(10, 1, false));
+    // Reconfig cost fixed, compute scales 10x.
+    EXPECT_EQ(m10 - m1, 9 * 2 * simtime::ms(50));
+}
+
+TEST(Makespan, ReconfigSerializationMatters)
+{
+    // Two independent tasks, two slots: reconfigurations serialize so the
+    // second task starts one reconfiguration later.
+    GraphBuilder b;
+    b.stage("s", 2, simtime::ms(100), {});
+    TaskGraph g = b.build();
+    SimTime m = estimateMakespan(g, params(1, 2, false));
+    EXPECT_EQ(m, 2 * simtime::ms(80) + simtime::ms(100));
+}
+
+TEST(Makespan, TransferCostsIncluded)
+{
+    GraphBuilder b;
+    TaskSpec t;
+    t.name = "io";
+    t.itemLatency = simtime::ms(10);
+    t.inputBytes = 1'000'000;
+    t.outputBytes = 1'000'000;
+    b.addTask(t);
+    TaskGraph g = b.build();
+    MakespanParams p = params(1, 1, false);
+    SimTime m = estimateMakespan(g, p);
+    // 80 ms reconfig + 10 ms compute + 2 ms transfers at 1 GB/s.
+    EXPECT_EQ(m, simtime::ms(80) + simtime::ms(10) + simtime::ms(2));
+}
+
+TEST(Makespan, RejectsBadParams)
+{
+    TaskGraph g = chain(1, simtime::ms(10));
+    MakespanParams p = params(0, 1, false);
+    EXPECT_THROW(estimateMakespan(g, p), FatalError);
+    p = params(1, 0, false);
+    EXPECT_THROW(estimateMakespan(g, p), FatalError);
+}
+
+TEST(SingleSlotLatency, MatchesBulkSingleSlotEstimate)
+{
+    TaskGraph g = chain(3, simtime::ms(100));
+    SimTime lat = singleSlotLatency(g, 5, simtime::ms(80));
+    EXPECT_EQ(lat, 3 * simtime::ms(80) + 15 * simtime::ms(100));
+}
+
+} // namespace
+} // namespace nimblock

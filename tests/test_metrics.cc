@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for metrics collection, baseline comparison and reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/analysis.hh"
+#include "metrics/report.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+AppRecord
+record(int idx, const std::string &name, SimTime arrival, SimTime retire,
+       int priority = 1, int batch = 1)
+{
+    AppRecord r;
+    r.eventIndex = idx;
+    r.appName = name;
+    r.batch = batch;
+    r.priority = priority;
+    r.arrival = arrival;
+    r.firstLaunch = arrival + simtime::ms(10);
+    r.retire = retire;
+    r.runTime = (retire - arrival) / 2;
+    r.reconfigTime = simtime::ms(80);
+    return r;
+}
+
+TEST(Collector, StoresRecords)
+{
+    MetricsCollector c;
+    c.record(record(0, "a", 0, simtime::sec(1)));
+    c.record(record(1, "b", 0, simtime::sec(2)));
+    c.record(record(2, "a", 0, simtime::sec(3)));
+    EXPECT_EQ(c.count(), 3u);
+    EXPECT_EQ(c.recordsFor("a").size(), 2u);
+    EXPECT_EQ(c.recordsFor("zzz").size(), 0u);
+    c.clear();
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(AppRecord, DerivedTimes)
+{
+    AppRecord r = record(0, "a", simtime::sec(1), simtime::sec(5));
+    EXPECT_EQ(r.responseTime(), simtime::sec(4));
+    EXPECT_EQ(r.waitTime(), simtime::ms(10));
+    EXPECT_EQ(r.executionSpan(), simtime::sec(4) - simtime::ms(10));
+}
+
+TEST(Comparison, JoinsByEventIndex)
+{
+    std::vector<AppRecord> base = {record(0, "a", 0, simtime::sec(10)),
+                                   record(1, "b", 0, simtime::sec(20))};
+    std::vector<AppRecord> algo = {record(1, "b", 0, simtime::sec(5)),
+                                   record(0, "a", 0, simtime::sec(2))};
+    auto cmp = compareToBaseline(algo, base);
+    ASSERT_EQ(cmp.size(), 2u);
+    EXPECT_EQ(cmp[0].eventIndex, 0);
+    EXPECT_DOUBLE_EQ(cmp[0].reduction(), 5.0);
+    EXPECT_DOUBLE_EQ(cmp[1].reduction(), 4.0);
+    EXPECT_DOUBLE_EQ(cmp[0].normalized(), 0.2);
+}
+
+TEST(Comparison, RejectsMismatchedEvents)
+{
+    std::vector<AppRecord> base = {record(0, "a", 0, simtime::sec(10))};
+    std::vector<AppRecord> algo = {record(1, "a", 0, simtime::sec(5))};
+    EXPECT_THROW(compareToBaseline(algo, base), FatalError);
+
+    std::vector<AppRecord> wrong_app = {record(0, "b", 0, simtime::sec(5))};
+    EXPECT_THROW(compareToBaseline(wrong_app, base), FatalError);
+
+    std::vector<AppRecord> extra = {record(0, "a", 0, simtime::sec(5)),
+                                    record(1, "a", 0, simtime::sec(5))};
+    EXPECT_THROW(compareToBaseline(extra, base), FatalError);
+}
+
+TEST(ReductionStats, HarmonicMeanDefinition)
+{
+    // Two events: one 10x faster, one unchanged. The harmonic-mean
+    // reduction is 2 / (0.1 + 1.0) = 1.818..., not the arithmetic 5.5.
+    std::vector<EventComparison> events(2);
+    events[0].baselineResponse = simtime::sec(10);
+    events[0].response = simtime::sec(1);
+    events[1].baselineResponse = simtime::sec(10);
+    events[1].response = simtime::sec(10);
+    ReductionStats stats = reductionStats(events);
+    EXPECT_NEAR(stats.avgReduction(), 2.0 / 1.1, 1e-9);
+    EXPECT_NEAR(stats.arithmeticMeanReduction(), 5.5, 1e-9);
+}
+
+TEST(ReductionStats, TailUsesNormalizedDistribution)
+{
+    std::vector<EventComparison> events;
+    for (int i = 1; i <= 100; ++i) {
+        EventComparison e;
+        e.baselineResponse = simtime::sec(100);
+        e.response = simtime::sec(i); // Normalized 0.01 .. 1.00.
+        events.push_back(e);
+    }
+    ReductionStats stats = reductionStats(events);
+    EXPECT_NEAR(stats.tailNormalized(95), 0.9505, 1e-3);
+    EXPECT_NEAR(stats.tailReduction(95), 1.0 / 0.9505, 1e-3);
+}
+
+TEST(Report, MeanResponseByApp)
+{
+    std::vector<AppRecord> records = {
+        record(0, "a", 0, simtime::sec(2)),
+        record(1, "a", 0, simtime::sec(4)),
+        record(2, "b", 0, simtime::sec(10)),
+    };
+    auto means = meanResponseByApp(records);
+    EXPECT_DOUBLE_EQ(means["a"], 3.0);
+    EXPECT_DOUBLE_EQ(means["b"], 10.0);
+    EXPECT_DOUBLE_EQ(meanResponseSec(records), 16.0 / 3.0);
+}
+
+TEST(Report, TimeBreakdownSumsToOne)
+{
+    std::vector<AppRecord> records = {record(0, "a", 0, simtime::sec(4))};
+    auto breakdown = timeBreakdownByApp(records);
+    const TimeBreakdown &b = breakdown["a"];
+    EXPECT_NEAR(b.runFraction + b.prFraction + b.waitFraction, 1.0, 1e-9);
+    EXPECT_GT(b.runFraction, 0);
+    EXPECT_GT(b.prFraction, 0);
+}
+
+TEST(Report, ThroughputItemsPerSec)
+{
+    std::vector<AppRecord> records = {
+        record(0, "a", 0, simtime::sec(2), 1, 10), // 5 items/s
+        record(1, "a", 0, simtime::sec(5), 1, 10), // 2 items/s
+    };
+    EXPECT_DOUBLE_EQ(meanThroughputItemsPerSec(records), 3.5);
+    EXPECT_DOUBLE_EQ(meanThroughputItemsPerSec({}), 0.0);
+}
+
+TEST(Report, ExecutionSpanByApp)
+{
+    std::vector<AppRecord> records = {record(0, "a", 0, simtime::sec(4))};
+    auto spans = meanExecutionByApp(records);
+    EXPECT_NEAR(spans["a"], 3.99, 0.011);
+}
+
+} // namespace
+} // namespace nimblock

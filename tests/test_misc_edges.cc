@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Edge-path coverage: simulation horizon guard, experiment-grid misuse,
+ * timeline rendering corners, and rendering helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/experiment.hh"
+#include "core/simulation.hh"
+#include "metrics/timeline.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(SimulationGuards, HorizonTripsOnOverlongRuns)
+{
+    setQuiet(true);
+    // Digit recognition needs ~984 s; a near-zero horizon factor leaves
+    // only the fixed 60 s grace, so the progress guard must fire.
+    AppRegistry reg = standardRegistry();
+    EventSequence seq;
+    seq.name = "horizon";
+    seq.events.push_back(
+        WorkloadEvent{0, "digit_recognition", 5, Priority::Low, 0});
+    SystemConfig cfg;
+    cfg.horizonFactor = 1e-9;
+    Simulation sim(cfg, reg);
+    setQuiet(false);
+    EXPECT_THROW(sim.run(seq), FatalError);
+}
+
+TEST(SimulationGuards, TimelineSharedAcrossResultCopies)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq;
+    seq.name = "tl";
+    seq.events.push_back(WorkloadEvent{0, "lenet", 1, Priority::Low, 0});
+    SystemConfig cfg;
+    cfg.recordTimeline = true;
+    RunResult a = Simulation(cfg, reg).run(seq);
+    RunResult b = a; // Copy shares the recorded timeline.
+    setQuiet(false);
+    ASSERT_NE(a.timeline, nullptr);
+    EXPECT_EQ(a.timeline.get(), b.timeline.get());
+    EXPECT_GT(a.timeline->eventCount(), 0u);
+}
+
+TEST(ExperimentGridGuards, CompareRejectsDifferentSequenceCounts)
+{
+    SchedulerResults a, b;
+    a.scheduler = "x";
+    b.scheduler = "baseline";
+    a.runs.resize(2);
+    b.runs.resize(1);
+    EXPECT_THROW(ExperimentGrid::compare(a, b), FatalError);
+}
+
+TEST(ExperimentGridGuards, DeadlineUnitOutlivesGrid)
+{
+    std::function<SimTime(const AppRecord &)> unit;
+    {
+        SystemConfig cfg;
+        ExperimentGrid grid(cfg, standardRegistry());
+        unit = grid.deadlineUnit();
+    }
+    AppRecord rec;
+    rec.appName = "lenet";
+    rec.batch = 5;
+    EXPECT_GT(unit(rec), 0);
+}
+
+TEST(TimelineEdges, RenderEmptyTimeline)
+{
+    Timeline tl;
+    std::string art = tl.renderAscii(2, 0, kTimeNone, 10);
+    // Header plus two all-free rows.
+    EXPECT_NE(art.find("slot0"), std::string::npos);
+    EXPECT_NE(art.find(".........."), std::string::npos);
+}
+
+TEST(TimelineEdges, RenderDegenerateWindow)
+{
+    Timeline tl;
+    EXPECT_EQ(tl.renderAscii(1, simtime::ms(5), simtime::ms(5), 10), "");
+    EXPECT_EQ(tl.renderAscii(1, 0, simtime::ms(5), 0), "");
+}
+
+TEST(TimelineEdges, KindNames)
+{
+    EXPECT_STREQ(toString(TimelineEventKind::ConfigureBegin),
+                 "ConfigureBegin");
+    EXPECT_STREQ(toString(TimelineEventKind::Preempt), "Preempt");
+    EXPECT_STREQ(toString(TimelineEventKind::Release), "Release");
+}
+
+TEST(TimeRendering, AdaptiveUnits)
+{
+    EXPECT_EQ(simtime::toString(kTimeNone), "none");
+    EXPECT_EQ(simtime::toString(simtime::sec(2)), "2.000s");
+    EXPECT_EQ(simtime::toString(simtime::ms(80)), "80.000ms");
+    EXPECT_EQ(simtime::toString(simtime::us(5)), "5.000us");
+    EXPECT_EQ(simtime::toString(simtime::ns(7)), "7ns");
+}
+
+TEST(SchedEventRendering, Names)
+{
+    EXPECT_STREQ(toString(SchedEvent::Arrival), "Arrival");
+    EXPECT_STREQ(toString(SchedEvent::Tick), "Tick");
+    EXPECT_STREQ(toString(SchedEvent::PreemptDone), "PreemptDone");
+}
+
+TEST(SlotRendering, StateNamesAndToString)
+{
+    Slot s(4);
+    EXPECT_NE(s.toString().find("slot4"), std::string::npos);
+    EXPECT_STREQ(toString(SlotState::Free), "Free");
+    EXPECT_STREQ(toString(SlotState::Configuring), "Configuring");
+    EXPECT_STREQ(toString(SlotState::Occupied), "Occupied");
+}
+
+TEST(TransportRendering, Names)
+{
+    EXPECT_STREQ(toString(InterSlotTransport::PS), "PS");
+    EXPECT_STREQ(toString(InterSlotTransport::NoC), "NoC");
+}
+
+TEST(TaskPhaseRendering, Names)
+{
+    EXPECT_STREQ(toString(TaskPhase::Idle), "Idle");
+    EXPECT_STREQ(toString(TaskPhase::Done), "Done");
+}
+
+} // namespace
+} // namespace nimblock

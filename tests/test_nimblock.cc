@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Nimblock-specific tests: slot allocation (§4.2), task selection (§4.3),
+ * batch-preemption (§4.4) and the ablation switches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "metrics/analysis.hh"
+#include "sched/nimblock.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace {
+
+class NimblockTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    RunResult
+    run(const EventSequence &seq, const std::string &sched = "nimblock")
+    {
+        SystemConfig cfg;
+        cfg.scheduler = sched;
+        return Simulation(cfg, registry).run(seq);
+    }
+
+    static EventSequence
+    contention(std::uint64_t seed, int events = 10)
+    {
+        GeneratorConfig cfg;
+        cfg.numEvents = events;
+        cfg.appPool = {"lenet", "image_compression", "optical_flow",
+                       "alexnet"};
+        cfg.minDelayMs = 100;
+        cfg.maxDelayMs = 200;
+        cfg.minBatch = 2;
+        cfg.maxBatch = 20;
+        return generateSequence("contention", cfg, Rng(seed));
+    }
+
+    AppRegistry registry = standardRegistry();
+};
+
+TEST_F(NimblockTest, PipeliningCompressesChainResponse)
+{
+    // A lone optical-flow with a big batch: pipelining across slots beats
+    // the bulk single-chain execution substantially.
+    EventSequence seq;
+    seq.name = "solo";
+    seq.events.push_back(
+        WorkloadEvent{0, "optical_flow", 20, Priority::Medium, 0});
+
+    RunResult pipe = run(seq, "nimblock");
+    RunResult nopipe = run(seq, "nimblock_nopipe");
+    SimTime t_pipe = pipe.records[0].responseTime();
+    SimTime t_nopipe = nopipe.records[0].responseTime();
+    EXPECT_LT(t_pipe, t_nopipe);
+    // Bulk chain ~ batch x sum(latencies); pipelined ~ batch x bottleneck.
+    EXPECT_LT(simtime::toSec(t_pipe), 0.45 * simtime::toSec(t_nopipe));
+}
+
+TEST_F(NimblockTest, NonPipelineableAppSeesNoPipelineBenefit)
+{
+    EventSequence seq;
+    seq.name = "dr";
+    seq.events.push_back(
+        WorkloadEvent{0, "digit_recognition", 5, Priority::Medium, 0});
+    RunResult pipe = run(seq, "nimblock");
+    RunResult nopipe = run(seq, "nimblock_nopipe");
+    // Within one reconfiguration of each other.
+    SimTime diff = pipe.records[0].responseTime() -
+                   nopipe.records[0].responseTime();
+    EXPECT_LT(std::abs(diff), simtime::ms(500));
+}
+
+TEST_F(NimblockTest, PreemptionTriggersUnderAllocationPressure)
+{
+    EventSequence seq;
+    seq.name = "pressure";
+    seq.events.push_back(
+        WorkloadEvent{0, "optical_flow", 30, Priority::Low, 0});
+    seq.events.push_back(
+        WorkloadEvent{1, "optical_flow", 30, Priority::Low, simtime::ms(10)});
+    for (int i = 2; i < 8; ++i) {
+        seq.events.push_back(WorkloadEvent{
+            i, "lenet", 4, Priority::High, simtime::ms(6000 + 100 * i)});
+    }
+    RunResult result = run(seq);
+    EXPECT_GT(result.hypervisorStats.preemptionsHonored, 0u);
+    EXPECT_GT(result.nimblockStats.preemptionsIssued, 0u);
+}
+
+TEST_F(NimblockTest, NoPreemptVariantNeverPreempts)
+{
+    EventSequence seq;
+    seq.name = "pressure";
+    seq.events.push_back(
+        WorkloadEvent{0, "optical_flow", 30, Priority::Low, 0});
+    for (int i = 1; i < 8; ++i) {
+        seq.events.push_back(WorkloadEvent{
+            i, "lenet", 4, Priority::High, simtime::ms(6000 + 100 * i)});
+    }
+    RunResult result = run(seq, "nimblock_nopreempt");
+    EXPECT_EQ(result.hypervisorStats.preemptionsRequested, 0u);
+    EXPECT_EQ(result.records.size(), seq.events.size());
+}
+
+TEST_F(NimblockTest, PreemptedWorkIsNotLost)
+{
+    EventSequence seq;
+    seq.name = "pressure";
+    seq.events.push_back(
+        WorkloadEvent{0, "optical_flow", 30, Priority::Low, 0});
+    seq.events.push_back(
+        WorkloadEvent{1, "optical_flow", 30, Priority::Low, simtime::ms(10)});
+    for (int i = 2; i < 10; ++i) {
+        seq.events.push_back(WorkloadEvent{
+            i, "lenet", 6, Priority::High, simtime::ms(5000 + 150 * i)});
+    }
+    RunResult result = run(seq);
+    // Exact item count: preemption at batch boundaries never re-executes.
+    std::uint64_t expected = 2 * 30 * 9 + 8 * 6 * 3;
+    EXPECT_EQ(result.hypervisorStats.itemsExecuted, expected);
+}
+
+TEST_F(NimblockTest, ReallocationHappensOnTicksAndPoolChanges)
+{
+    RunResult result = run(contention(5));
+    EXPECT_GT(result.nimblockStats.reallocations, 0u);
+}
+
+TEST_F(NimblockTest, GoalNumbersComeFromSaturation)
+{
+    SystemConfig cfg;
+    EventQueue eq;
+    Fabric fabric(eq, cfg.fabric);
+    NimblockScheduler sched;
+    MetricsCollector collector;
+    Hypervisor hyp(eq, fabric, sched, collector, cfg.hypervisor);
+
+    AppInstanceId lenet_id =
+        hyp.submit(registry.get("lenet"), 8, Priority::Low, 0);
+    AppInstanceId an_id =
+        hyp.submit(registry.get("alexnet"), 8, Priority::Low, 1);
+    eq.run(simtime::ms(1));
+
+    AppInstance *lenet = hyp.findApp(lenet_id);
+    AppInstance *an = hyp.findApp(an_id);
+    ASSERT_NE(lenet, nullptr);
+    ASSERT_NE(an, nullptr);
+    std::size_t lenet_goal = sched.goalNumberFor(*lenet);
+    std::size_t an_goal = sched.goalNumberFor(*an);
+    EXPECT_GE(lenet_goal, 2u); // Pipelining a chain uses several slots.
+    EXPECT_LE(lenet_goal, 3u); // ...but no more than its task count.
+    EXPECT_GE(an_goal, 4u);    // Wide graphs deserve more slots.
+}
+
+TEST_F(NimblockTest, AllocationsNeverExceedBoard)
+{
+    // Indirect check: run a contended workload and assert the scheduler
+    // never stalls and the run completes; allocation bugs (sum > slots)
+    // show up as stalls or over-preemption.
+    RunResult result = run(contention(9, 14));
+    EXPECT_EQ(result.records.size(), 14u);
+    EXPECT_EQ(result.hypervisorStats.stallRescues, 0u);
+}
+
+TEST_F(NimblockTest, AblationOrderingUnderContention)
+{
+    // Full Nimblock should be at least as good as the no-pipelining
+    // variants on pipeline-friendly contended workloads.
+    EventSequence seq = contention(11, 12);
+    double full = meanResponseSec(run(seq, "nimblock").records);
+    double nopipe = meanResponseSec(run(seq, "nimblock_nopipe").records);
+    double neither =
+        meanResponseSec(run(seq, "nimblock_nopreempt_nopipe").records);
+    EXPECT_LE(full, nopipe * 1.05);
+    EXPECT_LE(full, neither * 1.05);
+}
+
+TEST_F(NimblockTest, HighPriorityBeatsLowPriorityTwin)
+{
+    // Two identical apps arriving together under load; the high-priority
+    // twin should not finish later.
+    EventSequence seq;
+    seq.name = "twins";
+    for (int i = 0; i < 6; ++i) {
+        seq.events.push_back(WorkloadEvent{i, "optical_flow", 15,
+                                           Priority::Low,
+                                           simtime::ms(10 * i)});
+    }
+    seq.events.push_back(
+        WorkloadEvent{6, "lenet", 4, Priority::Low, simtime::ms(100)});
+    seq.events.push_back(
+        WorkloadEvent{7, "lenet", 4, Priority::High, simtime::ms(101)});
+    RunResult result = run(seq);
+    SimTime low = kTimeNone, high = kTimeNone;
+    for (const AppRecord &rec : result.records) {
+        if (rec.eventIndex == 6)
+            low = rec.responseTime();
+        if (rec.eventIndex == 7)
+            high = rec.responseTime();
+    }
+    EXPECT_LE(high, low + simtime::ms(100));
+}
+
+TEST_F(NimblockTest, OnlyOneReconfigurationInFlight)
+{
+    // Nimblock issues at most one configuration per pass and waits for
+    // completion: the CAP must never have a queue. We verify indirectly:
+    // configuresIssued == CAP completions and the run finishes.
+    EventSequence seq = contention(13, 8);
+    RunResult result = run(seq);
+    EXPECT_EQ(result.records.size(), 8u);
+    EXPECT_GT(result.hypervisorStats.configuresIssued, 0u);
+}
+
+TEST_F(NimblockTest, StatsAccumulate)
+{
+    RunResult result = run(contention(17, 10));
+    EXPECT_GT(result.hypervisorStats.schedulingPasses, 0u);
+    EXPECT_GT(result.hypervisorStats.configuresIssued, 0u);
+    EXPECT_EQ(result.hypervisorStats.appsAdmitted, 10u);
+    EXPECT_EQ(result.hypervisorStats.appsRetired, 10u);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Property-based sweeps: system-wide invariants checked over the cross
+ * product of schedulers, seeds and congestion scenarios, plus synthetic
+ * random task graphs ("Nimblock is a general solution applicable to
+ * applications with different characteristics").
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "apps/synthetic.hh"
+#include "core/simulation.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace {
+
+struct SweepParam
+{
+    std::string scheduler;
+    std::uint64_t seed;
+    Scenario scenario;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    return info.param.scheduler + "_s" + std::to_string(info.param.seed) +
+           "_" + toString(info.param.scenario);
+}
+
+std::vector<SweepParam>
+sweepParams()
+{
+    std::vector<SweepParam> out;
+    for (const char *sched :
+         {"baseline", "fcfs", "prema", "rr", "static", "nimblock",
+          "nimblock_nopreempt", "nimblock_nopipe"}) {
+        for (std::uint64_t seed : {1ull, 2ull}) {
+            for (Scenario scenario :
+                 {Scenario::Stress, Scenario::RealTime}) {
+                out.push_back(SweepParam{sched, seed, scenario});
+            }
+        }
+    }
+    return out;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    EventSequence
+    sequence() const
+    {
+        // Keep runs fast: skip digit recognition (its 1000 s kernels
+        // dominate wall-clock via event counts at large batches) and cap
+        // batch size.
+        GeneratorConfig cfg = scenarioConfig(
+            GetParam().scenario,
+            {"lenet", "image_compression", "3d_rendering", "optical_flow",
+             "alexnet"});
+        cfg.numEvents = 10;
+        cfg.maxBatch = 12;
+        return generateSequence("sweep", cfg, Rng(GetParam().seed));
+    }
+
+    AppRegistry registry = standardRegistry();
+};
+
+TEST_P(InvariantSweep, AllEventsRetire)
+{
+    EventSequence seq = sequence();
+    RunResult result = runSequence(GetParam().scheduler, seq, registry);
+    EXPECT_EQ(result.records.size(), seq.events.size());
+    EXPECT_EQ(result.hypervisorStats.appsAdmitted,
+              result.hypervisorStats.appsRetired);
+}
+
+TEST_P(InvariantSweep, ExactItemAccounting)
+{
+    EventSequence seq = sequence();
+    RunResult result = runSequence(GetParam().scheduler, seq, registry);
+    std::uint64_t expected = 0;
+    for (const WorkloadEvent &e : seq.events) {
+        expected += static_cast<std::uint64_t>(e.batch) *
+                    registry.get(e.appName)->numTasks();
+    }
+    EXPECT_EQ(result.hypervisorStats.itemsExecuted, expected);
+}
+
+TEST_P(InvariantSweep, ResponseRespectsPhysicalLowerBound)
+{
+    EventSequence seq = sequence();
+    RunResult result = runSequence(GetParam().scheduler, seq, registry);
+    for (const AppRecord &rec : result.records) {
+        const TaskGraph &g = registry.get(rec.appName)->graph();
+        // Bottleneck stage must process the whole batch serially.
+        SimTime bottleneck = 0;
+        for (TaskId t = 0; t < g.numTasks(); ++t)
+            bottleneck = std::max(bottleneck, g.task(t).itemLatency);
+        EXPECT_GE(rec.responseTime(), bottleneck * rec.batch)
+            << rec.appName;
+        EXPECT_GE(rec.waitTime(), 0);
+        EXPECT_GE(rec.runTime, bottleneck * rec.batch);
+    }
+}
+
+TEST_P(InvariantSweep, RunTimeAccountingIsConsistent)
+{
+    EventSequence seq = sequence();
+    RunResult result = runSequence(GetParam().scheduler, seq, registry);
+    for (const AppRecord &rec : result.records) {
+        const TaskGraph &g = registry.get(rec.appName)->graph();
+        SimTime serial_compute = 0;
+        for (TaskId t = 0; t < g.numTasks(); ++t)
+            serial_compute += g.task(t).itemLatency * rec.batch;
+        // runTime = compute + PS transfers >= pure compute; bounded above
+        // by compute plus a transfer allowance.
+        EXPECT_GE(rec.runTime, serial_compute);
+        EXPECT_LE(rec.runTime, serial_compute + simtime::sec(10));
+        // PR time is a positive multiple of roughly-80 ms reconfigs.
+        EXPECT_GE(rec.reconfigs, static_cast<int>(g.numTasks()));
+        EXPECT_GE(rec.reconfigTime, simtime::ms(70) * rec.reconfigs);
+    }
+}
+
+TEST_P(InvariantSweep, DeterministicAcrossRuns)
+{
+    EventSequence seq = sequence();
+    RunResult a = runSequence(GetParam().scheduler, seq, registry);
+    RunResult b = runSequence(GetParam().scheduler, seq, registry);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].retire, b.records[i].retire);
+        EXPECT_EQ(a.records[i].reconfigs, b.records[i].reconfigs);
+        EXPECT_EQ(a.records[i].preemptions, b.records[i].preemptions);
+    }
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST_P(InvariantSweep, OnlyPreemptiveVariantsPreempt)
+{
+    EventSequence seq = sequence();
+    RunResult result = runSequence(GetParam().scheduler, seq, registry);
+    bool preemptive = GetParam().scheduler == "nimblock";
+    if (!preemptive) {
+        EXPECT_EQ(result.hypervisorStats.preemptionsHonored, 0u)
+            << GetParam().scheduler;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SchedulerSeedScenario, InvariantSweep,
+                         ::testing::ValuesIn(sweepParams()), paramName);
+
+/** Synthetic-graph sweep: arbitrary DAGs complete under every scheduler. */
+class SyntheticSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_P(SyntheticSweep, RandomGraphsCompleteUnderAllSchedulers)
+{
+    std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    AppRegistry registry;
+    for (int i = 0; i < 4; ++i) {
+        SyntheticAppConfig cfg;
+        cfg.numTasks = 2 + rng.index(12);
+        cfg.maxWidth = 1 + rng.index(4);
+        cfg.minLatencyMs = 5;
+        cfg.maxLatencyMs = 300;
+        cfg.extraEdgeProb = rng.uniformDouble(0.0, 0.5);
+        Rng app_rng = rng.derive(formatMessage("app%d", i));
+        registry.add(
+            makeSyntheticApp(formatMessage("syn%d", i), cfg, app_rng));
+    }
+
+    GeneratorConfig gen;
+    gen.numEvents = 8;
+    gen.appPool = registry.names();
+    gen.minDelayMs = 50;
+    gen.maxDelayMs = 200;
+    gen.minBatch = 1;
+    gen.maxBatch = 10;
+    EventSequence seq = generateSequence("syn", gen, rng.derive("events"));
+
+    for (const std::string &sched : schedulerNames()) {
+        RunResult result = runSequence(sched, seq, registry);
+        EXPECT_EQ(result.records.size(), seq.events.size())
+            << sched << " seed " << seed;
+
+        std::uint64_t expected = 0;
+        for (const WorkloadEvent &e : seq.events) {
+            expected += static_cast<std::uint64_t>(e.batch) *
+                        registry.get(e.appName)->numTasks();
+        }
+        EXPECT_EQ(result.hypervisorStats.itemsExecuted, expected)
+            << sched << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSweep,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+/** Arrival-pattern sweep: the non-paper processes run end to end. */
+class ArrivalPatternSweep
+    : public ::testing::TestWithParam<std::tuple<ArrivalPattern,
+                                                 std::string>>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_P(ArrivalPatternSweep, CompletesWithExactAccounting)
+{
+    auto [pattern, sched] = GetParam();
+    AppRegistry registry = standardRegistry();
+    GeneratorConfig gen;
+    gen.numEvents = 10;
+    gen.appPool = {"lenet", "image_compression", "optical_flow"};
+    gen.minDelayMs = 100;
+    gen.maxDelayMs = 400;
+    gen.maxBatch = 8;
+    gen.pattern = pattern;
+    EventSequence seq = generateSequence("patterns", gen, Rng(23));
+
+    RunResult result = runSequence(sched, seq, registry);
+    EXPECT_EQ(result.records.size(), seq.events.size());
+    std::uint64_t expected = 0;
+    for (const WorkloadEvent &e : seq.events) {
+        expected += static_cast<std::uint64_t>(e.batch) *
+                    registry.get(e.appName)->numTasks();
+    }
+    EXPECT_EQ(result.hypervisorStats.itemsExecuted, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsXSchedulers, ArrivalPatternSweep,
+    ::testing::Combine(::testing::Values(ArrivalPattern::Uniform,
+                                         ArrivalPattern::Poisson,
+                                         ArrivalPattern::Bursty),
+                       ::testing::Values(std::string("fcfs"),
+                                         std::string("nimblock"),
+                                         std::string("static"))),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ArrivalPattern, std::string>> &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               std::get<1>(info.param);
+    });
+
+/** Slot-count sweep: Nimblock works on boards of any size. */
+class SlotCountSweep : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_P(SlotCountSweep, NimblockAdaptsToBoardSize)
+{
+    SystemConfig cfg;
+    cfg.scheduler = "nimblock";
+    cfg.fabric.numSlots = GetParam();
+    AppRegistry registry = standardRegistry();
+
+    GeneratorConfig gen;
+    gen.numEvents = 6;
+    gen.appPool = {"lenet", "optical_flow", "image_compression"};
+    gen.minDelayMs = 100;
+    gen.maxDelayMs = 300;
+    gen.maxBatch = 8;
+    EventSequence seq = generateSequence("slots", gen, Rng(77));
+
+    RunResult result = Simulation(cfg, registry).run(seq);
+    EXPECT_EQ(result.records.size(), seq.events.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boards, SlotCountSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 16));
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.uniformInt(5, 17);
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniformInt(0, 9));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformDoubleStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformDouble(1.5, 2.0);
+        EXPECT_GE(v, 1.5);
+        EXPECT_LT(v, 2.0);
+    }
+}
+
+TEST(Rng, UniformDoubleMeanIsPlausible)
+{
+    Rng rng(5);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniformDouble(0.0, 1.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRespectsProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsPlausible)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, DeriveIsIndependentOfDrawOrder)
+{
+    // Children derive from the parent's seed, not its state.
+    Rng a(99);
+    Rng child_before = a.derive("stream");
+    a.next();
+    a.next();
+    Rng child_after = a.derive("stream");
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(child_before.next(), child_after.next());
+}
+
+TEST(Rng, DeriveDifferentNamesDiffer)
+{
+    Rng a(99);
+    Rng x = a.derive("x");
+    Rng y = a.derive("y");
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += x.next() == y.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(21);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, IndexRejectsEmptyRangeViaDeath)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.index(0), "empty range");
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * End-to-end simulation tests: every scheduler completes realistic
+ * workloads, results are deterministic, and cross-scheduler invariants
+ * hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/experiment.hh"
+#include "core/simulation.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace {
+
+class SimulationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    /** Small, fast sequence over the short-running benchmarks. */
+    EventSequence
+    smallSequence(std::uint64_t seed = 7, int events = 6)
+    {
+        GeneratorConfig cfg;
+        cfg.numEvents = events;
+        cfg.appPool = {"lenet", "image_compression", "3d_rendering"};
+        cfg.minDelayMs = 100;
+        cfg.maxDelayMs = 300;
+        cfg.minBatch = 1;
+        cfg.maxBatch = 6;
+        return generateSequence("small", cfg, Rng(seed));
+    }
+
+    AppRegistry registry = standardRegistry();
+};
+
+TEST_F(SimulationTest, SingleAppRunsToCompletion)
+{
+    EventSequence seq;
+    seq.name = "single";
+    seq.events.push_back(
+        WorkloadEvent{0, "lenet", 2, Priority::Medium, simtime::ms(1)});
+
+    RunResult result = runSequence("nimblock", seq, registry);
+    ASSERT_EQ(result.records.size(), 1u);
+    const AppRecord &rec = result.records[0];
+    EXPECT_EQ(rec.appName, "lenet");
+    EXPECT_EQ(rec.batch, 2);
+    EXPECT_GT(rec.responseTime(), 0);
+    // 3 tasks, each needs at least one reconfiguration.
+    EXPECT_GE(rec.reconfigs, 3);
+    // Response must cover at least the serial compute: 2 items x 146 ms.
+    EXPECT_GE(rec.responseTime(), simtime::msF(2 * 146.0));
+}
+
+TEST_F(SimulationTest, EverySchedulerCompletesSmallWorkload)
+{
+    EventSequence seq = smallSequence();
+    for (const std::string &name : schedulerNames()) {
+        RunResult result = runSequence(name, seq, registry);
+        EXPECT_EQ(result.records.size(), seq.events.size())
+            << "scheduler " << name;
+        for (const AppRecord &rec : result.records) {
+            EXPECT_GT(rec.responseTime(), 0) << name;
+            EXPECT_GE(rec.waitTime(), 0) << name;
+        }
+    }
+}
+
+TEST_F(SimulationTest, RunsAreDeterministic)
+{
+    EventSequence seq = smallSequence(13);
+    for (const std::string name : {"nimblock", "prema", "rr"}) {
+        RunResult a = runSequence(name, seq, registry);
+        RunResult b = runSequence(name, seq, registry);
+        ASSERT_EQ(a.records.size(), b.records.size());
+        for (std::size_t i = 0; i < a.records.size(); ++i) {
+            EXPECT_EQ(a.records[i].retire, b.records[i].retire) << name;
+            EXPECT_EQ(a.records[i].arrival, b.records[i].arrival) << name;
+        }
+        EXPECT_EQ(a.eventsFired, b.eventsFired) << name;
+    }
+}
+
+TEST_F(SimulationTest, ResponseTimeNeverBelowIdealCompute)
+{
+    // No scheduler can beat the critical-path compute time of the batch.
+    EventSequence seq = smallSequence(21);
+    for (const std::string &name : schedulerNames()) {
+        RunResult result = runSequence(name, seq, registry);
+        for (const AppRecord &rec : result.records) {
+            const AppSpec &spec = *registry.get(rec.appName);
+            SimTime serial_item = 0;
+            for (TaskId t = 0; t < spec.graph().numTasks(); ++t) {
+                serial_item = std::max(
+                    serial_item, spec.graph().task(t).itemLatency);
+            }
+            // At least batch x slowest task item latency.
+            EXPECT_GE(rec.responseTime(), serial_item * rec.batch)
+                << name << " " << rec.appName;
+        }
+    }
+}
+
+TEST_F(SimulationTest, SharingBeatsBaselineUnderContention)
+{
+    // Several simultaneous short apps: any sharing scheduler should beat
+    // the no-sharing baseline on average response time.
+    GeneratorConfig cfg;
+    cfg.numEvents = 8;
+    cfg.appPool = {"lenet", "image_compression", "3d_rendering"};
+    cfg.minDelayMs = 20;
+    cfg.maxDelayMs = 50;
+    cfg.fixedBatch = 4;
+    EventSequence seq = generateSequence("contention", cfg, Rng(3));
+
+    double base = meanResponseSec(
+        runSequence("baseline", seq, registry).records);
+    for (const std::string name : {"nimblock", "prema", "fcfs"}) {
+        double algo =
+            meanResponseSec(runSequence(name, seq, registry).records);
+        EXPECT_LT(algo, base) << name;
+    }
+}
+
+TEST_F(SimulationTest, EmptySequenceIsRejected)
+{
+    EventSequence seq;
+    seq.name = "empty";
+    SystemConfig cfg;
+    Simulation sim(cfg, registry);
+    EXPECT_THROW(sim.run(seq), FatalError);
+}
+
+TEST_F(SimulationTest, UnknownAppNameIsRejected)
+{
+    EventSequence seq;
+    seq.name = "bad";
+    seq.events.push_back(
+        WorkloadEvent{0, "does_not_exist", 1, Priority::Low, 0});
+    SystemConfig cfg;
+    Simulation sim(cfg, registry);
+    EXPECT_THROW(sim.run(seq), FatalError);
+}
+
+TEST_F(SimulationTest, NimblockPreemptsUnderPressure)
+{
+    // A long pipeliner arrives first and gets time to ramp across many
+    // slots; a burst of short high-priority apps then shrinks its
+    // allocation, so Nimblock must preempt to serve them.
+    EventSequence seq;
+    seq.name = "preempt";
+    seq.events.push_back(
+        WorkloadEvent{0, "optical_flow", 30, Priority::Low, 0});
+    for (int i = 1; i <= 6; ++i) {
+        seq.events.push_back(WorkloadEvent{i, "lenet", 4, Priority::High,
+                                           simtime::ms(6000 + 100 * i)});
+    }
+
+    RunResult result = runSequence("nimblock", seq, registry);
+    EXPECT_EQ(result.records.size(), seq.events.size());
+    EXPECT_GT(result.hypervisorStats.preemptionsRequested, 0u)
+        << "expected preemption under slot pressure";
+}
+
+TEST_F(SimulationTest, ReconfigSkipReducesReconfigurations)
+{
+    EventSequence seq = smallSequence(31);
+    SystemConfig with_skip;
+    with_skip.scheduler = "nimblock";
+    with_skip.hypervisor.allowReconfigSkip = true;
+    SystemConfig without_skip = with_skip;
+    without_skip.hypervisor.allowReconfigSkip = false;
+
+    RunResult skip = Simulation(with_skip, registry).run(seq);
+    RunResult no_skip = Simulation(without_skip, registry).run(seq);
+    EXPECT_LE(skip.hypervisorStats.configuresIssued -
+                  skip.hypervisorStats.reconfigSkips,
+              no_skip.hypervisorStats.configuresIssued);
+}
+
+TEST_F(SimulationTest, MakespanCoversAllRetirements)
+{
+    EventSequence seq = smallSequence(41);
+    RunResult result = runSequence("fcfs", seq, registry);
+    for (const AppRecord &rec : result.records)
+        EXPECT_LE(rec.retire, result.makespan);
+}
+
+TEST_F(SimulationTest, ExperimentGridComparesAcrossSchedulers)
+{
+    SystemConfig cfg;
+    ExperimentGrid grid(cfg, registry);
+    std::vector<EventSequence> seqs = {smallSequence(51), smallSequence(52)};
+    auto results = grid.runAll({"baseline", "nimblock"}, seqs);
+    ASSERT_EQ(results.count("baseline"), 1u);
+    ASSERT_EQ(results.count("nimblock"), 1u);
+
+    auto comparisons =
+        ExperimentGrid::compare(results["nimblock"], results["baseline"]);
+    EXPECT_EQ(comparisons.size(), seqs.size() * seqs[0].events.size());
+    for (const EventComparison &c : comparisons) {
+        EXPECT_GT(c.baselineResponse, 0);
+        EXPECT_GT(c.response, 0);
+    }
+}
+
+} // namespace
+} // namespace nimblock

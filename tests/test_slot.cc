@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the slot state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/slot.hh"
+
+namespace nimblock {
+namespace {
+
+BitstreamKey
+key()
+{
+    return BitstreamKey{"app", 1, 0};
+}
+
+TEST(Slot, StartsFree)
+{
+    Slot s(0);
+    EXPECT_TRUE(s.isFree());
+    EXPECT_EQ(s.app(), kAppNone);
+    EXPECT_EQ(s.task(), kTaskNone);
+    EXPECT_FALSE(s.configuredBitstream().has_value());
+}
+
+TEST(Slot, ConfigureLifecycle)
+{
+    Slot s(0);
+    s.beginConfigure(7, 1, key(), 0);
+    EXPECT_EQ(s.state(), SlotState::Configuring);
+    EXPECT_EQ(s.app(), 7u);
+    EXPECT_EQ(s.task(), 1u);
+
+    s.finishConfigure(simtime::ms(80));
+    EXPECT_EQ(s.state(), SlotState::Occupied);
+    EXPECT_TRUE(s.waitingForNextItem());
+    EXPECT_EQ(s.reconfigCount(), 1u);
+}
+
+TEST(Slot, ItemExecutionTracksStats)
+{
+    Slot s(0);
+    s.beginConfigure(7, 1, key(), 0);
+    s.finishConfigure(simtime::ms(80));
+
+    s.beginItem(simtime::ms(100));
+    EXPECT_TRUE(s.executing());
+    EXPECT_FALSE(s.waitingForNextItem());
+    s.finishItem(simtime::ms(150));
+    EXPECT_FALSE(s.executing());
+    EXPECT_TRUE(s.waitingForNextItem());
+    EXPECT_EQ(s.itemsExecuted(), 1u);
+    EXPECT_EQ(s.executeTime(), simtime::ms(50));
+}
+
+TEST(Slot, ReleaseRetainsBitstreamForAffinity)
+{
+    Slot s(0);
+    s.beginConfigure(7, 1, key(), 0);
+    s.finishConfigure(simtime::ms(80));
+    s.release(simtime::ms(200));
+    EXPECT_TRUE(s.isFree());
+    ASSERT_TRUE(s.configuredBitstream().has_value());
+    EXPECT_EQ(*s.configuredBitstream(), key());
+}
+
+TEST(Slot, PreemptRequestFlag)
+{
+    Slot s(0);
+    s.beginConfigure(7, 1, key(), 0);
+    s.finishConfigure(0);
+    EXPECT_FALSE(s.preemptRequested());
+    s.requestPreempt();
+    EXPECT_TRUE(s.preemptRequested());
+    s.clearPreempt();
+    EXPECT_FALSE(s.preemptRequested());
+    s.requestPreempt();
+    s.release(0);
+    EXPECT_FALSE(s.preemptRequested()); // Cleared by release.
+}
+
+TEST(Slot, OccupiedTimeAccumulates)
+{
+    Slot s(0);
+    s.beginConfigure(1, 0, key(), 0);
+    s.finishConfigure(simtime::ms(100));
+    EXPECT_EQ(s.occupiedTime(simtime::ms(150)), simtime::ms(50));
+    s.release(simtime::ms(200));
+    EXPECT_EQ(s.occupiedTime(simtime::ms(999)), simtime::ms(100));
+}
+
+TEST(Slot, InvalidTransitionsPanicViaDeath)
+{
+    Slot s(0);
+    EXPECT_DEATH(s.finishConfigure(0), "finishConfigure");
+    EXPECT_DEATH(s.beginItem(0), "beginItem");
+    EXPECT_DEATH(s.release(0), "release");
+
+    Slot t(1);
+    t.beginConfigure(1, 0, key(), 0);
+    EXPECT_DEATH(t.beginConfigure(1, 0, key(), 0), "beginConfigure");
+    t.finishConfigure(0);
+    t.beginItem(0);
+    EXPECT_DEATH(t.release(0), "executing");
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for task graphs and graph algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "taskgraph/graph_algos.hh"
+#include "taskgraph/task_graph.hh"
+
+namespace nimblock {
+namespace {
+
+TaskSpec
+task(const std::string &name, double ms = 10.0)
+{
+    TaskSpec t;
+    t.name = name;
+    t.itemLatency = simtime::msF(ms);
+    return t;
+}
+
+TEST(TaskGraph, AddTaskAssignsSequentialIds)
+{
+    TaskGraph g;
+    EXPECT_EQ(g.addTask(task("a")), 0u);
+    EXPECT_EQ(g.addTask(task("b")), 1u);
+    EXPECT_EQ(g.numTasks(), 2u);
+}
+
+TEST(TaskGraph, EdgesTrackPredsAndSuccs)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    TaskId c = g.addTask(task("c"));
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.validate();
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.successors(a).size(), 2u);
+    EXPECT_EQ(g.predecessors(b), std::vector<TaskId>{a});
+    EXPECT_EQ(g.predecessors(c), std::vector<TaskId>{a});
+}
+
+TEST(TaskGraph, RejectsSelfLoop)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    EXPECT_THROW(g.addEdge(a, a), FatalError);
+}
+
+TEST(TaskGraph, RejectsDuplicateEdge)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    g.addEdge(a, b);
+    EXPECT_THROW(g.addEdge(a, b), FatalError);
+}
+
+TEST(TaskGraph, RejectsCycleOnValidate)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    TaskId c = g.addTask(task("c"));
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.addEdge(c, a);
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(TaskGraph, RejectsDuplicateNames)
+{
+    TaskGraph g;
+    g.addTask(task("same"));
+    g.addTask(task("same"));
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(TaskGraph, RejectsEmptyGraph)
+{
+    TaskGraph g;
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(TaskGraph, RejectsNonPositiveLatency)
+{
+    TaskGraph g;
+    TaskSpec t = task("zero");
+    t.itemLatency = 0;
+    EXPECT_THROW(g.addTask(t), FatalError);
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    TaskId c = g.addTask(task("c"));
+    TaskId d = g.addTask(task("d"));
+    g.addEdge(c, a); // Build edges against id order on purpose.
+    g.addEdge(a, d);
+    g.addEdge(c, b);
+    g.validate();
+
+    const auto &topo = g.topoOrder();
+    ASSERT_EQ(topo.size(), 4u);
+    EXPECT_LT(g.topoRank(c), g.topoRank(a));
+    EXPECT_LT(g.topoRank(a), g.topoRank(d));
+    EXPECT_LT(g.topoRank(c), g.topoRank(b));
+}
+
+TEST(TaskGraph, SourcesAndSinks)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    TaskId c = g.addTask(task("c"));
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.validate();
+    EXPECT_EQ(g.sources(), std::vector<TaskId>{a});
+    EXPECT_EQ(g.sinks(), std::vector<TaskId>{c});
+}
+
+TEST(TaskGraph, FindTaskByName)
+{
+    TaskGraph g;
+    g.addTask(task("first"));
+    TaskId second = g.addTask(task("second"));
+    g.validate();
+    EXPECT_EQ(g.findTask("second"), second);
+    EXPECT_EQ(g.findTask("missing"), kTaskNone);
+}
+
+TEST(TaskGraph, SchedulerLatencyUsesEstimateWhenPresent)
+{
+    TaskSpec t = task("est", 10.0);
+    t.estimatedItemLatency = simtime::msF(12.0);
+    EXPECT_EQ(t.schedulerItemLatency(), simtime::msF(12.0));
+
+    TaskSpec u = task("noest", 10.0);
+    EXPECT_EQ(u.schedulerItemLatency(), simtime::msF(10.0));
+}
+
+TEST(GraphAlgos, CriticalPathOfChain)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a", 10));
+    TaskId b = g.addTask(task("b", 20));
+    TaskId c = g.addTask(task("c", 30));
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.validate();
+    EXPECT_EQ(criticalPathLatency(g), simtime::msF(60));
+    EXPECT_EQ(criticalPathLength(g), 3u);
+}
+
+TEST(GraphAlgos, CriticalPathPicksLongestBranch)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a", 10));
+    TaskId b = g.addTask(task("b", 100));
+    TaskId c = g.addTask(task("c", 5));
+    TaskId d = g.addTask(task("d", 10));
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.validate();
+    EXPECT_EQ(criticalPathLatency(g), simtime::msF(120));
+}
+
+TEST(GraphAlgos, LevelWidthOfDiamond)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    TaskId c = g.addTask(task("c"));
+    TaskId d = g.addTask(task("d"));
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.validate();
+    EXPECT_EQ(maxLevelWidth(g), 2u);
+    auto levels = asapLevels(g);
+    EXPECT_EQ(levels[a], 0u);
+    EXPECT_EQ(levels[b], 1u);
+    EXPECT_EQ(levels[c], 1u);
+    EXPECT_EQ(levels[d], 2u);
+}
+
+TEST(GraphAlgos, Reachability)
+{
+    TaskGraph g;
+    TaskId a = g.addTask(task("a"));
+    TaskId b = g.addTask(task("b"));
+    TaskId c = g.addTask(task("c"));
+    g.addEdge(a, b);
+    g.validate();
+    EXPECT_TRUE(reaches(g, a, b));
+    EXPECT_FALSE(reaches(g, b, a));
+    EXPECT_FALSE(reaches(g, a, c));
+    EXPECT_TRUE(reaches(g, c, c));
+    EXPECT_EQ(reachableCount(g, a), 1u);
+}
+
+TEST(GraphAlgos, TotalEstimatedLatencySums)
+{
+    TaskGraph g;
+    g.addTask(task("a", 10));
+    g.addTask(task("b", 15));
+    g.validate();
+    EXPECT_EQ(g.totalEstimatedItemLatency(), simtime::msF(25));
+}
+
+} // namespace
+} // namespace nimblock

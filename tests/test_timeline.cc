@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the slot timeline recorder and the structural invariants it
+ * enables (per-slot interval exclusivity, dependency ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "metrics/timeline.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(Timeline, RecordsAndDerivesIntervals)
+{
+    Timeline tl;
+    tl.record(simtime::ms(0), 0, 1, 2, "app", TimelineEventKind::ConfigureBegin);
+    tl.record(simtime::ms(80), 0, 1, 2, "app", TimelineEventKind::ConfigureEnd);
+    tl.record(simtime::ms(80), 0, 1, 2, "app", TimelineEventKind::ItemBegin);
+    tl.record(simtime::ms(180), 0, 1, 2, "app", TimelineEventKind::ItemEnd);
+    tl.record(simtime::ms(200), 0, 1, 2, "app", TimelineEventKind::Release);
+
+    auto intervals = tl.slotIntervals(0);
+    ASSERT_EQ(intervals.size(), 1u);
+    const SlotInterval &iv = intervals[0];
+    EXPECT_EQ(iv.begin, simtime::ms(0));
+    EXPECT_EQ(iv.end, simtime::ms(200));
+    EXPECT_EQ(iv.reconfigTime, simtime::ms(80));
+    EXPECT_EQ(iv.executeTime, simtime::ms(100));
+    EXPECT_FALSE(iv.preempted);
+    EXPECT_EQ(iv.appName, "app");
+}
+
+TEST(Timeline, PreemptionMarksInterval)
+{
+    Timeline tl;
+    tl.record(0, 3, 1, 0, "a", TimelineEventKind::ConfigureBegin);
+    tl.record(simtime::ms(80), 3, 1, 0, "a", TimelineEventKind::ConfigureEnd);
+    tl.record(simtime::ms(100), 3, 1, 0, "a", TimelineEventKind::Preempt);
+    auto intervals = tl.slotIntervals(3);
+    ASSERT_EQ(intervals.size(), 1u);
+    EXPECT_TRUE(intervals[0].preempted);
+}
+
+TEST(Timeline, UnterminatedSpanOmitted)
+{
+    Timeline tl;
+    tl.record(0, 0, 1, 0, "a", TimelineEventKind::ConfigureBegin);
+    EXPECT_TRUE(tl.slotIntervals(0).empty());
+}
+
+TEST(Timeline, ExecuteUtilization)
+{
+    Timeline tl;
+    tl.record(0, 0, 1, 0, "a", TimelineEventKind::ConfigureBegin);
+    tl.record(simtime::ms(10), 0, 1, 0, "a", TimelineEventKind::ConfigureEnd);
+    tl.record(simtime::ms(10), 0, 1, 0, "a", TimelineEventKind::ItemBegin);
+    tl.record(simtime::ms(60), 0, 1, 0, "a", TimelineEventKind::ItemEnd);
+    tl.record(simtime::ms(100), 0, 1, 0, "a", TimelineEventKind::Release);
+    EXPECT_NEAR(tl.executeUtilization(0, 0, simtime::ms(100)), 0.5, 1e-9);
+    EXPECT_NEAR(tl.executeUtilization(0, 0, simtime::ms(20)), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(tl.executeUtilization(1, 0, simtime::ms(100)), 0.0);
+}
+
+TEST(Timeline, OutOfOrderRecordPanicsViaDeath)
+{
+    Timeline tl;
+    tl.record(simtime::ms(10), 0, 1, 0, "a",
+              TimelineEventKind::ConfigureBegin);
+    EXPECT_DEATH(tl.record(simtime::ms(5), 0, 1, 0, "a",
+                           TimelineEventKind::ConfigureEnd),
+                 "out of order");
+}
+
+class TimelineRunTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    RunResult
+    run(const std::string &sched)
+    {
+        GeneratorConfig gen;
+        gen.numEvents = 8;
+        gen.appPool = {"lenet", "optical_flow", "image_compression"};
+        gen.minDelayMs = 50;
+        gen.maxDelayMs = 200;
+        gen.maxBatch = 8;
+        EventSequence seq = generateSequence("tl", gen, Rng(19));
+
+        SystemConfig cfg;
+        cfg.scheduler = sched;
+        cfg.recordTimeline = true;
+        return Simulation(cfg, standardRegistry()).run(seq);
+    }
+};
+
+TEST_F(TimelineRunTest, DisabledByDefault)
+{
+    GeneratorConfig gen;
+    gen.numEvents = 2;
+    gen.appPool = {"lenet"};
+    EventSequence seq = generateSequence("tl", gen, Rng(1));
+    SystemConfig cfg;
+    RunResult result = Simulation(cfg, standardRegistry()).run(seq);
+    EXPECT_EQ(result.timeline, nullptr);
+}
+
+TEST_F(TimelineRunTest, IntervalsNeverOverlapPerSlot)
+{
+    for (const char *sched : {"nimblock", "fcfs", "rr"}) {
+        RunResult result = run(sched);
+        ASSERT_NE(result.timeline, nullptr);
+        for (SlotId s = 0; s < 10; ++s) {
+            auto intervals = result.timeline->slotIntervals(s);
+            for (std::size_t i = 1; i < intervals.size(); ++i) {
+                EXPECT_GE(intervals[i].begin, intervals[i - 1].end)
+                    << sched << " slot " << s;
+            }
+            for (const SlotInterval &iv : intervals) {
+                EXPECT_GE(iv.end, iv.begin);
+                EXPECT_LE(iv.reconfigTime + iv.executeTime,
+                          iv.end - iv.begin + 1);
+            }
+        }
+    }
+}
+
+TEST_F(TimelineRunTest, ExecuteTimeMatchesRunTimeAccounting)
+{
+    RunResult result = run("fcfs");
+    SimTime timeline_execute = 0;
+    for (SlotId s = 0; s < 10; ++s) {
+        for (const SlotInterval &iv : result.timeline->slotIntervals(s))
+            timeline_execute += iv.executeTime;
+    }
+    SimTime record_run = 0;
+    for (const AppRecord &r : result.records)
+        record_run += r.runTime;
+    EXPECT_EQ(timeline_execute, record_run);
+}
+
+TEST_F(TimelineRunTest, DependencyOrderVisibleInTimeline)
+{
+    // For a single chain app, the first ItemEnd of task k+1 must come
+    // after the first ItemEnd of task k.
+    EventSequence seq;
+    seq.name = "chain";
+    seq.events.push_back(
+        WorkloadEvent{0, "optical_flow", 4, Priority::Medium, 0});
+    SystemConfig cfg;
+    cfg.scheduler = "nimblock";
+    cfg.recordTimeline = true;
+    RunResult result = Simulation(cfg, standardRegistry()).run(seq);
+
+    std::map<TaskId, SimTime> first_item_end;
+    for (const TimelineEvent &e : result.timeline->events()) {
+        if (e.kind == TimelineEventKind::ItemEnd &&
+            !first_item_end.count(e.task)) {
+            first_item_end[e.task] = e.time;
+        }
+    }
+    ASSERT_EQ(first_item_end.size(), 9u);
+    for (TaskId t = 1; t < 9; ++t)
+        EXPECT_GT(first_item_end[t], first_item_end[t - 1]);
+}
+
+TEST_F(TimelineRunTest, AsciiRenderHasOneRowPerSlot)
+{
+    RunResult result = run("nimblock");
+    std::string art = result.timeline->renderAscii(10, 0, result.makespan,
+                                                   60);
+    int rows = 0;
+    for (char c : art)
+        rows += c == '\n';
+    EXPECT_EQ(rows, 11); // Header + 10 slots.
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace nimblock

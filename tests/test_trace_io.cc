@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for trace text serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "workload/trace_io.hh"
+
+namespace nimblock {
+namespace {
+
+EventSequence
+sample()
+{
+    EventSequence seq;
+    seq.name = "sample";
+    seq.seed = 77;
+    seq.events = {
+        WorkloadEvent{0, "lenet", 5, Priority::Low, simtime::msF(10.5)},
+        WorkloadEvent{1, "alexnet", 30, Priority::High, simtime::msF(250)},
+    };
+    return seq;
+}
+
+TEST(TraceIo, RoundTripsThroughString)
+{
+    EventSequence seq = sample();
+    EventSequence parsed = traceFromString(traceToString(seq));
+    EXPECT_EQ(parsed.name, "sample");
+    EXPECT_EQ(parsed.seed, 77u);
+    ASSERT_EQ(parsed.events.size(), 2u);
+    EXPECT_EQ(parsed.events[0].appName, "lenet");
+    EXPECT_EQ(parsed.events[0].batch, 5);
+    EXPECT_EQ(parsed.events[0].priority, Priority::Low);
+    EXPECT_EQ(parsed.events[0].arrival, simtime::msF(10.5));
+    EXPECT_EQ(parsed.events[1].priority, Priority::High);
+}
+
+TEST(TraceIo, IgnoresCommentsAndBlankLines)
+{
+    std::string text = "# header comment\n"
+                       "\n"
+                       "seq t 1\n"
+                       "event 5.0 app 2 3  # trailing comment\n";
+    EventSequence seq = traceFromString(text);
+    ASSERT_EQ(seq.events.size(), 1u);
+    EXPECT_EQ(seq.events[0].appName, "app");
+    EXPECT_EQ(seq.events[0].priority, Priority::Medium);
+}
+
+TEST(TraceIo, RejectsUnknownDirective)
+{
+    EXPECT_THROW(traceFromString("bogus 1 2 3\n"), FatalError);
+}
+
+TEST(TraceIo, RejectsMalformedEvent)
+{
+    EXPECT_THROW(traceFromString("event 5.0 app\n"), FatalError);
+    EXPECT_THROW(traceFromString("event 5.0 app 2 7\n"), FatalError);
+}
+
+TEST(TraceIo, RejectsUnsortedEvents)
+{
+    std::string text = "event 10 a 1 1\nevent 5 b 1 1\n";
+    EXPECT_THROW(traceFromString(text), FatalError);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    EventSequence seq = sample();
+    std::string path = testing::TempDir() + "nimblock_trace.txt";
+    ASSERT_TRUE(writeTraceFile(seq, path));
+    EventSequence parsed = readTraceFile(path);
+    EXPECT_EQ(parsed.events.size(), seq.events.size());
+    EXPECT_EQ(parsed.events[1].appName, "alexnet");
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/path/trace.txt"), FatalError);
+}
+
+TEST(TraceIo, EventIndicesAreSequential)
+{
+    std::string text = "event 1 a 1 1\nevent 2 b 1 1\nevent 3 c 1 1\n";
+    EventSequence seq = traceFromString(text);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(seq.events[i].index, i);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for workload events, the generator and scenario presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace {
+
+GeneratorConfig
+baseConfig()
+{
+    GeneratorConfig cfg;
+    cfg.appPool = {"a", "b", "c"};
+    return cfg;
+}
+
+TEST(EventSequence, ValidateAcceptsSortedEvents)
+{
+    EventSequence seq;
+    seq.name = "ok";
+    seq.events = {WorkloadEvent{0, "a", 1, Priority::Low, simtime::ms(1)},
+                  WorkloadEvent{1, "b", 2, Priority::Low, simtime::ms(2)}};
+    EXPECT_NO_THROW(seq.validate());
+    EXPECT_EQ(seq.lastArrival(), simtime::ms(2));
+}
+
+TEST(EventSequence, ValidateRejectsUnsortedArrivals)
+{
+    EventSequence seq;
+    seq.name = "bad";
+    seq.events = {WorkloadEvent{0, "a", 1, Priority::Low, simtime::ms(5)},
+                  WorkloadEvent{1, "b", 1, Priority::Low, simtime::ms(2)}};
+    EXPECT_THROW(seq.validate(), FatalError);
+}
+
+TEST(EventSequence, ValidateRejectsBadBatchAndName)
+{
+    EventSequence seq;
+    seq.name = "bad";
+    seq.events = {WorkloadEvent{0, "", 1, Priority::Low, 0}};
+    EXPECT_THROW(seq.validate(), FatalError);
+    seq.events = {WorkloadEvent{0, "a", 0, Priority::Low, 0}};
+    EXPECT_THROW(seq.validate(), FatalError);
+}
+
+TEST(Generator, ProducesRequestedEventCount)
+{
+    GeneratorConfig cfg = baseConfig();
+    cfg.numEvents = 20;
+    EventSequence seq = generateSequence("t", cfg, Rng(1));
+    EXPECT_EQ(seq.events.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(seq.events[i].index, i);
+}
+
+TEST(Generator, RespectsDelayRange)
+{
+    GeneratorConfig cfg = baseConfig();
+    cfg.numEvents = 50;
+    cfg.minDelayMs = 150;
+    cfg.maxDelayMs = 200;
+    EventSequence seq = generateSequence("t", cfg, Rng(2));
+    SimTime prev = 0;
+    for (const WorkloadEvent &e : seq.events) {
+        SimTime delay = e.arrival - prev;
+        EXPECT_GE(delay, simtime::msF(150));
+        EXPECT_LE(delay, simtime::msF(200));
+        prev = e.arrival;
+    }
+}
+
+TEST(Generator, RespectsBatchRangeAndPriorities)
+{
+    GeneratorConfig cfg = baseConfig();
+    cfg.numEvents = 100;
+    cfg.minBatch = 1;
+    cfg.maxBatch = 30;
+    EventSequence seq = generateSequence("t", cfg, Rng(3));
+    for (const WorkloadEvent &e : seq.events) {
+        EXPECT_GE(e.batch, 1);
+        EXPECT_LE(e.batch, 30);
+        int p = static_cast<int>(e.priority);
+        EXPECT_TRUE(p == 1 || p == 3 || p == 9);
+    }
+}
+
+TEST(Generator, FixedBatchOverridesRange)
+{
+    GeneratorConfig cfg = baseConfig();
+    cfg.numEvents = 10;
+    cfg.fixedBatch = 5;
+    EventSequence seq = generateSequence("t", cfg, Rng(4));
+    for (const WorkloadEvent &e : seq.events)
+        EXPECT_EQ(e.batch, 5);
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    GeneratorConfig cfg = baseConfig();
+    EventSequence a = generateSequence("t", cfg, Rng(7));
+    EventSequence b = generateSequence("t", cfg, Rng(7));
+    EXPECT_EQ(a.events, b.events);
+    EventSequence c = generateSequence("t", cfg, Rng(8));
+    EXPECT_NE(a.events, c.events);
+}
+
+TEST(Generator, DrawsAllPoolMembers)
+{
+    GeneratorConfig cfg = baseConfig();
+    cfg.numEvents = 60;
+    EventSequence seq = generateSequence("t", cfg, Rng(9));
+    std::set<std::string> seen;
+    for (const WorkloadEvent &e : seq.events)
+        seen.insert(e.appName);
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Generator, SequencesAreIndependent)
+{
+    GeneratorConfig cfg = baseConfig();
+    auto seqs = generateSequences("p", 3, cfg, Rng(11));
+    ASSERT_EQ(seqs.size(), 3u);
+    EXPECT_EQ(seqs[0].name, "p/seq0");
+    EXPECT_NE(seqs[0].events, seqs[1].events);
+    EXPECT_NE(seqs[1].events, seqs[2].events);
+}
+
+TEST(Generator, RejectsBadConfig)
+{
+    GeneratorConfig cfg = baseConfig();
+    cfg.numEvents = 0;
+    EXPECT_THROW(generateSequence("t", cfg, Rng(1)), FatalError);
+
+    cfg = baseConfig();
+    cfg.appPool.clear();
+    EXPECT_THROW(generateSequence("t", cfg, Rng(1)), FatalError);
+
+    cfg = baseConfig();
+    cfg.minDelayMs = 100;
+    cfg.maxDelayMs = 50;
+    EXPECT_THROW(generateSequence("t", cfg, Rng(1)), FatalError);
+
+    cfg = baseConfig();
+    cfg.minBatch = 5;
+    cfg.maxBatch = 2;
+    EXPECT_THROW(generateSequence("t", cfg, Rng(1)), FatalError);
+
+    cfg = baseConfig();
+    cfg.priorities.clear();
+    EXPECT_THROW(generateSequence("t", cfg, Rng(1)), FatalError);
+}
+
+TEST(Scenario, NamesRoundTrip)
+{
+    for (Scenario s :
+         {Scenario::Standard, Scenario::Stress, Scenario::RealTime,
+          Scenario::Table3, Scenario::Ablation}) {
+        EXPECT_EQ(scenarioFromString(toString(s)), s);
+    }
+    EXPECT_THROW(scenarioFromString("bogus"), FatalError);
+}
+
+TEST(Scenario, PresetsMatchThePaper)
+{
+    std::vector<std::string> pool = {"a"};
+    auto std_cfg = scenarioConfig(Scenario::Standard, pool);
+    EXPECT_DOUBLE_EQ(std_cfg.minDelayMs, 1500.0);
+    EXPECT_DOUBLE_EQ(std_cfg.maxDelayMs, 2000.0);
+
+    auto stress = scenarioConfig(Scenario::Stress, pool);
+    EXPECT_DOUBLE_EQ(stress.minDelayMs, 150.0);
+    EXPECT_DOUBLE_EQ(stress.maxDelayMs, 200.0);
+
+    auto rt = scenarioConfig(Scenario::RealTime, pool);
+    EXPECT_DOUBLE_EQ(rt.minDelayMs, 50.0);
+    EXPECT_DOUBLE_EQ(rt.maxDelayMs, 50.0);
+
+    auto t3 = scenarioConfig(Scenario::Table3, pool);
+    EXPECT_EQ(t3.fixedBatch, 5);
+    EXPECT_DOUBLE_EQ(t3.minDelayMs, 500.0);
+
+    auto abl = scenarioConfig(Scenario::Ablation, pool, 10);
+    EXPECT_EQ(abl.fixedBatch, 10);
+    EXPECT_THROW(scenarioConfig(Scenario::Ablation, pool), FatalError);
+}
+
+TEST(Scenario, CongestionSetHasThreeEntries)
+{
+    auto set = congestionScenarios();
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[0], Scenario::Standard);
+    EXPECT_EQ(set[2], Scenario::RealTime);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_estimate_error"
+  "../bench/bench_estimate_error.pdb"
+  "CMakeFiles/bench_estimate_error.dir/bench_estimate_error.cc.o"
+  "CMakeFiles/bench_estimate_error.dir/bench_estimate_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimate_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

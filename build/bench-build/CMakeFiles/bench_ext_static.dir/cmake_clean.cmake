@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_static"
+  "../bench/bench_ext_static.pdb"
+  "CMakeFiles/bench_ext_static.dir/bench_ext_static.cc.o"
+  "CMakeFiles/bench_ext_static.dir/bench_ext_static.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_alexnet_response"
+  "../bench/bench_fig10_alexnet_response.pdb"
+  "CMakeFiles/bench_fig10_alexnet_response.dir/bench_fig10_alexnet_response.cc.o"
+  "CMakeFiles/bench_fig10_alexnet_response.dir/bench_fig10_alexnet_response.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_alexnet_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_deadlines"
+  "../bench/bench_fig7_deadlines.pdb"
+  "CMakeFiles/bench_fig7_deadlines.dir/bench_fig7_deadlines.cc.o"
+  "CMakeFiles/bench_fig7_deadlines.dir/bench_fig7_deadlines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

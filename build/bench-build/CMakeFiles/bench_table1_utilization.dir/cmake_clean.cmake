@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_utilization"
+  "../bench/bench_table1_utilization.pdb"
+  "CMakeFiles/bench_table1_utilization.dir/bench_table1_utilization.cc.o"
+  "CMakeFiles/bench_table1_utilization.dir/bench_table1_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_latencies"
+  "../bench/bench_table3_latencies.pdb"
+  "CMakeFiles/bench_table3_latencies.dir/bench_table3_latencies.cc.o"
+  "CMakeFiles/bench_table3_latencies.dir/bench_table3_latencies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

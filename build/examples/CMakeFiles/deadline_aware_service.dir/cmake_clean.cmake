@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_aware_service.dir/deadline_aware_service.cpp.o"
+  "CMakeFiles/deadline_aware_service.dir/deadline_aware_service.cpp.o.d"
+  "deadline_aware_service"
+  "deadline_aware_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_aware_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

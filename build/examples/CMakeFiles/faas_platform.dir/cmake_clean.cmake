@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_platform.dir/faas_platform.cpp.o"
+  "CMakeFiles/faas_platform.dir/faas_platform.cpp.o.d"
+  "faas_platform"
+  "faas_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

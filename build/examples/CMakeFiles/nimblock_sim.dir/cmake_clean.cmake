@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nimblock_sim.dir/nimblock_sim.cpp.o"
+  "CMakeFiles/nimblock_sim.dir/nimblock_sim.cpp.o.d"
+  "nimblock_sim"
+  "nimblock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nimblock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

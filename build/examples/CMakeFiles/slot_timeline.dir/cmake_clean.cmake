@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_timeline.dir/slot_timeline.cpp.o"
+  "CMakeFiles/slot_timeline.dir/slot_timeline.cpp.o.d"
+  "slot_timeline"
+  "slot_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/makespan.cc" "src/CMakeFiles/nimblock.dir/alloc/makespan.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/alloc/makespan.cc.o.d"
+  "/root/repo/src/alloc/saturation.cc" "src/CMakeFiles/nimblock.dir/alloc/saturation.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/alloc/saturation.cc.o.d"
+  "/root/repo/src/apps/app_spec.cc" "src/CMakeFiles/nimblock.dir/apps/app_spec.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/apps/app_spec.cc.o.d"
+  "/root/repo/src/apps/benchmarks.cc" "src/CMakeFiles/nimblock.dir/apps/benchmarks.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/apps/benchmarks.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/CMakeFiles/nimblock.dir/apps/registry.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/apps/registry.cc.o.d"
+  "/root/repo/src/apps/synthetic.cc" "src/CMakeFiles/nimblock.dir/apps/synthetic.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/apps/synthetic.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/nimblock.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/nimblock.dir/core/config.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/core/config.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/nimblock.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/CMakeFiles/nimblock.dir/core/simulation.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/core/simulation.cc.o.d"
+  "/root/repo/src/faas/service.cc" "src/CMakeFiles/nimblock.dir/faas/service.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/faas/service.cc.o.d"
+  "/root/repo/src/fabric/bitstream.cc" "src/CMakeFiles/nimblock.dir/fabric/bitstream.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/bitstream.cc.o.d"
+  "/root/repo/src/fabric/bitstream_store.cc" "src/CMakeFiles/nimblock.dir/fabric/bitstream_store.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/bitstream_store.cc.o.d"
+  "/root/repo/src/fabric/cap.cc" "src/CMakeFiles/nimblock.dir/fabric/cap.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/cap.cc.o.d"
+  "/root/repo/src/fabric/data_port.cc" "src/CMakeFiles/nimblock.dir/fabric/data_port.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/data_port.cc.o.d"
+  "/root/repo/src/fabric/fabric.cc" "src/CMakeFiles/nimblock.dir/fabric/fabric.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/fabric.cc.o.d"
+  "/root/repo/src/fabric/resources.cc" "src/CMakeFiles/nimblock.dir/fabric/resources.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/resources.cc.o.d"
+  "/root/repo/src/fabric/slot.cc" "src/CMakeFiles/nimblock.dir/fabric/slot.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/fabric/slot.cc.o.d"
+  "/root/repo/src/hypervisor/app_instance.cc" "src/CMakeFiles/nimblock.dir/hypervisor/app_instance.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/hypervisor/app_instance.cc.o.d"
+  "/root/repo/src/hypervisor/buffer_manager.cc" "src/CMakeFiles/nimblock.dir/hypervisor/buffer_manager.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/hypervisor/buffer_manager.cc.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cc" "src/CMakeFiles/nimblock.dir/hypervisor/hypervisor.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/hypervisor/hypervisor.cc.o.d"
+  "/root/repo/src/metrics/analysis.cc" "src/CMakeFiles/nimblock.dir/metrics/analysis.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/metrics/analysis.cc.o.d"
+  "/root/repo/src/metrics/collector.cc" "src/CMakeFiles/nimblock.dir/metrics/collector.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/metrics/collector.cc.o.d"
+  "/root/repo/src/metrics/deadline.cc" "src/CMakeFiles/nimblock.dir/metrics/deadline.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/metrics/deadline.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/nimblock.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/timeline.cc" "src/CMakeFiles/nimblock.dir/metrics/timeline.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/metrics/timeline.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "src/CMakeFiles/nimblock.dir/sched/factory.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/factory.cc.o.d"
+  "/root/repo/src/sched/fcfs.cc" "src/CMakeFiles/nimblock.dir/sched/fcfs.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/fcfs.cc.o.d"
+  "/root/repo/src/sched/nimblock.cc" "src/CMakeFiles/nimblock.dir/sched/nimblock.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/nimblock.cc.o.d"
+  "/root/repo/src/sched/no_sharing.cc" "src/CMakeFiles/nimblock.dir/sched/no_sharing.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/no_sharing.cc.o.d"
+  "/root/repo/src/sched/prema.cc" "src/CMakeFiles/nimblock.dir/sched/prema.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/prema.cc.o.d"
+  "/root/repo/src/sched/prema_tokens.cc" "src/CMakeFiles/nimblock.dir/sched/prema_tokens.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/prema_tokens.cc.o.d"
+  "/root/repo/src/sched/round_robin.cc" "src/CMakeFiles/nimblock.dir/sched/round_robin.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/round_robin.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/nimblock.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/static_alloc.cc" "src/CMakeFiles/nimblock.dir/sched/static_alloc.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sched/static_alloc.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/nimblock.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/nimblock.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/nimblock.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/sim/rng.cc.o.d"
+  "/root/repo/src/stats/csv.cc" "src/CMakeFiles/nimblock.dir/stats/csv.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/stats/csv.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/nimblock.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/nimblock.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/nimblock.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/stats/table.cc.o.d"
+  "/root/repo/src/taskgraph/builder.cc" "src/CMakeFiles/nimblock.dir/taskgraph/builder.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/taskgraph/builder.cc.o.d"
+  "/root/repo/src/taskgraph/graph_algos.cc" "src/CMakeFiles/nimblock.dir/taskgraph/graph_algos.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/taskgraph/graph_algos.cc.o.d"
+  "/root/repo/src/taskgraph/task_graph.cc" "src/CMakeFiles/nimblock.dir/taskgraph/task_graph.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/taskgraph/task_graph.cc.o.d"
+  "/root/repo/src/workload/event.cc" "src/CMakeFiles/nimblock.dir/workload/event.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/workload/event.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/nimblock.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/nimblock.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/nimblock.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/nimblock.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

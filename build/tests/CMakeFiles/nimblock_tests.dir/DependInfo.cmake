@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis_extras.cc" "tests/CMakeFiles/nimblock_tests.dir/test_analysis_extras.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_analysis_extras.cc.o.d"
+  "/root/repo/tests/test_app_instance.cc" "tests/CMakeFiles/nimblock_tests.dir/test_app_instance.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_app_instance.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/nimblock_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_bench_common.cc" "tests/CMakeFiles/nimblock_tests.dir/test_bench_common.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_bench_common.cc.o.d"
+  "/root/repo/tests/test_bitstream_store.cc" "tests/CMakeFiles/nimblock_tests.dir/test_bitstream_store.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_bitstream_store.cc.o.d"
+  "/root/repo/tests/test_buffer_manager.cc" "tests/CMakeFiles/nimblock_tests.dir/test_buffer_manager.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_buffer_manager.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/nimblock_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_cap.cc" "tests/CMakeFiles/nimblock_tests.dir/test_cap.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_cap.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/nimblock_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_deadline.cc" "tests/CMakeFiles/nimblock_tests.dir/test_deadline.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_deadline.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/nimblock_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/nimblock_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_faas.cc" "tests/CMakeFiles/nimblock_tests.dir/test_faas.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_faas.cc.o.d"
+  "/root/repo/tests/test_fabric.cc" "tests/CMakeFiles/nimblock_tests.dir/test_fabric.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_fabric.cc.o.d"
+  "/root/repo/tests/test_fault_injection.cc" "tests/CMakeFiles/nimblock_tests.dir/test_fault_injection.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_fault_injection.cc.o.d"
+  "/root/repo/tests/test_hypervisor.cc" "tests/CMakeFiles/nimblock_tests.dir/test_hypervisor.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_hypervisor.cc.o.d"
+  "/root/repo/tests/test_makespan.cc" "tests/CMakeFiles/nimblock_tests.dir/test_makespan.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_makespan.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/nimblock_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_misc_edges.cc" "tests/CMakeFiles/nimblock_tests.dir/test_misc_edges.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_misc_edges.cc.o.d"
+  "/root/repo/tests/test_nimblock.cc" "tests/CMakeFiles/nimblock_tests.dir/test_nimblock.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_nimblock.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/nimblock_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/nimblock_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_saturation.cc" "tests/CMakeFiles/nimblock_tests.dir/test_saturation.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_saturation.cc.o.d"
+  "/root/repo/tests/test_schedulers.cc" "tests/CMakeFiles/nimblock_tests.dir/test_schedulers.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_schedulers.cc.o.d"
+  "/root/repo/tests/test_simulation.cc" "tests/CMakeFiles/nimblock_tests.dir/test_simulation.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_simulation.cc.o.d"
+  "/root/repo/tests/test_slot.cc" "tests/CMakeFiles/nimblock_tests.dir/test_slot.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_slot.cc.o.d"
+  "/root/repo/tests/test_stall_rescue.cc" "tests/CMakeFiles/nimblock_tests.dir/test_stall_rescue.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_stall_rescue.cc.o.d"
+  "/root/repo/tests/test_static_alloc.cc" "tests/CMakeFiles/nimblock_tests.dir/test_static_alloc.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_static_alloc.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/nimblock_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_task_graph.cc" "tests/CMakeFiles/nimblock_tests.dir/test_task_graph.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_task_graph.cc.o.d"
+  "/root/repo/tests/test_timeline.cc" "tests/CMakeFiles/nimblock_tests.dir/test_timeline.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_timeline.cc.o.d"
+  "/root/repo/tests/test_tokens.cc" "tests/CMakeFiles/nimblock_tests.dir/test_tokens.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_tokens.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/nimblock_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/nimblock_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/nimblock_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nimblock.dir/DependInfo.cmake"
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

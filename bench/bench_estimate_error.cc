@@ -52,6 +52,7 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"error", "scheduler", "avg_reduction"});
 
+    std::uint64_t total_runs = 0;
     for (double error : errors) {
         Rng rng(opts.seed ^ 0xe57e57);
         AppRegistry registry = perturbedRegistry(env.registry, error, rng);
@@ -60,8 +61,10 @@ main(int argc, char **argv)
         // nothing — rerun it against the same perturbed registry for a
         // like-for-like comparison anyway.
         ExperimentGrid grid(env.config, registry);
+        grid.setJobs(opts.jobs);
         auto results =
             grid.runAll({"baseline", "prema", "nimblock"}, seqs);
+        total_runs += 3 * seqs.size();
 
         std::vector<std::string> row = {
             formatMessage("±%.0f%%", error * 100)};
@@ -83,5 +86,6 @@ main(int argc, char **argv)
                 "decisions (the paper's case for estimate-driven "
                 "scheduling without an ILP).\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

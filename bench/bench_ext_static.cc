@@ -37,10 +37,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"scenario", "scheduler", "avg_reduction"});
 
+    std::uint64_t total_runs = 0;
     for (Scenario scenario : congestionScenarios()) {
         auto seqs = env.sequences(scenario);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
 
         std::vector<std::string> row = {toString(scenario)};
         for (const char *algo : {"prema", "static", "nimblock"}) {
@@ -67,6 +69,7 @@ main(int argc, char **argv)
         auto seqs = env.sequences(Scenario::Stress);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
         auto unit = grid.deadlineUnit();
         for (const char *algo : {"prema", "static", "nimblock"}) {
             auto cmp = ExperimentGrid::compare(results.at(algo),
@@ -89,5 +92,6 @@ main(int argc, char **argv)
                 "case against static, prior-knowledge scheduling for "
                 "real-time use.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

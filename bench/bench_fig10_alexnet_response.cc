@@ -36,10 +36,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"batch", "scheduler", "alexnet_response_s"});
 
+    std::uint64_t total_runs = 0;
     for (int batch : batches) {
         auto seqs = env.sequences(Scenario::Ablation, batch);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
 
         std::vector<std::string> row = {
             Table::cell(static_cast<std::int64_t>(batch))};
@@ -64,5 +66,6 @@ main(int argc, char **argv)
                 "pipelining variants; NoPipe variants overlap and grow "
                 "fastest.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

@@ -37,10 +37,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"batch", "scheduler", "items_per_sec"});
 
+    std::uint64_t total_runs = 0;
     for (int batch : batches) {
         auto seqs = env.sequences(Scenario::Ablation, batch);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
 
         std::vector<std::string> row = {
             Table::cell(static_cast<std::int64_t>(batch))};
@@ -64,5 +66,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: pipelining variants sustain the highest "
                 "throughput; curves flatten beyond batch ~5.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

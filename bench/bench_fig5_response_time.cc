@@ -39,10 +39,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"scenario", "scheduler", "avg_reduction"});
 
+    std::uint64_t total_runs = 0;
     for (Scenario scenario : congestionScenarios()) {
         auto seqs = env.sequences(scenario);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
 
         std::vector<std::string> row = {toString(scenario)};
         for (const auto &algo : algos) {
@@ -62,5 +64,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: Nimblock highest in every scenario; "
                 "RR/FCFS near or below 1x in real-time.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

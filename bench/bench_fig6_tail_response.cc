@@ -38,10 +38,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"scenario", "percentile", "scheduler", "tail_reduction"});
 
+    std::uint64_t total_runs = 0;
     for (Scenario scenario : congestionScenarios()) {
         auto seqs = env.sequences(scenario);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
 
         for (double pct : {95.0, 99.0}) {
             std::vector<std::string> row = {
@@ -64,5 +66,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: Nimblock best at p95 everywhere; RR/FCFS "
                 "collapse at real-time p99.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

@@ -34,10 +34,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"scenario", "scheduler", "ds", "violation_rate"});
 
+    std::uint64_t total_runs = 0;
     for (Scenario scenario : congestionScenarios()) {
         auto seqs = env.sequences(scenario);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
         auto unit = grid.deadlineUnit();
 
         Table table(formatMessage("%s test: violation rate (%%) by D_s",
@@ -71,5 +73,6 @@ main(int argc, char **argv)
                 "in every scenario and earliest 10%% error point in stress "
                 "and real-time.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

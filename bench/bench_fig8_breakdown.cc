@@ -25,6 +25,7 @@ main(int argc, char **argv)
     auto seqs = env.sequences(Scenario::Table3);
     auto grid = env.grid();
     auto results = grid.runAll({"nimblock"}, seqs);
+    std::uint64_t total_runs = seqs.size();
     auto breakdown = timeBreakdownByApp(results.at("nimblock").allRecords());
 
     Table table("Proportion of total application time (%)");
@@ -46,5 +47,6 @@ main(int argc, char **argv)
                 "run-dominated; short benchmarks show visible PR and wait "
                 "shares.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

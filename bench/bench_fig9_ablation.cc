@@ -37,10 +37,12 @@ main(int argc, char **argv)
     CsvWriter csv;
     csv.setHeader({"batch", "scheduler", "relative_response"});
 
+    std::uint64_t total_runs = 0;
     for (int batch : batches) {
         auto seqs = env.sequences(Scenario::Ablation, batch);
         auto grid = env.grid();
         auto results = grid.runAll(algos, seqs);
+        total_runs += algos.size() * seqs.size();
 
         std::vector<std::string> row = {Table::cell(
             static_cast<std::int64_t>(batch))};
@@ -67,5 +69,6 @@ main(int argc, char **argv)
                 "removing pipelining ~1.2x; removing both is only "
                 "marginally worse than removing pipelining alone.\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

@@ -53,6 +53,7 @@ main(int argc, char **argv)
     auto seqs = env.sequences(Scenario::Table3);
     auto grid = env.grid();
     auto results = grid.runAll(evaluationSchedulers(), seqs);
+    std::uint64_t total_runs = evaluationSchedulers().size() * seqs.size();
 
     Table resp_table("Mean response time (s) per benchmark");
     std::vector<std::string> header = {"Benchmark"};
@@ -86,5 +87,6 @@ main(int argc, char **argv)
                 "response times by orders of magnitude; Nimblock leads on "
                 "longer benchmarks (OF, AN).\n");
     maybeWriteCsv(opts, csv);
+    printFooter(total_runs);
     return 0;
 }

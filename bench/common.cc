@@ -1,14 +1,21 @@
 #include "common.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "core/parallel.hh"
 #include "sim/logging.hh"
 #include "workload/generator.hh"
 
 namespace nimblock {
 namespace bench {
+
+namespace {
+/** Wall-clock anchor set by printHeader() and read by printFooter(). */
+std::chrono::steady_clock::time_point gBenchStart;
+} // namespace
 
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
@@ -27,14 +34,19 @@ BenchOptions::parse(int argc, char **argv)
             opts.events = std::atoi(next());
         } else if (arg == "--seed") {
             opts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            int jobs = std::atoi(next());
+            if (jobs < 1)
+                fatal("--jobs must be at least 1");
+            opts.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--quick") {
             opts.sequences = 3;
             opts.events = 10;
         } else if (arg == "--csv") {
             opts.csvPath = next();
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("flags: --sequences N --events N --seed S --quick "
-                        "--csv PATH\n");
+            std::printf("flags: --sequences N --events N --seed S --jobs N "
+                        "--quick --csv PATH\n");
             std::exit(0);
         } else {
             fatal("unknown flag '%s'", arg.c_str());
@@ -43,6 +55,12 @@ BenchOptions::parse(int argc, char **argv)
     if (opts.sequences < 1 || opts.events < 1)
         fatal("--sequences and --events must be positive");
     return opts;
+}
+
+unsigned
+BenchOptions::effectiveJobs() const
+{
+    return jobs == 0 ? defaultParallelism() : jobs;
 }
 
 BenchEnv::BenchEnv(const BenchOptions &o)
@@ -67,10 +85,28 @@ BenchEnv::sequences(Scenario scenario, int fixed_batch) const
 void
 printHeader(const std::string &what, const BenchOptions &opts)
 {
+    gBenchStart = std::chrono::steady_clock::now();
     std::printf("== %s ==\n", what.c_str());
-    std::printf("stimuli: %d sequences x %d events, seed %llu\n\n",
+    std::printf("stimuli: %d sequences x %d events, seed %llu, %u job%s\n\n",
                 opts.sequences, opts.events,
-                static_cast<unsigned long long>(opts.seed));
+                static_cast<unsigned long long>(opts.seed),
+                opts.effectiveJobs(),
+                opts.effectiveJobs() == 1 ? "" : "s");
+}
+
+void
+printFooter(std::uint64_t totalRuns)
+{
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - gBenchStart;
+    double sec = elapsed.count();
+    if (totalRuns > 0 && sec > 0) {
+        std::printf("\nwall-clock: %.2fs (%llu runs, %.1f runs/sec)\n", sec,
+                    static_cast<unsigned long long>(totalRuns),
+                    static_cast<double>(totalRuns) / sec);
+    } else {
+        std::printf("\nwall-clock: %.2fs\n", sec);
+    }
 }
 
 void

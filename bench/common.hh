@@ -9,6 +9,7 @@
  *   --sequences N   sequences per scenario      (default 10, paper: 10)
  *   --events N      events per sequence         (default 20, paper: 20)
  *   --seed S        workload master seed        (default 2023)
+ *   --jobs N        worker threads for the grid (default: all cores)
  *   --quick         3 sequences x 10 events, for smoke runs
  *   --csv PATH      also dump the figure's data as CSV
  */
@@ -34,10 +35,15 @@ struct BenchOptions
     int sequences = 10;
     int events = 20;
     std::uint64_t seed = 2023;
+    /** Worker threads for experiment grids; 0 = hardware concurrency. */
+    unsigned jobs = 0;
     std::string csvPath;
 
     /** Parse argv; fatal()s on unknown flags. */
     static BenchOptions parse(int argc, char **argv);
+
+    /** jobs with 0 resolved to the actual hardware default. */
+    unsigned effectiveJobs() const;
 };
 
 /** A ready-to-run experiment environment. */
@@ -53,12 +59,29 @@ struct BenchEnv
     std::vector<EventSequence> sequences(Scenario scenario,
                                          int fixed_batch = 0) const;
 
-    /** Grid bound to this environment's config/registry. */
-    ExperimentGrid grid() const { return {config, registry}; }
+    /** Grid bound to this environment's config/registry/jobs. */
+    ExperimentGrid
+    grid() const
+    {
+        ExperimentGrid g{config, registry};
+        g.setJobs(opts.jobs);
+        return g;
+    }
 };
 
-/** Print a standard bench header. */
+/**
+ * Print a standard bench header and start the wall-clock timer read by
+ * printFooter().
+ */
 void printHeader(const std::string &what, const BenchOptions &opts);
+
+/**
+ * Print the standard bench footer: wall-clock since printHeader() and,
+ * when @p totalRuns is nonzero, the grid throughput in runs/sec.
+ *
+ * @param totalRuns Number of (scheduler x sequence) simulations executed.
+ */
+void printFooter(std::uint64_t totalRuns);
 
 /** Write @p csv to opts.csvPath when set. */
 void maybeWriteCsv(const BenchOptions &opts, const CsvWriter &csv);

@@ -166,7 +166,7 @@ ClusterSimulation::run(const EventSequence &seq)
         simtime::sec(60);
 
     for (const WorkloadEvent &e : seq.events) {
-        eq.schedule(e.arrival, "cluster_arrival:" + e.appName,
+        eq.schedule(e.arrival, "cluster_arrival",
                     [&cluster, &result, this, e] {
                         int b = cluster.submit(_registry, e);
                         result.boardOfEvent[static_cast<std::size_t>(

@@ -1,5 +1,8 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
+
+#include "core/parallel.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -18,20 +21,41 @@ ExperimentGrid::ExperimentGrid(SystemConfig cfg, AppRegistry registry)
 {
 }
 
+ExperimentGrid &
+ExperimentGrid::setJobs(unsigned jobs)
+{
+    _jobs = jobs;
+    return *this;
+}
+
 std::map<std::string, SchedulerResults>
 ExperimentGrid::runAll(const std::vector<std::string> &schedulers,
                        const std::vector<EventSequence> &sequences)
 {
-    std::map<std::string, SchedulerResults> out;
-    for (const std::string &name : schedulers) {
-        SchedulerResults results;
-        results.scheduler = name;
+    const std::size_t num_seqs = sequences.size();
+    const std::size_t num_pairs = schedulers.size() * num_seqs;
+
+    // Every (scheduler, sequence) pair is an independent deterministic
+    // simulation; job k writes only to slot k, so the assembled output is
+    // identical for any thread count.
+    std::vector<RunResult> slots(num_pairs);
+    auto run_one = [&](std::size_t k) {
         SystemConfig cfg = _cfg;
-        cfg.scheduler = name;
-        Simulation sim(cfg, _registry);
-        for (const EventSequence &seq : sequences)
-            results.runs.push_back(sim.run(seq));
-        out.emplace(name, std::move(results));
+        cfg.scheduler = schedulers[k / num_seqs];
+        slots[k] = Simulation(cfg, _registry).run(sequences[k % num_seqs]);
+    };
+
+    unsigned jobs = _jobs == 0 ? defaultParallelism() : _jobs;
+    parallelFor(jobs, num_pairs, run_one);
+
+    std::map<std::string, SchedulerResults> out;
+    for (std::size_t s = 0; s < schedulers.size(); ++s) {
+        SchedulerResults results;
+        results.scheduler = schedulers[s];
+        results.runs.reserve(num_seqs);
+        for (std::size_t q = 0; q < num_seqs; ++q)
+            results.runs.push_back(std::move(slots[s * num_seqs + q]));
+        out.emplace(schedulers[s], std::move(results));
     }
     return out;
 }

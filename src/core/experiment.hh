@@ -41,7 +41,25 @@ class ExperimentGrid
     ExperimentGrid(SystemConfig cfg, AppRegistry registry);
 
     /**
+     * Set the worker-thread budget for runAll().
+     *
+     * 1 (the default) selects the plain sequential path; 0 means
+     * defaultParallelism(). Results are byte-identical for every value:
+     * each (scheduler, sequence) pair runs in a fresh Simulation and is
+     * written to a result slot fixed by index, so assembly order never
+     * depends on thread timing.
+     */
+    ExperimentGrid &setJobs(unsigned jobs);
+
+    /** Current worker-thread budget (0 = hardware concurrency). */
+    unsigned jobs() const { return _jobs; }
+
+    /**
      * Run every scheduler over every sequence.
+     *
+     * All (scheduler x sequence) pairs are independent deterministic
+     * simulations; with jobs() > 1 they are fanned out across a thread
+     * pool and reassembled in deterministic order.
      *
      * @param schedulers Scheduler names; must include "baseline" if
      *                   baseline-relative statistics are wanted.
@@ -70,6 +88,7 @@ class ExperimentGrid
   private:
     SystemConfig _cfg;
     AppRegistry _registry;
+    unsigned _jobs = 1;
 };
 
 } // namespace nimblock

@@ -1,0 +1,130 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+
+namespace nimblock {
+
+unsigned
+defaultParallelism()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultParallelism();
+    _workers.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+ThreadPool::drainBatch(const std::function<void(std::size_t)> &fn,
+                       std::size_t end)
+{
+    for (;;) {
+        std::size_t i = _next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end)
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(_mu);
+            if (!_error)
+                _error = std::current_exception();
+            // Abandon the rest of the batch.
+            _next.store(end, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t end = 0;
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _wake.wait(lk, [&] { return _stop || _epoch != seen; });
+            if (_stop)
+                return;
+            seen = _epoch;
+            fn = _fn;
+            end = _end;
+        }
+        drainBatch(*fn, end);
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            if (--_working == 0)
+                _done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (_workers.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _fn = &fn;
+        _end = n;
+        _next.store(0, std::memory_order_relaxed);
+        _error = nullptr;
+        _working = static_cast<unsigned>(_workers.size());
+        ++_epoch;
+    }
+    _wake.notify_all();
+
+    drainBatch(fn, n);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _done.wait(lk, [&] { return _working == 0; });
+        _fn = nullptr;
+        error = _error;
+        _error = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(unsigned jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n)));
+    pool.parallelFor(n, fn);
+}
+
+} // namespace nimblock

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for embarrassingly parallel experiment
+ * grids.
+ *
+ * The pool exposes a single primitive, parallelFor(n, fn), which invokes
+ * fn(0) .. fn(n-1) exactly once each across the pool's threads. Callers
+ * obtain determinism by having fn(i) write only to result slot i: the
+ * mapping from job index to output position is fixed up front, so the
+ * assembled output never depends on thread timing.
+ */
+
+#ifndef NIMBLOCK_CORE_PARALLEL_HH
+#define NIMBLOCK_CORE_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nimblock {
+
+/** Hardware concurrency, clamped to at least 1. */
+unsigned defaultParallelism();
+
+/**
+ * A fixed-size pool of worker threads driving index-based job batches.
+ *
+ * The calling thread participates in every batch, so a pool constructed
+ * with `threads = N` runs jobs on up to N threads total (N-1 workers plus
+ * the caller). `threads <= 1` creates no workers and parallelFor degrades
+ * to a plain sequential loop — the deterministic reference path.
+ *
+ * Not itself thread-safe: parallelFor must only be called from the thread
+ * that owns the pool, one batch at a time.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Total parallelism; 0 means defaultParallelism(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (worker threads + the calling thread). */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(_workers.size()) + 1;
+    }
+
+    /**
+     * Invoke fn(i) for every i in [0, n) and wait for completion.
+     *
+     * Indices are claimed dynamically, so per-index cost may vary freely.
+     * If any invocation throws, the first exception (in completion order)
+     * is rethrown here after the batch drains; remaining unclaimed indices
+     * are abandoned.
+     */
+    void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    /** Claim and run indices of the current batch until exhausted. */
+    void drainBatch(const std::function<void(std::size_t)> &fn,
+                    std::size_t end);
+
+    std::vector<std::thread> _workers;
+
+    std::mutex _mu;
+    std::condition_variable _wake; //!< Workers wait for a new batch.
+    std::condition_variable _done; //!< parallelFor waits for the batch.
+    std::uint64_t _epoch = 0;      //!< Bumped once per batch.
+    bool _stop = false;
+
+    // State of the in-flight batch (guarded by _mu except _next).
+    const std::function<void(std::size_t)> *_fn = nullptr;
+    std::size_t _end = 0;
+    std::atomic<std::size_t> _next{0};
+    unsigned _working = 0; //!< Workers still draining the current batch.
+    std::exception_ptr _error;
+};
+
+/**
+ * One-shot convenience: run fn(0) .. fn(n-1) on up to @p jobs threads.
+ *
+ * jobs <= 1 runs sequentially on the calling thread.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CORE_PARALLEL_HH

@@ -46,7 +46,7 @@ Simulation::run(const EventSequence &seq)
     // Inject every event at its arrival time.
     for (const WorkloadEvent &e : seq.events) {
         AppSpecPtr spec = _registry.get(e.appName);
-        eq.schedule(e.arrival, "arrival:" + e.appName,
+        eq.schedule(e.arrival, "arrival",
                     [&hyp, spec, e] {
                         hyp.submit(spec, e.batch, e.priority, e.index);
                     });

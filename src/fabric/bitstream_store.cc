@@ -59,8 +59,7 @@ BitstreamStore::startNextLoad()
         return;
     _busy = true;
     const PendingLoad &load = _queue.front();
-    _eq.scheduleAfter(loadLatency(load.bytes),
-                      "sd_load:" + load.key.toString(),
+    _eq.scheduleAfter(loadLatency(load.bytes), "sd_load",
                       [this] { finishLoad(); });
 }
 

@@ -38,8 +38,7 @@ Cap::startNext()
     _busy = true;
     SimTime latency = reconfigLatency(_queue.front().bytes);
     _eq.scheduleAfter(
-        latency,
-        formatMessage("cap_reconfig:s%u", _queue.front().slot),
+        latency, "cap_reconfig",
         [this, latency] {
             _busyTime += latency;
             Request &head = _queue.front();

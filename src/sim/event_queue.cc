@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <cstdio>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -30,29 +31,45 @@ toString(SimTime t)
 } // namespace simtime
 
 EventId
-EventQueue::schedule(SimTime when, std::string name, Callback cb)
+EventQueue::schedule(SimTime when, const char *name, Callback cb)
 {
     if (when < _now) {
         panic("event '%s' scheduled at %s which is before now (%s)",
-              name.c_str(), simtime::toString(when).c_str(),
+              name, simtime::toString(when).c_str(),
               simtime::toString(_now).c_str());
     }
-    EventId id = _nextSeq++;
-    _live.emplace(id, Entry{std::move(name), std::move(cb)});
-    _heap.push(HeapItem{when, id, id});
+    std::uint32_t slot;
+    if (!_free.empty()) {
+        slot = _free.back();
+        _free.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(_slots.size());
+        _slots.emplace_back();
+    }
+    Slot &s = _slots[slot];
+    ++s.gen;
+    s.live = true;
+    s.name = name;
+    s.cb = std::move(cb);
+    ++_liveCount;
+    EventId id = makeId(s.gen, slot);
+    _heap.push(HeapItem{when, _nextSeq++, id});
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    return _live.erase(id) > 0;
+    if (!isLive(id))
+        return false;
+    release(slotOf(id));
+    return true;
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!_heap.empty() && !_live.count(_heap.top().id))
+    while (!_heap.empty() && !isLive(_heap.top().id))
         _heap.pop();
 }
 
@@ -72,9 +89,9 @@ EventQueue::step()
 
     HeapItem item = _heap.top();
     _heap.pop();
-    auto it = _live.find(item.id);
-    Callback cb = std::move(it->second.cb);
-    _live.erase(it);
+    Slot &s = _slots[slotOf(item.id)];
+    Callback cb = std::move(s.cb);
+    release(slotOf(item.id));
     _now = item.when;
     ++_fired;
     cb();
@@ -95,12 +112,12 @@ EventQueue::run(SimTime horizon)
     return fired;
 }
 
-PeriodicEvent::PeriodicEvent(EventQueue &eq, SimTime period, std::string name,
+PeriodicEvent::PeriodicEvent(EventQueue &eq, SimTime period, const char *name,
                              std::function<void()> cb)
-    : _eq(eq), _period(period), _name(std::move(name)), _cb(std::move(cb))
+    : _eq(eq), _period(period), _name(name), _cb(std::move(cb))
 {
     if (period <= 0)
-        panic("periodic event '%s' needs a positive period", _name.c_str());
+        panic("periodic event '%s' needs a positive period", _name);
 }
 
 void

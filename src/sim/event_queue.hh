@@ -7,6 +7,12 @@
  * item completion, scheduler tick) is an Event scheduled at an absolute
  * SimTime. Events at equal timestamps fire in insertion order, which makes
  * whole-system runs bit-reproducible for a given seed and configuration.
+ *
+ * The schedule/fire path is allocation-free beyond the amortized growth of
+ * the internal vectors: event state lives in a recycled slot vector
+ * addressed by index, handles carry a generation counter so stale
+ * cancellations are rejected without any hash-map probe, and debug labels
+ * are stored as non-owning pointers to string literals.
  */
 
 #ifndef NIMBLOCK_SIM_EVENT_QUEUE_HH
@@ -15,15 +21,18 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hh"
 
 namespace nimblock {
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Opaque handle used to cancel a scheduled event.
+ *
+ * Encodes a slot index and a generation; a handle stays invalid forever
+ * once its event fires or is cancelled, even if the slot is recycled.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel handle denoting "no event". */
@@ -52,17 +61,19 @@ class EventQueue
      * Schedule @p cb to fire at absolute time @p when.
      *
      * @param when Absolute timestamp; must be >= now().
-     * @param name Debug label recorded with the event.
+     * @param name Debug label recorded with the event. Stored as a
+     *             non-owning pointer: pass a string literal (or another
+     *             string whose lifetime covers the event's).
      * @param cb   Callback invoked when the event fires.
      * @return Handle usable with cancel().
      */
-    EventId schedule(SimTime when, std::string name, Callback cb);
+    EventId schedule(SimTime when, const char *name, Callback cb);
 
     /** Schedule @p cb to fire @p delay after now(). */
     EventId
-    scheduleAfter(SimTime delay, std::string name, Callback cb)
+    scheduleAfter(SimTime delay, const char *name, Callback cb)
     {
-        return schedule(_now + delay, std::move(name), std::move(cb));
+        return schedule(_now + delay, name, std::move(cb));
     }
 
     /**
@@ -74,10 +85,10 @@ class EventQueue
     bool cancel(EventId id);
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pendingCount() const { return _live.size(); }
+    std::size_t pendingCount() const { return _liveCount; }
 
     /** True when no live events remain. */
-    bool empty() const { return _live.empty(); }
+    bool empty() const { return _liveCount == 0; }
 
     /**
      * Fire the single earliest pending event.
@@ -102,11 +113,24 @@ class EventQueue
     /** Timestamp of the earliest pending event, or kTimeNone if empty. */
     SimTime nextEventTime();
 
+    /**
+     * Heap entries (live + cancelled garbage) currently held. Exposed for
+     * tests; always >= pendingCount().
+     */
+    std::size_t heapSize() const { return _heap.size(); }
+
   private:
-    struct Entry
+    /**
+     * Recycled storage for one scheduled event. The generation increments
+     * every time the slot is handed out, invalidating handles from
+     * previous occupants.
+     */
+    struct Slot
     {
-        std::string name;
         Callback cb;
+        const char *name = nullptr;
+        std::uint32_t gen = 0;
+        bool live = false;
     };
 
     struct HeapItem
@@ -127,6 +151,40 @@ class EventQueue
         }
     };
 
+    static constexpr EventId
+    makeId(std::uint32_t gen, std::uint32_t slot)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    static constexpr std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    static constexpr std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    bool
+    isLive(EventId id) const
+    {
+        std::uint32_t slot = slotOf(id);
+        return slot < _slots.size() && _slots[slot].live &&
+               _slots[slot].gen == genOf(id);
+    }
+
+    /** Mark @p slot free and invalidate its current handle. */
+    void
+    release(std::uint32_t slot)
+    {
+        _slots[slot].live = false;
+        _slots[slot].cb = nullptr;
+        _free.push_back(slot);
+        --_liveCount;
+    }
+
     /** Drop heap entries whose event has been cancelled. */
     void skipDead();
 
@@ -134,7 +192,9 @@ class EventQueue
     std::uint64_t _nextSeq = 1;
     std::uint64_t _fired = 0;
     std::priority_queue<HeapItem, std::vector<HeapItem>, HeapItemLater> _heap;
-    std::unordered_map<EventId, Entry> _live;
+    std::vector<Slot> _slots;
+    std::vector<std::uint32_t> _free;
+    std::size_t _liveCount = 0;
 };
 
 /**
@@ -147,10 +207,10 @@ class PeriodicEvent
     /**
      * @param eq     Queue to schedule on.
      * @param period Interval between firings; must be positive.
-     * @param name   Debug label.
+     * @param name   Debug label (non-owning; pass a string literal).
      * @param cb     Invoked every period until stop() is called.
      */
-    PeriodicEvent(EventQueue &eq, SimTime period, std::string name,
+    PeriodicEvent(EventQueue &eq, SimTime period, const char *name,
                   std::function<void()> cb);
 
     /** Begin firing; first firing is one period from now. */
@@ -166,7 +226,7 @@ class PeriodicEvent
 
     EventQueue &_eq;
     SimTime _period;
-    std::string _name;
+    const char *_name;
     std::function<void()> _cb;
     EventId _armed = kEventNone;
     bool _running = false;

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,7 +8,24 @@
 namespace nimblock {
 
 namespace {
-bool gQuiet = false;
+
+std::atomic<bool> gQuiet{false};
+
+/**
+ * Emit one fully formatted line with a single write so concurrent
+ * simulation runs never interleave mid-line.
+ */
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 } // namespace
 
 std::string
@@ -58,37 +76,37 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (gQuiet)
+    if (gQuiet.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformatMessage(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: ", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (gQuiet)
+    if (gQuiet.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformatMessage(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info: ", msg);
 }
 
 void
 setQuiet(bool quiet)
 {
-    gQuiet = quiet;
+    gQuiet.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return gQuiet;
+    return gQuiet.load(std::memory_order_relaxed);
 }
 
 } // namespace nimblock

@@ -220,6 +220,116 @@ TEST(PeriodicEvent, StartIsIdempotent)
     EXPECT_EQ(count, 3);
 }
 
+TEST(EventQueue, MassCancellationLeavesHeapGarbageButZeroPending)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(eq.schedule(simtime::ms(i + 1), "bulk", [] {}));
+    for (EventId id : ids)
+        EXPECT_TRUE(eq.cancel(id));
+
+    // The heap still holds the cancelled entries until they are skipped,
+    // but the live count is already exact.
+    EXPECT_EQ(eq.pendingCount(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_GE(eq.heapSize(), 100u);
+
+    // Draining skips every dead entry without firing anything.
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_EQ(eq.firedCount(), 0u);
+    EXPECT_EQ(eq.heapSize(), 0u);
+}
+
+TEST(EventQueue, SkipDeadFindsSurvivorAmongGarbage)
+{
+    EventQueue eq;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 50; ++i)
+        doomed.push_back(eq.schedule(simtime::ms(i + 1), "doomed", [] {}));
+    bool fired = false;
+    eq.schedule(simtime::ms(200), "survivor", [&] { fired = true; });
+    for (EventId id : doomed)
+        eq.cancel(id);
+
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    EXPECT_EQ(eq.nextEventTime(), simtime::ms(200));
+    EXPECT_TRUE(eq.step());
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.now(), simtime::ms(200));
+}
+
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot)
+{
+    EventQueue eq;
+    // Fire e1 so its internal slot is recycled for e2.
+    EventId e1 = eq.schedule(simtime::ms(1), "first", [] {});
+    eq.run();
+    bool fired = false;
+    EventId e2 = eq.schedule(simtime::ms(2), "second", [&] { fired = true; });
+    EXPECT_NE(e1, e2);
+
+    // The stale handle must not cancel the slot's new occupant.
+    EXPECT_FALSE(eq.cancel(e1));
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelledSlotRecycledForNewEvent)
+{
+    EventQueue eq;
+    EventId e1 = eq.schedule(simtime::ms(5), "victim", [] {});
+    EXPECT_TRUE(eq.cancel(e1));
+    int fired = 0;
+    eq.schedule(simtime::ms(3), "fresh", [&] { ++fired; });
+    EXPECT_FALSE(eq.cancel(e1)); // stale handle, recycled or not
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.firedCount(), 1u);
+}
+
+TEST(EventQueue, SchedulingFromCallbackReusesFreedSlots)
+{
+    EventQueue eq;
+    // A chain of events where each firing schedules the next; slot reuse
+    // during the firing callback must not corrupt the in-flight event.
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 20)
+            eq.scheduleAfter(simtime::ms(1), "hop", hop);
+    };
+    eq.schedule(simtime::ms(1), "hop", hop);
+    eq.run();
+    EXPECT_EQ(hops, 20);
+    EXPECT_EQ(eq.now(), simtime::ms(20));
+}
+
+TEST(EventQueue, LabelOutlivesCallSite)
+{
+    EventQueue eq;
+    EventId id = kEventNone;
+    {
+        // Literals have static storage duration, so taking the label from
+        // an inner scope is safe under the non-owning representation.
+        id = eq.schedule(simtime::ms(1), "inner_scope_literal", [] {});
+    }
+    EXPECT_NE(id, kEventNone);
+    EXPECT_EQ(eq.run(), 1u);
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastPanicsWithLabel)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            eq.schedule(simtime::ms(10), "mover", [&eq] {
+                eq.schedule(simtime::ms(1), "time_traveler", [] {});
+            });
+            eq.run();
+        },
+        "time_traveler");
+}
+
 TEST(SimTimeHelpers, UnitConversions)
 {
     EXPECT_EQ(simtime::us(1), 1000);

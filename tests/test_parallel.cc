@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the thread pool and the parallel experiment engine: pool
+ * coverage/exception semantics, and byte-identical runAll() results for
+ * any job count across all evaluation schedulers.
+ */
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/experiment.hh"
+#include "core/parallel.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum += static_cast<int>(i);
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, SingleThreadedPoolIsSequential)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallelFor(10, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](std::size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+
+    // The pool must stay usable after a failed batch.
+    std::atomic<int> count{0};
+    pool.parallelFor(32, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelFor, FreeFunctionCoversAllIndices)
+{
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(8, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, MoreJobsThanItems)
+{
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(16, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallelism, DefaultIsAtLeastOne)
+{
+    EXPECT_GE(defaultParallelism(), 1u);
+}
+
+/** Fixture running a small grid over all five evaluation schedulers. */
+class ParallelGridTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    std::vector<EventSequence>
+    sequences() const
+    {
+        AppRegistry registry = standardRegistry();
+        GeneratorConfig gen =
+            scenarioConfig(Scenario::Standard, registry.names());
+        gen.numEvents = 6;
+        Rng rng(2023);
+        return generateSequences("par", 3, gen, rng);
+    }
+
+    static void
+    expectSameRecord(const AppRecord &a, const AppRecord &b)
+    {
+        EXPECT_EQ(a.eventIndex, b.eventIndex);
+        EXPECT_EQ(a.appName, b.appName);
+        EXPECT_EQ(a.batch, b.batch);
+        EXPECT_EQ(a.priority, b.priority);
+        EXPECT_EQ(a.arrival, b.arrival);
+        EXPECT_EQ(a.firstLaunch, b.firstLaunch);
+        EXPECT_EQ(a.retire, b.retire);
+        EXPECT_EQ(a.runTime, b.runTime);
+        EXPECT_EQ(a.reconfigTime, b.reconfigTime);
+        EXPECT_EQ(a.reconfigs, b.reconfigs);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+    }
+
+    static void
+    expectSameResults(const std::map<std::string, SchedulerResults> &a,
+                      const std::map<std::string, SchedulerResults> &b)
+    {
+        ASSERT_EQ(a.size(), b.size());
+        for (const auto &[name, res_a] : a) {
+            ASSERT_EQ(b.count(name), 1u) << name;
+            const SchedulerResults &res_b = b.at(name);
+            EXPECT_EQ(res_a.scheduler, res_b.scheduler);
+            ASSERT_EQ(res_a.runs.size(), res_b.runs.size());
+            for (std::size_t i = 0; i < res_a.runs.size(); ++i) {
+                const RunResult &ra = res_a.runs[i];
+                const RunResult &rb = res_b.runs[i];
+                EXPECT_EQ(ra.scheduler, rb.scheduler);
+                EXPECT_EQ(ra.sequenceName, rb.sequenceName);
+                EXPECT_EQ(ra.makespan, rb.makespan);
+                EXPECT_EQ(ra.eventsFired, rb.eventsFired);
+
+                const HypervisorStats &ha = ra.hypervisorStats;
+                const HypervisorStats &hb = rb.hypervisorStats;
+                EXPECT_EQ(ha.appsAdmitted, hb.appsAdmitted);
+                EXPECT_EQ(ha.appsRetired, hb.appsRetired);
+                EXPECT_EQ(ha.configuresIssued, hb.configuresIssued);
+                EXPECT_EQ(ha.reconfigSkips, hb.reconfigSkips);
+                EXPECT_EQ(ha.preemptionsRequested, hb.preemptionsRequested);
+                EXPECT_EQ(ha.preemptionsHonored, hb.preemptionsHonored);
+                EXPECT_EQ(ha.checkpointPreemptions, hb.checkpointPreemptions);
+                EXPECT_EQ(ha.schedulingPasses, hb.schedulingPasses);
+                EXPECT_EQ(ha.stallRescues, hb.stallRescues);
+                EXPECT_EQ(ha.itemsExecuted, hb.itemsExecuted);
+
+                const NimblockStats &na = ra.nimblockStats;
+                const NimblockStats &nb = rb.nimblockStats;
+                EXPECT_EQ(na.reallocations, nb.reallocations);
+                EXPECT_EQ(na.preemptionsIssued, nb.preemptionsIssued);
+                EXPECT_EQ(na.delayedPreemptions, nb.delayedPreemptions);
+                EXPECT_EQ(na.opportunisticConfigures,
+                          nb.opportunisticConfigures);
+
+                ASSERT_EQ(ra.records.size(), rb.records.size());
+                for (std::size_t r = 0; r < ra.records.size(); ++r)
+                    expectSameRecord(ra.records[r], rb.records[r]);
+            }
+        }
+    }
+};
+
+TEST_F(ParallelGridTest, JobsFourMatchesJobsOneForAllSchedulers)
+{
+    SystemConfig cfg;
+    AppRegistry registry = standardRegistry();
+    std::vector<std::string> schedulers = evaluationSchedulers();
+    ASSERT_EQ(schedulers.size(), 5u);
+    std::vector<EventSequence> seqs = sequences();
+
+    ExperimentGrid sequential(cfg, registry);
+    sequential.setJobs(1);
+    auto serial = sequential.runAll(schedulers, seqs);
+
+    ExperimentGrid threaded(cfg, registry);
+    threaded.setJobs(4);
+    auto parallel = threaded.runAll(schedulers, seqs);
+
+    expectSameResults(serial, parallel);
+}
+
+TEST_F(ParallelGridTest, AutoJobsMatchesSequential)
+{
+    SystemConfig cfg;
+    AppRegistry registry = standardRegistry();
+    std::vector<std::string> schedulers = {"baseline", "nimblock"};
+    std::vector<EventSequence> seqs = sequences();
+
+    ExperimentGrid sequential(cfg, registry);
+    auto serial = sequential.runAll(schedulers, seqs);
+    EXPECT_EQ(sequential.jobs(), 1u);
+
+    ExperimentGrid automatic(cfg, registry);
+    automatic.setJobs(0); // hardware concurrency
+    auto parallel = automatic.runAll(schedulers, seqs);
+
+    expectSameResults(serial, parallel);
+}
+
+TEST_F(ParallelGridTest, FatalInsideWorkerPropagates)
+{
+    SystemConfig cfg;
+    AppRegistry registry = standardRegistry();
+    ExperimentGrid grid(cfg, registry);
+    grid.setJobs(4);
+    // Unknown scheduler names fatal() inside the worker thread; the
+    // exception must surface on the calling thread.
+    EXPECT_THROW(grid.runAll({"no_such_scheduler"}, sequences()),
+                 FatalError);
+}
+
+} // namespace
+} // namespace nimblock

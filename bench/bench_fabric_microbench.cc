@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/benchmarks.hh"
+#include "core/memhook.hh"
 #include "fabric/fabric.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -18,10 +19,34 @@ namespace {
 
 using namespace nimblock;
 
+/**
+ * Enable allocation counting for one benchmark's measured region and
+ * report allocations per processed item as a counter. The bench binary
+ * links the memhook archive, so operator new/delete feed the counters.
+ */
+class AllocScope
+{
+  public:
+    AllocScope()
+    {
+        memhook::reset();
+        memhook::setEnabled(true);
+    }
+
+    void
+    finish(benchmark::State &state, double items)
+    {
+        memhook::setEnabled(false);
+        state.counters["allocs/item"] = benchmark::Counter(
+            static_cast<double>(memhook::allocCount()) / items);
+    }
+};
+
 void
 BM_EventQueueScheduleFire(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
+    AllocScope allocs;
     for (auto _ : state) {
         EventQueue eq;
         int fired = 0;
@@ -32,9 +57,67 @@ BM_EventQueueScheduleFire(benchmark::State &state)
         benchmark::DoNotOptimize(fired);
     }
     state.SetItemsProcessed(state.iterations() * n);
+    allocs.finish(state,
+                  static_cast<double>(state.iterations()) * n);
 }
 
 BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(10000);
+
+/** Same workload with pre-sized storage (the simulation driver's mode). */
+void
+BM_EventQueueScheduleFireReserved(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    AllocScope allocs;
+    for (auto _ : state) {
+        EventQueue eq;
+        eq.reserve(n);
+        int fired = 0;
+        for (int i = 0; i < n; ++i) {
+            eq.schedule(simtime::us(i), "e", [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    allocs.finish(state,
+                  static_cast<double>(state.iterations()) * n);
+}
+
+BENCHMARK(BM_EventQueueScheduleFireReserved)->Arg(1000)->Arg(10000);
+
+/**
+ * Steady-state schedule/fire cycle on one long-lived queue whose storage
+ * already sits at its high-water mark: the allocs/item counter must read
+ * zero, making "the hot path allocates nothing" a measured number.
+ */
+void
+BM_EventQueueSteadyState(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    EventQueue eq;
+    eq.reserve(n);
+    int fired = 0;
+    // Prime the free list and the heap to their steady footprint.
+    for (int i = 0; i < n; ++i)
+        eq.schedule(eq.now() + simtime::us(i), "e", [&fired] { ++fired; });
+    eq.run();
+
+    AllocScope allocs;
+    for (auto _ : state) {
+        for (int i = 0; i < n; ++i) {
+            eq.schedule(eq.now() + simtime::us(i), "e",
+                        [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    allocs.finish(state,
+                  static_cast<double>(state.iterations()) * n);
+}
+
+BENCHMARK(BM_EventQueueSteadyState)->Arg(1000)->Arg(10000);
 
 void
 BM_BitstreamStoreHitPath(benchmark::State &state)
@@ -42,7 +125,7 @@ BM_BitstreamStoreHitPath(benchmark::State &state)
     setQuiet(true);
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
-    BitstreamKey key{"app", 0, 0};
+    BitstreamKey key{0, 0, 0};
     bool loaded = false;
     store.ensureLoaded(key, 8 << 20, [&loaded] { loaded = true; });
     eq.run();

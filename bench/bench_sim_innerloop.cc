@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Whole-simulation inner-loop benchmark.
+ *
+ * Runs every evaluation scheduler over one compressed stress sequence and
+ * reports, per scheduler:
+ *
+ *   - events/sec and passes/sec over the whole run (wall clock, best of
+ *     --reps repetitions), and
+ *   - allocations per fired event inside the steady-state window,
+ *     measured with the counting allocator hook (core/memhook.hh).
+ *
+ * The steady-state window opens once every application has been admitted
+ * and closes at the first retirement: between those points the simulation
+ * is pure scheduling — no instance construction, no record emission — so
+ * the allocation count isolates the inner loop. Arrivals are compressed
+ * to 1 ms spacing to guarantee the window is non-empty (admissions take
+ * ~20 ms of simulated time; the shortest application runs for seconds).
+ *
+ * Results are also written as BENCH_innerloop.json (override with
+ * --json PATH) for the CI bench-smoke artifact.
+ *
+ *   bench_sim_innerloop [--events N] [--seed S] [--reps R] [--json PATH]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "core/config.hh"
+#include "core/memhook.hh"
+#include "fabric/fabric.hh"
+#include "hypervisor/hypervisor.hh"
+#include "metrics/collector.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace nimblock;
+
+struct Options
+{
+    int events = 20;
+    std::uint64_t seed = 2023;
+    int reps = 3;
+    std::string jsonPath = "BENCH_innerloop.json";
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--events")
+            o.events = std::atoi(next());
+        else if (arg == "--seed")
+            o.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--reps")
+            o.reps = std::atoi(next());
+        else if (arg == "--json")
+            o.jsonPath = next();
+        else
+            fatal("unknown flag '%s'", arg.c_str());
+    }
+    if (o.events < 2 || o.reps < 1)
+        fatal("need at least 2 events and 1 rep");
+    return o;
+}
+
+/** Per-scheduler measurement. */
+struct Result
+{
+    std::string scheduler;
+    std::uint64_t eventsFired = 0;
+    std::uint64_t passes = 0;
+    double wallSec = 0; //!< Best-of-reps whole-run wall time.
+    std::uint64_t windowEvents = 0;
+    std::uint64_t windowAllocs = 0;
+    std::uint64_t windowAllocBytes = 0;
+
+    double eventsPerSec() const { return eventsFired / wallSec; }
+    double passesPerSec() const { return passes / wallSec; }
+    double
+    allocsPerEvent() const
+    {
+        return windowEvents
+                   ? static_cast<double>(windowAllocs) / windowEvents
+                   : 0.0;
+    }
+};
+
+/** One full simulated run with the steady-state window instrumented. */
+Result
+runOnce(const std::string &scheduler_name, const SystemConfig &cfg,
+        const AppRegistry &registry, const EventSequence &seq)
+{
+    EventQueue eq;
+    Fabric fabric(eq, cfg.fabric);
+    auto scheduler = makeScheduler(scheduler_name);
+    MetricsCollector collector;
+    Hypervisor hyp(eq, fabric, *scheduler, collector, cfg.hypervisor);
+
+    SimTime total_work = 0;
+    for (const WorkloadEvent &e : seq.events)
+        total_work += cfg.singleSlotLatency(*registry.get(e.appName),
+                                            e.batch);
+    SimTime horizon =
+        seq.lastArrival() +
+        static_cast<SimTime>(cfg.horizonFactor *
+                             static_cast<double>(total_work)) +
+        simtime::sec(60);
+
+    eq.reserve(seq.events.size() + 64);
+    collector.reserve(seq.events.size());
+
+    for (const WorkloadEvent &e : seq.events) {
+        AppSpecPtr spec = registry.get(e.appName);
+        eq.schedule(e.arrival, "arrival",
+                    [&hyp, spec, batch = e.batch, priority = e.priority,
+                     index = e.index] {
+                        hyp.submit(spec, batch, priority, index);
+                    });
+    }
+
+    hyp.start();
+
+    Result r;
+    r.scheduler = scheduler_name;
+    const std::size_t total = seq.events.size();
+    bool window_open = false, window_done = false, stopped = false;
+    std::uint64_t window_start_fired = 0;
+    // Pre-step snapshots so the window excludes the step that closes it:
+    // the first retirement emits an AppRecord (a cold-path allocation by
+    // definition), and counting must stop before it.
+    std::uint64_t pre_allocs = 0, pre_bytes = 0, pre_fired = 0;
+
+    auto t0 = std::chrono::steady_clock::now();
+    while (!eq.empty()) {
+        if (window_open) {
+            pre_allocs = memhook::allocCount();
+            pre_bytes = memhook::allocBytes();
+            pre_fired = eq.firedCount();
+        }
+        if (!eq.step())
+            break;
+        if (!window_open && !window_done &&
+            hyp.stats().appsAdmitted == total && collector.count() == 0) {
+            window_open = true;
+            window_start_fired = eq.firedCount();
+            memhook::reset();
+            memhook::setEnabled(true);
+        }
+        if (window_open && collector.count() > 0) {
+            memhook::setEnabled(false);
+            window_open = false;
+            window_done = true;
+            r.windowEvents = pre_fired - window_start_fired;
+            r.windowAllocs = pre_allocs;
+            r.windowAllocBytes = pre_bytes;
+        }
+        if (!stopped && collector.count() == total) {
+            hyp.stop();
+            stopped = true;
+        }
+        if (eq.now() > horizon) {
+            fatal("scheduler '%s' stalled in the inner-loop bench",
+                  scheduler_name.c_str());
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    memhook::setEnabled(false);
+
+    if (collector.count() != total)
+        fatal("run ended with %zu/%zu applications retired",
+              collector.count(), total);
+
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    r.eventsFired = eq.firedCount();
+    r.passes = hyp.stats().schedulingPasses;
+    return r;
+}
+
+void
+writeJson(const std::string &path, const std::vector<Result> &results,
+          const Options &opts)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", path.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"sim_innerloop\",\n");
+    std::fprintf(f, "  \"events\": %d,\n  \"seed\": %llu,\n",
+                 opts.events, static_cast<unsigned long long>(opts.seed));
+    std::fprintf(f, "  \"schedulers\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"events_fired\": %llu, "
+            "\"passes\": %llu, \"wall_sec\": %.6f, "
+            "\"events_per_sec\": %.0f, \"passes_per_sec\": %.0f, "
+            "\"window_events\": %llu, \"window_allocs\": %llu, "
+            "\"window_alloc_bytes\": %llu, \"allocs_per_event\": %.4f}%s\n",
+            r.scheduler.c_str(),
+            static_cast<unsigned long long>(r.eventsFired),
+            static_cast<unsigned long long>(r.passes), r.wallSec,
+            r.eventsPerSec(), r.passesPerSec(),
+            static_cast<unsigned long long>(r.windowEvents),
+            static_cast<unsigned long long>(r.windowAllocs),
+            static_cast<unsigned long long>(r.windowAllocBytes),
+            r.allocsPerEvent(), i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseOptions(argc, argv);
+    setQuiet(true);
+
+    AppRegistry registry = standardRegistry();
+    SystemConfig cfg;
+
+    GeneratorConfig gen =
+        scenarioConfig(Scenario::Stress, registry.names());
+    gen.numEvents = opts.events;
+    EventSequence seq =
+        generateSequence("innerloop", gen, Rng(opts.seed));
+    // Compress arrivals so every admission precedes the first
+    // retirement, making the steady-state window well defined.
+    for (std::size_t i = 0; i < seq.events.size(); ++i)
+        seq.events[i].arrival = simtime::ms(static_cast<double>(i));
+
+    std::printf("# bench_sim_innerloop: %d events, seed %llu, %d reps\n",
+                opts.events, static_cast<unsigned long long>(opts.seed),
+                opts.reps);
+    std::printf("%-10s %12s %12s %12s %14s %12s\n", "scheduler",
+                "events", "events/s", "passes/s", "window-allocs",
+                "allocs/ev");
+
+    std::vector<Result> results;
+    for (const std::string &name : evaluationSchedulers()) {
+        Result best;
+        for (int rep = 0; rep < opts.reps; ++rep) {
+            Result r = runOnce(name, cfg, registry, seq);
+            if (rep == 0 || r.wallSec < best.wallSec)
+                best = r;
+        }
+        std::printf("%-10s %12llu %12.0f %12.0f %14llu %12.4f\n",
+                    best.scheduler.c_str(),
+                    static_cast<unsigned long long>(best.eventsFired),
+                    best.eventsPerSec(), best.passesPerSec(),
+                    static_cast<unsigned long long>(best.windowAllocs),
+                    best.allocsPerEvent());
+        results.push_back(best);
+    }
+
+    writeJson(opts.jsonPath, results, opts);
+    std::printf("# wrote %s\n", opts.jsonPath.c_str());
+    return 0;
+}

@@ -1,0 +1,229 @@
+#include "core/memhook.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <execinfo.h>
+#include <unistd.h>
+
+namespace nimblock {
+namespace memhook {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+/**
+ * NIMBLOCK_MEMHOOK_TRACE=1 dumps a raw backtrace to stderr for every
+ * counted allocation — the debugging companion to the counters (pipe
+ * through addr2line/c++filt to name the call sites). backtrace() is
+ * primed at first query so its own lazy setup is not misattributed.
+ */
+bool
+traceWanted()
+{
+    static const bool wanted = [] {
+        if (!std::getenv("NIMBLOCK_MEMHOOK_TRACE"))
+            return false;
+        void *prime[2];
+        backtrace(prime, 2);
+        return true;
+    }();
+    return wanted;
+}
+
+void
+noteAlloc(std::size_t size)
+{
+    if (g_enabled.load(std::memory_order_relaxed)) {
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+        g_bytes.fetch_add(size, std::memory_order_relaxed);
+        if (traceWanted()) {
+            void *frames[24];
+            int n = backtrace(frames, 24);
+            backtrace_symbols_fd(frames, n, STDERR_FILENO);
+            [[maybe_unused]] auto r = write(STDERR_FILENO, "----\n", 5);
+        }
+    }
+}
+
+void
+noteFree()
+{
+    if (g_enabled.load(std::memory_order_relaxed))
+        g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void *
+allocOrThrow(std::size_t size)
+{
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    noteAlloc(size);
+    return p;
+}
+
+void *
+allocAlignedOrThrow(std::size_t size, std::size_t align)
+{
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t padded = (size + align - 1) / align * align;
+    if (padded == 0)
+        padded = align;
+    void *p = std::aligned_alloc(align, padded);
+    if (!p)
+        throw std::bad_alloc();
+    noteAlloc(size);
+    return p;
+}
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+allocCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+freeCount()
+{
+    return g_frees.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+allocBytes()
+{
+    return g_bytes.load(std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_frees.store(0, std::memory_order_relaxed);
+    g_bytes.store(0, std::memory_order_relaxed);
+}
+
+} // namespace memhook
+} // namespace nimblock
+
+// Global replacements. These live in the same object file as the memhook
+// API, so only binaries that use the API get the counting allocator.
+
+void *
+operator new(std::size_t size)
+{
+    return nimblock::memhook::allocOrThrow(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return nimblock::memhook::allocOrThrow(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    void *p = std::malloc(size ? size : 1);
+    if (p)
+        nimblock::memhook::noteAlloc(size);
+    return p;
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    void *p = std::malloc(size ? size : 1);
+    if (p)
+        nimblock::memhook::noteAlloc(size);
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return nimblock::memhook::allocAlignedOrThrow(
+        size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return nimblock::memhook::allocAlignedOrThrow(
+        size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    if (p) {
+        nimblock::memhook::noteFree();
+        std::free(p);
+    }
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    if (p) {
+        nimblock::memhook::noteFree();
+        std::free(p);
+    }
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    operator delete(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    operator delete[](p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    operator delete(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    operator delete[](p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    operator delete(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    operator delete[](p);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Vector-backed FIFO ring buffer.
+ *
+ * std::deque frees and reallocates its fixed-size blocks as elements
+ * stream through, so a steady push/pop cycle still touches the allocator
+ * every few dozen operations. The fabric request queues (CAP, data port,
+ * bitstream store) cycle continuously in the simulation inner loop;
+ * RingQueue keeps their storage resident, growing only when the queue's
+ * high-water mark rises.
+ */
+
+#ifndef NIMBLOCK_CORE_RING_QUEUE_HH
+#define NIMBLOCK_CORE_RING_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nimblock {
+
+/** FIFO queue over a circular vector; storage never shrinks. */
+template <typename T>
+class RingQueue
+{
+  public:
+    RingQueue() = default;
+
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+
+    /** Reserve capacity for at least @p n elements. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > _buf.size())
+            grow(n);
+    }
+
+    void
+    push_back(T value)
+    {
+        if (_count == _buf.size())
+            grow(_buf.size() ? _buf.size() * 2 : 8);
+        _buf[(_head + _count) % _buf.size()] = std::move(value);
+        ++_count;
+    }
+
+    /**
+     * Append and return a recycled element: the slot retains whatever
+     * heap buffers a previous occupant left behind (see
+     * pop_front_keep()), so the caller can refill them in place without
+     * reallocating. The returned element's state is unspecified.
+     */
+    T &
+    push_reuse()
+    {
+        if (_count == _buf.size())
+            grow(_buf.size() ? _buf.size() * 2 : 8);
+        T &e = _buf[(_head + _count) % _buf.size()];
+        ++_count;
+        return e;
+    }
+
+    T &front() { return _buf[_head]; }
+    const T &front() const { return _buf[_head]; }
+
+    /** Element @p i positions behind the front (0 == front). */
+    T &operator[](std::size_t i) { return _buf[(_head + i) % _buf.size()]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return _buf[(_head + i) % _buf.size()];
+    }
+
+    T &back() { return (*this)[_count - 1]; }
+    const T &back() const { return (*this)[_count - 1]; }
+
+    void
+    pop_front()
+    {
+        _buf[_head] = T{}; // Release resources held by the element now.
+        _head = (_head + 1) % _buf.size();
+        --_count;
+    }
+
+    /**
+     * Drop the front WITHOUT resetting it, leaving its heap buffers in
+     * the slot for a later push_reuse() to refill. The caller must have
+     * moved out or finished with the element's contents.
+     */
+    void
+    pop_front_keep()
+    {
+        _head = (_head + 1) % _buf.size();
+        --_count;
+    }
+
+    void
+    clear()
+    {
+        while (_count > 0)
+            pop_front();
+        _head = 0;
+    }
+
+  private:
+    void
+    grow(std::size_t capacity)
+    {
+        std::vector<T> next(capacity);
+        for (std::size_t i = 0; i < _count; ++i)
+            next[i] = std::move(_buf[(_head + i) % _buf.size()]);
+        _buf = std::move(next);
+        _head = 0;
+    }
+
+    std::vector<T> _buf;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CORE_RING_QUEUE_HH

@@ -32,23 +32,37 @@ Simulation::run(const EventSequence &seq)
     }
 
     // Progress horizon: generous multiple of the total serialized work.
+    // The same sweep sizes the steady-state storage: every arrival is
+    // pre-scheduled (bounding concurrently pending events), one record is
+    // produced per event, and each task contributes two timeline
+    // transitions per batch item plus configure/release bookkeeping.
     SimTime total_work = 0;
+    std::size_t expected_transitions = 0;
     for (const WorkloadEvent &e : seq.events) {
-        total_work +=
-            _cfg.singleSlotLatency(*_registry.get(e.appName), e.batch);
+        AppSpecPtr spec = _registry.get(e.appName);
+        total_work += _cfg.singleSlotLatency(*spec, e.batch);
+        expected_transitions +=
+            spec->numTasks() * (2 * static_cast<std::size_t>(e.batch) + 3);
     }
+    eq.reserve(seq.events.size() + 64);
+    collector.reserve(seq.events.size());
+    if (timeline)
+        timeline->reserve(expected_transitions);
     SimTime horizon =
         seq.lastArrival() +
         static_cast<SimTime>(_cfg.horizonFactor *
                              static_cast<double>(total_work)) +
         simtime::sec(60);
 
-    // Inject every event at its arrival time.
+    // Inject every event at its arrival time. Capturing the few scalar
+    // fields (not the whole WorkloadEvent with its name string) keeps the
+    // closure inside the event queue's inline callback buffer.
     for (const WorkloadEvent &e : seq.events) {
         AppSpecPtr spec = _registry.get(e.appName);
         eq.schedule(e.arrival, "arrival",
-                    [&hyp, spec, e] {
-                        hyp.submit(spec, e.batch, e.priority, e.index);
+                    [&hyp, spec, batch = e.batch, priority = e.priority,
+                     index = e.index] {
+                        hyp.submit(spec, batch, priority, index);
                     });
     }
 

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable.
+ *
+ * The simulation inner loop schedules millions of short-lived callbacks
+ * whose captures are a handful of pointers and integers. std::function
+ * only inlines trivially-copyable captures up to 16 bytes (libstdc++), so
+ * the hypervisor's three-to-five-word lambdas heap-allocate on every
+ * schedule. SmallFunction widens the inline buffer to 48 bytes — enough
+ * for every callback the simulator schedules in steady state — and keeps a
+ * heap fallback for oversized captures (setup-time lambdas only).
+ *
+ * Move-only by design: callbacks are scheduled once and fired once, and
+ * copyability is what forces std::function to type-erase a copy
+ * constructor per callable. Trivially-copyable inline captures move with
+ * a single memcpy and need no destructor call at all.
+ */
+
+#ifndef NIMBLOCK_CORE_SMALL_FUNCTION_HH
+#define NIMBLOCK_CORE_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nimblock {
+
+/** Inline capture capacity of SmallFunction, in bytes. */
+inline constexpr std::size_t kSmallFunctionInlineBytes = 48;
+
+template <typename Signature,
+          std::size_t N = kSmallFunctionInlineBytes>
+class SmallFunction;
+
+/**
+ * Move-only type-erased callable with an N-byte inline buffer.
+ *
+ * Callables that fit the buffer (size <= N, alignment <=
+ * alignof(std::max_align_t), nothrow-move-constructible) are stored
+ * inline; trivially-copyable ones additionally move via memcpy with no
+ * manager call. Larger callables are heap-allocated.
+ */
+template <typename R, typename... Args, std::size_t N>
+class SmallFunction<R(Args...), N>
+{
+  public:
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFunction(F &&f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
+
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFunction &
+    operator=(F &&f)
+    {
+        reset();
+        construct(std::forward<F>(f));
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return _invoke != nullptr; }
+
+    friend bool
+    operator==(const SmallFunction &f, std::nullptr_t)
+    {
+        return !f;
+    }
+
+    friend bool
+    operator!=(const SmallFunction &f, std::nullptr_t)
+    {
+        return static_cast<bool>(f);
+    }
+
+    R
+    operator()(Args... args)
+    {
+        return _invoke(_buf, std::forward<Args>(args)...);
+    }
+
+  private:
+    enum class Op
+    {
+        Move,   //!< Relocate from src buffer into dst buffer.
+        Destroy //!< Destroy the object in src buffer.
+    };
+
+    using Invoke = R (*)(void *, Args...);
+    using Manager = void (*)(Op, void *src, void *dst);
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        constexpr bool fits =
+            sizeof(Fn) <= N && alignof(Fn) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<Fn>;
+
+        if constexpr (fits) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
+            _invoke = [](void *buf, Args... args) -> R {
+                return (*std::launder(reinterpret_cast<Fn *>(buf)))(
+                    std::forward<Args>(args)...);
+            };
+            if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                            std::is_trivially_destructible_v<Fn>)) {
+                _manager = [](Op op, void *src, void *dst) {
+                    Fn *obj = std::launder(reinterpret_cast<Fn *>(src));
+                    if (op == Op::Move)
+                        ::new (dst) Fn(std::move(*obj));
+                    obj->~Fn();
+                };
+            }
+        } else {
+            Fn *obj = new Fn(std::forward<F>(f));
+            std::memcpy(_buf, &obj, sizeof(obj));
+            _invoke = [](void *buf, Args... args) -> R {
+                Fn *p;
+                std::memcpy(&p, buf, sizeof(p));
+                return (*p)(std::forward<Args>(args)...);
+            };
+            _manager = [](Op op, void *src, void *dst) {
+                if (op == Op::Move) {
+                    std::memcpy(dst, src, sizeof(Fn *));
+                    return;
+                }
+                Fn *p;
+                std::memcpy(&p, src, sizeof(p));
+                delete p;
+            };
+        }
+    }
+
+    void
+    moveFrom(SmallFunction &other) noexcept
+    {
+        _invoke = other._invoke;
+        _manager = other._manager;
+        if (_invoke) {
+            if (_manager)
+                _manager(Op::Move, other._buf, _buf);
+            else
+                std::memcpy(_buf, other._buf, N);
+        }
+        other._invoke = nullptr;
+        other._manager = nullptr;
+    }
+
+    void
+    reset()
+    {
+        if (_manager)
+            _manager(Op::Destroy, _buf, nullptr);
+        _invoke = nullptr;
+        _manager = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char _buf[N];
+    Invoke _invoke = nullptr;
+    Manager _manager = nullptr;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CORE_SMALL_FUNCTION_HH

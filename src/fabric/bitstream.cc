@@ -7,7 +7,7 @@ namespace nimblock {
 std::string
 BitstreamKey::toString() const
 {
-    return formatMessage("%s_t%u_s%u.bit", appName.c_str(), task, slot);
+    return formatMessage("bs%u_t%u_s%u.bit", name, task, slot);
 }
 
 } // namespace nimblock

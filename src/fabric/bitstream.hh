@@ -25,16 +25,28 @@ using SlotId = std::uint32_t;
 /** Sentinel slot id. */
 inline constexpr SlotId kSlotNone = UINT32_MAX;
 
+/**
+ * Interned application-name handle used in bitstream identities (see
+ * Fabric::internBitstreamName). Keys are compared and hashed on every
+ * configure and cache probe, so they carry the 32-bit handle instead of
+ * the name string — equality becomes an integer compare and key copies
+ * never touch the allocator.
+ */
+using BitstreamNameId = std::uint32_t;
+
+/** Sentinel bitstream name id. */
+inline constexpr BitstreamNameId kBitstreamNameNone = UINT32_MAX;
+
 /** Identity of one partial bitstream file on the SD card. */
 struct BitstreamKey
 {
-    std::string appName; //!< Application (spec) name.
+    BitstreamNameId name = kBitstreamNameNone; //!< Interned app name.
     TaskId task = kTaskNone;
     SlotId slot = kSlotNone;
 
     bool operator==(const BitstreamKey &o) const = default;
 
-    /** Filename-style rendering for logs. */
+    /** Filename-style rendering for logs ("bs<name>_t<task>_s<slot>"). */
     std::string toString() const;
 };
 
@@ -44,10 +56,10 @@ struct BitstreamKeyHash
     std::size_t
     operator()(const BitstreamKey &k) const
     {
-        std::size_t h = std::hash<std::string>{}(k.appName);
-        h ^= std::hash<std::uint64_t>{}(
-                 (static_cast<std::uint64_t>(k.task) << 32) | k.slot) +
-             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        std::size_t h = std::hash<std::uint64_t>{}(
+            (static_cast<std::uint64_t>(k.name) << 32) | k.task);
+        h ^= std::hash<std::uint64_t>{}(k.slot) + 0x9e3779b97f4a7c15ULL +
+             (h << 6) + (h >> 2);
         return h;
     }
 };

@@ -11,6 +11,17 @@ BitstreamStore::BitstreamStore(EventQueue &eq, BitstreamStoreConfig cfg)
 {
     if (cfg.sdBandwidthBytesPerSec <= 0)
         fatal("SD bandwidth must be positive");
+    // Pre-size the hot-path storage: the cache table grows one entry per
+    // distinct bitstream until capacity pressure starts recycling slots,
+    // and the load queue's callback vectors are reused in place. Priming
+    // them here keeps the steady-state loop away from the allocator.
+    _entries.reserve(256);
+    _cbScratch.reserve(8);
+    _queue.reserve(16);
+    for (int i = 0; i < 16; ++i)
+        _queue.push_reuse().callbacks.reserve(4);
+    for (int i = 0; i < 16; ++i)
+        _queue.pop_front_keep();
 }
 
 SimTime
@@ -21,10 +32,26 @@ BitstreamStore::loadLatency(std::uint64_t bytes) const
     return _cfg.sdSetupLatency + simtime::secF(seconds);
 }
 
+BitstreamStore::CacheEntry *
+BitstreamStore::findCached(const BitstreamKey &key)
+{
+    for (CacheEntry &e : _entries) {
+        if (e.live && e.key == key)
+            return &e;
+    }
+    return nullptr;
+}
+
+const BitstreamStore::CacheEntry *
+BitstreamStore::findCached(const BitstreamKey &key) const
+{
+    return const_cast<BitstreamStore *>(this)->findCached(key);
+}
+
 bool
 BitstreamStore::isCached(const BitstreamKey &key) const
 {
-    return _cache.count(key) > 0;
+    return findCached(key) != nullptr;
 }
 
 void
@@ -40,14 +67,20 @@ BitstreamStore::ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
     ++_misses;
 
     // Coalesce with an in-flight or queued load of the same bitstream.
-    for (auto &pending : _queue) {
-        if (pending.key == key) {
-            pending.callbacks.push_back(std::move(cb));
+    for (std::size_t i = 0; i < _queue.size(); ++i) {
+        if (_queue[i].key == key) {
+            _queue[i].callbacks.push_back(std::move(cb));
             return;
         }
     }
 
-    _queue.push_back(PendingLoad{key, bytes, {std::move(cb)}});
+    // Refill a recycled queue slot in place: the key string and the
+    // callback vector keep their previous capacity.
+    PendingLoad &load = _queue.push_reuse();
+    load.key = key;
+    load.bytes = bytes;
+    load.callbacks.clear();
+    load.callbacks.push_back(std::move(cb));
     if (!_busy)
         startNextLoad();
 }
@@ -66,12 +99,18 @@ BitstreamStore::startNextLoad()
 void
 BitstreamStore::finishLoad()
 {
-    PendingLoad load = std::move(_queue.front());
-    _queue.pop_front();
+    PendingLoad &load = _queue.front();
+    insertCached(load.key, load.bytes);
+
+    // Swap the callbacks into the member scratch (both vectors keep
+    // their capacity) so re-entrant ensureLoaded() calls from the
+    // callbacks can recycle the queue slot immediately.
+    _cbScratch.clear();
+    std::swap(_cbScratch, load.callbacks);
+    _queue.pop_front_keep();
     _busy = false;
 
-    insertCached(load.key, load.bytes);
-    for (auto &cb : load.callbacks)
+    for (auto &cb : _cbScratch)
         cb();
 
     if (!_busy && !_queue.empty())
@@ -89,26 +128,41 @@ BitstreamStore::insertCached(const BitstreamKey &key, std::uint64_t bytes)
              key.toString().c_str(), static_cast<unsigned long long>(bytes));
         return;
     }
-    while (_cachedBytes + bytes > _cfg.cacheCapacityBytes && !_lru.empty()) {
-        auto &victim = _lru.back();
-        _cachedBytes -= victim.second;
-        _cache.erase(victim.first);
-        _lru.pop_back();
+    while (_cachedBytes + bytes > _cfg.cacheCapacityBytes) {
+        CacheEntry *victim = nullptr;
+        for (CacheEntry &e : _entries) {
+            if (e.live && (!victim || e.lastUse < victim->lastUse))
+                victim = &e;
+        }
+        if (!victim)
+            break;
+        _cachedBytes -= victim->bytes;
+        victim->live = false;
         ++_evictions;
     }
-    _lru.emplace_front(key, bytes);
-    _cache[key] = _lru.begin();
+    CacheEntry *slot = nullptr;
+    for (CacheEntry &e : _entries) {
+        if (!e.live) {
+            slot = &e;
+            break;
+        }
+    }
+    if (!slot) {
+        _entries.emplace_back();
+        slot = &_entries.back();
+    }
+    slot->key = key;
+    slot->bytes = bytes;
+    slot->lastUse = ++_useClock;
+    slot->live = true;
     _cachedBytes += bytes;
 }
 
 void
 BitstreamStore::touch(const BitstreamKey &key)
 {
-    auto it = _cache.find(key);
-    if (it == _cache.end())
-        return;
-    _lru.splice(_lru.begin(), _lru, it->second);
-    it->second = _lru.begin();
+    if (CacheEntry *e = findCached(key))
+        e->lastUse = ++_useClock;
 }
 
 } // namespace nimblock

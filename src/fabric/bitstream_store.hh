@@ -13,10 +13,10 @@
 #define NIMBLOCK_FABRIC_BITSTREAM_STORE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <list>
-#include <unordered_map>
+#include <vector>
+
+#include "core/ring_queue.hh"
+#include "core/small_function.hh"
 
 #include "fabric/bitstream.hh"
 #include "sim/event_queue.hh"
@@ -46,7 +46,7 @@ struct BitstreamStoreConfig
 class BitstreamStore
 {
   public:
-    using LoadCallback = std::function<void()>;
+    using LoadCallback = SmallFunction<void()>;
 
     BitstreamStore(EventQueue &eq, BitstreamStoreConfig cfg);
 
@@ -85,26 +85,46 @@ class BitstreamStore
     struct PendingLoad
     {
         BitstreamKey key;
-        std::uint64_t bytes;
+        std::uint64_t bytes = 0;
         std::vector<LoadCallback> callbacks;
+    };
+
+    /**
+     * One cached bitstream. Evicted entries stay in the table with
+     * live == false so their key string's capacity is recycled by the
+     * next insertion instead of reallocated.
+     */
+    struct CacheEntry
+    {
+        BitstreamKey key;
+        std::uint64_t bytes = 0;
+        std::uint64_t lastUse = 0; //!< Monotonic use clock (LRU order).
+        bool live = false;
     };
 
     void startNextLoad();
     void finishLoad();
     void insertCached(const BitstreamKey &key, std::uint64_t bytes);
     void touch(const BitstreamKey &key);
+    CacheEntry *findCached(const BitstreamKey &key);
+    const CacheEntry *findCached(const BitstreamKey &key) const;
 
     EventQueue &_eq;
     BitstreamStoreConfig _cfg;
 
-    // LRU: list front = most recently used. Map values point into the list.
-    std::list<std::pair<BitstreamKey, std::uint64_t>> _lru;
-    std::unordered_map<BitstreamKey, decltype(_lru)::iterator,
-                       BitstreamKeyHash>
-        _cache;
+    /**
+     * LRU as a flat table ordered by the use clock: the cache holds at
+     * most capacity/bitstream-size entries (dozens), so linear scans are
+     * cheap and — unlike the list + hash-map pairing this replaces — no
+     * node is allocated per insertion or eviction.
+     */
+    std::vector<CacheEntry> _entries;
+    std::uint64_t _useClock = 0;
     std::uint64_t _cachedBytes = 0;
 
-    std::deque<PendingLoad> _queue;
+    RingQueue<PendingLoad> _queue;
+    /** finishLoad()'s working set (persistent capacity). */
+    std::vector<LoadCallback> _cbScratch;
     bool _busy = false;
 
     std::uint64_t _hits = 0;

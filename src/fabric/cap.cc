@@ -13,6 +13,7 @@ Cap::Cap(EventQueue &eq, CapConfig cfg)
         fatal("CAP failure probability must be in [0, 1)");
     if (cfg.maxRetries < 1)
         fatal("CAP retry bound must be positive");
+    _queue.reserve(16);
 }
 
 SimTime

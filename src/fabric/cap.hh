@@ -13,8 +13,9 @@
 #define NIMBLOCK_FABRIC_CAP_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+
+#include "core/ring_queue.hh"
+#include "core/small_function.hh"
 
 #include "fabric/bitstream.hh"
 #include "sim/event_queue.hh"
@@ -55,7 +56,7 @@ struct CapConfig
 class Cap
 {
   public:
-    using DoneCallback = std::function<void()>;
+    using DoneCallback = SmallFunction<void()>;
 
     Cap(EventQueue &eq, CapConfig cfg);
 
@@ -97,7 +98,7 @@ class Cap
 
     EventQueue &_eq;
     CapConfig _cfg;
-    std::deque<Request> _queue;
+    RingQueue<Request> _queue;
     bool _busy = false;
     std::uint64_t _completed = 0;
     std::uint64_t _retries = 0;

@@ -8,6 +8,7 @@ DataPort::DataPort(EventQueue &eq, DataPortConfig cfg) : _eq(eq), _cfg(cfg)
 {
     if (cfg.bandwidthBytesPerSec <= 0)
         fatal("data-port bandwidth must be positive");
+    _queue.reserve(16);
 }
 
 SimTime

@@ -15,8 +15,9 @@
 #define NIMBLOCK_FABRIC_DATA_PORT_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+
+#include "core/ring_queue.hh"
+#include "core/small_function.hh"
 
 #include "sim/event_queue.hh"
 
@@ -36,7 +37,7 @@ struct DataPortConfig
 class DataPort
 {
   public:
-    using DoneCallback = std::function<void()>;
+    using DoneCallback = SmallFunction<void()>;
 
     DataPort(EventQueue &eq, DataPortConfig cfg);
 
@@ -69,7 +70,7 @@ class DataPort
 
     EventQueue &_eq;
     DataPortConfig _cfg;
-    std::deque<Request> _queue;
+    RingQueue<Request> _queue;
     bool _busy = false;
     std::uint64_t _completed = 0;
     SimTime _busyTime = 0;

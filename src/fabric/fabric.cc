@@ -96,12 +96,37 @@ Fabric::interiorTransferLatency(std::uint64_t bytes) const
 
 BitstreamKey
 Fabric::bitstreamKeyFor(const std::string &app_name, TaskId task,
+                        SlotId slot)
+{
+    return bitstreamKeyFor(internBitstreamName(app_name), task, slot);
+}
+
+BitstreamKey
+Fabric::bitstreamKeyFor(BitstreamNameId name, TaskId task,
                         SlotId slot) const
 {
     // Relocatable images drop the slot component: one bitstream serves
     // every slot, so any slot's retained image and any cached copy match.
-    return BitstreamKey{app_name, task,
-                        _cfg.relocatableBitstreams ? 0 : slot};
+    return BitstreamKey{name, task, _cfg.relocatableBitstreams ? 0 : slot};
+}
+
+BitstreamNameId
+Fabric::internBitstreamName(const std::string &app_name)
+{
+    auto it = _bsNameIds.find(app_name);
+    if (it != _bsNameIds.end())
+        return it->second;
+    BitstreamNameId id = static_cast<BitstreamNameId>(_bsNames.size());
+    _bsNames.push_back(app_name);
+    _bsNameIds.emplace(app_name, id);
+    return id;
+}
+
+const std::string &
+Fabric::bitstreamName(BitstreamNameId id) const
+{
+    static const std::string empty;
+    return id < _bsNames.size() ? _bsNames[id] : empty;
 }
 
 SimTime

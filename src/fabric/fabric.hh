@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/bitstream_store.hh"
@@ -136,11 +138,25 @@ class Fabric
     SimTime interiorTransferLatency(std::uint64_t bytes) const;
 
     /**
+     * Intern @p app_name for use in bitstream keys: the same name always
+     * maps to the same id within this fabric. The hypervisor interns
+     * every admitted application's name up front, so key construction on
+     * the configure path is pure integer work.
+     */
+    BitstreamNameId internBitstreamName(const std::string &app_name);
+
+    /** The name behind an interned id (empty for unknown ids). */
+    const std::string &bitstreamName(BitstreamNameId id) const;
+
+    /**
      * Canonical bitstream key for (app, task, slot) under the configured
      * relocation mode: with relocatable bitstreams the slot component is
-     * dropped so one image serves every slot.
+     * dropped so one image serves every slot. The string overload
+     * interns the name (and is therefore non-const).
      */
     BitstreamKey bitstreamKeyFor(const std::string &app_name, TaskId task,
+                                 SlotId slot);
+    BitstreamKey bitstreamKeyFor(BitstreamNameId name, TaskId task,
                                  SlotId slot) const;
 
     /**
@@ -161,6 +177,11 @@ class Fabric
   private:
     EventQueue &_eq;
     FabricConfig _cfg;
+
+    /** Interned bitstream names (id = index) and the reverse lookup. */
+    std::vector<std::string> _bsNames;
+    std::unordered_map<std::string, BitstreamNameId> _bsNameIds;
+
     std::vector<Slot> _slots;
     Cap _cap;
     BitstreamStore _store;

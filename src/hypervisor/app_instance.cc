@@ -116,23 +116,38 @@ std::vector<TaskId>
 AppInstance::configurableTasks(bool pipelined) const
 {
     std::vector<TaskId> out;
+    configurableTasksInto(out, pipelined);
+    return out;
+}
+
+void
+AppInstance::configurableTasksInto(std::vector<TaskId> &out,
+                                   bool pipelined) const
+{
+    out.clear();
     for (TaskId t : graph().topoOrder()) {
         if (taskConfigurable(t, pipelined))
             out.push_back(t);
     }
-    return out;
 }
 
 std::vector<TaskId>
 AppInstance::prefetchableTasks() const
 {
     std::vector<TaskId> out;
+    prefetchableTasksInto(out);
+    return out;
+}
+
+void
+AppInstance::prefetchableTasksInto(std::vector<TaskId> &out) const
+{
+    out.clear();
     for (TaskId t : graph().topoOrder()) {
         const TaskRunState &st = _tasks[t];
         if (st.phase == TaskPhase::Idle && st.itemsDone < _batch)
             out.push_back(t);
     }
-    return out;
 }
 
 bool
@@ -160,11 +175,18 @@ std::vector<TaskId>
 AppInstance::residentTasks() const
 {
     std::vector<TaskId> out;
+    residentTasksInto(out);
+    return out;
+}
+
+void
+AppInstance::residentTasksInto(std::vector<TaskId> &out) const
+{
+    out.clear();
     for (TaskId t : graph().topoOrder()) {
         if (_tasks[t].phase == TaskPhase::Resident)
             out.push_back(t);
     }
-    return out;
 }
 
 void

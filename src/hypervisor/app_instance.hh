@@ -135,6 +135,10 @@ class AppInstance
     /** All configurable tasks in topological order. */
     std::vector<TaskId> configurableTasks(bool pipelined) const;
 
+    /** As configurableTasks(), filling @p out (cleared first). */
+    void configurableTasksInto(std::vector<TaskId> &out,
+                               bool pipelined) const;
+
     /**
      * Tasks eligible for configuration *prefetch*: idle with items
      * remaining, regardless of data readiness, in topological order.
@@ -142,6 +146,9 @@ class AppInstance
      * computation; items still respect the execution discipline.
      */
     std::vector<TaskId> prefetchableTasks() const;
+
+    /** As prefetchableTasks(), filling @p out (cleared first). */
+    void prefetchableTasksInto(std::vector<TaskId> &out) const;
 
     /** True if any task is configurable under either discipline. */
     bool hasConfigurableTask(bool pipelined) const;
@@ -151,6 +158,9 @@ class AppInstance
 
     /** Resident tasks in topological order. */
     std::vector<TaskId> residentTasks() const;
+
+    /** As residentTasks(), filling @p out (cleared first). */
+    void residentTasksInto(std::vector<TaskId> &out) const;
     /// @}
 
     /** @name Scheduler bookkeeping */
@@ -178,6 +188,14 @@ class AppInstance
     /** True once the app has entered the candidate pool at least once. */
     bool everCandidate() const { return _everCandidate; }
     void setEverCandidate() { _everCandidate = true; }
+
+    /** Memoized single-slot latency estimate (hypervisor-owned). */
+    /** Interned bitstream-name id (set by the hypervisor on admit). */
+    BitstreamNameId bitstreamNameId() const { return _bsName; }
+    void setBitstreamNameId(BitstreamNameId id) { _bsName = id; }
+
+    SimTime latencyEstimate() const { return _latencyEstimate; }
+    void setLatencyEstimate(SimTime t) { _latencyEstimate = t; }
 
     /** Time of first admission to the candidate pool (kTimeNone before). */
     SimTime candidateSince() const { return _candidateSince; }
@@ -230,6 +248,8 @@ class AppInstance
     std::size_t _slotsAllocated = 0;
     bool _everCandidate = false;
     SimTime _candidateSince = kTimeNone;
+    SimTime _latencyEstimate = kTimeNone;
+    BitstreamNameId _bsName = kBitstreamNameNone;
 
     SimTime _firstLaunch = kTimeNone;
     SimTime _retireTime = kTimeNone;

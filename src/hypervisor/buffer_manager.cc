@@ -10,20 +10,22 @@ BufferManager::BufferManager(BufferManagerConfig cfg) : _cfg(cfg)
 {
     if (cfg.capacityBytes == 0)
         fatal("buffer manager needs positive capacity");
+    _held.reserve(64);
 }
 
 bool
 BufferManager::allocate(AppInstanceId app, TaskId task, std::uint64_t bytes)
 {
-    Key key{app, task};
-    if (_held.count(key))
-        panic("double buffer allocation for app %llu task %u",
-              static_cast<unsigned long long>(app), task);
+    for (const Held &h : _held) {
+        if (h.app == app && h.task == task)
+            panic("double buffer allocation for app %llu task %u",
+                  static_cast<unsigned long long>(app), task);
+    }
     if (_inUse + bytes > _cfg.capacityBytes) {
         ++_rejections;
         return false;
     }
-    _held[key] = bytes;
+    _held.push_back(Held{app, task, bytes});
     _inUse += bytes;
     _peak = std::max(_peak, _inUse);
     return true;
@@ -32,20 +34,26 @@ BufferManager::allocate(AppInstanceId app, TaskId task, std::uint64_t bytes)
 std::uint64_t
 BufferManager::release(AppInstanceId app, TaskId task)
 {
-    auto it = _held.find(Key{app, task});
-    if (it == _held.end())
-        return 0;
-    std::uint64_t bytes = it->second;
-    _inUse -= bytes;
-    _held.erase(it);
-    return bytes;
+    for (std::size_t i = 0; i < _held.size(); ++i) {
+        if (_held[i].app == app && _held[i].task == task) {
+            std::uint64_t bytes = _held[i].bytes;
+            _inUse -= bytes;
+            _held[i] = _held.back();
+            _held.pop_back();
+            return bytes;
+        }
+    }
+    return 0;
 }
 
 std::uint64_t
 BufferManager::held(AppInstanceId app, TaskId task) const
 {
-    auto it = _held.find(Key{app, task});
-    return it == _held.end() ? 0 : it->second;
+    for (const Held &h : _held) {
+        if (h.app == app && h.task == task)
+            return h.bytes;
+    }
+    return 0;
 }
 
 } // namespace nimblock

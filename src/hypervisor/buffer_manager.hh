@@ -15,7 +15,7 @@
 #define NIMBLOCK_HYPERVISOR_BUFFER_MANAGER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "fabric/slot.hh"
 #include "taskgraph/task.hh"
@@ -65,20 +65,22 @@ class BufferManager
     std::uint64_t capacity() const { return _cfg.capacityBytes; }
 
   private:
-    using Key = std::pair<AppInstanceId, TaskId>;
-
-    struct KeyHash
+    struct Held
     {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<std::uint64_t>{}(k.first * 0x9e3779b97f4a7c15ULL +
-                                              k.second);
-        }
+        AppInstanceId app;
+        TaskId task;
+        std::uint64_t bytes;
     };
 
     BufferManagerConfig _cfg;
-    std::unordered_map<Key, std::uint64_t, KeyHash> _held;
+
+    /**
+     * Flat live-allocation table: at most one entry per resident task
+     * (bounded by the slot count), so a linear scan beats a node-based
+     * map and the storage never touches the allocator once its
+     * high-water capacity is reached.
+     */
+    std::vector<Held> _held;
     std::uint64_t _inUse = 0;
     std::uint64_t _peak = 0;
     std::uint64_t _rejections = 0;

@@ -20,8 +20,16 @@ Hypervisor::Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
     _itemDuration.assign(fabric.numSlots(), kTimeNone);
     _scheduler.attach(*this);
     _tick = std::make_unique<PeriodicEvent>(
-        _eq, _cfg.schedInterval, "sched_tick",
-        [this] { requestPass(SchedEvent::Tick); });
+        _eq, _cfg.schedInterval, "sched_tick", [this] {
+            // Idle-tick elision happens at fire time: parking only when
+            // no pass is pending keeps the event order identical to a
+            // free-running timer (a co-timed pass could admit work).
+            if (_cfg.elideIdleTicks && _live.empty() && !_passPending) {
+                _tick->stop();
+                return;
+            }
+            requestPass(SchedEvent::Tick);
+        });
 }
 
 Hypervisor::~Hypervisor() = default;
@@ -29,12 +37,21 @@ Hypervisor::~Hypervisor() = default;
 void
 Hypervisor::start()
 {
+    _started = true;
+    if (_cfg.elideIdleTicks && _live.empty()) {
+        // Nothing to schedule yet: pin the tick grid without arming so a
+        // later aligned restart fires at the times a free-running timer
+        // would have.
+        _tick->setAnchor();
+        return;
+    }
     _tick->start();
 }
 
 void
 Hypervisor::stop()
 {
+    _started = false;
     _tick->stop();
 }
 
@@ -46,9 +63,20 @@ Hypervisor::submit(AppSpecPtr spec, int batch, Priority priority,
     auto inst = std::make_unique<AppInstance>(id, std::move(spec), batch,
                                               priority, _eq.now(),
                                               event_index);
+    if (_liveIndex.size() <= id) {
+        _liveIndex.resize(id + 1, kNoLiveIndex);
+        _appNameId.resize(id + 1, kNameNone);
+    }
+    _liveIndex[id] = static_cast<std::uint32_t>(_live.size());
+    // Intern the bitstream name now so the configure path never touches
+    // the name string (admissions are cold; configures are hot).
+    inst->setBitstreamNameId(
+        _fabric.internBitstreamName(inst->spec().name()));
     _live.push_back(inst.get());
     _apps.push_back(std::move(inst));
     ++_stats.appsAdmitted;
+    if (_started && _cfg.elideIdleTicks && !_tick->running())
+        _tick->startAligned();
     _scheduler.onAppAdmitted(*_live.back());
     requestPass(SchedEvent::Arrival);
     return id;
@@ -57,11 +85,10 @@ Hypervisor::submit(AppSpecPtr spec, int batch, Priority priority,
 AppInstance *
 Hypervisor::findApp(AppInstanceId id)
 {
-    for (AppInstance *app : _live) {
-        if (app->id() == id)
-            return app;
-    }
-    return nullptr;
+    if (id >= _liveIndex.size())
+        return nullptr;
+    std::uint32_t idx = _liveIndex[id];
+    return idx == kNoLiveIndex ? nullptr : _live[idx];
 }
 
 std::uint64_t
@@ -88,7 +115,7 @@ Hypervisor::itemWallTime(const AppInstance &app, TaskId task) const
 
 void
 Hypervisor::doTransfer(std::uint64_t bytes, bool interior,
-                       std::function<void()> cb)
+                       EventQueue::Callback cb)
 {
     if (bytes == 0) {
         cb();
@@ -108,9 +135,12 @@ void
 Hypervisor::trace(SlotId slot, const AppInstance &app, TaskId task,
                   TimelineEventKind kind)
 {
-    if (_timeline)
-        _timeline->record(_eq.now(), slot, app.id(), task,
-                          app.spec().name(), kind);
+    if (!_timeline)
+        return;
+    NameId &name = _appNameId[app.id()];
+    if (name == kNameNone)
+        name = _timeline->intern(app.spec().name());
+    _timeline->record(_eq.now(), slot, app.id(), task, name, kind);
 }
 
 bool
@@ -134,7 +164,7 @@ Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
     }
 
     BitstreamKey key =
-        _fabric.bitstreamKeyFor(app.spec().name(), task, slot_id);
+        _fabric.bitstreamKeyFor(app.bitstreamNameId(), task, slot_id);
     std::uint64_t bytes = _fabric.effectiveBitstreamBytes(
         app.graph().task(task).bitstreamBytes);
 
@@ -437,7 +467,11 @@ Hypervisor::retire(AppInstance &app)
     ++_stats.appsRetired;
     _scheduler.onAppRetired(app);
 
-    _live.erase(std::remove(_live.begin(), _live.end(), &app), _live.end());
+    std::uint32_t idx = _liveIndex[app.id()];
+    _liveIndex[app.id()] = kNoLiveIndex;
+    _live.erase(_live.begin() + idx);
+    for (std::size_t i = idx; i < _live.size(); ++i)
+        _liveIndex[_live[i]->id()] = static_cast<std::uint32_t>(i);
     auto owner = std::find_if(
         _apps.begin(), _apps.end(),
         [&](const std::unique_ptr<AppInstance> &p) { return p.get() == &app; });
@@ -528,7 +562,9 @@ Hypervisor::rescueStallIfNeeded()
 SimTime
 Hypervisor::estimatedSingleSlotLatency(AppInstance &app)
 {
-    auto key = std::make_pair(app.spec().name(), app.batch());
+    if (app.latencyEstimate() != kTimeNone)
+        return app.latencyEstimate();
+    auto key = std::make_pair(&app.spec(), app.batch());
     auto it = _latencyCache.find(key);
     if (it == _latencyCache.end()) {
         SimTime lat = singleSlotLatency(
@@ -536,6 +572,7 @@ Hypervisor::estimatedSingleSlotLatency(AppInstance &app)
             _fabric.config().psBandwidthBytesPerSec);
         it = _latencyCache.emplace(key, lat).first;
     }
+    app.setLatencyEstimate(it->second);
     return it->second;
 }
 

@@ -65,6 +65,15 @@ struct HypervisorConfig
     /** State save/restore cost per mid-item checkpoint. */
     SimTime checkpointLatency = simtime::ms(5);
 
+    /**
+     * Park the periodic scheduling tick while no application is live and
+     * restart it phase-aligned on the next arrival. A tick with nothing
+     * to schedule is a no-op pass, so eliding it changes no
+     * per-application metric — only the schedulingPasses / event-fired
+     * counters. Disable to reproduce the PR 1 event stream exactly.
+     */
+    bool elideIdleTicks = true;
+
     BufferManagerConfig buffers;
 };
 
@@ -176,7 +185,7 @@ class Hypervisor : public SchedulerOps
      *                 for external input/output (always via the PS).
      */
     void doTransfer(std::uint64_t bytes, bool interior,
-                    std::function<void()> cb);
+                    EventQueue::Callback cb);
 
     /** A batch item finished executing in @p slot. */
     void onItemDone(SlotId slot, SimTime item_duration);
@@ -220,6 +229,19 @@ class Hypervisor : public SchedulerOps
     std::vector<AppInstance *> _live;                //!< Arrival order.
     AppInstanceId _nextAppId = 1;
 
+    /** Sentinel in _liveIndex for ids with no live instance. */
+    static constexpr std::uint32_t kNoLiveIndex = 0xffffffffu;
+
+    /**
+     * AppInstanceId -> index into _live (ids are monotonic, so a flat
+     * vector beats a map). Retired ids hold kNoLiveIndex, making
+     * findApp() an O(1) probe instead of a linear scan per callback.
+     */
+    std::vector<std::uint32_t> _liveIndex;
+
+    /** AppInstanceId -> interned timeline name (lazy; kNameNone until). */
+    std::vector<NameId> _appNameId;
+
     /** Pending item-completion event per slot (for checkpointing). */
     std::vector<EventId> _itemEvent;
     /** Start time of the in-flight item per slot. */
@@ -228,12 +250,18 @@ class Hypervisor : public SchedulerOps
     std::vector<SimTime> _itemDuration;
 
     std::unique_ptr<PeriodicEvent> _tick;
+    bool _started = false;
     bool _passPending = false;
     SchedEvent _pendingReason = SchedEvent::Tick;
     bool _inPass = false;
 
-    /** Cache of single-slot latency estimates keyed by (spec, batch). */
-    std::map<std::pair<std::string, int>, SimTime> _latencyCache;
+    /**
+     * Cache of single-slot latency estimates keyed by (spec identity,
+     * batch). Spec pointers are stable for the lifetime of the registry,
+     * so keying on the pointer avoids rebuilding a string key on every
+     * estimate (PREMA asks from inside a sort comparator).
+     */
+    std::map<std::pair<const AppSpec *, int>, SimTime> _latencyCache;
 
     Timeline *_timeline = nullptr;
 

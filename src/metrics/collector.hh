@@ -79,6 +79,9 @@ class MetricsCollector
     /** Records for a specific application name. */
     std::vector<AppRecord> recordsFor(const std::string &app_name) const;
 
+    /** Pre-size record storage for @p apps retirements. */
+    void reserve(std::size_t apps) { _records.reserve(apps); }
+
     /** Reset for reuse. */
     void clear() { _records.clear(); }
 

@@ -26,13 +26,34 @@ toString(TimelineEventKind k)
     return "?";
 }
 
+NameId
+Timeline::intern(const std::string &name)
+{
+    auto it = _nameIds.find(name);
+    if (it != _nameIds.end())
+        return it->second;
+    NameId id = static_cast<NameId>(_names.size());
+    _names.push_back(name);
+    _nameIds.emplace(name, id);
+    return id;
+}
+
+const std::string &
+Timeline::nameOf(NameId id) const
+{
+    static const std::string empty;
+    return id < _names.size() ? _names[id] : empty;
+}
+
 void
 Timeline::record(SimTime time, SlotId slot, AppInstanceId app, TaskId task,
-                 const std::string &app_name, TimelineEventKind kind)
+                 NameId name, TimelineEventKind kind)
 {
+    // Equal timestamps are routine (a release and the next configure can
+    // share an instant); only going backwards is a kernel bug.
     if (!_events.empty() && time < _events.back().time)
         panic("timeline events recorded out of order");
-    _events.push_back(TimelineEvent{time, slot, app, task, app_name, kind});
+    _events.push_back(TimelineEvent{time, slot, app, task, name, kind});
 }
 
 std::vector<SlotInterval>
@@ -55,7 +76,7 @@ Timeline::slotIntervals(SlotId slot) const
             cur.begin = e.time;
             cur.app = e.app;
             cur.task = e.task;
-            cur.appName = e.appName;
+            cur.appName = nameOf(e.name);
             break;
           case TimelineEventKind::ConfigureEnd:
             if (open)

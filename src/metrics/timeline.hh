@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/slot.hh"
@@ -36,6 +37,16 @@ enum class TimelineEventKind
 /** Render a TimelineEventKind. */
 const char *toString(TimelineEventKind k);
 
+/**
+ * Interned application-name handle: index into the owning Timeline's name
+ * table (Timeline::nameOf()). Events reference names by id so recording a
+ * transition never copies a string.
+ */
+using NameId = std::uint32_t;
+
+/** Sentinel for "no name". */
+inline constexpr NameId kNameNone = 0xffffffffu;
+
 /** One recorded slot transition. */
 struct TimelineEvent
 {
@@ -43,7 +54,7 @@ struct TimelineEvent
     SlotId slot = kSlotNone;
     AppInstanceId app = kAppNone;
     TaskId task = kTaskNone;
-    std::string appName;
+    NameId name = kNameNone; //!< Interned app name (Timeline::nameOf()).
     TimelineEventKind kind = TimelineEventKind::ConfigureBegin;
 };
 
@@ -74,7 +85,27 @@ class Timeline
 
     /** Record one transition (hypervisor only). */
     void record(SimTime time, SlotId slot, AppInstanceId app, TaskId task,
-                const std::string &app_name, TimelineEventKind kind);
+                NameId name, TimelineEventKind kind);
+
+    /** Convenience overload interning @p app_name on every call. */
+    void
+    record(SimTime time, SlotId slot, AppInstanceId app, TaskId task,
+           const std::string &app_name, TimelineEventKind kind)
+    {
+        record(time, slot, app, task, intern(app_name), kind);
+    }
+
+    /**
+     * Intern @p name, returning its stable NameId. Repeated calls with
+     * the same string return the same id.
+     */
+    NameId intern(const std::string &name);
+
+    /** The string behind @p id (empty for kNameNone). */
+    const std::string &nameOf(NameId id) const;
+
+    /** Pre-size event storage for @p events transitions. */
+    void reserve(std::size_t events) { _events.reserve(events); }
 
     /** All events in record order (time-sorted by construction). */
     const std::vector<TimelineEvent> &events() const { return _events; }
@@ -110,6 +141,8 @@ class Timeline
 
   private:
     std::vector<TimelineEvent> _events;
+    std::vector<std::string> _names;
+    std::unordered_map<std::string, NameId> _nameIds;
 };
 
 } // namespace nimblock

@@ -7,8 +7,8 @@ namespace nimblock {
 bool
 FcfsScheduler::isQueued(AppInstanceId app, TaskId task) const
 {
-    for (const ReadyTask &e : _fifo) {
-        if (e.app == app && e.task == task)
+    for (std::size_t i = _head; i < _fifo.size(); ++i) {
+        if (_fifo[i].app == app && _fifo[i].task == task)
             return true;
     }
     return false;
@@ -20,10 +20,25 @@ FcfsScheduler::enqueueNewlyReady()
     // Scan applications in arrival order so same-pass readiness ties keep
     // arrival order, matching "selected in the order that they arrived".
     for (AppInstance *app : ops().liveApps()) {
-        for (TaskId t : app->configurableTasks(/*pipelined=*/false)) {
+        app->configurableTasksInto(_taskScratch, /*pipelined=*/false);
+        for (TaskId t : _taskScratch) {
             if (!isQueued(app->id(), t))
                 _fifo.push_back(ReadyTask{app->id(), t});
         }
+    }
+}
+
+void
+FcfsScheduler::popFront()
+{
+    ++_head;
+    if (_head == _fifo.size()) {
+        _fifo.clear();
+        _head = 0;
+    } else if (_head > 64 && _head * 2 > _fifo.size()) {
+        _fifo.erase(_fifo.begin(),
+                    _fifo.begin() + static_cast<std::ptrdiff_t>(_head));
+        _head = 0;
     }
 }
 
@@ -33,17 +48,17 @@ FcfsScheduler::pass(SchedEvent reason)
     (void)reason;
     enqueueNewlyReady();
 
-    while (!_fifo.empty() && ops().fabric().freeSlotCount() > 0) {
-        ReadyTask head = _fifo.front();
+    while (_head < _fifo.size() && ops().fabric().freeSlotCount() > 0) {
+        ReadyTask head = _fifo[_head];
         AppInstance *app = ops().findApp(head.app);
         if (!app) {
-            _fifo.pop_front(); // Owner retired; drop the stale entry.
+            popFront(); // Owner retired; drop the stale entry.
             continue;
         }
         SlotId slot = pickFreeSlot(*app, head.task);
         if (slot == kSlotNone)
             break;
-        _fifo.pop_front();
+        popFront();
         ops().configure(*app, head.task, slot);
     }
 }
@@ -51,7 +66,9 @@ FcfsScheduler::pass(SchedEvent reason)
 void
 FcfsScheduler::onAppRetired(AppInstance &app)
 {
-    _fifo.erase(std::remove_if(_fifo.begin(), _fifo.end(),
+    _fifo.erase(std::remove_if(_fifo.begin() +
+                                   static_cast<std::ptrdiff_t>(_head),
+                               _fifo.end(),
                                [&](const ReadyTask &e) {
                                    return e.app == app.id();
                                }),

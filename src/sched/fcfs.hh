@@ -15,7 +15,8 @@
 #ifndef NIMBLOCK_SCHED_FCFS_HH
 #define NIMBLOCK_SCHED_FCFS_HH
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 #include "sched/scheduler.hh"
 
@@ -25,7 +26,7 @@ namespace nimblock {
 class FcfsScheduler : public Scheduler
 {
   public:
-    FcfsScheduler() : Scheduler("fcfs") {}
+    FcfsScheduler() : Scheduler("fcfs") { _fifo.reserve(64); }
 
     void pass(SchedEvent reason) override;
     void onAppRetired(AppInstance &app) override;
@@ -43,7 +44,17 @@ class FcfsScheduler : public Scheduler
     /** True when (app, task) is already in the FIFO. */
     bool isQueued(AppInstanceId app, TaskId task) const;
 
-    std::deque<ReadyTask> _fifo;
+    /** Drop the FIFO head (keeps storage; compacts opportunistically). */
+    void popFront();
+
+    /**
+     * FIFO as a vector plus a head cursor: a deque would free and
+     * reallocate its blocks as tasks stream through, putting the
+     * allocator on every scheduling pass. The consumed prefix is erased
+     * (no allocation) once it dominates the vector.
+     */
+    std::vector<ReadyTask> _fifo;
+    std::size_t _head = 0;
 };
 
 } // namespace nimblock

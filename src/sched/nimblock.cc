@@ -22,6 +22,11 @@ NimblockScheduler::NimblockScheduler(NimblockConfig cfg)
                                         cfg.enablePreemption)),
       _cfg(cfg)
 {
+    _lastCandidateIds.reserve(64);
+    _candidates.reserve(64);
+    _ordered.reserve(64);
+    _idsScratch.reserve(64);
+    _alloc.reserve(64);
 }
 
 void
@@ -49,20 +54,8 @@ NimblockScheduler::goalNumberFor(AppInstance &app)
     return _goals->goalNumber(app.spec(), app.batch());
 }
 
-std::vector<AppInstance *>
-NimblockScheduler::byCandidateAge(std::vector<AppInstance *> candidates)
-{
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [](AppInstance *a, AppInstance *b) {
-                         if (a->candidateSince() != b->candidateSince())
-                             return a->candidateSince() < b->candidateSince();
-                         return a->arrival() < b->arrival();
-                     });
-    return candidates;
-}
-
 void
-NimblockScheduler::reallocate(const std::vector<AppInstance *> &candidates)
+NimblockScheduler::reallocate(const std::vector<AppInstance *> &ordered)
 {
     ++_stats.reallocations;
     std::size_t total = ops().fabric().numSlots();
@@ -71,8 +64,8 @@ NimblockScheduler::reallocate(const std::vector<AppInstance *> &candidates)
     for (AppInstance *app : ops().liveApps())
         app->setSlotsAllocated(0);
 
-    auto ordered = byCandidateAge(candidates);
-    std::vector<std::size_t> alloc(ordered.size(), 0);
+    auto &alloc = _alloc;
+    alloc.assign(ordered.size(), 0);
     std::size_t remaining = total;
 
     // Phase 1: one slot per candidate, oldest first, to guarantee forward
@@ -155,22 +148,21 @@ NimblockScheduler::selectPreemptionVictim()
     // Lines 10-11: the task latest in topological order among the
     // over-consumer's running tasks, so no pipelined dependency of another
     // running task is removed.
-    auto running = over_consumer->residentTasks(); // Topological order.
-    if (running.empty())
+    over_consumer->residentTasksInto(_taskScratch); // Topological order.
+    if (_taskScratch.empty())
         return kSlotNone;
-    TaskId preempt_task = running.back();
+    TaskId preempt_task = _taskScratch.back();
     return over_consumer->taskState(preempt_task).slot;
 }
 
 bool
-NimblockScheduler::selectAndPlace(const std::vector<AppInstance *> &candidates)
+NimblockScheduler::selectAndPlace(const std::vector<AppInstance *> &ordered)
 {
     // Only one slot can be reconfigured at a time on the device; wait for
     // the in-flight configuration before selecting another task.
     if (configureInFlight())
         return false;
 
-    auto ordered = byCandidateAge(candidates);
     auto pipelined_for = [this](const AppInstance &app) {
         return _cfg.enablePipelining && app.spec().pipelineAcrossBatch();
     };
@@ -179,10 +171,10 @@ NimblockScheduler::selectAndPlace(const std::vector<AppInstance *> &candidates)
     for (AppInstance *app : ordered) {
         if (app->slotsUsed() >= app->slotsAllocated())
             continue;
-        auto ready = app->configurableTasks(pipelined_for(*app));
-        if (ready.empty())
+        app->configurableTasksInto(_taskScratch, pipelined_for(*app));
+        if (_taskScratch.empty())
             continue;
-        TaskId task = ready.front();
+        TaskId task = _taskScratch.front();
 
         SlotId slot = pickFreeSlot(*app, task);
         if (slot != kSlotNone)
@@ -211,10 +203,10 @@ NimblockScheduler::selectAndPlace(const std::vector<AppInstance *> &candidates)
     // is begun automatically if an application has slots available").
     if (ops().fabric().freeSlotCount() > 0) {
         for (AppInstance *app : ordered) {
-            auto ready = app->configurableTasks(pipelined_for(*app));
-            if (ready.empty())
+            app->configurableTasksInto(_taskScratch, pipelined_for(*app));
+            if (_taskScratch.empty())
                 continue;
-            TaskId task = ready.front();
+            TaskId task = _taskScratch.front();
             SlotId slot = pickFreeSlot(*app, task);
             if (slot == kSlotNone)
                 break;
@@ -235,36 +227,47 @@ NimblockScheduler::pass(SchedEvent reason)
     // Step 1 (Figure 3): accumulate tokens and update the candidate pool
     // on scheduling intervals, arrivals and completions; other passes
     // reuse the pool from the last accumulation.
-    std::vector<AppInstance *> candidates;
+    _candidates.clear();
     if (TokenPolicy::accumulatesOn(reason)) {
-        candidates = _tokens->update(ops().liveApps(), ops().now());
+        _candidates = _tokens->update(ops().liveApps(), ops().now());
     } else {
         for (AppInstanceId id : _lastCandidateIds) {
             if (AppInstance *app = ops().findApp(id))
-                candidates.push_back(app);
+                _candidates.push_back(app);
         }
     }
 
-    // Step 2: reallocate on candidate-pool changes and periodic ticks.
-    std::vector<AppInstanceId> ids;
-    ids.reserve(candidates.size());
-    for (AppInstance *app : candidates)
-        ids.push_back(app->id());
-    if (reason == SchedEvent::Tick || ids != _lastCandidateIds) {
-        reallocate(candidates);
-        _lastCandidateIds = std::move(ids);
-    } else {
-        _lastCandidateIds = std::move(ids);
-    }
+    // Candidate order by pool age (oldest first, arrival then id as the
+    // tie-break), shared by reallocation and selection. Ids are unique
+    // and monotonic in arrival order, so plain sort with the full key
+    // reproduces the stable sort it replaces.
+    _ordered = _candidates;
+    std::sort(_ordered.begin(), _ordered.end(),
+              [](AppInstance *a, AppInstance *b) {
+                  if (a->candidateSince() != b->candidateSince())
+                      return a->candidateSince() < b->candidateSince();
+                  if (a->arrival() != b->arrival())
+                      return a->arrival() < b->arrival();
+                  return a->id() < b->id();
+              });
 
-    if (candidates.empty())
+    // Step 2: reallocate on candidate-pool changes and periodic ticks.
+    _idsScratch.clear();
+    _idsScratch.reserve(_candidates.size());
+    for (AppInstance *app : _candidates)
+        _idsScratch.push_back(app->id());
+    if (reason == SchedEvent::Tick || _idsScratch != _lastCandidateIds)
+        reallocate(_ordered);
+    std::swap(_lastCandidateIds, _idsScratch);
+
+    if (_candidates.empty())
         return;
 
     // Steps 3-4: select a task and a slot (preempting if necessary),
     // repeating while zero-latency placements remain is unnecessary —
     // only one reconfiguration can be in flight, so one placement per
     // pass suffices; the ReconfigDone pass continues the chain.
-    selectAndPlace(candidates);
+    selectAndPlace(_ordered);
 }
 
 } // namespace nimblock

@@ -83,7 +83,7 @@ class NimblockScheduler : public Scheduler
     void ensureComponents();
 
     /** §4.2: recompute slots_allocated for every live application. */
-    void reallocate(const std::vector<AppInstance *> &candidates);
+    void reallocate(const std::vector<AppInstance *> &ordered);
 
     /**
      * §4.3/§4.4: select and place at most one task (one slot is
@@ -91,7 +91,7 @@ class NimblockScheduler : public Scheduler
      *
      * @retval true A configuration was issued.
      */
-    bool selectAndPlace(const std::vector<AppInstance *> &candidates);
+    bool selectAndPlace(const std::vector<AppInstance *> &ordered);
 
     /**
      * Algorithm 2: pick the slot to vacate for a pending ready task.
@@ -104,15 +104,22 @@ class NimblockScheduler : public Scheduler
     /** True when any slot is currently being configured. */
     bool configureInFlight();
 
-    /** Candidates ordered by candidate-pool age (oldest first). */
-    static std::vector<AppInstance *>
-    byCandidateAge(std::vector<AppInstance *> candidates);
-
     NimblockConfig _cfg;
     std::unique_ptr<TokenPolicy> _tokens;
     std::unique_ptr<GoalNumberCache> _goals;
     std::vector<AppInstanceId> _lastCandidateIds;
     NimblockStats _stats;
+
+    /**
+     * Pass-local scratch promoted to members so a steady-state pass
+     * reuses capacity instead of reallocating: the candidate pool, the
+     * age-ordered view shared by reallocation and selection, the
+     * candidate-id snapshot, and the per-candidate allocation counts.
+     */
+    std::vector<AppInstance *> _candidates;
+    std::vector<AppInstance *> _ordered;
+    std::vector<AppInstanceId> _idsScratch;
+    std::vector<std::size_t> _alloc;
 };
 
 } // namespace nimblock

@@ -7,6 +7,9 @@ namespace nimblock {
 PremaScheduler::PremaScheduler(TokenPolicyConfig token_cfg)
     : Scheduler("prema"), _tokenCfg(token_cfg)
 {
+    _candidateIds.reserve(64);
+    _candidates.reserve(64);
+    _byRemaining.reserve(64);
 }
 
 SimTime
@@ -36,30 +39,39 @@ PremaScheduler::pass(SchedEvent reason)
 
     // Tokens accumulate on intervals, arrivals and completions; other
     // passes reuse the candidate pool from the last accumulation.
-    std::vector<AppInstance *> candidates;
+    _candidates.clear();
     if (TokenPolicy::accumulatesOn(reason)) {
-        candidates = _tokens->update(ops().liveApps(), ops().now());
+        _candidates = _tokens->update(ops().liveApps(), ops().now());
         _candidateIds.clear();
-        for (AppInstance *app : candidates)
+        for (AppInstance *app : _candidates)
             _candidateIds.push_back(app->id());
     } else {
         for (AppInstanceId id : _candidateIds) {
             if (AppInstance *app = ops().findApp(id))
-                candidates.push_back(app);
+                _candidates.push_back(app);
         }
     }
-    if (candidates.empty())
+    if (_candidates.empty())
         return;
 
-    // Shortest estimated remaining execution first (stable: arrival order
-    // breaks ties).
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [this](AppInstance *a, AppInstance *b) {
-                         return estimatedRemaining(*a) <
-                                estimatedRemaining(*b);
-                     });
+    // Shortest estimated remaining execution first. The estimate is
+    // computed once per candidate (not inside the comparator), and the
+    // candidate's position breaks ties, reproducing the stable sort this
+    // replaces.
+    _byRemaining.clear();
+    _byRemaining.reserve(_candidates.size());
+    for (AppInstance *app : _candidates)
+        _byRemaining.emplace_back(estimatedRemaining(*app), app);
+    std::sort(_byRemaining.begin(), _byRemaining.end(),
+              [this](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  // Position in _candidates preserves arrival order.
+                  return &a < &b;
+              });
 
-    for (AppInstance *app : candidates) {
+    for (auto &[remaining, app] : _byRemaining) {
+        (void)remaining;
         if (ops().fabric().freeSlotCount() == 0)
             return;
         configureBulkReady(*app);

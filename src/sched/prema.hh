@@ -35,6 +35,10 @@ class PremaScheduler : public Scheduler
 
     /** Candidate pool persisted between token accumulations. */
     std::vector<AppInstanceId> _candidateIds;
+
+    /** Pass-local scratch (candidates and their sort keys). */
+    std::vector<AppInstance *> _candidates;
+    std::vector<std::pair<SimTime, AppInstance *>> _byRemaining;
 };
 
 } // namespace nimblock

@@ -13,6 +13,8 @@ TokenPolicy::TokenPolicy(TokenPolicyConfig cfg, LatencyEstimator estimator)
         fatal("token policy needs a latency estimator");
     if (_cfg.alpha < 0)
         fatal("token alpha must be non-negative");
+    _degradation.reserve(64);
+    _candidates.reserve(64);
 }
 
 bool
@@ -33,27 +35,28 @@ TokenPolicy::floorToPriorityLevel(double token)
     return floor;
 }
 
-std::vector<AppInstance *>
+const std::vector<AppInstance *> &
 TokenPolicy::update(const std::vector<AppInstance *> &apps, SimTime now)
 {
+    _candidates.clear();
     if (apps.empty()) {
         _threshold = 0.0;
-        return {};
+        return _candidates;
     }
 
     // Degradation of each pending app: waiting time in units of the app's
     // isolated (single-slot) latency estimate. Shorter apps degrade faster
     // for the same wait, matching PREMA's bias toward short applications.
-    std::vector<double> degradation(apps.size(), 0.0);
+    _degradation.assign(apps.size(), 0.0);
     double max_degradation = 0.0;
     for (std::size_t i = 0; i < apps.size(); ++i) {
         AppInstance &app = *apps[i];
         SimTime est = _estimator(app);
         if (est <= 0)
             est = 1;
-        degradation[i] = static_cast<double>(now - app.arrival()) /
-                         static_cast<double>(est);
-        max_degradation = std::max(max_degradation, degradation[i]);
+        _degradation[i] = static_cast<double>(now - app.arrival()) /
+                          static_cast<double>(est);
+        max_degradation = std::max(max_degradation, _degradation[i]);
     }
 
     for (std::size_t i = 0; i < apps.size(); ++i) {
@@ -63,7 +66,7 @@ TokenPolicy::update(const std::vector<AppInstance *> &apps, SimTime now)
             app.setToken(app.priorityValue());
         } else if (max_degradation > 0) {
             // Pending-queue accumulation (Algorithm 1 line 6).
-            double norm = degradation[i] / max_degradation;
+            double norm = _degradation[i] / max_degradation;
             app.setToken(app.token() +
                          _cfg.alpha * app.priorityValue() * norm);
         }
@@ -77,15 +80,14 @@ TokenPolicy::update(const std::vector<AppInstance *> &apps, SimTime now)
 
     // Candidates: token >= threshold (line 9; `>=` so the pool is never
     // empty — see file comment).
-    std::vector<AppInstance *> candidates;
     for (AppInstance *app : apps) {
         if (app->token() >= _threshold) {
             app->setEverCandidate();
             app->setCandidateSince(now);
-            candidates.push_back(app);
+            _candidates.push_back(app);
         }
     }
-    return candidates;
+    return _candidates;
 }
 
 } // namespace nimblock

@@ -61,8 +61,8 @@ class TokenPolicy
      * @param now  Current time.
      * @return Candidates in arrival order.
      */
-    std::vector<AppInstance *> update(const std::vector<AppInstance *> &apps,
-                                      SimTime now);
+    const std::vector<AppInstance *> &
+    update(const std::vector<AppInstance *> &apps, SimTime now);
 
     /**
      * Candidate threshold from the most recent update(): the maximum
@@ -77,6 +77,9 @@ class TokenPolicy
     TokenPolicyConfig _cfg;
     LatencyEstimator _estimator;
     double _threshold = 0.0;
+    /** Scratch reused across updates (valid until the next update()). */
+    std::vector<double> _degradation;
+    std::vector<AppInstance *> _candidates;
 };
 
 } // namespace nimblock

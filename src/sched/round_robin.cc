@@ -36,7 +36,8 @@ void
 RoundRobinScheduler::issueReadyTasks()
 {
     for (AppInstance *app : ops().liveApps()) {
-        for (TaskId t : app->configurableTasks(/*pipelined=*/false)) {
+        app->configurableTasksInto(_taskScratch, /*pipelined=*/false);
+        for (TaskId t : _taskScratch) {
             if (isQueued(app->id(), t))
                 continue;
             std::size_t q = pickQueue();
@@ -69,8 +70,11 @@ void
 RoundRobinScheduler::pass(SchedEvent reason)
 {
     (void)reason;
-    if (_queues.empty())
+    if (_queues.empty()) {
         _queues.resize(ops().fabric().numSlots());
+        for (auto &q : _queues)
+            q.reserve(32);
+    }
 
     issueReadyTasks();
 

@@ -28,6 +28,7 @@ toString(SchedEvent e)
 
 Scheduler::Scheduler(std::string name) : _name(std::move(name))
 {
+    _taskScratch.reserve(32);
 }
 
 Scheduler::~Scheduler() = default;
@@ -52,7 +53,7 @@ SlotId
 Scheduler::pickFreeSlot(const AppInstance &app, TaskId task)
 {
     Fabric &fabric = ops().fabric();
-    BitstreamKey want{app.spec().name(), task, kSlotNone};
+    BitstreamNameId want_name = app.bitstreamNameId();
     SlotId fallback = kSlotNone;
     for (const Slot &s : fabric.slots()) {
         if (!s.isFree())
@@ -61,7 +62,7 @@ Scheduler::pickFreeSlot(const AppInstance &app, TaskId task)
             fallback = s.id();
         if (s.configuredBitstream()) {
             const BitstreamKey &have = *s.configuredBitstream();
-            if (have.appName == want.appName && have.task == task)
+            if (have.task == task && have.name == want_name)
                 return s.id();
         }
     }
@@ -72,7 +73,8 @@ std::size_t
 Scheduler::configureBulkReady(AppInstance &app)
 {
     std::size_t issued = 0;
-    for (TaskId t : app.configurableTasks(/*pipelined=*/false)) {
+    app.configurableTasksInto(_taskScratch, /*pipelined=*/false);
+    for (TaskId t : _taskScratch) {
         SlotId slot = pickFreeSlot(app, t);
         if (slot == kSlotNone)
             break;
@@ -86,7 +88,8 @@ std::size_t
 Scheduler::configurePrefetch(AppInstance &app)
 {
     std::size_t issued = 0;
-    for (TaskId t : app.prefetchableTasks()) {
+    app.prefetchableTasksInto(_taskScratch);
+    for (TaskId t : _taskScratch) {
         SlotId slot = pickFreeSlot(app, t);
         if (slot == kSlotNone)
             break;

@@ -176,6 +176,13 @@ class Scheduler
 
     /// @}
 
+    /**
+     * Pass-local task-list scratch shared by the placement helpers:
+     * refilled per application, never held across a configure call.
+     * Member storage so steady-state passes stop allocating.
+     */
+    std::vector<TaskId> _taskScratch;
+
   private:
     std::string _name;
     SchedulerOps *_ops = nullptr;

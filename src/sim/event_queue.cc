@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -30,31 +31,18 @@ toString(SimTime t)
 
 } // namespace simtime
 
-EventId
-EventQueue::schedule(SimTime when, const char *name, Callback cb)
+void
+EventQueue::addChunk()
 {
-    if (when < _now) {
-        panic("event '%s' scheduled at %s which is before now (%s)",
-              name, simtime::toString(when).c_str(),
-              simtime::toString(_now).c_str());
-    }
-    std::uint32_t slot;
-    if (!_free.empty()) {
-        slot = _free.back();
-        _free.pop_back();
-    } else {
-        slot = static_cast<std::uint32_t>(_slots.size());
-        _slots.emplace_back();
-    }
-    Slot &s = _slots[slot];
-    ++s.gen;
-    s.live = true;
-    s.name = name;
-    s.cb = std::move(cb);
-    ++_liveCount;
-    EventId id = makeId(s.gen, slot);
-    _heap.push(HeapItem{when, _nextSeq++, id});
-    return id;
+    _chunks.emplace_back(new Slot[kSlotChunkSize]);
+}
+
+void
+EventQueue::schedulePastPanic(SimTime when, const char *name)
+{
+    panic("event '%s' scheduled at %s which is before now (%s)",
+          name, simtime::toString(when).c_str(),
+          simtime::toString(_now).c_str());
 }
 
 bool
@@ -66,18 +54,22 @@ EventQueue::cancel(EventId id)
     return true;
 }
 
-void
-EventQueue::skipDead()
-{
-    while (!_heap.empty() && !isLive(_heap.top().id))
-        _heap.pop();
-}
-
 SimTime
 EventQueue::nextEventTime()
 {
     skipDead();
-    return _heap.empty() ? kTimeNone : _heap.top().when;
+    return _heap.empty() ? kTimeNone : _heap[0].when;
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    _heap.reserve(events);
+    _free.reserve(events);
+    std::size_t chunks = (events + kSlotChunkSize - 1) >> kSlotChunkShift;
+    _chunks.reserve(chunks);
+    while (_chunks.size() < chunks)
+        _chunks.emplace_back(new Slot[kSlotChunkSize]);
 }
 
 bool
@@ -87,33 +79,33 @@ EventQueue::step()
     if (_heap.empty())
         return false;
 
-    HeapItem item = _heap.top();
-    _heap.pop();
-    Slot &s = _slots[slotOf(item.id)];
-    Callback cb = std::move(s.cb);
-    release(slotOf(item.id));
-    _now = item.when;
-    ++_fired;
-    cb();
+    HeapItem item = _heap[0];
+    heapPop();
+    fire(item);
     return true;
 }
 
 std::uint64_t
 EventQueue::run(SimTime horizon)
 {
+    // Fused fire loop: one dead-entry sweep, bounds check and pop per
+    // fired event (step() after a separate skipDead() would redo all
+    // three).
     std::uint64_t fired = 0;
     for (;;) {
         skipDead();
-        if (_heap.empty() || _heap.top().when > horizon)
+        if (_heap.empty() || _heap[0].when > horizon)
             break;
-        step();
+        HeapItem item = _heap[0];
+        heapPop();
+        fire(item);
         ++fired;
     }
     return fired;
 }
 
 PeriodicEvent::PeriodicEvent(EventQueue &eq, SimTime period, const char *name,
-                             std::function<void()> cb)
+                             SmallFunction<void()> cb)
     : _eq(eq), _period(period), _name(name), _cb(std::move(cb))
 {
     if (period <= 0)
@@ -126,7 +118,39 @@ PeriodicEvent::start()
     if (_running)
         return;
     _running = true;
+    _nextDue = _eq.now() + _period;
     arm();
+}
+
+void
+PeriodicEvent::startAligned()
+{
+    if (_running)
+        return;
+    if (_nextDue == kTimeNone) {
+        start();
+        return;
+    }
+    _running = true;
+    // Roll the remembered grid point forward to the first occurrence at
+    // or after now. A firing exactly at now is allowed (and fires after
+    // the events already pending at now, matching the order a
+    // never-stopped timer would produce: its arming predates this
+    // restart, but all co-timed events still pending here were scheduled
+    // at setup with earlier sequence numbers).
+    SimTime now = _eq.now();
+    if (_nextDue < now) {
+        SimTime behind = now - _nextDue;
+        _nextDue += (behind + _period - 1) / _period * _period;
+    }
+    arm();
+}
+
+void
+PeriodicEvent::setAnchor()
+{
+    if (!_running && _nextDue == kTimeNone)
+        _nextDue = _eq.now() + _period;
 }
 
 void
@@ -144,10 +168,11 @@ PeriodicEvent::stop()
 void
 PeriodicEvent::arm()
 {
-    _armed = _eq.scheduleAfter(_period, _name, [this] {
+    _armed = _eq.schedule(_nextDue, _name, [this] {
         _armed = kEventNone;
         if (!_running)
             return;
+        _nextDue = _eq.now() + _period;
         _cb();
         if (_running)
             arm();

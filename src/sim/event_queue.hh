@@ -9,20 +9,28 @@
  * whole-system runs bit-reproducible for a given seed and configuration.
  *
  * The schedule/fire path is allocation-free beyond the amortized growth of
- * the internal vectors: event state lives in a recycled slot vector
- * addressed by index, handles carry a generation counter so stale
- * cancellations are rejected without any hash-map probe, and debug labels
- * are stored as non-owning pointers to string literals.
+ * the internal storage: callbacks live in a 48-byte small-buffer callable
+ * (heap fallback only for oversized setup-time captures), event state
+ * lives in recycled slots addressed by index, handles carry a generation
+ * counter so stale cancellations are rejected without any hash-map probe,
+ * and debug labels are stored as non-owning pointers to string literals.
+ * Slots are kept in fixed-size chunks with stable addresses so growth
+ * never relocates pending callbacks, and the ready heap is a binary heap
+ * driven by std::push_heap/std::pop_heap, whose sift-to-leaf pop does
+ * fewer comparisons than the textbook sift-down the d-ary alternatives
+ * need.
  */
 
 #ifndef NIMBLOCK_SIM_EVENT_QUEUE_HH
 #define NIMBLOCK_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/small_function.hh"
 #include "sim/time.hh"
 
 namespace nimblock {
@@ -48,7 +56,7 @@ inline constexpr EventId kEventNone = 0;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFunction<void()>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -60,6 +68,9 @@ class EventQueue
     /**
      * Schedule @p cb to fire at absolute time @p when.
      *
+     * The callable is constructed directly into the event's slot: no
+     * intermediate Callback object, no relocation.
+     *
      * @param when Absolute timestamp; must be >= now().
      * @param name Debug label recorded with the event. Stored as a
      *             non-owning pointer: pass a string literal (or another
@@ -67,13 +78,39 @@ class EventQueue
      * @param cb   Callback invoked when the event fires.
      * @return Handle usable with cancel().
      */
-    EventId schedule(SimTime when, const char *name, Callback cb);
+    template <typename F>
+    EventId
+    schedule(SimTime when, const char *name, F &&cb)
+    {
+        if (when < _now)
+            schedulePastPanic(when, name);
+        std::uint32_t slot;
+        if (!_free.empty()) {
+            slot = _free.back();
+            _free.pop_back();
+        } else {
+            slot = _slotCount++;
+            if ((slot >> kSlotChunkShift) == _chunks.size())
+                addChunk();
+        }
+        Slot &s = slotAt(slot);
+        ++s.gen;
+        s.live = true;
+        s.name = name;
+        s.cb = std::forward<F>(cb);
+        ++_liveCount;
+        EventId id = makeId(s.gen, slot);
+        _heap.push_back(HeapItem{when, _nextSeq++, id});
+        std::push_heap(_heap.begin(), _heap.end(), HeapItemLater{});
+        return id;
+    }
 
     /** Schedule @p cb to fire @p delay after now(). */
+    template <typename F>
     EventId
-    scheduleAfter(SimTime delay, const char *name, Callback cb)
+    scheduleAfter(SimTime delay, const char *name, F &&cb)
     {
-        return schedule(_now + delay, name, std::move(cb));
+        return schedule(_now + delay, name, std::forward<F>(cb));
     }
 
     /**
@@ -114,6 +151,12 @@ class EventQueue
     SimTime nextEventTime();
 
     /**
+     * Pre-size internal storage for @p events concurrently pending
+     * events, so steady-state scheduling never grows the vectors.
+     */
+    void reserve(std::size_t events);
+
+    /**
      * Heap entries (live + cancelled garbage) currently held. Exposed for
      * tests; always >= pendingCount().
      */
@@ -140,6 +183,7 @@ class EventQueue
         EventId id;
     };
 
+    /** Max-heap comparator yielding a min-heap on (when, seq). */
     struct HeapItemLater
     {
         bool
@@ -167,32 +211,99 @@ class EventQueue
         return static_cast<std::uint32_t>(id >> 32);
     }
 
+    /**
+     * Slots live in fixed-size chunks that never move once allocated:
+     * growing a flat vector would element-wise move every existing Slot
+     * (a non-trivial 48-byte buffer relocation each) exactly when the
+     * simulation is busiest. Chunked storage makes growth a single chunk
+     * allocation and keeps fired callbacks valid even if the callback
+     * itself schedules new events.
+     */
+    static constexpr std::uint32_t kSlotChunkShift = 8;
+    static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+    Slot &
+    slotAt(std::uint32_t i)
+    {
+        return _chunks[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+    }
+
+    const Slot &
+    slotAt(std::uint32_t i) const
+    {
+        return _chunks[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+    }
+
     bool
     isLive(EventId id) const
     {
         std::uint32_t slot = slotOf(id);
-        return slot < _slots.size() && _slots[slot].live &&
-               _slots[slot].gen == genOf(id);
+        if (slot >= _slotCount)
+            return false;
+        const Slot &s = slotAt(slot);
+        return s.live && s.gen == genOf(id);
     }
 
     /** Mark @p slot free and invalidate its current handle. */
     void
     release(std::uint32_t slot)
     {
-        _slots[slot].live = false;
-        _slots[slot].cb = nullptr;
+        Slot &s = slotAt(slot);
+        s.live = false;
+        s.cb = nullptr;
         _free.push_back(slot);
         --_liveCount;
     }
 
+    /**
+     * Advance the clock to @p item and run its callback in place.
+     *
+     * Chunk storage gives the slot a stable address, so the callback
+     * executes straight out of its slot buffer with no relocating move.
+     * The slot is recycled only after the call returns (the callback may
+     * itself schedule events), and its handle is dead throughout.
+     */
+    void
+    fire(const HeapItem &item)
+    {
+        std::uint32_t slot = slotOf(item.id);
+        Slot &s = slotAt(slot);
+        s.live = false;
+        --_liveCount;
+        _now = item.when;
+        ++_fired;
+        s.cb();
+        s.cb = nullptr;
+        _free.push_back(slot);
+    }
+
+    /** Remove the heap minimum. */
+    void
+    heapPop()
+    {
+        std::pop_heap(_heap.begin(), _heap.end(), HeapItemLater{});
+        _heap.pop_back();
+    }
+
+    /** Cold path of schedule(): append one fixed-size slot chunk. */
+    void addChunk();
+
+    [[noreturn]] void schedulePastPanic(SimTime when, const char *name);
+
     /** Drop heap entries whose event has been cancelled. */
-    void skipDead();
+    void
+    skipDead()
+    {
+        while (!_heap.empty() && !isLive(_heap[0].id))
+            heapPop();
+    }
 
     SimTime _now = 0;
     std::uint64_t _nextSeq = 1;
     std::uint64_t _fired = 0;
-    std::priority_queue<HeapItem, std::vector<HeapItem>, HeapItemLater> _heap;
-    std::vector<Slot> _slots;
+    std::vector<HeapItem> _heap; //!< Binary min-heap by (when, seq).
+    std::vector<std::unique_ptr<Slot[]>> _chunks;
+    std::uint32_t _slotCount = 0; //!< Slots handed out across all chunks.
     std::vector<std::uint32_t> _free;
     std::size_t _liveCount = 0;
 };
@@ -211,10 +322,29 @@ class PeriodicEvent
      * @param cb     Invoked every period until stop() is called.
      */
     PeriodicEvent(EventQueue &eq, SimTime period, const char *name,
-                  std::function<void()> cb);
+                  SmallFunction<void()> cb);
 
     /** Begin firing; first firing is one period from now. */
     void start();
+
+    /**
+     * Resume firing while preserving the phase of the previous run: the
+     * next firing lands on the earliest original grid point (anchor +
+     * k * period) that is >= now. Behaves like start() when the timer has
+     * never run (and no anchor was set).
+     *
+     * The hypervisor uses this to elide idle ticks: the timer stops while
+     * no application is live, and an aligned restart on the next arrival
+     * reproduces the exact tick timestamps of a timer that never stopped.
+     */
+    void startAligned();
+
+    /**
+     * Record the phase grid as if start() were called now, without
+     * arming. Lets a holder that begins idle (and therefore does not
+     * start the timer) still pin the grid for a later startAligned().
+     */
+    void setAnchor();
 
     /** Stop firing; the pending occurrence is cancelled. */
     void stop();
@@ -227,8 +357,10 @@ class PeriodicEvent
     EventQueue &_eq;
     SimTime _period;
     const char *_name;
-    std::function<void()> _cb;
+    SmallFunction<void()> _cb;
     EventId _armed = kEventNone;
+    /** Next grid point; kTimeNone until started or anchored. */
+    SimTime _nextDue = kTimeNone;
     bool _running = false;
 };
 

@@ -12,7 +12,7 @@ namespace nimblock {
 namespace {
 
 BitstreamKey
-key(const std::string &app, TaskId t = 0, SlotId s = 0)
+key(BitstreamNameId app, TaskId t = 0, SlotId s = 0)
 {
     return BitstreamKey{app, t, s};
 }
@@ -26,7 +26,7 @@ TEST(BitstreamStore, ColdLoadTakesSdLatency)
     BitstreamStore store(eq, cfg);
 
     SimTime done_at = kTimeNone;
-    store.ensureLoaded(key("a"), 8ull << 20, [&] { done_at = eq.now(); });
+    store.ensureLoaded(key(1), 8ull << 20, [&] { done_at = eq.now(); });
     EXPECT_TRUE(store.busy());
     eq.run();
     EXPECT_EQ(done_at, store.loadLatency(8ull << 20));
@@ -38,11 +38,11 @@ TEST(BitstreamStore, WarmLoadIsSynchronous)
 {
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
-    store.ensureLoaded(key("a"), 1 << 20, [] {});
+    store.ensureLoaded(key(1), 1 << 20, [] {});
     eq.run();
 
     bool fired = false;
-    store.ensureLoaded(key("a"), 1 << 20, [&] { fired = true; });
+    store.ensureLoaded(key(1), 1 << 20, [&] { fired = true; });
     EXPECT_TRUE(fired); // Cache hit completes inline.
     EXPECT_EQ(store.hits(), 1u);
 }
@@ -52,8 +52,8 @@ TEST(BitstreamStore, SerializesLoads)
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
     std::vector<SimTime> done;
-    store.ensureLoaded(key("a"), 8ull << 20, [&] { done.push_back(eq.now()); });
-    store.ensureLoaded(key("b"), 8ull << 20, [&] { done.push_back(eq.now()); });
+    store.ensureLoaded(key(1), 8ull << 20, [&] { done.push_back(eq.now()); });
+    store.ensureLoaded(key(2), 8ull << 20, [&] { done.push_back(eq.now()); });
     eq.run();
     ASSERT_EQ(done.size(), 2u);
     EXPECT_EQ(done[1], 2 * done[0]);
@@ -64,8 +64,8 @@ TEST(BitstreamStore, CoalescesDuplicateInFlightLoads)
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
     int calls = 0;
-    store.ensureLoaded(key("a"), 8ull << 20, [&] { ++calls; });
-    store.ensureLoaded(key("a"), 8ull << 20, [&] { ++calls; });
+    store.ensureLoaded(key(1), 8ull << 20, [&] { ++calls; });
+    store.ensureLoaded(key(1), 8ull << 20, [&] { ++calls; });
     eq.run();
     EXPECT_EQ(calls, 2);
     // Both callbacks served by one SD transaction.
@@ -80,18 +80,18 @@ TEST(BitstreamStore, EvictsLruWhenFull)
     cfg.cacheCapacityBytes = 2ull << 20; // Two 1 MB bitstreams.
     BitstreamStore store(eq, cfg);
 
-    store.ensureLoaded(key("a"), 1 << 20, [] {});
+    store.ensureLoaded(key(1), 1 << 20, [] {});
     eq.run();
-    store.ensureLoaded(key("b"), 1 << 20, [] {});
+    store.ensureLoaded(key(2), 1 << 20, [] {});
     eq.run();
     // Touch "a" so "b" becomes the LRU victim.
-    store.ensureLoaded(key("a"), 1 << 20, [] {});
-    store.ensureLoaded(key("c"), 1 << 20, [] {});
+    store.ensureLoaded(key(1), 1 << 20, [] {});
+    store.ensureLoaded(key(3), 1 << 20, [] {});
     eq.run();
 
-    EXPECT_TRUE(store.isCached(key("a")));
-    EXPECT_FALSE(store.isCached(key("b")));
-    EXPECT_TRUE(store.isCached(key("c")));
+    EXPECT_TRUE(store.isCached(key(1)));
+    EXPECT_FALSE(store.isCached(key(2)));
+    EXPECT_TRUE(store.isCached(key(3)));
     EXPECT_EQ(store.evictions(), 1u);
 }
 
@@ -103,11 +103,11 @@ TEST(BitstreamStore, OversizedBitstreamIsNotRetained)
     cfg.cacheCapacityBytes = 1 << 20;
     BitstreamStore store(eq, cfg);
     bool loaded = false;
-    store.ensureLoaded(key("big"), 8ull << 20, [&] { loaded = true; });
+    store.ensureLoaded(key(4), 8ull << 20, [&] { loaded = true; });
     eq.run();
     setQuiet(false);
     EXPECT_TRUE(loaded);
-    EXPECT_FALSE(store.isCached(key("big")));
+    EXPECT_FALSE(store.isCached(key(4)));
 }
 
 TEST(BitstreamStore, DistinctSlotsAreDistinctBitstreams)
@@ -116,20 +116,20 @@ TEST(BitstreamStore, DistinctSlotsAreDistinctBitstreams)
     // by slot id.
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
-    store.ensureLoaded(key("a", 0, 0), 1 << 20, [] {});
+    store.ensureLoaded(key(1, 0, 0), 1 << 20, [] {});
     eq.run();
-    EXPECT_FALSE(store.isCached(key("a", 0, 1)));
-    EXPECT_TRUE(store.isCached(key("a", 0, 0)));
+    EXPECT_FALSE(store.isCached(key(1, 0, 1)));
+    EXPECT_TRUE(store.isCached(key(1, 0, 0)));
 }
 
 TEST(BitstreamKey, EqualityAndRendering)
 {
-    BitstreamKey a{"app", 2, 3};
-    BitstreamKey b{"app", 2, 3};
-    BitstreamKey c{"app", 2, 4};
+    BitstreamKey a{7, 2, 3};
+    BitstreamKey b{7, 2, 3};
+    BitstreamKey c{7, 2, 4};
     EXPECT_EQ(a, b);
     EXPECT_NE(a, c);
-    EXPECT_EQ(a.toString(), "app_t2_s3.bit");
+    EXPECT_EQ(a.toString(), "bs7_t2_s3.bit");
     EXPECT_EQ(BitstreamKeyHash{}(a), BitstreamKeyHash{}(b));
 }
 

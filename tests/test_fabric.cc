@@ -74,7 +74,7 @@ TEST(Fabric, FreeSlotTracking)
 {
     EventQueue eq;
     Fabric fabric(eq, FabricConfig{});
-    fabric.slot(3).beginConfigure(1, 0, BitstreamKey{"a", 0, 3}, 0);
+    fabric.slot(3).beginConfigure(1, 0, BitstreamKey{1, 0, 3}, 0);
     EXPECT_EQ(fabric.freeSlotCount(), 9u);
     auto free = fabric.freeSlots();
     EXPECT_EQ(free.size(), 9u);

@@ -278,6 +278,24 @@ TEST(HypervisorCoalescing, AccumulatingReasonsWinCoalescing)
     EXPECT_EQ(sched.lastReason, SchedEvent::Arrival);
 }
 
+TEST_F(HypervisorTest, SubmitBeforeStartIsWellDefined)
+{
+    // With idle-tick elision the periodic tick is not armed until work
+    // exists; submissions landing before start() must still be admitted,
+    // tracked, and schedulable once the hypervisor starts.
+    AppInstanceId id =
+        hyp.submit(benchmarks::lenet(), 1, Priority::Medium, 0);
+    EXPECT_EQ(hyp.stats().appsAdmitted, 1u);
+    ASSERT_NE(hyp.findApp(id), nullptr);
+
+    hyp.start();
+    eq.run(simtime::ms(500));
+    // The arrival pass and at least one tick pass have run.
+    EXPECT_GE(sched.passes, 2);
+    EXPECT_NE(hyp.findApp(id), nullptr);
+    hyp.stop();
+}
+
 TEST_F(HypervisorTest, PassesCoalesce)
 {
     // Many submissions at the same instant produce bounded passes.

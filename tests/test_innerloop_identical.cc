@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Golden equivalence test for the inner-loop optimizations.
+ *
+ * Idle-tick elision (and the allocation-avoidance work that rides with
+ * it) must be invisible in results: for every evaluation scheduler, a run
+ * with the knob off and a run with it on must produce byte-identical
+ * per-application records and the same makespan. Only the bookkeeping
+ * counters that measure the optimization itself — scheduling passes and
+ * kernel events fired — are allowed to differ (and the elided run must
+ * never do *more* work).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace {
+
+/** Serialize every field of every record into one comparable string. */
+std::string
+recordsCsv(const RunResult &result)
+{
+    std::string out = "eventIndex,appName,batch,priority,arrival,"
+                      "firstLaunch,retire,runTime,reconfigTime,"
+                      "reconfigs,preemptions\n";
+    char line[256];
+    for (const AppRecord &r : result.records) {
+        std::snprintf(line, sizeof(line),
+                      "%d,%s,%d,%d,%lld,%lld,%lld,%lld,%lld,%d,%d\n",
+                      r.eventIndex, r.appName.c_str(), r.batch, r.priority,
+                      static_cast<long long>(r.arrival),
+                      static_cast<long long>(r.firstLaunch),
+                      static_cast<long long>(r.retire),
+                      static_cast<long long>(r.runTime),
+                      static_cast<long long>(r.reconfigTime), r.reconfigs,
+                      r.preemptions);
+        out += line;
+    }
+    return out;
+}
+
+class InnerloopIdenticalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    RunResult
+    run(const std::string &scheduler, const EventSequence &seq,
+        bool elide)
+    {
+        SystemConfig cfg;
+        cfg.scheduler = scheduler;
+        cfg.hypervisor.elideIdleTicks = elide;
+        return Simulation(cfg, registry).run(seq);
+    }
+
+    AppRegistry registry = standardRegistry();
+};
+
+TEST_F(InnerloopIdenticalTest, ElisionIsResultInvariantForEveryScheduler)
+{
+    // Sparse arrivals so the fabric actually drains between applications
+    // — the only regime where idle-tick elision changes anything.
+    GeneratorConfig gen;
+    gen.numEvents = 6;
+    gen.appPool = {"lenet", "image_compression", "3d_rendering"};
+    gen.minDelayMs = 2000;
+    gen.maxDelayMs = 6000;
+    gen.minBatch = 1;
+    gen.maxBatch = 4;
+    EventSequence seq = generateSequence("golden", gen, Rng(42));
+
+    for (const std::string &name : evaluationSchedulers()) {
+        RunResult off = run(name, seq, /*elide=*/false);
+        RunResult on = run(name, seq, /*elide=*/true);
+
+        EXPECT_EQ(recordsCsv(off), recordsCsv(on)) << name;
+        EXPECT_EQ(off.makespan, on.makespan) << name;
+
+        // Result-bearing counters must agree too.
+        EXPECT_EQ(off.hypervisorStats.appsRetired,
+                  on.hypervisorStats.appsRetired)
+            << name;
+        EXPECT_EQ(off.hypervisorStats.configuresIssued,
+                  on.hypervisorStats.configuresIssued)
+            << name;
+        EXPECT_EQ(off.hypervisorStats.preemptionsHonored,
+                  on.hypervisorStats.preemptionsHonored)
+            << name;
+        EXPECT_EQ(off.hypervisorStats.itemsExecuted,
+                  on.hypervisorStats.itemsExecuted)
+            << name;
+
+        // The optimization counters may differ, but only downward.
+        EXPECT_LE(on.hypervisorStats.schedulingPasses,
+                  off.hypervisorStats.schedulingPasses)
+            << name;
+        EXPECT_LE(on.eventsFired, off.eventsFired) << name;
+    }
+}
+
+TEST_F(InnerloopIdenticalTest, ElisionActuallySavesTicksWhenIdle)
+{
+    // Two widely spaced short applications leave the fabric idle for
+    // seconds; the elided run must skip those ticks.
+    EventSequence seq;
+    seq.name = "sparse";
+    seq.events.push_back(
+        WorkloadEvent{0, "lenet", 1, Priority::Medium, simtime::ms(1)});
+    seq.events.push_back(WorkloadEvent{1, "lenet", 1, Priority::Medium,
+                                       simtime::sec(30)});
+
+    RunResult off = run("nimblock", seq, /*elide=*/false);
+    RunResult on = run("nimblock", seq, /*elide=*/true);
+
+    EXPECT_EQ(recordsCsv(off), recordsCsv(on));
+    EXPECT_EQ(off.makespan, on.makespan);
+    EXPECT_LT(on.hypervisorStats.schedulingPasses,
+              off.hypervisorStats.schedulingPasses);
+}
+
+} // namespace
+} // namespace nimblock

@@ -13,7 +13,7 @@ namespace {
 BitstreamKey
 key()
 {
-    return BitstreamKey{"app", 1, 0};
+    return BitstreamKey{1, 1, 0};
 }
 
 TEST(Slot, StartsFree)

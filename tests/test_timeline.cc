@@ -66,6 +66,21 @@ TEST(Timeline, ExecuteUtilization)
     EXPECT_DOUBLE_EQ(tl.executeUtilization(1, 0, simtime::ms(100)), 0.0);
 }
 
+TEST(Timeline, EqualTimestampsAreAccepted)
+{
+    // Regression for the ordering check: a release and the next configure
+    // legitimately share an instant, so only *strictly decreasing* times
+    // may panic. Equal-time records must append normally.
+    Timeline tl;
+    tl.record(simtime::ms(10), 0, 1, 0, "a", TimelineEventKind::Release);
+    tl.record(simtime::ms(10), 0, 2, 0, "b",
+              TimelineEventKind::ConfigureBegin);
+    tl.record(simtime::ms(10), 1, 2, 1, "b",
+              TimelineEventKind::ConfigureBegin);
+    EXPECT_EQ(tl.events().size(), 3u);
+    EXPECT_EQ(tl.events()[1].time, tl.events()[0].time);
+}
+
 TEST(Timeline, OutOfOrderRecordPanicsViaDeath)
 {
     Timeline tl;

@@ -13,6 +13,7 @@
 #ifndef NIMBLOCK_CORE_RING_QUEUE_HH
 #define NIMBLOCK_CORE_RING_QUEUE_HH
 
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -62,14 +63,30 @@ class RingQueue
         return e;
     }
 
-    T &front() { return _buf[_head]; }
-    const T &front() const { return _buf[_head]; }
+    T &
+    front()
+    {
+        assert(_count > 0);
+        return _buf[_head];
+    }
+    const T &
+    front() const
+    {
+        assert(_count > 0);
+        return _buf[_head];
+    }
 
     /** Element @p i positions behind the front (0 == front). */
-    T &operator[](std::size_t i) { return _buf[(_head + i) % _buf.size()]; }
+    T &
+    operator[](std::size_t i)
+    {
+        assert(i < _count);
+        return _buf[(_head + i) % _buf.size()];
+    }
     const T &
     operator[](std::size_t i) const
     {
+        assert(i < _count);
         return _buf[(_head + i) % _buf.size()];
     }
 
@@ -79,6 +96,7 @@ class RingQueue
     void
     pop_front()
     {
+        assert(_count > 0);
         _buf[_head] = T{}; // Release resources held by the element now.
         _head = (_head + 1) % _buf.size();
         --_count;
@@ -92,6 +110,7 @@ class RingQueue
     void
     pop_front_keep()
     {
+        assert(_count > 0);
         _head = (_head + 1) % _buf.size();
         --_count;
     }

@@ -91,6 +91,7 @@ class AppInstance
     /// @{
     AppInstanceId id() const { return _id; }
     const AppSpec &spec() const { return *_spec; }
+    const AppSpecPtr &specPtr() const { return _spec; }
     const TaskGraph &graph() const { return _spec->graph(); }
     int batch() const { return _batch; }
     Priority priority() const { return _priority; }

@@ -564,7 +564,7 @@ Hypervisor::estimatedSingleSlotLatency(AppInstance &app)
 {
     if (app.latencyEstimate() != kTimeNone)
         return app.latencyEstimate();
-    auto key = std::make_pair(&app.spec(), app.batch());
+    auto key = std::make_pair(app.specPtr(), app.batch());
     auto it = _latencyCache.find(key);
     if (it == _latencyCache.end()) {
         SimTime lat = singleSlotLatency(

@@ -256,12 +256,14 @@ class Hypervisor : public SchedulerOps
     bool _inPass = false;
 
     /**
-     * Cache of single-slot latency estimates keyed by (spec identity,
-     * batch). Spec pointers are stable for the lifetime of the registry,
-     * so keying on the pointer avoids rebuilding a string key on every
-     * estimate (PREMA asks from inside a sort comparator).
+     * Cache of single-slot latency estimates keyed by (spec, batch).
+     * Holding the shared_ptr pins each spec's lifetime so a later spec
+     * allocated at a recycled address (workloads that mint a fresh spec
+     * per submission, e.g. withEstimateError()) can never alias a stale
+     * entry; keying on the pointer still avoids rebuilding a string key
+     * on every estimate (PREMA asks from inside its sort pass).
      */
-    std::map<std::pair<const AppSpec *, int>, SimTime> _latencyCache;
+    std::map<std::pair<AppSpecPtr, int>, SimTime> _latencyCache;
 
     Timeline *_timeline = nullptr;
 

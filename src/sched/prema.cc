@@ -56,25 +56,19 @@ PremaScheduler::pass(SchedEvent reason)
 
     // Shortest estimated remaining execution first. The estimate is
     // computed once per candidate (not inside the comparator), and the
-    // candidate's position breaks ties, reproducing the stable sort this
-    // replaces.
+    // candidate's index in _candidates breaks ties, reproducing the
+    // stable sort this replaces.
     _byRemaining.clear();
     _byRemaining.reserve(_candidates.size());
-    for (AppInstance *app : _candidates)
-        _byRemaining.emplace_back(estimatedRemaining(*app), app);
-    std::sort(_byRemaining.begin(), _byRemaining.end(),
-              [this](const auto &a, const auto &b) {
-                  if (a.first != b.first)
-                      return a.first < b.first;
-                  // Position in _candidates preserves arrival order.
-                  return &a < &b;
-              });
+    for (std::size_t i = 0; i < _candidates.size(); ++i)
+        _byRemaining.emplace_back(estimatedRemaining(*_candidates[i]), i);
+    std::sort(_byRemaining.begin(), _byRemaining.end());
 
-    for (auto &[remaining, app] : _byRemaining) {
+    for (auto &[remaining, idx] : _byRemaining) {
         (void)remaining;
         if (ops().fabric().freeSlotCount() == 0)
             return;
-        configureBulkReady(*app);
+        configureBulkReady(*_candidates[idx]);
     }
 }
 

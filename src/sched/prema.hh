@@ -38,7 +38,7 @@ class PremaScheduler : public Scheduler
 
     /** Pass-local scratch (candidates and their sort keys). */
     std::vector<AppInstance *> _candidates;
-    std::vector<std::pair<SimTime, AppInstance *>> _byRemaining;
+    std::vector<std::pair<SimTime, std::size_t>> _byRemaining;
 };
 
 } // namespace nimblock

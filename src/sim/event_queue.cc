@@ -133,11 +133,16 @@ PeriodicEvent::startAligned()
     }
     _running = true;
     // Roll the remembered grid point forward to the first occurrence at
-    // or after now. A firing exactly at now is allowed (and fires after
-    // the events already pending at now, matching the order a
-    // never-stopped timer would produce: its arming predates this
-    // restart, but all co-timed events still pending here were scheduled
-    // at setup with earlier sequence numbers).
+    // or after now. A firing exactly at now is allowed and fires after
+    // every event already pending at now (this arming gets a fresh,
+    // larger sequence number). That matches a never-stopped timer only
+    // under the assumption that all co-timed pending events were
+    // scheduled BEFORE the free-running timer would have armed (one
+    // period earlier) — true for the hypervisor's use, where co-timed
+    // work at a restart instant is workload arrivals scheduled at setup.
+    // An event scheduled inside that last period with this exact
+    // timestamp would order differently; if a caller can produce one, it
+    // must accept tick-after-event ordering at the restart instant.
     SimTime now = _eq.now();
     if (_nextDue < now) {
         SimTime behind = now - _nextDue;

@@ -110,6 +110,35 @@ TEST_F(InnerloopIdenticalTest, ElisionIsResultInvariantForEveryScheduler)
     }
 }
 
+TEST_F(InnerloopIdenticalTest, TickAlignedSubmitsAreResultInvariant)
+{
+    // Submits landing EXACTLY on the tick grid (default schedInterval is
+    // 400ms) make the aligned restart fire co-timed with the arrival:
+    // the restarted tick must still order after the pending arrival pass
+    // just like a free-running tick armed one period earlier would (see
+    // PeriodicEvent::startAligned). Spacing lets the fabric drain so the
+    // elided run really stops and restarts the timer at each arrival.
+    EventSequence seq;
+    seq.name = "tick_aligned";
+    seq.events.push_back(
+        WorkloadEvent{0, "lenet", 1, Priority::Medium, simtime::ms(400)});
+    seq.events.push_back(WorkloadEvent{1, "image_compression", 2,
+                                       Priority::High, simtime::sec(8)});
+    seq.events.push_back(WorkloadEvent{2, "lenet", 1, Priority::Low,
+                                       simtime::sec(16)});
+
+    for (const std::string &name : evaluationSchedulers()) {
+        RunResult off = run(name, seq, /*elide=*/false);
+        RunResult on = run(name, seq, /*elide=*/true);
+
+        EXPECT_EQ(recordsCsv(off), recordsCsv(on)) << name;
+        EXPECT_EQ(off.makespan, on.makespan) << name;
+        EXPECT_LE(on.hypervisorStats.schedulingPasses,
+                  off.hypervisorStats.schedulingPasses)
+            << name;
+    }
+}
+
 TEST_F(InnerloopIdenticalTest, ElisionActuallySavesTicksWhenIdle)
 {
     // Two widely spaced short applications leave the fabric idle for

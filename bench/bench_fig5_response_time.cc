@@ -64,6 +64,7 @@ main(int argc, char **argv)
     std::printf("\npaper shape: Nimblock highest in every scenario; "
                 "RR/FCFS near or below 1x in real-time.\n");
     maybeWriteCsv(opts, csv);
+    maybeWriteTraces(opts, env, algos);
     printFooter(total_runs);
     return 0;
 }

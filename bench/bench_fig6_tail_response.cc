@@ -66,6 +66,7 @@ main(int argc, char **argv)
     std::printf("\npaper shape: Nimblock best at p95 everywhere; RR/FCFS "
                 "collapse at real-time p99.\n");
     maybeWriteCsv(opts, csv);
+    maybeWriteTraces(opts, env, algos);
     printFooter(total_runs);
     return 0;
 }

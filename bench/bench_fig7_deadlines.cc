@@ -9,6 +9,7 @@
  * point (the paper marks these with dots).
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "common.hh"
@@ -56,7 +57,10 @@ main(int argc, char **argv)
             std::vector<std::string> row = {displayName(algo)};
             for (double ds : sample_ds)
                 row.push_back(Table::cell(curve.rateAt(ds) * 100.0, 1));
-            row.push_back(formatMessage("D_s=%.4g", curve.errorPoint(0.10)));
+            double ep = curve.errorPoint(0.10);
+            row.push_back(std::isnan(ep)
+                              ? std::string("D_s>20")
+                              : formatMessage("D_s=%.4g", ep));
             table.addRow(row);
 
             for (std::size_t i = 0; i < curve.ds.size(); ++i) {

@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "core/parallel.hh"
+#include "core/simulation.hh"
+#include "metrics/trace_export.hh"
 #include "sim/logging.hh"
 #include "workload/generator.hh"
 
@@ -44,9 +46,11 @@ BenchOptions::parse(int argc, char **argv)
             opts.events = 10;
         } else if (arg == "--csv") {
             opts.csvPath = next();
+        } else if (arg == "--trace") {
+            opts.tracePath = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf("flags: --sequences N --events N --seed S --jobs N "
-                        "--quick --csv PATH\n");
+                        "--quick --csv PATH --trace PATH\n");
             std::exit(0);
         } else {
             fatal("unknown flag '%s'", arg.c_str());
@@ -118,6 +122,45 @@ maybeWriteCsv(const BenchOptions &opts, const CsvWriter &csv)
         std::printf("\ncsv written to %s\n", opts.csvPath.c_str());
     else
         std::printf("\nfailed to write csv to %s\n", opts.csvPath.c_str());
+}
+
+void
+maybeWriteTraces(const BenchOptions &opts, const BenchEnv &env,
+                 const std::vector<std::string> &algos)
+{
+    if (opts.tracePath.empty())
+        return;
+
+    // "dir/out.json" -> "dir/out_<scheduler>.json".
+    std::string stem = opts.tracePath;
+    std::string ext;
+    std::size_t dot = stem.find_last_of('.');
+    std::size_t slash = stem.find_last_of("/\\");
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        ext = stem.substr(dot);
+        stem.resize(dot);
+    }
+
+    EventSequence seq = env.sequences(Scenario::Stress).front();
+    for (const std::string &algo : algos) {
+        SystemConfig cfg = env.config;
+        cfg.scheduler = algo;
+        cfg.recordTimeline = true;
+        cfg.hypervisor.recordCounters = true;
+        RunResult result = Simulation(cfg, env.registry).run(seq);
+
+        TraceExportOptions topts;
+        topts.numSlots = cfg.fabric.numSlots;
+        TraceExporter exporter(topts);
+        std::string path = stem + "_" + algo + ext;
+        if (exporter.writeFile(path, *result.timeline,
+                               result.counters.get())) {
+            std::printf("trace written to %s\n", path.c_str());
+        } else {
+            std::printf("failed to write trace to %s\n", path.c_str());
+        }
+    }
 }
 
 std::string

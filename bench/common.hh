@@ -12,6 +12,8 @@
  *   --jobs N        worker threads for the grid (default: all cores)
  *   --quick         3 sequences x 10 events, for smoke runs
  *   --csv PATH      also dump the figure's data as CSV
+ *   --trace PATH    export per-scheduler Perfetto traces of one stress
+ *                   sequence (PATH gets the scheduler name appended)
  */
 
 #ifndef NIMBLOCK_BENCH_COMMON_HH
@@ -38,6 +40,7 @@ struct BenchOptions
     /** Worker threads for experiment grids; 0 = hardware concurrency. */
     unsigned jobs = 0;
     std::string csvPath;
+    std::string tracePath;
 
     /** Parse argv; fatal()s on unknown flags. */
     static BenchOptions parse(int argc, char **argv);
@@ -85,6 +88,15 @@ void printFooter(std::uint64_t totalRuns);
 
 /** Write @p csv to opts.csvPath when set. */
 void maybeWriteCsv(const BenchOptions &opts, const CsvWriter &csv);
+
+/**
+ * When --trace PATH was given, re-run one stress sequence per scheduler in
+ * @p algos with the timeline and counter registry enabled and export each
+ * run as a Chrome trace-event JSON ("out.json" becomes
+ * "out_nimblock.json" etc.) loadable in Perfetto.
+ */
+void maybeWriteTraces(const BenchOptions &opts, const BenchEnv &env,
+                      const std::vector<std::string> &algos);
 
 /** Short display names used in the paper's figures. */
 std::string displayName(const std::string &scheduler);

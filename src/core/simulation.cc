@@ -31,6 +31,12 @@ Simulation::run(const EventSequence &seq)
         hyp.setTimeline(timeline.get());
     }
 
+    std::shared_ptr<CounterRegistry> counters;
+    if (_cfg.hypervisor.recordCounters) {
+        counters = std::make_shared<CounterRegistry>();
+        hyp.setCounters(counters.get());
+    }
+
     // Progress horizon: generous multiple of the total serialized work.
     // The same sweep sizes the steady-state storage: every arrival is
     // pre-scheduled (bounding concurrently pending events), one record is
@@ -48,6 +54,15 @@ Simulation::run(const EventSequence &seq)
     collector.reserve(seq.events.size());
     if (timeline)
         timeline->reserve(expected_transitions);
+    if (counters) {
+        // Every timeline transition can trigger a handful of samples
+        // (buffer bytes, queue depths, hit rate) and every scheduler pass
+        // records one instant mark; size for that up front so the enabled
+        // path stays allocation-bounded rather than growth-driven.
+        counters->reserve(expected_transitions * 4 + seq.events.size() * 8 +
+                              64,
+                          expected_transitions + 64);
+    }
     SimTime horizon =
         seq.lastArrival() +
         static_cast<SimTime>(_cfg.horizonFactor *
@@ -100,6 +115,7 @@ Simulation::run(const EventSequence &seq)
         result.nimblockStats = nb->nimblockStats();
     result.eventsFired = eq.firedCount();
     result.timeline = std::move(timeline);
+    result.counters = std::move(counters);
     for (const AppRecord &r : result.records)
         result.makespan = std::max(result.makespan, r.retire);
     return result;

@@ -24,6 +24,7 @@
 #include "apps/registry.hh"
 #include "core/config.hh"
 #include "metrics/collector.hh"
+#include "metrics/counters.hh"
 #include "metrics/timeline.hh"
 #include "sched/nimblock.hh"
 #include "workload/event.hh"
@@ -52,6 +53,12 @@ struct RunResult
 
     /** Slot-transition timeline (null unless SystemConfig enables it). */
     std::shared_ptr<Timeline> timeline;
+
+    /**
+     * Counter/gauge samples recorded during the run (null unless
+     * HypervisorConfig::recordCounters is set).
+     */
+    std::shared_ptr<CounterRegistry> counters;
 };
 
 /** Assembles and drives one simulated system. */

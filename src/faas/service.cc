@@ -164,6 +164,34 @@ FaasService::run(const Rng &rng) const
                   return a.submitted < b.submitted;
               });
 
+    // Fold the service-level view back into the counter stream: cumulative
+    // completions and the running SLA-attainment rate, sampled at each
+    // invocation's completion time.
+    if (result.run.counters) {
+        CounterRegistry &ctr = *result.run.counters;
+        CounterId completed = ctr.define("faas.completed");
+        CounterId sla_rate = ctr.define("faas.sla_met_rate");
+        std::vector<const InvocationRecord *> by_completion;
+        by_completion.reserve(result.invocations.size());
+        for (const InvocationRecord &inv : result.invocations)
+            by_completion.push_back(&inv);
+        std::sort(by_completion.begin(), by_completion.end(),
+                  [](const InvocationRecord *a, const InvocationRecord *b) {
+                      return a->completed < b->completed;
+                  });
+        std::size_t done = 0;
+        std::size_t met = 0;
+        for (const InvocationRecord *inv : by_completion) {
+            ++done;
+            met += inv->slaMet;
+            ctr.sample(completed, inv->completed,
+                       static_cast<double>(done));
+            ctr.sample(sla_rate, inv->completed,
+                       static_cast<double>(met) /
+                           static_cast<double>(done));
+        }
+    }
+
     for (const InvocationRecord &inv : result.invocations)
         grouped[inv.function].push_back(&inv);
 

@@ -24,6 +24,28 @@ BitstreamStore::BitstreamStore(EventQueue &eq, BitstreamStoreConfig cfg)
         _queue.pop_front_keep();
 }
 
+void
+BitstreamStore::setCounters(CounterRegistry *counters)
+{
+    _counters = counters;
+    if (!counters)
+        return;
+    _ctrHitRate = counters->define("bitstream.hit_rate");
+    _ctrSdQueue = counters->define("bitstream.sd_queue");
+    _ctrCacheBytes = counters->define("bitstream.cache_bytes");
+}
+
+void
+BitstreamStore::sampleHitRate()
+{
+    std::uint64_t lookups = _hits + _misses;
+    if (_counters && lookups > 0) {
+        _counters->sample(_ctrHitRate, _eq.now(),
+                          static_cast<double>(_hits) /
+                              static_cast<double>(lookups));
+    }
+}
+
 SimTime
 BitstreamStore::loadLatency(std::uint64_t bytes) const
 {
@@ -60,11 +82,13 @@ BitstreamStore::ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
 {
     if (isCached(key)) {
         ++_hits;
+        sampleHitRate();
         touch(key);
         cb();
         return;
     }
     ++_misses;
+    sampleHitRate();
 
     // Coalesce with an in-flight or queued load of the same bitstream.
     for (std::size_t i = 0; i < _queue.size(); ++i) {
@@ -81,6 +105,10 @@ BitstreamStore::ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
     load.bytes = bytes;
     load.callbacks.clear();
     load.callbacks.push_back(std::move(cb));
+    if (_counters) {
+        _counters->sample(_ctrSdQueue, _eq.now(),
+                          static_cast<double>(_queue.size()));
+    }
     if (!_busy)
         startNextLoad();
 }
@@ -109,6 +137,12 @@ BitstreamStore::finishLoad()
     std::swap(_cbScratch, load.callbacks);
     _queue.pop_front_keep();
     _busy = false;
+    if (_counters) {
+        _counters->sample(_ctrSdQueue, _eq.now(),
+                          static_cast<double>(_queue.size()));
+        _counters->sample(_ctrCacheBytes, _eq.now(),
+                          static_cast<double>(_cachedBytes));
+    }
 
     for (auto &cb : _cbScratch)
         cb();

@@ -19,6 +19,7 @@
 #include "core/small_function.hh"
 
 #include "fabric/bitstream.hh"
+#include "metrics/counters.hh"
 #include "sim/event_queue.hh"
 
 namespace nimblock {
@@ -81,6 +82,13 @@ class BitstreamStore
     /** Duration of an SD load of @p bytes. */
     SimTime loadLatency(std::uint64_t bytes) const;
 
+    /**
+     * Attach a counter registry (optional; may be null): records
+     * "bitstream.hit_rate" on every lookup, "bitstream.sd_queue" on
+     * queue transitions and "bitstream.cache_bytes" on cache changes.
+     */
+    void setCounters(CounterRegistry *counters);
+
   private:
     struct PendingLoad
     {
@@ -130,6 +138,14 @@ class BitstreamStore
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
     std::uint64_t _evictions = 0;
+
+    CounterRegistry *_counters = nullptr;
+    CounterId _ctrHitRate = kCounterNone;
+    CounterId _ctrSdQueue = kCounterNone;
+    CounterId _ctrCacheBytes = kCounterNone;
+
+    /** Record hits / (hits + misses) after a lookup. */
+    void sampleHitRate();
 };
 
 } // namespace nimblock

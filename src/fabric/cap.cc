@@ -24,9 +24,23 @@ Cap::reconfigLatency(std::uint64_t bytes) const
 }
 
 void
+Cap::setCounters(CounterRegistry *counters)
+{
+    _counters = counters;
+    if (!counters)
+        return;
+    _ctrBacklog = counters->define("cap.backlog");
+    _ctrCompleted = counters->define("cap.completed");
+}
+
+void
 Cap::reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb)
 {
     _queue.push_back(Request{slot, bytes, std::move(cb), 0});
+    if (_counters) {
+        _counters->sample(_ctrBacklog, _eq.now(),
+                          static_cast<double>(_queue.size()));
+    }
     if (!_busy)
         startNext();
 }
@@ -65,6 +79,12 @@ Cap::startNext()
             _queue.pop_front();
             _busy = false;
             ++_completed;
+            if (_counters) {
+                _counters->sample(_ctrBacklog, _eq.now(),
+                                  static_cast<double>(_queue.size()));
+                _counters->sample(_ctrCompleted, _eq.now(),
+                                  static_cast<double>(_completed));
+            }
             req.cb();
             if (!_busy)
                 startNext();

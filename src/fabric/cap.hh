@@ -18,6 +18,7 @@
 #include "core/small_function.hh"
 
 #include "fabric/bitstream.hh"
+#include "metrics/counters.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -85,6 +86,13 @@ class Cap
     /** Duration of a reconfiguration of @p bytes. */
     SimTime reconfigLatency(std::uint64_t bytes) const;
 
+    /**
+     * Attach a counter registry (optional; may be null): records
+     * "cap.backlog" (queued + streaming reconfigurations) and
+     * "cap.completed" on every queue transition.
+     */
+    void setCounters(CounterRegistry *counters);
+
   private:
     struct Request
     {
@@ -104,6 +112,10 @@ class Cap
     std::uint64_t _retries = 0;
     SimTime _busyTime = 0;
     Rng _faults;
+
+    CounterRegistry *_counters = nullptr;
+    CounterId _ctrBacklog = kCounterNone;
+    CounterId _ctrCompleted = kCounterNone;
 };
 
 } // namespace nimblock

@@ -35,6 +35,24 @@ Hypervisor::Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
 Hypervisor::~Hypervisor() = default;
 
 void
+Hypervisor::setCounters(CounterRegistry *counters)
+{
+    _counters = counters;
+    _fabric.cap().setCounters(counters);
+    _fabric.store().setCounters(counters);
+    if (!counters)
+        return;
+    // Interning happens here, once, at wiring time: recording sites are
+    // pure integer-id appends.
+    _ctrLiveApps = counters->define("hyp.live_apps");
+    _ctrRetired = counters->define("hyp.retired");
+    _ctrItemsDone = counters->define("hyp.items_done");
+    _ctrPasses = counters->define("hyp.sched_passes");
+    _ctrBufferBytes = counters->define("hyp.buffer_bytes");
+    _markPass = counters->define("sched.pass");
+}
+
+void
 Hypervisor::start()
 {
     _started = true;
@@ -75,6 +93,7 @@ Hypervisor::submit(AppSpecPtr spec, int batch, Priority priority,
     _live.push_back(inst.get());
     _apps.push_back(std::move(inst));
     ++_stats.appsAdmitted;
+    countSample(_ctrLiveApps, static_cast<double>(_live.size()));
     if (_started && _cfg.elideIdleTicks && !_tick->running())
         _tick->startAligned();
     _scheduler.onAppAdmitted(*_live.back());
@@ -179,6 +198,7 @@ Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
              app.spec().name().c_str(), task,
              static_cast<unsigned long long>(_buffers.inUse()));
     }
+    countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
 
     AppInstanceId app_id = app.id();
 
@@ -329,6 +349,7 @@ Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
     app->addRunTime(item_duration);
     ++_stats.itemsExecuted;
     trace(slot_id, *app, task, TimelineEventKind::ItemEnd);
+    countSample(_ctrItemsDone, static_cast<double>(_stats.itemsExecuted));
 
     // Newly available output may unblock resident successors waiting at
     // their own item boundaries.
@@ -414,6 +435,7 @@ Hypervisor::doPreempt(SlotId slot_id)
     ++st.preemptions;
     app->notePreemption();
     _buffers.release(app->id(), task);
+    countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, *app, task, TimelineEventKind::Preempt);
     slot.release(_eq.now());
     ++_stats.preemptionsHonored;
@@ -434,6 +456,7 @@ Hypervisor::completeTask(SlotId slot_id)
     st.slot = kSlotNone;
     app->noteTaskCompleted();
     _buffers.release(app->id(), task);
+    countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, *app, task, TimelineEventKind::Release);
     slot.release(_eq.now());
 
@@ -465,6 +488,7 @@ Hypervisor::retire(AppInstance &app)
     _collector.record(std::move(rec));
 
     ++_stats.appsRetired;
+    countSample(_ctrRetired, static_cast<double>(_stats.appsRetired));
     _scheduler.onAppRetired(app);
 
     std::uint32_t idx = _liveIndex[app.id()];
@@ -472,6 +496,7 @@ Hypervisor::retire(AppInstance &app)
     _live.erase(_live.begin() + idx);
     for (std::size_t i = idx; i < _live.size(); ++i)
         _liveIndex[_live[i]->id()] = static_cast<std::uint32_t>(i);
+    countSample(_ctrLiveApps, static_cast<double>(_live.size()));
     auto owner = std::find_if(
         _apps.begin(), _apps.end(),
         [&](const std::unique_ptr<AppInstance> &p) { return p.get() == &app; });
@@ -509,6 +534,9 @@ Hypervisor::runPass(SchedEvent reason)
         panic("scheduling pass re-entered");
     _inPass = true;
     ++_stats.schedulingPasses;
+    countSample(_ctrPasses, static_cast<double>(_stats.schedulingPasses));
+    if (_counters)
+        _counters->mark(_markPass, _eq.now());
     _scheduler.pass(reason);
     _inPass = false;
 

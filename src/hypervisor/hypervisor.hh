@@ -26,6 +26,7 @@
 #include "hypervisor/app_instance.hh"
 #include "hypervisor/buffer_manager.hh"
 #include "metrics/collector.hh"
+#include "metrics/counters.hh"
 #include "metrics/timeline.hh"
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
@@ -73,6 +74,16 @@ struct HypervisorConfig
      * counters. Disable to reproduce the PR 1 event stream exactly.
      */
     bool elideIdleTicks = true;
+
+    /**
+     * Record run telemetry (ready-queue depth, scheduling passes, buffer
+     * occupancy, CAP backlog, bitstream-cache hit rate, ...) into a
+     * CounterRegistry for the TraceExporter / CSV dump. Off by default:
+     * with the flag clear no registry is created and every recording
+     * site reduces to one null-pointer branch, preserving the
+     * steady-state zero-allocation invariant.
+     */
+    bool recordCounters = false;
 
     BufferManagerConfig buffers;
 };
@@ -140,6 +151,14 @@ class Hypervisor : public SchedulerOps
      * timeline must outlive the hypervisor's activity.
      */
     void setTimeline(Timeline *timeline) { _timeline = timeline; }
+
+    /**
+     * Attach a counter/gauge registry (optional; may be null). Defines
+     * the hypervisor's counters and wires the fabric's CAP and bitstream
+     * store to the same registry. The registry must outlive the
+     * hypervisor's activity.
+     */
+    void setCounters(CounterRegistry *counters);
 
     /** @name SchedulerOps */
     /// @{
@@ -215,6 +234,14 @@ class Hypervisor : public SchedulerOps
     void trace(SlotId slot, const AppInstance &app, TaskId task,
                TimelineEventKind kind);
 
+    /** Record a counter observation when a registry is attached. */
+    void
+    countSample(CounterId id, double value)
+    {
+        if (_counters)
+            _counters->sample(id, _eq.now(), value);
+    }
+
     /** Buffer bytes charged while (app, task) is resident. */
     std::uint64_t bufferBytes(const AppInstance &app, TaskId task) const;
 
@@ -266,6 +293,14 @@ class Hypervisor : public SchedulerOps
     std::map<std::pair<AppSpecPtr, int>, SimTime> _latencyCache;
 
     Timeline *_timeline = nullptr;
+
+    CounterRegistry *_counters = nullptr;
+    CounterId _ctrLiveApps = kCounterNone;   //!< hyp.live_apps
+    CounterId _ctrRetired = kCounterNone;    //!< hyp.retired
+    CounterId _ctrItemsDone = kCounterNone;  //!< hyp.items_done
+    CounterId _ctrPasses = kCounterNone;     //!< hyp.sched_passes
+    CounterId _ctrBufferBytes = kCounterNone; //!< hyp.buffer_bytes
+    CounterId _markPass = kCounterNone;      //!< sched.pass instants
 
     HypervisorStats _stats;
 };

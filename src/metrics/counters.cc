@@ -1,0 +1,77 @@
+#include "metrics/counters.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "stats/csv.hh"
+
+namespace nimblock {
+
+CounterId
+CounterRegistry::define(const std::string &name)
+{
+    auto it = _ids.find(name);
+    if (it != _ids.end())
+        return it->second;
+    auto id = static_cast<CounterId>(_names.size());
+    _names.push_back(name);
+    _ids.emplace(name, id);
+    return id;
+}
+
+const std::string &
+CounterRegistry::nameOf(CounterId id) const
+{
+    static const std::string empty;
+    return id < _names.size() ? _names[id] : empty;
+}
+
+std::size_t
+CounterRegistry::sampleCount(CounterId id) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(_samples.begin(), _samples.end(),
+                      [id](const CounterSample &s) { return s.id == id; }));
+}
+
+double
+CounterRegistry::lastValue(CounterId id, double fallback) const
+{
+    for (auto it = _samples.rbegin(); it != _samples.rend(); ++it) {
+        if (it->id == id)
+            return it->value;
+    }
+    return fallback;
+}
+
+double
+CounterRegistry::maxValue(CounterId id, double fallback) const
+{
+    bool seen = false;
+    double best = fallback;
+    for (const CounterSample &s : _samples) {
+        if (s.id != id)
+            continue;
+        if (!seen || s.value > best) {
+            best = s.value;
+            seen = true;
+        }
+    }
+    return best;
+}
+
+void
+CounterRegistry::dumpCsv(CsvWriter &csv) const
+{
+    csv.setHeader({"time_ns", "counter", "value"});
+    for (const CounterSample &s : _samples) {
+        csv.addRow({formatMessage("%lld", static_cast<long long>(s.time)),
+                    nameOf(s.id), formatMessage("%.17g", s.value)});
+    }
+    for (const MarkEvent &m : _marks) {
+        csv.addRow({formatMessage("%lld", static_cast<long long>(m.time)),
+                    nameOf(m.id), ""});
+    }
+}
+
+} // namespace nimblock

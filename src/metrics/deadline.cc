@@ -1,7 +1,9 @@
 #include "metrics/deadline.hh"
 
 #include <cmath>
+#include <limits>
 
+#include "hypervisor/app_instance.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -13,7 +15,10 @@ DeadlineCurve::errorPoint(double target) const
         if (violationRate[i] <= target)
             return ds[i];
     }
-    return ds.empty() ? 0.0 : ds.back() + (ds.size() > 1 ? ds[1] - ds[0] : 1);
+    // No swept point meets the target: the error point lies beyond the
+    // sweep range and cannot be measured. Report NaN instead of a
+    // fabricated extrapolation so callers must handle the miss.
+    return std::numeric_limits<double>::quiet_NaN();
 }
 
 double
@@ -52,8 +57,10 @@ deadlineSweep(const std::vector<AppRecord> &records,
 
     std::vector<const AppRecord *> considered;
     for (const AppRecord &r : records) {
-        if (!cfg.onlyHighPriority || r.priority == 9)
+        if (!cfg.onlyHighPriority ||
+            r.priority == static_cast<int>(Priority::High)) {
             considered.push_back(&r);
+        }
     }
 
     DeadlineCurve curve;

@@ -25,7 +25,7 @@ struct DeadlineSweepConfig
     double dsMax = 20.0;
     double dsStep = 0.25;
 
-    /** Restrict to high-priority (9) applications as in the paper. */
+    /** Restrict to Priority::High applications as in the paper. */
     bool onlyHighPriority = true;
 };
 
@@ -40,8 +40,9 @@ struct DeadlineCurve
 
     /**
      * Smallest swept D_s whose violation rate is <= @p target (the
-     * paper's "10% error point"); returns the last D_s + step when never
-     * reached.
+     * paper's "10% error point"); returns NaN when no swept point meets
+     * the target — the error point lies beyond the sweep range, so any
+     * numeric answer would be fabricated.
      */
     double errorPoint(double target = 0.10) const;
 

@@ -1,0 +1,261 @@
+#include "metrics/trace_export.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+namespace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += formatMessage("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Render a SimTime as a trace-event timestamp: microseconds with three
+ * decimals, i.e. exact nanosecond precision.
+ */
+std::string
+ts(SimTime t)
+{
+    return formatMessage("%lld.%03lld", static_cast<long long>(t / 1000),
+                         static_cast<long long>(t % 1000));
+}
+
+/** Trace process ids: slot tracks vs. counter/scheduler tracks. */
+constexpr int kFabricPid = 0;
+constexpr int kHypervisorPid = 1;
+
+} // namespace
+
+std::string
+TraceExporter::toJson(const Timeline &timeline,
+                      const CounterRegistry *counters) const
+{
+    const std::vector<TimelineEvent> &events = timeline.events();
+
+    std::size_t num_slots = _opts.numSlots;
+    if (num_slots == 0) {
+        for (const TimelineEvent &e : events) {
+            if (e.slot != kSlotNone)
+                num_slots = std::max<std::size_t>(num_slots, e.slot + 1);
+        }
+    }
+
+    std::string out;
+    out.reserve(events.size() * 96 + 4096);
+    out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    auto emit = [&](std::string line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+
+    // Track-naming metadata.
+    emit(formatMessage("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                       "\"args\":{\"name\":\"%s\"}}",
+                       kFabricPid,
+                       jsonEscape(_opts.fabricProcessName).c_str()));
+    emit(formatMessage("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                       "\"args\":{\"name\":\"%s\"}}",
+                       kHypervisorPid,
+                       jsonEscape(_opts.hypervisorProcessName).c_str()));
+    emit(formatMessage("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                       "\"tid\":0,\"args\":{\"name\":\"scheduler\"}}",
+                       kHypervisorPid));
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        emit(formatMessage("{\"name\":\"thread_name\",\"ph\":\"M\","
+                           "\"pid\":%d,\"tid\":%zu,"
+                           "\"args\":{\"name\":\"slot %zu\"}}",
+                           kFabricPid, s, s));
+    }
+
+    // Per-slot slice state while replaying the transition stream. Slices
+    // nest strictly: occupancy > reconfigure/item.
+    struct SlotState
+    {
+        bool occOpen = false;
+        bool reconfigOpen = false;
+        bool itemOpen = false;
+        std::string occName;
+    };
+    std::vector<SlotState> slots(num_slots);
+
+    auto beginSlice = [&](SimTime t, SlotId slot, const char *cat,
+                          const std::string &name,
+                          const std::string &args) {
+        emit(formatMessage(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"pid\":%d,"
+            "\"tid\":%u,\"ts\":%s%s%s}",
+            jsonEscape(name).c_str(), cat, kFabricPid, slot,
+            ts(t).c_str(), args.empty() ? "" : ",\"args\":", args.c_str()));
+    };
+    auto endSlice = [&](SimTime t, SlotId slot, const std::string &name,
+                        const std::string &args) {
+        emit(formatMessage(
+            "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%d,\"tid\":%u,"
+            "\"ts\":%s%s%s}",
+            jsonEscape(name).c_str(), kFabricPid, slot, ts(t).c_str(),
+            args.empty() ? "" : ",\"args\":", args.c_str()));
+    };
+    // Close inner slices before an occupancy end (or a defensive reopen)
+    // so B/E events always pair LIFO within the track.
+    auto closeInner = [&](SimTime t, SlotId slot, SlotState &st) {
+        if (st.itemOpen) {
+            endSlice(t, slot, "item", "");
+            st.itemOpen = false;
+        }
+        if (st.reconfigOpen) {
+            endSlice(t, slot, "reconfigure", "");
+            st.reconfigOpen = false;
+        }
+    };
+
+    for (const TimelineEvent &e : events) {
+        if (e.slot == kSlotNone || e.slot >= num_slots)
+            continue;
+        SlotState &st = slots[e.slot];
+        switch (e.kind) {
+          case TimelineEventKind::ConfigureBegin:
+            if (st.occOpen) {
+                closeInner(e.time, e.slot, st);
+                endSlice(e.time, e.slot, st.occName, "");
+            }
+            st.occOpen = true;
+            st.occName = timeline.nameOf(e.name);
+            if (st.occName.empty())
+                st.occName = formatMessage("app %llu",
+                                           static_cast<unsigned long long>(
+                                               e.app));
+            beginSlice(e.time, e.slot, "occupancy", st.occName,
+                       formatMessage("{\"app\":%llu,\"task\":%u}",
+                                     static_cast<unsigned long long>(e.app),
+                                     e.task));
+            beginSlice(e.time, e.slot, "reconfig", "reconfigure", "");
+            st.reconfigOpen = true;
+            break;
+          case TimelineEventKind::ConfigureEnd:
+            if (st.reconfigOpen) {
+                endSlice(e.time, e.slot, "reconfigure", "");
+                st.reconfigOpen = false;
+            }
+            break;
+          case TimelineEventKind::ItemBegin:
+            if (!st.itemOpen) {
+                beginSlice(e.time, e.slot, "execute", "item", "");
+                st.itemOpen = true;
+            }
+            break;
+          case TimelineEventKind::ItemEnd:
+            if (st.itemOpen) {
+                endSlice(e.time, e.slot, "item", "");
+                st.itemOpen = false;
+            }
+            break;
+          case TimelineEventKind::Preempt:
+          case TimelineEventKind::Release:
+            closeInner(e.time, e.slot, st);
+            if (st.occOpen) {
+                endSlice(e.time, e.slot, st.occName,
+                         formatMessage(
+                             "{\"preempted\":%s}",
+                             e.kind == TimelineEventKind::Preempt
+                                 ? "true"
+                                 : "false"));
+                st.occOpen = false;
+            }
+            break;
+        }
+    }
+
+    // Close spans still open at the end of the recording (occupants that
+    // never retired) so the document stays well paired.
+    SimTime t_end = events.empty() ? 0 : events.back().time;
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        SlotState &st = slots[s];
+        closeInner(t_end, static_cast<SlotId>(s), st);
+        if (st.occOpen) {
+            endSlice(t_end, static_cast<SlotId>(s), st.occName, "");
+            st.occOpen = false;
+        }
+    }
+
+    if (counters && _opts.includeCounters) {
+        // Counter samples may come from several recorders (the FaaS layer
+        // appends after the run); sort per emission so every counter
+        // track is time-ordered.
+        std::vector<CounterSample> samples = counters->samples();
+        std::stable_sort(samples.begin(), samples.end(),
+                         [](const CounterSample &a, const CounterSample &b) {
+                             return a.time < b.time;
+                         });
+        for (const CounterSample &s : samples) {
+            emit(formatMessage(
+                "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"ts\":%s,"
+                "\"args\":{\"value\":%.10g}}",
+                jsonEscape(counters->nameOf(s.id)).c_str(), kHypervisorPid,
+                ts(s.time).c_str(), s.value));
+        }
+    }
+
+    if (counters && _opts.includeMarks) {
+        for (const MarkEvent &m : counters->marks()) {
+            emit(formatMessage(
+                "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                "\"tid\":0,\"ts\":%s}",
+                jsonEscape(counters->nameOf(m.id)).c_str(), kHypervisorPid,
+                ts(m.time).c_str()));
+        }
+    }
+
+    out += "\n]\n}\n";
+    return out;
+}
+
+bool
+TraceExporter::writeFile(const std::string &path, const Timeline &timeline,
+                         const CounterRegistry *counters) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string data = toJson(timeline, counters);
+    std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return written == data.size();
+}
+
+} // namespace nimblock

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Chrome trace-event export of a run's Timeline and CounterRegistry.
+ *
+ * Produces the JSON object format understood by Perfetto
+ * (https://ui.perfetto.dev) and chrome://tracing:
+ *
+ *   - one track ("thread") per reconfigurable slot inside a "fabric"
+ *     process; slot occupancy appears as a named slice per resident
+ *     (app, task) pair, with nested "reconfigure" (ConfigureBegin..End)
+ *     and "item" (ItemBegin..End) sub-slices;
+ *   - counter tracks ("ph":"C") for every CounterRegistry counter
+ *     (ready-queue depth, CAP backlog, buffer occupancy, bitstream-cache
+ *     hit rate, ...), attached to a "hypervisor" process;
+ *   - instant events ("ph":"i") for registry marks such as scheduling
+ *     passes.
+ *
+ * Timestamps are emitted in microseconds (the trace-event unit) at full
+ * nanosecond precision; "displayTimeUnit" is "ms". See
+ * docs/observability.md for the full schema and counter catalogue.
+ */
+
+#ifndef NIMBLOCK_METRICS_TRACE_EXPORT_HH
+#define NIMBLOCK_METRICS_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "metrics/counters.hh"
+#include "metrics/timeline.hh"
+
+namespace nimblock {
+
+/** Knobs for the trace exporter. */
+struct TraceExportOptions
+{
+    /** Slot tracks to emit; 0 infers max recorded slot + 1. */
+    std::size_t numSlots = 0;
+
+    /** Emit counter tracks from the registry. */
+    bool includeCounters = true;
+
+    /** Emit instant events from registry marks. */
+    bool includeMarks = true;
+
+    /** Process names shown in the Perfetto track groups. */
+    std::string fabricProcessName = "fabric";
+    std::string hypervisorProcessName = "hypervisor";
+};
+
+/** Converts recorded telemetry into Chrome trace-event JSON. */
+class TraceExporter
+{
+  public:
+    explicit TraceExporter(TraceExportOptions opts = {}) : _opts(opts) {}
+
+    /**
+     * Render @p timeline (and optionally @p counters) as a trace-event
+     * JSON document. Slices still open at the end of the recording are
+     * closed at the last recorded instant so every "B" has an "E".
+     */
+    std::string toJson(const Timeline &timeline,
+                       const CounterRegistry *counters = nullptr) const;
+
+    /** toJson() straight to @p path; @retval true on success. */
+    bool writeFile(const std::string &path, const Timeline &timeline,
+                   const CounterRegistry *counters = nullptr) const;
+
+  private:
+    TraceExportOptions _opts;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_METRICS_TRACE_EXPORT_HH

@@ -19,7 +19,16 @@ CsvWriter::addRow(std::vector<std::string> row)
 std::string
 CsvWriter::escape(const std::string &field)
 {
-    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    // Quote on any RFC 4180 special (including \r, which unquoted splits
+    // rows on CRLF-aware readers) and on leading/trailing whitespace,
+    // which some parsers would otherwise trim away.
+    bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote && !field.empty()) {
+        char first = field.front();
+        char last = field.back();
+        needs_quote = first == ' ' || first == '\t' || last == ' ' ||
+                      last == '\t';
+    }
     if (!needs_quote)
         return field;
     std::string out = "\"";

@@ -17,9 +17,13 @@ traceToString(const EventSequence &seq)
                          seq.name.empty() ? "unnamed" : seq.name.c_str(),
                          static_cast<unsigned long long>(seq.seed));
     for (const WorkloadEvent &e : seq.events) {
-        out += formatMessage("event %.3f %s %d %d\n",
-                             simtime::toMs(e.arrival), e.appName.c_str(),
-                             e.batch, static_cast<int>(e.priority));
+        // Integer nanoseconds: "event %.3f" (milliseconds) truncated
+        // sub-microsecond arrivals, so round trips did not reproduce the
+        // original SimTime values.
+        out += formatMessage("event_ns %lld %s %d %d\n",
+                             static_cast<long long>(e.arrival),
+                             e.appName.c_str(), e.batch,
+                             static_cast<int>(e.priority));
     }
     return out;
 }
@@ -48,16 +52,30 @@ traceFromString(const std::string &text)
             if (!(fields >> seq.name >> seed))
                 fatal("trace line %d: malformed seq directive", line_no);
             seq.seed = seed;
-        } else if (directive == "event") {
-            double arrival_ms = 0;
+        } else if (directive == "event" || directive == "event_ns") {
             std::string app;
             int batch = 0;
             int priority = 0;
-            if (!(fields >> arrival_ms >> app >> batch >> priority))
-                fatal("trace line %d: malformed event directive", line_no);
+            SimTime arrival = 0;
+            if (directive == "event_ns") {
+                long long arrival_ns = 0;
+                if (!(fields >> arrival_ns >> app >> batch >> priority)) {
+                    fatal("trace line %d: malformed event_ns directive",
+                          line_no);
+                }
+                arrival = static_cast<SimTime>(arrival_ns);
+            } else {
+                // Legacy lossy format: fractional milliseconds.
+                double arrival_ms = 0;
+                if (!(fields >> arrival_ms >> app >> batch >> priority)) {
+                    fatal("trace line %d: malformed event directive",
+                          line_no);
+                }
+                arrival = simtime::msF(arrival_ms);
+            }
             WorkloadEvent e;
             e.index = index++;
-            e.arrival = simtime::msF(arrival_ms);
+            e.arrival = arrival;
             e.appName = std::move(app);
             e.batch = batch;
             e.priority = priorityFromInt(priority);

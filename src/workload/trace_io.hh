@@ -8,8 +8,13 @@
  *
  *   # comment
  *   seq <name> <seed>
- *   event <arrival_ms> <app_name> <batch> <priority>
+ *   event_ns <arrival_ns> <app_name> <batch> <priority>
  *   ...
+ *
+ * Arrivals are written as integer nanoseconds (event_ns) so a
+ * write/read round trip reproduces every SimTime exactly. The legacy
+ * "event <arrival_ms>" directive (fractional milliseconds, lossy below
+ * 1 us) is still accepted on read.
  */
 
 #ifndef NIMBLOCK_WORKLOAD_TRACE_IO_HH

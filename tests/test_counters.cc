@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the counter/gauge registry and its run wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hh"
+#include "faas/service.hh"
+#include "metrics/counters.hh"
+#include "sim/logging.hh"
+#include "stats/csv.hh"
+#include "workload/event.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(Counters, DefineInternsNames)
+{
+    CounterRegistry reg;
+    CounterId a = reg.define("a");
+    CounterId b = reg.define("b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.define("a"), a);
+    EXPECT_EQ(reg.counterCount(), 2u);
+    EXPECT_EQ(reg.nameOf(a), "a");
+    EXPECT_EQ(reg.nameOf(b), "b");
+    EXPECT_EQ(reg.nameOf(kCounterNone), "");
+}
+
+TEST(Counters, SamplesAndAggregates)
+{
+    CounterRegistry reg;
+    CounterId q = reg.define("queue");
+    CounterId other = reg.define("other");
+    reg.sample(q, simtime::ms(1), 3.0);
+    reg.sample(other, simtime::ms(2), 100.0);
+    reg.sample(q, simtime::ms(3), 7.0);
+    reg.sample(q, simtime::ms(4), 2.0);
+
+    EXPECT_EQ(reg.samples().size(), 4u);
+    EXPECT_EQ(reg.sampleCount(q), 3u);
+    EXPECT_EQ(reg.sampleCount(other), 1u);
+    EXPECT_DOUBLE_EQ(reg.lastValue(q), 2.0);
+    EXPECT_DOUBLE_EQ(reg.maxValue(q), 7.0);
+    EXPECT_DOUBLE_EQ(reg.lastValue(reg.define("unused"), -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(reg.maxValue(reg.define("unused"), -1.0), -1.0);
+}
+
+TEST(Counters, MarksRecordInstants)
+{
+    CounterRegistry reg;
+    CounterId pass = reg.define("sched.pass");
+    reg.mark(pass, simtime::ms(5));
+    reg.mark(pass, simtime::ms(6));
+    ASSERT_EQ(reg.marks().size(), 2u);
+    EXPECT_EQ(reg.marks()[0].time, simtime::ms(5));
+    EXPECT_EQ(reg.marks()[1].id, pass);
+}
+
+TEST(Counters, ClearKeepsInternedNames)
+{
+    CounterRegistry reg;
+    CounterId a = reg.define("a");
+    reg.sample(a, 0, 1.0);
+    reg.mark(a, 0);
+    reg.clear();
+    EXPECT_TRUE(reg.samples().empty());
+    EXPECT_TRUE(reg.marks().empty());
+    EXPECT_EQ(reg.define("a"), a);
+}
+
+TEST(Counters, DumpCsvEmitsSamplesAndMarks)
+{
+    CounterRegistry reg;
+    CounterId a = reg.define("cap.backlog");
+    reg.sample(a, simtime::us(1) + simtime::ns(500), 2.0);
+    reg.mark(reg.define("sched.pass"), simtime::us(2));
+    CsvWriter csv;
+    reg.dumpCsv(csv);
+    std::string s = csv.toString();
+    EXPECT_NE(s.find("time_ns,counter,value"), std::string::npos);
+    EXPECT_NE(s.find("1500,cap.backlog,2"), std::string::npos);
+    EXPECT_NE(s.find("2000,sched.pass,"), std::string::npos);
+}
+
+TEST(Counters, SimulationRecordsWhenEnabled)
+{
+    AppRegistry registry = standardRegistry();
+    EventSequence seq;
+    seq.name = "ctr";
+    seq.events = {
+        WorkloadEvent{0, "lenet", 2, Priority::High, 0},
+        WorkloadEvent{1, "optical_flow", 2, Priority::Low, simtime::ms(5)},
+    };
+
+    SystemConfig cfg;
+    cfg.scheduler = "nimblock";
+    cfg.hypervisor.recordCounters = true;
+    RunResult result = Simulation(cfg, registry).run(seq);
+
+    ASSERT_NE(result.counters, nullptr);
+    const CounterRegistry &reg = *result.counters;
+    CounterId retired = result.counters->define("hyp.retired");
+    CounterId items = result.counters->define("hyp.items_done");
+    CounterId passes = result.counters->define("hyp.sched_passes");
+    EXPECT_DOUBLE_EQ(reg.lastValue(retired),
+                     static_cast<double>(result.records.size()));
+    EXPECT_DOUBLE_EQ(
+        reg.lastValue(items),
+        static_cast<double>(result.hypervisorStats.itemsExecuted));
+    EXPECT_DOUBLE_EQ(
+        reg.lastValue(passes),
+        static_cast<double>(result.hypervisorStats.schedulingPasses));
+    // Every scheduling pass also records an instant mark.
+    EXPECT_EQ(reg.marks().size(),
+              result.hypervisorStats.schedulingPasses);
+    // The CAP and the bitstream store fed the registry too.
+    EXPECT_GT(reg.sampleCount(result.counters->define("cap.backlog")), 0u);
+    EXPECT_GT(
+        reg.sampleCount(result.counters->define("bitstream.hit_rate")),
+        0u);
+}
+
+TEST(Counters, FaasServiceRecordsInvocationCounters)
+{
+    AppRegistry registry = standardRegistry();
+    FaasConfig cfg;
+    cfg.duration = simtime::sec(5);
+    cfg.system.hypervisor.recordCounters = true;
+    FaasService service(cfg);
+    FunctionLoad load;
+    load.function.name = "classify";
+    load.function.app = registry.get("lenet");
+    load.invocationsPerSec = 1.0;
+    service.deploy(load);
+
+    FaasRunResult result = service.run(Rng(7));
+    ASSERT_NE(result.run.counters, nullptr);
+    CounterRegistry &reg = *result.run.counters;
+    CounterId completed = reg.define("faas.completed");
+    CounterId sla = reg.define("faas.sla_met_rate");
+    EXPECT_EQ(reg.sampleCount(completed), result.invocations.size());
+    EXPECT_DOUBLE_EQ(reg.lastValue(completed),
+                     static_cast<double>(result.invocations.size()));
+    double rate = reg.lastValue(sla, -1.0);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+}
+
+TEST(Counters, SimulationOmitsRegistryByDefault)
+{
+    AppRegistry registry = standardRegistry();
+    EventSequence seq;
+    seq.name = "noctr";
+    seq.events = {WorkloadEvent{0, "lenet", 1, Priority::Medium, 0}};
+    RunResult result = runSequence("fcfs", seq, registry);
+    EXPECT_EQ(result.counters, nullptr);
+}
+
+} // namespace
+} // namespace nimblock

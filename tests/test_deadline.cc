@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/deadline.hh"
 #include "sim/logging.hh"
 
@@ -74,11 +76,22 @@ TEST(Deadline, ErrorPointFindsFirstCrossing)
     EXPECT_DOUBLE_EQ(curve.errorPoint(0.50), 5.0);
 }
 
-TEST(Deadline, ErrorPointBeyondSweepReportsSentinel)
+TEST(Deadline, ErrorPointBeyondSweepIsNaN)
 {
+    // The single record's response is 100x its unit, so no swept D_s
+    // (max 20) meets any target below 100%: the error point is
+    // unmeasurable, not "a bit past the end of the sweep".
     std::vector<AppRecord> records = {record(0, simtime::sec(100))};
     DeadlineCurve curve = deadlineSweep(records, unit(simtime::sec(1)));
-    EXPECT_GT(curve.errorPoint(0.10), 20.0);
+    EXPECT_TRUE(std::isnan(curve.errorPoint(0.10)));
+    // A 100% target is always met at the first swept point.
+    EXPECT_DOUBLE_EQ(curve.errorPoint(1.0), 1.0);
+}
+
+TEST(Deadline, ErrorPointOnEmptySweepIsNaN)
+{
+    DeadlineCurve curve;
+    EXPECT_TRUE(std::isnan(curve.errorPoint(0.10)));
 }
 
 TEST(Deadline, HighPriorityFilter)

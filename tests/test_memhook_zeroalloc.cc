@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Regression guard for the steady-state zero-allocation invariant.
+ *
+ * Replays the measurement performed by bench_sim_innerloop as a test:
+ * with tracing and counters disabled (the default), the simulation inner
+ * loop — between the last admission and the first retirement — must not
+ * allocate, for every evaluation scheduler. This binary links the
+ * counting allocator (nimblock_memhook), so it is a separate executable
+ * from nimblock_tests: the global operator new/delete replacement must
+ * not leak into the ordinary test binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/config.hh"
+#include "core/memhook.hh"
+#include "fabric/fabric.hh"
+#include "hypervisor/hypervisor.hh"
+#include "metrics/collector.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/generator.hh"
+#include "workload/scenario.hh"
+
+namespace nimblock {
+namespace {
+
+struct WindowResult
+{
+    std::uint64_t events = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * One full run with the steady-state window instrumented, as in
+ * bench_sim_innerloop: the window opens once every application has been
+ * admitted and closes on the step before the first retirement.
+ */
+WindowResult
+measureWindow(const std::string &scheduler_name, const SystemConfig &cfg,
+              const AppRegistry &registry, const EventSequence &seq)
+{
+    EventQueue eq;
+    Fabric fabric(eq, cfg.fabric);
+    auto scheduler = makeScheduler(scheduler_name);
+    MetricsCollector collector;
+    Hypervisor hyp(eq, fabric, *scheduler, collector, cfg.hypervisor);
+
+    eq.reserve(seq.events.size() + 64);
+    collector.reserve(seq.events.size());
+
+    for (const WorkloadEvent &e : seq.events) {
+        AppSpecPtr spec = registry.get(e.appName);
+        eq.schedule(e.arrival, "arrival",
+                    [&hyp, spec, batch = e.batch, priority = e.priority,
+                     index = e.index] {
+                        hyp.submit(spec, batch, priority, index);
+                    });
+    }
+
+    hyp.start();
+
+    WindowResult r;
+    const std::size_t total = seq.events.size();
+    bool window_open = false, window_done = false, stopped = false;
+    std::uint64_t window_start_fired = 0;
+    std::uint64_t pre_allocs = 0, pre_bytes = 0, pre_fired = 0;
+
+    while (!eq.empty()) {
+        if (window_open) {
+            pre_allocs = memhook::allocCount();
+            pre_bytes = memhook::allocBytes();
+            pre_fired = eq.firedCount();
+        }
+        if (!eq.step())
+            break;
+        if (!window_open && !window_done &&
+            hyp.stats().appsAdmitted == total && collector.count() == 0) {
+            window_open = true;
+            window_start_fired = eq.firedCount();
+            memhook::reset();
+            memhook::setEnabled(true);
+        }
+        if (window_open && collector.count() > 0) {
+            memhook::setEnabled(false);
+            window_open = false;
+            window_done = true;
+            r.events = pre_fired - window_start_fired;
+            r.allocs = pre_allocs;
+            r.bytes = pre_bytes;
+        }
+        if (!stopped && collector.count() == total) {
+            hyp.stop();
+            stopped = true;
+        }
+    }
+    memhook::setEnabled(false);
+    EXPECT_EQ(collector.count(), total) << scheduler_name;
+    EXPECT_TRUE(window_done) << scheduler_name
+                             << ": steady-state window never opened";
+    return r;
+}
+
+TEST(MemhookZeroAlloc, SteadyStateAllocatesNothingWithTracingDisabled)
+{
+    setQuiet(true);
+    AppRegistry registry = standardRegistry();
+    SystemConfig cfg; // recordTimeline / recordCounters default off.
+
+    // Same stimulus as bench_sim_innerloop's default: 20 events give the
+    // schedulers' internal pools enough admissions to reach their
+    // steady-state capacity before the window opens.
+    GeneratorConfig gen = scenarioConfig(Scenario::Stress, registry.names());
+    gen.numEvents = 20;
+    EventSequence seq = generateSequence("innerloop", gen, Rng(2023));
+    // Compress arrivals so every admission precedes the first retirement,
+    // making the steady-state window well defined.
+    for (std::size_t i = 0; i < seq.events.size(); ++i)
+        seq.events[i].arrival = simtime::ms(static_cast<double>(i));
+
+    for (const std::string &name : evaluationSchedulers()) {
+        WindowResult r = measureWindow(name, cfg, registry, seq);
+        EXPECT_GT(r.events, 0u) << name << ": empty window";
+        EXPECT_EQ(r.allocs, 0u)
+            << name << " allocated " << r.allocs << " times (" << r.bytes
+            << " bytes) in the steady-state window";
+    }
+}
+
+} // namespace
+} // namespace nimblock

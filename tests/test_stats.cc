@@ -170,6 +170,29 @@ TEST(Csv, EscapesSpecialCharacters)
     EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
 }
 
+TEST(Csv, QuotesCarriageReturns)
+{
+    CsvWriter csv;
+    csv.addRow({"with\rreturn", "with\r\ncrlf"});
+    std::string s = csv.toString();
+    EXPECT_NE(s.find("\"with\rreturn\""), std::string::npos);
+    EXPECT_NE(s.find("\"with\r\ncrlf\""), std::string::npos);
+}
+
+TEST(Csv, QuotesEmbeddedQuotesAndEdgeWhitespace)
+{
+    CsvWriter csv;
+    csv.addRow({"say \"hi\"", " leading", "trailing ", "\ttabbed\t"});
+    csv.addRow({"inner space is fine", "plain"});
+    std::string s = csv.toString();
+    EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(s.find("\" leading\""), std::string::npos);
+    EXPECT_NE(s.find("\"trailing \""), std::string::npos);
+    EXPECT_NE(s.find("\"\ttabbed\t\""), std::string::npos);
+    // Interior whitespace alone must not trigger quoting.
+    EXPECT_NE(s.find("inner space is fine,plain\n"), std::string::npos);
+}
+
 TEST(Csv, RoundTripsThroughFile)
 {
     CsvWriter csv;

@@ -38,6 +38,44 @@ TEST(TraceIo, RoundTripsThroughString)
     EXPECT_EQ(parsed.events[1].priority, Priority::High);
 }
 
+TEST(TraceIo, RoundTripIsLosslessAtNanosecondPrecision)
+{
+    // Arrivals with sub-microsecond structure: the old "%.3f ms" writer
+    // rounded these to the nearest microsecond, so read-back differed
+    // from the original SimTime values.
+    EventSequence seq;
+    seq.name = "ns";
+    seq.seed = 3;
+    seq.events = {
+        WorkloadEvent{0, "a", 1, Priority::Low, 0},
+        WorkloadEvent{1, "b", 2, Priority::Medium, simtime::ns(1)},
+        WorkloadEvent{2, "c", 3, Priority::High,
+                      simtime::ms(123) + simtime::ns(457)},
+        WorkloadEvent{3, "d", 4, Priority::Low,
+                      simtime::sec(3600) + simtime::ns(999)},
+    };
+    EventSequence parsed = traceFromString(traceToString(seq));
+    ASSERT_EQ(parsed.events.size(), seq.events.size());
+    for (std::size_t i = 0; i < seq.events.size(); ++i) {
+        EXPECT_EQ(parsed.events[i].arrival, seq.events[i].arrival)
+            << "event " << i << " arrival not reproduced exactly";
+        EXPECT_EQ(parsed.events[i].appName, seq.events[i].appName);
+        EXPECT_EQ(parsed.events[i].batch, seq.events[i].batch);
+        EXPECT_EQ(parsed.events[i].priority, seq.events[i].priority);
+    }
+}
+
+TEST(TraceIo, AcceptsLegacyMillisecondEvents)
+{
+    std::string text = "seq legacy 9\n"
+                       "event 10.5 lenet 5 1\n"
+                       "event_ns 250000001 alexnet 30 9\n";
+    EventSequence seq = traceFromString(text);
+    ASSERT_EQ(seq.events.size(), 2u);
+    EXPECT_EQ(seq.events[0].arrival, simtime::msF(10.5));
+    EXPECT_EQ(seq.events[1].arrival, simtime::ms(250) + simtime::ns(1));
+}
+
 TEST(TraceIo, IgnoresCommentsAndBlankLines)
 {
     std::string text = "# header comment\n"
@@ -59,6 +97,7 @@ TEST(TraceIo, RejectsMalformedEvent)
 {
     EXPECT_THROW(traceFromString("event 5.0 app\n"), FatalError);
     EXPECT_THROW(traceFromString("event 5.0 app 2 7\n"), FatalError);
+    EXPECT_THROW(traceFromString("event_ns 5000 app\n"), FatalError);
 }
 
 TEST(TraceIo, RejectsUnsortedEvents)

@@ -127,12 +127,12 @@ BM_BitstreamStoreHitPath(benchmark::State &state)
     BitstreamStore store(eq, BitstreamStoreConfig{});
     BitstreamKey key{0, 0, 0};
     bool loaded = false;
-    store.ensureLoaded(key, 8 << 20, [&loaded] { loaded = true; });
+    store.ensureLoaded(key, 8 << 20, [&loaded](bool) { loaded = true; });
     eq.run();
 
     for (auto _ : state) {
         int hits = 0;
-        store.ensureLoaded(key, 8 << 20, [&hits] { ++hits; });
+        store.ensureLoaded(key, 8 << 20, [&hits](bool) { ++hits; });
         benchmark::DoNotOptimize(hits);
     }
 }
@@ -146,7 +146,7 @@ BM_CapReconfigure(benchmark::State &state)
     Cap cap(eq, CapConfig{});
     for (auto _ : state) {
         int done = 0;
-        cap.reconfigure(0, 8 << 20, [&done] { ++done; });
+        cap.reconfigure(0, 8 << 20, [&done](bool) { ++done; });
         eq.run();
         benchmark::DoNotOptimize(done);
     }

@@ -4,6 +4,7 @@
 
 #include "sched/factory.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace nimblock {
 
@@ -42,6 +43,19 @@ Cluster::Cluster(EventQueue &eq, ClusterConfig cfg)
         b.hypervisor = std::make_unique<Hypervisor>(
             _eq, *b.fabric, *b.scheduler, *b.collector,
             _cfg.board.hypervisor);
+        if (_cfg.board.faults.enabled) {
+            // Each board gets an independent derived fault stream so
+            // boards fail independently but the cluster stays a pure
+            // function of the configured seed.
+            FaultConfig fc = _cfg.board.faults;
+            fc.validate();
+            fc.seed = Rng(fc.seed)
+                          .derive(formatMessage("cluster.board%zu", i))
+                          .seed();
+            b.injector =
+                std::make_unique<FaultInjector>(fc, b.fabric->numSlots());
+            b.hypervisor->setFaultInjector(b.injector.get());
+        }
     }
 }
 
@@ -74,9 +88,14 @@ Cluster::loadOf(std::size_t i)
         double load = 0.0;
         for (AppInstance *app : hyp.liveApps())
             load += simtime::toSec(hyp.estimatedSingleSlotLatency(*app));
-        // Normalize by capacity so a big board absorbs proportionally
-        // more work in heterogeneous clusters.
-        return load / static_cast<double>(_boards[i].fabric->numSlots());
+        // Normalize by *healthy* capacity so a big board absorbs
+        // proportionally more work in heterogeneous clusters and a board
+        // with quarantined slots sheds load onto its peers. The max()
+        // keeps a fully-quarantined board finite (and maximally loaded
+        // relative to healthy boards via the raw sum).
+        std::size_t healthy = _boards[i].fabric->numSlots() -
+                              _boards[i].fabric->quarantinedSlotCount();
+        return load / static_cast<double>(std::max<std::size_t>(1, healthy));
       }
     }
     return 0.0;

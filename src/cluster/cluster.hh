@@ -123,6 +123,8 @@ class Cluster
         std::unique_ptr<Scheduler> scheduler;
         std::unique_ptr<MetricsCollector> collector;
         std::unique_ptr<Hypervisor> hypervisor;
+        /** Per-board fault injector (board.faults.enabled only). */
+        std::unique_ptr<FaultInjector> injector;
     };
 
     EventQueue &_eq;

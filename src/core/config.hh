@@ -11,6 +11,7 @@
 #include "apps/app_spec.hh"
 #include "fabric/fabric.hh"
 #include "hypervisor/hypervisor.hh"
+#include "resilience/fault_injector.hh"
 
 namespace nimblock {
 
@@ -22,6 +23,13 @@ struct SystemConfig
 
     FabricConfig fabric;
     HypervisorConfig hypervisor;
+
+    /**
+     * Fault-injection model (see resilience/fault_injector.hh). Disabled
+     * by default; runs with `faults.enabled == false` are byte-identical
+     * to builds without the resilience subsystem.
+     */
+    FaultConfig faults;
 
     /**
      * Hard progress guard: multiplier on the workload's summed

@@ -37,6 +37,17 @@ Simulation::run(const EventSequence &seq)
         hyp.setCounters(counters.get());
     }
 
+    // Fault injection is strictly opt-in: when disabled the hypervisor
+    // keeps a null injector and every hook is a no-op, so results are
+    // byte-identical to a build without the resilience subsystem.
+    std::unique_ptr<FaultInjector> injector;
+    if (_cfg.faults.enabled) {
+        _cfg.faults.validate();
+        injector =
+            std::make_unique<FaultInjector>(_cfg.faults, fabric.numSlots());
+        hyp.setFaultInjector(injector.get());
+    }
+
     // Progress horizon: generous multiple of the total serialized work.
     // The same sweep sizes the steady-state storage: every arrival is
     // pre-scheduled (bounding concurrently pending events), one record is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -84,7 +85,7 @@ BitstreamStore::ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
         ++_hits;
         sampleHitRate();
         touch(key);
-        cb();
+        cb(true);
         return;
     }
     ++_misses;
@@ -128,7 +129,16 @@ void
 BitstreamStore::finishLoad()
 {
     PendingLoad &load = _queue.front();
-    insertCached(load.key, load.bytes);
+
+    // Resilience-layer fault injection: a failed SD read occupies the
+    // device for the full load latency but leaves nothing cached.
+    bool ok = true;
+    if (_injector && _injector->sdReadFails()) {
+        ok = false;
+        ++_readFailures;
+    }
+    if (ok)
+        insertCached(load.key, load.bytes);
 
     // Swap the callbacks into the member scratch (both vectors keep
     // their capacity) so re-entrant ensureLoaded() calls from the
@@ -145,7 +155,7 @@ BitstreamStore::finishLoad()
     }
 
     for (auto &cb : _cbScratch)
-        cb();
+        cb(ok);
 
     if (!_busy && !_queue.empty())
         startNextLoad();

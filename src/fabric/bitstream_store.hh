@@ -24,6 +24,8 @@
 
 namespace nimblock {
 
+class FaultInjector;
+
 /** Timing/capacity knobs for the bitstream store. */
 struct BitstreamStoreConfig
 {
@@ -47,7 +49,13 @@ struct BitstreamStoreConfig
 class BitstreamStore
 {
   public:
-    using LoadCallback = SmallFunction<void()>;
+    /**
+     * Load-completion callback. `ok == false` means the SD read failed
+     * (resilience-layer fault injection) and the bitstream is NOT
+     * resident; without an installed FaultInjector the callback always
+     * receives true.
+     */
+    using LoadCallback = SmallFunction<void(bool)>;
 
     BitstreamStore(EventQueue &eq, BitstreamStoreConfig cfg);
 
@@ -56,7 +64,8 @@ class BitstreamStore
      *
      * @param key   Bitstream identity.
      * @param bytes Size of the bitstream.
-     * @param cb    Invoked (possibly synchronously) once resident.
+     * @param cb    Invoked (possibly synchronously) once resident,
+     *              or with ok == false on an injected SD read error.
      */
     void ensureLoaded(const BitstreamKey &key, std::uint64_t bytes,
                       LoadCallback cb);
@@ -88,6 +97,16 @@ class BitstreamStore
      * queue transitions and "bitstream.cache_bytes" on cache changes.
      */
     void setCounters(CounterRegistry *counters);
+
+    /**
+     * Attach a fault injector (optional; may be null). When installed,
+     * each SD load may fail after occupying the SD for its full latency;
+     * a failed load is not cached and its callbacks receive false.
+     */
+    void setFaultInjector(FaultInjector *injector) { _injector = injector; }
+
+    /** Number of injected SD read failures. */
+    std::uint64_t readFailures() const { return _readFailures; }
 
   private:
     struct PendingLoad
@@ -138,6 +157,8 @@ class BitstreamStore
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
     std::uint64_t _evictions = 0;
+    std::uint64_t _readFailures = 0;
+    FaultInjector *_injector = nullptr;
 
     CounterRegistry *_counters = nullptr;
     CounterId _ctrHitRate = kCounterNone;

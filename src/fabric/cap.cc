@@ -1,5 +1,6 @@
 #include "fabric/cap.hh"
 
+#include "resilience/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -75,17 +76,27 @@ Cap::startNext()
                       head.slot, head.attempts);
             }
 
+            // Resilience-layer fault injection: unlike the CRC model
+            // above, these failures are visible to the requester, which
+            // owns the retry/quarantine policy.
+            bool ok = true;
+            if (_injector && _injector->reconfigAttemptFails(head.slot)) {
+                ok = false;
+                ++_visibleFailures;
+            }
+
             Request req = std::move(_queue.front());
             _queue.pop_front();
             _busy = false;
-            ++_completed;
+            if (ok)
+                ++_completed;
             if (_counters) {
                 _counters->sample(_ctrBacklog, _eq.now(),
                                   static_cast<double>(_queue.size()));
                 _counters->sample(_ctrCompleted, _eq.now(),
                                   static_cast<double>(_completed));
             }
-            req.cb();
+            req.cb(ok);
             if (!_busy)
                 startNext();
         });

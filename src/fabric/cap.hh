@@ -24,6 +24,8 @@
 
 namespace nimblock {
 
+class FaultInjector;
+
 /** CAP timing parameters. */
 struct CapConfig
 {
@@ -57,14 +59,19 @@ struct CapConfig
 class Cap
 {
   public:
-    using DoneCallback = SmallFunction<void()>;
+    /**
+     * Completion callback. `ok == false` means the reconfiguration failed
+     * visibly (resilience-layer fault injection); without an installed
+     * FaultInjector the callback always receives true.
+     */
+    using DoneCallback = SmallFunction<void(bool)>;
 
     Cap(EventQueue &eq, CapConfig cfg);
 
     /**
      * Queue a reconfiguration of @p slot with a bitstream of @p bytes.
      *
-     * @param cb Invoked when the reconfiguration completes.
+     * @param cb Invoked when the reconfiguration completes or fails.
      */
     void reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb);
 
@@ -93,6 +100,18 @@ class Cap
      */
     void setCounters(CounterRegistry *counters);
 
+    /**
+     * Attach a fault injector (optional; may be null). When installed,
+     * each reconfiguration attempt may fail visibly — the port stays
+     * occupied for the full reconfiguration latency, then reports
+     * `ok == false` instead of fatal()ing. This is separate from the
+     * transparent CRC-retry model in CapConfig.
+     */
+    void setFaultInjector(FaultInjector *injector) { _injector = injector; }
+
+    /** Number of visibly failed reconfigurations (injected faults). */
+    std::uint64_t visibleFailures() const { return _visibleFailures; }
+
   private:
     struct Request
     {
@@ -110,8 +129,10 @@ class Cap
     bool _busy = false;
     std::uint64_t _completed = 0;
     std::uint64_t _retries = 0;
+    std::uint64_t _visibleFailures = 0;
     SimTime _busyTime = 0;
     Rng _faults;
+    FaultInjector *_injector = nullptr;
 
     CounterRegistry *_counters = nullptr;
     CounterId _ctrBacklog = kCounterNone;

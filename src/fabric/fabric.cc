@@ -71,6 +71,15 @@ Fabric::freeSlotCount() const
     return n;
 }
 
+std::size_t
+Fabric::quarantinedSlotCount() const
+{
+    std::size_t n = 0;
+    for (const Slot &s : _slots)
+        n += s.quarantined();
+    return n;
+}
+
 SimTime
 Fabric::psTransferLatency(std::uint64_t bytes) const
 {

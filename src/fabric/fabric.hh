@@ -118,6 +118,20 @@ class Fabric
     /** Number of currently free slots. */
     std::size_t freeSlotCount() const;
 
+    /** Number of slots currently quarantined by the resilience layer. */
+    std::size_t quarantinedSlotCount() const;
+
+    /**
+     * Slots schedulers may currently use: all slots minus quarantined
+     * ones. Capacity-sensitive policies (Nimblock goal numbers, PREMA
+     * token accounting, static reservations) size against this.
+     */
+    std::size_t
+    schedulableSlotCount() const
+    {
+        return numSlots() - quarantinedSlotCount();
+    }
+
     /**
      * Effective bitstream size for a task-declared size (0 means "use the
      * fabric default").

@@ -46,7 +46,23 @@ class Slot
 
     SlotId id() const { return _id; }
     SlotState state() const { return _state; }
-    bool isFree() const { return _state == SlotState::Free; }
+
+    /**
+     * Schedulable-and-empty predicate: quarantined slots report not-free
+     * even when unoccupied, which is how the quarantine shrinks the slot
+     * set every scheduler sees without per-scheduler changes.
+     */
+    bool
+    isFree() const
+    {
+        return _state == SlotState::Free && !_quarantined;
+    }
+
+    /** True while the slot is quarantined by the resilience layer. */
+    bool quarantined() const { return _quarantined; }
+
+    /** Enter/leave quarantine (hypervisor only; slot must be Free). */
+    void setQuarantined(bool q) { _quarantined = q; }
 
     /** Occupant application instance; kAppNone when free. */
     AppInstanceId app() const { return _app; }
@@ -135,6 +151,7 @@ class Slot
     TaskId _task = kTaskNone;
     bool _executing = false;
     bool _preemptRequested = false;
+    bool _quarantined = false;
     std::optional<BitstreamKey> _bitstream;
 
     std::uint64_t _reconfigCount = 0;

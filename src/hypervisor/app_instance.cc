@@ -190,6 +190,24 @@ AppInstance::residentTasksInto(std::vector<TaskId> &out) const
 }
 
 void
+AppInstance::resetProgress()
+{
+    for (TaskRunState &st : _tasks) {
+        if (st.phase == TaskPhase::Resident)
+            panic("app %s requeued while still resident",
+                  _spec->name().c_str());
+        st.itemsDone = 0;
+        st.executing = false;
+        st.itemRemaining = kTimeNone;
+        if (st.phase != TaskPhase::Configuring) {
+            st.phase = TaskPhase::Idle;
+            st.slot = kSlotNone;
+        }
+    }
+    _tasksCompleted = 0;
+}
+
+void
 AppInstance::noteLaunch(SimTime now)
 {
     if (_firstLaunch == kTimeNone)

@@ -229,6 +229,27 @@ class AppInstance
 
     int preemptionCount() const { return _preemptionCount; }
     void notePreemption() { ++_preemptionCount; }
+
+    /** True when the app was failed by the resilience policy. */
+    bool failed() const { return _failed; }
+    void markFailed() { _failed = true; }
+
+    /** Batch items re-executed after an injected crash/hang. */
+    int itemRetries() const { return _itemRetries; }
+    void noteItemRetry() { ++_itemRetries; }
+
+    /** Times the whole app was requeued (all progress discarded). */
+    int requeues() const { return _requeues; }
+    void noteRequeue() { ++_requeues; }
+
+    /**
+     * Discard all batch progress (requeue): zero items done everywhere,
+     * Resident/Done tasks return to Idle. The caller must have vacated
+     * Resident slots first; tasks still Configuring keep their phase (the
+     * in-flight reconfiguration lands normally and the task restarts from
+     * item 0). Accounting (run/reconfig time already consumed) is kept.
+     */
+    void resetProgress();
     /// @}
 
     /** Debug rendering. */
@@ -258,6 +279,9 @@ class AppInstance
     SimTime _totalReconfigTime = 0;
     int _reconfigCount = 0;
     int _preemptionCount = 0;
+    bool _failed = false;
+    int _itemRetries = 0;
+    int _requeues = 0;
 };
 
 } // namespace nimblock

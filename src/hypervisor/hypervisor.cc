@@ -15,6 +15,14 @@ Hypervisor::Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
 {
     if (cfg.schedInterval <= 0)
         fatal("scheduling interval must be positive");
+    if (_cfg.allowMidItemPreemption && fabric.config().modelPsContention) {
+        // Three-phase (transfer/compute/transfer) items cannot be
+        // checkpointed mid-transfer; silently proceeding would leave
+        // mid-item preemption requests unhonorable.
+        warn("allowMidItemPreemption requires modelPsContention == false; "
+             "disabling mid-item preemption");
+        _cfg.allowMidItemPreemption = false;
+    }
     _itemEvent.assign(fabric.numSlots(), kEventNone);
     _itemStart.assign(fabric.numSlots(), kTimeNone);
     _itemDuration.assign(fabric.numSlots(), kTimeNone);
@@ -50,6 +58,32 @@ Hypervisor::setCounters(CounterRegistry *counters)
     _ctrPasses = counters->define("hyp.sched_passes");
     _ctrBufferBytes = counters->define("hyp.buffer_bytes");
     _markPass = counters->define("sched.pass");
+    _ctrFaults = counters->define("fault.injected");
+    _ctrFaultRetries = counters->define("fault.retries");
+    _ctrQuarantined = counters->define("fault.quarantined_slots");
+    _ctrAppsFailed = counters->define("fault.apps_failed");
+}
+
+void
+Hypervisor::setFaultInjector(FaultInjector *injector)
+{
+    _faults = injector;
+    _fabric.cap().setFaultInjector(injector);
+    _fabric.store().setFaultInjector(injector);
+    if (!injector) {
+        _retry.reset();
+        _health.reset();
+        return;
+    }
+    const FaultConfig &fc = injector->config();
+    _retry = std::make_unique<RetryPolicy>(
+        fc.retry, Rng(fc.seed).derive("retry.jitter").seed());
+    _health = std::make_unique<SlotHealth>(_fabric.numSlots(),
+                                           fc.quarantineAfter);
+    _configAttempts.assign(_fabric.numSlots(), 0);
+    _itemAttempts.assign(_fabric.numSlots(), 0);
+    _itemFault.assign(_fabric.numSlots(), ItemFault::None);
+    _slotHold.assign(_fabric.numSlots(), 0);
 }
 
 void
@@ -201,6 +235,10 @@ Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
 
     AppInstanceId app_id = app.id();
+    if (_faults) {
+        _configAttempts[slot_id] = 0;
+        _itemAttempts[slot_id] = 0;
+    }
 
     if (_cfg.allowReconfigSkip && slot.configuredBitstream() &&
         *slot.configuredBitstream() == key) {
@@ -213,14 +251,166 @@ Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
     }
 
     SimTime cap_latency = _fabric.cap().reconfigLatency(bytes);
+    issueConfigLoad(app_id, task, slot_id, bytes, cap_latency);
+    return true;
+}
+
+void
+Hypervisor::issueConfigLoad(AppInstanceId app_id, TaskId task, SlotId slot_id,
+                            std::uint64_t bytes, SimTime cap_latency)
+{
+    // The bitstream key is reconstructed from interned ids so the retry
+    // path (which re-enters here after a backoff) stays string-free.
+    AppInstance *app = findApp(app_id);
+    if (!app)
+        panic("issuing configuration for retired app %llu",
+              static_cast<unsigned long long>(app_id));
+    BitstreamKey key =
+        _fabric.bitstreamKeyFor(app->bitstreamNameId(), task, slot_id);
     _fabric.store().ensureLoaded(
-        key, bytes, [this, app_id, task, slot_id, bytes, cap_latency] {
+        key, bytes,
+        [this, app_id, task, slot_id, bytes, cap_latency](bool ok) {
+            if (!ok) {
+                onConfigFailed(app_id, task, slot_id, bytes, cap_latency,
+                               /*from_sd=*/true);
+                return;
+            }
             _fabric.cap().reconfigure(
-                slot_id, bytes, [this, app_id, task, slot_id, cap_latency] {
+                slot_id, bytes,
+                [this, app_id, task, slot_id, bytes, cap_latency](bool ok2) {
+                    if (!ok2) {
+                        onConfigFailed(app_id, task, slot_id, bytes,
+                                       cap_latency, /*from_sd=*/false);
+                        return;
+                    }
                     onReconfigDone(app_id, task, slot_id, cap_latency);
                 });
         });
-    return true;
+}
+
+void
+Hypervisor::onConfigFailed(AppInstanceId app_id, TaskId task, SlotId slot_id,
+                           std::uint64_t bytes, SimTime cap_latency,
+                           bool from_sd)
+{
+    ++_stats.faultsInjected;
+    countSample(_ctrFaults, static_cast<double>(_stats.faultsInjected));
+
+    Slot &slot = _fabric.slot(slot_id);
+    AppInstance *app = findApp(app_id);
+    if (!app) {
+        // The app was failed while this operation was in flight; the
+        // placement is orphaned. Free the slot (buffers went with the
+        // app).
+        slot.release(_eq.now());
+        requestPass(SchedEvent::ReconfigDone);
+        return;
+    }
+    trace(slot_id, *app, task, TimelineEventKind::Fault);
+
+    // SD read errors are a board-level storage problem, not evidence
+    // against the slot; only CAP failures feed the quarantine tracker.
+    bool quarantine_now = !from_sd && _health->recordFault(slot_id);
+    int attempts = ++_configAttempts[slot_id];
+
+    if (quarantine_now) {
+        abortPlacement(*app, task, slot_id);
+        quarantineSlot(slot_id);
+        return;
+    }
+    if (!_retry->exhausted(attempts)) {
+        ++_stats.faultRetries;
+        countSample(_ctrFaultRetries,
+                    static_cast<double>(_stats.faultRetries));
+        _eq.scheduleAfter(
+            _retry->backoff(attempts), "config_retry",
+            [this, app_id, task, slot_id, bytes, cap_latency] {
+                Slot &s = _fabric.slot(slot_id);
+                // The placement may have dissolved during the backoff
+                // (quarantine, requeue); only retry if we still own it.
+                if (s.state() != SlotState::Configuring ||
+                    s.app() != app_id || s.task() != task) {
+                    return;
+                }
+                if (!findApp(app_id)) {
+                    // App failed during the backoff; free the held slot.
+                    s.release(_eq.now());
+                    requestPass(SchedEvent::ReconfigDone);
+                    return;
+                }
+                issueConfigLoad(app_id, task, slot_id, bytes, cap_latency);
+            });
+        return;
+    }
+
+    // Retries exhausted without crossing the quarantine threshold: give
+    // the placement up; the scheduler will try again (likely elsewhere).
+    abortPlacement(*app, task, slot_id);
+}
+
+void
+Hypervisor::abortPlacement(AppInstance &app, TaskId task, SlotId slot_id)
+{
+    TaskRunState &st = app.taskState(task);
+    st.phase = TaskPhase::Idle;
+    st.slot = kSlotNone;
+    _buffers.release(app.id(), task);
+    countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
+    trace(slot_id, app, task, TimelineEventKind::Release);
+    _fabric.slot(slot_id).release(_eq.now());
+    _configAttempts[slot_id] = 0;
+    requestPass(SchedEvent::ReconfigDone);
+}
+
+void
+Hypervisor::quarantineSlot(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    if (!slot.isFree())
+        panic("quarantining non-free slot %u", slot_id);
+    slot.setQuarantined(true);
+    _health->markQuarantined(slot_id);
+    ++_stats.quarantineEvents;
+    traceSlot(slot_id, TimelineEventKind::QuarantineBegin);
+    countSample(_ctrQuarantined,
+                static_cast<double>(_health->quarantinedCount()));
+    scheduleProbe(slot_id);
+    notifyCapacityChanged();
+}
+
+void
+Hypervisor::scheduleProbe(SlotId slot_id)
+{
+    _eq.scheduleAfter(_faults->config().probeInterval, "slot_probe",
+                      [this, slot_id] { probeSlot(slot_id); });
+}
+
+void
+Hypervisor::probeSlot(SlotId slot_id)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    if (!slot.quarantined())
+        return;
+    ++_stats.probesIssued;
+    if (!_faults->probeRepair(slot_id)) {
+        // Still persistently faulted; keep probing. The probe chain also
+        // keeps the event queue alive while capacity is reduced.
+        scheduleProbe(slot_id);
+        return;
+    }
+    slot.setQuarantined(false);
+    _health->markHealthy(slot_id);
+    traceSlot(slot_id, TimelineEventKind::QuarantineEnd);
+    countSample(_ctrQuarantined,
+                static_cast<double>(_health->quarantinedCount()));
+    notifyCapacityChanged();
+}
+
+void
+Hypervisor::notifyCapacityChanged()
+{
+    _scheduler.onCapacityChanged();
+    requestPass(SchedEvent::CapacityChange);
 }
 
 void
@@ -228,12 +418,24 @@ Hypervisor::onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot_id,
                            SimTime reconfig_latency)
 {
     AppInstance *app = findApp(app_id);
-    if (!app)
-        panic("reconfiguration completed for retired app %llu",
-              static_cast<unsigned long long>(app_id));
+    if (!app) {
+        if (!_faults)
+            panic("reconfiguration completed for retired app %llu",
+                  static_cast<unsigned long long>(app_id));
+        // The app was failed by the resilience policy while this
+        // reconfiguration was in flight: the landing is orphaned. Free
+        // the slot (the failed app's buffers were already released).
+        _fabric.slot(slot_id).release(_eq.now());
+        requestPass(SchedEvent::ReconfigDone);
+        return;
+    }
 
     Slot &slot = _fabric.slot(slot_id);
     slot.finishConfigure(_eq.now());
+    if (_faults) {
+        _health->recordSuccess(slot_id);
+        _configAttempts[slot_id] = 0;
+    }
     TaskRunState &st = app->taskState(task);
     st.phase = TaskPhase::Resident;
     app->addReconfigTime(reconfig_latency);
@@ -250,6 +452,10 @@ Hypervisor::advanceSlot(SlotId slot_id)
 {
     Slot &slot = _fabric.slot(slot_id);
     if (slot.state() != SlotState::Occupied || slot.executing())
+        return;
+
+    // An item-retry backoff holds the slot; the retry event resumes it.
+    if (_faults && _slotHold[slot_id])
         return;
 
     if (slot.preemptRequested()) {
@@ -301,6 +507,32 @@ Hypervisor::startItem(SlotId slot_id)
         st.itemRemaining = kTimeNone;
         _itemStart[slot_id] = _eq.now();
         _itemDuration[slot_id] = dur;
+
+        // Item-level fault injection (single-event execution path only:
+        // the three-phase contention path has in-flight transfer state
+        // that cannot be unwound, so items there never draw faults).
+        ItemFault fault = _faults ? _faults->drawItemFault(slot_id)
+                                  : ItemFault::None;
+        if (fault == ItemFault::Crash) {
+            _itemFault[slot_id] = fault;
+            _itemEvent[slot_id] =
+                _eq.scheduleAfter(dur, "item_crash", [this, slot_id] {
+                    _itemEvent[slot_id] = kEventNone;
+                    onItemFailed(slot_id, /*hang=*/false);
+                });
+            return;
+        }
+        if (fault == ItemFault::Hang) {
+            _itemFault[slot_id] = fault;
+            _itemEvent[slot_id] = _eq.scheduleAfter(
+                _retry->config().opTimeout, "item_watchdog",
+                [this, slot_id] {
+                    _itemEvent[slot_id] = kEventNone;
+                    onItemFailed(slot_id, /*hang=*/true);
+                });
+            return;
+        }
+
         _itemEvent[slot_id] =
             _eq.scheduleAfter(dur, "item_done", [this, slot_id, dur] {
                 _itemEvent[slot_id] = kEventNone;
@@ -346,6 +578,8 @@ Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
     TaskRunState &st = app->taskState(task);
     st.executing = false;
     ++st.itemsDone;
+    if (_faults)
+        _itemAttempts[slot_id] = 0;
     app->addRunTime(item_duration);
     ++_stats.itemsExecuted;
     trace(slot_id, *app, task, TimelineEventKind::ItemEnd);
@@ -361,6 +595,134 @@ Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
 
     advanceSlot(slot_id);
     requestPass(SchedEvent::ItemBoundary);
+}
+
+void
+Hypervisor::onItemFailed(SlotId slot_id, bool hang)
+{
+    Slot &slot = _fabric.slot(slot_id);
+    AppInstance *app = findApp(slot.app());
+    if (!app)
+        panic("item failed in slot %u for retired app", slot_id);
+    TaskId task = slot.task();
+    AppInstanceId app_id = app->id();
+    TaskRunState &st = app->taskState(task);
+
+    // The item produced nothing: no items-done credit, no run time. A
+    // crash surfaces at the item's nominal end; a hang is detected by
+    // the watchdog after opTimeout.
+    slot.abortItem(_eq.now());
+    st.executing = false;
+    st.itemRemaining = kTimeNone;
+    _itemFault[slot_id] = ItemFault::None;
+    ++_stats.faultsInjected;
+    countSample(_ctrFaults, static_cast<double>(_stats.faultsInjected));
+    trace(slot_id, *app, task, TimelineEventKind::Fault);
+    (void)hang;
+
+    int attempts = ++_itemAttempts[slot_id];
+    if (!_retry->exhausted(attempts)) {
+        ++_stats.faultRetries;
+        countSample(_ctrFaultRetries,
+                    static_cast<double>(_stats.faultRetries));
+        app->noteItemRetry();
+        // Hold the slot through the backoff so neither the successor
+        // wake-up path nor a scheduling pass restarts the item early.
+        _slotHold[slot_id] = 1;
+        _eq.scheduleAfter(
+            _retry->backoff(attempts), "item_retry",
+            [this, slot_id, app_id, task] {
+                _slotHold[slot_id] = 0;
+                Slot &s = _fabric.slot(slot_id);
+                // Only resume if the occupant survived the backoff (a
+                // requeue/failure releases the slot meanwhile).
+                if (s.state() != SlotState::Occupied || s.app() != app_id ||
+                    s.task() != task) {
+                    return;
+                }
+                advanceSlot(slot_id);
+            });
+        return;
+    }
+
+    _itemAttempts[slot_id] = 0;
+    requeueOrFail(*app);
+}
+
+void
+Hypervisor::vacateResidentTasks(AppInstance &app)
+{
+    const TaskGraph &g = app.graph();
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        TaskRunState &st = app.taskState(t);
+        if (st.phase != TaskPhase::Resident)
+            continue;
+        SlotId slot_id = st.slot;
+        Slot &slot = _fabric.slot(slot_id);
+        if (st.executing) {
+            // Item faults only run on the single-event path, so every
+            // executing item of a recoverable app has a pending event.
+            if (_itemEvent[slot_id] != kEventNone) {
+                _eq.cancel(_itemEvent[slot_id]);
+                _itemEvent[slot_id] = kEventNone;
+            }
+            slot.abortItem(_eq.now());
+            st.executing = false;
+        }
+        st.phase = TaskPhase::Idle;
+        st.slot = kSlotNone;
+        st.itemRemaining = kTimeNone;
+        _buffers.release(app.id(), t);
+        trace(slot_id, app, t, TimelineEventKind::Release);
+        slot.clearPreempt();
+        slot.release(_eq.now());
+        _slotHold[slot_id] = 0;
+        _itemFault[slot_id] = ItemFault::None;
+        _itemAttempts[slot_id] = 0;
+    }
+    countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
+}
+
+void
+Hypervisor::requeueOrFail(AppInstance &app)
+{
+    if (app.requeues() >= _faults->config().appRequeueLimit) {
+        failApp(app);
+        return;
+    }
+    app.noteRequeue();
+    ++_stats.appRequeues;
+    requeueApp(app);
+}
+
+void
+Hypervisor::requeueApp(AppInstance &app)
+{
+    vacateResidentTasks(app);
+    // Configuring tasks keep their slots: the in-flight reconfiguration
+    // lands normally and the task restarts from item 0.
+    app.resetProgress();
+    requestPass(SchedEvent::Arrival);
+}
+
+void
+Hypervisor::failApp(AppInstance &app)
+{
+    app.markFailed();
+    ++_stats.appsFailed;
+    countSample(_ctrAppsFailed, static_cast<double>(_stats.appsFailed));
+    vacateResidentTasks(app);
+    // Configuring placements cannot be cancelled (the CAP/SD callbacks
+    // are in flight); release their buffers now — the landing finds the
+    // app retired and frees the slot gracefully.
+    const TaskGraph &g = app.graph();
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        if (app.taskState(t).phase == TaskPhase::Configuring)
+            _buffers.release(app.id(), t);
+    }
+    countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
+    retire(app);
+    requestPass(SchedEvent::AppDone);
 }
 
 bool
@@ -382,9 +744,13 @@ Hypervisor::preempt(SlotId slot_id)
     // instead of waiting for the batch-item boundary. Requires the
     // single-event execution path (no PS-contention phases) and an item
     // actually in flight.
+    // A faulted in-flight item (crash pending / hung) has no meaningful
+    // progress to checkpoint; fall through to the boundary request and
+    // let the retry machinery resolve the slot first.
     if (_cfg.allowMidItemPreemption &&
         !_fabric.config().modelPsContention &&
-        _itemEvent[slot_id] != kEventNone) {
+        _itemEvent[slot_id] != kEventNone &&
+        (!_faults || _itemFault[slot_id] == ItemFault::None)) {
         _eq.cancel(_itemEvent[slot_id]);
         _itemEvent[slot_id] = kEventNone;
 
@@ -438,6 +804,11 @@ Hypervisor::doPreempt(SlotId slot_id)
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, *app, task, TimelineEventKind::Preempt);
     slot.release(_eq.now());
+    if (_faults) {
+        _slotHold[slot_id] = 0;
+        _itemFault[slot_id] = ItemFault::None;
+        _itemAttempts[slot_id] = 0;
+    }
     ++_stats.preemptionsHonored;
     requestPass(SchedEvent::PreemptDone);
 }
@@ -459,6 +830,11 @@ Hypervisor::completeTask(SlotId slot_id)
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, *app, task, TimelineEventKind::Release);
     slot.release(_eq.now());
+    if (_faults) {
+        _slotHold[slot_id] = 0;
+        _itemFault[slot_id] = ItemFault::None;
+        _itemAttempts[slot_id] = 0;
+    }
 
     if (app->done()) {
         retire(*app);
@@ -485,6 +861,9 @@ Hypervisor::retire(AppInstance &app)
     rec.reconfigTime = app.totalReconfigTime();
     rec.reconfigs = app.reconfigCount();
     rec.preemptions = app.preemptionCount();
+    rec.failed = app.failed();
+    rec.itemRetries = app.itemRetries();
+    rec.requeues = app.requeues();
     _collector.record(std::move(rec));
 
     ++_stats.appsRetired;
@@ -557,6 +936,10 @@ Hypervisor::rescueStallIfNeeded()
     for (const Slot &s : _fabric.slots()) {
         any_free |= s.isFree();
         any_active |= s.executing() || s.state() == SlotState::Configuring;
+        // A slot held by an item-retry backoff has a pending event; it
+        // is progress, not a stall.
+        if (_faults && _slotHold[s.id()])
+            any_active = true;
     }
     if (any_free || any_active)
         return;

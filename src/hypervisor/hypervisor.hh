@@ -28,6 +28,8 @@
 #include "metrics/collector.hh"
 #include "metrics/counters.hh"
 #include "metrics/timeline.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/slot_health.hh"
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
 
@@ -59,7 +61,8 @@ struct HypervisorConfig
      * (paying checkpointLatency) instead of waiting for the batch-item
      * boundary. The checkpointed item resumes from its saved progress.
      * Only effective without PS-contention modeling (three-phase items
-     * cannot be checkpointed mid-transfer).
+     * cannot be checkpointed mid-transfer); the hypervisor rejects the
+     * combination at construction time (warns and disables the flag).
      */
     bool allowMidItemPreemption = false;
 
@@ -101,6 +104,16 @@ struct HypervisorStats
     std::uint64_t schedulingPasses = 0;
     std::uint64_t stallRescues = 0;
     std::uint64_t itemsExecuted = 0;
+
+    /** @name Resilience (all zero without an installed FaultInjector) */
+    /// @{
+    std::uint64_t faultsInjected = 0;   //!< Observed injected faults.
+    std::uint64_t faultRetries = 0;     //!< Operations re-issued.
+    std::uint64_t quarantineEvents = 0; //!< Slot quarantine entries.
+    std::uint64_t probesIssued = 0;     //!< Quarantine probes fired.
+    std::uint64_t appsFailed = 0;       //!< Apps retired as failed.
+    std::uint64_t appRequeues = 0;      //!< Whole-app requeues.
+    /// @}
 };
 
 /** The hypervisor: system manager and SchedulerOps implementation. */
@@ -146,6 +159,9 @@ class Hypervisor : public SchedulerOps
     const HypervisorStats &stats() const { return _stats; }
     const BufferManager &buffers() const { return _buffers; }
 
+    /** Effective configuration (after construction-time normalization). */
+    const HypervisorConfig &config() const { return _cfg; }
+
     /**
      * Attach a slot-transition recorder (optional; may be null). The
      * timeline must outlive the hypervisor's activity.
@@ -159,6 +175,16 @@ class Hypervisor : public SchedulerOps
      * hypervisor's activity.
      */
     void setCounters(CounterRegistry *counters);
+
+    /**
+     * Attach a fault injector (optional; may be null). Wires the fabric's
+     * CAP and bitstream store to the same injector and arms the recovery
+     * machinery (RetryPolicy, SlotHealth, per-slot retry state). With no
+     * injector every fault hook is a single null-pointer branch, so the
+     * default configuration stays byte-identical and allocation-free.
+     * The injector must outlive the hypervisor's activity.
+     */
+    void setFaultInjector(FaultInjector *injector);
 
     /** @name SchedulerOps */
     /// @{
@@ -182,6 +208,50 @@ class Hypervisor : public SchedulerOps
     /** Reconfiguration completed for (app, task) in @p slot. */
     void onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot,
                         SimTime reconfig_latency);
+
+    /** @name Resilience (active only with an installed FaultInjector) */
+    /// @{
+
+    /** Issue (or re-issue) the SD-load + CAP chain for a placement. */
+    void issueConfigLoad(AppInstanceId app_id, TaskId task, SlotId slot,
+                         std::uint64_t bytes, SimTime cap_latency);
+
+    /** An injected fault failed the SD load or CAP reconfiguration. */
+    void onConfigFailed(AppInstanceId app_id, TaskId task, SlotId slot,
+                        std::uint64_t bytes, SimTime cap_latency,
+                        bool from_sd);
+
+    /** Dissolve a Configuring placement: task to Idle, slot freed. */
+    void abortPlacement(AppInstance &app, TaskId task, SlotId slot);
+
+    /** Quarantine @p slot (must be Free) and start probing it. */
+    void quarantineSlot(SlotId slot);
+
+    /** Schedule the next quarantine probe of @p slot. */
+    void scheduleProbe(SlotId slot);
+
+    /** Probe a quarantined slot; repair returns it to service. */
+    void probeSlot(SlotId slot);
+
+    /** An in-flight batch item crashed (or its watchdog fired). */
+    void onItemFailed(SlotId slot, bool hang);
+
+    /** An item exhausted its retries: requeue the app or fail it. */
+    void requeueOrFail(AppInstance &app);
+
+    /** Discard the app's progress and send it back to the queue. */
+    void requeueApp(AppInstance &app);
+
+    /** Retire the app as failed, vacating everything it holds. */
+    void failApp(AppInstance &app);
+
+    /** Vacate every Resident task of @p app (cancelling in-flight items). */
+    void vacateResidentTasks(AppInstance &app);
+
+    /** Tell the scheduler the slot set changed and trigger a pass. */
+    void notifyCapacityChanged();
+
+    /// @}
 
     /**
      * Drive the slot: honor preemption, start the next batch item,
@@ -233,6 +303,16 @@ class Hypervisor : public SchedulerOps
     /** Record a slot transition when a timeline is attached. */
     void trace(SlotId slot, const AppInstance &app, TaskId task,
                TimelineEventKind kind);
+
+    /** Record an app-less slot event (quarantine transitions). */
+    void
+    traceSlot(SlotId slot, TimelineEventKind kind)
+    {
+        if (_timeline) {
+            _timeline->record(_eq.now(), slot, kAppNone, kTaskNone,
+                              kNameNone, kind);
+        }
+    }
 
     /** Record a counter observation when a registry is attached. */
     void
@@ -294,6 +374,21 @@ class Hypervisor : public SchedulerOps
 
     Timeline *_timeline = nullptr;
 
+    /** @name Resilience state (sized/armed by setFaultInjector) */
+    /// @{
+    FaultInjector *_faults = nullptr; //!< Non-owning; null when disabled.
+    std::unique_ptr<RetryPolicy> _retry;
+    std::unique_ptr<SlotHealth> _health;
+    /** Failed attempts of the current Configuring placement, per slot. */
+    std::vector<int> _configAttempts;
+    /** Failed attempts of the current batch item, per slot. */
+    std::vector<int> _itemAttempts;
+    /** Fault class drawn for the in-flight item, per slot. */
+    std::vector<ItemFault> _itemFault;
+    /** True while an item-retry backoff holds the slot (no new items). */
+    std::vector<char> _slotHold;
+    /// @}
+
     CounterRegistry *_counters = nullptr;
     CounterId _ctrLiveApps = kCounterNone;   //!< hyp.live_apps
     CounterId _ctrRetired = kCounterNone;    //!< hyp.retired
@@ -301,6 +396,10 @@ class Hypervisor : public SchedulerOps
     CounterId _ctrPasses = kCounterNone;     //!< hyp.sched_passes
     CounterId _ctrBufferBytes = kCounterNone; //!< hyp.buffer_bytes
     CounterId _markPass = kCounterNone;      //!< sched.pass instants
+    CounterId _ctrFaults = kCounterNone;     //!< fault.injected
+    CounterId _ctrFaultRetries = kCounterNone; //!< fault.retries
+    CounterId _ctrQuarantined = kCounterNone; //!< fault.quarantined_slots
+    CounterId _ctrAppsFailed = kCounterNone; //!< fault.apps_failed
 
     HypervisorStats _stats;
 };

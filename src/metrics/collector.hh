@@ -42,6 +42,20 @@ struct AppRecord
     int reconfigs = 0;
     int preemptions = 0;
 
+    /** @name Resilience verdicts (fault injection only; defaults off) */
+    /// @{
+
+    /** True when the app was failed by policy (retired unsuccessfully). */
+    bool failed = false;
+
+    /** Batch items re-executed after an injected crash/hang. */
+    int itemRetries = 0;
+
+    /** Times the whole app was requeued (all progress discarded). */
+    int requeues = 0;
+
+    /// @}
+
     /** Arrival-to-retirement latency (the paper's response time T_i). */
     SimTime
     responseTime() const

@@ -22,6 +22,12 @@ toString(TimelineEventKind k)
         return "Preempt";
       case TimelineEventKind::Release:
         return "Release";
+      case TimelineEventKind::Fault:
+        return "Fault";
+      case TimelineEventKind::QuarantineBegin:
+        return "QuarantineBegin";
+      case TimelineEventKind::QuarantineEnd:
+        return "QuarantineEnd";
     }
     return "?";
 }
@@ -101,6 +107,15 @@ Timeline::slotIntervals(SlotId slot) const
                 item_begin = kTimeNone;
             }
             break;
+          case TimelineEventKind::Fault:
+            // An aborted item never reaches ItemEnd; drop its open span.
+            item_begin = kTimeNone;
+            break;
+          case TimelineEventKind::QuarantineBegin:
+          case TimelineEventKind::QuarantineEnd:
+            // Quarantine does not affect occupancy structure: the slot is
+            // always Free while quarantined.
+            break;
         }
     }
     return out;
@@ -124,6 +139,8 @@ Timeline::executeUtilization(SlotId slot, SimTime t0, SimTime t1) const
             SimTime hi = std::min(e.time, t1);
             if (hi > lo)
                 executing += hi - lo;
+            item_begin = kTimeNone;
+        } else if (e.kind == TimelineEventKind::Fault) {
             item_begin = kTimeNone;
         }
     }

@@ -32,6 +32,9 @@ enum class TimelineEventKind
     ItemEnd,        //!< Batch item finished.
     Preempt,        //!< Occupant vacated by batch-preemption.
     Release,        //!< Occupant finished its batch and left.
+    Fault,          //!< Injected fault observed (reconfig/SD/item).
+    QuarantineBegin, //!< Slot quarantined by the resilience layer.
+    QuarantineEnd,   //!< Slot probed back into service.
 };
 
 /** Render a TimelineEventKind. */

@@ -110,6 +110,7 @@ TraceExporter::toJson(const Timeline &timeline,
         bool occOpen = false;
         bool reconfigOpen = false;
         bool itemOpen = false;
+        bool quarantineOpen = false;
         std::string occName;
     };
     std::vector<SlotState> slots(num_slots);
@@ -198,6 +199,30 @@ TraceExporter::toJson(const Timeline &timeline,
                 st.occOpen = false;
             }
             break;
+          case TimelineEventKind::Fault:
+            // An aborted item's ItemEnd never arrives; close its slice at
+            // the fault instant so the track stays paired.
+            if (st.itemOpen) {
+                endSlice(e.time, e.slot, "item", "");
+                st.itemOpen = false;
+            }
+            emit(formatMessage(
+                "{\"name\":\"fault\",\"cat\":\"fault\",\"ph\":\"i\","
+                "\"s\":\"t\",\"pid\":%d,\"tid\":%u,\"ts\":%s}",
+                kFabricPid, e.slot, ts(e.time).c_str()));
+            break;
+          case TimelineEventKind::QuarantineBegin:
+            if (!st.quarantineOpen) {
+                beginSlice(e.time, e.slot, "fault", "quarantine", "");
+                st.quarantineOpen = true;
+            }
+            break;
+          case TimelineEventKind::QuarantineEnd:
+            if (st.quarantineOpen) {
+                endSlice(e.time, e.slot, "quarantine", "");
+                st.quarantineOpen = false;
+            }
+            break;
         }
     }
 
@@ -210,6 +235,10 @@ TraceExporter::toJson(const Timeline &timeline,
         if (st.occOpen) {
             endSlice(t_end, static_cast<SlotId>(s), st.occName, "");
             st.occOpen = false;
+        }
+        if (st.quarantineOpen) {
+            endSlice(t_end, static_cast<SlotId>(s), "quarantine", "");
+            st.quarantineOpen = false;
         }
     }
 

@@ -1,0 +1,101 @@
+#include "resilience/fault_injector.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+namespace {
+
+void
+checkProb(double p, const char *name)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("fault %s must be a probability in [0, 1], got %g", name, p);
+}
+
+} // namespace
+
+void
+FaultConfig::validate() const
+{
+    checkProb(reconfigFailProb, "reconfigFailProb");
+    checkProb(persistentFaultFrac, "persistentFaultFrac");
+    checkProb(probeRepairProb, "probeRepairProb");
+    checkProb(sdReadErrorProb, "sdReadErrorProb");
+    checkProb(itemCrashProb, "itemCrashProb");
+    checkProb(itemHangProb, "itemHangProb");
+    if (itemCrashProb + itemHangProb > 1.0)
+        fatal("fault itemCrashProb + itemHangProb must not exceed 1");
+    if (quarantineAfter < 1)
+        fatal("fault quarantineAfter must be >= 1");
+    if (probeInterval <= 0)
+        fatal("fault probeInterval must be positive");
+    if (appRequeueLimit < 0)
+        fatal("fault appRequeueLimit must be non-negative");
+    retry.validate();
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg, std::size_t num_slots)
+    : _cfg(cfg),
+      _reconfigRng(Rng(cfg.seed).derive("fault.reconfig").seed()),
+      _persistRng(Rng(cfg.seed).derive("fault.persist").seed()),
+      _sdRng(Rng(cfg.seed).derive("fault.sd").seed()),
+      _itemRng(Rng(cfg.seed).derive("fault.item").seed()),
+      _probeRng(Rng(cfg.seed).derive("fault.probe").seed()),
+      _persistent(num_slots, false)
+{
+    _cfg.validate();
+}
+
+bool
+FaultInjector::reconfigAttemptFails(SlotId slot)
+{
+    if (_persistent[slot]) {
+        ++_injected;
+        return true;
+    }
+    if (!_reconfigRng.bernoulli(_cfg.reconfigFailProb))
+        return false;
+    ++_injected;
+    if (_persistRng.bernoulli(_cfg.persistentFaultFrac))
+        _persistent[slot] = true;
+    return true;
+}
+
+bool
+FaultInjector::sdReadFails()
+{
+    if (!_sdRng.bernoulli(_cfg.sdReadErrorProb))
+        return false;
+    ++_injected;
+    return true;
+}
+
+ItemFault
+FaultInjector::drawItemFault(SlotId)
+{
+    double draw = _itemRng.uniformDouble(0.0, 1.0);
+    if (draw < _cfg.itemCrashProb) {
+        ++_injected;
+        return ItemFault::Crash;
+    }
+    if (draw < _cfg.itemCrashProb + _cfg.itemHangProb) {
+        ++_injected;
+        return ItemFault::Hang;
+    }
+    return ItemFault::None;
+}
+
+bool
+FaultInjector::probeRepair(SlotId slot)
+{
+    if (!_persistent[slot])
+        return true;
+    if (_probeRng.bernoulli(_cfg.probeRepairProb)) {
+        _persistent[slot] = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace nimblock

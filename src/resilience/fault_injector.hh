@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated fabric.
+ *
+ * A FaultInjector owns independent seeded RNG streams per failure class
+ * (CAP reconfigurations, SD-card reads, batch-item execution) and decides,
+ * draw by draw, whether an operation fails. Slot faults can be persistent:
+ * once a slot develops a persistent fault, every reconfiguration attempt on
+ * it fails until a quarantine probe repairs it.
+ *
+ * Components hold a nullable pointer to the injector and consult it only
+ * when installed, so the fault hooks are zero-cost no-ops in the default
+ * (fault-free) configuration and the steady-state zero-allocation invariant
+ * is preserved.
+ */
+
+#ifndef NIMBLOCK_RESILIENCE_FAULT_INJECTOR_HH
+#define NIMBLOCK_RESILIENCE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/bitstream.hh"
+#include "resilience/retry.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/**
+ * Failure-model knobs, embedded in SystemConfig as `faults`.
+ *
+ * All probabilities are per-draw: reconfigFailProb per CAP reconfiguration
+ * attempt, sdReadErrorProb per SD load, itemCrashProb/itemHangProb per
+ * batch item started. Everything is inert unless `enabled` is set.
+ */
+struct FaultConfig
+{
+    /** Master switch; false leaves the system byte-identical to fault-free. */
+    bool enabled = false;
+
+    /** Seed for all injector RNG streams (derived per component). */
+    std::uint64_t seed = 1;
+
+    /** Probability one CAP reconfiguration attempt fails visibly. */
+    double reconfigFailProb = 0.0;
+
+    /**
+     * Fraction of injected reconfiguration failures that leave a
+     * persistent fault on the slot (fails until probed back to health).
+     */
+    double persistentFaultFrac = 0.1;
+
+    /** Probability one quarantine probe repairs a persistent fault. */
+    double probeRepairProb = 0.7;
+
+    /** Probability one SD bitstream load fails visibly. */
+    double sdReadErrorProb = 0.0;
+
+    /** Probability one batch item crashes (fails at its nominal end). */
+    double itemCrashProb = 0.0;
+
+    /** Probability one batch item hangs (caught by the retry opTimeout). */
+    double itemHangProb = 0.0;
+
+    /** Retry/backoff/timeout policy for recoverable operations. */
+    RetryConfig retry;
+
+    /** Consecutive reconfiguration faults before a slot is quarantined. */
+    int quarantineAfter = 3;
+
+    /** Delay between quarantine probes of a faulted slot. */
+    SimTime probeInterval = simtime::ms(500);
+
+    /**
+     * How many times an app may be requeued (all progress discarded)
+     * after an item exhausts its retries before the app is failed.
+     */
+    int appRequeueLimit = 1;
+
+    /** fatal()s on out-of-range values. */
+    void validate() const;
+};
+
+/** Fault class drawn for one batch item at launch. */
+enum class ItemFault
+{
+    None,  ///< Item runs to completion normally.
+    Crash, ///< Item fails at the moment it would have finished.
+    Hang,  ///< Item never finishes; detected by the opTimeout watchdog.
+};
+
+/**
+ * Seeded per-component failure source.
+ *
+ * Each failure class draws from its own derived stream, so e.g. raising
+ * the SD error rate does not perturb which reconfigurations fail.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultConfig &cfg, std::size_t num_slots);
+
+    const FaultConfig &config() const { return _cfg; }
+
+    /**
+     * Decide whether one reconfiguration attempt on @p slot fails.
+     * A slot with a persistent fault always fails; otherwise a transient
+     * failure is drawn, which may itself become persistent.
+     */
+    bool reconfigAttemptFails(SlotId slot);
+
+    /** Decide whether one SD bitstream load fails. */
+    bool sdReadFails();
+
+    /** Draw the fault class for one batch item starting on @p slot. */
+    ItemFault drawItemFault(SlotId slot);
+
+    /**
+     * One quarantine probe on @p slot: attempts to repair a persistent
+     * fault. Returns true if the slot is healthy afterwards (repaired, or
+     * never persistently faulted).
+     */
+    bool probeRepair(SlotId slot);
+
+    /** True while @p slot carries a persistent fault. */
+    bool
+    hasPersistentFault(SlotId slot) const
+    {
+        return _persistent[slot];
+    }
+
+    /** Force a persistent fault (for examples and tests). */
+    void
+    forcePersistentFault(SlotId slot)
+    {
+        _persistent[slot] = true;
+    }
+
+    /** Total faults injected so far (all classes). */
+    std::uint64_t injectedCount() const { return _injected; }
+
+  private:
+    FaultConfig _cfg;
+    Rng _reconfigRng;
+    Rng _persistRng;
+    Rng _sdRng;
+    Rng _itemRng;
+    Rng _probeRng;
+    std::vector<bool> _persistent;
+    std::uint64_t _injected = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_RESILIENCE_FAULT_INJECTOR_HH

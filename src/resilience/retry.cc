@@ -1,0 +1,57 @@
+#include "resilience/retry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+void
+RetryConfig::validate() const
+{
+    if (maxAttempts < 1)
+        fatal("retry maxAttempts must be >= 1");
+    if (baseBackoff < 0)
+        fatal("retry baseBackoff must be non-negative");
+    if (backoffFactor < 1.0)
+        fatal("retry backoffFactor must be >= 1");
+    if (maxBackoff < baseBackoff)
+        fatal("retry maxBackoff must be >= baseBackoff");
+    if (jitterFrac < 0 || jitterFrac >= 1)
+        fatal("retry jitterFrac must be in [0, 1)");
+    if (opTimeout <= 0)
+        fatal("retry opTimeout must be positive");
+}
+
+RetryPolicy::RetryPolicy(RetryConfig cfg, std::uint64_t seed)
+    : _cfg(cfg), _jitter(seed)
+{
+    _cfg.validate();
+}
+
+SimTime
+RetryPolicy::backoffBase(int failures) const
+{
+    if (failures < 1)
+        failures = 1;
+    double b = static_cast<double>(_cfg.baseBackoff);
+    for (int i = 1; i < failures; ++i) {
+        b *= _cfg.backoffFactor;
+        if (b >= static_cast<double>(_cfg.maxBackoff))
+            return _cfg.maxBackoff;
+    }
+    return std::min(_cfg.maxBackoff, static_cast<SimTime>(b));
+}
+
+SimTime
+RetryPolicy::backoff(int failures)
+{
+    SimTime base = backoffBase(failures);
+    if (_cfg.jitterFrac <= 0 || base == 0)
+        return base;
+    double scale = _jitter.uniformDouble(1.0 - _cfg.jitterFrac,
+                                         1.0 + _cfg.jitterFrac);
+    return static_cast<SimTime>(static_cast<double>(base) * scale);
+}
+
+} // namespace nimblock

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Retry policy for recoverable fabric operations.
+ *
+ * When fault injection makes reconfigurations, SD loads or batch items
+ * fail visibly, the hypervisor re-issues them under this policy: a
+ * bounded number of attempts separated by exponential backoff with
+ * deterministic jitter, plus a per-operation timeout that doubles as the
+ * hang watchdog for in-flight batch items.
+ */
+
+#ifndef NIMBLOCK_RESILIENCE_RETRY_HH
+#define NIMBLOCK_RESILIENCE_RETRY_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Retry/backoff/timeout knobs shared by all recoverable operations. */
+struct RetryConfig
+{
+    /** Attempts per operation (first try included). */
+    int maxAttempts = 4;
+
+    /** Backoff before the first retry. */
+    SimTime baseBackoff = simtime::ms(1);
+
+    /** Multiplier applied per additional failure. */
+    double backoffFactor = 2.0;
+
+    /** Backoff ceiling (pre-jitter). */
+    SimTime maxBackoff = simtime::ms(200);
+
+    /**
+     * Jitter as a fraction of the computed backoff: the actual delay is
+     * drawn uniformly from [b * (1 - jitterFrac), b * (1 + jitterFrac)].
+     * 0 disables jitter.
+     */
+    double jitterFrac = 0.1;
+
+    /**
+     * Watchdog horizon for one batch item: a hung item is detected and
+     * treated as crashed after this much wall time.
+     */
+    SimTime opTimeout = simtime::sec(2);
+
+    /** fatal()s on out-of-range values. */
+    void validate() const;
+};
+
+/**
+ * Deterministic backoff schedule.
+ *
+ * The jitter stream is seeded explicitly, so a (seed, failure-sequence)
+ * pair fully determines every delay the policy ever hands out.
+ */
+class RetryPolicy
+{
+  public:
+    RetryPolicy(RetryConfig cfg, std::uint64_t seed);
+
+    const RetryConfig &config() const { return _cfg; }
+
+    /**
+     * Backoff before retry number @p failures (1 = first retry), with
+     * jitter. Each call consumes one jitter draw.
+     */
+    SimTime backoff(int failures);
+
+    /** The pre-jitter schedule (exponential, capped); for inspection. */
+    SimTime backoffBase(int failures) const;
+
+    /** True once @p attempts exhausts the budget. */
+    bool
+    exhausted(int attempts) const
+    {
+        return attempts >= _cfg.maxAttempts;
+    }
+
+  private:
+    RetryConfig _cfg;
+    Rng _jitter;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_RESILIENCE_RETRY_HH

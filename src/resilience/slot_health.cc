@@ -1,0 +1,49 @@
+#include "resilience/slot_health.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+SlotHealth::SlotHealth(std::size_t num_slots, int quarantine_after)
+    : _quarantineAfter(quarantine_after),
+      _faults(num_slots, 0),
+      _quarantined(num_slots, false)
+{
+    if (quarantine_after < 1)
+        fatal("SlotHealth quarantine threshold must be >= 1");
+}
+
+bool
+SlotHealth::recordFault(SlotId slot)
+{
+    ++_faults[slot];
+    return !_quarantined[slot] && _faults[slot] >= _quarantineAfter;
+}
+
+void
+SlotHealth::recordSuccess(SlotId slot)
+{
+    _faults[slot] = 0;
+}
+
+void
+SlotHealth::markQuarantined(SlotId slot)
+{
+    if (_quarantined[slot])
+        return;
+    _quarantined[slot] = true;
+    ++_quarantinedCount;
+    ++_quarantineEvents;
+}
+
+void
+SlotHealth::markHealthy(SlotId slot)
+{
+    if (_quarantined[slot]) {
+        _quarantined[slot] = false;
+        --_quarantinedCount;
+    }
+    _faults[slot] = 0;
+}
+
+} // namespace nimblock

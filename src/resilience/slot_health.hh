@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-slot fault bookkeeping and quarantine state.
+ *
+ * SlotHealth counts consecutive reconfiguration faults per slot and
+ * reports when a slot crosses the quarantine threshold. The hypervisor
+ * owns the actual quarantine side effects (marking the Slot unschedulable,
+ * scheduling probes, notifying schedulers); this class is pure state so it
+ * can be unit-tested without a fabric.
+ */
+
+#ifndef NIMBLOCK_RESILIENCE_SLOT_HEALTH_HH
+#define NIMBLOCK_RESILIENCE_SLOT_HEALTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/bitstream.hh"
+
+namespace nimblock {
+
+/** Tracks consecutive faults and quarantine status for every slot. */
+class SlotHealth
+{
+  public:
+    /**
+     * @param num_slots slots tracked
+     * @param quarantine_after consecutive faults that trigger quarantine
+     */
+    SlotHealth(std::size_t num_slots, int quarantine_after);
+
+    /**
+     * Record one fault on @p slot.
+     * @return true if this fault crosses the quarantine threshold (and the
+     *         slot is not already quarantined) — the caller should
+     *         quarantine the slot now.
+     */
+    bool recordFault(SlotId slot);
+
+    /** Record a successful operation; resets the consecutive-fault count. */
+    void recordSuccess(SlotId slot);
+
+    /** Enter quarantine (caller handles the fabric/scheduler effects). */
+    void markQuarantined(SlotId slot);
+
+    /** Leave quarantine and reset the fault count. */
+    void markHealthy(SlotId slot);
+
+    bool quarantined(SlotId slot) const { return _quarantined[slot]; }
+
+    /** Consecutive faults currently accumulated on @p slot. */
+    int consecutiveFaults(SlotId slot) const { return _faults[slot]; }
+
+    /** Number of slots currently quarantined. */
+    std::size_t quarantinedCount() const { return _quarantinedCount; }
+
+    /** Total quarantine entries over the run (monotonic). */
+    std::uint64_t quarantineEvents() const { return _quarantineEvents; }
+
+  private:
+    int _quarantineAfter;
+    std::vector<int> _faults;
+    std::vector<bool> _quarantined;
+    std::size_t _quarantinedCount = 0;
+    std::uint64_t _quarantineEvents = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_RESILIENCE_SLOT_HEALTH_HH

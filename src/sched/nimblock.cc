@@ -32,19 +32,32 @@ NimblockScheduler::NimblockScheduler(NimblockConfig cfg)
 void
 NimblockScheduler::ensureComponents()
 {
-    if (_tokens)
-        return;
-    _tokens = std::make_unique<TokenPolicy>(
-        _cfg.tokens,
-        [this](AppInstance &a) { return ops().estimatedSingleSlotLatency(a); });
+    if (!_tokens) {
+        _tokens = std::make_unique<TokenPolicy>(
+            _cfg.tokens, [this](AppInstance &a) {
+                return ops().estimatedSingleSlotLatency(a);
+            });
+    }
+    if (!_goals) {
+        MakespanParams params;
+        params.pipelined = _cfg.enablePipelining;
+        params.reconfigLatency = ops().reconfigLatencyEstimate();
+        params.psBandwidthBytesPerSec =
+            ops().fabric().config().psBandwidthBytesPerSec;
+        _goals = std::make_unique<GoalNumberCache>(
+            ops().fabric().schedulableSlotCount(), params,
+            _cfg.saturationThreshold);
+    }
+}
 
-    MakespanParams params;
-    params.pipelined = _cfg.enablePipelining;
-    params.reconfigLatency = ops().reconfigLatencyEstimate();
-    params.psBandwidthBytesPerSec =
-        ops().fabric().config().psBandwidthBytesPerSec;
-    _goals = std::make_unique<GoalNumberCache>(
-        ops().fabric().numSlots(), params, _cfg.saturationThreshold);
+void
+NimblockScheduler::onCapacityChanged()
+{
+    // Goal numbers saturate against the schedulable slot count, which just
+    // changed; drop the cache so ensureComponents() rebuilds it sized for
+    // the new capacity, and reallocate on the next pass.
+    _goals.reset();
+    _capacityDirty = true;
 }
 
 std::size_t
@@ -58,7 +71,7 @@ void
 NimblockScheduler::reallocate(const std::vector<AppInstance *> &ordered)
 {
     ++_stats.reallocations;
-    std::size_t total = ops().fabric().numSlots();
+    std::size_t total = ops().fabric().schedulableSlotCount();
 
     // Non-candidates hold no allocation target.
     for (AppInstance *app : ops().liveApps())
@@ -256,8 +269,11 @@ NimblockScheduler::pass(SchedEvent reason)
     _idsScratch.reserve(_candidates.size());
     for (AppInstance *app : _candidates)
         _idsScratch.push_back(app->id());
-    if (reason == SchedEvent::Tick || _idsScratch != _lastCandidateIds)
+    if (reason == SchedEvent::Tick || _capacityDirty ||
+        _idsScratch != _lastCandidateIds) {
         reallocate(_ordered);
+        _capacityDirty = false;
+    }
     std::swap(_lastCandidateIds, _idsScratch);
 
     if (_candidates.empty())

@@ -66,6 +66,13 @@ class NimblockScheduler : public Scheduler
 
     void pass(SchedEvent reason) override;
 
+    /**
+     * Quarantine/probe changed the schedulable slot set: rebuild the goal
+     * number cache for the new capacity and force a reallocation on the
+     * next pass (§4.2 goal numbers depend on the slot count).
+     */
+    void onCapacityChanged() override;
+
     /** Pipelined Nimblock starts items as soon as their inputs exist. */
     bool
     bulkItemGating() const override
@@ -109,6 +116,9 @@ class NimblockScheduler : public Scheduler
     std::unique_ptr<GoalNumberCache> _goals;
     std::vector<AppInstanceId> _lastCandidateIds;
     NimblockStats _stats;
+
+    /** Set by onCapacityChanged(); forces reallocation on the next pass. */
+    bool _capacityDirty = false;
 
     /**
      * Pass-local scratch promoted to members so a steady-state pass

@@ -20,8 +20,12 @@ TokenPolicy::TokenPolicy(TokenPolicyConfig cfg, LatencyEstimator estimator)
 bool
 TokenPolicy::accumulatesOn(SchedEvent reason)
 {
+    // CapacityChange is included so token accounting (and the candidate
+    // pool derived from it) recomputes when quarantine shrinks or probes
+    // restore the schedulable slot set.
     return reason == SchedEvent::Tick || reason == SchedEvent::Arrival ||
-           reason == SchedEvent::AppDone;
+           reason == SchedEvent::AppDone ||
+           reason == SchedEvent::CapacityChange;
 }
 
 double

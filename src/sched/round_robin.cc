@@ -19,17 +19,46 @@ RoundRobinScheduler::isQueued(AppInstanceId app, TaskId task) const
 std::size_t
 RoundRobinScheduler::pickQueue()
 {
-    std::size_t best = _rrNext % _queues.size();
-    std::size_t best_len = _queues[best].size();
+    // Quarantined slots never pop their queues, so routing new work to
+    // them would strand it; skip them whenever a healthy slot exists.
+    const auto &slots = ops().fabric().slots();
+    std::size_t best = _queues.size();
+    std::size_t best_len = 0;
     for (std::size_t i = 0; i < _queues.size(); ++i) {
         std::size_t q = (_rrNext + i) % _queues.size();
-        if (_queues[q].size() < best_len) {
+        if (slots[q].quarantined())
+            continue;
+        if (best == _queues.size() || _queues[q].size() < best_len) {
             best = q;
             best_len = _queues[q].size();
         }
     }
+    if (best == _queues.size())
+        best = _rrNext % _queues.size(); // All quarantined: keep rotating.
     _rrNext = (best + 1) % _queues.size();
     return best;
+}
+
+void
+RoundRobinScheduler::drainQuarantinedQueues()
+{
+    const auto &slots = ops().fabric().slots();
+    bool any_quarantined = false;
+    bool any_healthy = false;
+    for (const Slot &s : slots) {
+        (s.quarantined() ? any_quarantined : any_healthy) = true;
+    }
+    if (!any_quarantined || !any_healthy)
+        return;
+    for (std::size_t q = 0; q < _queues.size(); ++q) {
+        if (!slots[q].quarantined() || _queues[q].empty())
+            continue;
+        // pickQueue() skips quarantined queues here because a healthy one
+        // exists; entries keep their seq, so priority/FIFO order holds.
+        for (const QueuedTask &e : _queues[q])
+            _queues[pickQueue()].push_back(e);
+        _queues[q].clear();
+    }
 }
 
 void
@@ -76,6 +105,7 @@ RoundRobinScheduler::pass(SchedEvent reason)
             q.reserve(32);
     }
 
+    drainQuarantinedQueues();
     issueReadyTasks();
 
     for (Slot &slot : ops().fabric().slots()) {

@@ -44,6 +44,14 @@ class RoundRobinScheduler : public Scheduler
     /** Queue index with the fewest waiting tasks (round-robin ties). */
     std::size_t pickQueue();
 
+    /**
+     * Reroute entries parked in quarantined slots' queues to healthy
+     * queues. A quarantined slot never becomes free, so its queue would
+     * otherwise stall forever. No-op while every slot is healthy (or
+     * every slot is quarantined — probes must heal one first).
+     */
+    void drainQuarantinedQueues();
+
     /** Pop the highest-priority (then oldest) entry of queue @p q. */
     bool popBest(std::size_t q, QueuedTask &out);
 

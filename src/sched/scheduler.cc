@@ -22,6 +22,8 @@ toString(SchedEvent e)
         return "PreemptDone";
       case SchedEvent::Tick:
         return "Tick";
+      case SchedEvent::CapacityChange:
+        return "CapacityChange";
     }
     return "?";
 }

@@ -35,6 +35,7 @@ enum class SchedEvent
     AppDone,      //!< An application retired.
     PreemptDone,  //!< A preemption request was honored; a slot is free.
     Tick,         //!< Periodic scheduling interval expired.
+    CapacityChange, //!< Schedulable slot set changed (quarantine/probe).
 };
 
 /** Render a SchedEvent. */
@@ -130,6 +131,14 @@ class Scheduler
 
     /** Hook: @p app retired (all tasks complete). */
     virtual void onAppRetired(AppInstance &app) { (void)app; }
+
+    /**
+     * Hook: the schedulable slot set changed (a slot was quarantined or
+     * probed back into service). Capacity-derived state — Nimblock goal
+     * numbers, static reservations — must be recomputed. A
+     * SchedEvent::CapacityChange pass follows.
+     */
+    virtual void onCapacityChanged() {}
 
     /**
      * Execution discipline: when true (the default), a resident task only

@@ -16,8 +16,8 @@ StaticAllocScheduler::ensureComponents()
     params.reconfigLatency = ops().reconfigLatencyEstimate();
     params.psBandwidthBytesPerSec =
         ops().fabric().config().psBandwidthBytesPerSec;
-    _goals = std::make_unique<GoalNumberCache>(ops().fabric().numSlots(),
-                                               params);
+    _goals = std::make_unique<GoalNumberCache>(
+        ops().fabric().schedulableSlotCount(), params);
 }
 
 std::size_t
@@ -30,7 +30,7 @@ StaticAllocScheduler::reservationOf(AppInstanceId app) const
 void
 StaticAllocScheduler::grantReservations()
 {
-    std::size_t total = ops().fabric().numSlots();
+    std::size_t total = ops().fabric().schedulableSlotCount();
     for (AppInstance *app : ops().liveApps()) {
         if (_reservations.count(app->id()))
             continue;

@@ -37,6 +37,13 @@ class StaticAllocScheduler : public Scheduler
     void pass(SchedEvent reason) override;
     void onAppRetired(AppInstance &app) override;
 
+    /**
+     * Existing reservations are sticky (DML never reallocates), but new
+     * grants size against the schedulable slot count, so rebuild the goal
+     * cache when quarantine/probe changes it.
+     */
+    void onCapacityChanged() override { _goals.reset(); }
+
     /** Pipelining is DML's core mechanism. */
     bool bulkItemGating() const override { return false; }
 

@@ -26,7 +26,7 @@ TEST(BitstreamStore, ColdLoadTakesSdLatency)
     BitstreamStore store(eq, cfg);
 
     SimTime done_at = kTimeNone;
-    store.ensureLoaded(key(1), 8ull << 20, [&] { done_at = eq.now(); });
+    store.ensureLoaded(key(1), 8ull << 20, [&](bool) { done_at = eq.now(); });
     EXPECT_TRUE(store.busy());
     eq.run();
     EXPECT_EQ(done_at, store.loadLatency(8ull << 20));
@@ -38,11 +38,11 @@ TEST(BitstreamStore, WarmLoadIsSynchronous)
 {
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
-    store.ensureLoaded(key(1), 1 << 20, [] {});
+    store.ensureLoaded(key(1), 1 << 20, [](bool) {});
     eq.run();
 
     bool fired = false;
-    store.ensureLoaded(key(1), 1 << 20, [&] { fired = true; });
+    store.ensureLoaded(key(1), 1 << 20, [&](bool) { fired = true; });
     EXPECT_TRUE(fired); // Cache hit completes inline.
     EXPECT_EQ(store.hits(), 1u);
 }
@@ -52,8 +52,8 @@ TEST(BitstreamStore, SerializesLoads)
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
     std::vector<SimTime> done;
-    store.ensureLoaded(key(1), 8ull << 20, [&] { done.push_back(eq.now()); });
-    store.ensureLoaded(key(2), 8ull << 20, [&] { done.push_back(eq.now()); });
+    store.ensureLoaded(key(1), 8ull << 20, [&](bool) { done.push_back(eq.now()); });
+    store.ensureLoaded(key(2), 8ull << 20, [&](bool) { done.push_back(eq.now()); });
     eq.run();
     ASSERT_EQ(done.size(), 2u);
     EXPECT_EQ(done[1], 2 * done[0]);
@@ -64,8 +64,8 @@ TEST(BitstreamStore, CoalescesDuplicateInFlightLoads)
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
     int calls = 0;
-    store.ensureLoaded(key(1), 8ull << 20, [&] { ++calls; });
-    store.ensureLoaded(key(1), 8ull << 20, [&] { ++calls; });
+    store.ensureLoaded(key(1), 8ull << 20, [&](bool) { ++calls; });
+    store.ensureLoaded(key(1), 8ull << 20, [&](bool) { ++calls; });
     eq.run();
     EXPECT_EQ(calls, 2);
     // Both callbacks served by one SD transaction.
@@ -80,13 +80,13 @@ TEST(BitstreamStore, EvictsLruWhenFull)
     cfg.cacheCapacityBytes = 2ull << 20; // Two 1 MB bitstreams.
     BitstreamStore store(eq, cfg);
 
-    store.ensureLoaded(key(1), 1 << 20, [] {});
+    store.ensureLoaded(key(1), 1 << 20, [](bool) {});
     eq.run();
-    store.ensureLoaded(key(2), 1 << 20, [] {});
+    store.ensureLoaded(key(2), 1 << 20, [](bool) {});
     eq.run();
     // Touch "a" so "b" becomes the LRU victim.
-    store.ensureLoaded(key(1), 1 << 20, [] {});
-    store.ensureLoaded(key(3), 1 << 20, [] {});
+    store.ensureLoaded(key(1), 1 << 20, [](bool) {});
+    store.ensureLoaded(key(3), 1 << 20, [](bool) {});
     eq.run();
 
     EXPECT_TRUE(store.isCached(key(1)));
@@ -103,7 +103,7 @@ TEST(BitstreamStore, OversizedBitstreamIsNotRetained)
     cfg.cacheCapacityBytes = 1 << 20;
     BitstreamStore store(eq, cfg);
     bool loaded = false;
-    store.ensureLoaded(key(4), 8ull << 20, [&] { loaded = true; });
+    store.ensureLoaded(key(4), 8ull << 20, [&](bool) { loaded = true; });
     eq.run();
     setQuiet(false);
     EXPECT_TRUE(loaded);
@@ -116,7 +116,7 @@ TEST(BitstreamStore, DistinctSlotsAreDistinctBitstreams)
     // by slot id.
     EventQueue eq;
     BitstreamStore store(eq, BitstreamStoreConfig{});
-    store.ensureLoaded(key(1, 0, 0), 1 << 20, [] {});
+    store.ensureLoaded(key(1, 0, 0), 1 << 20, [](bool) {});
     eq.run();
     EXPECT_FALSE(store.isCached(key(1, 0, 1)));
     EXPECT_TRUE(store.isCached(key(1, 0, 0)));

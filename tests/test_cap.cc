@@ -37,7 +37,10 @@ TEST(Cap, CompletesAtExpectedTime)
     EventQueue eq;
     Cap cap(eq, CapConfig{});
     SimTime done_at = kTimeNone;
-    cap.reconfigure(0, 8ull << 20, [&] { done_at = eq.now(); });
+    cap.reconfigure(0, 8ull << 20, [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done_at = eq.now();
+    });
     EXPECT_TRUE(cap.busy());
     eq.run();
     EXPECT_EQ(done_at, cap.reconfigLatency(8ull << 20));
@@ -51,7 +54,8 @@ TEST(Cap, SerializesConcurrentRequests)
     Cap cap(eq, CapConfig{});
     std::vector<SimTime> done;
     for (int i = 0; i < 3; ++i)
-        cap.reconfigure(i, 8ull << 20, [&] { done.push_back(eq.now()); });
+        cap.reconfigure(i, 8ull << 20,
+                        [&](bool) { done.push_back(eq.now()); });
     eq.run();
     ASSERT_EQ(done.size(), 3u);
     SimTime unit = cap.reconfigLatency(8ull << 20);
@@ -64,8 +68,8 @@ TEST(Cap, TracksBusyTime)
 {
     EventQueue eq;
     Cap cap(eq, CapConfig{});
-    cap.reconfigure(0, 8ull << 20, [] {});
-    cap.reconfigure(1, 8ull << 20, [] {});
+    cap.reconfigure(0, 8ull << 20, [](bool) {});
+    cap.reconfigure(1, 8ull << 20, [](bool) {});
     eq.run();
     EXPECT_EQ(cap.busyTime(), 2 * cap.reconfigLatency(8ull << 20));
 }
@@ -75,11 +79,11 @@ TEST(Cap, RequestsIssuedWhileBusyQueueBehind)
     EventQueue eq;
     Cap cap(eq, CapConfig{});
     std::vector<int> order;
-    cap.reconfigure(0, 8ull << 20, [&] {
+    cap.reconfigure(0, 8ull << 20, [&](bool) {
         order.push_back(0);
-        cap.reconfigure(2, 8ull << 20, [&] { order.push_back(2); });
+        cap.reconfigure(2, 8ull << 20, [&](bool) { order.push_back(2); });
     });
-    cap.reconfigure(1, 8ull << 20, [&] { order.push_back(1); });
+    cap.reconfigure(1, 8ull << 20, [&](bool) { order.push_back(1); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }

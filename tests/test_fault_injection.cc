@@ -27,7 +27,7 @@ TEST(CapFaults, RetriesAddLatencyButComplete)
 
     int done = 0;
     for (int i = 0; i < 20; ++i)
-        cap.reconfigure(0, 8ull << 20, [&done] { ++done; });
+        cap.reconfigure(0, 8ull << 20, [&done](bool) { ++done; });
     eq.run();
 
     EXPECT_EQ(done, 20);
@@ -44,7 +44,7 @@ TEST(CapFaults, NoInjectionByDefault)
     EventQueue eq;
     Cap cap(eq, CapConfig{});
     for (int i = 0; i < 10; ++i)
-        cap.reconfigure(0, 1 << 20, [] {});
+        cap.reconfigure(0, 1 << 20, [](bool) {});
     eq.run();
     EXPECT_EQ(cap.retries(), 0u);
 }
@@ -59,7 +59,7 @@ TEST(CapFaults, DeterministicPerSeed)
         Cap cap(eq, cfg);
         std::vector<SimTime> done;
         for (int i = 0; i < 10; ++i)
-            cap.reconfigure(0, 4 << 20, [&] { done.push_back(eq.now()); });
+            cap.reconfigure(0, 4 << 20, [&](bool) { done.push_back(eq.now()); });
         eq.run();
         return done;
     };
@@ -74,7 +74,7 @@ TEST(CapFaults, ExhaustedRetriesAreFatal)
     cfg.failureProb = 0.999;
     cfg.maxRetries = 2;
     Cap cap(eq, cfg);
-    cap.reconfigure(0, 1 << 20, [] {});
+    cap.reconfigure(0, 1 << 20, [](bool) {});
     EXPECT_THROW(eq.run(), FatalError);
 }
 

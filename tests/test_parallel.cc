@@ -134,6 +134,9 @@ class ParallelGridTest : public ::testing::Test
         EXPECT_EQ(a.reconfigTime, b.reconfigTime);
         EXPECT_EQ(a.reconfigs, b.reconfigs);
         EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.failed, b.failed);
+        EXPECT_EQ(a.itemRetries, b.itemRetries);
+        EXPECT_EQ(a.requeues, b.requeues);
     }
 
     static void
@@ -166,6 +169,12 @@ class ParallelGridTest : public ::testing::Test
                 EXPECT_EQ(ha.schedulingPasses, hb.schedulingPasses);
                 EXPECT_EQ(ha.stallRescues, hb.stallRescues);
                 EXPECT_EQ(ha.itemsExecuted, hb.itemsExecuted);
+                EXPECT_EQ(ha.faultsInjected, hb.faultsInjected);
+                EXPECT_EQ(ha.faultRetries, hb.faultRetries);
+                EXPECT_EQ(ha.quarantineEvents, hb.quarantineEvents);
+                EXPECT_EQ(ha.probesIssued, hb.probesIssued);
+                EXPECT_EQ(ha.appsFailed, hb.appsFailed);
+                EXPECT_EQ(ha.appRequeues, hb.appRequeues);
 
                 const NimblockStats &na = ra.nimblockStats;
                 const NimblockStats &nb = rb.nimblockStats;
@@ -216,6 +225,32 @@ TEST_F(ParallelGridTest, AutoJobsMatchesSequential)
     ExperimentGrid automatic(cfg, registry);
     automatic.setJobs(0); // hardware concurrency
     auto parallel = automatic.runAll(schedulers, seqs);
+
+    expectSameResults(serial, parallel);
+}
+
+TEST_F(ParallelGridTest, FaultedGridMatchesAcrossJobCounts)
+{
+    // Fault injection draws from derived RNG streams owned per run, so a
+    // chaos grid must stay byte-identical for any job count too.
+    SystemConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 99;
+    cfg.faults.reconfigFailProb = 0.05;
+    cfg.faults.sdReadErrorProb = 0.02;
+    cfg.faults.itemCrashProb = 0.02;
+    cfg.faults.itemHangProb = 0.005;
+    AppRegistry registry = standardRegistry();
+    std::vector<std::string> schedulers = evaluationSchedulers();
+    std::vector<EventSequence> seqs = sequences();
+
+    ExperimentGrid sequential(cfg, registry);
+    sequential.setJobs(1);
+    auto serial = sequential.runAll(schedulers, seqs);
+
+    ExperimentGrid threaded(cfg, registry);
+    threaded.setJobs(4);
+    auto parallel = threaded.runAll(schedulers, seqs);
 
     expectSameResults(serial, parallel);
 }

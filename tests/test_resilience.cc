@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the resilience subsystem: retry/backoff schedules, fault
+ * injector determinism and stream independence, slot-health quarantine
+ * transitions, config validation/normalization, fault-free byte-identity,
+ * and end-to-end chaos runs across every evaluation scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/simulation.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/retry.hh"
+#include "resilience/slot_health.hh"
+#include "sched/factory.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(RetryPolicy, BackoffBaseIsExponentialAndCapped)
+{
+    RetryConfig cfg;
+    cfg.baseBackoff = simtime::ms(1);
+    cfg.backoffFactor = 2.0;
+    cfg.maxBackoff = simtime::ms(200);
+    RetryPolicy policy(cfg, 1);
+    EXPECT_EQ(policy.backoffBase(1), simtime::ms(1));
+    EXPECT_EQ(policy.backoffBase(2), simtime::ms(2));
+    EXPECT_EQ(policy.backoffBase(3), simtime::ms(4));
+    EXPECT_EQ(policy.backoffBase(5), simtime::ms(16));
+    // 2^8 ms = 256 ms exceeds the cap.
+    EXPECT_EQ(policy.backoffBase(9), simtime::ms(200));
+    EXPECT_EQ(policy.backoffBase(40), simtime::ms(200));
+}
+
+TEST(RetryPolicy, JitterStaysWithinFractionAndIsDeterministic)
+{
+    RetryConfig cfg;
+    cfg.baseBackoff = simtime::ms(10);
+    cfg.jitterFrac = 0.25;
+    RetryPolicy a(cfg, 42);
+    RetryPolicy b(cfg, 42);
+    RetryPolicy c(cfg, 43);
+    bool any_differs_from_c = false;
+    for (int f = 1; f <= 20; ++f) {
+        SimTime base = a.backoffBase(f);
+        SimTime delay = a.backoff(f);
+        EXPECT_GE(delay, static_cast<SimTime>(base * 0.75));
+        EXPECT_LE(delay, static_cast<SimTime>(base * 1.25 + 1));
+        EXPECT_EQ(delay, b.backoff(f)); // Same seed, same schedule.
+        any_differs_from_c |= delay != c.backoff(f);
+    }
+    EXPECT_TRUE(any_differs_from_c);
+}
+
+TEST(RetryPolicy, ZeroJitterReturnsBaseExactly)
+{
+    RetryConfig cfg;
+    cfg.jitterFrac = 0.0;
+    RetryPolicy policy(cfg, 7);
+    for (int f = 1; f <= 10; ++f)
+        EXPECT_EQ(policy.backoff(f), policy.backoffBase(f));
+}
+
+TEST(RetryPolicy, ExhaustionCountsAttempts)
+{
+    RetryConfig cfg;
+    cfg.maxAttempts = 3;
+    RetryPolicy policy(cfg, 1);
+    EXPECT_FALSE(policy.exhausted(1));
+    EXPECT_FALSE(policy.exhausted(2));
+    EXPECT_TRUE(policy.exhausted(3));
+    EXPECT_TRUE(policy.exhausted(4));
+}
+
+TEST(RetryConfigValidation, RejectsOutOfRangeValues)
+{
+    RetryConfig cfg;
+    cfg.maxAttempts = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = RetryConfig{};
+    cfg.backoffFactor = 0.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = RetryConfig{};
+    cfg.jitterFrac = 1.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = RetryConfig{};
+    cfg.maxBackoff = cfg.baseBackoff - 1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = RetryConfig{};
+    cfg.opTimeout = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    RetryConfig{}.validate(); // Defaults are valid.
+}
+
+TEST(FaultConfigValidation, RejectsBadProbabilitiesAndThresholds)
+{
+    FaultConfig cfg;
+    cfg.reconfigFailProb = 1.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = FaultConfig{};
+    cfg.itemCrashProb = 0.7;
+    cfg.itemHangProb = 0.7; // Sum exceeds 1.
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = FaultConfig{};
+    cfg.quarantineAfter = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = FaultConfig{};
+    cfg.probeInterval = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = FaultConfig{};
+    cfg.appRequeueLimit = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    FaultConfig{}.validate(); // Defaults are valid.
+}
+
+TEST(FaultInjector, DeterministicPerSeed)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 11;
+    cfg.reconfigFailProb = 0.3;
+    cfg.sdReadErrorProb = 0.2;
+    cfg.itemCrashProb = 0.1;
+    cfg.itemHangProb = 0.05;
+    FaultInjector a(cfg, 4);
+    FaultInjector b(cfg, 4);
+    for (int i = 0; i < 200; ++i) {
+        SlotId s = static_cast<SlotId>(i % 4);
+        EXPECT_EQ(a.reconfigAttemptFails(s), b.reconfigAttemptFails(s));
+        EXPECT_EQ(a.sdReadFails(), b.sdReadFails());
+        EXPECT_EQ(a.drawItemFault(s), b.drawItemFault(s));
+    }
+    EXPECT_EQ(a.injectedCount(), b.injectedCount());
+}
+
+TEST(FaultInjector, StreamsAreIndependent)
+{
+    // Raising the SD error rate must not perturb which reconfiguration
+    // attempts fail: each failure class draws from its own derived stream.
+    FaultConfig base;
+    base.enabled = true;
+    base.seed = 5;
+    base.reconfigFailProb = 0.25;
+    base.persistentFaultFrac = 0.0;
+    FaultConfig noisy = base;
+    noisy.sdReadErrorProb = 0.9;
+
+    FaultInjector a(base, 2);
+    FaultInjector b(noisy, 2);
+    for (int i = 0; i < 300; ++i) {
+        bool fa = a.reconfigAttemptFails(0);
+        b.sdReadFails(); // Interleave SD draws on the noisy injector.
+        EXPECT_EQ(fa, b.reconfigAttemptFails(0)) << "draw " << i;
+    }
+}
+
+TEST(FaultInjector, PersistentFaultFailsUntilProbedBack)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.probeRepairProb = 1.0;
+    FaultInjector inj(cfg, 2);
+    EXPECT_FALSE(inj.hasPersistentFault(1));
+    inj.forcePersistentFault(1);
+    EXPECT_TRUE(inj.hasPersistentFault(1));
+    EXPECT_TRUE(inj.reconfigAttemptFails(1));
+    EXPECT_TRUE(inj.reconfigAttemptFails(1));
+    // The healthy slot draws with reconfigFailProb == 0: never fails.
+    EXPECT_FALSE(inj.reconfigAttemptFails(0));
+    // probeRepairProb == 1.0 repairs on the first probe.
+    EXPECT_TRUE(inj.probeRepair(1));
+    EXPECT_FALSE(inj.hasPersistentFault(1));
+    EXPECT_FALSE(inj.reconfigAttemptFails(1));
+}
+
+TEST(FaultInjector, ProbeNeverRepairsAtZeroProbability)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.probeRepairProb = 0.0;
+    FaultInjector inj(cfg, 1);
+    inj.forcePersistentFault(0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(inj.probeRepair(0));
+    EXPECT_TRUE(inj.hasPersistentFault(0));
+}
+
+TEST(SlotHealth, QuarantineAfterConsecutiveFaults)
+{
+    SlotHealth health(3, 3);
+    EXPECT_FALSE(health.recordFault(0));
+    EXPECT_FALSE(health.recordFault(0));
+    EXPECT_EQ(health.consecutiveFaults(0), 2);
+    // A success in between resets the streak.
+    health.recordSuccess(0);
+    EXPECT_EQ(health.consecutiveFaults(0), 0);
+    EXPECT_FALSE(health.recordFault(0));
+    EXPECT_FALSE(health.recordFault(0));
+    EXPECT_TRUE(health.recordFault(0)); // Third consecutive: quarantine.
+
+    health.markQuarantined(0);
+    EXPECT_TRUE(health.quarantined(0));
+    EXPECT_EQ(health.quarantinedCount(), 1u);
+    EXPECT_EQ(health.quarantineEvents(), 1u);
+    // Further faults on a quarantined slot never re-trigger.
+    EXPECT_FALSE(health.recordFault(0));
+
+    health.markHealthy(0);
+    EXPECT_FALSE(health.quarantined(0));
+    EXPECT_EQ(health.quarantinedCount(), 0u);
+    EXPECT_EQ(health.quarantineEvents(), 1u); // Monotonic.
+    EXPECT_EQ(health.consecutiveFaults(0), 0);
+
+    // Slots are tracked independently.
+    EXPECT_FALSE(health.recordFault(2));
+    EXPECT_EQ(health.consecutiveFaults(1), 0);
+}
+
+TEST(HypervisorConfigNormalization, MidItemPreemptionNeedsNoPsContention)
+{
+    setQuiet(true);
+    EventQueue eq;
+    FabricConfig fcfg;
+    fcfg.modelPsContention = true;
+    Fabric fabric(eq, fcfg);
+    auto sched = makeScheduler("fcfs");
+    MetricsCollector collector;
+    HypervisorConfig hcfg;
+    hcfg.allowMidItemPreemption = true;
+    Hypervisor hyp(eq, fabric, *sched, collector, hcfg);
+    setQuiet(false);
+    // The invalid combination is normalized at construction time.
+    EXPECT_FALSE(hyp.config().allowMidItemPreemption);
+
+    EventQueue eq2;
+    FabricConfig fcfg2; // PS contention off: the flag is honored.
+    Fabric fabric2(eq2, fcfg2);
+    auto sched2 = makeScheduler("fcfs");
+    MetricsCollector collector2;
+    Hypervisor hyp2(eq2, fabric2, *sched2, collector2, hcfg);
+    EXPECT_TRUE(hyp2.config().allowMidItemPreemption);
+}
+
+/** Shared workload for the end-to-end resilience tests. */
+EventSequence
+chaosSequence(int events = 8)
+{
+    GeneratorConfig gen;
+    gen.numEvents = events;
+    gen.appPool = {"lenet", "image_compression", "optical_flow"};
+    gen.minDelayMs = 100;
+    gen.maxDelayMs = 300;
+    gen.maxBatch = 5;
+    return generateSequence("chaos", gen, Rng(77));
+}
+
+TEST(ResilienceEndToEnd, ZeroRateInjectorIsByteIdenticalToDisabled)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq = chaosSequence();
+
+    SystemConfig off;
+    off.scheduler = "nimblock";
+
+    SystemConfig armed = off;
+    armed.faults.enabled = true; // Installed, but every rate is zero.
+
+    RunResult a = Simulation(off, reg).run(seq);
+    RunResult b = Simulation(armed, reg).run(seq);
+    setQuiet(false);
+
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_EQ(a.hypervisorStats.itemsExecuted,
+              b.hypervisorStats.itemsExecuted);
+    EXPECT_EQ(b.hypervisorStats.faultsInjected, 0u);
+    EXPECT_EQ(b.hypervisorStats.faultRetries, 0u);
+    EXPECT_EQ(b.hypervisorStats.quarantineEvents, 0u);
+    EXPECT_EQ(b.hypervisorStats.appsFailed, 0u);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].retire, b.records[i].retire);
+        EXPECT_FALSE(b.records[i].failed);
+        EXPECT_EQ(b.records[i].itemRetries, 0);
+        EXPECT_EQ(b.records[i].requeues, 0);
+    }
+}
+
+TEST(ResilienceEndToEnd, AllSchedulersSurviveChaosDeterministically)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq = chaosSequence();
+
+    for (const std::string &name : evaluationSchedulers()) {
+        SystemConfig cfg;
+        cfg.scheduler = name;
+        cfg.faults.enabled = true;
+        cfg.faults.seed = 3;
+        cfg.faults.reconfigFailProb = 0.05;
+        cfg.faults.sdReadErrorProb = 0.02;
+        cfg.faults.itemCrashProb = 0.02;
+        cfg.faults.itemHangProb = 0.005;
+
+        RunResult a = Simulation(cfg, reg).run(seq);
+        RunResult b = Simulation(cfg, reg).run(seq);
+
+        ASSERT_EQ(a.records.size(), seq.events.size()) << name;
+        EXPECT_EQ(a.makespan, b.makespan) << name;
+        EXPECT_EQ(a.eventsFired, b.eventsFired) << name;
+        EXPECT_EQ(a.hypervisorStats.faultsInjected,
+                  b.hypervisorStats.faultsInjected)
+            << name;
+        EXPECT_EQ(a.hypervisorStats.faultRetries,
+                  b.hypervisorStats.faultRetries)
+            << name;
+        for (std::size_t i = 0; i < a.records.size(); ++i)
+            EXPECT_EQ(a.records[i].retire, b.records[i].retire) << name;
+    }
+    setQuiet(false);
+}
+
+TEST(ResilienceEndToEnd, PersistentFaultsQuarantineSlots)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq = chaosSequence();
+
+    SystemConfig cfg;
+    cfg.scheduler = "nimblock";
+    cfg.recordTimeline = true;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 21;
+    cfg.faults.reconfigFailProb = 0.35;
+    cfg.faults.persistentFaultFrac = 1.0; // Every fault sticks.
+    cfg.faults.quarantineAfter = 2;
+    cfg.faults.probeRepairProb = 0.6;
+    cfg.faults.retry.maxAttempts = 6;
+
+    RunResult r = Simulation(cfg, reg).run(seq);
+    setQuiet(false);
+
+    ASSERT_EQ(r.records.size(), seq.events.size());
+    EXPECT_GT(r.hypervisorStats.faultsInjected, 0u);
+    EXPECT_GT(r.hypervisorStats.quarantineEvents, 0u);
+    EXPECT_GT(r.hypervisorStats.probesIssued, 0u);
+
+    ASSERT_TRUE(r.timeline);
+    bool saw_fault = false, saw_qbegin = false, saw_qend = false;
+    for (const TimelineEvent &e : r.timeline->events()) {
+        saw_fault |= e.kind == TimelineEventKind::Fault;
+        saw_qbegin |= e.kind == TimelineEventKind::QuarantineBegin;
+        saw_qend |= e.kind == TimelineEventKind::QuarantineEnd;
+    }
+    EXPECT_TRUE(saw_fault);
+    EXPECT_TRUE(saw_qbegin);
+    EXPECT_TRUE(saw_qend); // probeRepairProb > 0: something healed.
+}
+
+TEST(ResilienceEndToEnd, ExhaustedItemRetriesFailAppsPerPolicy)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq = chaosSequence(4);
+
+    SystemConfig cfg;
+    cfg.scheduler = "fcfs";
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 9;
+    cfg.faults.itemCrashProb = 1.0; // Every item crashes...
+    cfg.faults.retry.maxAttempts = 2;
+    cfg.faults.appRequeueLimit = 0; // ...and no requeue budget.
+
+    RunResult r = Simulation(cfg, reg).run(seq);
+    setQuiet(false);
+
+    // Every app retires (as failed) with exact accounting.
+    ASSERT_EQ(r.records.size(), seq.events.size());
+    EXPECT_EQ(r.hypervisorStats.appsFailed, seq.events.size());
+    for (const AppRecord &rec : r.records) {
+        EXPECT_TRUE(rec.failed);
+        EXPECT_GT(rec.itemRetries, 0);
+    }
+}
+
+TEST(ResilienceEndToEnd, RequeueBudgetIsConsumedBeforeFailure)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq = chaosSequence(3);
+
+    SystemConfig cfg;
+    cfg.scheduler = "fcfs";
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 9;
+    cfg.faults.itemCrashProb = 1.0;
+    cfg.faults.retry.maxAttempts = 2;
+    cfg.faults.appRequeueLimit = 2;
+
+    RunResult r = Simulation(cfg, reg).run(seq);
+    setQuiet(false);
+
+    ASSERT_EQ(r.records.size(), seq.events.size());
+    EXPECT_EQ(r.hypervisorStats.appsFailed, seq.events.size());
+    EXPECT_EQ(r.hypervisorStats.appRequeues, 2 * seq.events.size());
+    for (const AppRecord &rec : r.records)
+        EXPECT_EQ(rec.requeues, 2);
+}
+
+TEST(ResilienceEndToEnd, HangsAreCaughtByTheWatchdog)
+{
+    setQuiet(true);
+    AppRegistry reg = standardRegistry();
+    EventSequence seq = chaosSequence(3);
+
+    SystemConfig cfg;
+    cfg.scheduler = "fcfs";
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 4;
+    cfg.faults.itemHangProb = 0.3;
+    cfg.faults.retry.opTimeout = simtime::ms(500);
+
+    RunResult r = Simulation(cfg, reg).run(seq);
+    setQuiet(false);
+
+    ASSERT_EQ(r.records.size(), seq.events.size());
+    EXPECT_GT(r.hypervisorStats.faultsInjected, 0u);
+    EXPECT_GT(r.hypervisorStats.faultRetries, 0u);
+}
+
+} // namespace
+} // namespace nimblock

@@ -41,10 +41,14 @@ main(int argc, char **argv)
     csv.setHeader({"boards", "dispatch", "mean_slowdown",
                    "median_slowdown", "p95_slowdown", "jain_fairness"});
 
+    std::vector<DispatchPolicy> policies = {DispatchPolicy::RoundRobin,
+                                            DispatchPolicy::LeastLoaded};
+    if (!opts.dispatch.empty())
+        policies = {parseDispatchPolicy(opts.dispatch.c_str())};
+
     for (std::size_t boards : {1u, 2u, 4u, 8u}) {
-        for (DispatchPolicy policy :
-             {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded}) {
-            if (boards == 1 && policy != DispatchPolicy::RoundRobin)
+        for (DispatchPolicy policy : policies) {
+            if (boards == 1 && policy != policies.front())
                 continue; // Policies coincide on one board.
             ClusterConfig cfg;
             cfg.numBoards = boards;

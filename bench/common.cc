@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "cluster/cluster.hh"
 #include "core/parallel.hh"
 #include "core/simulation.hh"
 #include "metrics/trace_export.hh"
@@ -48,9 +49,12 @@ BenchOptions::parse(int argc, char **argv)
             opts.csvPath = next();
         } else if (arg == "--trace") {
             opts.tracePath = next();
+        } else if (arg == "--dispatch") {
+            opts.dispatch = next();
+            parseDispatchPolicy(opts.dispatch.c_str()); // Validate now.
         } else if (arg == "--help" || arg == "-h") {
             std::printf("flags: --sequences N --events N --seed S --jobs N "
-                        "--quick --csv PATH --trace PATH\n");
+                        "--quick --csv PATH --trace PATH --dispatch P\n");
             std::exit(0);
         } else {
             fatal("unknown flag '%s'", arg.c_str());

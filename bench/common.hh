@@ -14,6 +14,8 @@
  *   --csv PATH      also dump the figure's data as CSV
  *   --trace PATH    export per-scheduler Perfetto traces of one stress
  *                   sequence (PATH gets the scheduler name appended)
+ *   --dispatch P    pin the cluster dispatch policy in scale-out benches
+ *                   (round_robin | least_apps | least_loaded)
  */
 
 #ifndef NIMBLOCK_BENCH_COMMON_HH
@@ -41,6 +43,12 @@ struct BenchOptions
     unsigned jobs = 0;
     std::string csvPath;
     std::string tracePath;
+
+    /**
+     * Cluster dispatch policy name for scale-out benches; empty means
+     * each bench's default sweep. Validated by parseDispatchPolicy().
+     */
+    std::string dispatch;
 
     /** Parse argv; fatal()s on unknown flags. */
     static BenchOptions parse(int argc, char **argv);

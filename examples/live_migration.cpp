@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cluster elasticity, end to end: two boards run a shared workload until
+ * every slot on board 0 develops a persistent fault mid-run. Quarantine
+ * strips the board's capacity, the rebalancer's reactive drain fires,
+ * and the stranded applications are checkpointed, shipped over the
+ * inter-board transport, and readmitted on board 1 — each one finishing
+ * as the same logical application it arrived as. The printed migration
+ * log and per-board Gantt charts show the work leaving the dead board.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/registry.hh"
+#include "cluster/cluster.hh"
+#include "metrics/timeline.hh"
+#include "sim/logging.hh"
+
+using namespace nimblock;
+
+int
+main()
+{
+    setQuiet(true);
+    AppRegistry registry = standardRegistry();
+
+    // Two nimblock boards. The injector is armed with zero spontaneous
+    // rates so the only faults are the forced ones below; quarantine
+    // after a single fault and probe slowly, so the drain — not the
+    // repair — is what rescues the stranded work.
+    ClusterConfig cfg;
+    cfg.numBoards = 2;
+    cfg.board.scheduler = "nimblock";
+    cfg.dispatch = DispatchPolicy::LeastLoaded;
+    cfg.board.faults.enabled = true;
+    cfg.board.faults.seed = 2023;
+    cfg.board.faults.quarantineAfter = 1;
+    cfg.board.faults.probeInterval = simtime::sec(2);
+    cfg.board.faults.probeRepairProb = 0.25;
+    cfg.migration.enabled = true;
+    cfg.migration.rebalance.policy = RebalancePolicy::WorkStealing;
+    cfg.migration.rebalance.interval = simtime::ms(200);
+
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+
+    Timeline timelines[2];
+    cluster.setBoardTimeline(0, &timelines[0]);
+    cluster.setBoardTimeline(1, &timelines[1]);
+
+    // Enough batched work that board 0 still holds queued and running
+    // applications when the fault lands.
+    const char *pool[] = {"lenet", "image_compression", "optical_flow"};
+    const std::size_t total = 6;
+    for (std::size_t i = 0; i < total; ++i) {
+        WorkloadEvent e;
+        e.index = static_cast<int>(i);
+        e.appName = pool[i % 3];
+        e.batch = 4;
+        e.priority = Priority::Medium;
+        e.arrival = simtime::ms(100) * static_cast<int>(i);
+        eq.schedule(e.arrival, "arrival",
+                    [&cluster, &registry, e] {
+                        cluster.submit(registry, e);
+                    });
+    }
+
+    // Mid-run catastrophe: at t = 0.5 s every slot on board 0 develops a
+    // persistent fault. The next reconfiguration attempts fail, the
+    // slots are quarantined, and the board's capacity drops to zero.
+    eq.schedule(simtime::ms(500), "board_fault", [&cluster, &cfg] {
+        for (std::size_t s = 0; s < cfg.board.fabric.numSlots; ++s)
+            cluster.injector(0)->forcePersistentFault(
+                static_cast<SlotId>(s));
+    });
+
+    cluster.start();
+    bool stopped = false;
+    while (!eq.empty()) {
+        if (!eq.step())
+            break;
+        if (!stopped && cluster.retiredCount() == total) {
+            cluster.stop();
+            stopped = true;
+        }
+    }
+
+    std::printf("=== live_migration: board 0 loses every slot at t=0.50s;"
+                " the rebalancer drains it ===\n\n");
+
+    const MigrationEngine &engine = *cluster.migrationEngine();
+    std::printf("-- migration log (quiesce -> checkpoint -> transfer ->"
+                " readmit) --\n");
+    for (const MigrationEvent &m : engine.log()) {
+        std::printf("  t=%6.3fs -> %6.3fs  %-18s board %d -> %d  "
+                    "(%6.1f KiB, %5.2f ms in flight)\n",
+                    simtime::toSec(m.begin), simtime::toSec(m.end),
+                    m.appName.c_str(), m.src, m.dst,
+                    static_cast<double>(m.bytes) / 1024.0,
+                    simtime::toSec(m.end - m.begin) * 1e3);
+    }
+
+    const MigrationStats &ms = engine.stats();
+    const RebalanceStats &rs = cluster.rebalancer()->stats();
+    std::printf("\n-- elasticity accounting --\n");
+    std::printf("  rebalance passes     %llu\n",
+                static_cast<unsigned long long>(rs.passes));
+    std::printf("  capacity-loss drains %llu\n",
+                static_cast<unsigned long long>(rs.drainTriggers));
+    std::printf("  migrations requested %llu\n",
+                static_cast<unsigned long long>(ms.requested));
+    std::printf("  migrations completed %llu\n",
+                static_cast<unsigned long long>(ms.completed));
+    std::printf("  checkpoint bytes     %llu\n",
+                static_cast<unsigned long long>(ms.bytesMoved));
+    std::printf("  time in transfer     %.3f ms\n",
+                simtime::toSec(ms.transferTime) * 1e3);
+    for (std::size_t b = 0; b < cluster.numBoards(); ++b)
+        std::printf("  board %zu              out %llu, in %llu\n", b,
+                    static_cast<unsigned long long>(engine.outPerBoard()[b]),
+                    static_cast<unsigned long long>(engine.inPerBoard()[b]));
+
+    std::printf("\n-- per-application verdicts --\n");
+    SimTime end = 0;
+    for (std::size_t b = 0; b < cluster.numBoards(); ++b) {
+        for (const AppRecord &rec : cluster.collector(b).records()) {
+            std::printf("  %-18s retired t=%6.3fs on board %zu  %s  "
+                        "hops %d, %5.2f ms migrating\n",
+                        rec.appName.c_str(), simtime::toSec(rec.retire), b,
+                        rec.failed ? "FAILED" : "ok    ", rec.migrations,
+                        simtime::toSec(rec.migrationTime) * 1e3);
+            end = std::max(end, rec.retire);
+        }
+    }
+
+    std::printf("\n-- board timelines ('R' reconfig, '#' execute, '='"
+                " occupied, '.' free) --\n");
+    for (std::size_t b = 0; b < cluster.numBoards(); ++b) {
+        std::printf("board %zu:\n%s", b,
+                    timelines[b]
+                        .renderAscii(cfg.board.fabric.numSlots, 0, end, 72)
+                        .c_str());
+    }
+    std::printf("\nboard 0 drains onto board 1 after the fault; once the "
+                "probes repair it,\nwork-stealing pulls work back onto the "
+                "recovered board.\n");
+    return 0;
+}

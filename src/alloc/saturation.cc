@@ -46,15 +46,18 @@ GoalNumberCache::GoalNumberCache(std::size_t max_slots, MakespanParams params,
 const SaturationAnalysis &
 GoalNumberCache::analysis(const AppSpec &app, int batch)
 {
-    auto key = std::make_pair(app.name(), batch);
+    // Probe with a view so the common hit path stays allocation-free;
+    // only a miss pays for the owning key.
+    auto key = std::make_pair(std::string_view(app.name()), batch);
     auto it = _cache.find(key);
     if (it == _cache.end()) {
         MakespanParams p = _params;
         p.batch = batch;
         p.pipelined = p.pipelined && app.pipelineAcrossBatch();
         it = _cache
-                 .emplace(key, analyzeSaturation(app.graph(), batch,
-                                                 _maxSlots, p, _threshold))
+                 .emplace(std::make_pair(app.name(), batch),
+                          analyzeSaturation(app.graph(), batch, _maxSlots,
+                                            p, _threshold))
                  .first;
     }
     return it->second;

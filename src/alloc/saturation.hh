@@ -17,6 +17,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "alloc/makespan.hh"
@@ -80,10 +81,31 @@ class GoalNumberCache
     std::size_t size() const { return _cache.size(); }
 
   private:
+    /**
+     * Transparent comparator: lookups probe with a (string_view, batch)
+     * key so a cache hit — the steady-state case — never materializes a
+     * std::string (long app names would heap-allocate per query).
+     */
+    struct KeyLess
+    {
+        using is_transparent = void;
+
+        template <typename A, typename B>
+        bool
+        operator()(const std::pair<A, int> &a,
+                   const std::pair<B, int> &b) const
+        {
+            int c = std::string_view(a.first)
+                        .compare(std::string_view(b.first));
+            return c != 0 ? c < 0 : a.second < b.second;
+        }
+    };
+
     std::size_t _maxSlots;
     MakespanParams _params;
     double _threshold;
-    std::map<std::pair<std::string, int>, SaturationAnalysis> _cache;
+    std::map<std::pair<std::string, int>, SaturationAnalysis, KeyLess>
+        _cache;
 };
 
 } // namespace nimblock

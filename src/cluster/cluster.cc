@@ -1,6 +1,7 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sched/factory.hh"
 #include "sim/logging.hh"
@@ -20,6 +21,20 @@ toString(DispatchPolicy p)
         return "least_loaded";
     }
     return "?";
+}
+
+DispatchPolicy
+parseDispatchPolicy(const char *name)
+{
+    for (DispatchPolicy p : {DispatchPolicy::RoundRobin,
+                             DispatchPolicy::LeastApps,
+                             DispatchPolicy::LeastLoaded}) {
+        if (std::strcmp(name, toString(p)) == 0)
+            return p;
+    }
+    fatal("unknown dispatch policy '%s' (expected round_robin, "
+          "least_apps, or least_loaded)",
+          name);
 }
 
 Cluster::Cluster(EventQueue &eq, ClusterConfig cfg)
@@ -57,6 +72,20 @@ Cluster::Cluster(EventQueue &eq, ClusterConfig cfg)
             b.hypervisor->setFaultInjector(b.injector.get());
         }
     }
+    if (_cfg.migration.enabled) {
+        _transport = std::make_unique<ClusterTransport>(
+            _eq, _cfg.numBoards, _cfg.migration.transport);
+        _engine = std::make_unique<MigrationEngine>(_eq, *_transport,
+                                                    _cfg.migration);
+        _rebalancer = std::make_unique<Rebalancer>(
+            _eq, *this, *_engine, _cfg.migration.rebalance);
+        for (std::size_t i = 0; i < _boards.size(); ++i) {
+            _engine->attachBoard(i, *_boards[i].hypervisor);
+            // Quarantine on board i reactively drains it onto peers.
+            _boards[i].hypervisor->setCapacityListener(
+                [this, i] { _rebalancer->onCapacityChange(i); });
+        }
+    }
 }
 
 Hypervisor &
@@ -73,6 +102,42 @@ Cluster::collector(std::size_t i) const
     if (i >= _boards.size())
         panic("board index %zu out of range", i);
     return *_boards[i].collector;
+}
+
+FaultInjector *
+Cluster::injector(std::size_t i)
+{
+    if (i >= _boards.size())
+        panic("board index %zu out of range", i);
+    return _boards[i].injector.get();
+}
+
+std::size_t
+Cluster::healthySlots(std::size_t i) const
+{
+    if (i >= _boards.size())
+        panic("board index %zu out of range", i);
+    return _boards[i].fabric->numSlots() -
+           _boards[i].fabric->quarantinedSlotCount();
+}
+
+double
+Cluster::rebalanceLoadOf(std::size_t i)
+{
+    Hypervisor &hyp = *_boards[i].hypervisor;
+    double pending = simtime::toSec(hyp.pendingWorkEstimate());
+    std::size_t healthy = healthySlots(i);
+    if (healthy == 0)
+        return pending > 0.0 ? 1e18 : 0.0;
+    return pending / static_cast<double>(healthy);
+}
+
+void
+Cluster::setBoardTimeline(std::size_t i, Timeline *timeline)
+{
+    board(i).setTimeline(timeline);
+    if (_engine)
+        _engine->setBoardTimeline(i, timeline);
 }
 
 double
@@ -136,6 +201,8 @@ Cluster::start()
 {
     for (auto &b : _boards)
         b.hypervisor->start();
+    if (_rebalancer)
+        _rebalancer->start();
 }
 
 void
@@ -143,6 +210,8 @@ Cluster::stop()
 {
     for (auto &b : _boards)
         b.hypervisor->stop();
+    if (_rebalancer)
+        _rebalancer->stop();
 }
 
 std::size_t
@@ -195,13 +264,16 @@ ClusterSimulation::run(const EventSequence &seq)
     }
 
     cluster.start();
-    bool stopped = false;
     while (!eq.empty()) {
         if (!eq.step())
             break;
-        if (!stopped && cluster.retiredCount() == seq.events.size()) {
+        if (cluster.retiredCount() == seq.events.size()) {
             cluster.stop();
-            stopped = true;
+            // Every record exists; remaining queued events are repair
+            // probes or rebalance timers that can no longer change the
+            // result (an in-flight migration keeps its app unretired, so
+            // this point is unreachable while one exists).
+            break;
         }
         if (eq.now() > horizon) {
             fatal("cluster stalled on sequence '%s': %zu/%zu apps retired",
@@ -219,6 +291,11 @@ ClusterSimulation::run(const EventSequence &seq)
         result.records.insert(result.records.end(), records.begin(),
                               records.end());
         result.boardStats.push_back(cluster.board(i).stats());
+    }
+    if (const MigrationEngine *engine = cluster.migrationEngine()) {
+        result.migrationsOutPerBoard = engine->outPerBoard();
+        result.migrationsInPerBoard = engine->inPerBoard();
+        result.migration = engine->stats();
     }
     std::sort(result.records.begin(), result.records.end(),
               [](const AppRecord &a, const AppRecord &b) {

@@ -7,10 +7,12 @@
  * applications are placed onto one board by a dispatch policy; within a
  * board, scheduling proceeds exactly as on a single device. This models
  * the deployment the introduction motivates — "the illusion of an
- * infinite, homogeneous, and reconfigurable fabric" — at the granularity
- * the prototype supports (whole applications; task graphs do not span
- * boards, which would require inter-board transport the paper leaves to
- * future work).
+ * infinite, homogeneous, and reconfigurable fabric" — at whole-app
+ * granularity (task graphs never span boards), but placement is no
+ * longer final: when ClusterConfig::migration is enabled, a rebalancer
+ * moves queued or preempted applications between boards over a modelled
+ * inter-board transport (cluster/migration.hh), correcting stale
+ * dispatch decisions and draining boards that lose capacity.
  */
 
 #ifndef NIMBLOCK_CLUSTER_CLUSTER_HH
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "apps/registry.hh"
+#include "cluster/migration.hh"
 #include "core/config.hh"
 #include "core/simulation.hh"
 #include "workload/event.hh"
@@ -36,6 +39,9 @@ enum class DispatchPolicy
 
 /** Render a DispatchPolicy. */
 const char *toString(DispatchPolicy p);
+
+/** Parse the rendering back; fatal() on unknown names. */
+DispatchPolicy parseDispatchPolicy(const char *name);
 
 /** Cluster-wide configuration. */
 struct ClusterConfig
@@ -55,6 +61,9 @@ struct ClusterConfig
     std::vector<std::size_t> slotsPerBoard;
 
     DispatchPolicy dispatch = DispatchPolicy::LeastLoaded;
+
+    /** Live migration + rebalancing; disabled by default. */
+    MigrationConfig migration;
 };
 
 /** Outcome of a cluster run. */
@@ -74,6 +83,18 @@ struct ClusterRunResult
 
     /** Events dispatched to each board. */
     std::vector<std::size_t> eventsPerBoard;
+
+    /** @name Cluster elasticity (empty/zero when migration is off) */
+    /// @{
+
+    /** Completed migrations out of / into each board. */
+    std::vector<std::uint64_t> migrationsOutPerBoard;
+    std::vector<std::uint64_t> migrationsInPerBoard;
+
+    /** Aggregate migration activity. */
+    MigrationStats migration;
+
+    /// @}
 };
 
 /**
@@ -114,6 +135,35 @@ class Cluster
     /** Current load figure used by the dispatch policy. */
     double loadOf(std::size_t i);
 
+    /** Fault injector of board @p i; nullptr without fault injection. */
+    FaultInjector *injector(std::size_t i);
+
+    /** Non-quarantined slots of board @p i. */
+    std::size_t healthySlots(std::size_t i) const;
+
+    /**
+     * Load figure the rebalancer compares: seconds of estimated pending
+     * work per healthy slot. A board with pending work and no healthy
+     * slots reads as effectively infinite so its work drains first.
+     */
+    double rebalanceLoadOf(std::size_t i);
+
+    /** @name Elasticity components (nullptr when migration is off) */
+    /// @{
+    MigrationEngine *migrationEngine() { return _engine.get(); }
+    const MigrationEngine *migrationEngine() const { return _engine.get(); }
+    ClusterTransport *transport() { return _transport.get(); }
+    Rebalancer *rebalancer() { return _rebalancer.get(); }
+    /// @}
+
+    /**
+     * Attach a Timeline to board @p i's hypervisor and (when migration
+     * is on) to the engine for its Migrate spans.
+     */
+    void setBoardTimeline(std::size_t i, Timeline *timeline);
+
+    const ClusterConfig &config() const { return _cfg; }
+
   private:
     int pickBoard();
 
@@ -131,6 +181,13 @@ class Cluster
     ClusterConfig _cfg;
     std::vector<Board> _boards;
     std::size_t _rrNext = 0;
+
+    /** @name Elasticity (created only when _cfg.migration.enabled) */
+    /// @{
+    std::unique_ptr<ClusterTransport> _transport;
+    std::unique_ptr<MigrationEngine> _engine;
+    std::unique_ptr<Rebalancer> _rebalancer;
+    /// @}
 };
 
 /** End-to-end cluster run over an event sequence. */

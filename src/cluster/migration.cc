@@ -1,0 +1,197 @@
+#include "cluster/migration.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+MigrationEngine::MigrationEngine(EventQueue &eq, ClusterTransport &transport,
+                                 MigrationConfig cfg)
+    : _eq(eq), _transport(transport), _cfg(cfg)
+{
+    if (_cfg.maxInflight < 1)
+        fatal("migration maxInflight must be >= 1, got %d",
+              _cfg.maxInflight);
+    if (_cfg.maxMigrationsPerApp < 1)
+        fatal("migration maxMigrationsPerApp must be >= 1, got %d",
+              _cfg.maxMigrationsPerApp);
+    _boards.assign(_transport.numBoards(), nullptr);
+    _timelines.assign(_transport.numBoards(), nullptr);
+    _cameFrom.resize(_transport.numBoards());
+    _out.assign(_transport.numBoards(), 0);
+    _in.assign(_transport.numBoards(), 0);
+}
+
+void
+MigrationEngine::attachBoard(std::size_t board, Hypervisor &hyp)
+{
+    if (board >= _boards.size())
+        panic("attaching board %zu to a %zu-board engine", board,
+              _boards.size());
+    _boards[board] = &hyp;
+    hyp.setQuiescentListener(
+        [this, board](AppInstanceId id) { onQuiescent(board, id); });
+}
+
+void
+MigrationEngine::setBoardTimeline(std::size_t board, Timeline *timeline)
+{
+    if (board >= _timelines.size())
+        panic("timeline for board %zu of a %zu-board engine", board,
+              _timelines.size());
+    _timelines[board] = timeline;
+}
+
+void
+MigrationEngine::setCounters(CounterRegistry *counters)
+{
+    _counters = counters;
+    if (!counters)
+        return;
+    _ctrRequested = counters->define("migrate.requested");
+    _ctrCompleted = counters->define("migrate.completed");
+    _ctrAborted = counters->define("migrate.aborted");
+    _ctrInflight = counters->define("migrate.inflight");
+    _ctrBytes = counters->define("migrate.bytes");
+}
+
+bool
+MigrationEngine::migratable(const AppInstance &app) const
+{
+    return !app.migrating() && !app.failed() &&
+           app.migrations() < _cfg.maxMigrationsPerApp;
+}
+
+bool
+MigrationEngine::migratable(std::size_t src, std::size_t dst,
+                            const AppInstance &app) const
+{
+    if (!migratable(app))
+        return false;
+    if (src >= _cameFrom.size())
+        return false;
+    auto it = _cameFrom[src].find(app.id());
+    return it == _cameFrom[src].end() || it->second != dst;
+}
+
+bool
+MigrationEngine::requestMigration(std::size_t src, std::size_t dst,
+                                  AppInstanceId id)
+{
+    if (src >= _boards.size() || dst >= _boards.size() || src == dst)
+        return false;
+    if (!_boards[src] || !_boards[dst])
+        panic("migration between unattached boards %zu -> %zu", src, dst);
+    if (_inflight >= _cfg.maxInflight)
+        return false;
+    AppInstance *app = _boards[src]->findApp(id);
+    if (!app || !migratable(src, dst, *app))
+        return false;
+
+    // The pending entry must exist before beginMigration(): a queued
+    // victim quiesces synchronously and the listener fires while we are
+    // still on this line's stack.
+    _pending.push_back(Pending{src, dst, id});
+    if (!_boards[src]->beginMigration(id)) {
+        _pending.pop_back();
+        return false;
+    }
+    ++_inflight;
+    ++_stats.requested;
+    sampleGauges();
+    return true;
+}
+
+void
+MigrationEngine::onQuiescent(std::size_t src, AppInstanceId id)
+{
+    // The hypervisor also notifies when a migrating app retires first
+    // (its work finished mid-quiesce); extraction sorts out which case
+    // happened from settled state.
+    _eq.scheduleAfter(0, "migrate_extract",
+                      [this, src, id] { extract(src, id); });
+}
+
+MigrationEngine::Pending
+MigrationEngine::takePending(std::size_t src, AppInstanceId id)
+{
+    auto it = std::find_if(_pending.begin(), _pending.end(),
+                           [&](const Pending &p) {
+                               return p.src == src && p.id == id;
+                           });
+    if (it == _pending.end())
+        panic("no pending migration for app %llu on board %zu",
+              static_cast<unsigned long long>(id), src);
+    Pending p = *it;
+    _pending.erase(it);
+    return p;
+}
+
+void
+MigrationEngine::extract(std::size_t src, AppInstanceId id)
+{
+    Pending p = takePending(src, id);
+    AppInstance *app = _boards[src]->findApp(id);
+    if (!app || !app->migrating()) {
+        // The victim retired on the source board before extraction (it
+        // finished its batch while quiescing). Nothing moves; its record
+        // was produced there.
+        ++_stats.aborted;
+        --_inflight;
+        sampleGauges();
+        return;
+    }
+
+    if (_timelines[src])
+        _timelines[src]->record(_eq.now(), kSlotNone, id, kTaskNone,
+                                app->spec().name(),
+                                TimelineEventKind::MigrateBegin);
+
+    AppCheckpoint ck = _boards[src]->extractCheckpoint(id);
+    SimTime begin = _eq.now();
+    std::uint64_t bytes = ck.stateBytes;
+    _transport.send(
+        src, p.dst, bytes,
+        [this, src, dst = p.dst, id, begin,
+         ck = std::move(ck)]() mutable {
+            SimTime latency = _eq.now() - begin;
+            ck.migrationTime += latency;
+            AppInstanceId nid = _boards[dst]->admitCheckpoint(ck);
+            _cameFrom[dst][nid] = src;
+            ++_stats.completed;
+            _stats.bytesMoved += ck.stateBytes;
+            _stats.transferTime += latency;
+            ++_out[src];
+            ++_in[dst];
+            --_inflight;
+            if (_timelines[src])
+                _timelines[src]->record(_eq.now(), kSlotNone, id,
+                                        kTaskNone, ck.spec->name(),
+                                        TimelineEventKind::MigrateEnd);
+            _log.push_back(MigrationEvent{
+                begin, _eq.now(), static_cast<int>(src),
+                static_cast<int>(dst), ck.eventIndex, ck.spec->name(),
+                ck.stateBytes});
+            sampleGauges();
+        });
+}
+
+void
+MigrationEngine::sampleGauges()
+{
+    if (!_counters)
+        return;
+    SimTime now = _eq.now();
+    _counters->sample(_ctrRequested, now,
+                      static_cast<double>(_stats.requested));
+    _counters->sample(_ctrCompleted, now,
+                      static_cast<double>(_stats.completed));
+    _counters->sample(_ctrAborted, now,
+                      static_cast<double>(_stats.aborted));
+    _counters->sample(_ctrInflight, now, static_cast<double>(_inflight));
+    _counters->sample(_ctrBytes, now,
+                      static_cast<double>(_stats.bytesMoved));
+}
+
+} // namespace nimblock

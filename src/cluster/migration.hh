@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Checkpoint-based live migration between boards.
+ *
+ * The batch-preemption mechanism already persists completed items to DDR
+ * at task boundaries (§3.4); migration reuses it as a checkpoint: quiesce
+ * the victim at its next boundary, capture progress + accounting from the
+ * source hypervisor, ship the state over the inter-board transport, and
+ * readmit on the target board as the *same* logical application — one
+ * AppRecord end-to-end, with the transfer latency inside its response
+ * time.
+ *
+ * Everything here is config-gated the way the resilience subsystem is:
+ * with MigrationConfig::enabled false (the default) no engine exists, no
+ * hypervisor listener is installed, and results are byte-identical to a
+ * build without this file.
+ */
+
+#ifndef NIMBLOCK_CLUSTER_MIGRATION_HH
+#define NIMBLOCK_CLUSTER_MIGRATION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/rebalancer.hh"
+#include "cluster/transport.hh"
+#include "hypervisor/hypervisor.hh"
+#include "metrics/counters.hh"
+#include "metrics/timeline.hh"
+
+namespace nimblock {
+
+/** Cluster-elasticity configuration (ClusterConfig::migration). */
+struct MigrationConfig
+{
+    /** Master switch; off keeps the cluster byte-identical to the seed. */
+    bool enabled = false;
+
+    /** Inter-board link + NIC model. */
+    TransportConfig transport;
+
+    /** Rebalancing policy driving migrations. */
+    RebalancerConfig rebalance;
+
+    /** Concurrent migrations across the cluster. */
+    int maxInflight = 4;
+
+    /** Hops per app before it is pinned (migration thrash guard). */
+    int maxMigrationsPerApp = 3;
+};
+
+/** Aggregate migration activity over a run. */
+struct MigrationStats
+{
+    std::uint64_t requested = 0;  //!< Quiesces initiated.
+    std::uint64_t completed = 0;  //!< Checkpoints readmitted elsewhere.
+    std::uint64_t aborted = 0;    //!< Victim retired before extraction.
+    std::uint64_t bytesMoved = 0; //!< Checkpoint payload shipped.
+    SimTime transferTime = 0;     //!< Summed send-to-deliver latency.
+};
+
+/** One completed migration, for event logs and examples. */
+struct MigrationEvent
+{
+    SimTime begin = kTimeNone; //!< Checkpoint extraction time.
+    SimTime end = kTimeNone;   //!< Readmission time on the target.
+    int src = -1;
+    int dst = -1;
+    int eventIndex = -1; //!< Workload event of the migrated app.
+    std::string appName;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Drives migrations end to end: quiesce on the source hypervisor,
+ * checkpoint extraction, transport transfer, readmission on the target.
+ * Owned by Cluster when migration is enabled; the Rebalancer decides
+ * *what* to move, the engine knows *how*.
+ */
+class MigrationEngine
+{
+  public:
+    MigrationEngine(EventQueue &eq, ClusterTransport &transport,
+                    MigrationConfig cfg);
+
+    /**
+     * Wire board @p board's hypervisor: installs the quiescent listener
+     * that resumes a pending migration once the victim is off the fabric.
+     */
+    void attachBoard(std::size_t board, Hypervisor &hyp);
+
+    /** Timeline receiving board @p board's Migrate spans (optional). */
+    void setBoardTimeline(std::size_t board, Timeline *timeline);
+
+    /** Counter registry for migrate.* gauges (optional). */
+    void setCounters(CounterRegistry *counters);
+
+    /**
+     * Begin migrating app @p id from board @p src to board @p dst.
+     *
+     * @return false when the app is not migratable (already migrating,
+     *         failed, or over its hop budget), the inflight cap is hit,
+     *         or the indices are invalid.
+     */
+    bool requestMigration(std::size_t src, std::size_t dst,
+                          AppInstanceId id);
+
+    /** True when @p app may be selected as a migration victim. */
+    bool migratable(const AppInstance &app) const;
+
+    /**
+     * migratable() plus the backtrack guard: an app never moves straight
+     * back to the board it last arrived from, which breaks the rebalancer
+     * ping-pong cycle (A pushes to B, B's load now looks high, B pushes
+     * the same app back to A) that otherwise burns the hop budget on
+     * moves that cancel out.
+     */
+    bool migratable(std::size_t src, std::size_t dst,
+                    const AppInstance &app) const;
+
+    /** Migrations currently between quiesce and readmission. */
+    int inflight() const { return _inflight; }
+
+    const MigrationStats &stats() const { return _stats; }
+
+    /** Completed migrations in completion order. */
+    const std::vector<MigrationEvent> &log() const { return _log; }
+
+    /** Completed migrations out of / into each board. */
+    const std::vector<std::uint64_t> &outPerBoard() const { return _out; }
+    const std::vector<std::uint64_t> &inPerBoard() const { return _in; }
+
+    const MigrationConfig &config() const { return _cfg; }
+
+  private:
+    struct Pending
+    {
+        std::size_t src = 0;
+        std::size_t dst = 0;
+        AppInstanceId id = kAppNone;
+    };
+
+    /**
+     * Quiescence callback from board @p src. Extraction is deferred to a
+     * zero-delay event: the notification can arrive from deep inside
+     * hypervisor callbacks (preemption, retirement) where erasing the
+     * app would pull state out from under the caller.
+     */
+    void onQuiescent(std::size_t src, AppInstanceId id);
+
+    /** The deferred extraction + transfer + readmission chain. */
+    void extract(std::size_t src, AppInstanceId id);
+
+    /** Remove the pending entry for (src, id); panics when absent. */
+    Pending takePending(std::size_t src, AppInstanceId id);
+
+    void sampleGauges();
+
+    EventQueue &_eq;
+    ClusterTransport &_transport;
+    MigrationConfig _cfg;
+
+    std::vector<Hypervisor *> _boards;
+    std::vector<Timeline *> _timelines;
+    std::vector<Pending> _pending;
+    /** Per board: app id -> board it last migrated in from. */
+    std::vector<std::unordered_map<AppInstanceId, std::size_t>> _cameFrom;
+    std::vector<std::uint64_t> _out;
+    std::vector<std::uint64_t> _in;
+    std::vector<MigrationEvent> _log;
+    MigrationStats _stats;
+    int _inflight = 0;
+
+    CounterRegistry *_counters = nullptr;
+    CounterId _ctrRequested = kCounterNone;
+    CounterId _ctrCompleted = kCounterNone;
+    CounterId _ctrAborted = kCounterNone;
+    CounterId _ctrInflight = kCounterNone;
+    CounterId _ctrBytes = kCounterNone;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CLUSTER_MIGRATION_HH

@@ -1,0 +1,212 @@
+#include "cluster/rebalancer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cluster/cluster.hh"
+#include "cluster/migration.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+const char *
+toString(RebalancePolicy p)
+{
+    switch (p) {
+      case RebalancePolicy::WorkStealing:
+        return "work_stealing";
+      case RebalancePolicy::Watermark:
+        return "watermark";
+    }
+    return "?";
+}
+
+RebalancePolicy
+parseRebalancePolicy(const char *name)
+{
+    for (RebalancePolicy p :
+         {RebalancePolicy::WorkStealing, RebalancePolicy::Watermark}) {
+        if (std::strcmp(name, toString(p)) == 0)
+            return p;
+    }
+    fatal("unknown rebalance policy '%s' (expected work_stealing or "
+          "watermark)",
+          name);
+}
+
+/**
+ * Check the knobs before the periodic timer is built from them: the
+ * timer's own zero-period check is a panic (internal invariant), while a
+ * bad user configuration must surface as a recoverable fatal().
+ */
+static RebalancerConfig
+validated(RebalancerConfig cfg)
+{
+    if (cfg.interval <= 0)
+        fatal("rebalance interval must be positive");
+    if (cfg.watermarkRatio < 1.0)
+        fatal("rebalance watermarkRatio must be >= 1.0, got %g",
+              cfg.watermarkRatio);
+    if (cfg.maxMovesPerPass < 0 || cfg.drainMovesPerTrigger < 0)
+        fatal("rebalance move budgets must be non-negative");
+    return cfg;
+}
+
+Rebalancer::Rebalancer(EventQueue &eq, Cluster &cluster,
+                       MigrationEngine &engine, RebalancerConfig cfg)
+    : _eq(eq), _cluster(cluster), _engine(engine), _cfg(validated(cfg)),
+      _timer(eq, _cfg.interval, "rebalance_pass", [this] { pass(); })
+{
+}
+
+void
+Rebalancer::start()
+{
+    _timer.start();
+}
+
+void
+Rebalancer::stop()
+{
+    if (_timer.running())
+        _timer.stop();
+}
+
+void
+Rebalancer::onCapacityChange(std::size_t board)
+{
+    ++_stats.drainTriggers;
+    _eq.scheduleAfter(0, "rebalance_drain",
+                      [this, board] { drain(board); });
+}
+
+int
+Rebalancer::pickTarget(std::size_t exclude)
+{
+    int best = -1;
+    double best_load = 0.0;
+    for (std::size_t i = 0; i < _cluster.numBoards(); ++i) {
+        if (i == exclude || _cluster.healthySlots(i) == 0)
+            continue;
+        double load = _cluster.rebalanceLoadOf(i);
+        if (best < 0 || load < best_load) {
+            best = static_cast<int>(i);
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+void
+Rebalancer::pass()
+{
+    ++_stats.passes;
+    for (int m = 0; m < _cfg.maxMovesPerPass; ++m) {
+        std::size_t src = 0;
+        double src_load = -1.0;
+        for (std::size_t i = 0; i < _cluster.numBoards(); ++i) {
+            double load = _cluster.rebalanceLoadOf(i);
+            if (load > src_load) {
+                src = i;
+                src_load = load;
+            }
+        }
+        int dst = pickTarget(src);
+        if (dst < 0 || src_load <= 0.0)
+            break;
+        bool go;
+        if (_cluster.healthySlots(src) == 0) {
+            // Work stranded on a dead board must leave regardless of the
+            // configured policy's threshold.
+            go = true;
+        } else {
+            double dst_load =
+                _cluster.rebalanceLoadOf(static_cast<std::size_t>(dst));
+            double gap = src_load - dst_load;
+            go = false;
+            switch (_cfg.policy) {
+              case RebalancePolicy::WorkStealing:
+                go = dst_load < 1e-9 && gap > _cfg.minLoadGapSec;
+                break;
+              case RebalancePolicy::Watermark:
+                go = src_load >
+                         _cfg.watermarkRatio * std::max(dst_load, 1e-9) &&
+                     gap > _cfg.minLoadGapSec;
+                break;
+            }
+        }
+        if (!go || !moveOne(src, static_cast<std::size_t>(dst)))
+            break;
+    }
+}
+
+void
+Rebalancer::drain(std::size_t board)
+{
+    int moved = 0;
+    for (int m = 0; m < _cfg.drainMovesPerTrigger; ++m) {
+        double src_load = _cluster.rebalanceLoadOf(board);
+        if (src_load <= 0.0)
+            break;
+        int dst = pickTarget(board);
+        if (dst < 0)
+            break;
+        if (_cluster.healthySlots(board) > 0 &&
+            src_load - _cluster.rebalanceLoadOf(
+                           static_cast<std::size_t>(dst)) <=
+                _cfg.minLoadGapSec) {
+            // Partial capacity loss: only shed down to parity with the
+            // best peer, not to empty.
+            break;
+        }
+        if (!moveOne(board, static_cast<std::size_t>(dst)))
+            break;
+        ++moved;
+    }
+    if (moved > 0 || _engine.inflight() > 0) {
+        // More may be pending (inflight cap, victims still quiescing):
+        // look again next interval. Once nothing moved and nothing is in
+        // flight the chain ends; a later CapacityChange re-triggers it.
+        _eq.scheduleAfter(_cfg.interval, "rebalance_drain",
+                          [this, board] { drain(board); });
+    }
+}
+
+bool
+Rebalancer::moveOne(std::size_t src, std::size_t dst)
+{
+    Hypervisor &hyp = _cluster.board(src);
+    // On a board that can still run work, leave nearly-done apps alone;
+    // on a dead board everything is stranded, so everything may go.
+    bool filter_small = _cluster.healthySlots(src) > 0;
+    AppInstance *victim = nullptr;
+    int victim_rank = 0;
+    for (AppInstance *app : hyp.liveApps()) {
+        if (!_engine.migratable(src, dst, *app))
+            continue;
+        if (filter_small &&
+            simtime::toSec(hyp.remainingWorkEstimate(*app)) <
+                _cfg.minVictimRemainingSec) {
+            continue; // Nearly done: a move costs more than it saves.
+        }
+        int rank = app->firstLaunch() == kTimeNone ? 0
+                   : app->slotsUsed() == 0         ? 1
+                                                   : 2;
+        // Cheapest category wins; within a category the latest arrival
+        // does (liveApps() is in arrival order, so ties fall through to
+        // the later entry).
+        if (!victim || rank < victim_rank ||
+            (rank == victim_rank && app->arrival() >= victim->arrival())) {
+            victim = app;
+            victim_rank = rank;
+        }
+    }
+    if (!victim)
+        return false;
+    if (!_engine.requestMigration(src, dst, victim->id()))
+        return false;
+    ++_stats.moves;
+    return true;
+}
+
+} // namespace nimblock

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cluster load rebalancing over live migration.
+ *
+ * Dispatch picks a board once, at arrival; under skewed arrivals or a
+ * mid-run capacity loss that single decision goes stale. The rebalancer
+ * is the corrective layer: a periodic cluster-wide pass moves queued work
+ * from overloaded boards to underused ones through the MigrationEngine,
+ * and a reactive trigger drains boards that just lost capacity (slot
+ * quarantine) onto healthy peers.
+ */
+
+#ifndef NIMBLOCK_CLUSTER_REBALANCER_HH
+#define NIMBLOCK_CLUSTER_REBALANCER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+class Cluster;
+class MigrationEngine;
+
+/** When the rebalancer decides to move work between two boards. */
+enum class RebalancePolicy
+{
+    WorkStealing, //!< A near-idle board pulls from the most-loaded one.
+    Watermark,    //!< Push when the load ratio exceeds a threshold.
+};
+
+/** Render a RebalancePolicy. */
+const char *toString(RebalancePolicy p);
+
+/** Parse the rendering back; fatal() on unknown names. */
+RebalancePolicy parseRebalancePolicy(const char *name);
+
+/** Rebalancer tuning knobs. */
+struct RebalancerConfig
+{
+    RebalancePolicy policy = RebalancePolicy::WorkStealing;
+
+    /** Period of the cluster-wide pass. */
+    SimTime interval = simtime::ms(500);
+
+    /** Watermark: migrate when srcLoad > ratio * dstLoad. */
+    double watermarkRatio = 2.0;
+
+    /**
+     * Minimum load gap (seconds of estimated work) between source and
+     * target before a move is worth its transfer cost.
+     */
+    double minLoadGapSec = 0.25;
+
+    /**
+     * Victims with less than this much estimated work left (seconds,
+     * single-slot) stay put: an almost-finished app costs its transfer
+     * and quiesce but saves nothing.
+     */
+    double minVictimRemainingSec = 0.5;
+
+    /** Migrations initiated per periodic pass. */
+    int maxMovesPerPass = 1;
+
+    /** Migrations initiated per reactive capacity-loss trigger. */
+    int drainMovesPerTrigger = 2;
+};
+
+/** Rebalancing activity over a run. */
+struct RebalanceStats
+{
+    std::uint64_t passes = 0;        //!< Periodic passes executed.
+    std::uint64_t moves = 0;         //!< Migrations initiated.
+    std::uint64_t drainTriggers = 0; //!< Reactive capacity-loss drains.
+};
+
+/**
+ * Periodic + reactive load balancer; owned by Cluster when
+ * ClusterConfig::migration.enabled.
+ */
+class Rebalancer
+{
+  public:
+    Rebalancer(EventQueue &eq, Cluster &cluster, MigrationEngine &engine,
+               RebalancerConfig cfg);
+
+    /** Arm the periodic pass (Cluster::start()). */
+    void start();
+
+    /** Disarm it so the event queue can drain (Cluster::stop()). */
+    void stop();
+
+    bool running() const { return _timer.running(); }
+
+    /**
+     * Reactive trigger: @p board lost capacity (slot quarantined). The
+     * drain itself runs from a zero-delay event — the notification
+     * arrives from inside hypervisor callbacks where boards are mid-
+     * update, and migration decisions must see settled state.
+     */
+    void onCapacityChange(std::size_t board);
+
+    const RebalanceStats &stats() const { return _stats; }
+    const RebalancerConfig &config() const { return _cfg; }
+
+  private:
+    void pass();
+    void drain(std::size_t board);
+
+    /**
+     * Try to start one migration src -> dst. Victim choice prefers apps
+     * that are pure queue residents (never launched, then launched but
+     * currently off-fabric), latest-arrived first, so a move carries the
+     * least accumulated state and steals the work most likely to wait
+     * longest anyway.
+     *
+     * @return true when a migration was initiated.
+     */
+    bool moveOne(std::size_t src, std::size_t dst);
+
+    /** Board with the smallest load among boards with healthy slots. */
+    int pickTarget(std::size_t exclude);
+
+    EventQueue &_eq;
+    Cluster &_cluster;
+    MigrationEngine &_engine;
+    RebalancerConfig _cfg;
+    RebalanceStats _stats;
+    PeriodicEvent _timer;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CLUSTER_REBALANCER_HH

@@ -1,0 +1,109 @@
+#include "cluster/transport.hh"
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+ClusterTransport::ClusterTransport(EventQueue &eq, std::size_t num_boards,
+                                   TransportConfig cfg)
+    : _eq(eq), _cfg(cfg)
+{
+    if (num_boards == 0)
+        fatal("transport needs at least one board");
+    if (cfg.link.bandwidthBytesPerSec <= 0)
+        fatal("link bandwidth must be positive");
+    if (cfg.link.latency < 0 || cfg.nicOverhead < 0)
+        fatal("link latency and NIC overhead must be non-negative");
+    _links.assign(num_boards * num_boards, cfg.link);
+    _nics.resize(num_boards);
+    for (Nic &nic : _nics)
+        nic.queue.reserve(8);
+}
+
+ClusterLink &
+ClusterTransport::link(std::size_t src, std::size_t dst)
+{
+    if (src >= numBoards() || dst >= numBoards())
+        panic("link (%zu, %zu) out of range for %zu boards", src, dst,
+              numBoards());
+    return _links[src * numBoards() + dst];
+}
+
+const ClusterLink &
+ClusterTransport::link(std::size_t src, std::size_t dst) const
+{
+    return const_cast<ClusterTransport *>(this)->link(src, dst);
+}
+
+SimTime
+ClusterTransport::serializationTime(std::size_t src, std::size_t dst,
+                                    std::uint64_t bytes) const
+{
+    const ClusterLink &l = link(src, dst);
+    double seconds = static_cast<double>(bytes) / l.bandwidthBytesPerSec;
+    return _cfg.nicOverhead + simtime::secF(seconds);
+}
+
+SimTime
+ClusterTransport::uncontendedLatency(std::size_t src, std::size_t dst,
+                                     std::uint64_t bytes) const
+{
+    return serializationTime(src, dst, bytes) + link(src, dst).latency;
+}
+
+bool
+ClusterTransport::busy(std::size_t board) const
+{
+    const Nic &nic = _nics.at(board);
+    return nic.busy || !nic.queue.empty();
+}
+
+const NicStats &
+ClusterTransport::nic(std::size_t board) const
+{
+    return _nics.at(board).stats;
+}
+
+void
+ClusterTransport::send(std::size_t src, std::size_t dst, std::uint64_t bytes,
+                       DeliverCallback cb)
+{
+    if (src >= numBoards() || dst >= numBoards())
+        panic("send (%zu -> %zu) out of range for %zu boards", src, dst,
+              numBoards());
+    if (src == dst)
+        panic("transport cannot ship a payload to its own board");
+    _nics[src].queue.push_back(Transfer{dst, bytes, std::move(cb)});
+    if (!_nics[src].busy)
+        startNext(src);
+}
+
+void
+ClusterTransport::startNext(std::size_t src)
+{
+    Nic &nic = _nics[src];
+    if (nic.queue.empty())
+        return;
+    nic.busy = true;
+    SimTime ser = serializationTime(src, nic.queue.front().dst,
+                                    nic.queue.front().bytes);
+    _eq.scheduleAfter(ser, "nic_serialize", [this, src, ser] {
+        Nic &n = _nics[src];
+        n.stats.busyTime += ser;
+        Transfer t = std::move(n.queue.front());
+        n.queue.pop_front();
+        n.busy = false;
+        ++n.stats.transfers;
+        n.stats.bytes += t.bytes;
+        _bytesSent += t.bytes;
+        SimTime lat = link(src, t.dst).latency;
+        _eq.scheduleAfter(lat, "link_delivery",
+                          [this, cb = std::move(t.cb)]() mutable {
+                              ++_transfersCompleted;
+                              cb();
+                          });
+        startNext(src);
+    });
+}
+
+} // namespace nimblock

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Inter-board transport model for checkpoint shipping.
+ *
+ * Boards in a cluster are connected by point-to-point links described by
+ * a bandwidth/latency pair. Each board owns one NIC through which all of
+ * its outbound transfers are serialized — the NIC is modeled exactly
+ * like the fabric's configuration access port (fabric/cap.hh): requests
+ * queue FIFO and each occupies the port for a fixed overhead plus the
+ * payload's serialization time. Delivery completes one link latency
+ * after serialization finishes, so concurrent transfers from one board
+ * contend while transfers from different boards proceed independently.
+ */
+
+#ifndef NIMBLOCK_CLUSTER_TRANSPORT_HH
+#define NIMBLOCK_CLUSTER_TRANSPORT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ring_queue.hh"
+#include "core/small_function.hh"
+#include "sim/event_queue.hh"
+
+namespace nimblock {
+
+/** One directed inter-board link. */
+struct ClusterLink
+{
+    /** Sustained link bandwidth (defaults to 10 GbE). */
+    double bandwidthBytesPerSec = 1.25e9;
+
+    /** One-way propagation + switching latency. */
+    SimTime latency = simtime::us(50);
+};
+
+/** Transport-wide configuration. */
+struct TransportConfig
+{
+    /** Template applied to every board pair (per-pair overrides via
+        ClusterTransport::link()). */
+    ClusterLink link;
+
+    /** Fixed per-transfer NIC occupancy (descriptor setup, DMA kick). */
+    SimTime nicOverhead = simtime::us(20);
+};
+
+/** Per-NIC accounting. */
+struct NicStats
+{
+    std::uint64_t transfers = 0; //!< Transfers serialized through the NIC.
+    std::uint64_t bytes = 0;     //!< Payload bytes serialized.
+    SimTime busyTime = 0;        //!< Time spent streaming payloads.
+};
+
+/**
+ * The cluster interconnect: a link matrix plus one serialized NIC queue
+ * per board.
+ */
+class ClusterTransport
+{
+  public:
+    /** Invoked when a payload arrives at its destination board. */
+    using DeliverCallback = SmallFunction<void()>;
+
+    ClusterTransport(EventQueue &eq, std::size_t num_boards,
+                     TransportConfig cfg);
+
+    std::size_t numBoards() const { return _nics.size(); }
+
+    const TransportConfig &config() const { return _cfg; }
+
+    /** The directed link @p src -> @p dst (mutable for heterogeneous
+        interconnects; adjust before traffic flows). */
+    ClusterLink &link(std::size_t src, std::size_t dst);
+    const ClusterLink &link(std::size_t src, std::size_t dst) const;
+
+    /** NIC occupancy of one transfer of @p bytes on @p src -> @p dst. */
+    SimTime serializationTime(std::size_t src, std::size_t dst,
+                              std::uint64_t bytes) const;
+
+    /** End-to-end latency of @p bytes on an idle NIC (no queueing). */
+    SimTime uncontendedLatency(std::size_t src, std::size_t dst,
+                               std::uint64_t bytes) const;
+
+    /**
+     * Ship @p bytes from @p src to @p dst; @p cb fires at arrival. The
+     * payload queues on @p src's NIC behind earlier outbound transfers.
+     */
+    void send(std::size_t src, std::size_t dst, std::uint64_t bytes,
+              DeliverCallback cb);
+
+    /** True while @p board's NIC is streaming or has queued transfers. */
+    bool busy(std::size_t board) const;
+
+    const NicStats &nic(std::size_t board) const;
+
+    /** Payload bytes handed to the transport, cluster-wide. */
+    std::uint64_t bytesSent() const { return _bytesSent; }
+
+    /** Transfers fully delivered, cluster-wide. */
+    std::uint64_t transfersCompleted() const { return _transfersCompleted; }
+
+  private:
+    struct Transfer
+    {
+        std::size_t dst;
+        std::uint64_t bytes;
+        DeliverCallback cb;
+    };
+
+    struct Nic
+    {
+        RingQueue<Transfer> queue;
+        bool busy = false;
+        NicStats stats;
+    };
+
+    void startNext(std::size_t src);
+
+    EventQueue &_eq;
+    TransportConfig _cfg;
+    std::vector<ClusterLink> _links; //!< Row-major numBoards x numBoards.
+    std::vector<Nic> _nics;
+    std::uint64_t _bytesSent = 0;
+    std::uint64_t _transfersCompleted = 0;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_CLUSTER_TRANSPORT_HH

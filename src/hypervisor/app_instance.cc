@@ -125,6 +125,11 @@ AppInstance::configurableTasksInto(std::vector<TaskId> &out,
                                    bool pipelined) const
 {
     out.clear();
+    // A quiescing app has nothing configurable: offering tasks here would
+    // make schedulers burn their one placement per pass on a configure()
+    // that rejects migrating apps, starving every younger candidate.
+    if (_migrating)
+        return;
     for (TaskId t : graph().topoOrder()) {
         if (taskConfigurable(t, pipelined))
             out.push_back(t);
@@ -212,6 +217,60 @@ AppInstance::noteLaunch(SimTime now)
 {
     if (_firstLaunch == kTimeNone)
         _firstLaunch = now;
+}
+
+AppCheckpoint
+AppInstance::captureCheckpoint() const
+{
+    AppCheckpoint ck;
+    ck.spec = _spec;
+    ck.batch = _batch;
+    ck.priority = _priority;
+    ck.arrival = _arrival;
+    ck.eventIndex = _eventIndex;
+    ck.itemsDone.reserve(_tasks.size());
+    for (const TaskRunState &st : _tasks) {
+        if (st.phase == TaskPhase::Configuring ||
+            st.phase == TaskPhase::Resident)
+            panic("app %s checkpointed while still on the fabric",
+                  _spec->name().c_str());
+        ck.itemsDone.push_back(st.itemsDone);
+    }
+    ck.firstLaunch = _firstLaunch;
+    ck.runTime = _totalRunTime;
+    ck.reconfigTime = _totalReconfigTime;
+    ck.reconfigs = _reconfigCount;
+    ck.preemptions = _preemptionCount;
+    ck.itemRetries = _itemRetries;
+    ck.requeues = _requeues;
+    ck.migrations = _migrations;
+    ck.migrationTime = _migrationTime;
+    return ck;
+}
+
+void
+AppInstance::restoreFromCheckpoint(const AppCheckpoint &ck)
+{
+    if (ck.itemsDone.size() != _tasks.size())
+        panic("checkpoint of %s carries %zu task states for %zu tasks",
+              _spec->name().c_str(), ck.itemsDone.size(), _tasks.size());
+    for (std::size_t t = 0; t < _tasks.size(); ++t) {
+        TaskRunState &st = _tasks[t];
+        st.itemsDone = ck.itemsDone[t];
+        if (st.itemsDone >= _batch) {
+            st.phase = TaskPhase::Done;
+            noteTaskCompleted();
+        }
+    }
+    _firstLaunch = ck.firstLaunch;
+    _totalRunTime = ck.runTime;
+    _totalReconfigTime = ck.reconfigTime;
+    _reconfigCount = ck.reconfigs;
+    _preemptionCount = ck.preemptions;
+    _itemRetries = ck.itemRetries;
+    _requeues = ck.requeues;
+    _migrations = ck.migrations;
+    _migrationTime = ck.migrationTime;
 }
 
 std::string

@@ -72,6 +72,47 @@ struct TaskRunState
     SimTime itemRemaining = kTimeNone;
 };
 
+/**
+ * Portable snapshot of an application's progress (cluster live
+ * migration). The batch-preemption mechanism already persists completed
+ * items to DDR at task boundaries (§3.4); a checkpoint is that saved
+ * state plus the identity/accounting needed to readmit the app on
+ * another board as the *same* logical application.
+ */
+struct AppCheckpoint
+{
+    /** @name Identity (carried verbatim to the target board) */
+    /// @{
+    AppSpecPtr spec;
+    int batch = 1;
+    Priority priority = Priority::Low;
+    SimTime arrival = kTimeNone;
+    int eventIndex = -1;
+    /// @}
+
+    /** Items completed per task (the DDR-resident batch state). */
+    std::vector<int> itemsDone;
+
+    /** @name Accounting (continues on the target board) */
+    /// @{
+    SimTime firstLaunch = kTimeNone;
+    SimTime runTime = 0;
+    SimTime reconfigTime = 0;
+    int reconfigs = 0;
+    int preemptions = 0;
+    int itemRetries = 0;
+    int requeues = 0;
+    int migrations = 0;      //!< Hops completed before this one.
+    SimTime migrationTime = 0; //!< Transfer latency accumulated so far.
+    /// @}
+
+    /** Checkpoint payload sizing the transfer (buffers + descriptor). */
+    std::uint64_t stateBytes = 0;
+
+    /** Single-slot estimate of the work left (rebalancer input). */
+    SimTime remainingWorkEstimate = 0;
+};
+
 /** Runtime state of one arrived application. */
 class AppInstance
 {
@@ -252,6 +293,46 @@ class AppInstance
     void resetProgress();
     /// @}
 
+    /** @name Live migration (cluster/migration.hh drives these) */
+    /// @{
+
+    /** True while the app is quiescing for (or in flight to) a board. */
+    bool migrating() const { return _migrating; }
+
+    /** Arm or clear the migration latch; arming resets the
+        once-per-migration quiescence notification. */
+    void
+    setMigrating(bool m)
+    {
+        _migrating = m;
+        if (m)
+            _migrateNotified = false;
+    }
+
+    /** True once this migration's quiescence callback has fired. */
+    bool migrateNotified() const { return _migrateNotified; }
+    void setMigrateNotified() { _migrateNotified = true; }
+
+    /** Completed inter-board hops. */
+    int migrations() const { return _migrations; }
+    void noteMigration() { ++_migrations; }
+
+    /** Summed checkpoint transfer latency. */
+    SimTime migrationTime() const { return _migrationTime; }
+    void addMigrationTime(SimTime d) { _migrationTime += d; }
+
+    /** Snapshot progress + accounting (tasks must all be off-fabric). */
+    AppCheckpoint captureCheckpoint() const;
+
+    /**
+     * Adopt a checkpoint's progress and accounting (hypervisor only,
+     * immediately after construction on the target board). Tasks whose
+     * batch completed become Done; the rest restart Idle from their
+     * saved itemsDone.
+     */
+    void restoreFromCheckpoint(const AppCheckpoint &ck);
+    /// @}
+
     /** Debug rendering. */
     std::string toString() const;
 
@@ -282,6 +363,11 @@ class AppInstance
     bool _failed = false;
     int _itemRetries = 0;
     int _requeues = 0;
+
+    bool _migrating = false;
+    bool _migrateNotified = false;
+    int _migrations = 0;
+    SimTime _migrationTime = 0;
 };
 
 } // namespace nimblock

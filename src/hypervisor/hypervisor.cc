@@ -199,6 +199,10 @@ Hypervisor::trace(SlotId slot, const AppInstance &app, TaskId task,
 bool
 Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
 {
+    // Silent (schedulers retry every pass): a migrating app is leaving
+    // this board; placing it would only lengthen its quiescence.
+    if (app.migrating())
+        return false;
     Slot &slot = _fabric.slot(slot_id);
     if (!slot.isFree()) {
         warn("configure rejected: slot %u not free", slot_id);
@@ -316,6 +320,9 @@ Hypervisor::onConfigFailed(AppInstanceId app_id, TaskId task, SlotId slot_id,
     if (quarantine_now) {
         abortPlacement(*app, task, slot_id);
         quarantineSlot(slot_id);
+        // The dissolved placement may have been a quiescing app's last
+        // on-fabric task.
+        maybeFinishQuiesce(*app);
         return;
     }
     if (!_retry->exhausted(attempts)) {
@@ -346,6 +353,7 @@ Hypervisor::onConfigFailed(AppInstanceId app_id, TaskId task, SlotId slot_id,
     // Retries exhausted without crossing the quarantine threshold: give
     // the placement up; the scheduler will try again (likely elsewhere).
     abortPlacement(*app, task, slot_id);
+    maybeFinishQuiesce(*app);
 }
 
 void
@@ -358,7 +366,10 @@ Hypervisor::abortPlacement(AppInstance &app, TaskId task, SlotId slot_id)
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, app, task, TimelineEventKind::Release);
     _fabric.slot(slot_id).release(_eq.now());
-    _configAttempts[slot_id] = 0;
+    // Per-slot retry state exists only with an installed injector; the
+    // migration path reaches here fault-free.
+    if (_faults)
+        _configAttempts[slot_id] = 0;
     requestPass(SchedEvent::ReconfigDone);
 }
 
@@ -411,6 +422,8 @@ Hypervisor::notifyCapacityChanged()
 {
     _scheduler.onCapacityChanged();
     requestPass(SchedEvent::CapacityChange);
+    if (_capacityListener)
+        _capacityListener();
 }
 
 void
@@ -427,6 +440,22 @@ Hypervisor::onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot_id,
         // the slot (the failed app's buffers were already released).
         _fabric.slot(slot_id).release(_eq.now());
         requestPass(SchedEvent::ReconfigDone);
+        return;
+    }
+
+    if (app->migrating()) {
+        // The landing belongs to an app quiescing for migration (the
+        // reconfiguration was in flight when beginMigration() ran). The
+        // PR time was genuinely spent — charge it — then dissolve the
+        // placement instead of going Resident.
+        if (_faults) {
+            _health->recordSuccess(slot_id);
+            _configAttempts[slot_id] = 0;
+        }
+        app->addReconfigTime(reconfig_latency);
+        app->noteReconfig();
+        abortPlacement(*app, task, slot_id);
+        maybeFinishQuiesce(*app);
         return;
     }
 
@@ -703,6 +732,10 @@ Hypervisor::requeueApp(AppInstance &app)
     // lands normally and the task restarts from item 0.
     app.resetProgress();
     requestPass(SchedEvent::Arrival);
+    // A migrating app whose last held slots were just vacated by the
+    // requeue is now quiescent (tasks still Configuring keep it open;
+    // their landings resolve it via onReconfigDone).
+    maybeFinishQuiesce(app);
 }
 
 void
@@ -811,6 +844,7 @@ Hypervisor::doPreempt(SlotId slot_id)
     }
     ++_stats.preemptionsHonored;
     requestPass(SchedEvent::PreemptDone);
+    maybeFinishQuiesce(*app);
 }
 
 void
@@ -864,7 +898,19 @@ Hypervisor::retire(AppInstance &app)
     rec.failed = app.failed();
     rec.itemRetries = app.itemRetries();
     rec.requeues = app.requeues();
+    rec.migrations = app.migrations();
+    rec.migrationTime = app.migrationTime();
     _collector.record(std::move(rec));
+
+    // An app can retire mid-quiesce (failed by the resilience policy, or
+    // its last items completed before the preemption landed). Fire the
+    // pending notification so the migration engine's extraction attempt
+    // runs, finds the app gone, and aborts the migration cleanly.
+    if (app.migrating() && !app.migrateNotified()) {
+        app.setMigrateNotified();
+        if (_quiescent)
+            _quiescent(app.id());
+    }
 
     ++_stats.appsRetired;
     countSample(_ctrRetired, static_cast<double>(_stats.appsRetired));
@@ -882,6 +928,154 @@ Hypervisor::retire(AppInstance &app)
     if (owner == _apps.end())
         panic("retiring unowned app instance");
     _apps.erase(owner);
+}
+
+void
+Hypervisor::maybeFinishQuiesce(AppInstance &app)
+{
+    if (!app.migrating() || app.migrateNotified())
+        return;
+    if (app.slotsUsed() != 0)
+        return; // Still Configuring/Resident somewhere; keep waiting.
+    app.setMigrateNotified();
+    if (_quiescent)
+        _quiescent(app.id());
+}
+
+bool
+Hypervisor::beginMigration(AppInstanceId id)
+{
+    AppInstance *app = findApp(id);
+    if (!app || app->migrating() || app->failed())
+        return false;
+    app->setMigrating(true);
+    // Vacate at the next item boundary via the batch-preemption path
+    // (§3.4): completed items persist in DDR and become the checkpoint.
+    // Waiting slots vacate synchronously inside preempt(); executing
+    // ones get a boundary request honored from onItemDone.
+    const TaskGraph &g = app->graph();
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        const TaskRunState &st = app->taskState(t);
+        if (st.phase == TaskPhase::Resident && st.slot != kSlotNone)
+            preempt(st.slot);
+    }
+    // Queued apps are quiescent immediately; tasks still Configuring
+    // resolve through the migrating branch of onReconfigDone.
+    maybeFinishQuiesce(*app);
+    return true;
+}
+
+std::uint64_t
+Hypervisor::checkpointBytes(const AppInstance &app) const
+{
+    // Fixed descriptor: task-graph progress, remaining-work metadata,
+    // scheduler bookkeeping. Never-launched apps migrate at this cost.
+    std::uint64_t bytes = 64 * 1024;
+    const TaskGraph &g = app.graph();
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        // Tasks with progress ship their materialized buffer windows.
+        if (app.taskState(t).itemsDone > 0)
+            bytes += bufferBytes(app, t);
+    }
+    return bytes;
+}
+
+SimTime
+Hypervisor::remainingWorkEstimate(AppInstance &app)
+{
+    SimTime est = estimatedSingleSlotLatency(app);
+    const TaskGraph &g = app.graph();
+    auto total_items = static_cast<std::int64_t>(app.batch()) *
+                       static_cast<std::int64_t>(g.numTasks());
+    if (total_items <= 0)
+        return 0;
+    std::int64_t done = 0;
+    for (TaskId t = 0; t < g.numTasks(); ++t)
+        done += app.taskState(t).itemsDone;
+    return est * (total_items - done) / total_items;
+}
+
+SimTime
+Hypervisor::pendingWorkEstimate()
+{
+    SimTime total = 0;
+    for (AppInstance *app : _live) {
+        if (app->migrating() || app->failed())
+            continue;
+        total += remainingWorkEstimate(*app);
+    }
+    return total;
+}
+
+AppCheckpoint
+Hypervisor::extractCheckpoint(AppInstanceId id)
+{
+    AppInstance *app = findApp(id);
+    if (!app || !app->migrating())
+        panic("extracting a checkpoint of a non-migrating app %llu",
+              static_cast<unsigned long long>(id));
+
+    AppCheckpoint ck = app->captureCheckpoint();
+    ck.stateBytes = checkpointBytes(*app);
+    ck.remainingWorkEstimate = remainingWorkEstimate(*app);
+
+    ++_stats.appsMigratedOut;
+    _scheduler.onAppRetired(*app);
+
+    // Same removal as retire(), minus the AppRecord: the app is in
+    // flight to its target board, not finished — the record is produced
+    // by the board that retires it.
+    std::uint32_t idx = _liveIndex[id];
+    _liveIndex[id] = kNoLiveIndex;
+    _live.erase(_live.begin() + idx);
+    for (std::size_t i = idx; i < _live.size(); ++i)
+        _liveIndex[_live[i]->id()] = static_cast<std::uint32_t>(i);
+    countSample(_ctrLiveApps, static_cast<double>(_live.size()));
+    auto owner = std::find_if(
+        _apps.begin(), _apps.end(),
+        [&](const std::unique_ptr<AppInstance> &p) { return p.get() == app; });
+    if (owner == _apps.end())
+        panic("extracting unowned app instance");
+    _apps.erase(owner);
+    requestPass(SchedEvent::AppDone);
+    return ck;
+}
+
+AppInstanceId
+Hypervisor::admitCheckpoint(const AppCheckpoint &ck)
+{
+    AppInstanceId id = _nextAppId++;
+    auto inst = std::make_unique<AppInstance>(id, ck.spec, ck.batch,
+                                              ck.priority, ck.arrival,
+                                              ck.eventIndex);
+    inst->restoreFromCheckpoint(ck);
+    inst->noteMigration();
+    if (_liveIndex.size() <= id) {
+        _liveIndex.resize(id + 1, kNoLiveIndex);
+        _appNameId.resize(id + 1, kNameNone);
+    }
+    _liveIndex[id] = static_cast<std::uint32_t>(_live.size());
+    inst->setBitstreamNameId(
+        _fabric.internBitstreamName(inst->spec().name()));
+    _live.push_back(inst.get());
+    _apps.push_back(std::move(inst));
+    ++_stats.appsMigratedIn;
+    countSample(_ctrLiveApps, static_cast<double>(_live.size()));
+    if (_started && _cfg.elideIdleTicks && !_tick->running())
+        _tick->startAligned();
+    AppInstance &app = *_live.back();
+    _scheduler.onAppAdmitted(app);
+    if (app.done()) {
+        // Every item had completed when the checkpoint was cut (a task
+        // can be preempted at itemsDone == batch before completeTask
+        // runs); retire on arrival so the logical app still produces
+        // exactly one record.
+        retire(app);
+        requestPass(SchedEvent::AppDone);
+        return id;
+    }
+    requestPass(SchedEvent::Arrival);
+    return id;
 }
 
 void

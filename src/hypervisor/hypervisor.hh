@@ -114,6 +114,12 @@ struct HypervisorStats
     std::uint64_t appsFailed = 0;       //!< Apps retired as failed.
     std::uint64_t appRequeues = 0;      //!< Whole-app requeues.
     /// @}
+
+    /** @name Cluster elasticity (all zero without a migration engine) */
+    /// @{
+    std::uint64_t appsMigratedOut = 0; //!< Checkpoints extracted here.
+    std::uint64_t appsMigratedIn = 0;  //!< Checkpoints readmitted here.
+    /// @}
 };
 
 /** The hypervisor: system manager and SchedulerOps implementation. */
@@ -186,6 +192,78 @@ class Hypervisor : public SchedulerOps
      */
     void setFaultInjector(FaultInjector *injector);
 
+    /** @name Live migration (driven by cluster/migration.hh)
+     *
+     * Nullable-listener wired like the resilience hooks: with no
+     * listeners installed every migration site is one branch on a bool
+     * or null SmallFunction, so single-board runs stay byte-identical
+     * and allocation-free.
+     */
+    /// @{
+
+    /** Fires once per beginMigration() when the victim is fully
+        off-fabric (no task Configuring or Resident). */
+    using QuiescentListener = SmallFunction<void(AppInstanceId)>;
+    void
+    setQuiescentListener(QuiescentListener cb)
+    {
+        _quiescent = std::move(cb);
+    }
+
+    /** Fires after every schedulable-slot-set change (quarantine entry
+        or probe repair), after the scheduler has been notified. */
+    using CapacityListener = SmallFunction<void()>;
+    void
+    setCapacityListener(CapacityListener cb)
+    {
+        _capacityListener = std::move(cb);
+    }
+
+    /**
+     * Start quiescing @p id for migration: resident slots are vacated
+     * through the batch-preemption path at their next item boundary and
+     * the scheduler stops placing the app. The quiescent listener fires
+     * when the last slot is released (immediately for queued apps).
+     *
+     * @return False when the app is unknown, already migrating, or
+     *         failed; no state changes in that case.
+     */
+    bool beginMigration(AppInstanceId id);
+
+    /**
+     * Remove the quiesced app @p id and return its checkpoint. No
+     * AppRecord is produced — the app is in flight, not retired; the
+     * record comes from the board that readmits it. Panics unless
+     * beginMigration() ran and the app is fully off-fabric.
+     */
+    AppCheckpoint extractCheckpoint(AppInstanceId id);
+
+    /**
+     * Readmit a migrated app from @p ck, preserving its identity,
+     * progress, and accounting. Counted in appsMigratedIn, not in
+     * appsAdmitted (sum of appsAdmitted across boards stays the number
+     * of submitted workload events).
+     *
+     * @return The new instance id on this board.
+     */
+    AppInstanceId admitCheckpoint(const AppCheckpoint &ck);
+
+    /** Checkpoint payload size: live per-task buffer windows plus a
+        fixed descriptor (task-graph progress, remaining-work metadata). */
+    std::uint64_t checkpointBytes(const AppInstance &app) const;
+
+    /**
+     * Single-slot estimate of all remaining work on this board
+     * (migrating apps excluded — they are already leaving). The
+     * rebalancer's load metric, independent of the dispatch policy.
+     */
+    SimTime pendingWorkEstimate();
+
+    /** Single-slot estimate of one app's unfinished items; the
+        rebalancer's victim filter (don't ship nearly-done apps). */
+    SimTime remainingWorkEstimate(AppInstance &app);
+    /// @}
+
     /** @name SchedulerOps */
     /// @{
     SimTime now() const override { return _eq.now(); }
@@ -252,6 +330,10 @@ class Hypervisor : public SchedulerOps
     void notifyCapacityChanged();
 
     /// @}
+
+    /** Fire the quiescence notification once the migrating @p app holds
+        no slot (no-op unless migrating and not yet notified). */
+    void maybeFinishQuiesce(AppInstance &app);
 
     /**
      * Drive the slot: honor preemption, start the next batch item,
@@ -388,6 +470,9 @@ class Hypervisor : public SchedulerOps
     /** True while an item-retry backoff holds the slot (no new items). */
     std::vector<char> _slotHold;
     /// @}
+
+    QuiescentListener _quiescent;
+    CapacityListener _capacityListener;
 
     CounterRegistry *_counters = nullptr;
     CounterId _ctrLiveApps = kCounterNone;   //!< hyp.live_apps

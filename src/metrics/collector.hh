@@ -56,6 +56,17 @@ struct AppRecord
 
     /// @}
 
+    /** @name Cluster elasticity (live migration only; defaults off) */
+    /// @{
+
+    /** Completed inter-board migrations over the app's lifetime. */
+    int migrations = 0;
+
+    /** Summed checkpoint transfer latency (inside responseTime()). */
+    SimTime migrationTime = 0;
+
+    /// @}
+
     /** Arrival-to-retirement latency (the paper's response time T_i). */
     SimTime
     responseTime() const

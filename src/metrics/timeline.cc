@@ -28,6 +28,10 @@ toString(TimelineEventKind k)
         return "QuarantineBegin";
       case TimelineEventKind::QuarantineEnd:
         return "QuarantineEnd";
+      case TimelineEventKind::MigrateBegin:
+        return "MigrateBegin";
+      case TimelineEventKind::MigrateEnd:
+        return "MigrateEnd";
     }
     return "?";
 }
@@ -115,6 +119,11 @@ Timeline::slotIntervals(SlotId slot) const
           case TimelineEventKind::QuarantineEnd:
             // Quarantine does not affect occupancy structure: the slot is
             // always Free while quarantined.
+            break;
+          case TimelineEventKind::MigrateBegin:
+          case TimelineEventKind::MigrateEnd:
+            // Migration spans are app-level (recorded with kSlotNone);
+            // any slots involved were vacated via Preempt/Release above.
             break;
         }
     }

@@ -35,6 +35,8 @@ enum class TimelineEventKind
     Fault,          //!< Injected fault observed (reconfig/SD/item).
     QuarantineBegin, //!< Slot quarantined by the resilience layer.
     QuarantineEnd,   //!< Slot probed back into service.
+    MigrateBegin,    //!< Checkpoint extracted; app left for another board.
+    MigrateEnd,      //!< Checkpoint delivered and readmitted elsewhere.
 };
 
 /** Render a TimelineEventKind. */

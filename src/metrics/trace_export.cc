@@ -145,7 +145,38 @@ TraceExporter::toJson(const Timeline &timeline,
         }
     };
 
+    // Migration spans are app-level (recorded with kSlotNone): they get
+    // their own track after the slot rows. Metadata is emitted lazily so
+    // migration-free traces stay byte-identical to pre-migration output.
+    const auto migrate_tid = static_cast<SlotId>(num_slots);
+    bool migrate_track_named = false;
+    int migrate_open = 0;
+
     for (const TimelineEvent &e : events) {
+        if (e.kind == TimelineEventKind::MigrateBegin ||
+            e.kind == TimelineEventKind::MigrateEnd) {
+            if (!migrate_track_named) {
+                emit(formatMessage(
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"tid\":%u,\"args\":{\"name\":\"migration\"}}",
+                    kFabricPid, migrate_tid));
+                migrate_track_named = true;
+            }
+            if (e.kind == TimelineEventKind::MigrateBegin) {
+                // Constant slice name: concurrent transfers pair LIFO in
+                // the viewer; the app identity lives in args.
+                beginSlice(e.time, migrate_tid, "migrate", "migrate",
+                           formatMessage(
+                               "{\"app\":%llu,\"name\":\"%s\"}",
+                               static_cast<unsigned long long>(e.app),
+                               jsonEscape(timeline.nameOf(e.name)).c_str()));
+                ++migrate_open;
+            } else if (migrate_open > 0) {
+                endSlice(e.time, migrate_tid, "migrate", "");
+                --migrate_open;
+            }
+            continue;
+        }
         if (e.slot == kSlotNone || e.slot >= num_slots)
             continue;
         SlotState &st = slots[e.slot];
@@ -223,6 +254,10 @@ TraceExporter::toJson(const Timeline &timeline,
                 st.quarantineOpen = false;
             }
             break;
+          case TimelineEventKind::MigrateBegin:
+          case TimelineEventKind::MigrateEnd:
+            // Handled on the migration track before the slot guard.
+            break;
         }
     }
 
@@ -241,6 +276,8 @@ TraceExporter::toJson(const Timeline &timeline,
             st.quarantineOpen = false;
         }
     }
+    for (; migrate_open > 0; --migrate_open)
+        endSlice(t_end, migrate_tid, "migrate", "");
 
     if (counters && _opts.includeCounters) {
         // Counter samples may come from several recorders (the FaaS layer

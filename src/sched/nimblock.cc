@@ -44,9 +44,12 @@ NimblockScheduler::ensureComponents()
         params.reconfigLatency = ops().reconfigLatencyEstimate();
         params.psBandwidthBytesPerSec =
             ops().fabric().config().psBandwidthBytesPerSec;
+        // A fully-quarantined board has zero schedulable slots; size the
+        // cache as if one existed so passes stay well-defined (nothing
+        // places anyway) until probes restore capacity.
         _goals = std::make_unique<GoalNumberCache>(
-            ops().fabric().schedulableSlotCount(), params,
-            _cfg.saturationThreshold);
+            std::max<std::size_t>(1, ops().fabric().schedulableSlotCount()),
+            params, _cfg.saturationThreshold);
     }
 }
 
@@ -58,6 +61,12 @@ NimblockScheduler::onCapacityChanged()
     // the new capacity, and reallocate on the next pass.
     _goals.reset();
     _capacityDirty = true;
+}
+
+void
+NimblockScheduler::onAppAdmitted(AppInstance &app)
+{
+    goalNumberFor(app);
 }
 
 std::size_t

@@ -73,6 +73,15 @@ class NimblockScheduler : public Scheduler
      */
     void onCapacityChanged() override;
 
+    /**
+     * Warm the goal-number cache for the app's (spec, batch) pair while
+     * admission is already allocating: the value is a pure function of
+     * the pair, and computing it here keeps reallocation passes free of
+     * first-query cache fills (the steady-state zero-allocation
+     * invariant, which now also covers clusters).
+     */
+    void onAppAdmitted(AppInstance &app) override;
+
     /** Pipelined Nimblock starts items as soon as their inputs exist. */
     bool
     bulkItemGating() const override

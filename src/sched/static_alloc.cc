@@ -16,8 +16,11 @@ StaticAllocScheduler::ensureComponents()
     params.reconfigLatency = ops().reconfigLatencyEstimate();
     params.psBandwidthBytesPerSec =
         ops().fabric().config().psBandwidthBytesPerSec;
+    // Clamp like NimblockScheduler: a fully-quarantined board reports
+    // zero schedulable slots, but the cache must stay constructible.
     _goals = std::make_unique<GoalNumberCache>(
-        ops().fabric().schedulableSlotCount(), params);
+        std::max<std::size_t>(1, ops().fabric().schedulableSlotCount()),
+        params);
 }
 
 std::size_t

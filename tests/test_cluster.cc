@@ -175,5 +175,14 @@ TEST_F(ClusterTest, DispatchPolicyNames)
     EXPECT_STREQ(toString(DispatchPolicy::LeastLoaded), "least_loaded");
 }
 
+TEST_F(ClusterTest, DispatchPolicyParseRoundTrip)
+{
+    for (DispatchPolicy p :
+         {DispatchPolicy::RoundRobin, DispatchPolicy::LeastApps,
+          DispatchPolicy::LeastLoaded})
+        EXPECT_EQ(parseDispatchPolicy(toString(p)), p);
+    EXPECT_THROW(parseDispatchPolicy("most_loaded"), FatalError);
+}
+
 } // namespace
 } // namespace nimblock

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.hh"
+#include "cluster/cluster.hh"
 #include "core/config.hh"
 #include "core/memhook.hh"
 #include "fabric/fabric.hh"
@@ -129,6 +130,115 @@ TEST(MemhookZeroAlloc, SteadyStateAllocatesNothingWithTracingDisabled)
             << name << " allocated " << r.allocs << " times (" << r.bytes
             << " bytes) in the steady-state window";
     }
+}
+
+/** The same window measured over a cluster instead of one board. */
+WindowResult
+measureClusterWindow(const ClusterConfig &cfg, const AppRegistry &registry,
+                     const EventSequence &seq)
+{
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+    eq.reserve(seq.events.size() + 64);
+
+    std::uint64_t admitted_target = seq.events.size();
+    for (const WorkloadEvent &e : seq.events) {
+        eq.schedule(e.arrival, "arrival", [&cluster, &registry, e] {
+            cluster.submit(registry, e);
+        });
+    }
+    cluster.start();
+
+    auto admitted = [&] {
+        std::uint64_t n = 0;
+        for (std::size_t i = 0; i < cluster.numBoards(); ++i)
+            n += cluster.board(i).stats().appsAdmitted;
+        return n;
+    };
+
+    WindowResult r;
+    bool window_open = false, window_done = false, stopped = false;
+    std::uint64_t window_start_fired = 0;
+    std::uint64_t pre_allocs = 0, pre_bytes = 0, pre_fired = 0;
+    // Passes seen per board when the last admission landed: the window
+    // opens only after every board ran one scheduling pass over its full
+    // population, so per-board caches (goal numbers, latency estimates)
+    // are warm the way a long-running steady state would have them.
+    std::vector<std::uint64_t> passes_at_full;
+    while (!eq.empty()) {
+        if (window_open) {
+            pre_allocs = memhook::allocCount();
+            pre_bytes = memhook::allocBytes();
+            pre_fired = eq.firedCount();
+        }
+        if (!eq.step())
+            break;
+        if (!window_open && !window_done &&
+            admitted() == admitted_target && cluster.retiredCount() == 0) {
+            if (passes_at_full.empty()) {
+                for (std::size_t i = 0; i < cluster.numBoards(); ++i)
+                    passes_at_full.push_back(
+                        cluster.board(i).stats().schedulingPasses);
+            }
+            bool warm = true;
+            for (std::size_t i = 0; i < cluster.numBoards(); ++i) {
+                if (cluster.board(i).stats().schedulingPasses <=
+                    passes_at_full[i])
+                    warm = false;
+            }
+            if (warm) {
+                window_open = true;
+                window_start_fired = eq.firedCount();
+                memhook::reset();
+                memhook::setEnabled(true);
+            }
+        }
+        if (window_open && cluster.retiredCount() > 0) {
+            memhook::setEnabled(false);
+            window_open = false;
+            window_done = true;
+            r.events = pre_fired - window_start_fired;
+            r.allocs = pre_allocs;
+            r.bytes = pre_bytes;
+        }
+        if (!stopped && cluster.retiredCount() == admitted_target) {
+            cluster.stop();
+            stopped = true;
+        }
+    }
+    memhook::setEnabled(false);
+    EXPECT_EQ(cluster.retiredCount(), admitted_target);
+    EXPECT_TRUE(window_done) << "cluster steady-state window never opened";
+    return r;
+}
+
+TEST(MemhookZeroAlloc, ClusterSteadyStateAllocatesNothingWhenMigrationOff)
+{
+    setQuiet(true);
+    AppRegistry registry = standardRegistry();
+
+    // With ClusterConfig::migration at its disabled default, the cluster
+    // inner loop is exactly the per-board inner loop plus dispatch, and
+    // must preserve the zero-allocation invariant.
+    ClusterConfig cfg;
+    cfg.numBoards = 2;
+    cfg.board.scheduler = "nimblock";
+    // Round-robin splits the events exactly in half, giving each board
+    // the same 20-apps-on-10-slots density the single-board test uses:
+    // enough pressure that every slot stays claimed through the window.
+    cfg.dispatch = DispatchPolicy::RoundRobin;
+
+    GeneratorConfig gen = scenarioConfig(Scenario::Stress, registry.names());
+    gen.numEvents = 40;
+    EventSequence seq = generateSequence("cluster_innerloop", gen, Rng(7));
+    for (std::size_t i = 0; i < seq.events.size(); ++i)
+        seq.events[i].arrival = simtime::ms(static_cast<double>(i));
+
+    WindowResult r = measureClusterWindow(cfg, registry, seq);
+    EXPECT_GT(r.events, 0u) << "empty cluster window";
+    EXPECT_EQ(r.allocs, 0u)
+        << "cluster allocated " << r.allocs << " times (" << r.bytes
+        << " bytes) in the steady-state window";
 }
 
 } // namespace

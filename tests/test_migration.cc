@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Tests for cluster elasticity: the inter-board transport model, the
+ * checkpoint-based migration engine, and the load rebalancer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "cluster/cluster.hh"
+#include "metrics/counters.hh"
+#include "metrics/timeline.hh"
+#include "metrics/trace_export.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace nimblock {
+namespace {
+
+class MigrationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    /**
+     * The bench_migration skew shape: wide alexnets at even indices so
+     * round-robin dispatch stacks them all on board 0, chains of lenet
+     * on board 1 which drains early and idles.
+     */
+    static EventSequence
+    skewSequence(int count)
+    {
+        EventSequence seq;
+        seq.name = "skew";
+        for (int i = 0; i < count; ++i) {
+            WorkloadEvent e;
+            e.index = i;
+            if (i % 2 == 0) {
+                e.appName = "alexnet";
+                e.batch = 2;
+            } else {
+                e.appName = "lenet";
+                e.batch = 1;
+            }
+            e.priority = Priority::Medium;
+            e.arrival = simtime::ms(50) * i;
+            seq.events.push_back(std::move(e));
+        }
+        return seq;
+    }
+
+    static ClusterConfig
+    migratingConfig()
+    {
+        ClusterConfig cfg;
+        cfg.numBoards = 2;
+        cfg.board.scheduler = "nimblock";
+        cfg.dispatch = DispatchPolicy::RoundRobin;
+        cfg.migration.enabled = true;
+        // Keep the periodic pass out of manually driven tests; the ones
+        // that want it dial the interval back down.
+        cfg.migration.rebalance.interval = simtime::sec(100000);
+        return cfg;
+    }
+
+    /** Drive @p eq until @p cluster retired @p want apps (or fail). */
+    static void
+    runUntilRetired(EventQueue &eq, Cluster &cluster, std::size_t want)
+    {
+        SimTime horizon = simtime::sec(5000);
+        while (!eq.empty()) {
+            if (!eq.step())
+                break;
+            if (cluster.retiredCount() >= want) {
+                cluster.stop();
+                break;
+            }
+            ASSERT_LE(eq.now(), horizon) << "cluster stalled";
+        }
+        ASSERT_EQ(cluster.retiredCount(), want);
+    }
+
+    AppRegistry registry = standardRegistry();
+};
+
+TEST_F(MigrationTest, TransportTimingMath)
+{
+    EventQueue eq;
+    TransportConfig cfg; // 10 GbE defaults: 1.25 GB/s, 50 us, 20 us NIC.
+    ClusterTransport t(eq, 2, cfg);
+
+    // 1.25 MB at 1.25 GB/s serializes in 1 ms, plus the NIC overhead.
+    std::uint64_t bytes = 1'250'000;
+    EXPECT_NEAR(simtime::toSec(t.serializationTime(0, 1, bytes)),
+                20e-6 + 1e-3, 1e-9);
+    EXPECT_NEAR(simtime::toSec(t.uncontendedLatency(0, 1, bytes)),
+                20e-6 + 1e-3 + 50e-6, 1e-9);
+
+    SimTime delivered = kTimeNone;
+    t.send(0, 1, bytes, [&] { delivered = eq.now(); });
+    while (!eq.empty())
+        eq.step();
+    EXPECT_EQ(delivered, t.uncontendedLatency(0, 1, bytes));
+    EXPECT_EQ(t.nic(0).transfers, 1u);
+    EXPECT_EQ(t.nic(0).bytes, bytes);
+    EXPECT_EQ(t.bytesSent(), bytes);
+    EXPECT_EQ(t.transfersCompleted(), 1u);
+    EXPECT_FALSE(t.busy(0));
+}
+
+TEST_F(MigrationTest, NicSerializesOutboundTransfers)
+{
+    EventQueue eq;
+    TransportConfig cfg;
+    ClusterTransport t(eq, 3, cfg);
+    std::uint64_t bytes = 1'250'000;
+    SimTime ser = t.serializationTime(0, 1, bytes);
+    SimTime lat = cfg.link.latency;
+
+    // Two sends from board 0 share its NIC and serialize; a send from
+    // board 2 at the same instant has its own NIC and does not wait.
+    SimTime first = kTimeNone, second = kTimeNone, other = kTimeNone;
+    t.send(0, 1, bytes, [&] { first = eq.now(); });
+    t.send(0, 2, bytes, [&] { second = eq.now(); });
+    t.send(2, 1, bytes, [&] { other = eq.now(); });
+    EXPECT_TRUE(t.busy(0));
+    while (!eq.empty())
+        eq.step();
+
+    EXPECT_EQ(first, ser + lat);
+    EXPECT_EQ(second, 2 * ser + lat);
+    EXPECT_EQ(other, ser + lat);
+    EXPECT_EQ(t.nic(0).transfers, 2u);
+    EXPECT_EQ(t.nic(0).busyTime, 2 * ser);
+    EXPECT_EQ(t.nic(2).transfers, 1u);
+}
+
+TEST_F(MigrationTest, RebalancePolicyParseRoundTrip)
+{
+    for (RebalancePolicy p :
+         {RebalancePolicy::WorkStealing, RebalancePolicy::Watermark})
+        EXPECT_EQ(parseRebalancePolicy(toString(p)), p);
+    EXPECT_THROW(parseRebalancePolicy("steal_everything"), FatalError);
+}
+
+TEST_F(MigrationTest, ManualMigrationPreservesProgress)
+{
+    ClusterConfig cfg = migratingConfig();
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+
+    // One optical_flow (9 tasks x batch 4 = 36 items) on board 0.
+    WorkloadEvent e;
+    e.index = 0;
+    e.appName = "optical_flow";
+    e.batch = 4;
+    e.priority = Priority::Medium;
+    e.arrival = 0;
+    eq.schedule(0, "arrival",
+                [&] { cluster.submit(registry, e); });
+    cluster.start();
+
+    // Let it make real progress on board 0, then pull it to board 1.
+    while (!eq.empty() && cluster.board(0).stats().itemsExecuted < 4)
+        eq.step();
+    ASSERT_GE(cluster.board(0).stats().itemsExecuted, 4u);
+    ASSERT_EQ(cluster.board(0).liveApps().size(), 1u);
+    AppInstanceId id = cluster.board(0).liveApps()[0]->id();
+    MigrationEngine *engine = cluster.migrationEngine();
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->requestMigration(0, 1, id));
+
+    runUntilRetired(eq, cluster, 1);
+
+    // The record is produced on the target board, still event 0, and
+    // accounts the transfer latency it suffered.
+    ASSERT_EQ(cluster.collector(0).count(), 0u);
+    ASSERT_EQ(cluster.collector(1).count(), 1u);
+    const AppRecord &r = cluster.collector(1).records()[0];
+    EXPECT_EQ(r.eventIndex, 0);
+    EXPECT_EQ(r.migrations, 1);
+    EXPECT_GT(r.migrationTime, 0);
+    EXPECT_EQ(r.migrationTime, engine->stats().transferTime);
+    EXPECT_FALSE(r.failed);
+
+    // Progress moved with the checkpoint: items run exactly once across
+    // the two boards, never recomputed on the target.
+    std::uint64_t total = cluster.board(0).stats().itemsExecuted +
+                          cluster.board(1).stats().itemsExecuted;
+    EXPECT_EQ(total, 36u);
+    EXPECT_GE(cluster.board(0).stats().itemsExecuted, 4u);
+    EXPECT_GT(cluster.board(1).stats().itemsExecuted, 0u);
+
+    // Accounting on both hypervisors and the engine agrees.
+    EXPECT_EQ(cluster.board(0).stats().appsMigratedOut, 1u);
+    EXPECT_EQ(cluster.board(1).stats().appsMigratedIn, 1u);
+    EXPECT_EQ(engine->stats().completed, 1u);
+    EXPECT_EQ(engine->stats().aborted, 0u);
+    // Descriptor plus per-item buffers: progress makes it bigger than
+    // the bare 64 KiB descriptor.
+    EXPECT_GT(engine->stats().bytesMoved, 64u * 1024u);
+    ASSERT_EQ(engine->log().size(), 1u);
+    EXPECT_EQ(engine->log()[0].src, 0);
+    EXPECT_EQ(engine->log()[0].dst, 1);
+    EXPECT_EQ(engine->log()[0].appName, "optical_flow");
+}
+
+TEST_F(MigrationTest, QueuedAppShipsDescriptorOnlyCheckpoint)
+{
+    ClusterConfig cfg = migratingConfig();
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+
+    // Both apps submitted directly to board 0; the victim never ran, so
+    // its checkpoint is the bare descriptor with no buffer payload.
+    cluster.board(0).submit(registry.get("optical_flow"), 4,
+                            Priority::Medium, 0);
+    AppInstanceId victim = cluster.board(0).submit(
+        registry.get("lenet"), 2, Priority::Medium, 1);
+    ASSERT_TRUE(
+        cluster.migrationEngine()->requestMigration(0, 1, victim));
+    cluster.start();
+    runUntilRetired(eq, cluster, 2);
+
+    EXPECT_EQ(cluster.migrationEngine()->stats().completed, 1u);
+    EXPECT_EQ(cluster.migrationEngine()->stats().bytesMoved, 64u * 1024u);
+    ASSERT_EQ(cluster.collector(1).count(), 1u);
+    const AppRecord &r = cluster.collector(1).records()[0];
+    EXPECT_EQ(r.eventIndex, 1);
+    EXPECT_EQ(r.migrations, 1);
+}
+
+TEST_F(MigrationTest, RequestMigrationRejectsBadArguments)
+{
+    ClusterConfig cfg = migratingConfig();
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+    AppInstanceId id = cluster.board(0).submit(registry.get("lenet"), 1,
+                                               Priority::Medium, 0);
+    MigrationEngine *engine = cluster.migrationEngine();
+    EXPECT_FALSE(engine->requestMigration(0, 0, id)); // Same board.
+    EXPECT_FALSE(engine->requestMigration(7, 1, id)); // Bad source.
+    EXPECT_FALSE(engine->requestMigration(0, 7, id)); // Bad target.
+    EXPECT_FALSE(engine->requestMigration(1, 0, id)); // Not on board 1.
+    EXPECT_EQ(engine->stats().requested, 0u);
+}
+
+TEST_F(MigrationTest, NoImmediateBacktrack)
+{
+    ClusterConfig cfg = migratingConfig();
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+    cluster.board(0).submit(registry.get("optical_flow"), 6,
+                            Priority::Medium, 0);
+    AppInstanceId id = cluster.board(0).liveApps()[0]->id();
+    MigrationEngine *engine = cluster.migrationEngine();
+    ASSERT_TRUE(engine->requestMigration(0, 1, id));
+    cluster.start();
+    while (!eq.empty() && engine->stats().completed < 1)
+        eq.step();
+    ASSERT_EQ(engine->stats().completed, 1u);
+
+    // The app landed on board 1 with hop budget left, but moving it
+    // straight back to board 0 is the ping-pong the guard forbids.
+    ASSERT_EQ(cluster.board(1).liveApps().size(), 1u);
+    AppInstance &app = *cluster.board(1).liveApps()[0];
+    EXPECT_TRUE(engine->migratable(app));
+    EXPECT_FALSE(engine->migratable(1, 0, app));
+    EXPECT_FALSE(engine->requestMigration(1, 0, app.id()));
+
+    runUntilRetired(eq, cluster, 1);
+}
+
+TEST_F(MigrationTest, WorkStealingImprovesSkewTail)
+{
+    EventSequence seq = skewSequence(8);
+
+    ClusterConfig off;
+    off.numBoards = 2;
+    off.board.scheduler = "nimblock";
+    off.dispatch = DispatchPolicy::RoundRobin;
+
+    ClusterConfig ws = off;
+    ws.migration.enabled = true;
+    ws.migration.rebalance.policy = RebalancePolicy::WorkStealing;
+    ws.migration.rebalance.interval = simtime::ms(200);
+
+    auto worst = [](const ClusterRunResult &r) {
+        SimTime w = 0;
+        for (const AppRecord &rec : r.records)
+            w = std::max(w, rec.responseTime());
+        return w;
+    };
+
+    ClusterRunResult off_result =
+        ClusterSimulation(off, registry).run(seq);
+    ClusterRunResult ws_result = ClusterSimulation(ws, registry).run(seq);
+
+    EXPECT_GT(ws_result.migration.completed, 0u);
+    EXPECT_LT(worst(ws_result), worst(off_result));
+
+    // Per-record hop counts reconcile with the engine's total.
+    std::uint64_t hops = 0;
+    for (const AppRecord &rec : ws_result.records)
+        hops += static_cast<std::uint64_t>(rec.migrations);
+    EXPECT_EQ(hops, ws_result.migration.completed);
+    EXPECT_TRUE(off_result.migrationsOutPerBoard.empty());
+}
+
+TEST_F(MigrationTest, CapacityLossDrainsStrandedWork)
+{
+    ClusterConfig cfg;
+    cfg.numBoards = 2;
+    cfg.board.scheduler = "nimblock";
+    cfg.dispatch = DispatchPolicy::LeastLoaded;
+    // Armed injector with zero spontaneous rates: the only faults are
+    // the forced ones below, so the run stays deterministic.
+    cfg.board.faults.enabled = true;
+    cfg.board.faults.seed = 2023;
+    cfg.board.faults.quarantineAfter = 1;
+    cfg.board.faults.probeInterval = simtime::sec(2);
+    cfg.board.faults.probeRepairProb = 0.25;
+    cfg.migration.enabled = true;
+    cfg.migration.rebalance.policy = RebalancePolicy::WorkStealing;
+    cfg.migration.rebalance.interval = simtime::ms(200);
+
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+    const char *pool[] = {"lenet", "image_compression", "optical_flow"};
+    std::size_t events = 6;
+    for (std::size_t i = 0; i < events; ++i) {
+        WorkloadEvent e;
+        e.index = static_cast<int>(i);
+        e.appName = pool[i % 3];
+        e.batch = 4;
+        e.priority = Priority::Medium;
+        e.arrival = simtime::ms(100) * static_cast<int>(i);
+        eq.schedule(e.arrival, "arrival",
+                    [&cluster, this, e] { cluster.submit(registry, e); });
+    }
+    eq.schedule(simtime::ms(500), "board_fault", [&] {
+        for (std::size_t s = 0; s < cfg.board.fabric.numSlots; ++s)
+            cluster.injector(0)->forcePersistentFault(
+                static_cast<SlotId>(s));
+    });
+
+    cluster.start();
+    runUntilRetired(eq, cluster, events);
+
+    // Quarantine triggered the reactive drain and stranded work left
+    // the dead board instead of waiting out the repair probes.
+    MigrationEngine *engine = cluster.migrationEngine();
+    EXPECT_GE(engine->outPerBoard()[0], 1u);
+    EXPECT_GE(cluster.rebalancer()->stats().drainTriggers, 1u);
+    EXPECT_EQ(engine->outPerBoard()[0] + engine->outPerBoard()[1],
+              engine->stats().completed);
+}
+
+TEST_F(MigrationTest, DisabledMigrationIgnoresKnobs)
+{
+    GeneratorConfig gen;
+    gen.numEvents = 10;
+    gen.appPool = {"lenet", "optical_flow", "image_compression"};
+    gen.minDelayMs = 50;
+    gen.maxDelayMs = 150;
+    gen.maxBatch = 6;
+    EventSequence seq = generateSequence("knobs", gen, Rng(11));
+
+    ClusterConfig plain;
+    plain.numBoards = 2;
+    plain.board.scheduler = "nimblock";
+
+    // Same cluster with every elasticity knob mangled but the master
+    // switch off: nothing may change.
+    ClusterConfig mangled = plain;
+    mangled.migration.enabled = false;
+    mangled.migration.transport.link.bandwidthBytesPerSec = 1.0;
+    mangled.migration.transport.link.latency = simtime::sec(30);
+    mangled.migration.rebalance.interval = simtime::ms(1);
+    mangled.migration.rebalance.minLoadGapSec = 0.0;
+    mangled.migration.rebalance.minVictimRemainingSec = 0.0;
+    mangled.migration.maxInflight = 16;
+
+    ClusterRunResult a = ClusterSimulation(plain, registry).run(seq);
+    ClusterRunResult b = ClusterSimulation(mangled, registry).run(seq);
+
+    ASSERT_EQ(a.records.size(), b.records.size());
+    EXPECT_EQ(a.boardOfEvent, b.boardOfEvent);
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        const AppRecord &ra = a.records[i], &rb = b.records[i];
+        EXPECT_EQ(ra.eventIndex, rb.eventIndex);
+        EXPECT_EQ(ra.retire, rb.retire);
+        EXPECT_EQ(ra.firstLaunch, rb.firstLaunch);
+        EXPECT_EQ(ra.runTime, rb.runTime);
+        EXPECT_EQ(ra.reconfigTime, rb.reconfigTime);
+        EXPECT_EQ(ra.reconfigs, rb.reconfigs);
+        EXPECT_EQ(ra.preemptions, rb.preemptions);
+        EXPECT_EQ(ra.migrations, 0);
+        EXPECT_EQ(ra.migrationTime, 0);
+    }
+    EXPECT_TRUE(a.migrationsOutPerBoard.empty());
+    EXPECT_TRUE(b.migrationsOutPerBoard.empty());
+    EXPECT_EQ(b.migration.completed, 0u);
+}
+
+TEST_F(MigrationTest, MigratingRunsAreDeterministic)
+{
+    EventSequence seq = skewSequence(8);
+    ClusterConfig cfg;
+    cfg.numBoards = 2;
+    cfg.board.scheduler = "nimblock";
+    cfg.dispatch = DispatchPolicy::RoundRobin;
+    cfg.migration.enabled = true;
+    cfg.migration.rebalance.policy = RebalancePolicy::WorkStealing;
+    cfg.migration.rebalance.interval = simtime::ms(200);
+
+    ClusterRunResult a = ClusterSimulation(cfg, registry).run(seq);
+    ClusterRunResult b = ClusterSimulation(cfg, registry).run(seq);
+
+    ASSERT_EQ(a.records.size(), b.records.size());
+    EXPECT_EQ(a.boardOfEvent, b.boardOfEvent);
+    EXPECT_EQ(a.migrationsOutPerBoard, b.migrationsOutPerBoard);
+    EXPECT_EQ(a.migrationsInPerBoard, b.migrationsInPerBoard);
+    EXPECT_EQ(a.migration.completed, b.migration.completed);
+    EXPECT_EQ(a.migration.bytesMoved, b.migration.bytesMoved);
+    EXPECT_EQ(a.migration.transferTime, b.migration.transferTime);
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].retire, b.records[i].retire);
+        EXPECT_EQ(a.records[i].migrations, b.records[i].migrations);
+        EXPECT_EQ(a.records[i].migrationTime, b.records[i].migrationTime);
+    }
+}
+
+TEST_F(MigrationTest, CountersAndTraceSpansRoundTrip)
+{
+    ClusterConfig cfg = migratingConfig();
+    EventQueue eq;
+    Cluster cluster(eq, cfg);
+
+    Timeline timeline;
+    CounterRegistry counters;
+    cluster.setBoardTimeline(0, &timeline);
+    cluster.migrationEngine()->setCounters(&counters);
+
+    cluster.board(0).submit(registry.get("optical_flow"), 4,
+                            Priority::Medium, 0);
+    AppInstanceId id = cluster.board(0).liveApps()[0]->id();
+    ASSERT_TRUE(cluster.migrationEngine()->requestMigration(0, 1, id));
+    cluster.start();
+    runUntilRetired(eq, cluster, 1);
+
+    TraceExportOptions opts;
+    opts.numSlots = cfg.board.fabric.numSlots;
+    TraceExporter exporter(opts);
+    std::string json = exporter.toJson(timeline, &counters);
+
+    // The migration track announces itself and the span pairs up.
+    EXPECT_NE(json.find("\"name\":\"migration\""), std::string::npos);
+    std::size_t begins = 0, ends = 0, pos = 0;
+    while ((pos = json.find("\"name\":\"migrate\"", pos)) !=
+           std::string::npos) {
+        std::size_t line_end = json.find('\n', pos);
+        std::string line = json.substr(pos, line_end - pos);
+        if (line.find("\"ph\":\"B\"") != std::string::npos)
+            ++begins;
+        if (line.find("\"ph\":\"E\"") != std::string::npos)
+            ++ends;
+        pos = line_end;
+    }
+    EXPECT_EQ(begins, 1u);
+    EXPECT_EQ(ends, 1u);
+
+    // migrate.* gauges made it into the export.
+    for (const char *name :
+         {"migrate.requested", "migrate.completed", "migrate.inflight",
+          "migrate.bytes"})
+        EXPECT_NE(json.find(name), std::string::npos) << name;
+}
+
+TEST_F(MigrationTest, RebalancerRejectsBadConfig)
+{
+    EventQueue eq;
+    ClusterConfig cfg = migratingConfig();
+    cfg.migration.rebalance.interval = 0;
+    EXPECT_THROW(Cluster(eq, cfg), FatalError);
+
+    ClusterConfig ratio = migratingConfig();
+    ratio.migration.rebalance.policy = RebalancePolicy::Watermark;
+    ratio.migration.rebalance.watermarkRatio = 0.5;
+    EXPECT_THROW(Cluster(eq, ratio), FatalError);
+
+    ClusterConfig inflight = migratingConfig();
+    inflight.migration.maxInflight = 0;
+    EXPECT_THROW(Cluster(eq, inflight), FatalError);
+}
+
+} // namespace
+} // namespace nimblock

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.hh"
+#include "cluster/cluster.hh"
 #include "core/experiment.hh"
 #include "core/parallel.hh"
 #include "sched/factory.hh"
@@ -137,6 +138,8 @@ class ParallelGridTest : public ::testing::Test
         EXPECT_EQ(a.failed, b.failed);
         EXPECT_EQ(a.itemRetries, b.itemRetries);
         EXPECT_EQ(a.requeues, b.requeues);
+        EXPECT_EQ(a.migrations, b.migrations);
+        EXPECT_EQ(a.migrationTime, b.migrationTime);
     }
 
     static void
@@ -175,6 +178,8 @@ class ParallelGridTest : public ::testing::Test
                 EXPECT_EQ(ha.probesIssued, hb.probesIssued);
                 EXPECT_EQ(ha.appsFailed, hb.appsFailed);
                 EXPECT_EQ(ha.appRequeues, hb.appRequeues);
+                EXPECT_EQ(ha.appsMigratedOut, hb.appsMigratedOut);
+                EXPECT_EQ(ha.appsMigratedIn, hb.appsMigratedIn);
 
                 const NimblockStats &na = ra.nimblockStats;
                 const NimblockStats &nb = rb.nimblockStats;
@@ -253,6 +258,49 @@ TEST_F(ParallelGridTest, FaultedGridMatchesAcrossJobCounts)
     auto parallel = threaded.runAll(schedulers, seqs);
 
     expectSameResults(serial, parallel);
+}
+
+TEST_F(ParallelGridTest, HeterogeneousClusterMatchesAcrossJobCounts)
+{
+    // Cluster runs (heterogeneous boards, migration on) executed under a
+    // thread pool must stay byte-identical to sequential execution: each
+    // run owns its event queue, RNG streams, and migration engine.
+    AppRegistry registry = standardRegistry();
+    std::vector<EventSequence> seqs = sequences();
+
+    ClusterConfig cfg;
+    cfg.numBoards = 3;
+    cfg.board.scheduler = "nimblock";
+    cfg.slotsPerBoard = {2, 3, 5};
+    cfg.dispatch = DispatchPolicy::LeastLoaded;
+    cfg.migration.enabled = true;
+    cfg.migration.rebalance.policy = RebalancePolicy::Watermark;
+    cfg.migration.rebalance.interval = simtime::ms(250);
+
+    auto run_one = [&](const EventSequence &seq) {
+        return ClusterSimulation(cfg, registry).run(seq);
+    };
+    std::vector<ClusterRunResult> serial(seqs.size());
+    for (std::size_t i = 0; i < seqs.size(); ++i)
+        serial[i] = run_one(seqs[i]);
+    std::vector<ClusterRunResult> threaded(seqs.size());
+    parallelFor(4, seqs.size(),
+                [&](std::size_t i) { threaded[i] = run_one(seqs[i]); });
+
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        const ClusterRunResult &a = serial[i];
+        const ClusterRunResult &b = threaded[i];
+        EXPECT_EQ(a.boardOfEvent, b.boardOfEvent);
+        EXPECT_EQ(a.eventsPerBoard, b.eventsPerBoard);
+        EXPECT_EQ(a.makespan, b.makespan);
+        EXPECT_EQ(a.migrationsOutPerBoard, b.migrationsOutPerBoard);
+        EXPECT_EQ(a.migrationsInPerBoard, b.migrationsInPerBoard);
+        EXPECT_EQ(a.migration.completed, b.migration.completed);
+        EXPECT_EQ(a.migration.bytesMoved, b.migration.bytesMoved);
+        ASSERT_EQ(a.records.size(), b.records.size());
+        for (std::size_t r = 0; r < a.records.size(); ++r)
+            expectSameRecord(a.records[r], b.records[r]);
+    }
 }
 
 TEST_F(ParallelGridTest, FatalInsideWorkerPropagates)

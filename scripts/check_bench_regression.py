@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Guard bench_sim_innerloop throughput against the committed baseline.
+
+Compares a fresh CI bench run against the repository's committed
+BENCH_innerloop.json. CI runners are shared, unpinned machines whose
+absolute throughput swings easily by tens of percent, so the guard only
+fails when a scheduler's events/s drops below baseline divided by the
+tolerance factor (default 2x) — large enough to never flake, small
+enough that a real algorithmic regression (accidental O(n) in the hot
+loop, a lost fast path) still trips it.
+
+Only the standard library is used; exit status is non-zero on
+regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def index_schedulers(doc):
+    return {r["name"]: r for r in doc.get("schedulers", [])}
+
+
+def index_queue(doc):
+    return {(q["impl"], q["depth"]): q for q in doc.get("queue", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_innerloop.json")
+    ap.add_argument("--current", required=True,
+                    help="freshly measured BENCH_innerloop.json")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="allowed slowdown factor before failing "
+                         "(default: 2.0)")
+    args = ap.parse_args()
+    if args.tolerance < 1.0:
+        sys.exit("error: --tolerance must be >= 1.0")
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+
+    base_sched = index_schedulers(base)
+    cur_sched = index_schedulers(cur)
+    missing = sorted(set(base_sched) - set(cur_sched))
+    if missing:
+        failures.append(f"schedulers missing from current run: {missing}")
+
+    print(f"{'scheduler':<12} {'baseline ev/s':>14} {'current ev/s':>14} "
+          f"{'ratio':>7}  floor=baseline/{args.tolerance:g}")
+    for name in base_sched:
+        if name not in cur_sched:
+            continue
+        b = base_sched[name]["events_per_sec"]
+        c = cur_sched[name]["events_per_sec"]
+        ratio = c / b if b else float("inf")
+        verdict = "ok" if c * args.tolerance >= b else "REGRESSION"
+        print(f"{name:<12} {b:>14,.0f} {c:>14,.0f} {ratio:>6.2f}x  {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{name}: {c:,.0f} ev/s is more than {args.tolerance:g}x "
+                f"below baseline {b:,.0f} ev/s")
+
+    # The hold-model sweep gets the same guard, keyed by (impl, depth);
+    # older baselines without a queue section are skipped silently.
+    base_q = index_queue(base)
+    cur_q = index_queue(cur)
+    for key in sorted(base_q):
+        if key not in cur_q:
+            failures.append(f"queue point {key} missing from current run")
+            continue
+        b = base_q[key]["ops_per_sec"]
+        c = cur_q[key]["ops_per_sec"]
+        verdict = "ok" if c * args.tolerance >= b else "REGRESSION"
+        print(f"queue {key[0]:>6}@{key[1]:<8} {b:>11,.0f} {c:>14,.0f} "
+              f"{c / b if b else 0:>6.2f}x  {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"queue {key}: {c:,.0f} ops/s is more than "
+                f"{args.tolerance:g}x below baseline {b:,.0f} ops/s")
+
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nall points within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

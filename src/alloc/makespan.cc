@@ -164,7 +164,9 @@ class MakespanSim
 
     const TaskGraph &_graph;
     const MakespanParams &_p;
-    EventQueue _eq;
+    // Tiny transient queue (tens of events, torn down per estimate): the
+    // binary heap beats the time wheel's bucket-array setup cost here.
+    EventQueue _eq{EventQueueImpl::Heap};
     std::vector<TaskState> _state;
     std::size_t _slotsFree;
     bool _capBusy = false;

@@ -63,6 +63,24 @@ GoalNumberCache::analysis(const AppSpec &app, int batch)
     return it->second;
 }
 
+const SaturationAnalysis *
+GoalNumberCache::peek(const AppSpec &app, int batch) const
+{
+    auto key = std::make_pair(std::string_view(app.name()), batch);
+    auto it = _cache.find(key);
+    return it == _cache.end() ? nullptr : &it->second;
+}
+
+bool
+GoalNumberCache::matches(std::size_t max_slots, const MakespanParams &params,
+                         double threshold) const
+{
+    return _maxSlots == max_slots && _threshold == threshold &&
+           _params.pipelined == params.pipelined &&
+           _params.reconfigLatency == params.reconfigLatency &&
+           _params.psBandwidthBytesPerSec == params.psBandwidthBytesPerSec;
+}
+
 std::size_t
 GoalNumberCache::goalNumber(const AppSpec &app, int batch)
 {

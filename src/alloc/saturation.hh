@@ -77,8 +77,27 @@ class GoalNumberCache
     /** Full sweep for @p app at @p batch (cached). */
     const SaturationAnalysis &analysis(const AppSpec &app, int batch);
 
+    /**
+     * Const probe: the cached sweep for (app, batch), or nullptr when the
+     * pair has not been analyzed. Never fills, so a pre-warmed cache may
+     * be shared read-only across threads (see core/grid_context.hh).
+     */
+    const SaturationAnalysis *peek(const AppSpec &app, int batch) const;
+
+    /**
+     * True when this cache answers exactly the queries a cache built with
+     * (@p max_slots, @p params, @p threshold) would: same slot count,
+     * threshold, pipelining mode and fabric timing. params.batch and
+     * params.slots are per-query inputs and do not participate.
+     */
+    bool matches(std::size_t max_slots, const MakespanParams &params,
+                 double threshold) const;
+
     /** Number of distinct (app, batch) pairs analyzed. */
     std::size_t size() const { return _cache.size(); }
+
+    /** The shared timing parameters (batch/slots are per-query). */
+    const MakespanParams &params() const { return _params; }
 
   private:
     /**

@@ -25,6 +25,16 @@ struct SystemConfig
     HypervisorConfig hypervisor;
 
     /**
+     * Event-kernel ready structure. Auto resolves per run from the
+     * sequence size: the binary heap for shallow pending sets, the
+     * hierarchical time wheel for deep ones (crossover measured by
+     * bench_sim_innerloop's queue-depth sweep). All implementations
+     * produce byte-identical results (see tests/test_innerloop_identical
+     * and docs/event_kernel.md), so the knob only affects throughput.
+     */
+    EventQueueImpl eventQueue = EventQueueImpl::Auto;
+
+    /**
      * Fault-injection model (see resilience/fault_injector.hh). Disabled
      * by default; runs with `faults.enabled == false` are byte-identical
      * to builds without the resilience subsystem.

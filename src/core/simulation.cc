@@ -12,6 +12,15 @@ Simulation::Simulation(SystemConfig cfg, AppRegistry registry)
 {
 }
 
+Simulation &
+Simulation::setGridContext(std::shared_ptr<const GridContext> ctx)
+{
+    if (ctx && !ctx->frozen())
+        fatal("Simulation needs a frozen GridContext");
+    _gridCtx = std::move(ctx);
+    return *this;
+}
+
 RunResult
 Simulation::run(const EventSequence &seq)
 {
@@ -19,11 +28,19 @@ Simulation::run(const EventSequence &seq)
     if (seq.events.empty())
         fatal("cannot run an empty event sequence");
 
-    EventQueue eq;
+    EventQueue eq(_cfg.eventQueue);
     Fabric fabric(eq, _cfg.fabric);
     auto scheduler = makeScheduler(_cfg.scheduler);
     MetricsCollector collector;
     Hypervisor hyp(eq, fabric, *scheduler, collector, _cfg.hypervisor);
+    if (_gridCtx)
+        hyp.setGridContext(_gridCtx.get());
+
+    // Intern every arriving application's bitstream name up front, in
+    // first-arrival order — identical ids to organic admission-time
+    // interning, so the admissions inside the run never fill the map.
+    for (const WorkloadEvent &e : seq.events)
+        fabric.internBitstreamName(e.appName);
 
     std::shared_ptr<Timeline> timeline;
     if (_cfg.recordTimeline) {
@@ -57,7 +74,12 @@ Simulation::run(const EventSequence &seq)
     std::size_t expected_transitions = 0;
     for (const WorkloadEvent &e : seq.events) {
         AppSpecPtr spec = _registry.get(e.appName);
-        total_work += _cfg.singleSlotLatency(*spec, e.batch);
+        SimTime lat = _gridCtx
+                          ? _gridCtx->singleSlotLatency(spec.get(), e.batch)
+                          : kTimeNone;
+        if (lat == kTimeNone)
+            lat = _cfg.singleSlotLatency(*spec, e.batch);
+        total_work += lat;
         expected_transitions +=
             spec->numTasks() * (2 * static_cast<std::size_t>(e.batch) + 3);
     }

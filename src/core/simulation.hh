@@ -23,6 +23,7 @@
 
 #include "apps/registry.hh"
 #include "core/config.hh"
+#include "core/grid_context.hh"
 #include "metrics/collector.hh"
 #include "metrics/counters.hh"
 #include "metrics/timeline.hh"
@@ -80,11 +81,20 @@ class Simulation
      */
     RunResult run(const EventSequence &seq);
 
+    /**
+     * Attach shared run-invariant state (see core/grid_context.hh). The
+     * context must be frozen; it is consulted read-only by the horizon
+     * sweep and the hypervisor's estimate caches. Results are identical
+     * with and without one — only fill costs move out of the run.
+     */
+    Simulation &setGridContext(std::shared_ptr<const GridContext> ctx);
+
     const SystemConfig &config() const { return _cfg; }
 
   private:
     SystemConfig _cfg;
     AppRegistry _registry;
+    std::shared_ptr<const GridContext> _gridCtx;
 };
 
 /**

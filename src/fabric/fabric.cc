@@ -31,8 +31,10 @@ Fabric::Fabric(EventQueue &eq, FabricConfig cfg)
     if (cfg.nocBandwidthBytesPerSec <= 0)
         fatal("NoC bandwidth must be positive");
     _slots.reserve(cfg.numSlots);
-    for (SlotId i = 0; i < cfg.numSlots; ++i)
+    for (SlotId i = 0; i < cfg.numSlots; ++i) {
         _slots.emplace_back(i);
+        _slots.back().bindConfiguringCounter(&_configuring);
+    }
 }
 
 Slot &

@@ -118,6 +118,13 @@ class Fabric
     /** Number of currently free slots. */
     std::size_t freeSlotCount() const;
 
+    /**
+     * Number of slots in SlotState::Configuring, maintained by the slots
+     * themselves on every transition — an O(1) configure-in-flight probe
+     * for schedulers that serialize reconfigurations.
+     */
+    std::int32_t configuringCount() const { return _configuring; }
+
     /** Number of slots currently quarantined by the resilience layer. */
     std::size_t quarantinedSlotCount() const;
 
@@ -197,6 +204,7 @@ class Fabric
     std::unordered_map<std::string, BitstreamNameId> _bsNameIds;
 
     std::vector<Slot> _slots;
+    std::int32_t _configuring = 0; //!< Slots in SlotState::Configuring.
     Cap _cap;
     BitstreamStore _store;
     DataPort _dataPort;

@@ -26,6 +26,8 @@ Slot::beginConfigure(AppInstanceId app, TaskId task, const BitstreamKey &key,
         panic("slot %u: beginConfigure in state %s", _id, ::nimblock::toString(_state));
     (void)now;
     _state = SlotState::Configuring;
+    if (_configuringCounter)
+        ++*_configuringCounter;
     _app = app;
     _task = task;
     _bitstream = key;
@@ -40,6 +42,8 @@ Slot::finishConfigure(SimTime now)
         panic("slot %u: finishConfigure in state %s", _id,
               ::nimblock::toString(_state));
     _state = SlotState::Occupied;
+    if (_configuringCounter)
+        --*_configuringCounter;
     ++_reconfigCount;
     _occupiedSince = now;
 }
@@ -86,6 +90,8 @@ Slot::release(SimTime now)
         _occupiedTotal += now - _occupiedSince;
         _occupiedSince = kTimeNone;
     }
+    if (_state == SlotState::Configuring && _configuringCounter)
+        --*_configuringCounter;
     _state = SlotState::Free;
     _app = kAppNone;
     _task = kTaskNone;

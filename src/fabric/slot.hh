@@ -144,6 +144,16 @@ class Slot
     /** Debug rendering. */
     std::string toString() const;
 
+    /**
+     * Register the fabric-wide Configuring counter this slot keeps
+     * current across its transitions, giving schedulers an O(1)
+     * configure-in-flight probe instead of a slot scan.
+     */
+    void bindConfiguringCounter(std::int32_t *counter)
+    {
+        _configuringCounter = counter;
+    }
+
   private:
     SlotId _id;
     SlotState _state = SlotState::Free;
@@ -152,6 +162,7 @@ class Slot
     bool _executing = false;
     bool _preemptRequested = false;
     bool _quarantined = false;
+    std::int32_t *_configuringCounter = nullptr;
     std::optional<BitstreamKey> _bitstream;
 
     std::uint64_t _reconfigCount = 0;

@@ -48,22 +48,11 @@ AppInstance::AppInstance(AppInstanceId id, AppSpecPtr spec, int batch,
     _tasks.resize(_spec->graph().numTasks());
 }
 
-TaskRunState &
-AppInstance::taskState(TaskId t)
+void
+AppInstance::taskRangePanic(TaskId t) const
 {
-    if (t >= _tasks.size())
-        panic("task id %u out of range for app %s", t,
-              _spec->name().c_str());
-    return _tasks[t];
-}
-
-const TaskRunState &
-AppInstance::taskState(TaskId t) const
-{
-    if (t >= _tasks.size())
-        panic("task id %u out of range for app %s", t,
-              _spec->name().c_str());
-    return _tasks[t];
+    panic("task id %u out of range for app %s", t,
+          _spec->name().c_str());
 }
 
 void
@@ -210,6 +199,7 @@ AppInstance::resetProgress()
         }
     }
     _tasksCompleted = 0;
+    _itemsDoneTotal = 0;
 }
 
 void
@@ -257,6 +247,7 @@ AppInstance::restoreFromCheckpoint(const AppCheckpoint &ck)
     for (std::size_t t = 0; t < _tasks.size(); ++t) {
         TaskRunState &st = _tasks[t];
         st.itemsDone = ck.itemsDone[t];
+        _itemsDoneTotal += st.itemsDone;
         if (st.itemsDone >= _batch) {
             st.phase = TaskPhase::Done;
             noteTaskCompleted();

@@ -143,14 +143,44 @@ class AppInstance
 
     /** @name Task state */
     /// @{
-    TaskRunState &taskState(TaskId t);
-    const TaskRunState &taskState(TaskId t) const;
+
+    /**
+     * Per-task run state. Inline and bounds-checked: this is the single
+     * hottest accessor in the simulator (every gating, placement and
+     * completion decision goes through it), and the out-of-line call was
+     * measurable in whole-grid profiles.
+     */
+    TaskRunState &
+    taskState(TaskId t)
+    {
+        if (t >= _tasks.size())
+            taskRangePanic(t);
+        return _tasks[t];
+    }
+
+    const TaskRunState &
+    taskState(TaskId t) const
+    {
+        if (t >= _tasks.size())
+            taskRangePanic(t);
+        return _tasks[t];
+    }
 
     /** Count of tasks whose whole batch is done. */
     int tasksCompleted() const { return _tasksCompleted; }
 
     /** Mark one more task complete (hypervisor only). */
     void noteTaskCompleted();
+
+    /**
+     * Running sum of itemsDone across all tasks, maintained by the
+     * hypervisor via noteItemProgress() so remaining-work estimates are
+     * O(1) instead of an O(tasks) scan per scheduling pass.
+     */
+    std::int64_t itemsDoneTotal() const { return _itemsDoneTotal; }
+
+    /** Account one completed batch item (call next to ++itemsDone). */
+    void noteItemProgress() { ++_itemsDoneTotal; }
 
     /** True when every task has processed the full batch. */
     bool done() const;
@@ -238,6 +268,20 @@ class AppInstance
 
     SimTime latencyEstimate() const { return _latencyEstimate; }
     void setLatencyEstimate(SimTime t) { _latencyEstimate = t; }
+
+    /**
+     * Scheduler-owned goal-number cache, validated by an epoch the
+     * scheduler bumps whenever goal numbers can change (capacity
+     * events). Epoch 0 never matches, so a fresh instance recomputes.
+     */
+    std::size_t cachedGoalNumber() const { return _cachedGoal; }
+    std::uint64_t cachedGoalEpoch() const { return _cachedGoalEpoch; }
+    void
+    setCachedGoalNumber(std::size_t goal, std::uint64_t epoch)
+    {
+        _cachedGoal = goal;
+        _cachedGoalEpoch = epoch;
+    }
 
     /** Time of first admission to the candidate pool (kTimeNone before). */
     SimTime candidateSince() const { return _candidateSince; }
@@ -344,13 +388,18 @@ class AppInstance
     SimTime _arrival;
     int _eventIndex;
 
+    [[noreturn]] void taskRangePanic(TaskId t) const;
+
     std::vector<TaskRunState> _tasks;
     int _tasksCompleted = 0;
+    std::int64_t _itemsDoneTotal = 0;
 
     double _token = 0.0;
     std::size_t _slotsAllocated = 0;
     bool _everCandidate = false;
     SimTime _candidateSince = kTimeNone;
+    std::size_t _cachedGoal = 0;
+    std::uint64_t _cachedGoalEpoch = 0;
     SimTime _latencyEstimate = kTimeNone;
     BitstreamNameId _bsName = kBitstreamNameNone;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alloc/makespan.hh"
+#include "core/grid_context.hh"
 #include "sched/prema_tokens.hh"
 #include "sim/logging.hh"
 
@@ -38,6 +39,12 @@ Hypervisor::Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
             }
             requestPass(SchedEvent::Tick);
         });
+    // The pass callback is constructed once; every requestPass after
+    // this is a timer arm (no per-pass callable construction).
+    _passTimer = _eq.addTimer("sched_pass", [this] {
+        _passPending = false;
+        runPass(_pendingReason);
+    });
 }
 
 Hypervisor::~Hypervisor() = default;
@@ -125,6 +132,7 @@ Hypervisor::submit(AppSpecPtr spec, int batch, Priority priority,
     inst->setBitstreamNameId(
         _fabric.internBitstreamName(inst->spec().name()));
     _live.push_back(inst.get());
+    ++_liveEpoch;
     _apps.push_back(std::move(inst));
     ++_stats.appsAdmitted;
     countSample(_ctrLiveApps, static_cast<double>(_live.size()));
@@ -199,6 +207,9 @@ Hypervisor::trace(SlotId slot, const AppInstance &app, TaskId task,
 bool
 Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
 {
+    // Any attempt (even a rejected one) marks state dirty: the next
+    // tick pass must run so the scheduler can retry.
+    ++_actionCounter;
     // Silent (schedulers retry every pass): a migrating app is leaving
     // this board; placing it would only lengthen its quiescence.
     if (app.migrating())
@@ -607,6 +618,7 @@ Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
     TaskRunState &st = app->taskState(task);
     st.executing = false;
     ++st.itemsDone;
+    app->noteItemProgress();
     if (_faults)
         _itemAttempts[slot_id] = 0;
     app->addRunTime(item_duration);
@@ -761,6 +773,7 @@ Hypervisor::failApp(AppInstance &app)
 bool
 Hypervisor::preempt(SlotId slot_id)
 {
+    ++_actionCounter;
     Slot &slot = _fabric.slot(slot_id);
     if (slot.state() != SlotState::Occupied) {
         warn("preempt rejected: slot %u is %s", slot_id,
@@ -819,6 +832,7 @@ Hypervisor::preempt(SlotId slot_id)
 void
 Hypervisor::doPreempt(SlotId slot_id)
 {
+    ++_actionCounter;
     Slot &slot = _fabric.slot(slot_id);
     AppInstance *app = findApp(slot.app());
     if (!app)
@@ -919,6 +933,7 @@ Hypervisor::retire(AppInstance &app)
     std::uint32_t idx = _liveIndex[app.id()];
     _liveIndex[app.id()] = kNoLiveIndex;
     _live.erase(_live.begin() + idx);
+    ++_liveEpoch;
     for (std::size_t i = idx; i < _live.size(); ++i)
         _liveIndex[_live[i]->id()] = static_cast<std::uint32_t>(i);
     countSample(_ctrLiveApps, static_cast<double>(_live.size()));
@@ -984,15 +999,13 @@ SimTime
 Hypervisor::remainingWorkEstimate(AppInstance &app)
 {
     SimTime est = estimatedSingleSlotLatency(app);
-    const TaskGraph &g = app.graph();
     auto total_items = static_cast<std::int64_t>(app.batch()) *
-                       static_cast<std::int64_t>(g.numTasks());
+                       static_cast<std::int64_t>(app.graph().numTasks());
     if (total_items <= 0)
         return 0;
-    std::int64_t done = 0;
-    for (TaskId t = 0; t < g.numTasks(); ++t)
-        done += app.taskState(t).itemsDone;
-    return est * (total_items - done) / total_items;
+    // itemsDoneTotal is a running counter, replacing an O(tasks)
+    // itemsDone scan per estimate (called per live app per rebalance).
+    return est * (total_items - app.itemsDoneTotal()) / total_items;
 }
 
 SimTime
@@ -1028,6 +1041,7 @@ Hypervisor::extractCheckpoint(AppInstanceId id)
     std::uint32_t idx = _liveIndex[id];
     _liveIndex[id] = kNoLiveIndex;
     _live.erase(_live.begin() + idx);
+    ++_liveEpoch;
     for (std::size_t i = idx; i < _live.size(); ++i)
         _liveIndex[_live[i]->id()] = static_cast<std::uint32_t>(i);
     countSample(_ctrLiveApps, static_cast<double>(_live.size()));
@@ -1058,6 +1072,7 @@ Hypervisor::admitCheckpoint(const AppCheckpoint &ck)
     inst->setBitstreamNameId(
         _fabric.internBitstreamName(inst->spec().name()));
     _live.push_back(inst.get());
+    ++_liveEpoch;
     _apps.push_back(std::move(inst));
     ++_stats.appsMigratedIn;
     countSample(_ctrLiveApps, static_cast<double>(_live.size()));
@@ -1081,6 +1096,11 @@ Hypervisor::admitCheckpoint(const AppCheckpoint &ck)
 void
 Hypervisor::requestPass(SchedEvent reason)
 {
+    // Every non-tick trigger reports a real state change (arrival,
+    // completion, reconfiguration, capacity...); ticks carry no new
+    // information of their own.
+    if (reason != SchedEvent::Tick)
+        _stateDirty = true;
     if (_passPending) {
         // Coalescing: token-accumulating reasons (arrivals, completions,
         // ticks — §4.1) must not be masked by a later non-accumulating
@@ -1094,10 +1114,7 @@ Hypervisor::requestPass(SchedEvent reason)
     }
     _pendingReason = reason;
     _passPending = true;
-    _eq.scheduleAfter(_cfg.passLatency, "sched_pass", [this] {
-        _passPending = false;
-        runPass(_pendingReason);
-    });
+    _eq.armTimerAfter(_passTimer, _cfg.passLatency);
 }
 
 void
@@ -1110,10 +1127,30 @@ Hypervisor::runPass(SchedEvent reason)
     countSample(_ctrPasses, static_cast<double>(_stats.schedulingPasses));
     if (_counters)
         _counters->mark(_markPass, _eq.now());
+
+    // Pure-pass elision: a pure scheduler's pass is a function of
+    // hypervisor/fabric state only, and with nothing changed since the
+    // previous action-free pass it is a fixpoint — the body (and the
+    // stall-rescue scan, equally state-determined) can be skipped. The
+    // pass event itself already fired, so coalescing windows, event
+    // counts and pass counts match a non-eliding run exactly.
+    if (reason == SchedEvent::Tick && !_stateDirty &&
+        _cfg.elidePurePasses && _scheduler.passIsPure()) {
+        ++_stats.purePassesElided;
+        _inPass = false;
+        return;
+    }
+
+    std::uint64_t actions_before = _actionCounter;
+    // Clear first so a synchronous requestPass from inside the body
+    // (e.g. a preemption honored immediately) re-dirties and sticks.
+    _stateDirty = false;
     _scheduler.pass(reason);
     _inPass = false;
 
     rescueStallIfNeeded();
+    if (_actionCounter != actions_before)
+        _stateDirty = true;
 }
 
 void
@@ -1164,6 +1201,15 @@ Hypervisor::rescueStallIfNeeded()
     doPreempt(victim);
 }
 
+void
+Hypervisor::setGridContext(const GridContext *ctx)
+{
+    if (ctx && !ctx->matchesFabric(reconfigLatencyEstimate(),
+                                   _fabric.config().psBandwidthBytesPerSec))
+        ctx = nullptr;
+    _gridCtx = ctx;
+}
+
 SimTime
 Hypervisor::estimatedSingleSlotLatency(AppInstance &app)
 {
@@ -1172,9 +1218,16 @@ Hypervisor::estimatedSingleSlotLatency(AppInstance &app)
     auto key = std::make_pair(app.specPtr(), app.batch());
     auto it = _latencyCache.find(key);
     if (it == _latencyCache.end()) {
-        SimTime lat = singleSlotLatency(
-            app.graph(), app.batch(), reconfigLatencyEstimate(),
-            _fabric.config().psBandwidthBytesPerSec);
+        // Probe the grid's pre-warmed table first: inside experiment
+        // grids and benchmarks the estimate was computed before the run
+        // started, so the fill here is a lookup instead of a MakespanSim.
+        SimTime lat = _gridCtx ? _gridCtx->singleSlotLatency(
+                                     app.specPtr().get(), app.batch())
+                               : kTimeNone;
+        if (lat == kTimeNone)
+            lat = singleSlotLatency(
+                app.graph(), app.batch(), reconfigLatencyEstimate(),
+                _fabric.config().psBandwidthBytesPerSec);
         it = _latencyCache.emplace(key, lat).first;
     }
     app.setLatencyEstimate(it->second);

@@ -79,6 +79,20 @@ struct HypervisorConfig
     bool elideIdleTicks = true;
 
     /**
+     * Skip the body of a tick-triggered scheduling pass when the
+     * scheduler declares its pass pure (Scheduler::passIsPure()) and no
+     * hypervisor state changed since the previous pass: such a pass is a
+     * fixpoint that can issue no action. The pass event itself still
+     * fires (so requestPass coalescing windows and event counts are
+     * identical to a run with the knob off) — only the scheduler body
+     * and stall-rescue scan are elided; schedulingPasses still counts
+     * it and purePassesElided records the saving. Token-accumulating
+     * schedulers (PREMA, Nimblock) are never elided: their per-pass
+     * token update is state.
+     */
+    bool elidePurePasses = true;
+
+    /**
      * Record run telemetry (ready-queue depth, scheduling passes, buffer
      * occupancy, CAP backlog, bitstream-cache hit rate, ...) into a
      * CounterRegistry for the TraceExporter / CSV dump. Off by default:
@@ -102,6 +116,8 @@ struct HypervisorStats
     std::uint64_t preemptionsHonored = 0;
     std::uint64_t checkpointPreemptions = 0;
     std::uint64_t schedulingPasses = 0;
+    /** Pure passes whose body was skipped (counted in schedulingPasses). */
+    std::uint64_t purePassesElided = 0;
     std::uint64_t stallRescues = 0;
     std::uint64_t itemsExecuted = 0;
 
@@ -264,16 +280,27 @@ class Hypervisor : public SchedulerOps
     SimTime remainingWorkEstimate(AppInstance &app);
     /// @}
 
+    /**
+     * Attach the grid's shared run-invariant state (pre-warmed estimate
+     * caches; see core/grid_context.hh). A context whose fabric timing
+     * does not match this board is ignored — serving estimates computed
+     * for different timing would silently change results. Pass nullptr
+     * to detach.
+     */
+    void setGridContext(const GridContext *ctx);
+
     /** @name SchedulerOps */
     /// @{
     SimTime now() const override { return _eq.now(); }
     Fabric &fabric() override { return _fabric; }
     const std::vector<AppInstance *> &liveApps() override { return _live; }
+    std::uint64_t liveAppsEpoch() const override { return _liveEpoch; }
     AppInstance *findApp(AppInstanceId id) override;
     bool configure(AppInstance &app, TaskId task, SlotId slot) override;
     bool preempt(SlotId slot) override;
     SimTime estimatedSingleSlotLatency(AppInstance &app) override;
     SimTime reconfigLatencyEstimate() const override;
+    const GridContext *gridContext() const override { return _gridCtx; }
     /// @}
 
   private:
@@ -416,6 +443,7 @@ class Hypervisor : public SchedulerOps
 
     std::vector<std::unique_ptr<AppInstance>> _apps; //!< Owned, live only.
     std::vector<AppInstance *> _live;                //!< Arrival order.
+    std::uint64_t _liveEpoch = 0; //!< Bumped on every _live mutation.
     AppInstanceId _nextAppId = 1;
 
     /** Sentinel in _liveIndex for ids with no live instance. */
@@ -439,10 +467,23 @@ class Hypervisor : public SchedulerOps
     std::vector<SimTime> _itemDuration;
 
     std::unique_ptr<PeriodicEvent> _tick;
+    /** Persistent pass timer: armed per requestPass, constructed once. */
+    TimerId _passTimer = kTimerNone;
     bool _started = false;
     bool _passPending = false;
     SchedEvent _pendingReason = SchedEvent::Tick;
     bool _inPass = false;
+
+    /**
+     * True when hypervisor/fabric state may have changed since the last
+     * executed scheduler pass: set by every non-tick pass trigger and by
+     * any action a pass issues, cleared after an action-free pass. While
+     * false, a pure scheduler's tick pass is a provable no-op (see
+     * HypervisorConfig::elidePurePasses).
+     */
+    bool _stateDirty = true;
+    /** Bumped on every configure/preempt attempt (dirty tracking). */
+    std::uint64_t _actionCounter = 0;
 
     /**
      * Cache of single-slot latency estimates keyed by (spec, batch).
@@ -453,6 +494,9 @@ class Hypervisor : public SchedulerOps
      * on every estimate (PREMA asks from inside its sort pass).
      */
     std::map<std::pair<AppSpecPtr, int>, SimTime> _latencyCache;
+
+    /** Shared read-only grid state; nullptr outside grid/bench runs. */
+    const GridContext *_gridCtx = nullptr;
 
     Timeline *_timeline = nullptr;
 

@@ -31,6 +31,10 @@ class FcfsScheduler : public Scheduler
     void pass(SchedEvent reason) override;
     void onAppRetired(AppInstance &app) override;
 
+    /** No tokens, no clock: re-running a pass on unchanged state only
+        re-derives the same FIFO (isQueued dedup) and placements. */
+    bool passIsPure() const override { return true; }
+
   private:
     struct ReadyTask
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/grid_context.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -38,7 +39,7 @@ NimblockScheduler::ensureComponents()
                 return ops().estimatedSingleSlotLatency(a);
             });
     }
-    if (!_goals) {
+    if (!_goals && !_sharedGoals) {
         MakespanParams params;
         params.pipelined = _cfg.enablePipelining;
         params.reconfigLatency = ops().reconfigLatencyEstimate();
@@ -47,9 +48,17 @@ NimblockScheduler::ensureComponents()
         // A fully-quarantined board has zero schedulable slots; size the
         // cache as if one existed so passes stay well-defined (nothing
         // places anyway) until probes restore capacity.
-        _goals = std::make_unique<GoalNumberCache>(
-            std::max<std::size_t>(1, ops().fabric().schedulableSlotCount()),
-            params, _cfg.saturationThreshold);
+        std::size_t max_slots =
+            std::max<std::size_t>(1, ops().fabric().schedulableSlotCount());
+        // Prefer the grid's pre-warmed sweep when its geometry matches
+        // exactly; its entries are the same analyzeSaturation() outputs a
+        // private cache would compute, just filled before the run.
+        if (const GridContext *ctx = ops().gridContext())
+            _sharedGoals =
+                ctx->goalCache(max_slots, params, _cfg.saturationThreshold);
+        if (!_sharedGoals)
+            _goals = std::make_unique<GoalNumberCache>(
+                max_slots, params, _cfg.saturationThreshold);
     }
 }
 
@@ -58,8 +67,12 @@ NimblockScheduler::onCapacityChanged()
 {
     // Goal numbers saturate against the schedulable slot count, which just
     // changed; drop the cache so ensureComponents() rebuilds it sized for
-    // the new capacity, and reallocate on the next pass.
+    // the new capacity (invalidating every per-instance cached goal via
+    // the epoch), and reallocate on the next pass. A shared grid cache is
+    // dropped too: it no longer matches the new slot count.
     _goals.reset();
+    _sharedGoals = nullptr;
+    ++_goalEpoch;
     _capacityDirty = true;
 }
 
@@ -72,8 +85,31 @@ NimblockScheduler::onAppAdmitted(AppInstance &app)
 std::size_t
 NimblockScheduler::goalNumberFor(AppInstance &app)
 {
+    // Epoch-validated per-instance cache: reallocation asks for every
+    // candidate's goal number on every tick pass, and the underlying
+    // cache probe is a map lookup. The epoch advances on capacity
+    // changes, which is exactly when goal numbers can change.
+    if (app.cachedGoalEpoch() == _goalEpoch)
+        return app.cachedGoalNumber();
     ensureComponents();
-    return _goals->goalNumber(app.spec(), app.batch());
+    std::size_t goal;
+    if (const SaturationAnalysis *a =
+            _sharedGoals ? _sharedGoals->peek(app.spec(), app.batch())
+                         : nullptr) {
+        goal = a->saturationPoint;
+    } else {
+        // No shared entry (unwarmed pair, or no grid context): fill a
+        // private cache with the identical computation.
+        if (!_goals && _sharedGoals) {
+            _goals = std::make_unique<GoalNumberCache>(
+                std::max<std::size_t>(
+                    1, ops().fabric().schedulableSlotCount()),
+                _sharedGoals->params(), _cfg.saturationThreshold);
+        }
+        goal = _goals->goalNumber(app.spec(), app.batch());
+    }
+    app.setCachedGoalNumber(goal, _goalEpoch);
+    return goal;
 }
 
 void
@@ -137,11 +173,11 @@ NimblockScheduler::reallocate(const std::vector<AppInstance *> &ordered)
 bool
 NimblockScheduler::configureInFlight()
 {
-    for (const Slot &s : ops().fabric().slots()) {
-        if (s.state() == SlotState::Configuring)
-            return true;
-    }
-    return ops().fabric().cap().busy() || ops().fabric().store().busy();
+    // O(1): the fabric counts Configuring slots on every transition, so
+    // this per-pass probe no longer scans the slot array.
+    Fabric &fabric = ops().fabric();
+    return fabric.configuringCount() > 0 || fabric.cap().busy() ||
+           fabric.store().busy();
 }
 
 SlotId
@@ -248,38 +284,49 @@ NimblockScheduler::pass(SchedEvent reason)
 
     // Step 1 (Figure 3): accumulate tokens and update the candidate pool
     // on scheduling intervals, arrivals and completions; other passes
-    // reuse the pool from the last accumulation.
-    _candidates.clear();
+    // reuse the pool from the last accumulation. While the live-app set
+    // is unchanged (same epoch) the cached _candidates pointers from the
+    // previous pass are still exact, so the per-id findApp re-resolution
+    // is skipped entirely.
     if (TokenPolicy::accumulatesOn(reason)) {
         _candidates = _tokens->update(ops().liveApps(), ops().now());
-    } else {
+        _poolEpoch = ops().liveAppsEpoch();
+    } else if (_poolEpoch != ops().liveAppsEpoch()) {
+        _candidates.clear();
         for (AppInstanceId id : _lastCandidateIds) {
             if (AppInstance *app = ops().findApp(id))
                 _candidates.push_back(app);
         }
+        _poolEpoch = ops().liveAppsEpoch();
     }
 
-    // Candidate order by pool age (oldest first, arrival then id as the
-    // tie-break), shared by reallocation and selection. Ids are unique
-    // and monotonic in arrival order, so plain sort with the full key
-    // reproduces the stable sort it replaces.
-    _ordered = _candidates;
-    std::sort(_ordered.begin(), _ordered.end(),
-              [](AppInstance *a, AppInstance *b) {
-                  if (a->candidateSince() != b->candidateSince())
-                      return a->candidateSince() < b->candidateSince();
-                  if (a->arrival() != b->arrival())
-                      return a->arrival() < b->arrival();
-                  return a->id() < b->id();
-              });
-
-    // Step 2: reallocate on candidate-pool changes and periodic ticks.
     _idsScratch.clear();
     _idsScratch.reserve(_candidates.size());
     for (AppInstance *app : _candidates)
         _idsScratch.push_back(app->id());
-    if (reason == SchedEvent::Tick || _capacityDirty ||
-        _idsScratch != _lastCandidateIds) {
+    bool pool_changed = _idsScratch != _lastCandidateIds;
+
+    // Candidate order by pool age (oldest first, arrival then id as the
+    // tie-break), shared by reallocation and selection. Ids are unique
+    // and monotonic in arrival order, so plain sort with the full key
+    // reproduces the stable sort it replaces. Every key is immutable for
+    // the life of the instance (candidateSince is set-once), so the
+    // copy+sort is skipped entirely while the pool is unchanged — the
+    // previous _ordered is still exact.
+    if (pool_changed) {
+        _ordered = _candidates;
+        std::sort(_ordered.begin(), _ordered.end(),
+                  [](AppInstance *a, AppInstance *b) {
+                      if (a->candidateSince() != b->candidateSince())
+                          return a->candidateSince() < b->candidateSince();
+                      if (a->arrival() != b->arrival())
+                          return a->arrival() < b->arrival();
+                      return a->id() < b->id();
+                  });
+    }
+
+    // Step 2: reallocate on candidate-pool changes and periodic ticks.
+    if (reason == SchedEvent::Tick || _capacityDirty || pool_changed) {
         reallocate(_ordered);
         _capacityDirty = false;
     }

@@ -123,11 +123,24 @@ class NimblockScheduler : public Scheduler
     NimblockConfig _cfg;
     std::unique_ptr<TokenPolicy> _tokens;
     std::unique_ptr<GoalNumberCache> _goals;
+
+    /**
+     * Pre-warmed goal-number cache shared by the grid (read-only; see
+     * core/grid_context.hh), adopted when its geometry matches exactly.
+     * Misses fall back to the private _goals, built on demand.
+     */
+    const GoalNumberCache *_sharedGoals = nullptr;
     std::vector<AppInstanceId> _lastCandidateIds;
     NimblockStats _stats;
 
     /** Set by onCapacityChanged(); forces reallocation on the next pass. */
     bool _capacityDirty = false;
+    /**
+     * Validity epoch for per-instance cached goal numbers; bumped on
+     * every capacity change (see goalNumberFor). Starts at 1 so a fresh
+     * AppInstance (epoch 0) never reads as cached.
+     */
+    std::uint64_t _goalEpoch = 1;
 
     /**
      * Pass-local scratch promoted to members so a steady-state pass
@@ -139,6 +152,12 @@ class NimblockScheduler : public Scheduler
     std::vector<AppInstance *> _ordered;
     std::vector<AppInstanceId> _idsScratch;
     std::vector<std::size_t> _alloc;
+
+    /**
+     * liveAppsEpoch() at the last pool (re)build; while unchanged, the
+     * cached _candidates pointers are reused without re-resolution.
+     */
+    std::uint64_t _poolEpoch = ~0ull;
 };
 
 } // namespace nimblock

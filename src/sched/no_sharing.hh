@@ -23,6 +23,9 @@ class NoSharingScheduler : public Scheduler
     NoSharingScheduler() : Scheduler("baseline") {}
 
     void pass(SchedEvent reason) override;
+
+    /** Stateless: the pass is a pure function of the live-app queue. */
+    bool passIsPure() const override { return true; }
 };
 
 } // namespace nimblock

@@ -18,12 +18,11 @@ PremaScheduler::estimatedRemaining(AppInstance &app)
     SimTime total_est = ops().estimatedSingleSlotLatency(app);
     std::int64_t total_items =
         static_cast<std::int64_t>(app.graph().numTasks()) * app.batch();
-    std::int64_t done_items = 0;
-    for (TaskId t = 0; t < app.graph().numTasks(); ++t)
-        done_items += app.taskState(t).itemsDone;
     if (total_items == 0)
         return 0;
-    return total_est * (total_items - done_items) / total_items;
+    // itemsDoneTotal is a running counter, so the estimate is O(1)
+    // instead of an O(tasks) itemsDone scan per candidate per pass.
+    return total_est * (total_items - app.itemsDoneTotal()) / total_items;
 }
 
 void
@@ -38,20 +37,31 @@ PremaScheduler::pass(SchedEvent reason)
     }
 
     // Tokens accumulate on intervals, arrivals and completions; other
-    // passes reuse the candidate pool from the last accumulation.
-    _candidates.clear();
+    // passes reuse the candidate pool from the last accumulation. While
+    // the live-app set is unchanged (same epoch), the cached pointer
+    // pool from the previous pass is still exact — no id re-resolution.
     if (TokenPolicy::accumulatesOn(reason)) {
         _candidates = _tokens->update(ops().liveApps(), ops().now());
         _candidateIds.clear();
         for (AppInstance *app : _candidates)
             _candidateIds.push_back(app->id());
-    } else {
+        _poolEpoch = ops().liveAppsEpoch();
+    } else if (_poolEpoch != ops().liveAppsEpoch()) {
+        _candidates.clear();
         for (AppInstanceId id : _candidateIds) {
             if (AppInstance *app = ops().findApp(id))
                 _candidates.push_back(app);
         }
+        _poolEpoch = ops().liveAppsEpoch();
     }
     if (_candidates.empty())
+        return;
+
+    // Placement below needs a free slot; without one the pass's only
+    // effect was the token accounting above, so the estimate + sort
+    // would be dead work — the common steady-state case on a saturated
+    // board.
+    if (ops().fabric().freeSlotCount() == 0)
         return;
 
     // Shortest estimated remaining execution first. The estimate is

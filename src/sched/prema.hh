@@ -36,6 +36,13 @@ class PremaScheduler : public Scheduler
     /** Candidate pool persisted between token accumulations. */
     std::vector<AppInstanceId> _candidateIds;
 
+    /**
+     * liveAppsEpoch() at the last pool (re)build. While unchanged, the
+     * cached _candidates pointers are still exact and passes skip the
+     * per-id findApp re-resolution.
+     */
+    std::uint64_t _poolEpoch = ~0ull;
+
     /** Pass-local scratch (candidates and their sort keys). */
     std::vector<AppInstance *> _candidates;
     std::vector<std::pair<SimTime, std::size_t>> _byRemaining;

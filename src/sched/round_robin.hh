@@ -29,6 +29,10 @@ class RoundRobinScheduler : public Scheduler
     void pass(SchedEvent reason) override;
     void onAppRetired(AppInstance &app) override;
 
+    /** Queue rotation only advances when new tasks are issued, so a
+        pass over unchanged state touches nothing. */
+    bool passIsPure() const override { return true; }
+
   private:
     struct QueuedTask
     {

@@ -25,6 +25,8 @@
 
 namespace nimblock {
 
+class GridContext;
+
 /** Why a scheduling pass was triggered. */
 enum class SchedEvent
 {
@@ -64,6 +66,16 @@ class SchedulerOps
      */
     virtual const std::vector<AppInstance *> &liveApps() = 0;
 
+    /**
+     * Generation counter of the live-app set: bumped on every admission
+     * and retirement (including migration departures). While the value
+     * is unchanged, liveApps() has the same members in the same order
+     * and every cached AppInstance pointer is still valid — schedulers
+     * use it to reuse candidate pools across passes instead of
+     * re-resolving ids.
+     */
+    virtual std::uint64_t liveAppsEpoch() const = 0;
+
     /** Look up a live app by id; nullptr when absent/retired. */
     virtual AppInstance *findApp(AppInstanceId id) = 0;
 
@@ -97,6 +109,14 @@ class SchedulerOps
 
     /** Typical per-slot reconfiguration latency (planning input). */
     virtual SimTime reconfigLatencyEstimate() const = 0;
+
+    /**
+     * Shared run-invariant state interned across grid runs (pre-warmed
+     * goal-number caches, latency tables), or nullptr when the run has
+     * none. Schedulers treat it as an optional read-only cache tier and
+     * must produce identical results with and without it.
+     */
+    virtual const GridContext *gridContext() const { return nullptr; }
 };
 
 /** Base class for all scheduling algorithms. */
@@ -150,6 +170,19 @@ class Scheduler
      * reconfiguration latency behind computation.
      */
     virtual bool bulkItemGating() const { return true; }
+
+    /**
+     * Purity declaration for pass elision: a scheduler returns true iff
+     * its pass() is an idempotent function of hypervisor/fabric state —
+     * running it twice with no state change in between issues no action
+     * the first run didn't (and mutates nothing observable, thanks to
+     * already-queued dedup). Time- or pass-count-dependent policies
+     * (PREMA / Nimblock token accumulation) must return false: every
+     * pass advances their token state even when nothing is placed. The
+     * hypervisor uses this to skip provable no-op tick passes (see
+     * HypervisorConfig::elidePurePasses).
+     */
+    virtual bool passIsPure() const { return false; }
 
   protected:
     /** Bound hypervisor services; panics if unattached. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/grid_context.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -9,7 +10,7 @@ namespace nimblock {
 void
 StaticAllocScheduler::ensureComponents()
 {
-    if (_goals)
+    if (_goals || _sharedGoals)
         return;
     MakespanParams params;
     params.pipelined = true;
@@ -18,9 +19,29 @@ StaticAllocScheduler::ensureComponents()
         ops().fabric().config().psBandwidthBytesPerSec;
     // Clamp like NimblockScheduler: a fully-quarantined board reports
     // zero schedulable slots, but the cache must stay constructible.
-    _goals = std::make_unique<GoalNumberCache>(
-        std::max<std::size_t>(1, ops().fabric().schedulableSlotCount()),
-        params);
+    std::size_t max_slots =
+        std::max<std::size_t>(1, ops().fabric().schedulableSlotCount());
+    if (const GridContext *ctx = ops().gridContext())
+        _sharedGoals = ctx->goalCache(max_slots, params, 0.03);
+    if (!_sharedGoals)
+        _goals = std::make_unique<GoalNumberCache>(max_slots, params);
+}
+
+std::size_t
+StaticAllocScheduler::goalNumberFor(AppInstance &app)
+{
+    if (const SaturationAnalysis *a =
+            _sharedGoals ? _sharedGoals->peek(app.spec(), app.batch())
+                         : nullptr)
+        return a->saturationPoint;
+    if (!_goals && _sharedGoals) {
+        // Unwarmed pair: fall back to a private cache built with the
+        // identical geometry.
+        _goals = std::make_unique<GoalNumberCache>(
+            std::max<std::size_t>(1, ops().fabric().schedulableSlotCount()),
+            _sharedGoals->params());
+    }
+    return _goals->goalNumber(app.spec(), app.batch());
 }
 
 std::size_t
@@ -39,7 +60,7 @@ StaticAllocScheduler::grantReservations()
             continue;
         if (_reservedTotal >= total)
             return; // Board fully designated; later apps wait (FIFO).
-        std::size_t want = _goals->goalNumber(app->spec(), app->batch());
+        std::size_t want = goalNumberFor(*app);
         std::size_t grant = std::min(want, total - _reservedTotal);
         _reservations[app->id()] = grant;
         _reservedTotal += grant;

@@ -42,10 +42,19 @@ class StaticAllocScheduler : public Scheduler
      * grants size against the schedulable slot count, so rebuild the goal
      * cache when quarantine/probe changes it.
      */
-    void onCapacityChanged() override { _goals.reset(); }
+    void
+    onCapacityChanged() override
+    {
+        _goals.reset();
+        _sharedGoals = nullptr;
+    }
 
     /** Pipelining is DML's core mechanism. */
     bool bulkItemGating() const override { return false; }
+
+    /** Reservations only change on admission/retire/capacity events,
+        all of which dirty the hypervisor state. */
+    bool passIsPure() const override { return true; }
 
     /** Reserved slots of @p app (0 = still waiting for a reservation). */
     std::size_t reservationOf(AppInstanceId app) const;
@@ -56,10 +65,17 @@ class StaticAllocScheduler : public Scheduler
   private:
     void ensureComponents();
 
+    /** Goal number for @p app: shared grid cache first, then private. */
+    std::size_t goalNumberFor(AppInstance &app);
+
     /** Grant reservations to unreserved apps in arrival order. */
     void grantReservations();
 
     std::unique_ptr<GoalNumberCache> _goals;
+
+    /** Grid-shared pre-warmed cache (see core/grid_context.hh). */
+    const GoalNumberCache *_sharedGoals = nullptr;
+
     std::map<AppInstanceId, std::size_t> _reservations;
     std::size_t _reservedTotal = 0;
 };

@@ -1,6 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -31,10 +30,36 @@ toString(SimTime t)
 
 } // namespace simtime
 
-void
-EventQueue::addChunk()
+namespace {
+
+/** Ascending (when, seq) order for sorting and sorted batch inserts. */
+struct ItemEarlier
 {
-    _chunks.emplace_back(new Slot[kSlotChunkSize]);
+    template <typename Item>
+    bool
+    operator()(const Item &a, const Item &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+};
+
+} // namespace
+
+void
+EventQueue::growSlotArrays()
+{
+    _when.push_back(0);
+    _seq.push_back(0);
+    _labelHash.push_back(0);
+    _name.push_back(nullptr);
+    _next.push_back(kNilSlot);
+    _gen.push_back(0);
+    _aux.push_back(0);
+    _state.push_back(0);
+    if (((_slotCount - 1) >> kSlotChunkShift) >= _chunks.size())
+        _chunks.emplace_back(new Callback[kSlotChunkSize]);
 }
 
 void
@@ -45,48 +70,124 @@ EventQueue::schedulePastPanic(SimTime when, const char *name)
           simtime::toString(_now).c_str());
 }
 
+void
+EventQueue::labelPanic(std::uint32_t slot)
+{
+    panic("event label '%s' changed between schedule and fire/cancel: "
+          "labels must be string literals or interned strings whose "
+          "storage outlives the event",
+          _name[slot] ? _name[slot] : "(null)");
+}
+
+std::uint64_t
+EventQueue::labelHash(const char *s)
+{
+    // FNV-1a over the label bytes: cheap, and any in-place mutation or
+    // recycled buffer shows up as a mismatch at fire/cancel time.
+    std::uint64_t h = 1469598103934665603ull;
+    if (s) {
+        while (*s) {
+            h ^= static_cast<unsigned char>(*s++);
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
 bool
 EventQueue::cancel(EventId id)
 {
     if (!isLive(id))
         return false;
-    release(slotOf(id));
+    std::uint32_t slot = slotOf(id);
+    verifyLabel(slot);
+    if (_state[slot] & kTimer)
+        _timers[_aux[slot]]->armed = kEventNone;
+    --_liveCount;
+    if (_impl == EventQueueImpl::Heap) {
+        // Heap entries are skipped lazily by (gen, state); the slot can
+        // be recycled immediately.
+        freeEntry(slot);
+    } else {
+        // The slot is linked into a bucket list, the live batch, or the
+        // overflow heap; it keeps owning its storage (kQueued) until the
+        // drain unlinks it. Cancelling an entry of the batch currently
+        // being drained is therefore safe: the drain sees the cleared
+        // kLive bit and reclaims the slot instead of firing it.
+        _state[slot] &= ~kLive;
+    }
     return true;
 }
 
-SimTime
-EventQueue::nextEventTime()
+TimerId
+EventQueue::addTimer(const char *name, Callback cb)
 {
-    skipDead();
-    return _heap.empty() ? kTimeNone : _heap[0].when;
+    _timers.emplace_back(new TimerSlot{std::move(cb), name, kEventNone});
+    return static_cast<TimerId>(_timers.size() - 1);
 }
 
-void
-EventQueue::reserve(std::size_t events)
+EventId
+EventQueue::armTimer(TimerId timer, SimTime when)
 {
-    _heap.reserve(events);
-    _free.reserve(events);
-    std::size_t chunks = (events + kSlotChunkSize - 1) >> kSlotChunkShift;
-    _chunks.reserve(chunks);
-    while (_chunks.size() < chunks)
-        _chunks.emplace_back(new Slot[kSlotChunkSize]);
+    TimerSlot &ts = *_timers[timer];
+    if (when < _now)
+        schedulePastPanic(when, ts.name);
+    if (ts.armed != kEventNone)
+        cancel(ts.armed);
+    std::uint32_t slot = allocSlot();
+    _aux[slot] = timer;
+    EventId id = commitSchedule(slot, when, ts.name,
+                                kQueued | kLive | kTimer);
+    ts.armed = id;
+    return id;
 }
 
 bool
-EventQueue::step()
+EventQueue::disarmTimer(TimerId timer)
+{
+    TimerSlot &ts = *_timers[timer];
+    if (ts.armed == kEventNone)
+        return false;
+    return cancel(ts.armed); // cancel() clears ts.armed.
+}
+
+bool
+EventQueue::timerArmed(TimerId timer) const
+{
+    return _timers[timer]->armed != kEventNone;
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!_heap.empty() && !isLive(_heap[0].id)) {
+        HeapItem item = _heap[0];
+        heapPop();
+        std::uint32_t slot = slotOf(item.id);
+        // Wheel-mode overflow entries keep owning their slot after
+        // cancellation; reclaim here. Heap-mode entries were reclaimed
+        // at cancel time and are merely stale.
+        if (_gen[slot] == genOf(item.id) && (_state[slot] & kQueued)) {
+            freeEntry(slot);
+            --_entries;
+        }
+    }
+}
+
+bool
+EventQueue::heapStep()
 {
     skipDead();
     if (_heap.empty())
         return false;
-
     HeapItem item = _heap[0];
     heapPop();
-    fire(item);
+    fireItem(item);
     return true;
 }
 
 std::uint64_t
-EventQueue::run(SimTime horizon)
+EventQueue::heapRun(SimTime horizon)
 {
     // Fused fire loop: one dead-entry sweep, bounds check and pop per
     // fired event (step() after a separate skipDead() would redo all
@@ -98,18 +199,367 @@ EventQueue::run(SimTime horizon)
             break;
         HeapItem item = _heap[0];
         heapPop();
-        fire(item);
+        fireItem(item);
         ++fired;
     }
     return fired;
 }
 
+void
+EventQueue::place(std::uint32_t slot, SimTime when, std::uint64_t seq)
+{
+    std::uint64_t tick = tickOf(when);
+    if (tick <= _curTick) {
+        // Same granule as the current batch — or behind a cursor that
+        // ran ahead across empty space (legal whenever when >= now):
+        // either way it fires before everything still in the wheel, so
+        // it joins the live batch via sorted insert.
+        batchInsert(slot, when, seq);
+        return;
+    }
+    std::uint64_t diff = tick ^ _curTick;
+    unsigned level =
+        (63u - static_cast<unsigned>(__builtin_clzll(diff))) / kLevelBits;
+    if (level >= kLevels) {
+        // Beyond the wheel span: park in the sorted overflow heap;
+        // promoteOverflow() pulls it in as the cursor approaches.
+        _heap.push_back(HeapItem{when, seq, makeId(_gen[slot], slot)});
+        std::push_heap(_heap.begin(), _heap.end(), HeapItemLater{});
+        return;
+    }
+    bucketPush(level, bucketIndex(tick, level), slot);
+}
+
+void
+EventQueue::batchInsert(std::uint32_t slot, SimTime when, std::uint64_t seq)
+{
+    HeapItem item{when, seq, makeId(_gen[slot], slot)};
+    // Co-granule schedules made during a drain usually belong after
+    // everything already batched (fresh, larger seq at the same or a
+    // later timestamp): append without the search-and-shift.
+    if (_batch.empty() || ItemEarlier{}(_batch.back(), item)) {
+        _batch.push_back(item);
+        return;
+    }
+    auto pos = std::lower_bound(
+        _batch.begin() + static_cast<std::ptrdiff_t>(_batchPos),
+        _batch.end(), item, ItemEarlier{});
+    _batch.insert(pos, item);
+}
+
+void
+EventQueue::drainBucket(std::uint32_t idx)
+{
+    std::uint32_t slot = _bucket[0][idx];
+    _bucket[0][idx] = kNilSlot;
+    _occ[0] &= ~(std::uint64_t{1} << idx);
+    while (slot != kNilSlot) {
+        std::uint32_t next = _next[slot];
+        if (_state[slot] & kLive) {
+            _batch.push_back(
+                HeapItem{_when[slot], _seq[slot], makeId(_gen[slot], slot)});
+        } else {
+            freeEntry(slot);
+            --_entries;
+        }
+        slot = next;
+    }
+    // Bucket lists are push-front (insertion order lost) and may mix
+    // directly-scheduled with cascaded entries: one sort restores the
+    // deterministic (when, seq) fire order. Singleton buckets — the
+    // common case at simulation event densities — skip it.
+    if (_batch.size() > 1)
+        std::sort(_batch.begin(), _batch.end(), ItemEarlier{});
+}
+
+void
+EventQueue::cascade(unsigned level, std::uint32_t idx)
+{
+    std::uint32_t slot = _bucket[level][idx];
+    _bucket[level][idx] = kNilSlot;
+    _occ[level] &= ~(std::uint64_t{1} << idx);
+    while (slot != kNilSlot) {
+        std::uint32_t next = _next[slot];
+        if (_state[slot] & kLive) {
+            // Re-place against the advanced cursor: lands at a strictly
+            // lower level, or straight in the batch when co-granular.
+            place(slot, _when[slot], _seq[slot]);
+        } else {
+            freeEntry(slot);
+            --_entries;
+        }
+        slot = next;
+    }
+}
+
+void
+EventQueue::promoteOverflow()
+{
+    // Pull overflow entries whose tick now falls inside the wheel span.
+    // Ordering stays safe: whatever remains in the overflow differs from
+    // the cursor above the top level, i.e. lies beyond the whole window
+    // every wheel entry lives in — the wheel always drains first.
+    for (;;) {
+        skipDead();
+        if (_heap.empty())
+            return;
+        std::uint64_t tick = tickOf(_heap[0].when);
+        if ((tick ^ _curTick) >> (kLevels * kLevelBits))
+            return;
+        HeapItem item = _heap[0];
+        heapPop();
+        place(slotOf(item.id), item.when, item.seq);
+    }
+}
+
+void
+EventQueue::purgeDead()
+{
+    for (unsigned level = 0; level < kLevels; ++level) {
+        while (_occ[level]) {
+            std::uint32_t idx =
+                static_cast<std::uint32_t>(__builtin_ctzll(_occ[level]));
+            _occ[level] &= _occ[level] - 1;
+            std::uint32_t slot = _bucket[level][idx];
+            _bucket[level][idx] = kNilSlot;
+            while (slot != kNilSlot) {
+                std::uint32_t next = _next[slot];
+                freeEntry(slot);
+                slot = next;
+            }
+        }
+    }
+    for (const HeapItem &item : _heap) {
+        std::uint32_t slot = slotOf(item.id);
+        if (_gen[slot] == genOf(item.id) && (_state[slot] & kQueued))
+            freeEntry(slot);
+    }
+    _heap.clear();
+    _entries = 0;
+}
+
+bool
+EventQueue::advanceWheel()
+{
+    if (_liveCount == 0) {
+        // Nothing live anywhere; reclaim whatever cancelled garbage is
+        // still linked so heapSize() drops back to zero.
+        purgeDead();
+        return false;
+    }
+    for (;;) {
+        if (!_heap.empty()) {
+            promoteOverflow();
+            if (!_batch.empty())
+                return true; // Promotion landed co-granular entries.
+        }
+
+        // Find the lowest occupied level strictly ahead of the cursor.
+        // The current level-0 bucket itself is never occupied:
+        // co-granular events go straight to the batch.
+        unsigned level = 0;
+        std::uint32_t idx = 0;
+        bool found = false;
+        for (; level < kLevels; ++level) {
+            std::uint32_t cur = bucketIndex(_curTick, level);
+            std::uint64_t ahead = cur + 1 >= kBuckets
+                                      ? 0
+                                      : _occ[level] &
+                                            (~std::uint64_t{0} << (cur + 1));
+            if (ahead) {
+                idx = static_cast<std::uint32_t>(__builtin_ctzll(ahead));
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            // Wheel exhausted; jump the cursor to the overflow minimum
+            // and let promotion pull its window in.
+            skipDead();
+            if (_heap.empty()) {
+                purgeDead();
+                return false;
+            }
+            _curTick = tickOf(_heap[0].when);
+            continue;
+        }
+
+        // Move the cursor to the start of the found bucket's window:
+        // group `level` := idx, groups below := 0, groups above kept.
+        std::uint64_t keepMask =
+            ~((std::uint64_t{1} << ((level + 1) * kLevelBits)) - 1);
+        _curTick = (_curTick & keepMask) |
+                   (std::uint64_t{idx} << (level * kLevelBits));
+        if (level == 0)
+            drainBucket(idx);
+        else
+            cascade(level, idx);
+        if (!_batch.empty())
+            return true;
+        // All-dead bucket; rescan with the advanced cursor.
+    }
+}
+
+bool
+EventQueue::wheelStepSlow()
+{
+    // The inline step() fast path exhausted the open batch (or found
+    // only cancelled entries): open the next one and fire its head.
+    for (;;) {
+        _batch.clear();
+        _batchPos = 0;
+        if (!advanceWheel())
+            return false;
+        while (_batchPos < _batch.size()) {
+            HeapItem item = _batch[_batchPos++];
+            std::uint32_t slot = slotOf(item.id);
+            --_entries;
+            if (!(_state[slot] & kLive)) {
+                freeEntry(slot); // Cancelled while batched.
+                continue;
+            }
+            fireItem(item);
+            return true;
+        }
+    }
+}
+
+std::uint64_t
+EventQueue::wheelRun(SimTime horizon)
+{
+    std::uint64_t fired = 0;
+    for (;;) {
+        if (_batchPos < _batch.size()) {
+            HeapItem item = _batch[_batchPos];
+            std::uint32_t slot = slotOf(item.id);
+            if (!(_state[slot] & kLive)) {
+                ++_batchPos;
+                --_entries;
+                freeEntry(slot);
+                continue;
+            }
+            if (item.when > horizon)
+                break;
+            ++_batchPos;
+            --_entries;
+            fireItem(item);
+            ++fired;
+            continue;
+        }
+        _batch.clear();
+        _batchPos = 0;
+        if (!advanceWheel())
+            break;
+    }
+    return fired;
+}
+
+SimTime
+EventQueue::wheelNextEventTime()
+{
+    // Reclaim dead entries at the batch head (mirrors the heap's
+    // skipDead() side effect), then peek.
+    while (_batchPos < _batch.size()) {
+        std::uint32_t slot = slotOf(_batch[_batchPos].id);
+        if (_state[slot] & kLive)
+            return _batch[_batchPos].when;
+        freeEntry(slot);
+        --_entries;
+        ++_batchPos;
+    }
+
+    // Read-only scan of the wheel — the cursor must NOT move here: a
+    // later schedule with now <= when < next-occupied-bucket must still
+    // land ahead of the cursor. Within a level, ahead-buckets appear in
+    // time order, and every level-k event precedes every level-(k+1)
+    // event (level-k entries share the cursor's level-(k+1) group;
+    // level-(k+1) entries lie beyond it), so the first bucket holding a
+    // live entry yields the minimum.
+    for (unsigned level = 0; level < kLevels; ++level) {
+        std::uint32_t cur = bucketIndex(_curTick, level);
+        std::uint64_t ahead = cur + 1 >= kBuckets
+                                  ? 0
+                                  : _occ[level] &
+                                        (~std::uint64_t{0} << (cur + 1));
+        while (ahead) {
+            std::uint32_t idx =
+                static_cast<std::uint32_t>(__builtin_ctzll(ahead));
+            ahead &= ahead - 1;
+            SimTime best = kTimeNone;
+            for (std::uint32_t slot = _bucket[level][idx];
+                 slot != kNilSlot; slot = _next[slot]) {
+                if ((_state[slot] & kLive) &&
+                    (best == kTimeNone || _when[slot] < best))
+                    best = _when[slot];
+            }
+            if (best != kTimeNone)
+                return best;
+        }
+    }
+    skipDead();
+    return _heap.empty() ? kTimeNone : _heap[0].when;
+}
+
+std::uint64_t
+EventQueue::run(SimTime horizon)
+{
+    return _impl == EventQueueImpl::Heap ? heapRun(horizon)
+                                         : wheelRun(horizon);
+}
+
+SimTime
+EventQueue::nextEventTime()
+{
+    if (_impl == EventQueueImpl::Heap) {
+        skipDead();
+        return _heap.empty() ? kTimeNone : _heap[0].when;
+    }
+    return wheelNextEventTime();
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    // An Auto queue resolves its ready structure from the caller's
+    // capacity hint, but only while nothing has been scheduled yet: the
+    // switch just flips the dispatch flag, it does not migrate entries.
+    if (_auto && _now == 0 && _liveCount == 0 && _heap.empty() &&
+        events >= kAutoWheelThreshold)
+        _impl = EventQueueImpl::Wheel;
+
+    _heap.reserve(events);
+    _free.reserve(events);
+    _batch.reserve(events);
+    _when.reserve(events);
+    _seq.reserve(events);
+    _labelHash.reserve(events);
+    _name.reserve(events);
+    _next.reserve(events);
+    _gen.reserve(events);
+    _aux.reserve(events);
+    _state.reserve(events);
+    std::size_t chunks = (events + kSlotChunkSize - 1) >> kSlotChunkShift;
+    _chunks.reserve(chunks);
+    while (_chunks.size() < chunks)
+        _chunks.emplace_back(new Callback[kSlotChunkSize]);
+}
+
 PeriodicEvent::PeriodicEvent(EventQueue &eq, SimTime period, const char *name,
                              SmallFunction<void()> cb)
-    : _eq(eq), _period(period), _name(name), _cb(std::move(cb))
+    : _eq(eq), _period(period), _cb(std::move(cb))
 {
     if (period <= 0)
-        panic("periodic event '%s' needs a positive period", _name);
+        panic("periodic event '%s' needs a positive period", name);
+    // The callable is built exactly once; every periodic re-arm after
+    // this is pure index work against the queue's timer table.
+    _timer = eq.addTimer(name, [this] {
+        if (!_running)
+            return;
+        _nextDue = _eq.now() + _period;
+        _cb();
+        if (_running)
+            _eq.armTimer(_timer, _nextDue);
+    });
 }
 
 void
@@ -119,7 +569,7 @@ PeriodicEvent::start()
         return;
     _running = true;
     _nextDue = _eq.now() + _period;
-    arm();
+    _eq.armTimer(_timer, _nextDue);
 }
 
 void
@@ -148,7 +598,7 @@ PeriodicEvent::startAligned()
         SimTime behind = now - _nextDue;
         _nextDue += (behind + _period - 1) / _period * _period;
     }
-    arm();
+    _eq.armTimer(_timer, _nextDue);
 }
 
 void
@@ -164,24 +614,7 @@ PeriodicEvent::stop()
     if (!_running)
         return;
     _running = false;
-    if (_armed != kEventNone) {
-        _eq.cancel(_armed);
-        _armed = kEventNone;
-    }
-}
-
-void
-PeriodicEvent::arm()
-{
-    _armed = _eq.schedule(_nextDue, _name, [this] {
-        _armed = kEventNone;
-        if (!_running)
-            return;
-        _nextDue = _eq.now() + _period;
-        _cb();
-        if (_running)
-            arm();
-    });
+    _eq.disarmTimer(_timer);
 }
 
 } // namespace nimblock

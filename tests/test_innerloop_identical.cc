@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.hh"
+#include "core/experiment.hh"
 #include "core/simulation.hh"
 #include "sched/factory.hh"
 #include "sim/logging.hh"
@@ -63,6 +64,33 @@ class InnerloopIdenticalTest : public ::testing::Test
         cfg.scheduler = scheduler;
         cfg.hypervisor.elideIdleTicks = elide;
         return Simulation(cfg, registry).run(seq);
+    }
+
+    /** Run with an arbitrary config tweak applied on top of defaults. */
+    template <typename Tweak>
+    RunResult
+    runWith(const std::string &scheduler, const EventSequence &seq,
+            Tweak tweak)
+    {
+        SystemConfig cfg;
+        cfg.scheduler = scheduler;
+        tweak(cfg);
+        return Simulation(cfg, registry).run(seq);
+    }
+
+    /** A dense mixed-priority sequence that keeps the fabric contended. */
+    EventSequence
+    denseSequence() const
+    {
+        GeneratorConfig gen;
+        gen.numEvents = 8;
+        gen.appPool = {"lenet", "alexnet", "image_compression",
+                       "3d_rendering", "digit_recognition"};
+        gen.minDelayMs = 50;
+        gen.maxDelayMs = 800;
+        gen.minBatch = 1;
+        gen.maxBatch = 6;
+        return generateSequence("dense", gen, Rng(7));
     }
 
     AppRegistry registry = standardRegistry();
@@ -157,6 +185,88 @@ TEST_F(InnerloopIdenticalTest, ElisionActuallySavesTicksWhenIdle)
     EXPECT_EQ(off.makespan, on.makespan);
     EXPECT_LT(on.hypervisorStats.schedulingPasses,
               off.hypervisorStats.schedulingPasses);
+}
+
+TEST_F(InnerloopIdenticalTest, WheelAndHeapQueuesAreByteIdentical)
+{
+    // The ready structure is an implementation detail: swapping the
+    // hierarchical time wheel for the reference binary heap must change
+    // NOTHING observable — records, makespan, pass counts, even the
+    // total number of kernel events fired.
+    EventSequence seq = denseSequence();
+    for (const std::string &name : evaluationSchedulers()) {
+        RunResult wheel = runWith(name, seq, [](SystemConfig &cfg) {
+            cfg.eventQueue = EventQueueImpl::Wheel;
+        });
+        RunResult heap = runWith(name, seq, [](SystemConfig &cfg) {
+            cfg.eventQueue = EventQueueImpl::Heap;
+        });
+
+        EXPECT_EQ(recordsCsv(wheel), recordsCsv(heap)) << name;
+        EXPECT_EQ(wheel.makespan, heap.makespan) << name;
+        EXPECT_EQ(wheel.eventsFired, heap.eventsFired) << name;
+        EXPECT_EQ(wheel.hypervisorStats.schedulingPasses,
+                  heap.hypervisorStats.schedulingPasses)
+            << name;
+        EXPECT_EQ(wheel.hypervisorStats.purePassesElided,
+                  heap.hypervisorStats.purePassesElided)
+            << name;
+        EXPECT_EQ(wheel.hypervisorStats.preemptionsHonored,
+                  heap.hypervisorStats.preemptionsHonored)
+            << name;
+    }
+}
+
+TEST_F(InnerloopIdenticalTest, PurePassElisionIsResultInvariant)
+{
+    // Eliding the no-op body of pure scheduler passes (FCFS/RR/static
+    // with no state change) must be invisible in results; only the
+    // elision counter itself may differ, and only upward when on.
+    EventSequence seq = denseSequence();
+    for (const std::string &name : evaluationSchedulers()) {
+        RunResult off = runWith(name, seq, [](SystemConfig &cfg) {
+            cfg.hypervisor.elidePurePasses = false;
+        });
+        RunResult on = runWith(name, seq, [](SystemConfig &cfg) {
+            cfg.hypervisor.elidePurePasses = true;
+        });
+
+        EXPECT_EQ(recordsCsv(off), recordsCsv(on)) << name;
+        EXPECT_EQ(off.makespan, on.makespan) << name;
+        EXPECT_EQ(off.hypervisorStats.schedulingPasses,
+                  on.hypervisorStats.schedulingPasses)
+            << name;
+        EXPECT_EQ(off.hypervisorStats.purePassesElided, 0u) << name;
+        EXPECT_GE(on.hypervisorStats.purePassesElided,
+                  off.hypervisorStats.purePassesElided)
+            << name;
+    }
+}
+
+TEST_F(InnerloopIdenticalTest, GridContextInterningIsResultInvariant)
+{
+    // ExperimentGrid runs share one frozen GridContext (pre-computed
+    // latency estimates, goal-number sweeps, pre-interned bitstream
+    // names); a context-free solo Simulation fills the same caches
+    // organically mid-run. Both paths must agree byte-for-byte.
+    EventSequence seq = denseSequence();
+    for (const std::string &name : evaluationSchedulers()) {
+        SystemConfig cfg;
+        cfg.scheduler = name;
+        RunResult solo = Simulation(cfg, registry).run(seq);
+
+        ExperimentGrid grid(cfg, registry);
+        auto results = grid.runAll({name}, {seq});
+        ASSERT_EQ(results.at(name).runs.size(), 1u) << name;
+        const RunResult &shared = results.at(name).runs[0];
+
+        EXPECT_EQ(recordsCsv(solo), recordsCsv(shared)) << name;
+        EXPECT_EQ(solo.makespan, shared.makespan) << name;
+        EXPECT_EQ(solo.eventsFired, shared.eventsFired) << name;
+        EXPECT_EQ(solo.hypervisorStats.schedulingPasses,
+                  shared.hypervisorStats.schedulingPasses)
+            << name;
+    }
 }
 
 } // namespace

@@ -52,9 +52,12 @@ BenchOptions::parse(int argc, char **argv)
         } else if (arg == "--dispatch") {
             opts.dispatch = next();
             parseDispatchPolicy(opts.dispatch.c_str()); // Validate now.
+        } else if (arg == "--hdr") {
+            opts.hdrTail = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("flags: --sequences N --events N --seed S --jobs N "
-                        "--quick --csv PATH --trace PATH --dispatch P\n");
+                        "--quick --csv PATH --trace PATH --dispatch P "
+                        "--hdr\n");
             std::exit(0);
         } else {
             fatal("unknown flag '%s'", arg.c_str());

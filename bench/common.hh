@@ -50,6 +50,14 @@ struct BenchOptions
      */
     std::string dispatch;
 
+    /**
+     * Tail percentiles from the bounded HdrHistogram instead of exact
+     * per-sample order statistics (bench_fig6): the soak-path estimator
+     * exercised on the paper grids, where the exact answer exists to
+     * cross-check it.
+     */
+    bool hdrTail = false;
+
     /** Parse argv; fatal()s on unknown flags. */
     static BenchOptions parse(int argc, char **argv);
 

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Guard bench_sim_innerloop throughput against the committed baseline.
+"""Guard bench throughput against the committed baselines.
 
 Compares a fresh CI bench run against the repository's committed
-BENCH_innerloop.json. CI runners are shared, unpinned machines whose
+BENCH_innerloop.json (and, when --soak-baseline/--soak-current are
+given, BENCH_soak.json). CI runners are shared, unpinned machines whose
 absolute throughput swings easily by tens of percent, so the guard only
-fails when a scheduler's events/s drops below baseline divided by the
+fails when a measured rate drops below baseline divided by the
 tolerance factor (default 2x) — large enough to never flake, small
 enough that a real algorithmic regression (accidental O(n) in the hot
 loop, a lost fast path) still trips it.
+
+Sections absent from either document are skipped silently: baselines
+predating a bench section, and runs invoked with flags that omit one,
+must not fail the guard. Soak cells are compared on the intersection of
+cell labels only — grids legitimately differ across quick/full modes
+and flag overrides.
 
 Only the standard library is used; exit status is non-zero on
 regression or malformed input.
@@ -34,6 +41,47 @@ def index_queue(doc):
     return {(q["impl"], q["depth"]): q for q in doc.get("queue", [])}
 
 
+def index_soak_cells(doc):
+    cells = {}
+    for section in ("cells", "admission", "headline"):
+        for c in doc.get(section, []):
+            cells[(section, c["label"])] = c
+    return cells
+
+
+def check_soak(base, cur, tolerance, failures):
+    """Intersection-only wall-throughput guard over soak cells, plus the
+    zero-alloc steady-window invariant on the headline run."""
+    base_cells = index_soak_cells(base)
+    cur_cells = index_soak_cells(cur)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    if not shared:
+        print("soak: no shared cells between baseline and current; skipped")
+        return
+    print(f"\n{'soak cell':<28} {'baseline inv/s':>14} "
+          f"{'current inv/s':>14} {'ratio':>7}")
+    for key in shared:
+        b = base_cells[key]["submitted_per_sec_wall"]
+        c = cur_cells[key]["submitted_per_sec_wall"]
+        verdict = "ok" if c * tolerance >= b else "REGRESSION"
+        label = f"{key[0]}/{key[1]}"
+        print(f"{label:<28} {b:>14,.0f} {c:>14,.0f} "
+              f"{c / b if b else 0:>6.2f}x  {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"soak {label}: {c:,.0f} inv/s is more than {tolerance:g}x "
+                f"below baseline {b:,.0f} inv/s")
+    for key in shared:
+        # The steady window is only instrumented on the headline cell; a
+        # baseline that counted zero allocations pins the invariant.
+        b, c = base_cells[key], cur_cells[key]
+        if b.get("window_events", 0) and c.get("window_events", 0):
+            if b.get("window_allocs", 0) == 0 and c.get("window_allocs", 0):
+                failures.append(
+                    f"soak {key[0]}/{key[1]}: {c['window_allocs']} "
+                    f"steady-window allocations (baseline has 0)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -43,9 +91,15 @@ def main():
     ap.add_argument("--tolerance", type=float, default=2.0,
                     help="allowed slowdown factor before failing "
                          "(default: 2.0)")
+    ap.add_argument("--soak-baseline",
+                    help="committed BENCH_soak.json (optional)")
+    ap.add_argument("--soak-current",
+                    help="freshly measured BENCH_soak.json (optional)")
     args = ap.parse_args()
     if args.tolerance < 1.0:
         sys.exit("error: --tolerance must be >= 1.0")
+    if bool(args.soak_baseline) != bool(args.soak_current):
+        sys.exit("error: --soak-baseline and --soak-current go together")
 
     base = load(args.baseline)
     cur = load(args.current)
@@ -90,6 +144,10 @@ def main():
             failures.append(
                 f"queue {key}: {c:,.0f} ops/s is more than "
                 f"{args.tolerance:g}x below baseline {b:,.0f} ops/s")
+
+    if args.soak_baseline:
+        check_soak(load(args.soak_baseline), load(args.soak_current),
+                   args.tolerance, failures)
 
     if failures:
         print("\nFAILED:", file=sys.stderr)

@@ -196,6 +196,16 @@ Cluster::submit(const AppRegistry &registry, const WorkloadEvent &event)
     return board_idx;
 }
 
+int
+Cluster::submitSpec(AppSpecPtr spec, int batch, Priority priority,
+                    int event_index)
+{
+    int board_idx = pickBoard();
+    _boards[static_cast<std::size_t>(board_idx)].hypervisor->submit(
+        std::move(spec), batch, priority, event_index);
+    return board_idx;
+}
+
 void
 Cluster::start()
 {

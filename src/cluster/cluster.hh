@@ -117,6 +117,16 @@ class Cluster
      */
     int submit(const AppRegistry &registry, const WorkloadEvent &event);
 
+    /**
+     * Place and admit an application from an already-resolved spec — the
+     * streaming path: no registry lookup, no WorkloadEvent, no string
+     * touch, so a warmed-up open-loop run dispatches without allocating.
+     *
+     * @return The chosen board index.
+     */
+    int submitSpec(AppSpecPtr spec, int batch, Priority priority,
+                   int event_index);
+
     /** Start every board's scheduling-interval timer. */
     void start();
 

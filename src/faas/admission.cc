@@ -1,0 +1,113 @@
+#include "faas/admission.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+AdmissionPolicy
+admissionPolicyFromName(const std::string &name)
+{
+    if (name == "none")
+        return AdmissionPolicy::None;
+    if (name == "queue")
+        return AdmissionPolicy::QueueDepth;
+    if (name == "token")
+        return AdmissionPolicy::TokenBucket;
+    fatal("unknown admission policy '%s' (expected none, queue or token)",
+          name.c_str());
+}
+
+const char *
+admissionPolicyName(AdmissionPolicy p)
+{
+    switch (p) {
+    case AdmissionPolicy::None:
+        return "none";
+    case AdmissionPolicy::QueueDepth:
+        return "queue";
+    case AdmissionPolicy::TokenBucket:
+        return "token";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig cfg,
+                                         std::size_t numTenants)
+    : _cfg(cfg), _shedPerTenant(numTenants, 0)
+{
+    if (_cfg.policy == AdmissionPolicy::QueueDepth &&
+        _cfg.queueDepthCap == 0) {
+        fatal("queue-depth admission cap must be positive");
+    }
+    if (_cfg.policy == AdmissionPolicy::TokenBucket) {
+        if (_cfg.tokensPerSec <= 0.0)
+            fatal("token refill rate must be positive (got %g)",
+                  _cfg.tokensPerSec);
+        if (_cfg.bucketCapacity < 1.0)
+            fatal("token bucket capacity must be >= 1 (got %g)",
+                  _cfg.bucketCapacity);
+        _tokens.assign(numTenants, _cfg.bucketCapacity);
+        _lastRefill.assign(numTenants, 0);
+    }
+}
+
+void
+AdmissionController::setCounters(CounterRegistry *counters)
+{
+    _counters = counters;
+    if (!counters)
+        return;
+    _markShed = counters->define("admission.shed");
+    _ctrShedTotal = counters->define("admission.shed_total");
+}
+
+void
+AdmissionController::refill(std::size_t tenant, SimTime now)
+{
+    SimTime since = now - _lastRefill[tenant];
+    if (since <= 0)
+        return;
+    _tokens[tenant] = std::min(_cfg.bucketCapacity,
+                               _tokens[tenant] +
+                                   simtime::toSec(since) * _cfg.tokensPerSec);
+    _lastRefill[tenant] = now;
+}
+
+bool
+AdmissionController::admit(std::size_t tenant, SimTime now,
+                           std::size_t liveCount)
+{
+    bool ok = true;
+    switch (_cfg.policy) {
+    case AdmissionPolicy::None:
+        break;
+    case AdmissionPolicy::QueueDepth:
+        ok = liveCount < _cfg.queueDepthCap;
+        break;
+    case AdmissionPolicy::TokenBucket:
+        refill(tenant, now);
+        if (_tokens[tenant] >= 1.0)
+            _tokens[tenant] -= 1.0;
+        else
+            ok = false;
+        break;
+    }
+    if (!ok) {
+        ++_shedTotal;
+        ++_shedPerTenant[tenant];
+        if (_counters) {
+            _counters->mark(_markShed, now);
+            _counters->sample(_ctrShedTotal, now,
+                              static_cast<double>(_shedTotal));
+        }
+        if (_timeline) {
+            _timeline->record(now, kSlotNone, kAppNone, kTaskNone,
+                              kNameNone, TimelineEventKind::Shed);
+        }
+    }
+    return ok;
+}
+
+} // namespace nimblock

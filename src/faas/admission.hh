@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Admission control / load shedding for the streaming serving path.
+ *
+ * An open-loop source keeps offering work when boards saturate; without
+ * a shedding policy the live-app population (and every queue behind it)
+ * grows without bound and tail latency diverges. The controller decides
+ * per arrival, before any instance is created:
+ *
+ *   - None: admit everything (the baseline that demonstrates collapse);
+ *   - QueueDepth: reject when the cluster-wide live-app count is at the
+ *     cap — one global backpressure valve, also the bound that lets the
+ *     hypervisor's instance pool absorb all steady-state churn;
+ *   - TokenBucket: per-tenant token buckets (capacity = burst, refill =
+ *     sustained rate), isolating tenants so one bursting tenant sheds
+ *     its own overflow instead of starving the others.
+ *
+ * Decisions are O(1) with no allocation: per-tenant state lives in flat
+ * vectors sized at construction. Shed observability is nullable-wired
+ * like the hypervisor's hooks — a CounterRegistry gets a per-shed mark
+ * plus a running total, a Timeline gets slot-less Shed instants — so a
+ * disabled run costs one branch per site.
+ */
+
+#ifndef NIMBLOCK_FAAS_ADMISSION_HH
+#define NIMBLOCK_FAAS_ADMISSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/counters.hh"
+#include "metrics/timeline.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** Load-shedding policy applied at arrival time. */
+enum class AdmissionPolicy
+{
+    None,       ///< admit everything (open-loop collapse allowed)
+    QueueDepth, ///< cap on cluster-wide live applications
+    TokenBucket ///< per-tenant rate limiting with burst credit
+};
+
+/** Parse "none" / "queue" / "token"; fatal()s otherwise. */
+AdmissionPolicy admissionPolicyFromName(const std::string &name);
+
+/** Lower-case name for reports and JSON keys. */
+const char *admissionPolicyName(AdmissionPolicy p);
+
+/** Admission-control configuration. */
+struct AdmissionConfig
+{
+    AdmissionPolicy policy = AdmissionPolicy::None;
+
+    /** QueueDepth: admit while liveCount < cap. */
+    std::size_t queueDepthCap = 256;
+
+    /** TokenBucket: sustained admissions per second per tenant. */
+    double tokensPerSec = 1000.0;
+
+    /** TokenBucket: burst credit per tenant (bucket capacity). */
+    double bucketCapacity = 100.0;
+};
+
+/** Per-arrival admit/shed decisions with per-tenant accounting. */
+class AdmissionController
+{
+  public:
+    /** @p numTenants sizes the per-tenant state (TokenBucket only). */
+    AdmissionController(AdmissionConfig cfg, std::size_t numTenants);
+
+    /**
+     * Decide one arrival of @p tenant at @p now given the cluster-wide
+     * live-application count. Updates shed accounting (and the attached
+     * observability sinks) on rejection.
+     *
+     * @return True to admit, false to shed.
+     */
+    bool admit(std::size_t tenant, SimTime now, std::size_t liveCount);
+
+    /** Total arrivals shed. */
+    std::uint64_t shedCount() const { return _shedTotal; }
+
+    /** Arrivals shed for one tenant. */
+    std::uint64_t
+    shedCountOf(std::size_t tenant) const
+    {
+        return _shedPerTenant[tenant];
+    }
+
+    const AdmissionConfig &config() const { return _cfg; }
+
+    /**
+     * Attach a counter registry (nullable): defines "admission.shed"
+     * marks (one per shed instant) and the "admission.shed_total"
+     * running counter.
+     */
+    void setCounters(CounterRegistry *counters);
+
+    /** Attach a timeline (nullable) for slot-less Shed instants. */
+    void setTimeline(Timeline *timeline) { _timeline = timeline; }
+
+  private:
+    /** Refill @p tenant's bucket up to @p now (lazy, O(1)). */
+    void refill(std::size_t tenant, SimTime now);
+
+    AdmissionConfig _cfg;
+    std::uint64_t _shedTotal = 0;
+    std::vector<std::uint64_t> _shedPerTenant;
+
+    /** TokenBucket state: current tokens + last refill instant. */
+    std::vector<double> _tokens;
+    std::vector<SimTime> _lastRefill;
+
+    CounterRegistry *_counters = nullptr;
+    CounterId _markShed = kCounterNone;
+    CounterId _ctrShedTotal = kCounterNone;
+    Timeline *_timeline = nullptr;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_FAAS_ADMISSION_HH

@@ -13,6 +13,84 @@ FaasService::FaasService(FaasConfig cfg) : _cfg(std::move(cfg))
         fatal("FaaS deployment needs a positive duration");
 }
 
+RollingSlaWindows::RollingSlaWindows(SimTime windowLength,
+                                     std::size_t numWindows)
+    : _len(windowLength), _ring(numWindows)
+{
+    if (windowLength <= 0)
+        fatal("SLA window length must be positive");
+    if (numWindows == 0)
+        fatal("SLA window ring needs at least one window");
+}
+
+void
+RollingSlaWindows::closeCurrent()
+{
+    const Window &w = _ring[_cur];
+    if (w.total > 0) {
+        double att = static_cast<double>(w.met) /
+                     static_cast<double>(w.total);
+        if (!_anyCompletedNonEmpty || att < _worst)
+            _worst = att;
+        _anyCompletedNonEmpty = true;
+    }
+    ++_completed;
+}
+
+void
+RollingSlaWindows::advanceTo(SimTime now)
+{
+    std::int64_t epoch = now / _len;
+    if (epoch <= _curEpoch)
+        return;
+    // A gap longer than the ring leaves only empty windows behind; close
+    // at most one ring's worth individually and account the rest as
+    // completed-empty in bulk so the roll stays O(ring), not O(gap).
+    std::int64_t gap = epoch - _curEpoch;
+    std::int64_t steps =
+        std::min<std::int64_t>(gap, static_cast<std::int64_t>(_ring.size()));
+    for (std::int64_t i = 0; i < steps; ++i) {
+        closeCurrent();
+        _cur = (_cur + 1) % _ring.size();
+        _ring[_cur] = Window{};
+    }
+    _completed += static_cast<std::uint64_t>(gap - steps);
+    _curEpoch = epoch;
+}
+
+void
+RollingSlaWindows::record(SimTime now, bool slaMet)
+{
+    advanceTo(now);
+    Window &w = _ring[_cur];
+    ++w.total;
+    ++_totalRecorded;
+    if (slaMet) {
+        ++w.met;
+        ++_totalMet;
+    }
+}
+
+double
+RollingSlaWindows::attainment() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t met = 0;
+    for (const Window &w : _ring) {
+        total += w.total;
+        met += w.met;
+    }
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(met) / static_cast<double>(total);
+}
+
+double
+RollingSlaWindows::worstWindowAttainment() const
+{
+    return _anyCompletedNonEmpty ? _worst : 1.0;
+}
+
 void
 FaasService::deploy(FunctionLoad load)
 {

@@ -100,6 +100,74 @@ struct FaasConfig
 };
 
 /**
+ * Rolling SLA attainment over fixed simulated-time windows.
+ *
+ * The streaming path cannot keep per-invocation records, but "what
+ * fraction met the SLA over the whole run" hides transients: a diurnal
+ * peak that breaches for twenty minutes vanishes inside a 24h average.
+ * A fixed ring of per-window {total, met} pairs gives both the recent
+ * aggregate and the worst window seen, at O(windows) memory and zero
+ * allocation after construction.
+ */
+class RollingSlaWindows
+{
+  public:
+    /**
+     * @param windowLength Simulated length of one window.
+     * @param numWindows   Ring capacity (history retained for
+     *                     attainment()); fatal()s on zero either way.
+     */
+    RollingSlaWindows(SimTime windowLength, std::size_t numWindows);
+
+    /** Record one completed invocation at @p now. Never allocates. */
+    void record(SimTime now, bool slaMet);
+
+    /** Attainment over the retained windows (current included). */
+    double attainment() const;
+
+    /**
+     * Attainment of the worst *completed* non-empty window anywhere in
+     * the run (not only those still retained); 1 when none completed.
+     */
+    double worstWindowAttainment() const;
+
+    /** Invocations recorded over the whole run. */
+    std::uint64_t totalRecorded() const { return _totalRecorded; }
+
+    /** Of those, how many met the SLA. */
+    std::uint64_t totalMet() const { return _totalMet; }
+
+    /** Completed (rolled-over) windows, empty ones included. */
+    std::uint64_t windowsCompleted() const { return _completed; }
+
+    SimTime windowLength() const { return _len; }
+    std::size_t windowCount() const { return _ring.size(); }
+
+  private:
+    struct Window
+    {
+        std::uint64_t total = 0;
+        std::uint64_t met = 0;
+    };
+
+    /** Roll the ring forward so _curEpoch covers @p now. */
+    void advanceTo(SimTime now);
+
+    /** Finalize the current window into the worst-window tracking. */
+    void closeCurrent();
+
+    SimTime _len;
+    std::vector<Window> _ring;
+    std::size_t _cur = 0;
+    std::int64_t _curEpoch = 0;
+    std::uint64_t _completed = 0;
+    double _worst = 1.0;
+    bool _anyCompletedNonEmpty = false;
+    std::uint64_t _totalRecorded = 0;
+    std::uint64_t _totalMet = 0;
+};
+
+/**
  * An FPGA FaaS deployment: functions with offered loads, executed on one
  * virtualized board.
  */

@@ -49,6 +49,46 @@ AppInstance::AppInstance(AppInstanceId id, AppSpecPtr spec, int batch,
 }
 
 void
+AppInstance::reinit(AppSpecPtr spec, int batch, Priority priority,
+                    SimTime arrival, int event_index)
+{
+    _spec = std::move(spec);
+    _batch = batch;
+    _priority = priority;
+    _arrival = arrival;
+    _eventIndex = event_index;
+    if (!_spec)
+        fatal("app instance needs a spec");
+    if (_batch < 1)
+        fatal("app instance '%s' needs batch >= 1, got %d",
+              _spec->name().c_str(), _batch);
+    _tasks.assign(_spec->graph().numTasks(), TaskRunState{});
+    _tasksCompleted = 0;
+    _itemsDoneTotal = 0;
+    _token = 0.0;
+    _slotsAllocated = 0;
+    _everCandidate = false;
+    _candidateSince = kTimeNone;
+    _cachedGoal = 0;
+    _cachedGoalEpoch = 0;
+    _latencyEstimate = kTimeNone;
+    _bsName = kBitstreamNameNone;
+    _firstLaunch = kTimeNone;
+    _retireTime = kTimeNone;
+    _totalRunTime = 0;
+    _totalReconfigTime = 0;
+    _reconfigCount = 0;
+    _preemptionCount = 0;
+    _failed = false;
+    _itemRetries = 0;
+    _requeues = 0;
+    _migrating = false;
+    _migrateNotified = false;
+    _migrations = 0;
+    _migrationTime = 0;
+}
+
+void
 AppInstance::taskRangePanic(TaskId t) const
 {
     panic("task id %u out of range for app %s", t,

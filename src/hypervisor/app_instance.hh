@@ -128,6 +128,16 @@ class AppInstance
     AppInstance(AppInstanceId id, AppSpecPtr spec, int batch,
                 Priority priority, SimTime arrival, int event_index);
 
+    /**
+     * Rebind a recycled instance to a new arrival, keeping its id
+     * (hypervisor pooling; see HypervisorConfig::appPoolSize). Resets
+     * every runtime, scheduler and accounting field to the
+     * freshly-constructed state; the task-state vector is reused in
+     * place, so recycling within a warmed app set never allocates.
+     */
+    void reinit(AppSpecPtr spec, int batch, Priority priority,
+                SimTime arrival, int event_index);
+
     /** @name Identity */
     /// @{
     AppInstanceId id() const { return _id; }

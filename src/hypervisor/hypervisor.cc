@@ -114,17 +114,62 @@ Hypervisor::stop()
     _tick->stop();
 }
 
+void
+Hypervisor::reserveAppPool(std::size_t n)
+{
+    _cfg.appPoolSize = std::max(_cfg.appPoolSize, n);
+    _pool.reserve(_cfg.appPoolSize);
+    _live.reserve(n);
+    _apps.reserve(n);
+    _scheduler.reserveApps(n);
+    // Ids are recycled with pooled instances, so the id space is bounded
+    // by peak concurrency; +1 because id 0 is never issued.
+    _liveIndex.reserve(n + 1);
+    _appNameId.reserve(n + 1);
+}
+
+void
+Hypervisor::prewarmAppPool(AppSpecPtr spec, int batch)
+{
+    reserveAppPool(_cfg.appPoolSize);
+    while (_pool.size() < _cfg.appPoolSize) {
+        AppInstanceId id = _nextAppId++;
+        auto inst = std::make_unique<AppInstance>(id, spec, batch,
+                                                  Priority::Medium, 0, 0);
+        if (_liveIndex.size() <= id) {
+            _liveIndex.resize(id + 1, kNoLiveIndex);
+            _appNameId.resize(id + 1, kNameNone);
+        }
+        _pool.push_back(std::move(inst));
+    }
+}
+
 AppInstanceId
 Hypervisor::submit(AppSpecPtr spec, int batch, Priority priority,
                    int event_index)
 {
-    AppInstanceId id = _nextAppId++;
-    auto inst = std::make_unique<AppInstance>(id, std::move(spec), batch,
-                                              priority, _eq.now(),
-                                              event_index);
-    if (_liveIndex.size() <= id) {
-        _liveIndex.resize(id + 1, kNoLiveIndex);
-        _appNameId.resize(id + 1, kNameNone);
+    std::unique_ptr<AppInstance> inst;
+    AppInstanceId id;
+    if (!_pool.empty()) {
+        // Recycle a retired instance together with its id: storage and
+        // the id-indexed side tables are reused in place, so a warmed-up
+        // streaming run admits without allocating.
+        inst = std::move(_pool.back());
+        _pool.pop_back();
+        id = inst->id();
+        inst->reinit(std::move(spec), batch, priority, _eq.now(),
+                     event_index);
+        // The interned timeline name belongs to the id's previous owner.
+        _appNameId[id] = kNameNone;
+    } else {
+        id = _nextAppId++;
+        inst = std::make_unique<AppInstance>(id, std::move(spec), batch,
+                                             priority, _eq.now(),
+                                             event_index);
+        if (_liveIndex.size() <= id) {
+            _liveIndex.resize(id + 1, kNoLiveIndex);
+            _appNameId.resize(id + 1, kNameNone);
+        }
     }
     _liveIndex[id] = static_cast<std::uint32_t>(_live.size());
     // Intern the bitstream name now so the configure path never touches
@@ -897,24 +942,28 @@ Hypervisor::retire(AppInstance &app)
 {
     app.setRetireTime(_eq.now());
 
-    AppRecord rec;
-    rec.eventIndex = app.eventIndex();
-    rec.appName = app.spec().name();
-    rec.batch = app.batch();
-    rec.priority = app.priorityValue();
-    rec.arrival = app.arrival();
-    rec.firstLaunch = app.firstLaunch();
-    rec.retire = app.retireTime();
-    rec.runTime = app.totalRunTime();
-    rec.reconfigTime = app.totalReconfigTime();
-    rec.reconfigs = app.reconfigCount();
-    rec.preemptions = app.preemptionCount();
-    rec.failed = app.failed();
-    rec.itemRetries = app.itemRetries();
-    rec.requeues = app.requeues();
-    rec.migrations = app.migrations();
-    rec.migrationTime = app.migrationTime();
-    _collector.record(std::move(rec));
+    if (_cfg.collectRecords) {
+        AppRecord rec;
+        rec.eventIndex = app.eventIndex();
+        rec.appName = app.spec().name();
+        rec.batch = app.batch();
+        rec.priority = app.priorityValue();
+        rec.arrival = app.arrival();
+        rec.firstLaunch = app.firstLaunch();
+        rec.retire = app.retireTime();
+        rec.runTime = app.totalRunTime();
+        rec.reconfigTime = app.totalReconfigTime();
+        rec.reconfigs = app.reconfigCount();
+        rec.preemptions = app.preemptionCount();
+        rec.failed = app.failed();
+        rec.itemRetries = app.itemRetries();
+        rec.requeues = app.requeues();
+        rec.migrations = app.migrations();
+        rec.migrationTime = app.migrationTime();
+        _collector.record(std::move(rec));
+    }
+    if (_retireListener)
+        _retireListener(app);
 
     // An app can retire mid-quiesce (failed by the resilience policy, or
     // its last items completed before the preemption landed). Fire the
@@ -942,6 +991,8 @@ Hypervisor::retire(AppInstance &app)
         [&](const std::unique_ptr<AppInstance> &p) { return p.get() == &app; });
     if (owner == _apps.end())
         panic("retiring unowned app instance");
+    if (_pool.size() < _cfg.appPoolSize)
+        _pool.push_back(std::move(*owner));
     _apps.erase(owner);
 }
 

@@ -102,6 +102,27 @@ struct HypervisorConfig
      */
     bool recordCounters = false;
 
+    /**
+     * Retired-instance recycling for streaming (open-loop) workloads: up
+     * to this many retired AppInstances are kept on a free list and
+     * reused (with their ids) by later submits, so steady-state
+     * admission/retire churn allocates nothing and the id-indexed side
+     * tables stay bounded by peak concurrency instead of growing with
+     * total submissions. 0 (the default) disables pooling entirely —
+     * the submit/retire paths are then byte-identical to a build
+     * without it.
+     */
+    std::size_t appPoolSize = 0;
+
+    /**
+     * Build an AppRecord for every retirement (the closed-grid result
+     * path). Streaming runs turn this off — a simulated-days soak
+     * retires hundreds of millions of apps, and per-app records are
+     * O(run length) in memory — and observe retirements through
+     * Hypervisor::setRetireListener instead.
+     */
+    bool collectRecords = true;
+
     BufferManagerConfig buffers;
 };
 
@@ -278,6 +299,46 @@ class Hypervisor : public SchedulerOps
     /** Single-slot estimate of one app's unfinished items; the
         rebalancer's victim filter (don't ship nearly-done apps). */
     SimTime remainingWorkEstimate(AppInstance &app);
+    /// @}
+
+    /** @name Streaming (open-loop) support
+     *
+     * Nullable-listener wired like the migration hooks: with no listener
+     * and appPoolSize == 0 every site is one branch, so closed-grid runs
+     * stay byte-identical and allocation-free.
+     */
+    /// @{
+
+    /**
+     * Fires at every retirement, after accounting is final (retireTime
+     * set) and before the instance is recycled or destroyed. The
+     * streaming path records latency into bounded histograms here
+     * instead of materializing AppRecords.
+     */
+    using RetireListener = SmallFunction<void(const AppInstance &)>;
+    void
+    setRetireListener(RetireListener cb)
+    {
+        _retireListener = std::move(cb);
+    }
+
+    /**
+     * Raise the recycling pool limit to at least @p n and pre-reserve
+     * the id-indexed side tables for ~n concurrent instances, so a
+     * warmed-up streaming run reaches its zero-alloc steady state
+     * without mid-run vector growth.
+     */
+    void reserveAppPool(std::size_t n);
+
+    /**
+     * Fill the recycling pool to its limit with pre-constructed
+     * instances (reinit()ed on first use), so even the first admission
+     * wave never constructs on the hot path. @p spec and @p batch seed
+     * the pooled instances' task storage; pass the largest graph the
+     * run will admit so reinit() never has to grow it.
+     */
+    void prewarmAppPool(AppSpecPtr spec, int batch);
+
     /// @}
 
     /**
@@ -517,6 +578,10 @@ class Hypervisor : public SchedulerOps
 
     QuiescentListener _quiescent;
     CapacityListener _capacityListener;
+    RetireListener _retireListener;
+
+    /** Retired instances awaiting reuse (≤ appPoolSize; see config). */
+    std::vector<std::unique_ptr<AppInstance>> _pool;
 
     CounterRegistry *_counters = nullptr;
     CounterId _ctrLiveApps = kCounterNone;   //!< hyp.live_apps

@@ -32,6 +32,8 @@ toString(TimelineEventKind k)
         return "MigrateBegin";
       case TimelineEventKind::MigrateEnd:
         return "MigrateEnd";
+      case TimelineEventKind::Shed:
+        return "Shed";
     }
     return "?";
 }
@@ -124,6 +126,9 @@ Timeline::slotIntervals(SlotId slot) const
           case TimelineEventKind::MigrateEnd:
             // Migration spans are app-level (recorded with kSlotNone);
             // any slots involved were vacated via Preempt/Release above.
+            break;
+          case TimelineEventKind::Shed:
+            // Sheds never touch a slot; no occupancy effect.
             break;
         }
     }

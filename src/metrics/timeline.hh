@@ -37,6 +37,8 @@ enum class TimelineEventKind
     QuarantineEnd,   //!< Slot probed back into service.
     MigrateBegin,    //!< Checkpoint extracted; app left for another board.
     MigrateEnd,      //!< Checkpoint delivered and readmitted elsewhere.
+    Shed,            //!< Invocation rejected by admission control
+                     //!< (slot-less; marks saturation onset in traces).
 };
 
 /** Render a TimelineEventKind. */

@@ -152,7 +152,26 @@ TraceExporter::toJson(const Timeline &timeline,
     bool migrate_track_named = false;
     int migrate_open = 0;
 
+    // Admission sheds are slot-less instants: their own track makes the
+    // saturation onset visible as a burst of markers above the slot rows.
+    const auto shed_tid = static_cast<SlotId>(num_slots + 1);
+    bool shed_track_named = false;
+
     for (const TimelineEvent &e : events) {
+        if (e.kind == TimelineEventKind::Shed) {
+            if (!shed_track_named) {
+                emit(formatMessage(
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"tid\":%u,\"args\":{\"name\":\"admission\"}}",
+                    kFabricPid, shed_tid));
+                shed_track_named = true;
+            }
+            emit(formatMessage(
+                "{\"name\":\"shed\",\"cat\":\"admission\",\"ph\":\"i\","
+                "\"s\":\"t\",\"pid\":%d,\"tid\":%u,\"ts\":%s}",
+                kFabricPid, shed_tid, ts(e.time).c_str()));
+            continue;
+        }
         if (e.kind == TimelineEventKind::MigrateBegin ||
             e.kind == TimelineEventKind::MigrateEnd) {
             if (!migrate_track_named) {
@@ -256,7 +275,8 @@ TraceExporter::toJson(const Timeline &timeline,
             break;
           case TimelineEventKind::MigrateBegin:
           case TimelineEventKind::MigrateEnd:
-            // Handled on the migration track before the slot guard.
+          case TimelineEventKind::Shed:
+            // Handled on their own tracks before the slot guard.
             break;
         }
     }

@@ -15,6 +15,7 @@
 #ifndef NIMBLOCK_SCHED_FCFS_HH
 #define NIMBLOCK_SCHED_FCFS_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -30,6 +31,14 @@ class FcfsScheduler : public Scheduler
 
     void pass(SchedEvent reason) override;
     void onAppRetired(AppInstance &app) override;
+
+    /** One FIFO entry per ready task: n apps never outgrow 2n slots
+        (popFront() keeps a consumed prefix until it dominates). */
+    void
+    reserveApps(std::size_t n) override
+    {
+        _fifo.reserve(std::max<std::size_t>(2 * n, 64));
+    }
 
     /** No tokens, no clock: re-running a pass on unchanged state only
         re-derives the same FIFO (isQueued dedup) and placements. */

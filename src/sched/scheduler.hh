@@ -172,6 +172,14 @@ class Scheduler
     virtual bool bulkItemGating() const { return true; }
 
     /**
+     * Hint: up to @p n applications may be live concurrently. Schedulers
+     * with per-app working structures pre-reserve them here so a warmed
+     * streaming run never grows a container mid-pass (the zero-alloc
+     * steady state). Optional — correctness never depends on it.
+     */
+    virtual void reserveApps(std::size_t n) { (void)n; }
+
+    /**
      * Purity declaration for pass elision: a scheduler returns true iff
      * its pass() is an idempotent function of hypervisor/fabric state —
      * running it twice with no state change in between issues no action

@@ -1,0 +1,109 @@
+#include "stats/hdr_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nimblock {
+
+void
+HdrHistogram::clear()
+{
+    _count = 0;
+    _sum = 0;
+    _min = 0;
+    _max = 0;
+    _counts.fill(0);
+}
+
+void
+HdrHistogram::merge(const HdrHistogram &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0 || other._min < _min)
+        _min = other._min;
+    if (_count == 0 || other._max > _max)
+        _max = other._max;
+    _count += other._count;
+    _sum += other._sum;
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+        _counts[i] += other._counts[i];
+}
+
+double
+HdrHistogram::mean() const
+{
+    if (_count == 0)
+        return 0.0;
+    return static_cast<double>(_sum) / static_cast<double>(_count);
+}
+
+std::int64_t
+HdrHistogram::bucketLo(std::size_t i)
+{
+    std::size_t level = i / static_cast<std::size_t>(kSubBucketCount);
+    std::int64_t sub =
+        static_cast<std::int64_t>(i % static_cast<std::size_t>(kSubBucketCount));
+    if (level == 0)
+        return sub;
+    // Level l >= 1 covers the octave [2^(kSubBucketBits + l - 1),
+    // 2^(kSubBucketBits + l)), split into kSubBucketCount linear steps.
+    unsigned shift = static_cast<unsigned>(level) - 1;
+    return (kSubBucketCount + sub) << shift;
+}
+
+std::int64_t
+HdrHistogram::bucketHi(std::size_t i)
+{
+    std::size_t level = i / static_cast<std::size_t>(kSubBucketCount);
+    if (level == 0)
+        return bucketLo(i) + 1;
+    return bucketLo(i) + (std::int64_t{1} << (level - 1));
+}
+
+std::int64_t
+HdrHistogram::quantile(double q) const
+{
+    if (_count == 0)
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_count)));
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        seen += _counts[i];
+        if (seen >= rank) {
+            std::int64_t mid = bucketMid(i);
+            return std::min(_max, std::max(_min, mid));
+        }
+    }
+    return _max;
+}
+
+std::string
+HdrHistogram::toString() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.1f p50=%lld p99=%lld p999=%lld max=%lld",
+                  static_cast<unsigned long long>(_count), mean(),
+                  static_cast<long long>(quantile(0.50)),
+                  static_cast<long long>(quantile(0.99)),
+                  static_cast<long long>(quantile(0.999)),
+                  static_cast<long long>(max()));
+    return std::string(buf);
+}
+
+bool
+HdrHistogram::operator==(const HdrHistogram &other) const
+{
+    return _count == other._count && _sum == other._sum &&
+           min() == other.min() && max() == other.max() &&
+           _counts == other._counts;
+}
+
+} // namespace nimblock

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Bounded-memory log-bucketed latency histogram (HDR-style).
+ *
+ * Summary keeps every sample for exact order statistics, which is right
+ * for the paper's closed grids (hundreds of samples) and structurally
+ * wrong for the open-loop soak path: a simulated-days run retires tens of
+ * millions of invocations, so per-sample storage is O(horizon). The
+ * HdrHistogram replaces it on the streaming path with a fixed footprint
+ * that is O(1) in sample count:
+ *
+ *   - log-linear bucketing: values below 2^kSubBucketBits are counted
+ *     exactly; above that, each power-of-two octave is split into
+ *     2^kSubBucketBits linear sub-buckets, so bucket width is at most
+ *     value / 2^kSubBucketBits everywhere;
+ *   - quantiles report the bucket midpoint, so the worst-case relative
+ *     quantile error is 2^-(kSubBucketBits + 1) = 1/128 < 1%;
+ *   - the counter array is a std::array member — recording, merging and
+ *     querying never allocate, preserving the steady-state zero-alloc
+ *     invariant end to end;
+ *   - merge() is element-wise addition, so per-worker histograms from a
+ *     --jobs fan-out combine exactly.
+ *
+ * Values are int64 (simulated nanoseconds on the soak path); negative
+ * values clamp to 0 and values at or above kMaxValue saturate into the
+ * top bucket (with min()/max() still exact).
+ */
+
+#ifndef NIMBLOCK_STATS_HDR_HISTOGRAM_HH
+#define NIMBLOCK_STATS_HDR_HISTOGRAM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nimblock {
+
+/** Fixed-footprint log-bucketed histogram with mergeable counters. */
+class HdrHistogram
+{
+  public:
+    /** Linear sub-buckets per octave: 64 (6 bits). */
+    static constexpr unsigned kSubBucketBits = 6;
+    static constexpr std::int64_t kSubBucketCount = std::int64_t{1}
+                                                    << kSubBucketBits;
+
+    /**
+     * Largest distinguishable exponent: values in [2^kMaxExponent, ...)
+     * saturate. 2^40 ns is ~18 simulated minutes — far beyond any sane
+     * invocation latency; saturated samples still update max() exactly.
+     */
+    static constexpr unsigned kMaxExponent = 40;
+
+    /** First value that saturates. */
+    static constexpr std::int64_t kMaxValue = std::int64_t{1}
+                                              << kMaxExponent;
+
+    /** Total bucket count (fixed footprint: kBucketCount * 8 bytes). */
+    static constexpr std::size_t kBucketCount =
+        static_cast<std::size_t>(kMaxExponent - kSubBucketBits + 1) *
+        static_cast<std::size_t>(kSubBucketCount);
+
+    /** Worst-case relative error of quantile() (bucket midpoints). */
+    static constexpr double kMaxRelativeError =
+        1.0 / static_cast<double>(std::int64_t{2} << kSubBucketBits);
+
+    HdrHistogram() { clear(); }
+
+    /** Record one sample. Never allocates. */
+    void
+    record(std::int64_t v)
+    {
+        if (v < 0)
+            v = 0;
+        if (_count == 0 || v < _min)
+            _min = v;
+        if (_count == 0 || v > _max)
+            _max = v;
+        ++_count;
+        _sum += v;
+        ++_counts[bucketIndex(v)];
+    }
+
+    /**
+     * Record a non-negative double in fixed-point micro-units, so ratio
+     * distributions (e.g. normalized tail reductions) reuse the integer
+     * bucketing with negligible (1e-6 absolute) quantization on top of
+     * the relative bucket error.
+     */
+    void
+    recordDouble(double v)
+    {
+        record(static_cast<std::int64_t>(v * kDoubleScale));
+    }
+
+    /** Element-wise merge of another histogram's counts. */
+    void merge(const HdrHistogram &other);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return _count; }
+
+    /** True when no samples have been recorded. */
+    bool empty() const { return _count == 0; }
+
+    /** Smallest recorded value (exact); 0 when empty. */
+    std::int64_t min() const { return _count ? _min : 0; }
+
+    /** Largest recorded value (exact); 0 when empty. */
+    std::int64_t max() const { return _count ? _max : 0; }
+
+    /** Arithmetic mean (exact sum / count); 0 when empty. */
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]: the midpoint of the bucket
+     * containing the ceil(q * count)-th sample, clamped into
+     * [min(), max()] so extreme quantiles never over-range.
+     */
+    std::int64_t quantile(double q) const;
+
+    /** Percentile convenience: quantile(p / 100). */
+    std::int64_t percentile(double p) const { return quantile(p / 100.0); }
+
+    /** quantile() of a recordDouble() stream, back in double units. */
+    double
+    quantileDouble(double q) const
+    {
+        return static_cast<double>(quantile(q)) / kDoubleScale;
+    }
+
+    /** Reset to empty (counts zeroed; footprint unchanged). */
+    void clear();
+
+    /** Fixed memory footprint of this histogram in bytes. */
+    static constexpr std::size_t
+    footprintBytes()
+    {
+        return sizeof(HdrHistogram);
+    }
+
+    /** @name Bucket geometry (exposed for the unit tests) */
+    /// @{
+
+    /** Bucket index of @p v (after clamping). */
+    static std::size_t
+    bucketIndex(std::int64_t v)
+    {
+        if (v >= kMaxValue)
+            v = kMaxValue - 1;
+        if (v < kSubBucketCount)
+            return static_cast<std::size_t>(v);
+        unsigned e = 63u - static_cast<unsigned>(__builtin_clzll(
+                               static_cast<unsigned long long>(v)));
+        std::size_t level = e - kSubBucketBits + 1;
+        std::size_t sub = static_cast<std::size_t>(
+            (v >> (e - kSubBucketBits)) & (kSubBucketCount - 1));
+        return level * static_cast<std::size_t>(kSubBucketCount) + sub;
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::int64_t bucketLo(std::size_t i);
+
+    /** Exclusive upper bound of bucket @p i. */
+    static std::int64_t bucketHi(std::size_t i);
+
+    /** Midpoint reported by quantile() for bucket @p i. */
+    static std::int64_t
+    bucketMid(std::size_t i)
+    {
+        std::int64_t lo = bucketLo(i);
+        return lo + (bucketHi(i) - lo - 1) / 2;
+    }
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const { return _counts[i]; }
+
+    /// @}
+
+    /** Exact equality of contents (determinism tests). */
+    bool operator==(const HdrHistogram &other) const;
+
+    /** One-line rendering: count/mean/p50/p99/p999/max. */
+    std::string toString() const;
+
+  private:
+    static constexpr double kDoubleScale = 1e6;
+
+    std::uint64_t _count;
+    std::int64_t _sum;
+    std::int64_t _min;
+    std::int64_t _max;
+    std::array<std::uint64_t, kBucketCount> _counts;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_STATS_HDR_HISTOGRAM_HH

@@ -1,0 +1,314 @@
+#include "workload/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workload/trace_io.hh"
+
+namespace nimblock {
+
+ArrivalKind
+arrivalKindFromName(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalKind::Poisson;
+    if (name == "diurnal")
+        return ArrivalKind::Diurnal;
+    if (name == "pareto")
+        return ArrivalKind::ParetoBurst;
+    if (name == "trace")
+        return ArrivalKind::Trace;
+    fatal("unknown arrival process '%s' (expected poisson, diurnal, "
+          "pareto or trace)",
+          name.c_str());
+}
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+    case ArrivalKind::Poisson:
+        return "poisson";
+    case ArrivalKind::Diurnal:
+        return "diurnal";
+    case ArrivalKind::ParetoBurst:
+        return "pareto";
+    case ArrivalKind::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Seconds -> SimTime without drifting below 1 ns granularity. */
+SimTime
+secToTime(double sec)
+{
+    return static_cast<SimTime>(std::llround(sec * 1e9));
+}
+
+class PoissonArrivals final : public ArrivalProcess
+{
+  public:
+    PoissonArrivals(double rate, const Rng &rng)
+        : _meanGapSec(1.0 / rate), _rng0(rng), _rng(rng), _now(0.0)
+    {
+    }
+
+    SimTime
+    next() override
+    {
+        _now += _rng.exponential(_meanGapSec);
+        return secToTime(_now);
+    }
+
+    void
+    reset() override
+    {
+        _rng = _rng0;
+        _now = 0.0;
+    }
+
+    ArrivalKind kind() const override { return ArrivalKind::Poisson; }
+
+  private:
+    double _meanGapSec;
+    Rng _rng0;
+    Rng _rng;
+    double _now;
+};
+
+/**
+ * Lewis–Shedler thinning: draw candidates from a homogeneous process at
+ * the envelope rate rateMax = base * (1 + amplitude), accept each with
+ * probability rate(t) / rateMax. Exact for any bounded rate function;
+ * here rate(t) = base * (1 + amplitude * sin(2*pi*t / period)).
+ */
+class DiurnalArrivals final : public ArrivalProcess
+{
+  public:
+    DiurnalArrivals(double base, double amplitude, double periodSec,
+                    const Rng &rng)
+        : _base(base), _amplitude(amplitude), _periodSec(periodSec),
+          _envelopeGapSec(1.0 / (base * (1.0 + amplitude))), _rng0(rng),
+          _rng(rng), _now(0.0)
+    {
+    }
+
+    SimTime
+    next() override
+    {
+        for (;;) {
+            _now += _rng.exponential(_envelopeGapSec);
+            double rate =
+                _base * (1.0 + _amplitude *
+                                   std::sin(2.0 * M_PI * _now / _periodSec));
+            double envelope = _base * (1.0 + _amplitude);
+            if (_rng.uniformDouble(0.0, 1.0) * envelope <= rate)
+                return secToTime(_now);
+        }
+    }
+
+    void
+    reset() override
+    {
+        _rng = _rng0;
+        _now = 0.0;
+    }
+
+    ArrivalKind kind() const override { return ArrivalKind::Diurnal; }
+
+  private:
+    double _base;
+    double _amplitude;
+    double _periodSec;
+    double _envelopeGapSec;
+    Rng _rng0;
+    Rng _rng;
+    double _now;
+};
+
+/**
+ * ON/OFF source: Poisson arrivals while ON, silence while OFF, phase
+ * durations Pareto(alpha, xm) with xm chosen so the phase mean matches
+ * the spec. With alpha in (1, 2] the superposition is self-similar
+ * (Taqqu's result), producing burst trains no Poisson model matches.
+ * The ON-phase rate is scaled so the long-run mean equals ratePerSec.
+ */
+class ParetoBurstArrivals final : public ArrivalProcess
+{
+  public:
+    ParetoBurstArrivals(double rate, double alpha, double onMeanSec,
+                        double offMeanSec, const Rng &rng)
+        : _alpha(alpha),
+          _xmOn(onMeanSec * (alpha - 1.0) / alpha),
+          _xmOff(offMeanSec * (alpha - 1.0) / alpha),
+          _onGapSec(onMeanSec / ((onMeanSec + offMeanSec) * rate)),
+          _rng0(rng), _rng(rng)
+    {
+        reset();
+    }
+
+    SimTime
+    next() override
+    {
+        for (;;) {
+            double gap = _rng.exponential(_onGapSec);
+            if (_now + gap <= _onEnd) {
+                _now += gap;
+                return secToTime(_now);
+            }
+            // Phase exhausted: skip the OFF period and start a new ON
+            // phase; unplaced residual life is discarded (memoryless
+            // within ON thanks to the Poisson thinning inside a phase).
+            double off = pareto(_xmOff);
+            double on = pareto(_xmOn);
+            _now = _onEnd + off;
+            _onEnd = _now + on;
+        }
+    }
+
+    void
+    reset() override
+    {
+        _rng = _rng0;
+        _now = 0.0;
+        _onEnd = pareto(_xmOn);
+    }
+
+    ArrivalKind kind() const override { return ArrivalKind::ParetoBurst; }
+
+  private:
+    double
+    pareto(double xm)
+    {
+        // Inverse-CDF: xm / U^(1/alpha), U in (0, 1].
+        double u = 1.0 - _rng.uniformDouble(0.0, 1.0);
+        return xm / std::pow(u, 1.0 / _alpha);
+    }
+
+    double _alpha;
+    double _xmOn;
+    double _xmOff;
+    double _onGapSec;
+    Rng _rng0;
+    Rng _rng;
+    double _now = 0.0;
+    double _onEnd = 0.0;
+};
+
+/** Cycles the inter-arrival deltas of a recorded trace. */
+class TraceArrivals final : public ArrivalProcess
+{
+  public:
+    explicit TraceArrivals(const std::string &path)
+    {
+        EventSequence seq = readTraceFile(path);
+        if (seq.events.empty())
+            fatal("trace '%s' has no events", path.c_str());
+        SimTime prev = 0;
+        _deltas.reserve(seq.events.size());
+        for (const WorkloadEvent &ev : seq.events) {
+            _deltas.push_back(ev.arrival - prev);
+            prev = ev.arrival;
+        }
+        // Cycling needs a strictly positive wrap delta or time stalls.
+        if (_deltas.size() > 1 && _deltas.front() == 0)
+            _deltas.front() = 1;
+        if (_deltas.front() == 0)
+            _deltas.front() = simtime::ms(1);
+    }
+
+    SimTime
+    next() override
+    {
+        _now += _deltas[_idx];
+        _idx = (_idx + 1) % _deltas.size();
+        return _now;
+    }
+
+    void
+    reset() override
+    {
+        _idx = 0;
+        _now = 0;
+    }
+
+    ArrivalKind kind() const override { return ArrivalKind::Trace; }
+
+  private:
+    std::vector<SimTime> _deltas;
+    std::size_t _idx = 0;
+    SimTime _now = 0;
+};
+
+} // namespace
+
+std::unique_ptr<ArrivalProcess>
+makeArrivalProcess(const ArrivalSpec &spec, const Rng &rng)
+{
+    if (spec.kind != ArrivalKind::Trace && spec.ratePerSec <= 0.0)
+        fatal("arrival rate must be positive (got %g)", spec.ratePerSec);
+    switch (spec.kind) {
+    case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(spec.ratePerSec,
+                                                 rng.derive("poisson"));
+    case ArrivalKind::Diurnal:
+        if (spec.diurnalAmplitude < 0.0 || spec.diurnalAmplitude >= 1.0)
+            fatal("diurnal amplitude must be in [0, 1) (got %g)",
+                  spec.diurnalAmplitude);
+        if (spec.diurnalPeriodSec <= 0.0)
+            fatal("diurnal period must be positive (got %g)",
+                  spec.diurnalPeriodSec);
+        return std::make_unique<DiurnalArrivals>(
+            spec.ratePerSec, spec.diurnalAmplitude, spec.diurnalPeriodSec,
+            rng.derive("diurnal"));
+    case ArrivalKind::ParetoBurst:
+        if (spec.paretoAlpha <= 1.0)
+            fatal("pareto alpha must exceed 1 for a finite mean (got %g)",
+                  spec.paretoAlpha);
+        if (spec.burstOnMeanSec <= 0.0 || spec.burstOffMeanSec <= 0.0)
+            fatal("burst phase means must be positive (got on=%g off=%g)",
+                  spec.burstOnMeanSec, spec.burstOffMeanSec);
+        return std::make_unique<ParetoBurstArrivals>(
+            spec.ratePerSec, spec.paretoAlpha, spec.burstOnMeanSec,
+            spec.burstOffMeanSec, rng.derive("pareto"));
+    case ArrivalKind::Trace:
+        if (spec.tracePath.empty())
+            fatal("trace arrivals require a trace path");
+        return std::make_unique<TraceArrivals>(spec.tracePath);
+    }
+    fatal("unhandled arrival kind %d", static_cast<int>(spec.kind));
+}
+
+TenantPopulation::TenantPopulation(std::vector<TenantSpec> tenants,
+                                   const Rng &rng)
+    : _tenants(std::move(tenants)), _totalUsers(0),
+      _rng0(rng.derive("tenants")), _rng(_rng0)
+{
+    if (_tenants.empty())
+        fatal("tenant population must not be empty");
+    _cumWeight.reserve(_tenants.size());
+    double cum = 0.0;
+    for (const TenantSpec &t : _tenants) {
+        if (t.users == 0)
+            fatal("tenant '%s' has zero users", t.name.c_str());
+        _totalUsers += t.users;
+        cum += static_cast<double>(t.users);
+        _cumWeight.push_back(cum);
+    }
+}
+
+std::size_t
+TenantPopulation::pick()
+{
+    double x = _rng.uniformDouble(0.0, _cumWeight.back());
+    auto it = std::upper_bound(_cumWeight.begin(), _cumWeight.end(), x);
+    if (it == _cumWeight.end())
+        --it;
+    return static_cast<std::size_t>(it - _cumWeight.begin());
+}
+
+} // namespace nimblock

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the open-loop arrival processes and the tenant population:
+ * seed-determinism, reset() rewind, monotonicity, mean-rate sanity per
+ * load shape, trace replay cycling, spec validation, and the weighted
+ * tenant picker.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/app_spec.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "taskgraph/builder.hh"
+#include "workload/arrivals.hh"
+#include "workload/trace_io.hh"
+
+namespace nimblock {
+namespace {
+
+AppSpecPtr
+tinyApp(const std::string &name)
+{
+    GraphBuilder b;
+    TaskSpec t;
+    t.name = name + "_k";
+    t.itemLatency = simtime::ms(5);
+    b.addTask(std::move(t));
+    return std::make_shared<AppSpec>(name, name, b.build());
+}
+
+/** First @p n arrivals of a fresh process built from (spec, seed). */
+std::vector<SimTime>
+firstArrivals(const ArrivalSpec &spec, std::uint64_t seed, std::size_t n)
+{
+    auto proc = makeArrivalProcess(spec, Rng(seed));
+    std::vector<SimTime> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(proc->next());
+    return out;
+}
+
+ArrivalSpec
+specOf(ArrivalKind kind)
+{
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.ratePerSec = 1000.0;
+    spec.diurnalPeriodSec = 100.0;
+    return spec;
+}
+
+TEST(Arrivals, KindNamesRoundTrip)
+{
+    for (ArrivalKind k :
+         {ArrivalKind::Poisson, ArrivalKind::Diurnal,
+          ArrivalKind::ParetoBurst, ArrivalKind::Trace})
+        EXPECT_EQ(arrivalKindFromName(arrivalKindName(k)), k);
+    EXPECT_THROW(arrivalKindFromName("uniform"), FatalError);
+}
+
+TEST(Arrivals, SameSeedSameSequenceAcrossAllKinds)
+{
+    for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Diurnal,
+                          ArrivalKind::ParetoBurst}) {
+        ArrivalSpec spec = specOf(k);
+        auto a = firstArrivals(spec, 42, 5000);
+        auto b = firstArrivals(spec, 42, 5000);
+        EXPECT_EQ(a, b) << arrivalKindName(k);
+        // A different seed must not replay the same stream.
+        auto c = firstArrivals(spec, 43, 5000);
+        EXPECT_NE(a, c) << arrivalKindName(k);
+    }
+}
+
+TEST(Arrivals, ResetRewindsToTheIdenticalStream)
+{
+    for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Diurnal,
+                          ArrivalKind::ParetoBurst}) {
+        ArrivalSpec spec = specOf(k);
+        auto proc = makeArrivalProcess(spec, Rng(7));
+        std::vector<SimTime> first;
+        for (int i = 0; i < 1000; ++i)
+            first.push_back(proc->next());
+        proc->reset();
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_EQ(proc->next(), first[i])
+                << arrivalKindName(k) << " arrival " << i;
+    }
+}
+
+TEST(Arrivals, StreamsAreMonotoneNonDecreasing)
+{
+    for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Diurnal,
+                          ArrivalKind::ParetoBurst}) {
+        auto seq = firstArrivals(specOf(k), 2023, 20000);
+        for (std::size_t i = 1; i < seq.size(); ++i)
+            ASSERT_LE(seq[i - 1], seq[i]) << arrivalKindName(k);
+    }
+}
+
+TEST(Arrivals, PoissonHitsTheConfiguredMeanRate)
+{
+    ArrivalSpec spec = specOf(ArrivalKind::Poisson);
+    auto seq = firstArrivals(spec, 11, 50000);
+    // 50k arrivals at 1000/s should span ~50 simulated seconds.
+    double span = simtime::toSec(seq.back());
+    EXPECT_NEAR(span, 50.0, 2.5);
+}
+
+TEST(Arrivals, DiurnalModulatesAroundTheMean)
+{
+    ArrivalSpec spec = specOf(ArrivalKind::Diurnal);
+    spec.diurnalAmplitude = 0.9;
+    auto proc = makeArrivalProcess(spec, Rng(5));
+
+    // rate(t) = base * (1 + A sin(2 pi t / T)): the first quarter-period
+    // is peak traffic, the third quarter is trough traffic.
+    std::uint64_t peak = 0, trough = 0;
+    double T = spec.diurnalPeriodSec;
+    for (;;) {
+        double t = simtime::toSec(proc->next());
+        if (t >= 10 * T)
+            break;
+        double phase = std::fmod(t, T) / T;
+        if (phase < 0.5)
+            ++peak;
+        else
+            ++trough;
+    }
+    // With A = 0.9 the half-period ratio is (1 + 2A/pi)/(1 - 2A/pi) ~ 3.6;
+    // 2x is a wide margin for a seeded draw over ten periods.
+    EXPECT_GT(peak, 2 * trough);
+
+    // Long-run mean still matches the configured aggregate rate.
+    EXPECT_NEAR(static_cast<double>(peak + trough),
+                spec.ratePerSec * 10 * T, 0.1 * spec.ratePerSec * 10 * T);
+}
+
+TEST(Arrivals, ParetoBurstIsBurstyButKeepsTheLongRunMean)
+{
+    ArrivalSpec spec = specOf(ArrivalKind::ParetoBurst);
+    auto seq = firstArrivals(spec, 3, 100000);
+    double span = simtime::toSec(seq.back());
+    // Long-run mean within 25% (heavy-tailed convergence is slow).
+    EXPECT_NEAR(span, 100.0, 25.0);
+
+    // Burstiness: the largest silence dwarfs the mean gap — an OFF
+    // phase — which a Poisson stream of this length essentially never
+    // produces (P ~ n * exp(-gap/mean)).
+    SimTime max_gap = 0;
+    for (std::size_t i = 1; i < seq.size(); ++i)
+        max_gap = std::max(max_gap, seq[i] - seq[i - 1]);
+    double mean_gap = span / static_cast<double>(seq.size());
+    EXPECT_GT(simtime::toSec(max_gap), 50.0 * mean_gap);
+}
+
+TEST(Arrivals, TraceReplayCyclesDeltas)
+{
+    EventSequence seq;
+    seq.name = "cycle";
+    for (int i = 0; i < 3; ++i) {
+        WorkloadEvent ev;
+        ev.index = i;
+        ev.arrival = simtime::ms(10 * (i + 1));
+        ev.appName = "a";
+        ev.batch = 1;
+        seq.events.push_back(ev);
+    }
+    std::string path = testing::TempDir() + "nimblock_arrivals_trace.txt";
+    ASSERT_TRUE(writeTraceFile(seq, path));
+
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Trace;
+    spec.tracePath = path;
+    auto proc = makeArrivalProcess(spec, Rng(1));
+
+    // Deltas are 10/10/10 ms, so the cycled stream is 10ms-spaced
+    // forever; a second lap continues from the first lap's end.
+    for (int i = 1; i <= 9; ++i)
+        EXPECT_EQ(proc->next(), simtime::ms(10 * i));
+    proc->reset();
+    EXPECT_EQ(proc->next(), simtime::ms(10));
+}
+
+TEST(Arrivals, RejectsNonsenseSpecs)
+{
+    ArrivalSpec bad = specOf(ArrivalKind::Poisson);
+    bad.ratePerSec = 0.0;
+    EXPECT_THROW(makeArrivalProcess(bad, Rng(1)), FatalError);
+
+    bad = specOf(ArrivalKind::Diurnal);
+    bad.diurnalAmplitude = 1.0;
+    EXPECT_THROW(makeArrivalProcess(bad, Rng(1)), FatalError);
+    bad.diurnalAmplitude = 0.5;
+    bad.diurnalPeriodSec = 0.0;
+    EXPECT_THROW(makeArrivalProcess(bad, Rng(1)), FatalError);
+
+    bad = specOf(ArrivalKind::ParetoBurst);
+    bad.paretoAlpha = 1.0;
+    EXPECT_THROW(makeArrivalProcess(bad, Rng(1)), FatalError);
+    bad = specOf(ArrivalKind::ParetoBurst);
+    bad.burstOffMeanSec = 0.0;
+    EXPECT_THROW(makeArrivalProcess(bad, Rng(1)), FatalError);
+
+    bad = specOf(ArrivalKind::Trace);
+    bad.tracePath.clear();
+    EXPECT_THROW(makeArrivalProcess(bad, Rng(1)), FatalError);
+}
+
+TEST(TenantPopulation, PickFollowsUserWeights)
+{
+    std::vector<TenantSpec> tenants(3);
+    tenants[0].name = "big";
+    tenants[0].app = tinyApp("big");
+    tenants[0].users = 700000;
+    tenants[1].name = "mid";
+    tenants[1].app = tinyApp("mid");
+    tenants[1].users = 250000;
+    tenants[2].name = "small";
+    tenants[2].app = tinyApp("small");
+    tenants[2].users = 50000;
+
+    TenantPopulation pop(tenants, Rng(2023));
+    EXPECT_EQ(pop.size(), 3u);
+    EXPECT_EQ(pop.totalUsers(), 1000000u);
+
+    std::vector<std::uint64_t> hits(3, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        ++hits[pop.pick()];
+    EXPECT_NEAR(static_cast<double>(hits[0]) / kDraws, 0.70, 0.02);
+    EXPECT_NEAR(static_cast<double>(hits[1]) / kDraws, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(hits[2]) / kDraws, 0.05, 0.02);
+}
+
+TEST(TenantPopulation, ResetReplaysThePickStream)
+{
+    std::vector<TenantSpec> tenants(2);
+    tenants[0].name = "a";
+    tenants[0].app = tinyApp("a");
+    tenants[0].users = 3;
+    tenants[1].name = "b";
+    tenants[1].app = tinyApp("b");
+    tenants[1].users = 1;
+
+    TenantPopulation pop(tenants, Rng(9));
+    std::vector<std::size_t> first;
+    for (int i = 0; i < 500; ++i)
+        first.push_back(pop.pick());
+    pop.reset();
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(pop.pick(), first[i]) << "draw " << i;
+}
+
+TEST(TenantPopulation, RejectsEmptyAndZeroUserTenants)
+{
+    EXPECT_THROW(TenantPopulation({}, Rng(1)), FatalError);
+
+    std::vector<TenantSpec> tenants(1);
+    tenants[0].name = "ghost";
+    tenants[0].app = tinyApp("ghost");
+    tenants[0].users = 0;
+    EXPECT_THROW(TenantPopulation(tenants, Rng(1)), FatalError);
+}
+
+} // namespace
+} // namespace nimblock

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the bounded-memory HDR-style histogram: bucket geometry,
+ * the quantile error bound against exact order statistics (Summary),
+ * merge semantics and saturation/clamping edges.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/hdr_histogram.hh"
+#include "stats/summary.hh"
+
+namespace nimblock {
+namespace {
+
+TEST(HdrHistogram, SmallValuesAreCountedExactly)
+{
+    // Below one sub-bucket span every integer gets its own bucket.
+    for (std::int64_t v = 0; v < HdrHistogram::kSubBucketCount; ++v) {
+        std::size_t i = HdrHistogram::bucketIndex(v);
+        EXPECT_EQ(i, static_cast<std::size_t>(v));
+        EXPECT_EQ(HdrHistogram::bucketLo(i), v);
+        EXPECT_EQ(HdrHistogram::bucketHi(i), v + 1);
+        EXPECT_EQ(HdrHistogram::bucketMid(i), v);
+    }
+}
+
+TEST(HdrHistogram, BucketsAreContiguousAndSelfConsistent)
+{
+    for (std::size_t i = 0; i < HdrHistogram::kBucketCount; ++i) {
+        std::int64_t lo = HdrHistogram::bucketLo(i);
+        std::int64_t hi = HdrHistogram::bucketHi(i);
+        ASSERT_LT(lo, hi) << "bucket " << i;
+        if (i + 1 < HdrHistogram::kBucketCount)
+            EXPECT_EQ(HdrHistogram::bucketLo(i + 1), hi) << "bucket " << i;
+        // Both edges map back to the bucket they delimit.
+        EXPECT_EQ(HdrHistogram::bucketIndex(lo), i);
+        EXPECT_EQ(HdrHistogram::bucketIndex(hi - 1), i);
+        std::int64_t mid = HdrHistogram::bucketMid(i);
+        EXPECT_GE(mid, lo);
+        EXPECT_LT(mid, hi);
+        // Width bound behind the advertised relative error: above the
+        // linear range a bucket spans at most lo / kSubBucketCount.
+        if (lo >= HdrHistogram::kSubBucketCount) {
+            EXPECT_LE(static_cast<double>(hi - lo),
+                      static_cast<double>(lo) /
+                          static_cast<double>(HdrHistogram::kSubBucketCount))
+                << "bucket " << i;
+        }
+    }
+}
+
+TEST(HdrHistogram, CountSumMinMaxAreExact)
+{
+    HdrHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.quantile(0.5), 0);
+
+    std::vector<std::int64_t> values = {7, 123456789, 42, 1000000, 7};
+    std::int64_t sum = 0;
+    for (std::int64_t v : values) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), values.size());
+    EXPECT_EQ(h.min(), 7);
+    EXPECT_EQ(h.max(), 123456789);
+    EXPECT_DOUBLE_EQ(h.mean(),
+                     static_cast<double>(sum) /
+                         static_cast<double>(values.size()));
+}
+
+TEST(HdrHistogram, QuantilesWithinAdvertisedErrorOfExactSummary)
+{
+    // Latency-shaped stream spanning several octaves: exponential
+    // service tail on top of a base, in nanoseconds.
+    HdrHistogram h;
+    Summary exact;
+    Rng rng(2023);
+    for (int i = 0; i < 50000; ++i) {
+        double v = 2.0e6 + rng.exponential(20.0e6);
+        auto ns = static_cast<std::int64_t>(v);
+        h.record(ns);
+        exact.add(static_cast<double>(ns));
+    }
+    ASSERT_EQ(h.count(), exact.count());
+
+    for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+        double e = exact.percentile(p);
+        double got = static_cast<double>(h.percentile(p));
+        // 1% headroom over kMaxRelativeError absorbs the difference
+        // between bucket-midpoint and rank-interpolated order statistics.
+        EXPECT_NEAR(got, e, 0.01 * e) << "p" << p;
+    }
+    // Extreme quantiles report bucket midpoints clamped into
+    // [min, max], so they land within one bucket of the exact extremes.
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.0)), exact.min(),
+                0.01 * exact.min());
+    EXPECT_NEAR(static_cast<double>(h.quantile(1.0)), exact.max(),
+                0.01 * exact.max());
+}
+
+TEST(HdrHistogram, NormalizedRatioTailMatchesSummaryWithinOnePercent)
+{
+    // The bench_fig6 --hdr path: normalized response-time ratios
+    // recorded in fixed-point micro-units. The HDR p99 must stay within
+    // the advertised 1% of the exact per-sample percentile.
+    HdrHistogram h;
+    Summary exact;
+    Rng rng(31);
+    for (int i = 0; i < 20000; ++i) {
+        // Ratio-shaped: most mass near 1, a heavy right tail to ~100x.
+        double v = 0.2 + rng.exponential(1.0) * rng.exponential(1.0) * 5.0;
+        h.recordDouble(v);
+        exact.add(v);
+    }
+    for (double p : {50.0, 95.0, 99.0}) {
+        double e = exact.percentile(p);
+        double got = static_cast<double>(h.percentile(p)) / 1e6;
+        EXPECT_NEAR(got, e, 0.01 * e + 1e-6) << "p" << p;
+    }
+}
+
+TEST(HdrHistogram, MergeMatchesRecordingTheUnion)
+{
+    Rng rng(7);
+    HdrHistogram a, b, both;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.exponential(5.0e6));
+        a.record(v);
+        both.record(v);
+    }
+    for (int i = 0; i < 3000; ++i) {
+        auto v = static_cast<std::int64_t>(rng.exponential(80.0e6));
+        b.record(v);
+        both.record(v);
+    }
+
+    a.merge(b);
+    EXPECT_TRUE(a == both);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    for (double q : {0.5, 0.99, 0.999})
+        EXPECT_EQ(a.quantile(q), both.quantile(q));
+}
+
+TEST(HdrHistogram, NegativeClampsAndHugeValuesSaturate)
+{
+    HdrHistogram h;
+    h.record(-123);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+
+    std::int64_t huge = HdrHistogram::kMaxValue * 4;
+    h.record(huge);
+    h.record(HdrHistogram::kMaxValue);
+    // Saturated samples share the top bucket but max() stays exact; the
+    // top quantile reports that bucket (never over max, never below the
+    // saturation threshold's bucket).
+    EXPECT_EQ(HdrHistogram::bucketIndex(huge),
+              HdrHistogram::bucketIndex(HdrHistogram::kMaxValue - 1));
+    EXPECT_EQ(h.max(), huge);
+    EXPECT_LE(h.quantile(1.0), huge);
+    EXPECT_GE(h.quantile(1.0),
+              HdrHistogram::bucketLo(
+                  HdrHistogram::bucketIndex(HdrHistogram::kMaxValue - 1)));
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HdrHistogram, ClearResetsToEmpty)
+{
+    HdrHistogram h;
+    h.record(1000);
+    h.record(2000);
+    ASSERT_FALSE(h.empty());
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0);
+    HdrHistogram fresh;
+    EXPECT_TRUE(h == fresh);
+}
+
+TEST(HdrHistogram, DoubleRecordingRoundTrips)
+{
+    HdrHistogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.recordDouble(i * 0.01);
+    double p50 = h.quantileDouble(0.5);
+    // Fixed-point micro-units on top of the bucket error.
+    EXPECT_NEAR(p50, 5.0, 5.0 * 2 * HdrHistogram::kMaxRelativeError + 1e-6);
+}
+
+TEST(HdrHistogram, FootprintIsFixedAndSmall)
+{
+    // The whole point: O(1) in sample count, and small enough that a
+    // per-worker or per-tenant array of them is cheap.
+    EXPECT_EQ(HdrHistogram::footprintBytes(), sizeof(HdrHistogram));
+    EXPECT_LE(HdrHistogram::footprintBytes(), std::size_t{64} * 1024);
+
+    HdrHistogram h;
+    for (int i = 0; i < 100000; ++i)
+        h.record(i * 997);
+    EXPECT_EQ(h.count(), 100000u);
+    EXPECT_FALSE(h.toString().empty());
+}
+
+} // namespace
+} // namespace nimblock

@@ -243,6 +243,29 @@ TEST_F(InnerloopIdenticalTest, PurePassElisionIsResultInvariant)
     }
 }
 
+TEST_F(InnerloopIdenticalTest, AppInstancePoolingIsResultInvariant)
+{
+    // Instance recycling (hypervisor appPoolSize, the soak steady-state
+    // enabler) reuses AppInstance storage and ids; with it on, every
+    // record, timing and event count must match the pool-free run.
+    EventSequence seq = denseSequence();
+    for (const std::string &name : evaluationSchedulers()) {
+        RunResult off = runWith(name, seq, [](SystemConfig &cfg) {
+            cfg.hypervisor.appPoolSize = 0;
+        });
+        RunResult on = runWith(name, seq, [](SystemConfig &cfg) {
+            cfg.hypervisor.appPoolSize = 32;
+        });
+
+        EXPECT_EQ(recordsCsv(off), recordsCsv(on)) << name;
+        EXPECT_EQ(off.makespan, on.makespan) << name;
+        EXPECT_EQ(off.eventsFired, on.eventsFired) << name;
+        EXPECT_EQ(off.hypervisorStats.schedulingPasses,
+                  on.hypervisorStats.schedulingPasses)
+            << name;
+    }
+}
+
 TEST_F(InnerloopIdenticalTest, GridContextInterningIsResultInvariant)
 {
     // ExperimentGrid runs share one frozen GridContext (pre-computed

@@ -18,11 +18,13 @@
 #include "core/config.hh"
 #include "core/memhook.hh"
 #include "fabric/fabric.hh"
+#include "faas/soak.hh"
 #include "hypervisor/hypervisor.hh"
 #include "metrics/collector.hh"
 #include "sched/factory.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "taskgraph/builder.hh"
 #include "workload/generator.hh"
 #include "workload/scenario.hh"
 
@@ -239,6 +241,87 @@ TEST(MemhookZeroAlloc, ClusterSteadyStateAllocatesNothingWhenMigrationOff)
     EXPECT_EQ(r.allocs, 0u)
         << "cluster allocated " << r.allocs << " times (" << r.bytes
         << " bytes) in the steady-state window";
+}
+
+TEST(MemhookZeroAlloc, SoakSteadyWindowAllocatesNothing)
+{
+    setQuiet(true);
+
+    // The open-loop streaming path end to end: arrival pump, admission,
+    // weighted tenant pick, pooled submit via submitSpec, retire into
+    // HDR histogram + rolling SLA windows. Once the instance pools have
+    // absorbed the initial churn (warmup by retirements), an arbitrarily
+    // long steady window must count zero allocations.
+    GraphBuilder b;
+    TaskSpec t;
+    t.name = "soak_mh_k";
+    t.itemLatency = simtime::ms(10);
+    b.addTask(std::move(t));
+    std::vector<TenantSpec> tenants(1);
+    tenants[0].name = "stream";
+    tenants[0].app =
+        std::make_shared<AppSpec>("soak_mh", "soak_mh", b.build());
+    tenants[0].users = 1000;
+
+    SoakConfig cfg;
+    cfg.cluster.numBoards = 2;
+    cfg.cluster.board.scheduler = "fcfs";
+    cfg.cluster.board.hypervisor.allowReconfigSkip = true;
+    // Offer 1.2x the 2x10-slot service rate so the boards stay saturated
+    // and the queue-depth gate sheds inside the window too.
+    cfg.arrivals.ratePerSec = 1.2 * 2 * 10 / 0.010;
+    cfg.horizon = simtime::sec(30);
+    cfg.admission.policy = AdmissionPolicy::QueueDepth;
+    cfg.admission.queueDepthCap = 32;
+    cfg.appPoolSize = 64;
+
+    SoakEngine engine(cfg, tenants, Rng(2023));
+    engine.start();
+
+    // Same pre-step snapshot discipline as bench_soak: the window never
+    // includes the step that closes it.
+    constexpr std::uint64_t kWarmupRetired = 8 * 32;
+    constexpr std::uint64_t kTargetEvents = 20000;
+    bool window_open = false, window_done = false;
+    std::uint64_t window_start_fired = 0;
+    std::uint64_t pre_allocs = 0, pre_bytes = 0, pre_fired = 0;
+    WindowResult r;
+    for (;;) {
+        if (window_open) {
+            pre_allocs = memhook::allocCount();
+            pre_bytes = memhook::allocBytes();
+            pre_fired = engine.queue().firedCount();
+        }
+        if (!engine.step())
+            break;
+        if (!window_open && !window_done &&
+            engine.retired() >= kWarmupRetired && engine.pumping()) {
+            window_open = true;
+            window_start_fired = engine.queue().firedCount();
+            memhook::reset();
+            memhook::setEnabled(true);
+        } else if (window_open &&
+                   (pre_fired - window_start_fired >= kTargetEvents ||
+                    !engine.pumping())) {
+            memhook::setEnabled(false);
+            window_open = false;
+            window_done = true;
+            r.events = pre_fired - window_start_fired;
+            r.allocs = pre_allocs;
+            r.bytes = pre_bytes;
+        }
+    }
+    memhook::setEnabled(false);
+    ASSERT_TRUE(window_done) << "soak steady window never opened";
+
+    SoakStats s = engine.finish();
+    EXPECT_EQ(s.submitted, s.admitted + s.shed);
+    EXPECT_EQ(s.retired, s.admitted);
+    EXPECT_GT(s.shed, 0u) << "window should span admission shedding too";
+    EXPECT_GE(r.events, kTargetEvents);
+    EXPECT_EQ(r.allocs, 0u)
+        << "soak steady window allocated " << r.allocs << " times ("
+        << r.bytes << " bytes) over " << r.events << " events";
 }
 
 } // namespace

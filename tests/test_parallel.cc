@@ -15,8 +15,10 @@
 #include "cluster/cluster.hh"
 #include "core/experiment.hh"
 #include "core/parallel.hh"
+#include "faas/soak.hh"
 #include "sched/factory.hh"
 #include "sim/logging.hh"
+#include "taskgraph/builder.hh"
 #include "workload/generator.hh"
 #include "workload/scenario.hh"
 
@@ -300,6 +302,61 @@ TEST_F(ParallelGridTest, HeterogeneousClusterMatchesAcrossJobCounts)
         ASSERT_EQ(a.records.size(), b.records.size());
         for (std::size_t r = 0; r < a.records.size(); ++r)
             expectSameRecord(a.records[r], b.records[r]);
+    }
+}
+
+TEST_F(ParallelGridTest, SoakRunsAreIdenticalInsideWorkerThreads)
+{
+    // The streaming soak engine owns its event queue, arrival stream and
+    // RNG state per instance, so concurrent engines in pool workers must
+    // reproduce the serial run bit for bit (histogram included) — the
+    // property that lets a sweep fan soak cells out across threads.
+    auto make_tenants = [] {
+        GraphBuilder b;
+        TaskSpec t;
+        t.name = "par_soak_k";
+        t.itemLatency = simtime::ms(10);
+        b.addTask(std::move(t));
+        std::vector<TenantSpec> tenants(1);
+        tenants[0].name = "par";
+        tenants[0].app =
+            std::make_shared<AppSpec>("par_soak", "par_soak", b.build());
+        tenants[0].users = 100;
+        return tenants;
+    };
+    auto run_one = [&](std::uint64_t seed) {
+        SoakConfig cfg;
+        cfg.cluster.numBoards = 2;
+        cfg.cluster.board.scheduler = "fcfs";
+        cfg.cluster.board.hypervisor.allowReconfigSkip = true;
+        cfg.arrivals.ratePerSec = 300.0;
+        cfg.horizon = simtime::sec(5);
+        cfg.admission.policy = AdmissionPolicy::QueueDepth;
+        cfg.admission.queueDepthCap = 64;
+        cfg.appPoolSize = 64;
+        SoakEngine engine(cfg, make_tenants(), Rng(seed));
+        return engine.run();
+    };
+
+    std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+    std::vector<SoakStats> serial(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        serial[i] = run_one(seeds[i]);
+    std::vector<SoakStats> threaded(seeds.size());
+    parallelFor(4, seeds.size(),
+                [&](std::size_t i) { threaded[i] = run_one(seeds[i]); });
+
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const SoakStats &a = serial[i];
+        const SoakStats &b = threaded[i];
+        EXPECT_EQ(a.submitted, b.submitted) << "seed " << seeds[i];
+        EXPECT_EQ(a.admitted, b.admitted);
+        EXPECT_EQ(a.shed, b.shed);
+        EXPECT_EQ(a.retired, b.retired);
+        EXPECT_EQ(a.eventsFired, b.eventsFired);
+        EXPECT_EQ(a.peakLive, b.peakLive);
+        EXPECT_TRUE(a.latencyNs == b.latencyNs) << "seed " << seeds[i];
+        EXPECT_DOUBLE_EQ(a.slaAttainment, b.slaAttainment);
     }
 }
 

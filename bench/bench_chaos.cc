@@ -229,7 +229,7 @@ main(int argc, char **argv)
                 "retries", "quar");
 
     std::vector<ChaosPoint> points;
-    for (const std::string &name : evaluationSchedulers()) {
+    for (const std::string &name : extendedSchedulers()) {
         SystemConfig base;
         base.scheduler = name;
         RunResult healthy = Simulation(base, registry).run(seq);

@@ -9,6 +9,7 @@
  * RR/FCFS slightly below 1x).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common.hh"
@@ -25,7 +26,11 @@ main(int argc, char **argv)
     BenchEnv env(opts);
     printHeader("Figure 5: average relative response-time reduction", opts);
 
-    std::vector<std::string> algos = evaluationSchedulers();
+    std::vector<std::string> algos = schedulerSet(opts, extendedSchedulers());
+    // Reductions are normalized to no-sharing, so a --sched selection
+    // still needs the baseline column computed.
+    if (std::find(algos.begin(), algos.end(), "baseline") == algos.end())
+        algos.insert(algos.begin(), "baseline");
 
     Table table("Average response-time reduction vs baseline (higher is "
                 "better)");

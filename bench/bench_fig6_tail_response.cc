@@ -85,7 +85,11 @@ main(int argc, char **argv)
                     : "Figure 6: tail response-time reduction (p95/p99)",
                 opts);
 
-    std::vector<std::string> algos = evaluationSchedulers();
+    std::vector<std::string> algos = schedulerSet(opts, extendedSchedulers());
+    // Reductions are normalized to no-sharing, so a --sched selection
+    // still needs the baseline column computed.
+    if (std::find(algos.begin(), algos.end(), "baseline") == algos.end())
+        algos.insert(algos.begin(), "baseline");
 
     Table table("Tail reduction vs baseline (higher is better)");
     std::vector<std::string> header = {"Case"};
@@ -137,6 +141,7 @@ main(int argc, char **argv)
                 100.0 * worst_deviation);
     maybeWriteCsv(opts, csv);
     maybeWriteTraces(opts, env, algos);
+    maybeWritePolicyTrace(opts, env);
     printFooter(total_runs);
     return 0;
 }

@@ -69,7 +69,16 @@ parseOptions(int argc, char **argv)
             o.jsonPath = next();
         else if (arg == "--dispatch") {
             o.dispatch = next();
-            parseDispatchPolicy(o.dispatch.c_str()); // Validate now.
+            DispatchPolicy p;
+            if (!tryParseDispatchPolicy(o.dispatch.c_str(), p)) {
+                std::string valid;
+                for (const std::string &name : dispatchPolicyNames())
+                    valid += (valid.empty() ? "" : ", ") + name;
+                std::fprintf(stderr,
+                             "unknown dispatch policy '%s'; valid: %s\n",
+                             o.dispatch.c_str(), valid.c_str());
+                std::exit(2);
+            }
         } else if (arg == "--quick") {
             o.events = 8;
         } else {

@@ -529,7 +529,7 @@ main(int argc, char **argv)
     std::vector<CellResult> grid;
     for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Diurnal,
                              ArrivalKind::ParetoBurst}) {
-        for (const char *sched : {"nimblock", "fcfs"}) {
+        for (const char *sched : {"nimblock", "fcfs", "learned"}) {
             SoakConfig cfg = gridConfig(opts);
             cfg.arrivals.kind = kind;
             cfg.cluster.board.scheduler = sched;

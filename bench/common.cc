@@ -9,6 +9,7 @@
 #include "core/parallel.hh"
 #include "core/simulation.hh"
 #include "metrics/trace_export.hh"
+#include "sched/factory.hh"
 #include "sim/logging.hh"
 #include "workload/generator.hh"
 
@@ -18,6 +19,23 @@ namespace bench {
 namespace {
 /** Wall-clock anchor set by printHeader() and read by printFooter(). */
 std::chrono::steady_clock::time_point gBenchStart;
+
+/**
+ * Print "name1, name2, ..." to stderr and exit(2): the usage-error path
+ * for flags taking a name from a closed set. Benches are command-line
+ * tools — a typo'd name should produce the valid list and a usage exit
+ * code, not a fatal() backtrace.
+ */
+[[noreturn]] void
+usageErrorNames(const char *what, const std::string &got,
+                const std::vector<std::string> &valid)
+{
+    std::fprintf(stderr, "unknown %s '%s'; valid: ", what, got.c_str());
+    for (std::size_t i = 0; i < valid.size(); ++i)
+        std::fprintf(stderr, "%s%s", i ? ", " : "", valid[i].c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
 } // namespace
 
 BenchOptions
@@ -51,13 +69,22 @@ BenchOptions::parse(int argc, char **argv)
             opts.tracePath = next();
         } else if (arg == "--dispatch") {
             opts.dispatch = next();
-            parseDispatchPolicy(opts.dispatch.c_str()); // Validate now.
+            DispatchPolicy p;
+            if (!tryParseDispatchPolicy(opts.dispatch.c_str(), p))
+                usageErrorNames("dispatch policy", opts.dispatch,
+                                dispatchPolicyNames());
+        } else if (arg == "--sched") {
+            opts.sched = next();
+            if (!tryMakeScheduler(opts.sched))
+                usageErrorNames("scheduler", opts.sched, schedulerNames());
+        } else if (arg == "--policy-trace") {
+            opts.policyTracePath = next();
         } else if (arg == "--hdr") {
             opts.hdrTail = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("flags: --sequences N --events N --seed S --jobs N "
                         "--quick --csv PATH --trace PATH --dispatch P "
-                        "--hdr\n");
+                        "--sched S --policy-trace PATH --hdr\n");
             std::exit(0);
         } else {
             fatal("unknown flag '%s'", arg.c_str());
@@ -170,6 +197,28 @@ maybeWriteTraces(const BenchOptions &opts, const BenchEnv &env,
     }
 }
 
+void
+maybeWritePolicyTrace(const BenchOptions &opts, const BenchEnv &env)
+{
+    if (opts.policyTracePath.empty())
+        return;
+    SystemConfig cfg = env.config;
+    cfg.scheduler = "learned";
+    cfg.policyTracePath = opts.policyTracePath;
+    EventSequence seq = env.sequences(Scenario::Stress).front();
+    Simulation(cfg, env.registry).run(seq);
+    std::printf("policy trace written to %s\n",
+                opts.policyTracePath.c_str());
+}
+
+std::vector<std::string>
+schedulerSet(const BenchOptions &opts, std::vector<std::string> defaults)
+{
+    if (!opts.sched.empty())
+        return {opts.sched};
+    return defaults;
+}
+
 std::string
 displayName(const std::string &scheduler)
 {
@@ -183,6 +232,8 @@ displayName(const std::string &scheduler)
         return "RR";
     if (scheduler == "nimblock")
         return "Nimblock";
+    if (scheduler == "learned")
+        return "Learned";
     if (scheduler == "nimblock_nopreempt")
         return "NimblockNoPreempt";
     if (scheduler == "nimblock_nopipe")

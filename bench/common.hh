@@ -16,6 +16,12 @@
  *                   sequence (PATH gets the scheduler name appended)
  *   --dispatch P    pin the cluster dispatch policy in scale-out benches
  *                   (round_robin | least_apps | least_loaded)
+ *   --sched S       restrict the bench to one scheduler column (any
+ *                   sched/factory.hh name); unknown names print the
+ *                   valid list and exit with a usage error
+ *   --policy-trace PATH  capture one stress sequence under the learned
+ *                   scheduler with the (observation, action, reward)
+ *                   trace bridge enabled, written to PATH
  */
 
 #ifndef NIMBLOCK_BENCH_COMMON_HH
@@ -46,9 +52,18 @@ struct BenchOptions
 
     /**
      * Cluster dispatch policy name for scale-out benches; empty means
-     * each bench's default sweep. Validated by parseDispatchPolicy().
+     * each bench's default sweep. Unknown names exit with usage error.
      */
     std::string dispatch;
+
+    /**
+     * Restrict the bench to one scheduler column; empty means the
+     * bench's default set. Unknown names exit with usage error.
+     */
+    std::string sched;
+
+    /** Policy trace capture path (see maybeWritePolicyTrace). */
+    std::string policyTracePath;
 
     /**
      * Tail percentiles from the bounded HdrHistogram instead of exact
@@ -113,6 +128,23 @@ void maybeWriteCsv(const BenchOptions &opts, const CsvWriter &csv);
  */
 void maybeWriteTraces(const BenchOptions &opts, const BenchEnv &env,
                       const std::vector<std::string> &algos);
+
+/**
+ * When --policy-trace PATH was given, run one stress sequence under the
+ * "learned" scheduler with the decision trace bridge enabled, capturing
+ * a binary (observation, action, reward) file at PATH (see
+ * policy/trace.hh; scripts/read_policy_trace.py reads it back). A
+ * single dedicated run — never the (parallel) grid — so the capture is
+ * deterministic and the file is written exactly once.
+ */
+void maybeWritePolicyTrace(const BenchOptions &opts, const BenchEnv &env);
+
+/**
+ * The bench's scheduler columns: @p defaults, or the single --sched
+ * selection when given.
+ */
+std::vector<std::string> schedulerSet(const BenchOptions &opts,
+                                      std::vector<std::string> defaults);
 
 /** Short display names used in the paper's figures. */
 std::string displayName(const std::string &scheduler);

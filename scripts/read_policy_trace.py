@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate and summarize a binary policy decision trace.
+
+The trace is written by LearnedScheduler when --policy-trace PATH (or
+LearnedConfig::tracePath) is set: a 40-byte header followed by fixed-size
+(observation, action, reward) records — see docs/policy.md for the full
+layout. This reader is the off-line half of the bridge: it parses the
+file with only the standard library, checks structural invariants
+(magic, version, size fields, monotone timestamps, in-range action
+kinds), and prints a summary suitable for CI logs.
+
+Exit status is non-zero on any malformed header or record, so CI can use
+it as a round-trip check: run a traced bench, then this script.
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"NBPOLTR1"
+VERSION = 1
+# magic[8], version, obsBytes, actionBytes, recordBytes, maxSlots,
+# maxApps, pad[2].
+HEADER = struct.Struct("<8sIIIIII8x")
+assert HEADER.size == 40
+
+# SchedObservation header: now, stateVersion (i64/u64), then the u32
+# counters, then the u8 flags + padding. Slot and app rows follow.
+OBS_HEADER = struct.Struct("<qQIIIIIIBBBBxxxx")  # 48 bytes
+assert OBS_HEADER.size == 48
+SLOT_OBS = struct.Struct("<QIIBBBBBxxx")  # 24 bytes
+assert SLOT_OBS.size == 24
+APP_OBS = struct.Struct("<QqqqqqqqdiiiiiBBxx")  # 96 bytes
+assert APP_OBS.size == 96
+ACTION = struct.Struct("<QIIII")  # 24 bytes
+assert ACTION.size == 24
+REWARD = struct.Struct("<d")
+
+ACTION_NAMES = ["no_op", "configure", "preempt", "prefetch"]
+
+
+def fail(msg):
+    print(f"read_policy_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_trace(path, verbose=False):
+    with open(path, "rb") as f:
+        raw = f.read(HEADER.size)
+        if len(raw) != HEADER.size:
+            fail(f"truncated header: {len(raw)} bytes")
+        (magic, version, obs_bytes, action_bytes, record_bytes,
+         max_slots, max_apps) = HEADER.unpack(raw)
+        if magic != MAGIC:
+            fail(f"bad magic {magic!r} (want {MAGIC!r})")
+        if version != VERSION:
+            fail(f"unsupported version {version}")
+        expect_obs = OBS_HEADER.size + max_slots * SLOT_OBS.size + max_apps * APP_OBS.size
+        if obs_bytes != expect_obs:
+            fail(f"obsBytes {obs_bytes} != computed {expect_obs}")
+        if action_bytes != ACTION.size:
+            fail(f"actionBytes {action_bytes} != {ACTION.size}")
+        if record_bytes != obs_bytes + action_bytes + REWARD.size:
+            fail(f"recordBytes {record_bytes} inconsistent")
+
+        n = 0
+        last_now = -1
+        kinds = [0, 0, 0, 0]
+        total_reward = 0.0
+        while True:
+            rec = f.read(record_bytes)
+            if not rec:
+                break
+            if len(rec) != record_bytes:
+                fail(f"truncated record {n}: {len(rec)} bytes")
+            (now, state_version, num_slots, free_slots, _quar, _conf,
+             num_apps, live_apps, _cap, _store, slots_trunc, apps_trunc) = (
+                OBS_HEADER.unpack_from(rec, 0)
+            )
+            if now < last_now:
+                fail(f"record {n}: time went backwards ({now} < {last_now})")
+            last_now = now
+            if num_slots == 0 or (num_slots > max_slots and not slots_trunc):
+                fail(f"record {n}: implausible numSlots {num_slots}")
+            if num_apps > max_apps:
+                fail(f"record {n}: numApps {num_apps} > maxApps {max_apps}")
+            app, kind, task, slot, pad = ACTION.unpack_from(rec, obs_bytes)
+            if kind >= len(ACTION_NAMES):
+                fail(f"record {n}: bad action kind {kind}")
+            if pad != 0:
+                fail(f"record {n}: nonzero action padding {pad}")
+            (reward,) = REWARD.unpack_from(rec, obs_bytes + action_bytes)
+            kinds[kind] += 1
+            total_reward += reward
+            if verbose and n < 10:
+                print(f"  [{n}] t={now} sv={state_version} apps={num_apps} "
+                      f"free={free_slots}/{num_slots} "
+                      f"action={ACTION_NAMES[kind]} reward={reward:+.3f}")
+            n += 1
+
+    if n == 0:
+        fail("trace contains no records")
+    mix = ", ".join(f"{name}={c}" for name, c in zip(ACTION_NAMES, kinds))
+    print(f"{path}: {n} records, slots<= {max_slots}, apps<= {max_apps}")
+    print(f"  actions: {mix}")
+    print(f"  mean reward: {total_reward / n:+.4f}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="policy trace file (NBPOLTR1)")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="print the first few records")
+    args = ap.parse_args()
+    return read_trace(args.trace, args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

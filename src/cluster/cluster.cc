@@ -23,15 +23,32 @@ toString(DispatchPolicy p)
     return "?";
 }
 
-DispatchPolicy
-parseDispatchPolicy(const char *name)
+bool
+tryParseDispatchPolicy(const char *name, DispatchPolicy &out)
 {
     for (DispatchPolicy p : {DispatchPolicy::RoundRobin,
                              DispatchPolicy::LeastApps,
                              DispatchPolicy::LeastLoaded}) {
-        if (std::strcmp(name, toString(p)) == 0)
-            return p;
+        if (std::strcmp(name, toString(p)) == 0) {
+            out = p;
+            return true;
+        }
     }
+    return false;
+}
+
+std::vector<std::string>
+dispatchPolicyNames()
+{
+    return {"round_robin", "least_apps", "least_loaded"};
+}
+
+DispatchPolicy
+parseDispatchPolicy(const char *name)
+{
+    DispatchPolicy p;
+    if (tryParseDispatchPolicy(name, p))
+        return p;
     fatal("unknown dispatch policy '%s' (expected round_robin, "
           "least_apps, or least_loaded)",
           name);

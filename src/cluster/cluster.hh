@@ -43,6 +43,15 @@ const char *toString(DispatchPolicy p);
 /** Parse the rendering back; fatal() on unknown names. */
 DispatchPolicy parseDispatchPolicy(const char *name);
 
+/**
+ * Non-fatal parse for user-supplied names (CLI flags): true and @p out
+ * set on success, false on unknown names.
+ */
+bool tryParseDispatchPolicy(const char *name, DispatchPolicy &out);
+
+/** All valid dispatch policy names. */
+std::vector<std::string> dispatchPolicyNames();
+
 /** Cluster-wide configuration. */
 struct ClusterConfig
 {

@@ -1150,8 +1150,10 @@ Hypervisor::requestPass(SchedEvent reason)
     // Every non-tick trigger reports a real state change (arrival,
     // completion, reconfiguration, capacity...); ticks carry no new
     // information of their own.
-    if (reason != SchedEvent::Tick)
+    if (reason != SchedEvent::Tick) {
         _stateDirty = true;
+        ++_stateVersion;
+    }
     if (_passPending) {
         // Coalescing: token-accumulating reasons (arrivals, completions,
         // ticks — §4.1) must not be masked by a later non-accumulating
@@ -1200,8 +1202,10 @@ Hypervisor::runPass(SchedEvent reason)
     _inPass = false;
 
     rescueStallIfNeeded();
-    if (_actionCounter != actions_before)
+    if (_actionCounter != actions_before) {
         _stateDirty = true;
+        ++_stateVersion;
+    }
 }
 
 void

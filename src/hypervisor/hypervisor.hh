@@ -362,6 +362,7 @@ class Hypervisor : public SchedulerOps
     SimTime estimatedSingleSlotLatency(AppInstance &app) override;
     SimTime reconfigLatencyEstimate() const override;
     const GridContext *gridContext() const override { return _gridCtx; }
+    std::uint64_t stateVersion() const override { return _stateVersion; }
     /// @}
 
   private:
@@ -545,6 +546,12 @@ class Hypervisor : public SchedulerOps
     bool _stateDirty = true;
     /** Bumped on every configure/preempt attempt (dirty tracking). */
     std::uint64_t _actionCounter = 0;
+    /**
+     * Monotonic mutation counter behind SchedulerOps::stateVersion():
+     * advanced wherever _stateDirty is raised, so equal versions imply
+     * an unchanged scheduler-visible state.
+     */
+    std::uint64_t _stateVersion = 1;
 
     /**
      * Cache of single-slot latency estimates keyed by (spec, batch).

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The scheduler action space paired with SchedObservation.
+ *
+ * One SchedAction is one decision a policy may take against the
+ * hypervisor in a pass:
+ *
+ *   - NoOp       — leave the board alone;
+ *   - Configure  — start configuring (app, task) into a free slot;
+ *   - Preempt    — ask a slot's occupant to vacate at its next item
+ *                  boundary (§3.4 batch preemption);
+ *   - Prefetch   — configure an (app, task) whose data is not yet ready,
+ *                  hiding reconfiguration latency behind upstream
+ *                  computation.
+ *
+ * POD with zeroed padding, for the same reason as SchedObservation: the
+ * trace file stores actions verbatim.
+ */
+
+#ifndef NIMBLOCK_POLICY_ACTION_HH
+#define NIMBLOCK_POLICY_ACTION_HH
+
+#include <cstdint>
+#include <type_traits>
+
+#include "fabric/slot.hh"
+
+namespace nimblock {
+
+/** What a SchedAction does. */
+enum class SchedActionKind : std::uint32_t
+{
+    NoOp = 0,
+    Configure = 1,
+    Preempt = 2,
+    Prefetch = 3,
+};
+
+/** Render a SchedActionKind. */
+inline const char *
+toString(SchedActionKind k)
+{
+    switch (k) {
+      case SchedActionKind::NoOp:
+        return "NoOp";
+      case SchedActionKind::Configure:
+        return "Configure";
+      case SchedActionKind::Preempt:
+        return "Preempt";
+      case SchedActionKind::Prefetch:
+        return "Prefetch";
+    }
+    return "?";
+}
+
+/** One policy decision. */
+struct SchedAction
+{
+    /** Target application (Configure/Prefetch; kAppNone otherwise). */
+    AppInstanceId app;
+
+    /** Action kind (SchedActionKind). */
+    std::uint32_t kind;
+
+    /** Target task (Configure/Prefetch; kTaskNone otherwise). */
+    std::uint32_t task;
+
+    /** Target slot (Configure/Prefetch/Preempt; kSlotNone for NoOp). */
+    std::uint32_t slot;
+
+    std::uint32_t pad;
+
+    /** A zeroed-padding NoOp. */
+    static SchedAction
+    noOp()
+    {
+        SchedAction a{};
+        a.app = kAppNone;
+        a.kind = static_cast<std::uint32_t>(SchedActionKind::NoOp);
+        a.task = kTaskNone;
+        a.slot = kSlotNone;
+        return a;
+    }
+};
+
+static_assert(sizeof(SchedAction) == 24, "SchedAction layout is part of "
+                                         "the trace file format");
+static_assert(std::is_trivially_copyable_v<SchedAction>);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_POLICY_ACTION_HH

@@ -1,0 +1,99 @@
+#include "policy/observation.hh"
+
+#include <cstring>
+
+namespace nimblock {
+
+void
+ObservationBuilder::fillAppObs(AppObs &out, SchedulerOps &ops,
+                               AppInstance &app)
+{
+    // Zero first so the padding bytes are deterministic: "same state"
+    // must mean "byte-identical row" for the trace format and the
+    // determinism tests.
+    std::memset(&out, 0, sizeof(out));
+
+    out.id = app.id();
+    out.totalItems = static_cast<std::int64_t>(app.graph().numTasks()) *
+                     app.batch();
+    out.itemsRemaining = out.totalItems - app.itemsDoneTotal();
+    out.estLatency = ops.estimatedSingleSlotLatency(app);
+    out.waitingTime = ops.now() - app.arrival();
+    out.deadlineSlack =
+        app.arrival() +
+        static_cast<SimTime>(kObsDeadlineScale *
+                             static_cast<double>(out.estLatency)) -
+        ops.now();
+    out.candidateSince = app.candidateSince();
+    out.overConsumption = app.overConsumption();
+    out.token = app.token();
+    out.priority = app.priorityValue();
+    // Queue depth: idle tasks with items remaining — work that wants a
+    // slot regardless of execution discipline (the prefetchable set).
+    const TaskGraph &graph = app.graph();
+    std::int32_t depth = 0;
+    for (TaskId t = 0; t < graph.numTasks(); ++t) {
+        const TaskRunState &ts = app.taskState(t);
+        if (ts.phase == TaskPhase::Idle && ts.itemsDone < app.batch())
+            ++depth;
+    }
+    out.queueDepth = depth;
+    out.slotsUsed = static_cast<std::int32_t>(app.slotsUsed());
+    out.slotsAllocated = static_cast<std::int32_t>(app.slotsAllocated());
+    out.tasksIncomplete = static_cast<std::int32_t>(graph.numTasks()) -
+                          app.tasksCompleted();
+    out.everCandidate = app.everCandidate() ? 1 : 0;
+    out.launched = app.firstLaunch() != kTimeNone ? 1 : 0;
+}
+
+const SchedObservation &
+ObservationBuilder::build(SchedulerOps &ops,
+                          const std::vector<AppInstance *> &apps)
+{
+    std::memset(&_obs, 0, sizeof(_obs));
+
+    Fabric &fabric = ops.fabric();
+    _obs.now = ops.now();
+    _obs.stateVersion = ops.stateVersion();
+    _obs.numSlots = static_cast<std::uint32_t>(fabric.numSlots());
+    _obs.freeSlots = static_cast<std::uint32_t>(fabric.freeSlotCount());
+    _obs.quarantinedSlots =
+        static_cast<std::uint32_t>(fabric.quarantinedSlotCount());
+    _obs.configuringSlots =
+        static_cast<std::uint32_t>(fabric.configuringCount());
+    _obs.capBusy = fabric.cap().busy() ? 1 : 0;
+    _obs.storeBusy = fabric.store().busy() ? 1 : 0;
+
+    std::size_t slot_rows = fabric.numSlots();
+    if (slot_rows > kMaxSlotObs) {
+        slot_rows = kMaxSlotObs;
+        _obs.slotsTruncated = 1;
+    }
+    const std::vector<Slot> &slots = fabric.slots();
+    for (std::size_t i = 0; i < slot_rows; ++i) {
+        const Slot &s = slots[i];
+        SlotObs &row = _obs.slots[i];
+        row.app = s.app();
+        row.task = s.task();
+        row.id = s.id();
+        row.state = static_cast<std::uint8_t>(s.state());
+        row.executing = s.executing() ? 1 : 0;
+        row.waitingForNextItem = s.waitingForNextItem() ? 1 : 0;
+        row.quarantined = s.quarantined() ? 1 : 0;
+        row.preemptRequested = s.preemptRequested() ? 1 : 0;
+    }
+
+    _obs.liveApps = static_cast<std::uint32_t>(apps.size());
+    std::size_t app_rows = apps.size();
+    if (app_rows > kMaxAppObs) {
+        app_rows = kMaxAppObs;
+        _obs.appsTruncated = 1;
+    }
+    _obs.numApps = static_cast<std::uint32_t>(app_rows);
+    for (std::size_t i = 0; i < app_rows; ++i)
+        fillAppObs(_obs.apps[i], ops, *apps[i]);
+
+    return _obs;
+}
+
+} // namespace nimblock

@@ -1,0 +1,102 @@
+#include "policy/trace.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+bool
+PolicyTraceWriter::open(const std::string &path)
+{
+    close();
+    _file = std::fopen(path.c_str(), "wb");
+    if (!_file) {
+        warn("policy trace: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+
+    PolicyTraceHeader hdr{};
+    std::memcpy(hdr.magic, kPolicyTraceMagic, sizeof(hdr.magic));
+    hdr.version = 1;
+    hdr.obsBytes = static_cast<std::uint32_t>(sizeof(SchedObservation));
+    hdr.actionBytes = static_cast<std::uint32_t>(sizeof(SchedAction));
+    hdr.recordBytes = static_cast<std::uint32_t>(sizeof(PolicyTraceRecord));
+    hdr.maxSlots = static_cast<std::uint32_t>(kMaxSlotObs);
+    hdr.maxApps = static_cast<std::uint32_t>(kMaxAppObs);
+    if (std::fwrite(&hdr, sizeof(hdr), 1, _file) != 1) {
+        warn("policy trace: header write to '%s' failed", path.c_str());
+        std::fclose(_file);
+        _file = nullptr;
+        return false;
+    }
+    _written = 0;
+    return true;
+}
+
+void
+PolicyTraceWriter::write(const PolicyTraceRecord &rec)
+{
+    if (!_file)
+        return;
+    if (std::fwrite(&rec, sizeof(rec), 1, _file) != 1) {
+        warn("policy trace: record write failed, closing trace");
+        std::fclose(_file);
+        _file = nullptr;
+        return;
+    }
+    ++_written;
+}
+
+void
+PolicyTraceWriter::close()
+{
+    if (!_file)
+        return;
+    std::fclose(_file);
+    _file = nullptr;
+}
+
+bool
+PolicyTraceReader::open(const std::string &path)
+{
+    close();
+    _file = std::fopen(path.c_str(), "rb");
+    if (!_file) {
+        warn("policy trace: cannot open '%s' for reading", path.c_str());
+        return false;
+    }
+    if (std::fread(&_header, sizeof(_header), 1, _file) != 1) {
+        warn("policy trace: '%s' is too short for a header", path.c_str());
+        close();
+        return false;
+    }
+    if (std::memcmp(_header.magic, kPolicyTraceMagic,
+                    sizeof(_header.magic)) != 0 ||
+        _header.version != 1 ||
+        _header.recordBytes != sizeof(PolicyTraceRecord)) {
+        warn("policy trace: '%s' has an incompatible header", path.c_str());
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+PolicyTraceReader::next(PolicyTraceRecord &out)
+{
+    if (!_file)
+        return false;
+    return std::fread(&out, sizeof(out), 1, _file) == 1;
+}
+
+void
+PolicyTraceReader::close()
+{
+    if (!_file)
+        return;
+    std::fclose(_file);
+    _file = nullptr;
+}
+
+} // namespace nimblock

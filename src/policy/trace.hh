@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Binary (observation, action, reward) trace for offline policy training.
+ *
+ * The bridge mirrors ns3-gym-style RL loops without putting Python in the
+ * hot path: the in-process policy logs every decision to a flat binary
+ * file that an offline trainer replays (Python's struct module suffices —
+ * see scripts/read_policy_trace.py and docs/policy.md for the layout).
+ *
+ * File layout (little-endian, no compression):
+ *
+ *   PolicyTraceHeader                 (one, at offset 0)
+ *   PolicyTraceRecord x N             (back to back until EOF)
+ *
+ * The header carries the struct sizes and array capacities it was
+ * written with, so a reader can verify compatibility before touching a
+ * record. Tracing is gated off by default; a disabled bridge is a null
+ * pointer check on the decision path, keeping disabled runs
+ * byte-identical and allocation-free.
+ */
+
+#ifndef NIMBLOCK_POLICY_TRACE_HH
+#define NIMBLOCK_POLICY_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "policy/action.hh"
+#include "policy/observation.hh"
+
+namespace nimblock {
+
+/** Magic bytes opening a policy trace file. */
+inline constexpr char kPolicyTraceMagic[8] = {'N', 'B', 'P', 'O',
+                                              'L', 'T', 'R', '1'};
+
+/** Fixed-size file header. */
+struct PolicyTraceHeader
+{
+    char magic[8];
+
+    /** Format version (bumped on any layout change). */
+    std::uint32_t version;
+
+    /** sizeof(SchedObservation) at write time. */
+    std::uint32_t obsBytes;
+
+    /** sizeof(SchedAction) at write time. */
+    std::uint32_t actionBytes;
+
+    /** sizeof(PolicyTraceRecord) at write time. */
+    std::uint32_t recordBytes;
+
+    /** kMaxSlotObs / kMaxAppObs the snapshot was built with. */
+    std::uint32_t maxSlots;
+    std::uint32_t maxApps;
+
+    std::uint32_t pad[2];
+};
+
+static_assert(sizeof(PolicyTraceHeader) == 40);
+static_assert(std::is_trivially_copyable_v<PolicyTraceHeader>);
+
+/** One logged decision. */
+struct PolicyTraceRecord
+{
+    SchedObservation observation;
+    SchedAction action;
+
+    /**
+     * Reward credited to this decision, observed at the *next* decision
+     * point: retirements since minus the live-set pressure penalty (see
+     * LearnedConfig::rewardBeta and docs/policy.md).
+     */
+    double reward;
+};
+
+static_assert(std::is_trivially_copyable_v<PolicyTraceRecord>);
+
+/** Appends records to a policy trace file. */
+class PolicyTraceWriter
+{
+  public:
+    PolicyTraceWriter() = default;
+    ~PolicyTraceWriter() { close(); }
+
+    PolicyTraceWriter(const PolicyTraceWriter &) = delete;
+    PolicyTraceWriter &operator=(const PolicyTraceWriter &) = delete;
+
+    /**
+     * Create/truncate @p path and write the header.
+     *
+     * @retval false The file could not be opened (a warning is printed;
+     *               the writer stays closed and write() is a no-op).
+     */
+    bool open(const std::string &path);
+
+    /** True while a file is open. */
+    bool isOpen() const { return _file != nullptr; }
+
+    /** Append one record (no-op while closed). */
+    void write(const PolicyTraceRecord &rec);
+
+    /** Records written since open(). */
+    std::uint64_t written() const { return _written; }
+
+    /** Flush and close (idempotent). */
+    void close();
+
+  private:
+    std::FILE *_file = nullptr;
+    std::uint64_t _written = 0;
+};
+
+/** Reads a policy trace file back (round-trip validation, replay). */
+class PolicyTraceReader
+{
+  public:
+    PolicyTraceReader() = default;
+    ~PolicyTraceReader() { close(); }
+
+    PolicyTraceReader(const PolicyTraceReader &) = delete;
+    PolicyTraceReader &operator=(const PolicyTraceReader &) = delete;
+
+    /**
+     * Open @p path and validate the header against this build's layout.
+     *
+     * @retval false Missing file or incompatible header (warn()ed).
+     */
+    bool open(const std::string &path);
+
+    /** Header of the open file (valid after a successful open()). */
+    const PolicyTraceHeader &header() const { return _header; }
+
+    /** Read the next record; false at EOF. */
+    bool next(PolicyTraceRecord &out);
+
+    void close();
+
+  private:
+    std::FILE *_file = nullptr;
+    PolicyTraceHeader _header{};
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_POLICY_TRACE_HH

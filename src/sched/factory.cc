@@ -1,5 +1,6 @@
 #include "sched/factory.hh"
 
+#include "policy/learned.hh"
 #include "sched/fcfs.hh"
 #include "sched/nimblock.hh"
 #include "sched/no_sharing.hh"
@@ -11,7 +12,7 @@
 namespace nimblock {
 
 std::unique_ptr<Scheduler>
-makeScheduler(const std::string &name)
+tryMakeScheduler(const std::string &name)
 {
     if (name == "baseline" || name == "no_sharing")
         return std::make_unique<NoSharingScheduler>();
@@ -23,6 +24,8 @@ makeScheduler(const std::string &name)
         return std::make_unique<RoundRobinScheduler>();
     if (name == "static" || name == "dml_static")
         return std::make_unique<StaticAllocScheduler>();
+    if (name == "learned")
+        return std::make_unique<LearnedScheduler>();
 
     NimblockConfig cfg;
     if (name == "nimblock")
@@ -41,14 +44,31 @@ makeScheduler(const std::string &name)
         return std::make_unique<NimblockScheduler>(cfg);
     }
 
-    fatal("unknown scheduler '%s'", name.c_str());
+    return nullptr;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &name)
+{
+    std::unique_ptr<Scheduler> sched = tryMakeScheduler(name);
+    if (sched)
+        return sched;
+
+    std::string valid;
+    for (const std::string &n : schedulerNames()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += n;
+    }
+    fatal("unknown scheduler '%s' (valid: %s)", name.c_str(), valid.c_str());
 }
 
 std::vector<std::string>
 schedulerNames()
 {
-    return {"baseline", "fcfs",    "prema",
-            "rr",       "static",   "nimblock",
+    return {"baseline", "no_sharing", "fcfs",
+            "prema",    "rr",         "static",
+            "dml_static", "learned",  "nimblock",
             "nimblock_nopreempt", "nimblock_nopipe",
             "nimblock_nopreempt_nopipe"};
 }
@@ -57,6 +77,12 @@ std::vector<std::string>
 evaluationSchedulers()
 {
     return {"baseline", "fcfs", "prema", "rr", "nimblock"};
+}
+
+std::vector<std::string>
+extendedSchedulers()
+{
+    return {"baseline", "fcfs", "prema", "rr", "nimblock", "learned"};
 }
 
 std::vector<std::string>

@@ -15,14 +15,12 @@ PremaScheduler::PremaScheduler(TokenPolicyConfig token_cfg)
 SimTime
 PremaScheduler::estimatedRemaining(AppInstance &app)
 {
-    SimTime total_est = ops().estimatedSingleSlotLatency(app);
-    std::int64_t total_items =
-        static_cast<std::int64_t>(app.graph().numTasks()) * app.batch();
-    if (total_items == 0)
-        return 0;
-    // itemsDoneTotal is a running counter, so the estimate is O(1)
-    // instead of an O(tasks) itemsDone scan per candidate per pass.
-    return total_est * (total_items - app.itemsDoneTotal()) / total_items;
+    // The candidate features come from the shared observation layer; the
+    // 128-bit estimate there also fixes the int64 overflow this
+    // computation had for large-batch / long-latency candidates, where
+    // the truncated product collapsed the shortest-remaining order.
+    ObservationBuilder::fillAppObs(_featureRow, ops(), app);
+    return nimblock::estimatedRemaining(_featureRow);
 }
 
 void

@@ -13,6 +13,7 @@
 #ifndef NIMBLOCK_SCHED_PREMA_HH
 #define NIMBLOCK_SCHED_PREMA_HH
 
+#include "policy/observation.hh"
 #include "sched/prema_tokens.hh"
 #include "sched/scheduler.hh"
 
@@ -46,6 +47,13 @@ class PremaScheduler : public Scheduler
     /** Pass-local scratch (candidates and their sort keys). */
     std::vector<AppInstance *> _candidates;
     std::vector<std::pair<SimTime, std::size_t>> _byRemaining;
+
+    /**
+     * Feature-row scratch for estimatedRemaining(): candidate features
+     * come from the shared ObservationBuilder so PREMA sees exactly what
+     * a learned policy (or a captured trace) sees.
+     */
+    AppObs _featureRow;
 };
 
 } // namespace nimblock

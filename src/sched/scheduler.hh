@@ -117,6 +117,15 @@ class SchedulerOps
      * must produce identical results with and without it.
      */
     virtual const GridContext *gridContext() const { return nullptr; }
+
+    /**
+     * Monotonic counter of scheduler-visible state mutations: bumped
+     * whenever anything a pass may observe changed (arrivals,
+     * completions, issued actions). Two observations built at the same
+     * version describe the same state. 0 means the implementation does
+     * not track versions (treat every snapshot as stale).
+     */
+    virtual std::uint64_t stateVersion() const { return 0; }
 };
 
 /** Base class for all scheduling algorithms. */

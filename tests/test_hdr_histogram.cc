@@ -214,5 +214,98 @@ TEST(HdrHistogram, FootprintIsFixedAndSmall)
     EXPECT_FALSE(h.toString().empty());
 }
 
+TEST(HdrHistogram, MergeWithEmptyPreservesContentsBothWays)
+{
+    HdrHistogram filled;
+    for (std::int64_t v : {7, 130, 5000, 1 << 20})
+        filled.record(v);
+    const HdrHistogram snapshot = filled;
+
+    // Merging an empty histogram in must be a no-op...
+    HdrHistogram empty;
+    filled.merge(empty);
+    EXPECT_TRUE(filled == snapshot);
+    EXPECT_EQ(filled.min(), 7);
+    EXPECT_EQ(filled.max(), 1 << 20);
+
+    // ...and merging into an empty one must reproduce the source
+    // exactly, min/max included (an empty histogram reports min() == 0,
+    // which must not leak into the merged minimum).
+    HdrHistogram target;
+    target.merge(snapshot);
+    EXPECT_TRUE(target == snapshot);
+    EXPECT_EQ(target.min(), 7);
+    EXPECT_EQ(target.max(), 1 << 20);
+
+    // Empty into empty stays empty.
+    HdrHistogram a, b;
+    a.merge(b);
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(HdrHistogram, RepeatedMergesMatchOneShot)
+{
+    // Chaining k partial merges must equal recording the union directly:
+    // the per-worker fan-in path reduces histograms pairwise in whatever
+    // order workers finish.
+    Rng rng(99);
+    HdrHistogram direct;
+    std::vector<HdrHistogram> parts(4);
+    for (int i = 0; i < 4000; ++i) {
+        std::int64_t v = rng.uniformInt(0, 1 << 22);
+        direct.record(v);
+        parts[static_cast<std::size_t>(i) % parts.size()].record(v);
+    }
+    HdrHistogram chained;
+    for (const HdrHistogram &p : parts)
+        chained.merge(p);
+    EXPECT_TRUE(chained == direct);
+
+    // Unbalanced reduction order (a different tree) gives the same
+    // result: merge is commutative and associative.
+    HdrHistogram left, right;
+    left.merge(parts[0]);
+    left.merge(parts[1]);
+    right.merge(parts[3]);
+    right.merge(parts[2]);
+    left.merge(right);
+    EXPECT_TRUE(left == direct);
+}
+
+TEST(HdrHistogram, ExtremeQuantilesClampToExactMinMax)
+{
+    HdrHistogram h;
+    for (std::int64_t v : {3, 100, 1000, 123456, 9999999})
+        h.record(v);
+    // quantile(0)/quantile(1) must return the exact tracked extremes,
+    // not bucket midpoints (which could over/under-range them).
+    EXPECT_EQ(h.quantile(0.0), 3);
+    EXPECT_EQ(h.quantile(1.0), 9999999);
+    EXPECT_GE(h.quantile(0.5), h.min());
+    EXPECT_LE(h.quantile(0.5), h.max());
+
+    // A single sample answers every quantile with itself.
+    HdrHistogram one;
+    one.record(42);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_EQ(one.quantile(q), 42) << q;
+}
+
+TEST(HdrHistogram, EmptyHistogramQueriesAreBenign)
+{
+    HdrHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.0), 0);
+    EXPECT_EQ(h.quantile(0.5), 0);
+    EXPECT_EQ(h.quantile(1.0), 0);
+    EXPECT_EQ(h.percentile(99.9), 0);
+    EXPECT_FALSE(h.toString().empty());
+}
+
 } // namespace
 } // namespace nimblock

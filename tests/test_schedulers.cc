@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "apps/registry.hh"
 #include "core/simulation.hh"
 #include "sched/factory.hh"
@@ -34,12 +36,35 @@ class SchedulerBehaviorTest : public ::testing::Test
 
 TEST(SchedulerFactory, KnowsAllNames)
 {
+    // Factory aliases resolve to their canonical algorithm, so the
+    // instance reports the canonical name.
+    const std::map<std::string, std::string> aliases = {
+        {"no_sharing", "baseline"}, {"dml_static", "static"}};
     for (const std::string &name : schedulerNames()) {
         auto sched = makeScheduler(name);
         ASSERT_NE(sched, nullptr) << name;
-        EXPECT_EQ(sched->name(), name);
+        auto it = aliases.find(name);
+        EXPECT_EQ(sched->name(), it == aliases.end() ? name : it->second)
+            << name;
     }
     EXPECT_THROW(makeScheduler("bogus"), FatalError);
+}
+
+TEST(SchedulerFactory, TryMakeIsNonFatal)
+{
+    EXPECT_EQ(tryMakeScheduler("bogus"), nullptr);
+    EXPECT_EQ(tryMakeScheduler(""), nullptr);
+    auto learned = tryMakeScheduler("learned");
+    ASSERT_NE(learned, nullptr);
+    EXPECT_EQ(learned->name(), "learned");
+}
+
+TEST(SchedulerFactory, AliasesResolveToCanonicalAlgorithms)
+{
+    auto no_sharing = makeScheduler("no_sharing");
+    EXPECT_EQ(no_sharing->name(), "baseline");
+    auto dml = makeScheduler("dml_static");
+    EXPECT_EQ(dml->name(), "static");
 }
 
 TEST(SchedulerFactory, EvaluationAndAblationSets)
@@ -47,6 +72,11 @@ TEST(SchedulerFactory, EvaluationAndAblationSets)
     auto eval = evaluationSchedulers();
     EXPECT_EQ(eval.size(), 5u);
     EXPECT_EQ(eval.front(), "baseline");
+    auto extended = extendedSchedulers();
+    ASSERT_EQ(extended.size(), 6u);
+    EXPECT_EQ(extended.back(), "learned");
+    for (std::size_t i = 0; i < eval.size(); ++i)
+        EXPECT_EQ(extended[i], eval[i]);
     auto ablation = ablationSchedulers();
     EXPECT_EQ(ablation.size(), 4u);
     EXPECT_EQ(ablation.front(), "nimblock");

@@ -2,8 +2,9 @@
 """Guard bench throughput against the committed baselines.
 
 Compares a fresh CI bench run against the repository's committed
-BENCH_innerloop.json (and, when --soak-baseline/--soak-current are
-given, BENCH_soak.json). CI runners are shared, unpinned machines whose
+BENCH_innerloop.json (and, when --soak-baseline/--soak-current or
+--energy-baseline/--energy-current are given, BENCH_soak.json /
+BENCH_energy.json). CI runners are shared, unpinned machines whose
 absolute throughput swings easily by tens of percent, so the guard only
 fails when a measured rate drops below baseline divided by the
 tolerance factor (default 2x) — large enough to never flake, small
@@ -82,6 +83,47 @@ def check_soak(base, cur, tolerance, failures):
                     f"steady-window allocations (baseline has 0)")
 
 
+def index_energy_cells(doc):
+    return {(r["fabric"], r["workload"], r["scheduler"]): r
+            for r in doc.get("results", [])}
+
+
+def check_energy(base, cur, tolerance, failures):
+    """Energy/fairness guard over the intersection of sweep cells: the
+    per-retired-app energy must not inflate past tolerance, and Jain's
+    index must not collapse below baseline divided by tolerance. The
+    energy bench is deterministic (fixed seed), but quick and full modes
+    run different event counts, so the guard is a ratio bound rather
+    than an equality check."""
+    base_cells = index_energy_cells(base)
+    cur_cells = index_energy_cells(cur)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    if not shared:
+        print("energy: no shared cells between baseline and current; "
+              "skipped")
+        return
+    print(f"\n{'energy cell':<28} {'base J/app':>10} {'cur J/app':>10} "
+          f"{'base jain':>9} {'cur jain':>9}")
+    for key in shared:
+        b, c = base_cells[key], cur_cells[key]
+        label = "/".join(key)
+        bad = []
+        if c["energy_per_app_joules"] > tolerance * b["energy_per_app_joules"]:
+            bad.append(
+                f"energy {label}: {c['energy_per_app_joules']:.2f} J/app "
+                f"is more than {tolerance:g}x baseline "
+                f"{b['energy_per_app_joules']:.2f} J/app")
+        if c["jain"] * tolerance < b["jain"]:
+            bad.append(
+                f"energy {label}: jain {c['jain']:.3f} is more than "
+                f"{tolerance:g}x below baseline {b['jain']:.3f}")
+        verdict = "ok" if not bad else "REGRESSION"
+        print(f"{label:<28} {b['energy_per_app_joules']:>10.2f} "
+              f"{c['energy_per_app_joules']:>10.2f} {b['jain']:>9.3f} "
+              f"{c['jain']:>9.3f}  {verdict}")
+        failures.extend(bad)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -95,11 +137,18 @@ def main():
                     help="committed BENCH_soak.json (optional)")
     ap.add_argument("--soak-current",
                     help="freshly measured BENCH_soak.json (optional)")
+    ap.add_argument("--energy-baseline",
+                    help="committed BENCH_energy.json (optional)")
+    ap.add_argument("--energy-current",
+                    help="freshly measured BENCH_energy.json (optional)")
     args = ap.parse_args()
     if args.tolerance < 1.0:
         sys.exit("error: --tolerance must be >= 1.0")
     if bool(args.soak_baseline) != bool(args.soak_current):
         sys.exit("error: --soak-baseline and --soak-current go together")
+    if bool(args.energy_baseline) != bool(args.energy_current):
+        sys.exit("error: --energy-baseline and --energy-current "
+                 "go together")
 
     base = load(args.baseline)
     cur = load(args.current)
@@ -148,6 +197,10 @@ def main():
     if args.soak_baseline:
         check_soak(load(args.soak_baseline), load(args.soak_current),
                    args.tolerance, failures)
+
+    if args.energy_baseline:
+        check_energy(load(args.energy_baseline), load(args.energy_current),
+                     args.tolerance, failures)
 
     if failures:
         print("\nFAILED:", file=sys.stderr)

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "apps/app_spec.hh"
+#include "energy/energy.hh"
 #include "fabric/fabric.hh"
 #include "hypervisor/hypervisor.hh"
 #include "resilience/fault_injector.hh"
@@ -40,6 +41,13 @@ struct SystemConfig
      * to builds without the resilience subsystem.
      */
     FaultConfig faults;
+
+    /**
+     * Energy accounting (see energy/energy.hh and docs/energy.md).
+     * Disabled by default; runs with `energy.enabled == false` are
+     * byte-identical to builds without the energy subsystem.
+     */
+    EnergyConfig energy;
 
     /**
      * Hard progress guard: multiplier on the workload's summed

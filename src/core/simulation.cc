@@ -73,6 +73,14 @@ Simulation::run(const EventSequence &seq)
         hyp.setFaultInjector(injector.get());
     }
 
+    // Energy accounting, wired like fault injection: disabled runs keep
+    // a null model and every charge site is one null-pointer branch.
+    std::unique_ptr<EnergyModel> energy;
+    if (_cfg.energy.enabled) {
+        energy = std::make_unique<EnergyModel>(fabric);
+        hyp.setEnergyModel(energy.get());
+    }
+
     // Progress horizon: generous multiple of the total serialized work.
     // The same sweep sizes the steady-state storage: every arrival is
     // pre-scheduled (bounding concurrently pending events), one record is
@@ -159,6 +167,12 @@ Simulation::run(const EventSequence &seq)
     result.counters = std::move(counters);
     for (const AppRecord &r : result.records)
         result.makespan = std::max(result.makespan, r.retire);
+    if (energy) {
+        // Idle static power integrates to the end of activity, not to
+        // whenever the queue drained.
+        energy->finalize(result.makespan);
+        result.energy = energy->report();
+    }
     return result;
 }
 

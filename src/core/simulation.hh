@@ -52,6 +52,9 @@ struct RunResult
     /** Kernel events fired during the run. */
     std::uint64_t eventsFired = 0;
 
+    /** Energy accounting totals (enabled == false when accounting off). */
+    EnergyReport energy;
+
     /** Slot-transition timeline (null unless SystemConfig enables it). */
     std::shared_ptr<Timeline> timeline;
 

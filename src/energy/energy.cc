@@ -1,0 +1,132 @@
+#include "energy/energy.hh"
+
+#include "fabric/fabric.hh"
+#include "hypervisor/app_instance.hh"
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+EnergyModel::EnergyModel(const Fabric &fabric)
+{
+    std::size_t n = fabric.numSlots();
+    _staticW.reserve(n);
+    _dynamicW.reserve(n);
+    _reconfigJ.reserve(n);
+    for (SlotId s = 0; s < n; ++s) {
+        const SlotClassConfig &c = fabric.slotClass(fabric.slotClassOf(s));
+        _staticW.push_back(c.staticPowerWatts);
+        _dynamicW.push_back(c.dynamicPowerWatts);
+        _reconfigJ.push_back(c.reconfigEnergyJoules);
+    }
+    _busySince.assign(n, kTimeNone);
+}
+
+void
+EnergyModel::setCounters(CounterRegistry *counters)
+{
+    _counters = counters;
+    if (!counters)
+        return;
+    _ctrTotal = counters->define("energy.total_joules");
+    _ctrDynamic = counters->define("energy.dynamic_joules");
+    _ctrReconfig = counters->define("energy.reconfig_joules");
+}
+
+void
+EnergyModel::count(SimTime now)
+{
+    if (!_counters)
+        return;
+    _counters->sample(_ctrTotal, now, totalJoules());
+    _counters->sample(_ctrDynamic, now, _dynamicJoules);
+    _counters->sample(_ctrReconfig, now, _reconfigJoules);
+}
+
+void
+EnergyModel::slotBusy(SlotId slot, SimTime now)
+{
+    _busySince[slot] = now;
+}
+
+void
+EnergyModel::slotFree(SlotId slot, SimTime now, AppInstance *app)
+{
+    if (_busySince[slot] == kTimeNone)
+        return;
+    double joules = _staticW[slot] * simtime::toSec(now - _busySince[slot]);
+    _busySince[slot] = kTimeNone;
+    _busyStaticJoules += joules;
+    if (app)
+        app->addEnergy(joules);
+    else
+        _unattributedJoules += joules;
+    count(now);
+}
+
+void
+EnergyModel::chargeReconfig(SlotId slot, SimTime now, AppInstance *app)
+{
+    double joules = _reconfigJ[slot];
+    _reconfigJoules += joules;
+    if (app)
+        app->addEnergy(joules);
+    else
+        _unattributedJoules += joules;
+    count(now);
+}
+
+void
+EnergyModel::chargeDynamic(SlotId slot, SimTime now, SimTime duration,
+                           AppInstance *app)
+{
+    double joules = _dynamicW[slot] * simtime::toSec(duration);
+    _dynamicJoules += joules;
+    if (app)
+        app->addEnergy(joules);
+    else
+        _unattributedJoules += joules;
+    count(now);
+}
+
+void
+EnergyModel::finalize(SimTime end)
+{
+    if (_finalized)
+        return;
+    // Landings still in flight at the end of the recording have no
+    // surviving owner; their static energy goes to the unattributed
+    // bucket so the books still close.
+    for (SlotId s = 0; s < _busySince.size(); ++s)
+        slotFree(s, end, nullptr);
+    // (A fully retired run reaches here with every slot already free.)
+    double total_static = 0;
+    for (double w : _staticW)
+        total_static += w * simtime::toSec(end);
+    _idleStaticJoules = total_static - _busyStaticJoules;
+    _finalized = true;
+    count(end);
+}
+
+double
+EnergyModel::totalJoules() const
+{
+    return _dynamicJoules + _reconfigJoules + _busyStaticJoules +
+           _idleStaticJoules;
+}
+
+EnergyReport
+EnergyModel::report() const
+{
+    EnergyReport r;
+    r.enabled = true;
+    r.dynamicJoules = _dynamicJoules;
+    r.reconfigJoules = _reconfigJoules;
+    r.busyStaticJoules = _busyStaticJoules;
+    // Unattributed charges fold into the idle bucket so the per-app sum
+    // plus idle static always reproduces the total.
+    r.idleStaticJoules = _idleStaticJoules + _unattributedJoules;
+    r.totalJoules = totalJoules();
+    return r;
+}
+
+} // namespace nimblock

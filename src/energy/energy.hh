@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fabric energy accounting.
+ *
+ * Models board energy as three components, all driven by the slot-class
+ * table of the fabric (fabric/fabric.hh):
+ *
+ *   - static: each slot's class leaks `staticPowerWatts` continuously;
+ *     the share spent while a slot is held (Configuring/Occupied) is
+ *     attributed to the occupant application, the rest is idle energy;
+ *   - dynamic: `dynamicPowerWatts` integrated over batch-item execution
+ *     time, attributed to the executing application;
+ *   - reconfiguration: `reconfigEnergyJoules` per completed partial
+ *     reconfiguration, attributed to the application that requested it.
+ *
+ * The model is strictly opt-in (EnergyConfig::enabled): the hypervisor
+ * keeps a null pointer when disabled, so the disabled path costs one
+ * branch and results stay byte-identical to builds without the
+ * subsystem. All hooks are allocation-free — per-slot state is
+ * pre-sized at construction.
+ *
+ * See docs/energy.md for the model equations and closure invariant.
+ */
+
+#ifndef NIMBLOCK_ENERGY_ENERGY_HH
+#define NIMBLOCK_ENERGY_ENERGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/bitstream.hh"
+#include "metrics/counters.hh"
+#include "sim/time.hh"
+
+namespace nimblock {
+
+class AppInstance;
+class Fabric;
+
+/** Energy-accounting knobs (SystemConfig::energy). */
+struct EnergyConfig
+{
+    /** Master switch; off keeps runs byte-identical to pre-energy. */
+    bool enabled = false;
+};
+
+/** Run-level energy totals (RunResult::energy). */
+struct EnergyReport
+{
+    /** False when accounting was disabled (all fields zero). */
+    bool enabled = false;
+
+    /** Whole-board energy over the run: dynamic+reconfig+static. */
+    double totalJoules = 0;
+
+    /** Batch-item execution energy (all attributed to apps). */
+    double dynamicJoules = 0;
+
+    /** Partial-reconfiguration energy. */
+    double reconfigJoules = 0;
+
+    /** Static energy spent while slots were held by applications. */
+    double busyStaticJoules = 0;
+
+    /**
+     * Static energy of unheld slots plus charges that could not be
+     * attributed to a live application (orphaned landings). The
+     * closure invariant is
+     *   sum(per-app joules) + idleStaticJoules == totalJoules.
+     */
+    double idleStaticJoules = 0;
+};
+
+/**
+ * Accumulates fabric energy during a run.
+ *
+ * The hypervisor calls the hooks from its slot transitions; finalize()
+ * closes the books at the end of the run (integrating idle static
+ * power over the makespan).
+ */
+class EnergyModel
+{
+  public:
+    /** Pre-sizes per-slot coefficient tables from the fabric classes. */
+    explicit EnergyModel(const Fabric &fabric);
+
+    /**
+     * Attach a counter registry (optional; may be null): records
+     * "energy.total_joules", "energy.dynamic_joules" and
+     * "energy.reconfig_joules" on every charge, which the trace
+     * exporter renders as Perfetto counter tracks.
+     */
+    void setCounters(CounterRegistry *counters);
+
+    /** @name Hypervisor hooks (allocation-free) */
+    /// @{
+
+    /** Slot became held (beginConfigure). */
+    void slotBusy(SlotId slot, SimTime now);
+
+    /**
+     * Slot was released; charges the busy interval's static energy to
+     * @p app (or the unattributed bucket when the owner is gone).
+     */
+    void slotFree(SlotId slot, SimTime now, AppInstance *app);
+
+    /** A partial reconfiguration of @p slot completed for @p app. */
+    void chargeReconfig(SlotId slot, SimTime now, AppInstance *app);
+
+    /** A batch item ran for @p duration in @p slot. */
+    void chargeDynamic(SlotId slot, SimTime now, SimTime duration,
+                       AppInstance *app);
+
+    /// @}
+
+    /**
+     * Close the books at @p end: open busy intervals are charged as
+     * unattributed and idle static power is integrated over the run.
+     */
+    void finalize(SimTime end);
+
+    /** Energy charged so far (before finalize: excludes idle static). */
+    double totalJoules() const;
+
+    /** Totals; valid after finalize(). */
+    EnergyReport report() const;
+
+  private:
+    void count(SimTime now);
+
+    /** Per-slot class coefficients, flattened for hot-path loads. */
+    std::vector<double> _staticW;
+    std::vector<double> _dynamicW;
+    std::vector<double> _reconfigJ;
+
+    /** Busy-interval start per slot (kTimeNone when unheld). */
+    std::vector<SimTime> _busySince;
+
+    double _dynamicJoules = 0;
+    double _reconfigJoules = 0;
+    double _busyStaticJoules = 0;
+    double _unattributedJoules = 0;
+    double _idleStaticJoules = 0;
+    bool _finalized = false;
+
+    CounterRegistry *_counters = nullptr;
+    CounterId _ctrTotal = kCounterNone;
+    CounterId _ctrDynamic = kCounterNone;
+    CounterId _ctrReconfig = kCounterNone;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_ENERGY_ENERGY_HH

@@ -35,9 +35,11 @@ Cap::setCounters(CounterRegistry *counters)
 }
 
 void
-Cap::reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb)
+Cap::reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb,
+                 SimTime latency_override)
 {
-    _queue.push_back(Request{slot, bytes, std::move(cb), 0});
+    _queue.push_back(Request{slot, bytes, std::move(cb), latency_override,
+                             0});
     if (_counters) {
         _counters->sample(_ctrBacklog, _eq.now(),
                           static_cast<double>(_queue.size()));
@@ -52,7 +54,10 @@ Cap::startNext()
     if (_queue.empty())
         return;
     _busy = true;
-    SimTime latency = reconfigLatency(_queue.front().bytes);
+    const Request &next = _queue.front();
+    SimTime latency = next.latencyOverride != kTimeNone
+                          ? next.latencyOverride
+                          : reconfigLatency(next.bytes);
     _eq.scheduleAfter(
         latency, "cap_reconfig",
         [this, latency] {

@@ -72,8 +72,13 @@ class Cap
      * Queue a reconfiguration of @p slot with a bitstream of @p bytes.
      *
      * @param cb Invoked when the reconfiguration completes or fails.
+     * @param latency_override Occupancy to charge instead of
+     *        reconfigLatency(bytes) — used for slot classes whose
+     *        regions stream at a scaled rate. kTimeNone keeps the
+     *        nominal computation.
      */
-    void reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb);
+    void reconfigure(SlotId slot, std::uint64_t bytes, DoneCallback cb,
+                     SimTime latency_override = kTimeNone);
 
     /** True while a reconfiguration is in progress or queued. */
     bool busy() const { return _busy || !_queue.empty(); }
@@ -118,6 +123,7 @@ class Cap
         SlotId slot;
         std::uint64_t bytes;
         DoneCallback cb;
+        SimTime latencyOverride = kTimeNone;
         int attempts = 0;
     };
 

@@ -43,6 +43,60 @@ enum class InterSlotTransport
 /** Render an InterSlotTransport. */
 const char *toString(InterSlotTransport t);
 
+/**
+ * One slot class of a heterogeneous board: a shape of reconfigurable
+ * tile with its own resource vector, reconfiguration scaling and power
+ * coefficients. A board with no declared classes behaves as one
+ * implicit uniform class with these defaults.
+ */
+struct SlotClassConfig
+{
+    /** Class name referenced by board layouts and kernel rules. */
+    std::string name = "default";
+
+    /** Per-slot resource capacity of this class. */
+    ResourceVector resources = zcu106::slotCapacity();
+
+    /**
+     * Multiplier on the CAP reconfiguration latency for slots of this
+     * class (bigger regions stream more frames). 1.0 keeps the uniform
+     * timing byte-identical.
+     */
+    double reconfigScale = 1.0;
+
+    /** Static (leakage + clock tree) power while the slot is held. */
+    double staticPowerWatts = 1.0;
+
+    /** Dynamic power while a batch item executes in this class. */
+    double dynamicPowerWatts = 4.0;
+
+    /** Energy cost of one partial reconfiguration of this class. */
+    double reconfigEnergyJoules = 0.5;
+};
+
+/**
+ * Placement rule for one (kernel, slot class) pair. Kernels are
+ * identified by application/bitstream name; absent pairs default to
+ * compatible with speedup 1.0.
+ */
+struct KernelClassRule
+{
+    /** Application (bitstream) name the rule applies to. */
+    std::string app;
+
+    /** Slot-class name the rule applies to. */
+    std::string slotClass;
+
+    /** False forbids placing the kernel in this class. */
+    bool compatible = true;
+
+    /**
+     * Latency divisor when the kernel runs in this class (>1 = faster
+     * than the nominal per-task latency, <1 = slower).
+     */
+    double speedup = 1.0;
+};
+
 /** Whole-fabric configuration. */
 struct FabricConfig
 {
@@ -81,6 +135,26 @@ struct FabricConfig
      * [5, 10, 23] as out of scope; modeled here as an extension.
      */
     bool relocatableBitstreams = false;
+
+    /**
+     * Slot classes of a heterogeneous board. Empty means one implicit
+     * uniform class (SlotClassConfig defaults), which is byte-identical
+     * to the pre-heterogeneity fabric.
+     */
+    std::vector<SlotClassConfig> slotClasses;
+
+    /**
+     * Per-slot class names (index = slot id). Empty assigns every slot
+     * to class 0; otherwise the size must equal numSlots and every name
+     * must match a declared class.
+     */
+    std::vector<std::string> boardLayout;
+
+    /**
+     * Kernel placement-compatibility and speedup table. Pairs not
+     * listed default to compatible with speedup 1.0.
+     */
+    std::vector<KernelClassRule> kernelRules;
 
     CapConfig cap;
     BitstreamStoreConfig store;
@@ -195,13 +269,79 @@ class Fabric
         return _cap.reconfigLatency(bytes);
     }
 
+    /** @name Slot classes (heterogeneous boards) */
+    /// @{
+
+    /** Number of resolved slot classes (>= 1; 1 for uniform boards). */
+    std::size_t numSlotClasses() const { return _classes.size(); }
+
+    /** Resolved class definition (validated at construction). */
+    const SlotClassConfig &slotClass(std::uint32_t class_id) const;
+
+    /** Class of @p slot (0 on uniform boards). */
+    std::uint32_t
+    slotClassOf(SlotId slot) const
+    {
+        return _slots[slot].classId();
+    }
+
+    /**
+     * True when any heterogeneity is configured (multiple classes,
+     * kernel rules, or a non-unity reconfiguration scale). Schedulers
+     * gate class-compatibility checks on this so uniform boards keep
+     * the exact pre-heterogeneity placement walk.
+     */
+    bool heterogeneous() const { return _hetero; }
+
+    /** May kernel @p name be placed in @p class_id? */
+    bool
+    kernelCompatible(BitstreamNameId name, std::uint32_t class_id) const
+    {
+        return _kernelProfiles[name * _classes.size() + class_id]
+            .compatible;
+    }
+
+    /** Latency divisor of kernel @p name in @p class_id. */
+    double
+    kernelSpeedup(BitstreamNameId name, std::uint32_t class_id) const
+    {
+        return _kernelProfiles[name * _classes.size() + class_id].speedup;
+    }
+
+    /**
+     * Class-scaled CAP reconfiguration latency, or kTimeNone when the
+     * class streams at the nominal rate — callers pass the sentinel
+     * through to Cap so the uniform path stays byte-identical.
+     */
+    SimTime classReconfigLatency(std::uint64_t bytes,
+                                 std::uint32_t class_id) const;
+
+    /// @}
+
   private:
+    /** Per-(kernel, class) placement profile, resolved at intern time. */
+    struct KernelProfile
+    {
+        bool compatible = true;
+        double speedup = 1.0;
+    };
     EventQueue &_eq;
     FabricConfig _cfg;
 
     /** Interned bitstream names (id = index) and the reverse lookup. */
     std::vector<std::string> _bsNames;
     std::unordered_map<std::string, BitstreamNameId> _bsNameIds;
+
+    /** Resolved slot classes (one implicit uniform class when none). */
+    std::vector<SlotClassConfig> _classes;
+    bool _hetero = false;
+
+    /**
+     * Row-major (kernel, class) profile table, one row appended per
+     * interned bitstream name, so the hot-path lookups above are pure
+     * indexed loads.
+     */
+    std::vector<KernelProfile> _kernelProfiles;
 
     std::vector<Slot> _slots;
     std::int32_t _configuring = 0; //!< Slots in SlotState::Configuring.

@@ -47,6 +47,12 @@ class Slot
     SlotId id() const { return _id; }
     SlotState state() const { return _state; }
 
+    /** Slot class (index into the fabric's resolved class table). */
+    std::uint32_t classId() const { return _classId; }
+
+    /** Assign the slot class (fabric construction only). */
+    void setClassId(std::uint32_t class_id) { _classId = class_id; }
+
     /**
      * Schedulable-and-empty predicate: quarantined slots report not-free
      * even when unoccupied, which is how the quarantine shrinks the slot
@@ -156,6 +162,7 @@ class Slot
 
   private:
     SlotId _id;
+    std::uint32_t _classId = 0;
     SlotState _state = SlotState::Free;
     AppInstanceId _app = kAppNone;
     TaskId _task = kTaskNone;

@@ -79,6 +79,7 @@ AppInstance::reinit(AppSpecPtr spec, int batch, Priority priority,
     _totalReconfigTime = 0;
     _reconfigCount = 0;
     _preemptionCount = 0;
+    _energyJoules = 0;
     _failed = false;
     _itemRetries = 0;
     _requeues = 0;
@@ -275,6 +276,7 @@ AppInstance::captureCheckpoint() const
     ck.requeues = _requeues;
     ck.migrations = _migrations;
     ck.migrationTime = _migrationTime;
+    ck.energyJoules = _energyJoules;
     return ck;
 }
 
@@ -302,6 +304,7 @@ AppInstance::restoreFromCheckpoint(const AppCheckpoint &ck)
     _requeues = ck.requeues;
     _migrations = ck.migrations;
     _migrationTime = ck.migrationTime;
+    _energyJoules = ck.energyJoules;
 }
 
 std::string

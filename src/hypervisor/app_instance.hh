@@ -104,6 +104,7 @@ struct AppCheckpoint
     int requeues = 0;
     int migrations = 0;      //!< Hops completed before this one.
     SimTime migrationTime = 0; //!< Transfer latency accumulated so far.
+    double energyJoules = 0; //!< Joules charged on previous boards.
     /// @}
 
     /** Checkpoint payload sizing the transfer (buffers + descriptor). */
@@ -322,6 +323,10 @@ class AppInstance
     int reconfigCount() const { return _reconfigCount; }
     void noteReconfig() { ++_reconfigCount; }
 
+    /** Joules charged to this app by the energy model (0 when off). */
+    double energyJoules() const { return _energyJoules; }
+    void addEnergy(double joules) { _energyJoules += joules; }
+
     int preemptionCount() const { return _preemptionCount; }
     void notePreemption() { ++_preemptionCount; }
 
@@ -419,6 +424,7 @@ class AppInstance
     SimTime _totalReconfigTime = 0;
     int _reconfigCount = 0;
     int _preemptionCount = 0;
+    double _energyJoules = 0;
     bool _failed = false;
     int _itemRetries = 0;
     int _requeues = 0;

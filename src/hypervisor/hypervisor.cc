@@ -1,6 +1,7 @@
 #include "hypervisor/hypervisor.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "alloc/makespan.hh"
 #include "core/grid_context.hh"
@@ -69,6 +70,8 @@ Hypervisor::setCounters(CounterRegistry *counters)
     _ctrFaultRetries = counters->define("fault.retries");
     _ctrQuarantined = counters->define("fault.quarantined_slots");
     _ctrAppsFailed = counters->define("fault.apps_failed");
+    if (_energy)
+        _energy->setCounters(counters);
 }
 
 void
@@ -282,6 +285,8 @@ Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
         app.graph().task(task).bitstreamBytes);
 
     slot.beginConfigure(app.id(), task, key, _eq.now());
+    if (_energy)
+        _energy->slotBusy(slot_id, _eq.now());
     st.phase = TaskPhase::Configuring;
     st.slot = slot_id;
     ++_stats.configuresIssued;
@@ -310,9 +315,23 @@ Hypervisor::configure(AppInstance &app, TaskId task, SlotId slot_id)
         return true;
     }
 
-    SimTime cap_latency = _fabric.cap().reconfigLatency(bytes);
+    SimTime cap_latency = classCapLatency(bytes, slot_id);
     issueConfigLoad(app_id, task, slot_id, bytes, cap_latency);
     return true;
+}
+
+SimTime
+Hypervisor::classCapLatency(std::uint64_t bytes, SlotId slot_id) const
+{
+    // Heterogeneous boards scale the CAP occupancy by the slot class;
+    // uniform boards take the nominal (byte-identical) computation.
+    if (_fabric.heterogeneous()) {
+        SimTime scaled = _fabric.classReconfigLatency(
+            bytes, _fabric.slotClassOf(slot_id));
+        if (scaled != kTimeNone)
+            return scaled;
+    }
+    return _fabric.cap().reconfigLatency(bytes);
 }
 
 void
@@ -335,6 +354,14 @@ Hypervisor::issueConfigLoad(AppInstanceId app_id, TaskId task, SlotId slot_id,
                                /*from_sd=*/true);
                 return;
             }
+            // Scaled slot classes occupy the CAP for their class
+            // latency; kTimeNone keeps the nominal computation so
+            // uniform boards stay byte-identical.
+            SimTime latency_override =
+                _fabric.heterogeneous()
+                    ? _fabric.classReconfigLatency(
+                          bytes, _fabric.slotClassOf(slot_id))
+                    : kTimeNone;
             _fabric.cap().reconfigure(
                 slot_id, bytes,
                 [this, app_id, task, slot_id, bytes, cap_latency](bool ok2) {
@@ -344,7 +371,8 @@ Hypervisor::issueConfigLoad(AppInstanceId app_id, TaskId task, SlotId slot_id,
                         return;
                     }
                     onReconfigDone(app_id, task, slot_id, cap_latency);
-                });
+                },
+                latency_override);
         });
 }
 
@@ -362,6 +390,8 @@ Hypervisor::onConfigFailed(AppInstanceId app_id, TaskId task, SlotId slot_id,
         // The app was failed while this operation was in flight; the
         // placement is orphaned. Free the slot (buffers went with the
         // app).
+        if (_energy)
+            _energy->slotFree(slot_id, _eq.now(), nullptr);
         slot.release(_eq.now());
         requestPass(SchedEvent::ReconfigDone);
         return;
@@ -397,6 +427,8 @@ Hypervisor::onConfigFailed(AppInstanceId app_id, TaskId task, SlotId slot_id,
                 }
                 if (!findApp(app_id)) {
                     // App failed during the backoff; free the held slot.
+                    if (_energy)
+                        _energy->slotFree(slot_id, _eq.now(), nullptr);
                     s.release(_eq.now());
                     requestPass(SchedEvent::ReconfigDone);
                     return;
@@ -421,6 +453,8 @@ Hypervisor::abortPlacement(AppInstance &app, TaskId task, SlotId slot_id)
     _buffers.release(app.id(), task);
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, app, task, TimelineEventKind::Release);
+    if (_energy)
+        _energy->slotFree(slot_id, _eq.now(), &app);
     _fabric.slot(slot_id).release(_eq.now());
     // Per-slot retry state exists only with an installed injector; the
     // migration path reaches here fault-free.
@@ -494,6 +528,11 @@ Hypervisor::onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot_id,
         // The app was failed by the resilience policy while this
         // reconfiguration was in flight: the landing is orphaned. Free
         // the slot (the failed app's buffers were already released).
+        // The CAP energy was genuinely spent; it lands unattributed.
+        if (_energy) {
+            _energy->chargeReconfig(slot_id, _eq.now(), nullptr);
+            _energy->slotFree(slot_id, _eq.now(), nullptr);
+        }
         _fabric.slot(slot_id).release(_eq.now());
         requestPass(SchedEvent::ReconfigDone);
         return;
@@ -510,6 +549,8 @@ Hypervisor::onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot_id,
         }
         app->addReconfigTime(reconfig_latency);
         app->noteReconfig();
+        if (_energy)
+            _energy->chargeReconfig(slot_id, _eq.now(), app);
         abortPlacement(*app, task, slot_id);
         maybeFinishQuiesce(*app);
         return;
@@ -525,6 +566,8 @@ Hypervisor::onReconfigDone(AppInstanceId app_id, TaskId task, SlotId slot_id,
     st.phase = TaskPhase::Resident;
     app->addReconfigTime(reconfig_latency);
     app->noteReconfig();
+    if (_energy)
+        _energy->chargeReconfig(slot_id, _eq.now(), app);
     app->noteLaunch(_eq.now());
     trace(slot_id, *app, task, TimelineEventKind::ConfigureEnd);
 
@@ -587,8 +630,26 @@ Hypervisor::startItem(SlotId slot_id)
 
     if (!_fabric.config().modelPsContention) {
         // Resume from a checkpointed partial item when one is saved.
-        SimTime dur = st.itemRemaining != kTimeNone ? st.itemRemaining
-                                                    : itemWallTime(*app, task);
+        // (Checkpointed remainders resume unscaled: the saved remainder
+        // already reflects the class the item originally started in.)
+        SimTime dur;
+        if (st.itemRemaining != kTimeNone) {
+            dur = st.itemRemaining;
+        } else {
+            dur = itemWallTime(*app, task);
+            if (_fabric.heterogeneous()) {
+                double speedup = _fabric.kernelSpeedup(
+                    app->bitstreamNameId(), _fabric.slotClassOf(slot_id));
+                if (speedup != 1.0) {
+                    // Only the kernel component scales with the slot
+                    // class; PS/NoC transfers are class-independent.
+                    SimTime k = app->graph().task(task).itemLatency;
+                    dur += static_cast<SimTime>(std::llround(
+                               static_cast<double>(k) / speedup)) -
+                           k;
+                }
+            }
+        }
         st.itemRemaining = kTimeNone;
         _itemStart[slot_id] = _eq.now();
         _itemDuration[slot_id] = dur;
@@ -634,6 +695,14 @@ Hypervisor::startItem(SlotId slot_id)
     bool interior_out = !app->graph().successors(task).empty();
     SimTime started = _eq.now();
     SimTime kernel = spec.itemLatency;
+    if (_fabric.heterogeneous()) {
+        double speedup = _fabric.kernelSpeedup(
+            app->bitstreamNameId(), _fabric.slotClassOf(slot_id));
+        if (speedup != 1.0) {
+            kernel = static_cast<SimTime>(std::llround(
+                static_cast<double>(kernel) / speedup));
+        }
+    }
     std::uint64_t out_bytes = spec.outputBytes;
 
     doTransfer(spec.inputBytes, interior_in,
@@ -667,6 +736,8 @@ Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
     if (_faults)
         _itemAttempts[slot_id] = 0;
     app->addRunTime(item_duration);
+    if (_energy)
+        _energy->chargeDynamic(slot_id, _eq.now(), item_duration, app);
     ++_stats.itemsExecuted;
     trace(slot_id, *app, task, TimelineEventKind::ItemEnd);
     countSample(_ctrItemsDone, static_cast<double>(_stats.itemsExecuted));
@@ -761,6 +832,8 @@ Hypervisor::vacateResidentTasks(AppInstance &app)
         _buffers.release(app.id(), t);
         trace(slot_id, app, t, TimelineEventKind::Release);
         slot.clearPreempt();
+        if (_energy)
+            _energy->slotFree(slot_id, _eq.now(), &app);
         slot.release(_eq.now());
         _slotHold[slot_id] = 0;
         _itemFault[slot_id] = ItemFault::None;
@@ -852,6 +925,8 @@ Hypervisor::preempt(SlotId slot_id)
         SimTime elapsed = _eq.now() - _itemStart[slot_id];
         st.itemRemaining = _itemDuration[slot_id] - elapsed;
         app->addRunTime(elapsed); // Partial progress counts as run time.
+        if (_energy)
+            _energy->chargeDynamic(slot_id, _eq.now(), elapsed, app);
         ++_stats.checkpointPreemptions;
 
         // The slot stays uninterruptible while state is saved; the
@@ -895,6 +970,8 @@ Hypervisor::doPreempt(SlotId slot_id)
     _buffers.release(app->id(), task);
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, *app, task, TimelineEventKind::Preempt);
+    if (_energy)
+        _energy->slotFree(slot_id, _eq.now(), app);
     slot.release(_eq.now());
     if (_faults) {
         _slotHold[slot_id] = 0;
@@ -922,6 +999,8 @@ Hypervisor::completeTask(SlotId slot_id)
     _buffers.release(app->id(), task);
     countSample(_ctrBufferBytes, static_cast<double>(_buffers.inUse()));
     trace(slot_id, *app, task, TimelineEventKind::Release);
+    if (_energy)
+        _energy->slotFree(slot_id, _eq.now(), app);
     slot.release(_eq.now());
     if (_faults) {
         _slotHold[slot_id] = 0;
@@ -955,6 +1034,7 @@ Hypervisor::retire(AppInstance &app)
         rec.reconfigTime = app.totalReconfigTime();
         rec.reconfigs = app.reconfigCount();
         rec.preemptions = app.preemptionCount();
+        rec.energyJoules = app.energyJoules();
         rec.failed = app.failed();
         rec.itemRetries = app.itemRetries();
         rec.requeues = app.requeues();

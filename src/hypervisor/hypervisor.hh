@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "energy/energy.hh"
 #include "fabric/fabric.hh"
 #include "hypervisor/app_instance.hh"
 #include "hypervisor/buffer_manager.hh"
@@ -229,6 +230,21 @@ class Hypervisor : public SchedulerOps
      */
     void setFaultInjector(FaultInjector *injector);
 
+    /**
+     * Attach an energy model (optional; may be null). Wired like the
+     * fault injector: with no model every charge site is one
+     * null-pointer branch, so runs with accounting off stay
+     * byte-identical and allocation-free. The model must outlive the
+     * hypervisor's activity.
+     */
+    void
+    setEnergyModel(EnergyModel *energy)
+    {
+        _energy = energy;
+        if (energy && _counters)
+            energy->setCounters(_counters);
+    }
+
     /** @name Live migration (driven by cluster/migration.hh)
      *
      * Nullable-listener wired like the resilience hooks: with no
@@ -363,6 +379,11 @@ class Hypervisor : public SchedulerOps
     SimTime reconfigLatencyEstimate() const override;
     const GridContext *gridContext() const override { return _gridCtx; }
     std::uint64_t stateVersion() const override { return _stateVersion; }
+    double
+    energyJoulesTotal() const override
+    {
+        return _energy ? _energy->totalJoules() : 0.0;
+    }
     /// @}
 
   private:
@@ -470,6 +491,9 @@ class Hypervisor : public SchedulerOps
 
     /** Per-item wall time (kernel + PS transfers) for (app, task). */
     SimTime itemWallTime(const AppInstance &app, TaskId task) const;
+
+    /** Class-scaled CAP latency for a placement in @p slot_id. */
+    SimTime classCapLatency(std::uint64_t bytes, SlotId slot_id) const;
 
     /** Record a slot transition when a timeline is attached. */
     void trace(SlotId slot, const AppInstance &app, TaskId task,
@@ -582,6 +606,9 @@ class Hypervisor : public SchedulerOps
     /** True while an item-retry backoff holds the slot (no new items). */
     std::vector<char> _slotHold;
     /// @}
+
+    /** Energy accounting; null when disabled (see setEnergyModel). */
+    EnergyModel *_energy = nullptr;
 
     QuiescentListener _quiescent;
     CapacityListener _capacityListener;

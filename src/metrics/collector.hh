@@ -42,6 +42,12 @@ struct AppRecord
     int reconfigs = 0;
     int preemptions = 0;
 
+    /**
+     * Joules attributed to this app by the energy model (dynamic +
+     * reconfiguration + busy static; 0 when accounting is off).
+     */
+    double energyJoules = 0;
+
     /** @name Resilience verdicts (fault injection only; defaults off) */
     /// @{
 

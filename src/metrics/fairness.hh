@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fairness metrics over per-tenant allocation vectors.
+ *
+ * Used by the themis scheduler's evaluation and bench_energy: given one
+ * non-negative "service" value per tenant (normalized progress rate,
+ * throughput share, attained service), these reduce the vector to the
+ * two standard scalar fairness summaries.
+ */
+
+#ifndef NIMBLOCK_METRICS_FAIRNESS_HH
+#define NIMBLOCK_METRICS_FAIRNESS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace nimblock {
+
+/**
+ * Jain's fairness index: (sum x)^2 / (n * sum x^2).
+ *
+ * 1.0 when every tenant gets an equal share, 1/n when one tenant gets
+ * everything. Degenerate vectors (empty, or all-zero — nobody got
+ * anything, nobody was favored) report 1.0.
+ */
+inline double
+jainsIndex(const std::vector<double> &x)
+{
+    if (x.empty())
+        return 1.0;
+    double sum = 0.0, sum_sq = 0.0;
+    for (double v : x) {
+        sum += v;
+        sum_sq += v * v;
+    }
+    if (sum_sq == 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+/**
+ * Max-min share: the worst-off tenant's value relative to the mean,
+ * in [0, 1]. 1.0 when all equal, 0.0 when someone is fully starved.
+ * Degenerate vectors (empty / all-zero) report 1.0.
+ */
+inline double
+maxMinShare(const std::vector<double> &x)
+{
+    if (x.empty())
+        return 1.0;
+    double sum = 0.0;
+    double min = x.front();
+    for (double v : x) {
+        sum += v;
+        if (v < min)
+            min = v;
+    }
+    if (sum == 0.0)
+        return 1.0;
+    double mean = sum / static_cast<double>(x.size());
+    return min / mean;
+}
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_METRICS_FAIRNESS_HH

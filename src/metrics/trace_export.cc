@@ -97,10 +97,20 @@ TraceExporter::toJson(const Timeline &timeline,
                        "\"tid\":0,\"args\":{\"name\":\"scheduler\"}}",
                        kHypervisorPid));
     for (std::size_t s = 0; s < num_slots; ++s) {
-        emit(formatMessage("{\"name\":\"thread_name\",\"ph\":\"M\","
-                           "\"pid\":%d,\"tid\":%zu,"
-                           "\"args\":{\"name\":\"slot %zu\"}}",
-                           kFabricPid, s, s));
+        if (s < _opts.slotClassNames.size() &&
+            !_opts.slotClassNames[s].empty()) {
+            emit(formatMessage(
+                "{\"name\":\"thread_name\",\"ph\":\"M\","
+                "\"pid\":%d,\"tid\":%zu,"
+                "\"args\":{\"name\":\"slot %zu [%s]\"}}",
+                kFabricPid, s, s,
+                jsonEscape(_opts.slotClassNames[s]).c_str()));
+        } else {
+            emit(formatMessage("{\"name\":\"thread_name\",\"ph\":\"M\","
+                               "\"pid\":%d,\"tid\":%zu,"
+                               "\"args\":{\"name\":\"slot %zu\"}}",
+                               kFabricPid, s, s));
+        }
     }
 
     // Per-slot slice state while replaying the transition stream. Slices

@@ -24,6 +24,7 @@
 #define NIMBLOCK_METRICS_TRACE_EXPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "metrics/counters.hh"
 #include "metrics/timeline.hh"
@@ -45,6 +46,15 @@ struct TraceExportOptions
     /** Process names shown in the Perfetto track groups. */
     std::string fabricProcessName = "fabric";
     std::string hypervisorProcessName = "hypervisor";
+
+    /**
+     * Per-slot class names for heterogeneous boards: when non-empty,
+     * slot track names carry the class as a suffix ("slot 3 [small]").
+     * Empty (the default) keeps the legacy "slot N" names, so uniform
+     * exports are byte-identical. Indexed by slot id; slots beyond the
+     * vector keep the plain name.
+     */
+    std::vector<std::string> slotClassNames;
 };
 
 /** Converts recorded telemetry into Chrome trace-event JSON. */

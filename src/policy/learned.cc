@@ -46,6 +46,12 @@ LearnedScheduler::featurize(std::array<double, kPolicyFeatures> &phi,
     phi[4] = obs.numSlots
                  ? static_cast<double>(obs.freeSlots) / obs.numSlots
                  : 0.0;
+    // Heterogeneity/energy features: exactly 0.0 on uniform boards with
+    // accounting off, so legacy decisions are bit-identical.
+    if (action.slot != kSlotNone && action.slot < kMaxSlotObs)
+        phi[13] = static_cast<double>(obs.slots[action.slot].slotClass) / 8.0;
+    const double joules = static_cast<double>(obs.energyJoules);
+    phi[14] = joules > 0.0 ? joules / (joules + 1000.0) : 0.0;
     if (!app)
         return;
     const double est =

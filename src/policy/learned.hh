@@ -38,7 +38,7 @@
 namespace nimblock {
 
 /** Feature vector length of the linear policy. */
-inline constexpr std::size_t kPolicyFeatures = 13;
+inline constexpr std::size_t kPolicyFeatures = 15;
 
 /** Tuning knobs for LearnedScheduler. */
 struct LearnedConfig
@@ -80,6 +80,8 @@ struct LearnedConfig
         0.3,   // overdue (deadline slack exhausted)
         -0.1,  // normalized single-slot latency estimate
         -0.2,  // slots-used fraction (negative: fairness)
+        0.0,   // target slot class (0 on uniform boards)
+        0.0,   // energy pressure (0 with accounting off)
     };
 
     /** When non-empty, log decisions to this binary trace file. */

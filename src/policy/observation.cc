@@ -63,6 +63,9 @@ ObservationBuilder::build(SchedulerOps &ops,
         static_cast<std::uint32_t>(fabric.configuringCount());
     _obs.capBusy = fabric.cap().busy() ? 1 : 0;
     _obs.storeBusy = fabric.store().busy() ? 1 : 0;
+    // 0.0f (all bits zero, matching the old padding) when accounting is
+    // off, so energy-off snapshots stay byte-identical.
+    _obs.energyJoules = static_cast<float>(ops.energyJoulesTotal());
 
     std::size_t slot_rows = fabric.numSlots();
     if (slot_rows > kMaxSlotObs) {
@@ -81,6 +84,9 @@ ObservationBuilder::build(SchedulerOps &ops,
         row.waitingForNextItem = s.waitingForNextItem() ? 1 : 0;
         row.quarantined = s.quarantined() ? 1 : 0;
         row.preemptRequested = s.preemptRequested() ? 1 : 0;
+        // 0 on uniform boards (one implicit class), matching the old
+        // padding byte.
+        row.slotClass = static_cast<std::uint8_t>(s.classId());
     }
 
     _obs.liveApps = static_cast<std::uint32_t>(apps.size());

@@ -74,7 +74,10 @@ struct SlotObs
     /** A preemption request is pending on this slot. */
     std::uint8_t preemptRequested;
 
-    std::uint8_t pad[3];
+    /** Slot-class index on heterogeneous boards (0 when uniform). */
+    std::uint8_t slotClass;
+
+    std::uint8_t pad[2];
 };
 
 static_assert(sizeof(SlotObs) == 24, "SlotObs layout is part of the "
@@ -184,7 +187,8 @@ struct SchedObservation
     /** Live set deeper than kMaxAppObs; apps[] is a prefix. */
     std::uint8_t appsTruncated;
 
-    std::uint8_t pad[4];
+    /** Joules accumulated by the energy model so far (0 when off). */
+    float energyJoules;
 
     std::array<SlotObs, kMaxSlotObs> slots;
     std::array<AppObs, kMaxAppObs> apps;

@@ -7,6 +7,7 @@
 #include "sched/prema.hh"
 #include "sched/round_robin.hh"
 #include "sched/static_alloc.hh"
+#include "sched/themis.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -26,6 +27,8 @@ tryMakeScheduler(const std::string &name)
         return std::make_unique<StaticAllocScheduler>();
     if (name == "learned")
         return std::make_unique<LearnedScheduler>();
+    if (name == "themis")
+        return std::make_unique<ThemisScheduler>();
 
     NimblockConfig cfg;
     if (name == "nimblock")
@@ -68,7 +71,8 @@ schedulerNames()
 {
     return {"baseline", "no_sharing", "fcfs",
             "prema",    "rr",         "static",
-            "dml_static", "learned",  "nimblock",
+            "dml_static", "learned",  "themis",
+            "nimblock",
             "nimblock_nopreempt", "nimblock_nopipe",
             "nimblock_nopreempt_nopipe"};
 }
@@ -82,7 +86,8 @@ evaluationSchedulers()
 std::vector<std::string>
 extendedSchedulers()
 {
-    return {"baseline", "fcfs", "prema", "rr", "nimblock", "learned"};
+    return {"baseline", "fcfs",    "prema", "rr",
+            "nimblock", "learned", "themis"};
 }
 
 std::vector<std::string>

@@ -56,9 +56,14 @@ Scheduler::pickFreeSlot(const AppInstance &app, TaskId task)
 {
     Fabric &fabric = ops().fabric();
     BitstreamNameId want_name = app.bitstreamNameId();
+    // The compatibility probe only runs on heterogeneous boards; uniform
+    // boards take the original loop byte-for-byte.
+    bool hetero = fabric.heterogeneous();
     SlotId fallback = kSlotNone;
     for (const Slot &s : fabric.slots()) {
         if (!s.isFree())
+            continue;
+        if (hetero && !fabric.kernelCompatible(want_name, s.classId()))
             continue;
         if (fallback == kSlotNone)
             fallback = s.id();

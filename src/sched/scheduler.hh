@@ -126,6 +126,13 @@ class SchedulerOps
      * not track versions (treat every snapshot as stale).
      */
     virtual std::uint64_t stateVersion() const { return 0; }
+
+    /**
+     * Joules accumulated by the run's energy model so far; 0.0 whenever
+     * accounting is off. Energy-aware policies (themis) and the learned
+     * policy's feature vector read it; everything else ignores it.
+     */
+    virtual double energyJoulesTotal() const { return 0.0; }
 };
 
 /** Base class for all scheduling algorithms. */

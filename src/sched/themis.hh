@@ -1,0 +1,87 @@
+/**
+ * @file
+ * THEMIS-style fair scheduler for heterogeneous fabrics.
+ *
+ * Serves applications in ascending order of their *class-normalized
+ * attained service share* — a max-min fairness objective in the spirit
+ * of THEMIS (finish-time fairness for heterogeneous ML clusters): the
+ * tenant that has received the least service relative to its demand and
+ * priority goes first, so no application can be starved by a heavy
+ * neighbor.
+ *
+ * Placement is heterogeneity- and energy-aware: among the free slots
+ * whose class is compatible with the kernel, themis picks the slot
+ * minimizing a weighted time/energy cost (class speedup against class
+ * power draw), falling back to the shared affinity-first helper on
+ * uniform boards so uniform-class runs are byte-identical to a
+ * class-blind scheduler.
+ *
+ * No token state and no pass-count dependence: the pass is a pure
+ * function of hypervisor/fabric state (passIsPure() == true), so the
+ * hypervisor may elide provable no-op tick passes.
+ */
+
+#ifndef NIMBLOCK_SCHED_THEMIS_HH
+#define NIMBLOCK_SCHED_THEMIS_HH
+
+#include "sched/scheduler.hh"
+
+namespace nimblock {
+
+/** Weights of the themis placement objective. */
+struct ThemisConfig
+{
+    /**
+     * Weight of the (inverse-speedup) completion-time term in the slot
+     * cost. Must be positive.
+     */
+    double timeWeight = 1.0;
+
+    /**
+     * Weight of the per-class energy term (dynamic power over speedup
+     * plus reconfiguration energy). 0 makes placement purely
+     * performance-greedy. Must be non-negative.
+     */
+    double energyWeight = 0.1;
+};
+
+/** Max-min fair scheduler over class-normalized attained service. */
+class ThemisScheduler : public Scheduler
+{
+  public:
+    explicit ThemisScheduler(ThemisConfig cfg = {});
+
+    void pass(SchedEvent reason) override;
+
+    /** Pure: same state always yields the same placements. */
+    bool passIsPure() const override { return true; }
+
+    void reserveApps(std::size_t n) override;
+
+  private:
+    /**
+     * Attained service normalized by demand and priority: total run
+     * time over (single-slot latency estimate x priority weight). The
+     * max-min objective serves the smallest value first.
+     */
+    double normalizedShare(AppInstance &app);
+
+    /**
+     * Free compatible slot minimizing the weighted time/energy cost;
+     * kSlotNone when no compatible slot is free. Uniform boards defer
+     * to the shared affinity-first helper (byte-identical placement).
+     */
+    SlotId pickEnergyAwareSlot(const AppInstance &app, TaskId task);
+
+    /** configureBulkReady with energy-aware slot choice. */
+    std::size_t configureEnergyAware(AppInstance &app);
+
+    ThemisConfig _cfg;
+
+    /** Pass-local (share, live-index) scratch; index breaks ties. */
+    std::vector<std::pair<double, std::size_t>> _byShare;
+};
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_SCHED_THEMIS_HH

@@ -142,6 +142,7 @@ class ParallelGridTest : public ::testing::Test
         EXPECT_EQ(a.requeues, b.requeues);
         EXPECT_EQ(a.migrations, b.migrations);
         EXPECT_EQ(a.migrationTime, b.migrationTime);
+        EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
     }
 
     static void
@@ -260,6 +261,58 @@ TEST_F(ParallelGridTest, FaultedGridMatchesAcrossJobCounts)
     auto parallel = threaded.runAll(schedulers, seqs);
 
     expectSameResults(serial, parallel);
+}
+
+TEST_F(ParallelGridTest, HeterogeneousFabricGridMatchesAcrossJobCounts)
+{
+    // Slot classes + energy accounting live entirely inside each run's
+    // Fabric/EnergyModel, so a heterogeneous grid (themis included) must
+    // stay byte-identical — records, energy attribution and run totals —
+    // for any job count.
+    SystemConfig cfg;
+    SlotClassConfig big;
+    big.name = "big";
+    big.reconfigScale = 1.4;
+    big.staticPowerWatts = 1.5;
+    big.dynamicPowerWatts = 6.0;
+    big.reconfigEnergyJoules = 0.8;
+    SlotClassConfig small;
+    small.name = "small";
+    small.staticPowerWatts = 0.5;
+    small.dynamicPowerWatts = 2.0;
+    small.reconfigEnergyJoules = 0.3;
+    cfg.fabric.slotClasses = {big, small};
+    cfg.fabric.boardLayout.assign(cfg.fabric.numSlots, "small");
+    for (std::size_t s = 0; s < cfg.fabric.numSlots / 2; ++s)
+        cfg.fabric.boardLayout[s] = "big";
+    cfg.fabric.kernelRules.push_back({"lenet", "big", true, 1.5});
+    cfg.fabric.kernelRules.push_back({"alexnet", "big", true, 1.3});
+    cfg.energy.enabled = true;
+    AppRegistry registry = standardRegistry();
+    std::vector<std::string> schedulers = {"nimblock", "prema", "themis",
+                                           "learned"};
+    std::vector<EventSequence> seqs = sequences();
+
+    ExperimentGrid sequential(cfg, registry);
+    sequential.setJobs(1);
+    auto serial = sequential.runAll(schedulers, seqs);
+
+    ExperimentGrid threaded(cfg, registry);
+    threaded.setJobs(4);
+    auto parallel = threaded.runAll(schedulers, seqs);
+
+    expectSameResults(serial, parallel);
+    for (const auto &[name, res] : serial) {
+        const SchedulerResults &other = parallel.at(name);
+        for (std::size_t i = 0; i < res.runs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(res.runs[i].energy.totalJoules,
+                             other.runs[i].energy.totalJoules)
+                << name;
+            EXPECT_DOUBLE_EQ(res.runs[i].energy.idleStaticJoules,
+                             other.runs[i].energy.idleStaticJoules)
+                << name;
+        }
+    }
 }
 
 TEST_F(ParallelGridTest, HeterogeneousClusterMatchesAcrossJobCounts)

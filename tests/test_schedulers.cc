@@ -73,8 +73,9 @@ TEST(SchedulerFactory, EvaluationAndAblationSets)
     EXPECT_EQ(eval.size(), 5u);
     EXPECT_EQ(eval.front(), "baseline");
     auto extended = extendedSchedulers();
-    ASSERT_EQ(extended.size(), 6u);
-    EXPECT_EQ(extended.back(), "learned");
+    ASSERT_EQ(extended.size(), 7u);
+    EXPECT_EQ(extended[5], "learned");
+    EXPECT_EQ(extended.back(), "themis");
     for (std::size_t i = 0; i < eval.size(); ++i)
         EXPECT_EQ(extended[i], eval[i]);
     auto ablation = ablationSchedulers();

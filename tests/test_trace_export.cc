@@ -105,7 +105,7 @@ parseTrace(const std::string &json)
 }
 
 RunResult
-tracedRun(const char *scheduler)
+tracedRun(const char *scheduler, bool energy = false)
 {
     AppRegistry registry = standardRegistry();
     EventSequence seq;
@@ -120,6 +120,7 @@ tracedRun(const char *scheduler)
     cfg.scheduler = scheduler;
     cfg.recordTimeline = true;
     cfg.hypervisor.recordCounters = true;
+    cfg.energy.enabled = energy;
     return Simulation(cfg, registry).run(seq);
 }
 
@@ -245,6 +246,65 @@ TEST(TraceExport, WriteFileRoundTrips)
                                     result.counters.get()));
     EXPECT_EQ(data.front(), '{');
     EXPECT_EQ(data[data.size() - 2], '}'); // trailing newline after '}'
+}
+
+TEST(TraceExport, EnergyCounterTracksExported)
+{
+    RunResult result = tracedRun("themis", /*energy=*/true);
+    ASSERT_TRUE(result.energy.enabled);
+    TraceExporter exporter;
+    std::string json =
+        exporter.toJson(*result.timeline, result.counters.get());
+
+    std::map<std::string, double> final_value;
+    for (const ParsedEvent &e : parseTrace(json)) {
+        if (e.ph == "C")
+            final_value[e.name] = e.value;
+    }
+    ASSERT_TRUE(final_value.count("energy.total_joules"));
+    ASSERT_TRUE(final_value.count("energy.dynamic_joules"));
+    ASSERT_TRUE(final_value.count("energy.reconfig_joules"));
+    EXPECT_GT(final_value.at("energy.total_joules"), 0.0);
+    // The final counter sample precedes finalize(), so it excludes the
+    // idle-static remainder folded in at end of run (tolerance: the two
+    // sums accumulate in different orders).
+    EXPECT_LE(final_value.at("energy.total_joules"),
+              result.energy.totalJoules + 1e-6);
+    EXPECT_NEAR(final_value.at("energy.dynamic_joules"),
+                result.energy.dynamicJoules, 1e-9);
+    EXPECT_NEAR(final_value.at("energy.reconfig_joules"),
+                result.energy.reconfigJoules, 1e-9);
+}
+
+TEST(TraceExport, EnergyOffExportsNoEnergyCounters)
+{
+    RunResult result = tracedRun("nimblock");
+    TraceExporter exporter;
+    std::string json =
+        exporter.toJson(*result.timeline, result.counters.get());
+    EXPECT_EQ(json.find("energy."), std::string::npos);
+}
+
+TEST(TraceExport, SlotClassNamesSuffixThreadNames)
+{
+    Timeline empty;
+    TraceExportOptions opts;
+    opts.numSlots = 3;
+    opts.slotClassNames = {"big", "small"}; // Slot 2 keeps the plain name.
+    TraceExporter exporter(opts);
+    std::string json = exporter.toJson(empty, nullptr);
+
+    EXPECT_NE(json.find("slot 0 [big]"), std::string::npos);
+    EXPECT_NE(json.find("slot 1 [small]"), std::string::npos);
+    EXPECT_NE(json.find("\"slot 2\""), std::string::npos);
+    EXPECT_EQ(json.find("slot 2 ["), std::string::npos);
+
+    // Labels only rename the tracks: the metadata-event count is the
+    // same as the legacy export (two processes, scheduler, three slots).
+    std::vector<ParsedEvent> events = parseTrace(json);
+    for (const ParsedEvent &e : events)
+        EXPECT_EQ(e.ph, "M");
+    EXPECT_EQ(events.size(), 6u);
 }
 
 TEST(TraceExport, EmptyTimelineStillValid)

@@ -19,14 +19,9 @@ namespace bench {
 namespace {
 /** Wall-clock anchor set by printHeader() and read by printFooter(). */
 std::chrono::steady_clock::time_point gBenchStart;
+} // namespace
 
-/**
- * Print "name1, name2, ..." to stderr and exit(2): the usage-error path
- * for flags taking a name from a closed set. Benches are command-line
- * tools — a typo'd name should produce the valid list and a usage exit
- * code, not a fatal() backtrace.
- */
-[[noreturn]] void
+void
 usageErrorNames(const char *what, const std::string &got,
                 const std::vector<std::string> &valid)
 {
@@ -36,7 +31,6 @@ usageErrorNames(const char *what, const std::string &got,
     std::fprintf(stderr, "\n");
     std::exit(2);
 }
-} // namespace
 
 BenchOptions
 BenchOptions::parse(int argc, char **argv)

@@ -146,6 +146,15 @@ void maybeWritePolicyTrace(const BenchOptions &opts, const BenchEnv &env);
 std::vector<std::string> schedulerSet(const BenchOptions &opts,
                                       std::vector<std::string> defaults);
 
+/**
+ * Print "unknown <what> '<got>'; valid: name1, name2, ..." to stderr and
+ * exit(2): the usage-error path for flags taking a name from a closed
+ * set. Benches are command-line tools — a typo'd name should produce the
+ * valid list and a usage exit code, not a fatal() backtrace.
+ */
+[[noreturn]] void usageErrorNames(const char *what, const std::string &got,
+                                  const std::vector<std::string> &valid);
+
 /** Short display names used in the paper's figures. */
 std::string displayName(const std::string &scheduler);
 

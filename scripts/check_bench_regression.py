@@ -2,9 +2,10 @@
 """Guard bench throughput against the committed baselines.
 
 Compares a fresh CI bench run against the repository's committed
-BENCH_innerloop.json (and, when --soak-baseline/--soak-current or
---energy-baseline/--energy-current are given, BENCH_soak.json /
-BENCH_energy.json). CI runners are shared, unpinned machines whose
+BENCH_innerloop.json (and, when --soak-baseline/--soak-current,
+--energy-baseline/--energy-current or
+--pipeline-baseline/--pipeline-current are given, BENCH_soak.json /
+BENCH_energy.json / BENCH_pipeline.json). CI runners are shared, unpinned machines whose
 absolute throughput swings easily by tens of percent, so the guard only
 fails when a measured rate drops below baseline divided by the
 tolerance factor (default 2x) — large enough to never flake, small
@@ -124,6 +125,68 @@ def check_energy(base, cur, tolerance, failures):
         failures.extend(bad)
 
 
+def index_pipeline_cells(doc):
+    return {(r["app"], r["scheduler"], r["mode"]): r
+            for r in doc.get("results", [])}
+
+
+def check_pipeline(base, cur, tolerance, failures):
+    """Pipelined-kernel guard. Two layers:
+
+    Cross-run, over the intersection of (app, scheduler, mode) cells,
+    mean response must not inflate past tolerance x baseline. Response
+    times are simulated (deterministic), but quick and full CI modes
+    run different workload sizes under the same labels, so this is a
+    ratio bound like the energy guard, not an equality check.
+
+    Within the current run alone, two invariants hold at any workload
+    size: the pipelined and scalar halves of a cell execute the same
+    item count (the model changes when work finishes, never how much
+    work exists), and pipelined mean response does not exceed scalar
+    (intra-slot overlap can only help at the bench's default arrival
+    spacing; the bench run is deterministic, so this cannot flake)."""
+    base_cells = index_pipeline_cells(base)
+    cur_cells = index_pipeline_cells(cur)
+    shared = sorted(set(base_cells) & set(cur_cells))
+    if not shared:
+        print("pipeline: no shared cells between baseline and current; "
+              "skipped")
+    else:
+        print(f"\n{'pipeline cell':<38} {'base resp s':>11} "
+              f"{'cur resp s':>11}")
+        for key in shared:
+            b, c = base_cells[key], cur_cells[key]
+            label = "/".join(key)
+            bad = []
+            if c["mean_response_sec"] > tolerance * b["mean_response_sec"]:
+                bad.append(
+                    f"pipeline {label}: {c['mean_response_sec']:.3f} s "
+                    f"mean response is more than {tolerance:g}x baseline "
+                    f"{b['mean_response_sec']:.3f} s")
+            verdict = "ok" if not bad else "REGRESSION"
+            print(f"{label:<38} {b['mean_response_sec']:>11.3f} "
+                  f"{c['mean_response_sec']:>11.3f}  {verdict}")
+            failures.extend(bad)
+
+    pairs = {}
+    for (app, sched, mode), r in cur_cells.items():
+        pairs.setdefault((app, sched), {})[mode] = r
+    for (app, sched), modes in sorted(pairs.items()):
+        if "pipelined" not in modes or "scalar" not in modes:
+            continue
+        piped, scalar = modes["pipelined"], modes["scalar"]
+        if piped["items_executed"] != scalar["items_executed"]:
+            failures.append(
+                f"pipeline {app}/{sched}: items diverge between modes "
+                f"(pipelined {piped['items_executed']} vs scalar "
+                f"{scalar['items_executed']}) — accounting closure broken")
+        if piped["mean_response_sec"] > scalar["mean_response_sec"]:
+            failures.append(
+                f"pipeline {app}/{sched}: pipelined mean response "
+                f"{piped['mean_response_sec']:.3f} s exceeds scalar "
+                f"{scalar['mean_response_sec']:.3f} s — overlap win lost")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -141,6 +204,10 @@ def main():
                     help="committed BENCH_energy.json (optional)")
     ap.add_argument("--energy-current",
                     help="freshly measured BENCH_energy.json (optional)")
+    ap.add_argument("--pipeline-baseline",
+                    help="committed BENCH_pipeline.json (optional)")
+    ap.add_argument("--pipeline-current",
+                    help="freshly measured BENCH_pipeline.json (optional)")
     args = ap.parse_args()
     if args.tolerance < 1.0:
         sys.exit("error: --tolerance must be >= 1.0")
@@ -148,6 +215,9 @@ def main():
         sys.exit("error: --soak-baseline and --soak-current go together")
     if bool(args.energy_baseline) != bool(args.energy_current):
         sys.exit("error: --energy-baseline and --energy-current "
+                 "go together")
+    if bool(args.pipeline_baseline) != bool(args.pipeline_current):
+        sys.exit("error: --pipeline-baseline and --pipeline-current "
                  "go together")
 
     base = load(args.baseline)
@@ -201,6 +271,11 @@ def main():
     if args.energy_baseline:
         check_energy(load(args.energy_baseline), load(args.energy_current),
                      args.tolerance, failures)
+
+    if args.pipeline_baseline:
+        check_pipeline(load(args.pipeline_baseline),
+                       load(args.pipeline_current), args.tolerance,
+                       failures)
 
     if failures:
         print("\nFAILED:", file=sys.stderr)

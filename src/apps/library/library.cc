@@ -1,0 +1,213 @@
+#include "apps/library/library.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel_model/kernel_model.hh"
+#include "sim/logging.hh"
+#include "taskgraph/builder.hh"
+
+namespace nimblock {
+namespace library {
+
+namespace {
+
+/** One pipeline stage (name, II, depth, chunk bytes). */
+StageSpec
+stage(const char *name, SimTime ii, int depth, std::uint64_t chunk_bytes)
+{
+    StageSpec s;
+    s.name = name;
+    s.initiationInterval = ii;
+    s.pipelineDepth = depth;
+    s.chunkBytes = chunk_bytes;
+    return s;
+}
+
+/** A kernel-model task (itemLatency derived from the model). */
+TaskSpec
+pipelinedTask(std::string name, KernelModelPtr kernel,
+              std::uint64_t io_bytes)
+{
+    TaskSpec t;
+    t.name = std::move(name);
+    t.kernel = std::move(kernel);
+    t.inputBytes = io_bytes;
+    t.outputBytes = io_bytes;
+    return t;
+}
+
+} // namespace
+
+AppSpecPtr
+hashTree(const HashTreeParams &p)
+{
+    if (p.leaves < 1)
+        fatal("hash tree needs at least one leaf (got %d)", p.leaves);
+    if (p.chunks < 1)
+        fatal("hash tree needs a positive chunk count (got %d)", p.chunks);
+
+    GraphBuilder b;
+
+    // Chunk-compress leaves: the blake3-fpga shape — every 1 KiB chunk
+    // runs a deep compression-round pipeline; depth is capped by the
+    // chunk stream so short streams stay fillable.
+    int leaf_depth = std::min(4, p.chunks);
+    KernelModelPtr leaf_model = makeKernelModel(
+        {stage("compress", simtime::ms(2), leaf_depth, p.chunkBytes)},
+        p.chunks);
+    std::vector<TaskId> level;
+    for (int i = 0; i < p.leaves; ++i) {
+        level.push_back(b.addTask(pipelinedTask(
+            formatMessage("HT_chunk_%d", i), leaf_model,
+            static_cast<std::uint64_t>(p.chunks) * p.chunkBytes)));
+    }
+
+    // Binary parent-merge tree down to the root: shallower two-stage
+    // pipelines (load chaining values, merge).
+    int merge_depth = std::min(2, p.chunks);
+    KernelModelPtr merge_model = makeKernelModel(
+        {stage("load_cv", simtime::ms(1), 1, 64),
+         stage("merge", simtime::msF(1.5), merge_depth, 64)},
+        p.chunks);
+    int lvl = 0;
+    while (level.size() > 1) {
+        std::vector<TaskId> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            TaskId parent = b.addTask(pipelinedTask(
+                formatMessage("HT_merge_%d_%zu", lvl, i / 2), merge_model,
+                64 << 10));
+            b.edge(level[i], parent);
+            if (i + 1 < level.size())
+                b.edge(level[i + 1], parent);
+            next.push_back(parent);
+        }
+        level = std::move(next);
+        ++lvl;
+    }
+
+    return std::make_shared<AppSpec>("hash_tree", "HT", b.build());
+}
+
+AppSpecPtr
+videoTranscode(const TranscodeParams &p)
+{
+    if (p.filters < 0)
+        fatal("transcode filter count cannot be negative (got %d)",
+              p.filters);
+    if (p.chunks < 1)
+        fatal("transcode needs a positive chunk count (got %d)", p.chunks);
+
+    GraphBuilder b;
+    std::uint64_t frame_bytes = 2 << 20;
+
+    KernelModelPtr decode = makeKernelModel(
+        {stage("entropy_decode", simtime::ms(3), std::min(2, p.chunks),
+               32 << 10),
+         stage("reconstruct", simtime::ms(2), std::min(3, p.chunks),
+               32 << 10)},
+        p.chunks);
+    KernelModelPtr filter = makeKernelModel(
+        {stage("filter", simtime::ms(2), std::min(2, p.chunks), 32 << 10)},
+        p.chunks);
+    // The encoder is the bottleneck: deepest pipeline, largest II.
+    KernelModelPtr encode = makeKernelModel(
+        {stage("motion_search", simtime::ms(4), std::min(4, p.chunks),
+               32 << 10),
+         stage("entropy_encode", simtime::ms(3), std::min(2, p.chunks),
+               32 << 10)},
+        p.chunks);
+
+    TaskId prev = b.addTask(pipelinedTask("VT_decode", decode, frame_bytes));
+    for (int i = 0; i < p.filters; ++i) {
+        TaskId f = b.addTask(pipelinedTask(formatMessage("VT_filter_%d", i),
+                                           filter, frame_bytes));
+        b.edge(prev, f);
+        prev = f;
+    }
+    TaskId enc = b.addTask(pipelinedTask("VT_encode", encode, frame_bytes));
+    b.edge(prev, enc);
+
+    return std::make_shared<AppSpec>("video_transcode", "VT", b.build());
+}
+
+AppSpecPtr
+transformerBlock(const TransformerParams &p)
+{
+    if (p.heads < 1)
+        fatal("transformer block needs at least one head (got %d)",
+              p.heads);
+    if (p.chunks < 1)
+        fatal("transformer block needs a positive chunk count (got %d)",
+              p.chunks);
+
+    GraphBuilder b;
+    std::uint64_t tile_bytes = 512 << 10;
+
+    KernelModelPtr proj = makeKernelModel(
+        {stage("gemm", simtime::ms(3), std::min(4, p.chunks), 64 << 10)},
+        p.chunks);
+    KernelModelPtr attn = makeKernelModel(
+        {stage("qk_score", simtime::ms(2), std::min(2, p.chunks), 32 << 10),
+         stage("softmax_av", simtime::ms(2), std::min(2, p.chunks),
+               32 << 10)},
+        p.chunks);
+    KernelModelPtr mlp = makeKernelModel(
+        {stage("gemm_gelu", simtime::ms(4), std::min(3, p.chunks),
+               64 << 10)},
+        p.chunks);
+
+    TaskId q = b.addTask(pipelinedTask("TF_q_proj", proj, tile_bytes));
+    TaskId k = b.addTask(pipelinedTask("TF_k_proj", proj, tile_bytes));
+    TaskId v = b.addTask(pipelinedTask("TF_v_proj", proj, tile_bytes));
+    std::vector<TaskId> heads;
+    for (int h = 0; h < p.heads; ++h) {
+        TaskId head = b.addTask(pipelinedTask(
+            formatMessage("TF_head_%d", h), attn, tile_bytes));
+        b.edge(q, head);
+        b.edge(k, head);
+        b.edge(v, head);
+        heads.push_back(head);
+    }
+    TaskId out = b.addTask(pipelinedTask("TF_out_proj", proj, tile_bytes));
+    for (TaskId h : heads)
+        b.edge(h, out);
+    TaskId up = b.addTask(pipelinedTask("TF_mlp_up", mlp, tile_bytes));
+    TaskId down = b.addTask(pipelinedTask("TF_mlp_down", mlp, tile_bytes));
+    b.edge(out, up);
+    b.edge(up, down);
+
+    return std::make_shared<AppSpec>("transformer_block", "TF", b.build());
+}
+
+AppSpecPtr
+scalarClone(const AppSpec &spec, const std::string &name_suffix)
+{
+    const TaskGraph &g = spec.graph();
+    GraphBuilder b;
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        TaskSpec copy = g.task(t);
+        // Pin the derived cold latency and drop the model: identical
+        // per-item cost, no intra-slot overlap.
+        copy.kernel = nullptr;
+        b.addTask(std::move(copy));
+    }
+    for (TaskId t = 0; t < g.numTasks(); ++t) {
+        for (TaskId s : g.successors(t))
+            b.edge(t, s);
+    }
+    return std::make_shared<AppSpec>(spec.name() + name_suffix,
+                                     spec.shortName() + "s", b.build(),
+                                     spec.pipelineAcrossBatch());
+}
+
+std::vector<AppSpecPtr>
+all()
+{
+    static std::vector<AppSpecPtr> specs = {hashTree(), videoTranscode(),
+                                            transformerBlock()};
+    return specs;
+}
+
+} // namespace library
+} // namespace nimblock

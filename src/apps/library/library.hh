@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Programmatic application library: generated task graphs beyond the
+ * paper's Table 2, every task carrying a streaming kernel model
+ * (kernel_model/).
+ *
+ * Three families, each parameterized so grids can sweep shape:
+ *
+ *   - hashTree(): a BLAKE3-style hash tree — parallel chunk-compress
+ *     leaves feeding a binary parent-merge tree (the blake3-fpga
+ *     kernel shape: 1 KiB chunks streaming through compress rounds);
+ *   - videoTranscode(): a decode -> filter... -> encode chain with the
+ *     encoder as the pipeline bottleneck;
+ *   - transformerBlock(): QKV projections fanning into parallel
+ *     attention heads, re-joined and pushed through a two-layer MLP.
+ *
+ * Default-parameter instances are cached (like apps/benchmarks.hh) and
+ * registered alongside the six paper benchmarks via
+ * extendedRegistry() / tryMakeApp() in apps/registry.hh.
+ */
+
+#ifndef NIMBLOCK_APPS_LIBRARY_LIBRARY_HH
+#define NIMBLOCK_APPS_LIBRARY_LIBRARY_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/app_spec.hh"
+
+namespace nimblock {
+namespace library {
+
+/** Shape knobs for the BLAKE3-style hash tree. */
+struct HashTreeParams
+{
+    /** Parallel chunk-compress leaves (fan-out); must be >= 1. */
+    int leaves = 4;
+
+    /** Chunks streamed per batch item; must be >= 1. */
+    int chunks = 8;
+
+    /** Bytes per chunk (BLAKE3 streams 1 KiB chunks). */
+    std::uint64_t chunkBytes = 1024;
+};
+
+/**
+ * BLAKE3-style hash tree ("hash_tree" / "HT"): @p p.leaves compress
+ * leaves, then binary merge levels down to a single root. Leaves run
+ * chunk-compression pipelines; merge nodes run shallower parent-merge
+ * pipelines.
+ */
+AppSpecPtr hashTree(const HashTreeParams &p = {});
+
+/** Shape knobs for the video-transcode chain. */
+struct TranscodeParams
+{
+    /** Filter stages between decode and encode; must be >= 0. */
+    int filters = 2;
+
+    /** Chunks (macroblock rows) streamed per batch item; >= 1. */
+    int chunks = 12;
+};
+
+/**
+ * Video-transcode chain ("video_transcode" / "VT"): decode ->
+ * filter_0..filter_{n-1} -> encode, the encoder carrying the deepest
+ * pipeline (the steady-state bottleneck).
+ */
+AppSpecPtr videoTranscode(const TranscodeParams &p = {});
+
+/** Shape knobs for the transformer block. */
+struct TransformerParams
+{
+    /** Parallel attention heads; must be >= 1. */
+    int heads = 4;
+
+    /** Chunks (token tiles) streamed per batch item; >= 1. */
+    int chunks = 8;
+};
+
+/**
+ * Transformer block ("transformer_block" / "TF"): Q/K/V projections
+ * fanning into @p p.heads parallel attention tasks, re-joined by an
+ * output projection and pushed through a two-layer MLP.
+ */
+AppSpecPtr transformerBlock(const TransformerParams &p = {});
+
+/**
+ * Scalar control clone: the same graph with every kernel model
+ * stripped and the per-task cold latency pinned, so items run
+ * back-to-back with no intra-slot overlap. The A/B baseline for
+ * bench_pipeline and the overlap tests.
+ */
+AppSpecPtr scalarClone(const AppSpec &spec,
+                       const std::string &name_suffix = "_scalar");
+
+/** The three default-parameter library apps. */
+std::vector<AppSpecPtr> all();
+
+} // namespace library
+} // namespace nimblock
+
+#endif // NIMBLOCK_APPS_LIBRARY_LIBRARY_HH

@@ -1,6 +1,7 @@
 #include "apps/registry.hh"
 
 #include "apps/benchmarks.hh"
+#include "apps/library/library.hh"
 #include "sim/logging.hh"
 
 namespace nimblock {
@@ -57,6 +58,47 @@ standardRegistry()
     for (auto &spec : benchmarks::all())
         reg.add(spec);
     return reg;
+}
+
+AppRegistry
+extendedRegistry()
+{
+    AppRegistry reg = standardRegistry();
+    for (auto &spec : library::all())
+        reg.add(spec);
+    return reg;
+}
+
+AppSpecPtr
+tryMakeApp(const std::string &name)
+{
+    AppRegistry reg = extendedRegistry();
+    if (!reg.contains(name))
+        return nullptr;
+    return reg.get(name);
+}
+
+AppSpecPtr
+makeApp(const std::string &name)
+{
+    AppSpecPtr spec = tryMakeApp(name);
+    if (!spec) {
+        std::string valid;
+        for (const std::string &n : appNames()) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += n;
+        }
+        fatal("unknown application '%s' (valid: %s)", name.c_str(),
+              valid.c_str());
+    }
+    return spec;
+}
+
+std::vector<std::string>
+appNames()
+{
+    return extendedRegistry().names();
 }
 
 } // namespace nimblock

@@ -59,6 +59,28 @@ class AppRegistry
 /** Registry containing the six paper benchmarks. */
 AppRegistry standardRegistry();
 
+/**
+ * Registry containing the six paper benchmarks plus the programmatic
+ * library apps (apps/library/). Kept separate from standardRegistry()
+ * so existing scenario grids keep their exact workloads.
+ */
+AppRegistry extendedRegistry();
+
+/**
+ * Non-fatal lookup across benchmarks and library apps: nullptr when
+ * @p name is unknown (mirrors sched/factory.hh's tryMakeScheduler).
+ */
+AppSpecPtr tryMakeApp(const std::string &name);
+
+/**
+ * Fatal lookup across benchmarks and library apps; the error lists
+ * every valid name.
+ */
+AppSpecPtr makeApp(const std::string &name);
+
+/** All names tryMakeApp() accepts, sorted. */
+std::vector<std::string> appNames();
+
 } // namespace nimblock
 
 #endif // NIMBLOCK_APPS_REGISTRY_HH

@@ -28,6 +28,8 @@ Hypervisor::Hypervisor(EventQueue &eq, Fabric &fabric, Scheduler &scheduler,
     _itemEvent.assign(fabric.numSlots(), kEventNone);
     _itemStart.assign(fabric.numSlots(), kTimeNone);
     _itemDuration.assign(fabric.numSlots(), kTimeNone);
+    _pipeLastDone.assign(fabric.numSlots(), kTimeNone);
+    _pipePrimed.assign(fabric.numSlots(), 0);
     _scheduler.attach(*this);
     _tick = std::make_unique<PeriodicEvent>(
         _eq, _cfg.schedInterval, "sched_tick", [this] {
@@ -456,6 +458,8 @@ Hypervisor::abortPlacement(AppInstance &app, TaskId task, SlotId slot_id)
     if (_energy)
         _energy->slotFree(slot_id, _eq.now(), &app);
     _fabric.slot(slot_id).release(_eq.now());
+    _pipeLastDone[slot_id] = kTimeNone;
+    _pipePrimed[slot_id] = 0;
     // Per-slot retry state exists only with an installed injector; the
     // migration path reaches here fault-free.
     if (_faults)
@@ -633,22 +637,38 @@ Hypervisor::startItem(SlotId slot_id)
         // (Checkpointed remainders resume unscaled: the saved remainder
         // already reflects the class the item originally started in.)
         SimTime dur;
+        _pipePrimed[slot_id] = 0;
         if (st.itemRemaining != kTimeNone) {
             dur = st.itemRemaining;
         } else {
-            dur = itemWallTime(*app, task);
+            const TaskSpec &tspec = app->graph().task(task);
+            // Pipeline overlap: when the slot's previous item of this
+            // task retired at this very timestamp the kernel pipeline
+            // is still full, so the next item issues at the steady
+            // interval instead of paying the full fill + drain
+            // latency. A checkpointed resume is always cold (the
+            // pipeline drained with the preemption).
+            bool primed = tspec.kernel && st.itemsDone > 0 &&
+                          _pipeLastDone[slot_id] == _eq.now();
+            SimTime kernel_time = primed
+                                      ? tspec.kernel->itemIssueInterval()
+                                      : tspec.itemLatency;
             if (_fabric.heterogeneous()) {
                 double speedup = _fabric.kernelSpeedup(
                     app->bitstreamNameId(), _fabric.slotClassOf(slot_id));
                 if (speedup != 1.0) {
                     // Only the kernel component scales with the slot
                     // class; PS/NoC transfers are class-independent.
-                    SimTime k = app->graph().task(task).itemLatency;
-                    dur += static_cast<SimTime>(std::llround(
-                               static_cast<double>(k) / speedup)) -
-                           k;
+                    kernel_time = static_cast<SimTime>(std::llround(
+                        static_cast<double>(kernel_time) / speedup));
                 }
             }
+            SimTime io = itemWallTime(*app, task) - tspec.itemLatency;
+            // A primed item's transfers overlap the pipeline: the slot
+            // is held for the longer of the issue interval and the
+            // transfer time, never the sum.
+            dur = primed ? std::max(kernel_time, io) : kernel_time + io;
+            _pipePrimed[slot_id] = primed ? 1 : 0;
         }
         st.itemRemaining = kTimeNone;
         _itemStart[slot_id] = _eq.now();
@@ -742,6 +762,12 @@ Hypervisor::onItemDone(SlotId slot_id, SimTime item_duration)
     trace(slot_id, *app, task, TimelineEventKind::ItemEnd);
     countSample(_ctrItemsDone, static_cast<double>(_stats.itemsExecuted));
 
+    // The kernel pipeline is full at this instant: if the synchronous
+    // advanceSlot below starts the next item at this same timestamp it
+    // issues at the steady interval (see startItem).
+    _pipeLastDone[slot_id] = _eq.now();
+    _pipePrimed[slot_id] = 0;
+
     // Newly available output may unblock resident successors waiting at
     // their own item boundaries.
     for (TaskId succ : app->graph().successors(task)) {
@@ -771,6 +797,9 @@ Hypervisor::onItemFailed(SlotId slot_id, bool hang)
     slot.abortItem(_eq.now());
     st.executing = false;
     st.itemRemaining = kTimeNone;
+    // The fault flushed the kernel pipeline: the retried item is cold.
+    _pipeLastDone[slot_id] = kTimeNone;
+    _pipePrimed[slot_id] = 0;
     _itemFault[slot_id] = ItemFault::None;
     ++_stats.faultsInjected;
     countSample(_ctrFaults, static_cast<double>(_stats.faultsInjected));
@@ -835,6 +864,8 @@ Hypervisor::vacateResidentTasks(AppInstance &app)
         if (_energy)
             _energy->slotFree(slot_id, _eq.now(), &app);
         slot.release(_eq.now());
+        _pipeLastDone[slot_id] = kTimeNone;
+        _pipePrimed[slot_id] = 0;
         _slotHold[slot_id] = 0;
         _itemFault[slot_id] = ItemFault::None;
         _itemAttempts[slot_id] = 0;
@@ -923,10 +954,22 @@ Hypervisor::preempt(SlotId slot_id)
             panic("checkpointing slot %u of retired app", slot_id);
         TaskRunState &st = app->taskState(slot.task());
         SimTime elapsed = _eq.now() - _itemStart[slot_id];
-        st.itemRemaining = _itemDuration[slot_id] - elapsed;
-        app->addRunTime(elapsed); // Partial progress counts as run time.
+        SimTime charged = elapsed;
+        const KernelModelPtr &km = app->graph().task(slot.task()).kernel;
+        if (km) {
+            // Streaming kernels checkpoint at chunk boundaries: only
+            // fully retired chunks count as saved progress; the chunk
+            // in flight when the request landed re-executes on resume.
+            // Keeps migration and §3.4 batch-preemption exact — the
+            // restored remainder plus the charged progress always sums
+            // to the item's planned duration.
+            charged = km->chunkAlignedProgress(_itemDuration[slot_id],
+                                               elapsed);
+        }
+        st.itemRemaining = _itemDuration[slot_id] - charged;
+        app->addRunTime(charged); // Partial progress counts as run time.
         if (_energy)
-            _energy->chargeDynamic(slot_id, _eq.now(), elapsed, app);
+            _energy->chargeDynamic(slot_id, _eq.now(), charged, app);
         ++_stats.checkpointPreemptions;
 
         // The slot stays uninterruptible while state is saved; the
@@ -973,6 +1016,8 @@ Hypervisor::doPreempt(SlotId slot_id)
     if (_energy)
         _energy->slotFree(slot_id, _eq.now(), app);
     slot.release(_eq.now());
+    _pipeLastDone[slot_id] = kTimeNone;
+    _pipePrimed[slot_id] = 0;
     if (_faults) {
         _slotHold[slot_id] = 0;
         _itemFault[slot_id] = ItemFault::None;
@@ -1002,6 +1047,8 @@ Hypervisor::completeTask(SlotId slot_id)
     if (_energy)
         _energy->slotFree(slot_id, _eq.now(), app);
     slot.release(_eq.now());
+    _pipeLastDone[slot_id] = kTimeNone;
+    _pipePrimed[slot_id] = 0;
     if (_faults) {
         _slotHold[slot_id] = 0;
         _itemFault[slot_id] = ItemFault::None;
@@ -1374,6 +1421,23 @@ Hypervisor::reconfigLatencyEstimate() const
 {
     return _fabric.warmConfigureLatency(
         _fabric.config().defaultBitstreamBytes);
+}
+
+std::uint8_t
+Hypervisor::slotPipelineFlags(SlotId slot_id)
+{
+    const Slot &slot = _fabric.slot(slot_id);
+    if (slot.state() != SlotState::Occupied)
+        return 0;
+    AppInstance *app = findApp(slot.app());
+    if (!app)
+        return 0;
+    std::uint8_t flags = 0;
+    if (app->graph().task(slot.task()).kernel)
+        flags |= 1;
+    if (_pipePrimed[slot_id] && slot.executing())
+        flags |= 2;
+    return flags;
 }
 
 } // namespace nimblock

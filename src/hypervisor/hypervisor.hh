@@ -384,6 +384,7 @@ class Hypervisor : public SchedulerOps
     {
         return _energy ? _energy->totalJoules() : 0.0;
     }
+    std::uint8_t slotPipelineFlags(SlotId slot) override;
     /// @}
 
   private:
@@ -551,6 +552,16 @@ class Hypervisor : public SchedulerOps
     std::vector<SimTime> _itemStart;
     /** Planned wall duration of the in-flight item per slot. */
     std::vector<SimTime> _itemDuration;
+    /**
+     * Completion time of the slot's previous item (kTimeNone after any
+     * release/abort). A pipelined task whose next item starts at this
+     * exact timestamp still has a full kernel pipeline and issues at
+     * the steady interval instead of paying the fill latency
+     * (kernel_model/). Irrelevant to scalar tasks.
+     */
+    std::vector<SimTime> _pipeLastDone;
+    /** In-flight item issued at the steady pipeline interval, per slot. */
+    std::vector<char> _pipePrimed;
 
     std::unique_ptr<PeriodicEvent> _tick;
     /** Persistent pass timer: armed per requestPass, constructed once. */

@@ -1,0 +1,132 @@
+#include "kernel_model/kernel_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nimblock {
+
+KernelModel::KernelModel(std::vector<StageSpec> stages, int chunks)
+    : _stages(std::move(stages)), _chunks(chunks)
+{
+    if (_stages.empty())
+        fatal("kernel model needs at least one stage");
+    if (_chunks < 1)
+        fatal("kernel model needs a positive chunk count (got %d)", _chunks);
+    for (const StageSpec &s : _stages) {
+        if (s.name.empty())
+            fatal("kernel model stage needs a name");
+        if (s.initiationInterval <= 0) {
+            fatal("stage '%s' needs a positive initiation interval "
+                  "(got %lld ns)",
+                  s.name.c_str(),
+                  static_cast<long long>(s.initiationInterval));
+        }
+        if (s.pipelineDepth < 1) {
+            fatal("stage '%s' needs a positive pipeline depth (got %d)",
+                  s.name.c_str(), s.pipelineDepth);
+        }
+        if (s.pipelineDepth > _chunks) {
+            // The II/depth/chunk bound: a stage holding more chunks in
+            // flight than the item streams can never fill its pipeline,
+            // so the steady-state issue interval the model advertises
+            // would never be reached.
+            fatal("stage '%s' pipeline depth %d exceeds the chunk count "
+                  "%d: the pipeline can never fill",
+                  s.name.c_str(), s.pipelineDepth, _chunks);
+        }
+        _chunkInterval = std::max(_chunkInterval, s.initiationInterval);
+        _fillLatency += static_cast<SimTime>(s.pipelineDepth) *
+                        s.initiationInterval;
+    }
+}
+
+std::uint64_t
+KernelModel::chunkBytesTotal() const
+{
+    std::uint64_t total = 0;
+    for (const StageSpec &s : _stages)
+        total += s.chunkBytes;
+    return total;
+}
+
+int
+KernelModel::completedChunks(SimTime elapsed) const
+{
+    if (elapsed < _fillLatency)
+        return 0;
+    SimTime past_fill = elapsed - _fillLatency;
+    auto done = static_cast<SimTime>(1) + past_fill / _chunkInterval;
+    return static_cast<int>(
+        std::min<SimTime>(done, static_cast<SimTime>(_chunks)));
+}
+
+SimTime
+KernelModel::progressTime(int completed) const
+{
+    if (completed <= 0)
+        return 0;
+    return _fillLatency +
+           static_cast<SimTime>(completed - 1) * _chunkInterval;
+}
+
+SimTime
+KernelModel::chunkAlignedProgress(SimTime duration, SimTime elapsed) const
+{
+    if (duration <= 0 || elapsed <= 0)
+        return 0;
+    if (elapsed >= duration)
+        return duration;
+    // Map wall time onto model time, quantize down to the last retired
+    // chunk, and map the boundary back. Both mappings floor, so the
+    // charged time can never exceed the elapsed time; 128-bit products
+    // keep long items (hours) exact.
+    SimTime nominal = itemLatency();
+    auto to_model = static_cast<SimTime>(
+        static_cast<__int128>(elapsed) * nominal / duration);
+    SimTime boundary = progressTime(completedChunks(to_model));
+    return static_cast<SimTime>(static_cast<__int128>(boundary) * duration /
+                                nominal);
+}
+
+void
+KernelModel::stageOffsets(SimTime duration, std::vector<SimTime> &out) const
+{
+    out.clear();
+    out.reserve(_stages.size() + 1);
+    out.push_back(0);
+    SimTime cum = 0;
+    for (const StageSpec &s : _stages) {
+        cum += static_cast<SimTime>(s.pipelineDepth) * s.initiationInterval;
+        out.push_back(static_cast<SimTime>(
+            static_cast<__int128>(cum) * duration / _fillLatency));
+    }
+}
+
+KernelModelPtr
+makeKernelModel(std::vector<StageSpec> stages, int chunks)
+{
+    return std::make_shared<const KernelModel>(std::move(stages), chunks);
+}
+
+KernelModelPtr
+makeUniformKernelModel(const std::string &base_name, int num_stages,
+                       SimTime ii, int depth, std::uint64_t chunk_bytes,
+                       int chunks)
+{
+    if (num_stages < 1)
+        fatal("uniform kernel model needs at least one stage");
+    std::vector<StageSpec> stages;
+    stages.reserve(static_cast<std::size_t>(num_stages));
+    for (int i = 0; i < num_stages; ++i) {
+        StageSpec s;
+        s.name = base_name + "_" + std::to_string(i);
+        s.initiationInterval = ii;
+        s.pipelineDepth = depth;
+        s.chunkBytes = chunk_bytes;
+        stages.push_back(std::move(s));
+    }
+    return makeKernelModel(std::move(stages), chunks);
+}
+
+} // namespace nimblock

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Pipelined-stage kernel model: the streaming execution shape of one
+ * task's kernel.
+ *
+ * The base simulator describes a task by a single per-item latency
+ * scalar, so batch items execute strictly back-to-back. Real HLS
+ * kernels stream a batch item through a pipeline of stages as a
+ * sequence of chunks: each stage accepts a new chunk every initiation
+ * interval (II) and holds pipelineDepth chunks in flight, so once the
+ * pipeline is full a *following* item can start issuing chunks long
+ * before the current item's last chunk drains (the blake3-fpga shape:
+ * chunk compression and parent-merge stages streaming 1 KiB chunks).
+ *
+ * A KernelModel captures that shape. Attached to a TaskSpec it is
+ * strictly opt-in — a null model keeps the scalar path byte-identical
+ * and allocation-free, gated exactly like the resilience and energy
+ * subsystems. With a model attached:
+ *
+ *   - the first (cold) item takes itemLatency() = fill + drain,
+ *   - consecutive items issued back-to-back take itemIssueInterval()
+ *     (the steady chunk spacing) instead of the full latency,
+ *   - checkpoints resolve at chunk boundaries: a mid-item preemption
+ *     charges only fully retired chunks and re-executes the partial
+ *     chunk on resume (see docs/kernel_model.md).
+ *
+ * All derived quantities are integer arithmetic over SimTime, so runs
+ * remain exactly reproducible across platforms and event-queue
+ * implementations.
+ */
+
+#ifndef NIMBLOCK_KERNEL_MODEL_KERNEL_MODEL_HH
+#define NIMBLOCK_KERNEL_MODEL_KERNEL_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace nimblock {
+
+/** One pipeline stage of a streaming kernel. */
+struct StageSpec
+{
+    /** Stage name ("compress", "decode", ... shown in trace slices). */
+    std::string name;
+
+    /** Initiation interval: time between successive chunk issues. */
+    SimTime initiationInterval = 0;
+
+    /** Chunks in flight inside the stage (its pipeline registers). */
+    int pipelineDepth = 1;
+
+    /** Bytes streamed through the stage per chunk (reporting only). */
+    std::uint64_t chunkBytes = 0;
+};
+
+/**
+ * Streaming-pipeline model of a task's kernel: an ordered stage chain
+ * plus the number of chunks one batch item streams through it.
+ *
+ * Immutable after construction; the constructor fatal()s on invalid
+ * stage parameters (see validate()).
+ */
+class KernelModel
+{
+  public:
+    /**
+     * @param stages Pipeline stages in dataflow order; must be
+     *               non-empty with positive II and depth, and no stage
+     *               deeper than the chunk stream (the II/depth/chunk
+     *               bound — a deeper stage can never fill, making the
+     *               steady-state issue interval fiction).
+     * @param chunks Chunks per batch item; must be >= 1.
+     */
+    KernelModel(std::vector<StageSpec> stages, int chunks);
+
+    const std::vector<StageSpec> &stages() const { return _stages; }
+    int chunks() const { return _chunks; }
+
+    /** Steady chunk spacing: the bottleneck stage's II. */
+    SimTime chunkInterval() const { return _chunkInterval; }
+
+    /** First-chunk traversal time: sum of depth x II over stages. */
+    SimTime fillLatency() const { return _fillLatency; }
+
+    /**
+     * Cold per-item latency: fill plus the remaining chunks draining
+     * at the bottleneck interval. This is what TaskSpec::itemLatency
+     * derives from when left unset.
+     */
+    SimTime
+    itemLatency() const
+    {
+        return _fillLatency +
+               static_cast<SimTime>(_chunks - 1) * _chunkInterval;
+    }
+
+    /**
+     * Steady-state issue interval between back-to-back items: the time
+     * for the bottleneck stage to accept one item's worth of chunks.
+     * Always <= itemLatency() (II <= fill for depth >= 1).
+     */
+    SimTime
+    itemIssueInterval() const
+    {
+        return static_cast<SimTime>(_chunks) * _chunkInterval;
+    }
+
+    /** Bytes per chunk summed over stages (reporting only). */
+    std::uint64_t chunkBytesTotal() const;
+
+    /**
+     * Chunks fully retired after @p elapsed of model time into a cold
+     * item: chunk c (0-based) retires at fill + c x interval.
+     */
+    int completedChunks(SimTime elapsed) const;
+
+    /** Model time at which @p completed chunks had retired. */
+    SimTime progressTime(int completed) const;
+
+    /**
+     * Checkpoint quantization: the run time actually charged when an
+     * item planned for @p duration is preempted @p elapsed in. Model
+     * chunk boundaries are mapped linearly onto [0, duration] (the
+     * duration may differ from itemLatency() under heterogeneous
+     * speedup or steady-state issue) and progress rounds *down* to the
+     * last fully retired chunk; the partial chunk re-executes on
+     * resume. Result is always in [0, elapsed].
+     */
+    SimTime chunkAlignedProgress(SimTime duration, SimTime elapsed) const;
+
+    /**
+     * Stage boundary offsets inside an item slice of @p duration,
+     * proportional to each stage's depth x II share of the fill:
+     * out[i]..out[i+1] is stage i's span, out has stages()+1 entries.
+     * Used by the trace exporter to render per-stage sub-slices.
+     */
+    void stageOffsets(SimTime duration, std::vector<SimTime> &out) const;
+
+  private:
+    std::vector<StageSpec> _stages;
+    int _chunks;
+    SimTime _chunkInterval = 0;
+    SimTime _fillLatency = 0;
+};
+
+/** Shared immutable handle, mirroring AppSpecPtr. */
+using KernelModelPtr = std::shared_ptr<const KernelModel>;
+
+/** Build a shared model (fatal()s on invalid parameters). */
+KernelModelPtr makeKernelModel(std::vector<StageSpec> stages, int chunks);
+
+/**
+ * Convenience: a uniform pipeline of @p num_stages identical stages
+ * (II, depth, chunkBytes) named "<base>_<i>".
+ */
+KernelModelPtr makeUniformKernelModel(const std::string &base_name,
+                                      int num_stages, SimTime ii, int depth,
+                                      std::uint64_t chunk_bytes, int chunks);
+
+} // namespace nimblock
+
+#endif // NIMBLOCK_KERNEL_MODEL_KERNEL_MODEL_HH

@@ -59,6 +59,21 @@ constexpr int kHypervisorPid = 1;
 
 } // namespace
 
+TraceStageProfile
+traceStageProfile(const std::string &app_name, const KernelModel &model)
+{
+    TraceStageProfile p;
+    p.appName = app_name;
+    p.stageNames.reserve(model.stages().size());
+    p.weights.reserve(model.stages().size());
+    for (const StageSpec &s : model.stages()) {
+        p.stageNames.push_back(s.name);
+        p.weights.push_back(static_cast<double>(s.pipelineDepth) *
+                            static_cast<double>(s.initiationInterval));
+    }
+    return p;
+}
+
 std::string
 TraceExporter::toJson(const Timeline &timeline,
                       const CounterRegistry *counters) const
@@ -122,8 +137,18 @@ TraceExporter::toJson(const Timeline &timeline,
         bool itemOpen = false;
         bool quarantineOpen = false;
         std::string occName;
+        SimTime itemBegin = 0;
     };
     std::vector<SlotState> slots(num_slots);
+
+    // Stage profile lookup by occupant name; -1 when none matches.
+    auto profileFor = [&](const std::string &occ_name) -> int {
+        for (std::size_t i = 0; i < _opts.stageProfiles.size(); ++i) {
+            if (_opts.stageProfiles[i].appName == occ_name)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
 
     auto beginSlice = [&](SimTime t, SlotId slot, const char *cat,
                           const std::string &name,
@@ -238,10 +263,41 @@ TraceExporter::toJson(const Timeline &timeline,
             if (!st.itemOpen) {
                 beginSlice(e.time, e.slot, "execute", "item", "");
                 st.itemOpen = true;
+                st.itemBegin = e.time;
             }
             break;
           case TimelineEventKind::ItemEnd:
             if (st.itemOpen) {
+                // Streaming-kernel apps with a stage profile get the
+                // item subdivided into sequential per-stage sub-slices
+                // (weights normalized over the actual item span).
+                int prof = profileFor(st.occName);
+                if (prof >= 0 && e.time > st.itemBegin) {
+                    const TraceStageProfile &p =
+                        _opts.stageProfiles[static_cast<std::size_t>(
+                            prof)];
+                    double total = 0;
+                    for (double w : p.weights)
+                        total += w;
+                    if (total > 0 && !p.stageNames.empty()) {
+                        double span =
+                            static_cast<double>(e.time - st.itemBegin);
+                        double cum = 0;
+                        SimTime t0 = st.itemBegin;
+                        for (std::size_t i = 0; i < p.stageNames.size();
+                             ++i) {
+                            cum += i < p.weights.size() ? p.weights[i]
+                                                        : 0.0;
+                            auto t1 = static_cast<SimTime>(
+                                st.itemBegin +
+                                static_cast<SimTime>(span * cum / total));
+                            beginSlice(t0, e.slot, "stage",
+                                       p.stageNames[i], "");
+                            endSlice(t1, e.slot, p.stageNames[i], "");
+                            t0 = t1;
+                        }
+                    }
+                }
                 endSlice(e.time, e.slot, "item", "");
                 st.itemOpen = false;
             }

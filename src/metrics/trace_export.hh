@@ -26,10 +26,33 @@
 #include <string>
 #include <vector>
 
+#include "kernel_model/kernel_model.hh"
 #include "metrics/counters.hh"
 #include "metrics/timeline.hh"
 
 namespace nimblock {
+
+/**
+ * Per-stage rendering recipe for one application's item slices: every
+ * "item" slice of @p appName is subdivided into sequential stage
+ * sub-slices proportional to @p weights (normalized at render time).
+ * Build one from a KernelModel with traceStageProfile().
+ */
+struct TraceStageProfile
+{
+    /** Application (spec) name whose item slices are subdivided. */
+    std::string appName;
+
+    /** Stage names in pipeline order. */
+    std::vector<std::string> stageNames;
+
+    /** Relative stage weights (e.g. depth x II); must match stageNames. */
+    std::vector<double> weights;
+};
+
+/** Stage profile of @p app_name from @p model (depth x II weights). */
+TraceStageProfile traceStageProfile(const std::string &app_name,
+                                    const KernelModel &model);
 
 /** Knobs for the trace exporter. */
 struct TraceExportOptions
@@ -55,6 +78,14 @@ struct TraceExportOptions
      * vector keep the plain name.
      */
     std::vector<std::string> slotClassNames;
+
+    /**
+     * Per-stage sub-slice recipes for streaming-kernel apps (see
+     * kernel_model/): each matching item slice gains nested stage
+     * slices. Empty (the default) keeps exports byte-identical to
+     * builds without the kernel-model subsystem.
+     */
+    std::vector<TraceStageProfile> stageProfiles;
 };
 
 /** Converts recorded telemetry into Chrome trace-event JSON. */

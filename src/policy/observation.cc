@@ -1,5 +1,6 @@
 #include "policy/observation.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace nimblock {
@@ -32,12 +33,17 @@ ObservationBuilder::fillAppObs(AppObs &out, SchedulerOps &ops,
     // slot regardless of execution discipline (the prefetchable set).
     const TaskGraph &graph = app.graph();
     std::int32_t depth = 0;
+    std::int32_t piped = 0;
     for (TaskId t = 0; t < graph.numTasks(); ++t) {
         const TaskRunState &ts = app.taskState(t);
         if (ts.phase == TaskPhase::Idle && ts.itemsDone < app.batch())
             ++depth;
+        if (graph.task(t).kernel)
+            ++piped;
     }
     out.queueDepth = depth;
+    out.pipelinedTasks =
+        static_cast<std::uint8_t>(std::min<std::int32_t>(piped, 255));
     out.slotsUsed = static_cast<std::int32_t>(app.slotsUsed());
     out.slotsAllocated = static_cast<std::int32_t>(app.slotsAllocated());
     out.tasksIncomplete = static_cast<std::int32_t>(graph.numTasks()) -
@@ -87,6 +93,10 @@ ObservationBuilder::build(SchedulerOps &ops,
         // 0 on uniform boards (one implicit class), matching the old
         // padding byte.
         row.slotClass = static_cast<std::uint8_t>(s.classId());
+        // 0 without kernel models, matching the old padding bytes.
+        std::uint8_t pipe = ops.slotPipelineFlags(s.id());
+        row.pipelined = pipe & 1;
+        row.pipelinePrimed = (pipe >> 1) & 1;
     }
 
     _obs.liveApps = static_cast<std::uint32_t>(apps.size());

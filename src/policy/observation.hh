@@ -77,7 +77,18 @@ struct SlotObs
     /** Slot-class index on heterogeneous boards (0 when uniform). */
     std::uint8_t slotClass;
 
-    std::uint8_t pad[2];
+    /**
+     * Occupant task carries a streaming kernel model (kernel_model/).
+     * 0 for free slots and scalar tasks — matching the old padding
+     * byte, so model-free snapshots stay byte-identical.
+     */
+    std::uint8_t pipelined;
+
+    /**
+     * The in-flight item issued at the steady pipeline interval
+     * (primed intra-slot overlap); 0 matching the old padding byte.
+     */
+    std::uint8_t pipelinePrimed;
 };
 
 static_assert(sizeof(SlotObs) == 24, "SlotObs layout is part of the "
@@ -141,7 +152,14 @@ struct AppObs
     /** Has launched at least once (firstLaunch set). */
     std::uint8_t launched;
 
-    std::uint8_t pad[2];
+    /**
+     * Tasks in the graph carrying a streaming kernel model, clamped to
+     * 255. 0 for scalar apps — matching the old padding byte, so
+     * model-free snapshots stay byte-identical.
+     */
+    std::uint8_t pipelinedTasks;
+
+    std::uint8_t pad[1];
 };
 
 static_assert(sizeof(AppObs) == 96, "AppObs layout is part of the "

@@ -27,17 +27,20 @@ namespace nimblock {
 class FcfsScheduler : public Scheduler
 {
   public:
-    FcfsScheduler() : Scheduler("fcfs") { _fifo.reserve(64); }
+    FcfsScheduler() : Scheduler("fcfs") { _fifo.reserve(256); }
 
     void pass(SchedEvent reason) override;
     void onAppRetired(AppInstance &app) override;
 
-    /** One FIFO entry per ready task: n apps never outgrow 2n slots
-        (popFront() keeps a consumed prefix until it dominates). */
+    /** One FIFO entry per ready task, plus the consumed prefix
+        popFront() keeps until it dominates. Wide fan-out graphs (the
+        library apps' parallel heads/leaves) can hold several ready
+        tasks per app at once, so size by 4n with a generous floor to
+        keep the steady-state window allocation-free. */
     void
     reserveApps(std::size_t n) override
     {
-        _fifo.reserve(std::max<std::size_t>(2 * n, 64));
+        _fifo.reserve(std::max<std::size_t>(4 * n, 256));
     }
 
     /** No tokens, no clock: re-running a pass on unchanged state only

@@ -133,6 +133,21 @@ class SchedulerOps
      * policy's feature vector read it; everything else ignores it.
      */
     virtual double energyJoulesTotal() const { return 0.0; }
+
+    /**
+     * Pipeline occupancy of @p slot for the observation layer: bit 0
+     * set when the occupant task carries a streaming kernel model
+     * (kernel_model/), bit 1 when the in-flight item issued at the
+     * steady pipeline interval (primed intra-slot overlap). 0 for free
+     * slots and scalar tasks, so kernel-model-free runs see all-zero
+     * flags and snapshots stay byte-identical.
+     */
+    virtual std::uint8_t
+    slotPipelineFlags(SlotId slot)
+    {
+        (void)slot;
+        return 0;
+    }
 };
 
 /** Base class for all scheduling algorithms. */

@@ -12,9 +12,11 @@
 #ifndef NIMBLOCK_TASKGRAPH_TASK_HH
 #define NIMBLOCK_TASKGRAPH_TASK_HH
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
+#include "kernel_model/kernel_model.hh"
 #include "sim/time.hh"
 
 namespace nimblock {
@@ -56,12 +58,58 @@ struct TaskSpec
      */
     std::uint64_t bitstreamBytes = 0;
 
+    /**
+     * Streaming-pipeline model of the kernel (see kernel_model/). Null
+     * (the default) keeps the scalar execution path byte-identical and
+     * allocation-free — gated exactly like the resilience and energy
+     * subsystems. When set, leave itemLatency at 0 and the graph build
+     * derives it from the model's cold latency.
+     */
+    KernelModelPtr kernel;
+
     /** Scheduler-visible per-item latency (estimate if present). */
     SimTime
     schedulerItemLatency() const
     {
         return estimatedItemLatency == kTimeNone ? itemLatency
                                                  : estimatedItemLatency;
+    }
+
+    /** True when a streaming kernel model is attached. */
+    bool pipelined() const { return kernel != nullptr; }
+
+    /**
+     * True steady-state spacing between back-to-back items: the
+     * model's issue interval, or the full item latency for scalar
+     * tasks (no intra-slot overlap).
+     */
+    SimTime
+    itemIssueInterval() const
+    {
+        return kernel ? kernel->itemIssueInterval() : itemLatency;
+    }
+
+    /**
+     * Scheduler-visible issue interval: the model's steady spacing
+     * scaled by the estimate-error ratio (estimated / true item
+     * latency), so workloads that perturb estimatedItemLatency (the
+     * estimate-error knob, apps/synthetic.hh) perturb the overlap
+     * estimates consistently with the scalar ones.
+     */
+    SimTime
+    schedulerItemIssueInterval() const
+    {
+        if (!kernel)
+            return schedulerItemLatency();
+        SimTime issue = kernel->itemIssueInterval();
+        if (estimatedItemLatency == kTimeNone ||
+            estimatedItemLatency == itemLatency || itemLatency <= 0) {
+            return issue;
+        }
+        return static_cast<SimTime>(std::llround(
+            static_cast<double>(issue) *
+            static_cast<double>(estimatedItemLatency) /
+            static_cast<double>(itemLatency)));
     }
 };
 

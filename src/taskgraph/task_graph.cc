@@ -12,8 +12,30 @@ TaskGraph::addTask(TaskSpec spec)
 {
     if (_validated)
         panic("cannot add tasks to a validated graph");
+    if (spec.kernel) {
+        // The kernel model owns the cold latency; a hand-set scalar
+        // that disagrees would silently desynchronize estimates from
+        // execution.
+        SimTime derived = spec.kernel->itemLatency();
+        if (spec.itemLatency == 0) {
+            spec.itemLatency = derived;
+        } else if (spec.itemLatency != derived) {
+            fatal("task '%s': itemLatency %lld ns disagrees with the "
+                  "kernel model's derived latency %lld ns; leave it 0 "
+                  "to derive",
+                  spec.name.c_str(),
+                  static_cast<long long>(spec.itemLatency),
+                  static_cast<long long>(derived));
+        }
+    }
     if (spec.itemLatency <= 0)
         fatal("task '%s' needs a positive item latency", spec.name.c_str());
+    if (spec.estimatedItemLatency != kTimeNone &&
+        spec.estimatedItemLatency <= 0) {
+        fatal("task '%s': estimated item latency must be positive "
+              "(0 is ambiguous with the unset kTimeNone sentinel)",
+              spec.name.c_str());
+    }
     auto id = static_cast<TaskId>(_tasks.size());
     _tasks.push_back(std::move(spec));
     _succs.emplace_back();

@@ -137,6 +137,37 @@ TEST(MemhookZeroAlloc, SteadyStateAllocatesNothingWithTracingDisabled)
     }
 }
 
+TEST(MemhookZeroAlloc, PipelinedSteadyStateAllocatesNothing)
+{
+    setQuiet(true);
+    // Library apps: every task carries a KernelModel, so the window
+    // exercises the primed-issue path in startItem (priming decisions,
+    // chunk-aligned checkpoint math) on every item boundary. The
+    // pipeline state lives in two per-slot vectors sized at
+    // construction; the invariant must hold exactly as it does for the
+    // scalar path.
+    AppRegistry registry = extendedRegistry();
+    SystemConfig cfg;
+
+    EventSequence seq;
+    seq.name = "pipeline_innerloop";
+    const char *apps[] = {"hash_tree", "video_transcode",
+                          "transformer_block"};
+    for (int i = 0; i < 18; ++i) {
+        seq.events.push_back(WorkloadEvent{
+            i, apps[i % 3], 4, i % 4 ? Priority::Medium : Priority::High,
+            simtime::ms(static_cast<double>(i))});
+    }
+
+    for (const std::string &name : extendedSchedulers()) {
+        WindowResult r = measureWindow(name, cfg, registry, seq);
+        EXPECT_GT(r.events, 0u) << name << ": empty window";
+        EXPECT_EQ(r.allocs, 0u)
+            << name << " allocated " << r.allocs << " times (" << r.bytes
+            << " bytes) in the pipelined steady-state window";
+    }
+}
+
 /** The same window measured over a cluster instead of one board. */
 WindowResult
 measureClusterWindow(const ClusterConfig &cfg, const AppRegistry &registry,
